@@ -1,0 +1,49 @@
+/// \file bench_fig11.cpp
+/// Reproduces Figure 11 (§7.3): per-phase time breakdown of the SSFL's
+/// filter-balanced iterations — sampling (SF+VMF candidate generation),
+/// verification (AV labeling), featurization, and training.
+///
+/// Paper shape to reproduce: featurization, sampling, and verification stay
+/// roughly flat across batches while training time grows with the
+/// accumulated dataset and quickly dominates the loop.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace geqo;
+using namespace geqo::bench;
+
+int main() {
+  PrintHeader("bench_fig11", "Figure 11: SSFL time breakdown "
+                             "(filter-balanced sampling)");
+  const SsflStudyResult study = RunSsflStudy(GetScale());
+
+  std::printf("\n%-8s %-10s %-10s %-12s %-10s %-10s\n", "batch", "sample(s)",
+              "verify(s)", "featurize(s)", "train(s)", "total(s)");
+  for (size_t i = 1; i < study.filter_based.size(); ++i) {
+    const SsflStudyPoint& point = study.filter_based[i];
+    std::printf("%-8zu %-10.3f %-10.3f %-12.3f %-10.3f %-10.3f\n", i,
+                point.sample_seconds, point.verify_seconds,
+                point.featurize_seconds, point.train_seconds,
+                point.TotalSeconds());
+  }
+
+  const SsflStudyPoint& first = study.filter_based[1];
+  const SsflStudyPoint& last = study.filter_based.back();
+  const double train_growth =
+      last.train_seconds / std::max(first.train_seconds, 1e-9);
+  const double other_growth =
+      (last.sample_seconds + last.verify_seconds + last.featurize_seconds) /
+      std::max(first.sample_seconds + first.verify_seconds +
+                   first.featurize_seconds,
+               1e-9);
+  std::printf("\ntraining time growth across batches: %.1fx; "
+              "other phases: %.1fx\n",
+              train_growth, other_growth);
+  const bool shape = train_growth > other_growth &&
+                     last.train_seconds > last.sample_seconds;
+  std::printf("shape check: training grows fastest and dominates -> %s\n",
+              shape ? "yes (matches paper)" : "NO");
+  return shape ? 0 : 1;
+}

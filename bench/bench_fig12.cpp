@@ -1,0 +1,148 @@
+/// \file bench_fig12.cpp
+/// Reproduces Figure 12 (§7.4): VMF and EMF runtimes on growing numbers of
+/// TPC-DS subexpression pairs, CPU versus (modeled) GPU, with all other
+/// filters disabled.
+///
+/// Substitution note (DESIGN.md §1): no GPU is available, so the GPU series
+/// is an analytical model applied to the measured CPU run — instrumented
+/// kernel dispatches, transferred bytes, a 40x compute speedup, and a fixed
+/// per-job session overhead (see tensor/device.h). That model reproduces
+/// the paper's mechanism and shape: the GPU loses below a crossover point
+/// (fixed costs dominate) and wins beyond it (compute amortizes); the
+/// EMF's heavier per-pair compute pushes its crossover earlier than the
+/// VMF's.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "filters/emf_filter.h"
+#include "filters/vmf.h"
+#include "tensor/device.h"
+
+using namespace geqo;
+using namespace geqo::bench;
+
+namespace {
+
+struct SeriesPoint {
+  size_t pairs;
+  double cpu_seconds;
+  double gpu_seconds;
+};
+
+size_t SubexpressionsForPairs(size_t pairs) {
+  return static_cast<size_t>(std::ceil((1.0 + std::sqrt(1.0 + 8.0 *
+             static_cast<double>(pairs))) / 2.0));
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_fig12",
+              "Figure 12: VMF/EMF runtime scaling, CPU vs modeled GPU");
+  BenchContext context = TpchTrainedSystem(GetScale());
+  const Catalog tpcds = MakeTpcdsCatalog();
+  const EncodingLayout tpcds_layout = EncodingLayout::FromCatalog(tpcds);
+  const DeviceModel gpu = DeviceModel::AcceleratorT4Like();
+
+  const std::vector<size_t> pair_counts =
+      GetScale() == Scale::kFull
+          ? std::vector<size_t>{1000, 4000, 16000, 64000, 250000}
+          : (GetScale() == Scale::kSmoke
+                 ? std::vector<size_t>{300, 1200}
+                 : std::vector<size_t>{1000, 4000, 16000});
+
+  const size_t max_n = SubexpressionsForPairs(pair_counts.back());
+  const DetectionWorkload workload = MakeDetectionWorkload(
+      tpcds, max_n, std::min<size_t>(max_n / 8, 64), /*seed=*/0xF16012);
+  auto encoded = EncodeWorkload(workload.subexpressions, tpcds_layout, tpcds,
+                                context.system->value_range());
+  GEQO_CHECK(encoded.ok());
+  const size_t node_vector_bytes =
+      context.system->agnostic_layout().node_vector_size() * sizeof(float);
+
+  std::vector<SeriesPoint> vmf_series;
+  std::vector<SeriesPoint> emf_series;
+  for (const size_t pairs : pair_counts) {
+    const size_t n = SubexpressionsForPairs(pairs);
+    std::vector<size_t> group(n);
+    for (size_t i = 0; i < n; ++i) group[i] = i;
+
+    // --- VMF: group-encode, embed, index, radius-search (one SF group). ---
+    {
+      VmfOptions options;
+      options.radius = context.system->pipeline().options().vmf.radius;
+      options.truncate_overflow = true;
+      const VectorMatchingFilter vmf(&context.system->model(), &tpcds_layout,
+                                     &context.system->agnostic_layout(),
+                                     options);
+      GetKernelStats().Reset();
+      Stopwatch watch;
+      auto result = vmf.CandidatePairs(group, *encoded);
+      GEQO_CHECK(result.ok());
+      const double cpu_seconds = watch.ElapsedSeconds();
+      // Host->device traffic: every encoded subexpression's node matrix.
+      double bytes = 0;
+      for (size_t i = 0; i < n; ++i) {
+        bytes += static_cast<double>((*encoded)[i].num_nodes() *
+                                     node_vector_bytes);
+      }
+      vmf_series.push_back(SeriesPoint{
+          pairs, cpu_seconds,
+          gpu.ModelSeconds(cpu_seconds, GetKernelStats(), bytes)});
+    }
+
+    // --- EMF: score every pair (pairwise conversion + siamese forward). ---
+    {
+      std::vector<std::pair<size_t, size_t>> all_pairs;
+      all_pairs.reserve(pairs);
+      for (size_t i = 0; i < n && all_pairs.size() < pairs; ++i) {
+        for (size_t j = i + 1; j < n && all_pairs.size() < pairs; ++j) {
+          all_pairs.emplace_back(i, j);
+        }
+      }
+      const EquivalenceModelFilter emf(&context.system->model(), &tpcds_layout,
+                                       &context.system->agnostic_layout());
+      GetKernelStats().Reset();
+      Stopwatch watch;
+      auto scores = emf.Scores(all_pairs, *encoded);
+      GEQO_CHECK(scores.ok());
+      const double cpu_seconds = watch.ElapsedSeconds();
+      double bytes = 0;
+      for (const auto& [i, j] : all_pairs) {
+        bytes += static_cast<double>(
+            ((*encoded)[i].num_nodes() + (*encoded)[j].num_nodes()) *
+            node_vector_bytes);
+      }
+      emf_series.push_back(SeriesPoint{
+          all_pairs.size(), cpu_seconds,
+          gpu.ModelSeconds(cpu_seconds, GetKernelStats(), bytes)});
+    }
+    std::printf("# measured %zu pairs\n", pairs);
+  }
+
+  const auto print_series = [](const char* name,
+                               const std::vector<SeriesPoint>& series) {
+    std::printf("\n(%s) %-12s %-12s %-14s %-10s\n", name, "# pairs",
+                "CPU (s)", "GPU-model (s)", "winner");
+    for (const SeriesPoint& point : series) {
+      std::printf("     %-12zu %-12.3f %-14.3f %-10s\n", point.pairs,
+                  point.cpu_seconds, point.gpu_seconds,
+                  point.cpu_seconds <= point.gpu_seconds ? "cpu" : "gpu");
+    }
+  };
+  print_series("a: VMF", vmf_series);
+  print_series("b: EMF", emf_series);
+
+  const bool vmf_small_cpu =
+      vmf_series.front().cpu_seconds < vmf_series.front().gpu_seconds;
+  const bool emf_large_gpu =
+      emf_series.back().gpu_seconds < emf_series.back().cpu_seconds ||
+      GetScale() == Scale::kSmoke;
+  std::printf("\nshape check: CPU wins small VMF jobs -> %s; "
+              "GPU wins large EMF jobs -> %s\n",
+              vmf_small_cpu ? "yes" : "NO", emf_large_gpu ? "yes" : "NO");
+  return (vmf_small_cpu && emf_large_gpu) ? 0 : 1;
+}

@@ -1,0 +1,158 @@
+/// \file bench_fig13.cpp
+/// Reproduces Figure 13 (§7.5): end-to-end comparison of GEqO against SPES
+/// (the AV applied to every pair), signature-based detection, and
+/// optimizer-based detection, over TPC-DS datasets with increasing numbers
+/// of planted equivalences.
+///
+/// Paper shapes to reproduce:
+///  (a) GEqO's true-positive count tracks SPES closely (TPR ~0.88-0.93 vs
+///      1.0) while signature and optimizer detection find ~2x fewer;
+///  (b) SPES is ~200x more expensive than everything else;
+///  (c) signature/optimizer runtimes are ~flat; GEqO's rises gently with
+///      the number of equivalences (it verifies more candidates);
+///  (d) per detected equivalence, GEqO costs about what the heuristics do.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+#include "pipeline/baselines.h"
+
+using namespace geqo;
+using namespace geqo::bench;
+
+namespace {
+
+struct MethodResult {
+  size_t true_positives = 0;
+  double seconds = 0.0;         ///< measured (modeled for AV-based methods)
+};
+
+size_t CountTruePositives(const std::vector<std::pair<size_t, size_t>>& found,
+                          const std::vector<std::pair<size_t, size_t>>& truth) {
+  size_t hits = 0;
+  for (const auto& pair : truth) hits += ContainsPair(found, pair);
+  return hits;
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("bench_fig13",
+              "Figure 13: GEqO vs SPES vs signature vs optimizer");
+  BenchContext context = TpchTrainedSystem(GetScale());
+  const Catalog tpcds = MakeTpcdsCatalog();
+
+  const size_t n = Pick(60, 140, 317);
+  const std::vector<size_t> equivalence_counts =
+      GetScale() == Scale::kFull
+          ? std::vector<size_t>{8, 16, 32, 64, 128}
+          : (GetScale() == Scale::kSmoke ? std::vector<size_t>{8}
+                                         : std::vector<size_t>{8, 16, 32});
+  const size_t datasets_per_count = Pick(1, 2, 5);
+
+  std::printf("datasets: %zu subexpressions (%zu pairs) x %zu repetitions "
+              "per equivalence count\n",
+              n, n * (n - 1) / 2, datasets_per_count);
+  std::printf("AV times are modeled with the %.0f ms SPES invocation price "
+              "(see bench_util.h); other columns are measured.\n\n",
+              kSpesInvocationOverheadSeconds * 1e3);
+
+  std::printf("%-8s | %-21s | %-21s | %-21s | %-21s\n", "#equiv",
+              "GEqO  (TP, s, s/eq)", "SPES  (TP, s, s/eq)",
+              "signature (TP, s)", "optimizer (TP, s)");
+
+  bool shapes_hold = true;
+  for (const size_t equivalences : equivalence_counts) {
+    MethodResult geqo_total;
+    MethodResult spes_total;
+    MethodResult signature_total;
+    MethodResult optimizer_total;
+    size_t truth_total = 0;
+
+    for (size_t repetition = 0; repetition < datasets_per_count;
+         ++repetition) {
+      const DetectionWorkload workload = MakeDetectionWorkload(
+          tpcds, n, equivalences,
+          /*seed=*/0xF16013 + equivalences * 101 + repetition);
+
+      // SPES: verify everything; its output is the ground truth (§7.5).
+      GeqoOptions spes_options;
+      spes_options.use_sf = false;
+      spes_options.use_vmf = false;
+      spes_options.use_emf = false;
+      ForeignPipeline spes = MakeForeignPipeline(
+          *context.system, std::make_unique<Catalog>(MakeTpcdsCatalog()),
+          spes_options);
+      Stopwatch watch;
+      auto spes_result = spes.pipeline->DetectEquivalences(
+          workload.subexpressions, context.system->value_range());
+      GEQO_CHECK(spes_result.ok());
+      const auto& truth = spes_result->equivalences;
+      truth_total += truth.size();
+      spes_total.true_positives += truth.size();
+      spes_total.seconds +=
+          ModeledAvSeconds(watch.ElapsedSeconds(), workload.TotalPairs());
+
+      // GEqO with all filters.
+      ForeignPipeline geqo = MakeForeignPipeline(
+          *context.system, std::make_unique<Catalog>(MakeTpcdsCatalog()),
+          GeqoOptions());
+      watch.Reset();
+      auto geqo_result = geqo.pipeline->DetectEquivalences(
+          workload.subexpressions, context.system->value_range());
+      GEQO_CHECK(geqo_result.ok());
+      geqo_total.true_positives +=
+          CountTruePositives(geqo_result->equivalences, truth);
+      geqo_total.seconds += ModeledAvSeconds(
+          watch.ElapsedSeconds(), geqo_result->candidates.size());
+
+      // Signature baseline.
+      watch.Reset();
+      auto signature_pairs =
+          SignatureEquivalences(workload.subexpressions, tpcds);
+      GEQO_CHECK(signature_pairs.ok());
+      signature_total.seconds += watch.ElapsedSeconds();
+      signature_total.true_positives +=
+          CountTruePositives(*signature_pairs, truth);
+
+      // Optimizer baseline.
+      watch.Reset();
+      auto optimizer_pairs =
+          OptimizerEquivalences(workload.subexpressions, tpcds);
+      GEQO_CHECK(optimizer_pairs.ok());
+      optimizer_total.seconds += watch.ElapsedSeconds();
+      optimizer_total.true_positives +=
+          CountTruePositives(*optimizer_pairs, truth);
+    }
+
+    const double inv = 1.0 / static_cast<double>(datasets_per_count);
+    const double truth_avg = static_cast<double>(truth_total) * inv;
+    const auto per_equivalence = [&](const MethodResult& method) {
+      return method.true_positives == 0
+                 ? 0.0
+                 : method.seconds /
+                       static_cast<double>(method.true_positives);
+    };
+    std::printf(
+        "%-8zu | %6.1f %7.2f %6.3f | %6.1f %7.1f %6.2f | %6.1f %8.3f     | "
+        "%6.1f %8.3f\n",
+        equivalences, static_cast<double>(geqo_total.true_positives) * inv,
+        geqo_total.seconds * inv, per_equivalence(geqo_total),
+        truth_avg, spes_total.seconds * inv, per_equivalence(spes_total),
+        static_cast<double>(signature_total.true_positives) * inv,
+        signature_total.seconds * inv,
+        static_cast<double>(optimizer_total.true_positives) * inv,
+        optimizer_total.seconds * inv);
+
+    shapes_hold &= geqo_total.true_positives >= optimizer_total.true_positives;
+    shapes_hold &=
+        optimizer_total.true_positives >= signature_total.true_positives;
+    shapes_hold &= spes_total.seconds > 10.0 * geqo_total.seconds;
+  }
+
+  std::printf("\nshape check: signature <= optimizer <= GEqO <= SPES on "
+              "recall, and SPES >10x slower than GEqO -> %s\n",
+              shapes_hold ? "yes (matches paper)" : "NO");
+  return shapes_hold ? 0 : 1;
+}

@@ -1,0 +1,86 @@
+/// \file bench_fig14.cpp
+/// Reproduces Figure 14 (§7.6): the filter ablation — total runtime of
+/// GEqO_SET (filters + verification of survivors) for every nonempty subset
+/// of {SF, VMF, EMF} on the 32-equivalence datasets.
+///
+/// Paper shape to reproduce: the full combination SF+VMF+EMF minimizes
+/// total (modeled) runtime; every filter contributes pruning that the
+/// others do not replicate.
+
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stopwatch.h"
+
+using namespace geqo;
+using namespace geqo::bench;
+
+int main() {
+  PrintHeader("bench_fig14", "Figure 14: runtime under filter combinations");
+  BenchContext context = TpchTrainedSystem(GetScale());
+
+  const size_t n = Pick(60, 140, 317);
+  const size_t equivalences = Pick(8, 24, 32);
+  const Catalog tpcds = MakeTpcdsCatalog();
+  const DetectionWorkload workload =
+      MakeDetectionWorkload(tpcds, n, equivalences, /*seed=*/0xF16014);
+  std::printf("workload: %zu subexpressions, %zu pairs, %zu planted "
+              "equivalences; verifier invocations modeled at %.0f ms "
+              "(see bench_util.h)\n\n",
+              n, workload.TotalPairs(), equivalences,
+              kSpesInvocationOverheadSeconds * 1e3);
+
+  struct Combination {
+    const char* name;
+    bool sf, vmf, emf;
+  };
+  const Combination combinations[] = {
+      {"SF", true, false, false},       {"VMF", false, true, false},
+      {"EMF", false, false, true},      {"SF+VMF", true, true, false},
+      {"SF+EMF", true, false, true},    {"VMF+EMF", false, true, true},
+      {"SF+VMF+EMF", true, true, true},
+  };
+
+  std::printf("%-12s %12s %14s %10s %8s\n", "filters", "verified",
+              "filter t (s)", "total (s)", "TPR");
+  double best_total = 1e18;
+  const char* best_name = nullptr;
+  double full_total = 0.0;
+  for (const Combination& combination : combinations) {
+    GeqoOptions options;
+    options.use_sf = combination.sf;
+    options.use_vmf = combination.vmf;
+    options.use_emf = combination.emf;
+    ForeignPipeline foreign = MakeForeignPipeline(
+        *context.system, std::make_unique<Catalog>(MakeTpcdsCatalog()),
+        options);
+    Stopwatch watch;
+    auto result = foreign.pipeline->DetectEquivalences(
+        workload.subexpressions, context.system->value_range());
+    GEQO_CHECK(result.ok()) << result.status().ToString();
+    const double filter_seconds =
+        watch.ElapsedSeconds() - result->verify_stats.seconds;
+    const double total_seconds = ModeledAvSeconds(
+        watch.ElapsedSeconds(), result->candidates.size());
+    const ml::ConfusionMatrix matrix =
+        ScoreDetection(workload, result->equivalences);
+    std::printf("%-12s %12zu %14.3f %10.2f %8.2f\n", combination.name,
+                result->candidates.size(), filter_seconds, total_seconds,
+                matrix.TruePositiveRate());
+    if (total_seconds < best_total) {
+      best_total = total_seconds;
+      best_name = combination.name;
+    }
+    if (combination.sf && combination.vmf && combination.emf) {
+      full_total = total_seconds;
+    }
+  }
+
+  const bool shape = full_total <= best_total * 1.2;  // within noise of best
+  std::printf("\nfastest combination: %s (%.2f s); full pipeline: %.2f s\n",
+              best_name, best_total, full_total);
+  std::printf("shape check: applying all three filters is (near-)optimal -> "
+              "%s\n",
+              shape ? "yes (matches paper)" : "NO");
+  return shape ? 0 : 1;
+}

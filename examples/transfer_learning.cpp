@@ -1,0 +1,90 @@
+/// \file transfer_learning.cpp
+/// Database-agnostic transfer (§4.2, §7.1.3): an EMF trained on TPC-H
+/// workloads classifies equivalence on TPC-DS and on a random schema it has
+/// never seen, because the db-agnostic encoding reduces concrete table and
+/// column names to symbolic patterns.
+///
+///   ./transfer_learning
+
+#include <cstdio>
+
+#include "core/geqo_system.h"
+#include "ml/metrics.h"
+#include "workload/schemas.h"
+
+namespace {
+
+/// Builds a labeled evaluation dataset on \p catalog and scores \p system's
+/// model on it zero-shot (no training on this catalog).
+geqo::ml::ConfusionMatrix EvaluateOn(geqo::GeqoSystem& system,
+                                     const geqo::Catalog& catalog,
+                                     uint64_t seed) {
+  geqo::Rng rng(seed);
+  geqo::LabeledDataOptions options;
+  options.num_base_queries = 40;
+  options.variants_per_query = 2;
+  auto pairs = geqo::BuildLabeledPairs(catalog, options, &rng);
+  GEQO_CHECK(pairs.ok());
+
+  // Encode against the *foreign* catalog's instance layout, then the shared
+  // agnostic layout: this is exactly the transfer path of §4.2.
+  const geqo::EncodingLayout foreign_layout =
+      geqo::EncodingLayout::FromCatalog(catalog);
+  auto dataset = geqo::EncodeLabeledPairs(
+      *pairs, catalog, foreign_layout, system.agnostic_layout(),
+      system.value_range());
+  GEQO_CHECK(dataset.ok());
+
+  const std::vector<float> probabilities =
+      geqo::ml::PredictAll(&system.model(), *dataset);
+  return geqo::ml::EvaluateBinary(probabilities, dataset->labels);
+}
+
+}  // namespace
+
+int main() {
+  // Train once, on TPC-H.
+  const geqo::Catalog tpch = geqo::MakeTpchCatalog();
+  geqo::GeqoSystemOptions options;
+  options.model.conv1_size = 64;
+  options.model.conv2_size = 64;
+  options.model.fc1_size = 64;
+  options.model.fc2_size = 32;
+  options.model.dropout = 0.2f;
+  options.training.epochs = 12;
+  options.synthetic_data.num_base_queries = 120;
+  geqo::GeqoSystem system(&tpch, options);
+  std::printf("Training the EMF on a synthetic TPC-H workload...\n");
+  auto report = system.TrainOnSyntheticWorkload(/*seed=*/11);
+  GEQO_CHECK_OK(report.status());
+  std::printf("  %.1fs, %zu steps\n\n", report->seconds, report->steps);
+
+  // Evaluate zero-shot on three catalogs.
+  struct Target {
+    const char* name;
+    geqo::Catalog catalog;
+  };
+  geqo::Rng schema_rng(99);
+  Target targets[] = {
+      {"TPC-H (in-domain)", geqo::MakeTpchCatalog()},
+      {"TPC-DS (unseen schema)", geqo::MakeTpcdsCatalog()},
+      {"random schema (unseen)", geqo::MakeRandomCatalog(
+                                     geqo::RandomSchemaOptions(), &schema_rng)},
+  };
+
+  std::printf("%-26s %9s %10s %8s %7s\n", "evaluation target", "accuracy",
+              "precision", "recall", "F1");
+  bool transfer_holds = true;
+  for (Target& target : targets) {
+    const geqo::ml::ConfusionMatrix matrix =
+        EvaluateOn(system, target.catalog, /*seed=*/1234);
+    std::printf("%-26s %9.3f %10.3f %8.3f %7.3f\n", target.name,
+                matrix.Accuracy(), matrix.Precision(), matrix.Recall(),
+                matrix.F1());
+    transfer_holds &= matrix.F1() > 0.6;
+  }
+  std::printf("\nThe model never saw TPC-DS or the random schema during "
+              "training;\nthe db-agnostic encoding (§4.2) is what makes the "
+              "transfer work.\n");
+  return transfer_holds ? 0 : 1;
+}

@@ -1,0 +1,202 @@
+#include "ann/hnsw.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+namespace geqo::ann {
+
+HnswIndex::HnswIndex(size_t dim, HnswOptions options)
+    : dim_(dim),
+      options_(options),
+      level_multiplier_(1.0 /
+                        std::log(static_cast<double>(options.max_connections))),
+      rng_(options.seed) {
+  GEQO_CHECK(dim_ > 0);
+  GEQO_CHECK(options_.max_connections >= 2);
+}
+
+float HnswIndex::Distance(const float* a, const float* b) const {
+  return std::sqrt(ops::SquaredDistance(a, b, dim_));
+}
+
+int HnswIndex::RandomLevel() {
+  const double u = std::max(rng_.NextDouble(), 1e-12);
+  return static_cast<int>(-std::log(u) * level_multiplier_);
+}
+
+size_t HnswIndex::Add(const std::vector<float>& vector) {
+  GEQO_CHECK(vector.size() == dim_);
+  return Add(vector.data());
+}
+
+size_t HnswIndex::Add(const float* vector) {
+  const auto id = static_cast<uint32_t>(vectors_.size());
+  vectors_.emplace_back(vector, vector + dim_);
+  const int level = RandomLevel();
+  Node node;
+  node.level = level;
+  node.neighbors.resize(static_cast<size_t>(level) + 1);
+  nodes_.push_back(std::move(node));
+
+  if (id == 0) {
+    max_level_ = level;
+    entry_point_ = 0;
+    return id;
+  }
+
+  const float* query = vectors_[id].data();
+  uint32_t entry = entry_point_;
+  // Greedy descent through layers above the new node's level.
+  for (int layer = max_level_; layer > level; --layer) {
+    entry = GreedySearch(query, entry, layer);
+  }
+  // Insert into each layer from min(level, max_level_) down to 0.
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    const std::vector<Neighbor> candidates =
+        SearchLayer(query, entry, options_.ef_construction, layer);
+    const size_t max_links = layer == 0 ? options_.max_connections * 2
+                                        : options_.max_connections;
+    Connect(id, candidates, layer, max_links);
+    if (!candidates.empty()) entry = static_cast<uint32_t>(candidates[0].id);
+  }
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = id;
+  }
+  return id;
+}
+
+uint32_t HnswIndex::GreedySearch(const float* query, uint32_t entry,
+                                 int layer) const {
+  uint32_t current = entry;
+  float current_distance = Distance(query, vectors_[current].data());
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (const uint32_t neighbor :
+         nodes_[current].neighbors[static_cast<size_t>(layer)]) {
+      const float d = Distance(query, vectors_[neighbor].data());
+      if (d < current_distance) {
+        current = neighbor;
+        current_distance = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, uint32_t entry,
+                                             size_t ef, int layer) const {
+  // Classic beam search: `candidates` is a min-heap of frontier nodes,
+  // `best` a max-heap of the ef closest results found so far.
+  const auto further = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance < b.distance;  // max-heap by distance
+  };
+  const auto closer = [](const Neighbor& a, const Neighbor& b) {
+    return a.distance > b.distance;  // min-heap by distance
+  };
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(further)> best(
+      further);
+  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(closer)>
+      candidates(closer);
+  std::unordered_set<uint32_t> visited;
+
+  const float entry_distance = Distance(query, vectors_[entry].data());
+  best.push(Neighbor{entry, entry_distance});
+  candidates.push(Neighbor{entry, entry_distance});
+  visited.insert(entry);
+
+  while (!candidates.empty()) {
+    const Neighbor current = candidates.top();
+    candidates.pop();
+    if (best.size() >= ef && current.distance > best.top().distance) break;
+    for (const uint32_t neighbor :
+         nodes_[current.id].neighbors[static_cast<size_t>(layer)]) {
+      if (!visited.insert(neighbor).second) continue;
+      const float d = Distance(query, vectors_[neighbor].data());
+      if (best.size() < ef || d < best.top().distance) {
+        best.push(Neighbor{neighbor, d});
+        candidates.push(Neighbor{neighbor, d});
+        if (best.size() > ef) best.pop();
+      }
+    }
+  }
+
+  std::vector<Neighbor> out;
+  out.reserve(best.size());
+  while (!best.empty()) {
+    out.push_back(best.top());
+    best.pop();
+  }
+  std::reverse(out.begin(), out.end());  // closest first
+  return out;
+}
+
+void HnswIndex::Connect(uint32_t id, const std::vector<Neighbor>& candidates,
+                        int layer, size_t max_links) {
+  auto& my_links = nodes_[id].neighbors[static_cast<size_t>(layer)];
+  for (const Neighbor& candidate : candidates) {
+    if (my_links.size() >= max_links) break;
+    if (candidate.id == id) continue;
+    my_links.push_back(static_cast<uint32_t>(candidate.id));
+    // Bidirectional link; prune the neighbor's list if it overflows by
+    // keeping its max_links closest connections.
+    auto& back_links =
+        nodes_[candidate.id].neighbors[static_cast<size_t>(layer)];
+    back_links.push_back(id);
+    if (back_links.size() > max_links) {
+      const float* anchor = vectors_[candidate.id].data();
+      std::sort(back_links.begin(), back_links.end(),
+                [&](uint32_t a, uint32_t b) {
+                  return Distance(anchor, vectors_[a].data()) <
+                         Distance(anchor, vectors_[b].data());
+                });
+      back_links.resize(max_links);
+    }
+  }
+}
+
+std::vector<Neighbor> HnswIndex::SearchKnn(const float* query, size_t k,
+                                           size_t ef) const {
+  if (vectors_.empty()) return {};
+  if (ef == 0) ef = std::max(options_.ef_search, k);
+  uint32_t entry = entry_point_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    entry = GreedySearch(query, entry, layer);
+  }
+  std::vector<Neighbor> result = SearchLayer(query, entry, ef, /*layer=*/0);
+  if (result.size() > k) result.resize(k);
+  return result;
+}
+
+std::vector<Neighbor> HnswIndex::SearchRadius(const float* query, float radius,
+                                              size_t ef) const {
+  if (vectors_.empty()) return {};
+  if (ef == 0) ef = options_.ef_search;
+  uint32_t entry = entry_point_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    entry = GreedySearch(query, entry, layer);
+  }
+  std::vector<Neighbor> beam = SearchLayer(query, entry, ef, /*layer=*/0);
+  std::vector<Neighbor> out;
+  for (const Neighbor& neighbor : beam) {
+    if (neighbor.distance <= radius) out.push_back(neighbor);
+  }
+  return out;
+}
+
+std::vector<Neighbor> HnswIndex::ExactRadius(const float* query,
+                                             float radius) const {
+  std::vector<Neighbor> out;
+  for (size_t id = 0; id < vectors_.size(); ++id) {
+    const float d = Distance(query, vectors_[id].data());
+    if (d <= radius) out.push_back(Neighbor{id, d});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace geqo::ann

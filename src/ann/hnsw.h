@@ -1,0 +1,95 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+/// \file hnsw.h
+/// Hierarchical Navigable Small World index (Malkov & Yashunin [35]) for
+/// approximate nearest-neighbor search, implemented from scratch. The VMF
+/// (§2.2.1, Definition 2.1) embeds subexpressions with the EMF's learned
+/// tree convolution and uses this index for threshold (radius) searches at
+/// O(log n) per query.
+
+namespace geqo::ann {
+
+/// \brief Construction / search parameters.
+struct HnswOptions {
+  size_t max_connections = 16;    ///< M: links per node above layer 0
+  size_t ef_construction = 100;   ///< beam width while inserting
+  size_t ef_search = 64;          ///< default beam width while querying
+  uint64_t seed = 0x9e3779b97f4aULL;
+};
+
+/// \brief One search hit: element id plus its L2 distance to the query.
+struct Neighbor {
+  size_t id;
+  float distance;
+
+  bool operator<(const Neighbor& other) const {
+    return distance < other.distance;
+  }
+};
+
+/// \brief An HNSW index over fixed-dimension float vectors.
+///
+/// Vectors are copied in. Ids are assigned densely in insertion order.
+/// Single-threaded (consistent with the library's execution model).
+class HnswIndex {
+ public:
+  HnswIndex(size_t dim, HnswOptions options = HnswOptions());
+
+  /// Inserts \p vector (length dim()); returns its id.
+  size_t Add(const float* vector);
+  size_t Add(const std::vector<float>& vector);
+
+  /// Approximate k-nearest-neighbor search, closest first.
+  std::vector<Neighbor> SearchKnn(const float* query, size_t k,
+                                  size_t ef = 0) const;
+
+  /// Approximate radius search: all indexed vectors within L2 distance
+  /// \p radius of \p query (closest first). \p ef bounds the exploration
+  /// beam; larger values increase recall.
+  std::vector<Neighbor> SearchRadius(const float* query, float radius,
+                                     size_t ef = 0) const;
+
+  /// Exact (brute-force) radius search, for recall evaluation in tests.
+  std::vector<Neighbor> ExactRadius(const float* query, float radius) const;
+
+  size_t size() const { return vectors_.size(); }
+  size_t dim() const { return dim_; }
+  const float* vector(size_t id) const { return vectors_[id].data(); }
+
+ private:
+  struct Node {
+    int level;
+    /// Adjacency lists, one per layer 0..level.
+    std::vector<std::vector<uint32_t>> neighbors;
+  };
+
+  float Distance(const float* a, const float* b) const;
+  int RandomLevel();
+  /// Greedy descent in one layer starting from \p entry.
+  uint32_t GreedySearch(const float* query, uint32_t entry, int layer) const;
+  /// Beam search within a layer; returns up to \p ef closest, sorted.
+  std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
+                                    size_t ef, int layer) const;
+  /// Links \p id to the closest \p max_links of \p candidates in \p layer,
+  /// pruning back-links that overflow.
+  void Connect(uint32_t id, const std::vector<Neighbor>& candidates, int layer,
+               size_t max_links);
+
+  size_t dim_;
+  HnswOptions options_;
+  double level_multiplier_;
+  Rng rng_;
+  std::vector<std::vector<float>> vectors_;
+  std::vector<Node> nodes_;
+  int max_level_ = -1;
+  uint32_t entry_point_ = 0;
+};
+
+}  // namespace geqo::ann

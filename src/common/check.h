@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+/// \file check.h
+/// GEQO_CHECK / GEQO_DCHECK: fatal invariant assertions with streamed context.
+
+namespace geqo::internal {
+
+/// Accumulates a failure message and aborts the process on destruction.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* kind, const char* file, int line,
+                     const char* condition) {
+    stream_ << kind << " failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailureStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace geqo::internal
+
+/// Aborts with a message when \p condition is false. Enabled in all builds:
+/// these guard library invariants whose violation would corrupt results.
+#define GEQO_CHECK(condition)          \
+  if (!(condition))                    \
+  ::geqo::internal::CheckFailureStream("GEQO_CHECK", __FILE__, __LINE__, \
+                                       #condition)
+
+#define GEQO_CHECK_OK(expr)                                       \
+  do {                                                            \
+    ::geqo::Status _geqo_check_status = (expr);                   \
+    GEQO_CHECK(_geqo_check_status.ok()) << _geqo_check_status.ToString(); \
+  } while (false)
+
+#ifndef NDEBUG
+#define GEQO_DCHECK(condition) GEQO_CHECK(condition)
+#else
+#define GEQO_DCHECK(condition) \
+  if (false)                   \
+  ::geqo::internal::CheckFailureStream("GEQO_DCHECK", __FILE__, __LINE__, \
+                                       #condition)
+#endif

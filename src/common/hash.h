@@ -1,0 +1,56 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file hash.h
+/// Stable 64-bit hashing used for plan signatures and hash-map keys. Stability
+/// matters: signature-based equivalence detection (the CloudViews baseline)
+/// compares hashes across processes and runs.
+
+namespace geqo {
+
+/// \brief FNV-1a over raw bytes; stable across platforms and runs.
+inline uint64_t HashBytes(const void* data, size_t size,
+                          uint64_t seed = 0xcbf29ce484222325ULL) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < size; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+inline uint64_t HashString(std::string_view s,
+                           uint64_t seed = 0xcbf29ce484222325ULL) {
+  return HashBytes(s.data(), s.size(), seed);
+}
+
+/// \brief Mixes a new 64-bit value into an accumulated hash (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  // 64-bit variant of boost::hash_combine with a murmur-style finalizer.
+  value *= 0xff51afd7ed558ccdULL;
+  value ^= value >> 33;
+  seed ^= value + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+/// \brief Order-independent combination, for hashing sets and multisets.
+inline uint64_t HashCombineUnordered(uint64_t seed, uint64_t value) {
+  value *= 0x9ddfea08eb382d69ULL;
+  value ^= value >> 29;
+  return seed + value;  // commutative and associative in the accumulator
+}
+
+inline uint64_t HashVector(const std::vector<uint64_t>& values,
+                           uint64_t seed = 0x9e3779b97f4a7c15ULL) {
+  uint64_t hash = seed;
+  for (uint64_t v : values) hash = HashCombine(hash, v);
+  return hash;
+}
+
+}  // namespace geqo

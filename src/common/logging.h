@@ -1,0 +1,41 @@
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+/// \file logging.h
+/// Minimal leveled logging to stderr. Benchmarks print their results to
+/// stdout; diagnostics go through GEQO_LOG so they can be silenced.
+
+namespace geqo {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// \brief Global log threshold; messages below it are dropped.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace geqo
+
+#define GEQO_LOG(level) \
+  ::geqo::internal::LogMessage(::geqo::LogLevel::level, __FILE__, __LINE__)

@@ -1,0 +1,86 @@
+#pragma once
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+/// \file result.h
+/// Result<T>: a Status or a value, mirroring arrow::Result.
+
+namespace geqo {
+
+/// \brief Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent.
+///
+/// Usage:
+/// \code
+///   Result<Plan> plan = ParseSql(text);
+///   if (!plan.ok()) return plan.status();
+///   Use(*plan);
+/// \endcode
+template <typename T>
+class [[nodiscard]] Result {
+ public:
+  /// Constructs a successful result holding \p value.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  /// Constructs a failed result from \p status, which must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    GEQO_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the contained value; aborts if this result holds an error.
+  const T& operator*() const& {
+    GEQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return *value_;
+  }
+  T& operator*() & {
+    GEQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return *value_;
+  }
+  T&& operator*() && {
+    GEQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return std::move(*value_);
+  }
+  const T* operator->() const {
+    GEQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return &*value_;
+  }
+  T* operator->() {
+    GEQO_CHECK(ok()) << "Result accessed without value: " << status_.ToString();
+    return &*value_;
+  }
+
+  /// Moves the contained value out; aborts if this result holds an error.
+  T ValueOrDie() && {
+    GEQO_CHECK(ok()) << "ValueOrDie on error result: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  /// Returns the value, or \p fallback if this result holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Assigns the unwrapped value of a Result-producing expression to `lhs`,
+/// propagating the error Status on failure.
+#define GEQO_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                               \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(*tmp)
+
+#define GEQO_ASSIGN_OR_RETURN_CONCAT(a, b) a##b
+#define GEQO_ASSIGN_OR_RETURN_NAME(a, b) GEQO_ASSIGN_OR_RETURN_CONCAT(a, b)
+#define GEQO_ASSIGN_OR_RETURN(lhs, expr) \
+  GEQO_ASSIGN_OR_RETURN_IMPL(            \
+      GEQO_ASSIGN_OR_RETURN_NAME(_geqo_result_, __LINE__), lhs, expr)
+
+}  // namespace geqo

@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file rng.h
+/// Deterministic random number generation. All stochastic behaviour in GEqO
+/// (workload fuzzing, sampling, model initialization, dropout) flows through
+/// Rng so that every experiment is reproducible from a printed seed.
+
+namespace geqo {
+
+/// \brief SplitMix64 generator, used to seed Xoshiro and for cheap hashing.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// \brief xoshiro256** pseudo-random generator (Blackman & Vigna).
+///
+/// Deterministic, fast, and good enough statistically for simulation and ML
+/// initialization. Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9eadbeefcafef00dULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  /// Returns a uniformly distributed 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Returns a uniform integer in [0, bound). \p bound must be positive.
+  uint64_t Uniform(uint64_t bound) {
+    GEQO_DCHECK(bound > 0);
+    // Lemire's nearly-divisionless bounded generation (biased tail rejected).
+    uint64_t x = Next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto low = static_cast<uint64_t>(m);
+    if (low < bound) {
+      const uint64_t threshold = (0 - bound) % bound;
+      while (low < threshold) {
+        x = Next();
+        m = static_cast<__uint128_t>(x) * bound;
+        low = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Returns a uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    GEQO_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Returns a uniform float in [0, 1).
+  float NextFloat() { return static_cast<float>(NextDouble()); }
+
+  /// Returns true with probability \p p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Returns a standard normal deviate (Marsaglia polar method).
+  double NextGaussian() {
+    if (has_cached_gaussian_) {
+      has_cached_gaussian_ = false;
+      return cached_gaussian_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const double factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_gaussian_ = v * factor;
+    has_cached_gaussian_ = true;
+    return u * factor;
+  }
+
+  /// Fisher-Yates shuffle of \p items.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      const size_t j = Uniform(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Picks one element of \p items uniformly at random.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    GEQO_CHECK(!items.empty()) << "Choice on empty vector";
+    return items[Uniform(items.size())];
+  }
+
+  /// Draws \p k distinct indices from [0, n) (reservoir-free; k <= n).
+  std::vector<size_t> SampleIndices(size_t n, size_t k) {
+    GEQO_CHECK(k <= n);
+    std::vector<size_t> all(n);
+    for (size_t i = 0; i < n; ++i) all[i] = i;
+    for (size_t i = 0; i < k; ++i) {
+      const size_t j = i + Uniform(n - i);
+      std::swap(all[i], all[j]);
+    }
+    all.resize(k);
+    return all;
+  }
+
+  /// Derives an independent child generator (for per-module streams).
+  Rng Fork() { return Rng(Next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4] = {};
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace geqo

@@ -1,0 +1,58 @@
+#include "common/status.h"
+
+#include <cstdio>
+#include <ostream>
+
+namespace geqo {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotSupported:
+      return "NotSupported";
+    case StatusCode::kParseError:
+      return "ParseError";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnknown:
+      return "Unknown";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+void Status::Abort() const { Abort(""); }
+
+void Status::Abort(std::string_view context) const {
+  if (ok()) return;
+  if (context.empty()) {
+    std::fprintf(stderr, "geqo: fatal status: %s\n", ToString().c_str());
+  } else {
+    std::fprintf(stderr, "geqo: fatal status in %.*s: %s\n",
+                 static_cast<int>(context.size()), context.data(),
+                 ToString().c_str());
+  }
+  std::abort();
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace geqo

@@ -1,0 +1,100 @@
+#pragma once
+
+#include <cstdlib>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+
+/// \file status.h
+/// Error handling for GEqO following the Arrow/RocksDB idiom: library code
+/// never throws; fallible functions return a geqo::Status or geqo::Result<T>.
+
+namespace geqo {
+
+/// Machine-readable error category attached to a non-OK Status.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotSupported = 2,     ///< e.g. non-SPJ operator reached the verifier
+  kParseError = 3,       ///< SQL text could not be parsed
+  kNotFound = 4,
+  kInternal = 5,         ///< invariant violation inside the library
+  kResourceExhausted = 6,
+  kIoError = 7,
+  kUnknown = 8,
+};
+
+/// \brief Returns a human-readable name for a StatusCode ("InvalidArgument"...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// \brief Outcome of an operation that can fail without producing a value.
+///
+/// A default-constructed Status is OK and carries no allocation. Non-OK
+/// statuses carry a code and a message. Status is cheap to move and to test.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ParseError(std::string msg) {
+    return Status(StatusCode::kParseError, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsInvalidArgument() const { return code_ == StatusCode::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsParseError() const { return code_ == StatusCode::kParseError; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// \brief Renders "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// \brief Aborts the process if this status is not OK (for callers that
+  /// cannot meaningfully recover, e.g. test setup and benchmark harnesses).
+  void Abort() const;
+  void Abort(std::string_view context) const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Propagates a non-OK Status to the caller.
+#define GEQO_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::geqo::Status _geqo_status = (expr);         \
+    if (!_geqo_status.ok()) return _geqo_status;  \
+  } while (false)
+
+}  // namespace geqo

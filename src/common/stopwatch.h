@@ -1,0 +1,63 @@
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+/// \file stopwatch.h
+/// Wall-clock timing for benchmark harnesses and the SSFL time breakdown.
+
+namespace geqo {
+
+/// \brief A monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double ElapsedMicros() const { return ElapsedSeconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// \brief Accumulates time across multiple start/stop intervals, used for the
+/// SSFL per-phase breakdown (Figure 11).
+class Accumulator {
+ public:
+  void Start() { watch_.Reset(); }
+  void Stop() { total_seconds_ += watch_.ElapsedSeconds(); }
+  double TotalSeconds() const { return total_seconds_; }
+  void Clear() { total_seconds_ = 0.0; }
+
+ private:
+  Stopwatch watch_;
+  double total_seconds_ = 0.0;
+};
+
+/// \brief RAII helper: accumulates the enclosing scope's duration.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Accumulator* accumulator) : accumulator_(accumulator) {
+    accumulator_->Start();
+  }
+  ~ScopedTimer() { accumulator_->Stop(); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Accumulator* accumulator_;
+};
+
+}  // namespace geqo

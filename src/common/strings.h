@@ -1,0 +1,33 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file strings.h
+/// Small string helpers shared by the parser, plan printer, and harnesses.
+
+namespace geqo {
+
+/// \brief Joins \p parts with \p separator.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view separator);
+
+/// \brief Splits \p text on \p delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// \brief Strips ASCII whitespace from both ends.
+std::string_view StripWhitespace(std::string_view text);
+
+/// \brief ASCII lower-casing (SQL keywords are case-insensitive).
+std::string ToLower(std::string_view text);
+std::string ToUpper(std::string_view text);
+
+/// \brief True if \p text starts with \p prefix (case-sensitive).
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// \brief printf-style formatting into a std::string.
+std::string StrFormat(const char* format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace geqo

@@ -1,0 +1,84 @@
+#include "core/geqo_system.h"
+
+#include "filters/emf_filter.h"
+#include "filters/vmf.h"
+#include "nn/serialize.h"
+
+namespace geqo {
+
+GeqoSystem::GeqoSystem(const Catalog* catalog, GeqoSystemOptions options)
+    : catalog_(catalog),
+      options_(options),
+      instance_layout_(EncodingLayout::FromCatalog(*catalog)),
+      agnostic_layout_(EncodingLayout::Agnostic(
+          options.agnostic_tables, options.agnostic_columns_per_table)) {
+  options_.model.input_dim = agnostic_layout_.node_vector_size();
+  model_ = std::make_unique<ml::EmfModel>(options_.model);
+  trainer_ = std::make_unique<ml::EmfTrainer>(model_.get(), options_.training);
+  pipeline_ = std::make_unique<GeqoPipeline>(catalog_, model_.get(),
+                                             &instance_layout_,
+                                             &agnostic_layout_,
+                                             options_.pipeline);
+}
+
+Result<ml::TrainReport> GeqoSystem::TrainOnSyntheticWorkload(uint64_t seed) {
+  Rng rng(seed);
+  GEQO_ASSIGN_OR_RETURN(
+      std::vector<LabeledPair> pairs,
+      BuildLabeledPairs(*catalog_, options_.synthetic_data, &rng));
+  return TrainOnPairs(pairs);
+}
+
+Result<ml::TrainReport> GeqoSystem::TrainOnPairs(
+    const std::vector<LabeledPair>& pairs) {
+  GEQO_ASSIGN_OR_RETURN(
+      ml::PairDataset dataset,
+      EncodeLabeledPairs(pairs, *catalog_, instance_layout_, agnostic_layout_,
+                         options_.value_range));
+  if (dataset.empty()) {
+    return Status::InvalidArgument("no trainable pairs after encoding");
+  }
+  GEQO_ASSIGN_OR_RETURN(ml::TrainReport report, Result<ml::TrainReport>(trainer_->Train(dataset)));
+  // Calibrate the VMF threshold on the freshly trained embedding space so
+  // that ~98% of known-equivalent pairs fall within radius tau (Table 1).
+  const Result<float> radius = CalibrateVmfRadius(model_.get(), dataset);
+  if (radius.ok()) {
+    options_.pipeline.vmf.radius = *radius;
+    pipeline_->set_vmf_radius(*radius);
+  }
+  // Likewise pick the EMF operating point that keeps recall near-perfect
+  // (false negatives are the costly error; false positives only waste
+  // verifier time, §7.1.1).
+  const Result<float> threshold = CalibrateEmfThreshold(model_.get(), dataset);
+  if (threshold.ok()) {
+    options_.pipeline.emf.threshold = *threshold;
+    pipeline_->set_emf_threshold(*threshold);
+  }
+  return report;
+}
+
+Result<GeqoResult> GeqoSystem::DetectEquivalences(
+    const std::vector<PlanPtr>& workload) {
+  return pipeline_->DetectEquivalences(workload, options_.value_range);
+}
+
+Result<bool> GeqoSystem::CheckPair(const PlanPtr& a, const PlanPtr& b) {
+  return pipeline_->CheckPair(a, b, options_.value_range);
+}
+
+Result<std::vector<SsflIterationReport>> GeqoSystem::RunSsfl(
+    const std::vector<PlanPtr>& workload, SsflOptions options) {
+  Ssfl ssfl(catalog_, model_.get(), trainer_.get(), &instance_layout_,
+            &agnostic_layout_, options);
+  return ssfl.Run(workload, options_.value_range);
+}
+
+Status GeqoSystem::SaveModel(const std::string& path) {
+  return nn::SaveState(model_->State(), path);
+}
+
+Status GeqoSystem::LoadModel(const std::string& path) {
+  return nn::LoadState(model_->State(), path);
+}
+
+}  // namespace geqo

@@ -1,0 +1,105 @@
+#include "exec/database.h"
+
+namespace geqo {
+namespace {
+
+const char* const kStringPool[] = {"alpha", "beta", "gamma", "delta", "omega",
+                                   "sigma", "theta", "kappa"};
+
+}  // namespace
+
+Value TableData::At(size_t row, size_t column) const {
+  switch (schema_->columns()[column].type) {
+    case ValueType::kInt:
+      return Value::Int(int_columns_[column][row]);
+    case ValueType::kDouble:
+      return Value::Double(double_columns_[column][row]);
+    case ValueType::kString:
+      return Value::String(string_columns_[column][row]);
+  }
+  return Value();
+}
+
+Database Database::Generate(const Catalog& catalog,
+                            const DataGenOptions& options) {
+  Database db;
+  db.catalog_ = &catalog;
+  Rng rng(options.seed);
+
+  // Columns named in join keys share the key domain so equi-joins produce
+  // matches at a predictable rate.
+  auto is_key_column = [&](const std::string& table,
+                           const std::string& column) {
+    for (const JoinKey& key : catalog.join_keys()) {
+      if ((key.left_table == table && key.left_column == column) ||
+          (key.right_table == table && key.right_column == column)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  for (const TableDef& table : catalog.tables()) {
+    size_t rows = options.default_rows;
+    const auto it = options.rows_per_table.find(table.name());
+    if (it != options.rows_per_table.end()) rows = it->second;
+
+    TableData data(&table, rows);
+    for (size_t c = 0; c < table.columns().size(); ++c) {
+      const ColumnDef& column = table.columns()[c];
+      switch (column.type) {
+        case ValueType::kInt: {
+          auto& values = data.ints(c);
+          values.reserve(rows);
+          const bool key = is_key_column(table.name(), column.name);
+          for (size_t r = 0; r < rows; ++r) {
+            values.push_back(
+                key ? static_cast<int64_t>(rng.Uniform(options.key_cardinality))
+                    : rng.UniformInt(options.int_min, options.int_max));
+          }
+          break;
+        }
+        case ValueType::kDouble: {
+          auto& values = data.doubles(c);
+          values.reserve(rows);
+          for (size_t r = 0; r < rows; ++r) {
+            values.push_back(static_cast<double>(options.int_min) +
+                             rng.NextDouble() *
+                                 static_cast<double>(options.int_max -
+                                                     options.int_min));
+          }
+          break;
+        }
+        case ValueType::kString: {
+          auto& values = data.strings(c);
+          values.reserve(rows);
+          for (size_t r = 0; r < rows; ++r) {
+            values.push_back(kStringPool[rng.Uniform(std::size(kStringPool))]);
+          }
+          break;
+        }
+      }
+    }
+    db.tables_.emplace(table.name(), std::move(data));
+  }
+  return db;
+}
+
+const TableData* Database::Find(const std::string& table) const {
+  const auto it = tables_.find(table);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<const TableData*> Database::Get(const std::string& table) const {
+  const TableData* data = Find(table);
+  if (data == nullptr) return Status::NotFound("no data for table: " + table);
+  return data;
+}
+
+size_t Database::TotalRows() const {
+  size_t total = 0;
+  for (const auto& [name, data] : tables_) total += data.num_rows();
+  return total;
+}
+
+}  // namespace geqo

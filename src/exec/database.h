@@ -1,0 +1,86 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "plan/schema.h"
+#include "plan/value.h"
+
+/// \file database.h
+/// An in-memory column store with a synthetic data generator. This is the
+/// execution substrate for the result-caching case study (§7.7): the paper
+/// ran a 100 GB TPC-DS instance on a commercial DBMS; we reproduce the
+/// mechanism at reduced scale on this engine (see DESIGN.md §1).
+
+namespace geqo {
+
+/// \brief One table's data in columnar form.
+class TableData {
+ public:
+  TableData(const TableDef* schema, size_t num_rows)
+      : schema_(schema), num_rows_(num_rows) {
+    int_columns_.resize(schema->columns().size());
+    double_columns_.resize(schema->columns().size());
+    string_columns_.resize(schema->columns().size());
+  }
+
+  const TableDef& schema() const { return *schema_; }
+  size_t num_rows() const { return num_rows_; }
+
+  std::vector<int64_t>& ints(size_t column) { return int_columns_[column]; }
+  std::vector<double>& doubles(size_t column) {
+    return double_columns_[column];
+  }
+  std::vector<std::string>& strings(size_t column) {
+    return string_columns_[column];
+  }
+
+  /// Cell accessor as a Value.
+  Value At(size_t row, size_t column) const;
+
+ private:
+  const TableDef* schema_;
+  size_t num_rows_;
+  std::vector<std::vector<int64_t>> int_columns_;
+  std::vector<std::vector<double>> double_columns_;
+  std::vector<std::vector<std::string>> string_columns_;
+};
+
+/// \brief Synthetic-data knobs. Value ranges align with the query
+/// generator's predicate constants so selections are meaningfully
+/// selective.
+struct DataGenOptions {
+  size_t default_rows = 1000;
+  /// Per-table row-count overrides (fact tables larger than dimensions).
+  std::map<std::string, size_t> rows_per_table;
+  int64_t int_min = 0;
+  int64_t int_max = 100;
+  /// Join-key columns draw from [0, key_cardinality) so joins hit.
+  size_t key_cardinality = 200;
+  uint64_t seed = 0xda7a5eedULL;
+};
+
+/// \brief A database instance: data for every catalog table.
+class Database {
+ public:
+  /// Generates synthetic data for every table of \p catalog. Columns that
+  /// participate in declared join keys draw from a shared key domain.
+  static Database Generate(const Catalog& catalog,
+                           const DataGenOptions& options);
+
+  const TableData* Find(const std::string& table) const;
+  Result<const TableData*> Get(const std::string& table) const;
+  const Catalog& catalog() const { return *catalog_; }
+
+  /// Total cells across all tables (a scale indicator for reports).
+  size_t TotalRows() const;
+
+ private:
+  const Catalog* catalog_ = nullptr;
+  std::map<std::string, TableData> tables_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,77 @@
+#include "exec/result_cache.h"
+
+#include <algorithm>
+#include <map>
+
+namespace geqo {
+namespace {
+
+/// Aggregated view of one equivalence class.
+struct ClassProfile {
+  size_t class_id = 0;
+  size_t representative_bytes = 0;  ///< size of the first occurrence's result
+  double total_seconds = 0.0;       ///< summed cost of all occurrences
+  double first_seconds = 0.0;       ///< cost of computing the representative
+  size_t occurrences = 0;
+
+  /// Time saved by caching: every occurrence after the first is served at
+  /// ~zero cost (the representative itself must still be computed once).
+  double SavedSeconds() const { return total_seconds - first_seconds; }
+};
+
+std::vector<ClassProfile> AggregateClasses(
+    const std::vector<QueryProfile>& profiles) {
+  std::map<size_t, ClassProfile> by_class;
+  for (const QueryProfile& profile : profiles) {
+    ClassProfile& cls = by_class[profile.equivalence_class];
+    if (cls.occurrences == 0) {
+      cls.class_id = profile.equivalence_class;
+      cls.representative_bytes = profile.result_bytes;
+      cls.first_seconds = profile.execution_seconds;
+    }
+    cls.total_seconds += profile.execution_seconds;
+    ++cls.occurrences;
+  }
+  std::vector<ClassProfile> out;
+  out.reserve(by_class.size());
+  for (auto& [id, cls] : by_class) out.push_back(cls);
+  return out;
+}
+
+}  // namespace
+
+size_t ResultCacheSimulator::FullMaterializationBytes() const {
+  size_t total = 0;
+  for (const ClassProfile& cls : AggregateClasses(profiles_)) {
+    total += cls.representative_bytes;
+  }
+  return total;
+}
+
+CacheSimulation ResultCacheSimulator::Simulate(size_t budget_bytes) const {
+  std::vector<ClassProfile> classes = AggregateClasses(profiles_);
+  // Most-expensive-first by saved time (the §7.7 policy: materialize the
+  // most expensive queries using past runtime statistics).
+  std::sort(classes.begin(), classes.end(),
+            [](const ClassProfile& a, const ClassProfile& b) {
+              return a.SavedSeconds() > b.SavedSeconds();
+            });
+
+  CacheSimulation simulation;
+  simulation.budget_bytes = budget_bytes;
+  double saved = 0.0;
+  for (const ClassProfile& cls : classes) {
+    simulation.baseline_seconds += cls.total_seconds;
+    if (cls.SavedSeconds() <= 0.0) continue;  // singleton class: no reuse
+    if (simulation.used_bytes + cls.representative_bytes > budget_bytes) {
+      continue;
+    }
+    simulation.used_bytes += cls.representative_bytes;
+    ++simulation.classes_materialized;
+    saved += cls.SavedSeconds();
+  }
+  simulation.cached_seconds = simulation.baseline_seconds - saved;
+  return simulation;
+}
+
+}  // namespace geqo

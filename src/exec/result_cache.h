@@ -1,0 +1,58 @@
+#pragma once
+
+#include <vector>
+
+#include "exec/executor.h"
+
+/// \file result_cache.h
+/// Budgeted result caching (§7.7): given a workload whose equivalence
+/// classes are known (detected by GEqO), materialize one representative
+/// result per class under a storage budget — most-expensive-first, using
+/// past runtime statistics — and serve later class members from the cache.
+
+namespace geqo {
+
+/// \brief One workload entry's measured execution profile.
+struct QueryProfile {
+  size_t query_index = 0;
+  size_t equivalence_class = 0;  ///< class id within the workload
+  double execution_seconds = 0.0;
+  size_t result_bytes = 0;
+};
+
+/// \brief Outcome of simulating the cache at one storage budget.
+struct CacheSimulation {
+  size_t budget_bytes = 0;
+  size_t used_bytes = 0;
+  size_t classes_materialized = 0;
+  double baseline_seconds = 0.0;  ///< workload cost with no cache
+  double cached_seconds = 0.0;    ///< workload cost with the cache
+  double ReductionPercent() const {
+    if (baseline_seconds <= 0.0) return 0.0;
+    return 100.0 * (baseline_seconds - cached_seconds) / baseline_seconds;
+  }
+};
+
+/// \brief Simulates the §7.7 caching policy over measured profiles.
+///
+/// Classes are considered most-expensive-first (total time saved by caching
+/// = the summed cost of every occurrence after the first, plus re-serving
+/// the representative at ~zero cost). A class is materialized if its result
+/// fits the remaining budget. The full-materialization footprint (one
+/// representative per class) is the 100% budget reference point.
+class ResultCacheSimulator {
+ public:
+  explicit ResultCacheSimulator(std::vector<QueryProfile> profiles)
+      : profiles_(std::move(profiles)) {}
+
+  /// Bytes needed to materialize one representative of every class.
+  size_t FullMaterializationBytes() const;
+
+  /// Simulates a run with \p budget_bytes of cache storage.
+  CacheSimulation Simulate(size_t budget_bytes) const;
+
+ private:
+  std::vector<QueryProfile> profiles_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,77 @@
+#include "filters/emf_filter.h"
+
+#include <algorithm>
+
+#include "ml/trainer.h"
+
+namespace geqo {
+
+Result<std::vector<float>> EquivalenceModelFilter::Scores(
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const std::vector<EncodedPlan>& instance_encoded) const {
+  std::vector<float> scores;
+  scores.reserve(pairs.size());
+  std::vector<EncodedPlan> lhs_converted;
+  std::vector<EncodedPlan> rhs_converted;
+
+  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
+    const size_t end = std::min(begin + options_.batch_size, pairs.size());
+    lhs_converted.clear();
+    rhs_converted.clear();
+    for (size_t p = begin; p < end; ++p) {
+      const EncodedPlan& a = instance_encoded[pairs[p].first];
+      const EncodedPlan& b = instance_encoded[pairs[p].second];
+      // Pairwise fast conversion (§4.2.1): masks over the two members only.
+      GEQO_ASSIGN_OR_RETURN(
+          AgnosticConverter converter,
+          AgnosticConverter::Create(instance_layout_, agnostic_layout_,
+                                    {&a, &b}));
+      lhs_converted.push_back(converter.Convert(a));
+      rhs_converted.push_back(converter.Convert(b));
+    }
+    std::vector<const EncodedPlan*> lhs_views;
+    std::vector<const EncodedPlan*> rhs_views;
+    for (size_t i = 0; i < lhs_converted.size(); ++i) {
+      lhs_views.push_back(&lhs_converted[i]);
+      rhs_views.push_back(&rhs_converted[i]);
+    }
+    const Tensor probs = model_->PredictProba(lhs_views, rhs_views);
+    for (size_t i = 0; i < probs.rows(); ++i) scores.push_back(probs.At(i, 0));
+  }
+  return scores;
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> EquivalenceModelFilter::Filter(
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const std::vector<EncodedPlan>& instance_encoded) const {
+  GEQO_ASSIGN_OR_RETURN(std::vector<float> scores,
+                        Scores(pairs, instance_encoded));
+  std::vector<std::pair<size_t, size_t>> out;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    if (scores[i] >= options_.threshold) out.push_back(pairs[i]);
+  }
+  return out;
+}
+
+Result<float> CalibrateEmfThreshold(ml::EmfModel* model,
+                                    const ml::PairDataset& dataset,
+                                    double target_recall) {
+  const std::vector<float> probabilities = ml::PredictAll(model, dataset);
+  std::vector<float> positive_scores;
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    if (dataset.labels[i] > 0.5f) positive_scores.push_back(probabilities[i]);
+  }
+  if (positive_scores.empty()) {
+    return Status::InvalidArgument(
+        "EMF calibration requires positive training pairs");
+  }
+  std::sort(positive_scores.begin(), positive_scores.end());
+  const size_t index = std::min(
+      positive_scores.size() - 1,
+      static_cast<size_t>((1.0 - target_recall) *
+                          static_cast<double>(positive_scores.size())));
+  const float threshold = positive_scores[index] * 0.9f;  // safety margin
+  return std::clamp(threshold, 0.02f, 0.5f);
+}
+
+}  // namespace geqo

@@ -1,0 +1,51 @@
+#include "filters/schema_filter.h"
+
+#include <algorithm>
+#include <map>
+
+#include "plan/spj.h"
+
+namespace geqo {
+
+Result<std::vector<SfGroup>> SchemaFilter(const std::vector<PlanPtr>& workload,
+                                          const Catalog& catalog) {
+  std::map<std::pair<std::vector<std::string>, size_t>, size_t> group_index;
+  std::vector<SfGroup> groups;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    std::vector<std::string> tables = SortedTableNames(workload[i]);
+    tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+    GEQO_ASSIGN_OR_RETURN(const size_t arity,
+                          workload[i]->NumOutputColumns(catalog));
+    const auto key = std::make_pair(tables, arity);
+    const auto it = group_index.find(key);
+    if (it == group_index.end()) {
+      group_index.emplace(key, groups.size());
+      groups.push_back(SfGroup{std::move(tables), arity, {i}});
+    } else {
+      groups[it->second].members.push_back(i);
+    }
+  }
+  return groups;
+}
+
+size_t CountIntraGroupPairs(const std::vector<SfGroup>& groups) {
+  size_t pairs = 0;
+  for (const SfGroup& group : groups) {
+    pairs += group.members.size() * (group.members.size() - 1) / 2;
+  }
+  return pairs;
+}
+
+Result<bool> SchemaFilterPair(const PlanPtr& a, const PlanPtr& b,
+                              const Catalog& catalog) {
+  std::vector<std::string> tables_a = SortedTableNames(a);
+  std::vector<std::string> tables_b = SortedTableNames(b);
+  tables_a.erase(std::unique(tables_a.begin(), tables_a.end()), tables_a.end());
+  tables_b.erase(std::unique(tables_b.begin(), tables_b.end()), tables_b.end());
+  if (tables_a != tables_b) return false;
+  GEQO_ASSIGN_OR_RETURN(const size_t arity_a, a->NumOutputColumns(catalog));
+  GEQO_ASSIGN_OR_RETURN(const size_t arity_b, b->NumOutputColumns(catalog));
+  return arity_a == arity_b;
+}
+
+}  // namespace geqo

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file schema_filter.h
+/// The schema filter (SF, §2.2.1): subexpressions that scan different table
+/// sets or return different column counts are highly unlikely to be
+/// equivalent, so the workload is grouped by (sorted table names, output
+/// arity) in O(n); only intra-group pairs survive to later filters.
+
+namespace geqo {
+
+/// \brief One SF-group: workload indices sharing a schema signature.
+struct SfGroup {
+  std::vector<std::string> tables;  ///< sorted distinct table names
+  size_t num_output_columns = 0;
+  std::vector<size_t> members;      ///< indices into the workload
+};
+
+/// \brief Groups \p workload subexpressions into SF-groups.
+Result<std::vector<SfGroup>> SchemaFilter(const std::vector<PlanPtr>& workload,
+                                          const Catalog& catalog);
+
+/// \brief Number of intra-group pairs (the SF's surviving candidate count).
+size_t CountIntraGroupPairs(const std::vector<SfGroup>& groups);
+
+/// \brief SF as a pairwise predicate (for the pairwise special case and the
+/// ablation study): same table multiset and same output arity.
+Result<bool> SchemaFilterPair(const PlanPtr& a, const PlanPtr& b,
+                              const Catalog& catalog);
+
+}  // namespace geqo

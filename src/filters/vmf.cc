@@ -1,0 +1,127 @@
+#include "filters/vmf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geqo {
+
+Result<Tensor> VectorMatchingFilter::EmbedGroup(
+    const std::vector<size_t>& group,
+    const std::vector<EncodedPlan>& instance_encoded) const {
+  GEQO_CHECK(!group.empty());
+  std::vector<const EncodedPlan*> members;
+  members.reserve(group.size());
+  for (const size_t index : group) members.push_back(&instance_encoded[index]);
+
+  // n-ary db-agnostic transformation over the whole group (§4.2.2).
+  GEQO_ASSIGN_OR_RETURN(
+      AgnosticConverter converter,
+      AgnosticConverter::Create(instance_layout_, agnostic_layout_, members,
+                                options_.truncate_overflow));
+  std::vector<EncodedPlan> converted;
+  converted.reserve(members.size());
+  for (const EncodedPlan* member : members) {
+    converted.push_back(converter.Convert(*member));
+  }
+  std::vector<const EncodedPlan*> views;
+  views.reserve(converted.size());
+  for (const EncodedPlan& plan : converted) views.push_back(&plan);
+  return model_->Embed(views);
+}
+
+Result<std::vector<std::pair<size_t, size_t>>>
+VectorMatchingFilter::CandidatePairs(
+    const std::vector<size_t>& group,
+    const std::vector<EncodedPlan>& instance_encoded) const {
+  std::vector<std::pair<size_t, size_t>> pairs;
+  if (group.size() < 2) return pairs;
+  GEQO_ASSIGN_OR_RETURN(Tensor embeddings,
+                        EmbedGroup(group, instance_encoded));
+
+  ann::HnswIndex index(embeddings.cols(), options_.hnsw);
+  for (size_t i = 0; i < embeddings.rows(); ++i) index.Add(embeddings.Row(i));
+
+  for (size_t i = 0; i < embeddings.rows(); ++i) {
+    for (const ann::Neighbor& neighbor :
+         index.SearchRadius(embeddings.Row(i), options_.radius)) {
+      if (neighbor.id == i) continue;
+      const size_t a = group[std::min(i, neighbor.id)];
+      const size_t b = group[std::max(i, neighbor.id)];
+      pairs.emplace_back(a, b);
+    }
+  }
+  // Radius searches report each pair from both endpoints: dedupe.
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  return pairs;
+}
+
+Result<std::vector<std::pair<std::pair<size_t, size_t>, float>>>
+VectorMatchingFilter::NearestPairs(
+    const std::vector<size_t>& group,
+    const std::vector<EncodedPlan>& instance_encoded, size_t k) const {
+  std::vector<std::pair<std::pair<size_t, size_t>, float>> out;
+  if (group.size() < 2) return out;
+  GEQO_ASSIGN_OR_RETURN(Tensor embeddings,
+                        EmbedGroup(group, instance_encoded));
+  ann::HnswIndex index(embeddings.cols(), options_.hnsw);
+  for (size_t i = 0; i < embeddings.rows(); ++i) index.Add(embeddings.Row(i));
+  for (size_t i = 0; i < embeddings.rows(); ++i) {
+    for (const ann::Neighbor& neighbor :
+         index.SearchKnn(embeddings.Row(i), k + 1)) {
+      if (neighbor.id == i) continue;
+      const size_t a = group[std::min(i, neighbor.id)];
+      const size_t b = group[std::max(i, neighbor.id)];
+      out.emplace_back(std::make_pair(a, b), neighbor.distance);
+    }
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end(),
+                        [](const auto& x, const auto& y) {
+                          return x.first == y.first;
+                        }),
+            out.end());
+  std::sort(out.begin(), out.end(), [](const auto& x, const auto& y) {
+    return x.second < y.second;
+  });
+  return out;
+}
+
+Result<float> CalibrateVmfRadius(ml::EmfModel* model,
+                                 const ml::PairDataset& dataset,
+                                 double target_recall) {
+  std::vector<float> positive_distances;
+  const size_t batch = 256;
+  for (size_t begin = 0; begin < dataset.size(); begin += batch) {
+    const size_t end = std::min(begin + batch, dataset.size());
+    std::vector<const EncodedPlan*> lhs;
+    std::vector<const EncodedPlan*> rhs;
+    for (size_t i = begin; i < end; ++i) {
+      if (dataset.labels[i] < 0.5f) continue;
+      lhs.push_back(&dataset.lhs[i]);
+      rhs.push_back(&dataset.rhs[i]);
+    }
+    if (lhs.empty()) continue;
+    const Tensor lhs_embeddings = model->Embed(lhs);
+    const Tensor rhs_embeddings = model->Embed(rhs);
+    for (size_t i = 0; i < lhs_embeddings.rows(); ++i) {
+      positive_distances.push_back(std::sqrt(ops::SquaredDistance(
+          lhs_embeddings.Row(i), rhs_embeddings.Row(i),
+          lhs_embeddings.cols())));
+    }
+  }
+  if (positive_distances.empty()) {
+    return Status::InvalidArgument(
+        "VMF calibration requires positive training pairs");
+  }
+  std::sort(positive_distances.begin(), positive_distances.end());
+  const size_t index = std::min(
+      positive_distances.size() - 1,
+      static_cast<size_t>(target_recall *
+                          static_cast<double>(positive_distances.size())));
+  // A small multiplicative margin guards against group-vs-pairwise encoding
+  // drift (the VMF embeds with the n-ary group transformation, §4.2.2).
+  return positive_distances[index] * 1.1f;
+}
+
+}  // namespace geqo

@@ -1,0 +1,80 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "encode/agnostic.h"
+#include "ml/dataset.h"
+#include "ml/emf_model.h"
+
+/// \file vmf.h
+/// The vector matching filter (VMF, §2.2.1 / Definition 2.1): subexpressions
+/// of an SF-group are db-agnostic-encoded with the n-ary group transformation
+/// (§4.2.2), embedded through the EMF's learned tree convolution, indexed in
+/// an HNSW graph, and paired by approximate radius search — pairs within
+/// Euclidean distance tau are pseudo-equivalent candidates.
+
+namespace geqo {
+
+/// \brief VMF tuning knobs (paper: FAISS radius d = 1; we expose tau and the
+/// HNSW exploration beam).
+struct VmfOptions {
+  float radius = 1.0f;  ///< tau in Definition 2.1
+  bool truncate_overflow = false;  ///< lossy group encoding (SF-less ablation)
+  ann::HnswOptions hnsw;
+};
+
+/// \brief Applies the VMF to SF-groups of a workload.
+class VectorMatchingFilter {
+ public:
+  VectorMatchingFilter(ml::EmfModel* model,
+                       const EncodingLayout* instance_layout,
+                       const EncodingLayout* agnostic_layout,
+                       VmfOptions options = VmfOptions())
+      : model_(model),
+        instance_layout_(instance_layout),
+        agnostic_layout_(agnostic_layout),
+        options_(options) {}
+
+  /// Candidate pairs (i < j, global workload indices) within one group.
+  /// \p group lists workload indices; \p instance_encoded is indexed by
+  /// workload position and holds each subexpression's instance encoding.
+  Result<std::vector<std::pair<size_t, size_t>>> CandidatePairs(
+      const std::vector<size_t>& group,
+      const std::vector<EncodedPlan>& instance_encoded) const;
+
+  /// Group-encoded embeddings (one row per group member, order preserved).
+  /// Exposed for tests and the Fig-12 runtime benchmark.
+  Result<Tensor> EmbedGroup(
+      const std::vector<size_t>& group,
+      const std::vector<EncodedPlan>& instance_encoded) const;
+
+  /// Radius-free variant used by the SSFL's sampler: the \p k nearest
+  /// neighbor pairs per group member, tagged with their embedding distance
+  /// (closest pairs are the likeliest equivalences even when the embedding
+  /// space is not yet calibrated — the cold-start situation of §6).
+  Result<std::vector<std::pair<std::pair<size_t, size_t>, float>>>
+  NearestPairs(const std::vector<size_t>& group,
+               const std::vector<EncodedPlan>& instance_encoded,
+               size_t k) const;
+
+  const VmfOptions& options() const { return options_; }
+
+ private:
+  ml::EmfModel* model_;
+  const EncodingLayout* instance_layout_;
+  const EncodingLayout* agnostic_layout_;
+  VmfOptions options_;
+};
+
+/// \brief Calibrates the VMF threshold tau (Definition 2.1) from labeled
+/// training pairs: embeds both sides of every pair and returns the distance
+/// quantile that admits \p target_recall of the equivalent pairs (the paper
+/// operates the VMF at TPR ~ 0.98, Table 1). Returns InvalidArgument when
+/// the dataset has no positive pairs.
+Result<float> CalibrateVmfRadius(ml::EmfModel* model,
+                                 const ml::PairDataset& dataset,
+                                 double target_recall = 0.98);
+
+}  // namespace geqo

@@ -1,0 +1,65 @@
+#pragma once
+
+#include <vector>
+
+#include "encode/encoding.h"
+
+/// \file dataset.h
+/// Labeled pair datasets for training and evaluating the EMF (§5): each
+/// element is a db-agnostic-encoded subexpression pair with a 0/1 label
+/// (non-equivalent / equivalent).
+
+namespace geqo::ml {
+
+/// \brief A dataset of encoded subexpression pairs with binary labels.
+struct PairDataset {
+  std::vector<EncodedPlan> lhs;
+  std::vector<EncodedPlan> rhs;
+  std::vector<float> labels;
+
+  size_t size() const { return labels.size(); }
+  bool empty() const { return labels.empty(); }
+
+  void Add(EncodedPlan a, EncodedPlan b, float label) {
+    lhs.push_back(std::move(a));
+    rhs.push_back(std::move(b));
+    labels.push_back(label);
+  }
+
+  /// Appends all of \p other (used by the SSFL to augment training data).
+  void Append(const PairDataset& other) {
+    lhs.insert(lhs.end(), other.lhs.begin(), other.lhs.end());
+    rhs.insert(rhs.end(), other.rhs.begin(), other.rhs.end());
+    labels.insert(labels.end(), other.labels.begin(), other.labels.end());
+  }
+
+  size_t NumPositives() const {
+    size_t count = 0;
+    for (const float label : labels) count += label > 0.5f;
+    return count;
+  }
+
+  /// Pointer views over the index range [begin, end) for batch assembly.
+  std::vector<const EncodedPlan*> LhsSlice(const std::vector<size_t>& order,
+                                           size_t begin, size_t end) const {
+    std::vector<const EncodedPlan*> out;
+    out.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) out.push_back(&lhs[order[i]]);
+    return out;
+  }
+  std::vector<const EncodedPlan*> RhsSlice(const std::vector<size_t>& order,
+                                           size_t begin, size_t end) const {
+    std::vector<const EncodedPlan*> out;
+    out.reserve(end - begin);
+    for (size_t i = begin; i < end; ++i) out.push_back(&rhs[order[i]]);
+    return out;
+  }
+  Tensor LabelSlice(const std::vector<size_t>& order, size_t begin,
+                    size_t end) const {
+    Tensor out(end - begin, 1);
+    for (size_t i = begin; i < end; ++i) out.At(i - begin, 0) = labels[order[i]];
+    return out;
+  }
+};
+
+}  // namespace geqo::ml

@@ -1,0 +1,99 @@
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "encode/encoding.h"
+#include "nn/adam.h"
+#include "nn/layers.h"
+#include "nn/loss.h"
+#include "nn/serialize.h"
+#include "nn/treeconv.h"
+
+/// \file emf_model.h
+/// The Equivalence Model Filter network (§5, Figure 6): a siamese pair of
+/// two tree-convolution layers (each followed by batch normalization and
+/// PReLU) produces a 128-dimensional summary per subexpression via dynamic
+/// max pooling; the two summaries are concatenated and classified by three
+/// fully connected layers. The learned tree convolution doubles as the
+/// VMF's embedding function (§2.2).
+
+namespace geqo::ml {
+
+/// \brief Architecture hyperparameters (defaults follow §5/Figure 7's
+/// found-best shape scaled to the embedding size h = 128).
+struct EmfModelOptions {
+  size_t input_dim = 0;   ///< |NV_alpha|; required
+  size_t conv1_size = 128;
+  size_t conv2_size = 128;  ///< also the embedding dimension h
+  size_t fc1_size = 128;
+  size_t fc2_size = 64;
+  float dropout = 0.5f;   ///< paper trains with 50% dropout on all layers
+  uint64_t seed = 0x5eed5eedULL;
+};
+
+/// \brief The EMF network. Forward/backward over batches of encoded plan
+/// pairs; both plans of a pair share the convolution weights (siamese).
+class EmfModel {
+ public:
+  explicit EmfModel(EmfModelOptions options);
+
+  /// Logits for each pair, shape [batch, 1]. \p lhs and \p rhs must have
+  /// equal length; element i of each forms pair i.
+  Tensor Forward(const std::vector<const EncodedPlan*>& lhs,
+                 const std::vector<const EncodedPlan*>& rhs, bool training);
+
+  /// One optimization step on a batch; returns the BCE loss. \p labels is
+  /// [batch, 1] with entries in {0, 1}.
+  float TrainStep(const std::vector<const EncodedPlan*>& lhs,
+                  const std::vector<const EncodedPlan*>& rhs,
+                  const Tensor& labels, nn::Adam* optimizer);
+
+  /// Equivalence probabilities (sigmoid of logits), shape [batch, 1].
+  Tensor PredictProba(const std::vector<const EncodedPlan*>& lhs,
+                      const std::vector<const EncodedPlan*>& rhs);
+
+  /// The VMF embedding: pooled tree-convolution features, [n, h] (§2.2,
+  /// §4.2.2). Runs the convolutional trunk in inference mode.
+  Tensor Embed(const std::vector<const EncodedPlan*>& plans);
+
+  /// Embedding dimension h.
+  size_t embedding_dim() const { return options_.conv2_size; }
+  const EmfModelOptions& options() const { return options_; }
+
+  /// Trainable parameters (for the optimizer).
+  std::vector<nn::ParamRef> Params();
+  /// Full state (parameters + batch-norm running statistics) for
+  /// (de)serialization via nn::SaveState/LoadState.
+  std::vector<nn::StateEntry> State();
+
+  /// Total number of trainable scalars.
+  size_t NumParameters();
+
+ private:
+  /// Runs the convolutional trunk; returns pooled [n, h] features.
+  Tensor ForwardTrunk(const nn::TreeBatch& batch, bool training);
+  /// Backpropagates through the trunk given pooled-feature gradients.
+  void BackwardTrunk(const Tensor& pooled_grad);
+
+  EmfModelOptions options_;
+  Rng rng_;
+  nn::TreeConv conv1_;
+  nn::BatchNorm1d bn1_;
+  nn::PReLU act1_;
+  nn::TreeConv conv2_;
+  nn::BatchNorm1d bn2_;
+  nn::PReLU act2_;
+  nn::DynamicMaxPool pool_;
+  Tensor cached_diff_sign_;  ///< sign(e_a - e_b) for the |.| backward pass
+  nn::Linear fc1_;
+  nn::PReLU act3_;
+  nn::Dropout drop1_;
+  nn::Linear fc2_;
+  nn::PReLU act4_;
+  nn::Dropout drop2_;
+  nn::Linear fc3_;
+  size_t last_pair_count_ = 0;
+};
+
+}  // namespace geqo::ml

@@ -1,0 +1,46 @@
+#include "ml/flat_features.h"
+
+#include <cmath>
+
+namespace geqo::ml {
+
+Tensor MeanPoolPlan(const EncodedPlan& plan) {
+  Tensor out(1, plan.nodes.cols());
+  const float inv_n = 1.0f / static_cast<float>(plan.num_nodes());
+  for (size_t row = 0; row < plan.num_nodes(); ++row) {
+    const float* src = plan.nodes.Row(row);
+    for (size_t c = 0; c < plan.nodes.cols(); ++c) out.At(0, c) += src[c];
+  }
+  for (size_t c = 0; c < out.cols(); ++c) out.At(0, c) *= inv_n;
+  return out;
+}
+
+std::vector<float> FlattenPair(const EncodedPlan& lhs, const EncodedPlan& rhs) {
+  const Tensor a = MeanPoolPlan(lhs);
+  const Tensor b = MeanPoolPlan(rhs);
+  GEQO_CHECK(a.cols() == b.cols());
+  std::vector<float> out;
+  out.reserve(3 * a.cols());
+  for (size_t c = 0; c < a.cols(); ++c) out.push_back(a.At(0, c));
+  for (size_t c = 0; c < b.cols(); ++c) out.push_back(b.At(0, c));
+  for (size_t c = 0; c < a.cols(); ++c) {
+    out.push_back(std::fabs(a.At(0, c) - b.At(0, c)));
+  }
+  return out;
+}
+
+void FlattenDataset(const PairDataset& dataset, Tensor* features,
+                    Tensor* labels) {
+  GEQO_CHECK(!dataset.empty());
+  const std::vector<float> first = FlattenPair(dataset.lhs[0], dataset.rhs[0]);
+  *features = Tensor(dataset.size(), first.size());
+  *labels = Tensor(dataset.size(), 1);
+  for (size_t i = 0; i < dataset.size(); ++i) {
+    const std::vector<float> row =
+        i == 0 ? first : FlattenPair(dataset.lhs[i], dataset.rhs[i]);
+    std::copy(row.begin(), row.end(), features->Row(i));
+    labels->At(i, 0) = dataset.labels[i];
+  }
+}
+
+}  // namespace geqo::ml

@@ -1,0 +1,25 @@
+#pragma once
+
+#include "encode/encoding.h"
+#include "ml/dataset.h"
+
+/// \file flat_features.h
+/// Fixed-size features for the non-convolutional baseline classifiers of
+/// §7.1.1 (logistic regression, random forests). A subexpression pair is
+/// flattened as [meanpool(a) | meanpool(b) | |meanpool(a) - meanpool(b)|],
+/// where meanpool averages node vectors over the plan tree — the strongest
+/// simple summary available to models that cannot consume tree structure.
+
+namespace geqo::ml {
+
+/// \brief Mean of \p plan's node vectors: a 1 x |NV| tensor.
+Tensor MeanPoolPlan(const EncodedPlan& plan);
+
+/// \brief Flat feature vector for a pair (length 3 * |NV|).
+std::vector<float> FlattenPair(const EncodedPlan& lhs, const EncodedPlan& rhs);
+
+/// \brief Feature matrix [n, 3|NV|] and label column for a PairDataset.
+void FlattenDataset(const PairDataset& dataset, Tensor* features,
+                    Tensor* labels);
+
+}  // namespace geqo::ml

@@ -1,0 +1,59 @@
+#include "ml/logistic.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace geqo::ml {
+namespace {
+
+float SigmoidScalar(float z) { return 1.0f / (1.0f + std::exp(-z)); }
+
+}  // namespace
+
+void LogisticRegression::Train(const Tensor& features, const Tensor& labels) {
+  GEQO_CHECK(features.rows() == labels.rows() && labels.cols() == 1);
+  const size_t n = features.rows();
+  const size_t d = features.cols();
+  weights_ = Tensor(1, d);
+  bias_ = 0.0f;
+  const float inv_n = 1.0f / static_cast<float>(n);
+
+  std::vector<float> gradient(d);
+  for (size_t epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::fill(gradient.begin(), gradient.end(), 0.0f);
+    float bias_gradient = 0.0f;
+    for (size_t i = 0; i < n; ++i) {
+      const float* row = features.Row(i);
+      float z = bias_;
+      for (size_t c = 0; c < d; ++c) z += weights_.At(0, c) * row[c];
+      const float error = SigmoidScalar(z) - labels.At(i, 0);
+      for (size_t c = 0; c < d; ++c) gradient[c] += error * row[c];
+      bias_gradient += error;
+    }
+    for (size_t c = 0; c < d; ++c) {
+      weights_.At(0, c) -=
+          options_.learning_rate *
+          (gradient[c] * inv_n + options_.l2 * weights_.At(0, c));
+    }
+    bias_ -= options_.learning_rate * bias_gradient * inv_n;
+  }
+}
+
+std::vector<float> LogisticRegression::PredictProba(
+    const Tensor& features) const {
+  GEQO_CHECK(features.cols() == weights_.cols());
+  std::vector<float> out;
+  out.reserve(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    const float* row = features.Row(i);
+    float z = bias_;
+    for (size_t c = 0; c < features.cols(); ++c) {
+      z += weights_.At(0, c) * row[c];
+    }
+    out.push_back(SigmoidScalar(z));
+  }
+  return out;
+}
+
+}  // namespace geqo::ml

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+/// \file logistic.h
+/// Logistic-regression baseline classifier (§5, §7.1.1 / Table 3). Trained
+/// with full-batch gradient descent on the binary cross-entropy objective
+/// with L2 regularization.
+
+namespace geqo::ml {
+
+/// \brief LR training hyperparameters.
+struct LogisticOptions {
+  size_t epochs = 200;
+  float learning_rate = 0.1f;
+  float l2 = 1e-4f;
+  uint64_t seed = 0x10615716ULL;
+};
+
+/// \brief Binary logistic regression over dense features.
+class LogisticRegression {
+ public:
+  explicit LogisticRegression(LogisticOptions options = LogisticOptions())
+      : options_(options) {}
+
+  /// Fits to \p features [n, d] and \p labels [n, 1] in {0, 1}.
+  void Train(const Tensor& features, const Tensor& labels);
+
+  /// Probability of the positive class for each row of \p features.
+  std::vector<float> PredictProba(const Tensor& features) const;
+
+  const Tensor& weights() const { return weights_; }
+
+ private:
+  LogisticOptions options_;
+  Tensor weights_;  ///< [1, d]
+  float bias_ = 0.0f;
+};
+
+}  // namespace geqo::ml

@@ -1,0 +1,88 @@
+#include "ml/metrics.h"
+
+#include "common/check.h"
+#include "common/strings.h"
+
+namespace geqo::ml {
+
+double ConfusionMatrix::Accuracy() const {
+  const uint64_t n = total();
+  if (n == 0) return 0.0;
+  return static_cast<double>(true_positives + true_negatives) /
+         static_cast<double>(n);
+}
+
+double ConfusionMatrix::Precision() const {
+  const uint64_t denominator = true_positives + false_positives;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denominator);
+}
+
+double ConfusionMatrix::Recall() const {
+  const uint64_t denominator = true_positives + false_negatives;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(true_positives) / static_cast<double>(denominator);
+}
+
+double ConfusionMatrix::TrueNegativeRate() const {
+  const uint64_t denominator = true_negatives + false_positives;
+  if (denominator == 0) return 0.0;
+  return static_cast<double>(true_negatives) / static_cast<double>(denominator);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  if (p + r == 0.0) return 0.0;
+  return 2.0 * p * r / (p + r);
+}
+
+void ConfusionMatrix::Add(bool predicted, bool actual) {
+  if (predicted && actual) {
+    ++true_positives;
+  } else if (predicted && !actual) {
+    ++false_positives;
+  } else if (!predicted && !actual) {
+    ++true_negatives;
+  } else {
+    ++false_negatives;
+  }
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  true_positives += other.true_positives;
+  false_positives += other.false_positives;
+  true_negatives += other.true_negatives;
+  false_negatives += other.false_negatives;
+  return *this;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  const double n = total() == 0 ? 1.0 : static_cast<double>(total());
+  std::string out;
+  out += "                 predicted=1      predicted=0\n";
+  out += StrFormat("  actual=1   %8llu (%5.1f%%) %8llu (%5.1f%%)\n",
+                   static_cast<unsigned long long>(true_positives),
+                   100.0 * static_cast<double>(true_positives) / n,
+                   static_cast<unsigned long long>(false_negatives),
+                   100.0 * static_cast<double>(false_negatives) / n);
+  out += StrFormat("  actual=0   %8llu (%5.1f%%) %8llu (%5.1f%%)\n",
+                   static_cast<unsigned long long>(false_positives),
+                   100.0 * static_cast<double>(false_positives) / n,
+                   static_cast<unsigned long long>(true_negatives),
+                   100.0 * static_cast<double>(true_negatives) / n);
+  return out;
+}
+
+ConfusionMatrix EvaluateBinary(const std::vector<float>& probabilities,
+                               const std::vector<float>& labels,
+                               float threshold) {
+  GEQO_CHECK(probabilities.size() == labels.size());
+  ConfusionMatrix matrix;
+  for (size_t i = 0; i < probabilities.size(); ++i) {
+    matrix.Add(probabilities[i] >= threshold, labels[i] > 0.5f);
+  }
+  return matrix;
+}
+
+}  // namespace geqo::ml

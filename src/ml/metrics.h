@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+/// \file metrics.h
+/// Binary-classification metrics used throughout §7: confusion matrices
+/// (Figure 8), accuracy/precision/recall/F1 (Tables 3-5), and true
+/// positive/negative rates (Table 1).
+
+namespace geqo::ml {
+
+/// \brief Counts of a binary classifier's outcomes.
+struct ConfusionMatrix {
+  uint64_t true_positives = 0;
+  uint64_t false_positives = 0;
+  uint64_t true_negatives = 0;
+  uint64_t false_negatives = 0;
+
+  uint64_t total() const {
+    return true_positives + false_positives + true_negatives + false_negatives;
+  }
+  double Accuracy() const;
+  double Precision() const;
+  /// Recall == true positive rate (TPR).
+  double Recall() const;
+  double TruePositiveRate() const { return Recall(); }
+  double TrueNegativeRate() const;
+  double F1() const;
+  /// 1 - accuracy ("mean error" in Figure 7).
+  double MeanError() const { return 1.0 - Accuracy(); }
+
+  void Add(bool predicted, bool actual);
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  /// Four-quadrant rendering matching Figure 8's layout, with percentages.
+  std::string ToString() const;
+};
+
+/// \brief Thresholds \p probabilities at \p threshold against \p labels.
+ConfusionMatrix EvaluateBinary(const std::vector<float>& probabilities,
+                               const std::vector<float>& labels,
+                               float threshold = 0.5f);
+
+}  // namespace geqo::ml

@@ -1,0 +1,166 @@
+#include "ml/random_forest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace geqo::ml {
+namespace {
+
+/// Candidate thresholds drawn per selected feature (extra-trees style
+/// randomized thresholds: fast, no per-node sorting, and competitive with
+/// exhaustive splits at forest sizes used here).
+constexpr size_t kThresholdsPerFeature = 8;
+
+/// Gini impurity of a split given class counts.
+double SplitGini(size_t left_total, size_t left_pos, size_t right_total,
+                 size_t right_pos) {
+  auto gini = [](size_t total, size_t positives) {
+    if (total == 0) return 0.0;
+    const double p = static_cast<double>(positives) / static_cast<double>(total);
+    return 2.0 * p * (1.0 - p);
+  };
+  const double n = static_cast<double>(left_total + right_total);
+  return (static_cast<double>(left_total) * gini(left_total, left_pos) +
+          static_cast<double>(right_total) * gini(right_total, right_pos)) /
+         n;
+}
+
+}  // namespace
+
+void RandomForest::Train(const Tensor& features, const Tensor& labels) {
+  GEQO_CHECK(features.rows() == labels.rows() && labels.cols() == 1);
+  const size_t n = features.rows();
+  trees_.clear();
+  trees_.reserve(options_.num_trees);
+  Rng rng(options_.seed);
+
+  for (size_t t = 0; t < options_.num_trees; ++t) {
+    // Bootstrap sample.
+    std::vector<uint32_t> indices(n);
+    for (size_t i = 0; i < n; ++i) {
+      indices[i] = static_cast<uint32_t>(rng.Uniform(n));
+    }
+    Tree tree;
+    Rng tree_rng = rng.Fork();
+    BuildNode(&tree, features, labels, indices, 0, n, 0, &tree_rng);
+    trees_.push_back(std::move(tree));
+  }
+}
+
+int32_t RandomForest::BuildNode(Tree* tree, const Tensor& features,
+                                const Tensor& labels,
+                                std::vector<uint32_t>& indices, size_t begin,
+                                size_t end, size_t depth, Rng* rng) {
+  const size_t count = end - begin;
+  size_t positives = 0;
+  for (size_t i = begin; i < end; ++i) {
+    positives += labels.At(indices[i], 0) > 0.5f;
+  }
+  const auto node_id = static_cast<int32_t>(tree->size());
+  tree->push_back(TreeNode{});
+  (*tree)[static_cast<size_t>(node_id)].positive_fraction =
+      count == 0 ? 0.0f
+                 : static_cast<float>(positives) / static_cast<float>(count);
+
+  const bool pure = positives == 0 || positives == count;
+  if (pure || depth >= options_.max_depth ||
+      count < 2 * options_.min_samples_leaf) {
+    return node_id;  // leaf
+  }
+
+  const size_t d = features.cols();
+  const size_t features_per_split =
+      options_.features_per_split > 0
+          ? options_.features_per_split
+          : std::max<size_t>(1, static_cast<size_t>(std::sqrt(
+                                    static_cast<double>(d))));
+
+  // Best randomized split across the sampled features.
+  int32_t best_feature = -1;
+  float best_threshold = 0.0f;
+  double best_gini = 1.0;
+  for (size_t f = 0; f < features_per_split; ++f) {
+    const auto feature = static_cast<int32_t>(rng->Uniform(d));
+    float lo = features.At(indices[begin], static_cast<size_t>(feature));
+    float hi = lo;
+    for (size_t i = begin; i < end; ++i) {
+      const float v = features.At(indices[i], static_cast<size_t>(feature));
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+    }
+    if (lo == hi) continue;  // constant feature on this node
+    for (size_t k = 0; k < kThresholdsPerFeature; ++k) {
+      const float threshold =
+          lo + static_cast<float>(rng->NextDouble()) * (hi - lo);
+      size_t left_total = 0;
+      size_t left_pos = 0;
+      for (size_t i = begin; i < end; ++i) {
+        if (features.At(indices[i], static_cast<size_t>(feature)) <=
+            threshold) {
+          ++left_total;
+          left_pos += labels.At(indices[i], 0) > 0.5f;
+        }
+      }
+      const size_t right_total = count - left_total;
+      if (left_total < options_.min_samples_leaf ||
+          right_total < options_.min_samples_leaf) {
+        continue;
+      }
+      const double g = SplitGini(left_total, left_pos, right_total,
+                                 positives - left_pos);
+      if (g < best_gini) {
+        best_gini = g;
+        best_feature = feature;
+        best_threshold = threshold;
+      }
+    }
+  }
+  if (best_feature < 0) return node_id;  // no usable split: stay a leaf
+
+  // Partition indices in place around the chosen split.
+  const auto middle = static_cast<size_t>(
+      std::partition(indices.begin() + static_cast<ptrdiff_t>(begin),
+                     indices.begin() + static_cast<ptrdiff_t>(end),
+                     [&](uint32_t index) {
+                       return features.At(index,
+                                          static_cast<size_t>(best_feature)) <=
+                              best_threshold;
+                     }) -
+      indices.begin());
+
+  (*tree)[static_cast<size_t>(node_id)].feature = best_feature;
+  (*tree)[static_cast<size_t>(node_id)].threshold = best_threshold;
+  const int32_t left =
+      BuildNode(tree, features, labels, indices, begin, middle, depth + 1, rng);
+  const int32_t right =
+      BuildNode(tree, features, labels, indices, middle, end, depth + 1, rng);
+  (*tree)[static_cast<size_t>(node_id)].left = left;
+  (*tree)[static_cast<size_t>(node_id)].right = right;
+  return node_id;
+}
+
+float RandomForest::PredictTree(const Tree& tree, const float* row) {
+  int32_t node = 0;
+  while (tree[static_cast<size_t>(node)].feature >= 0) {
+    const TreeNode& current = tree[static_cast<size_t>(node)];
+    node = row[current.feature] <= current.threshold ? current.left
+                                                     : current.right;
+  }
+  return tree[static_cast<size_t>(node)].positive_fraction;
+}
+
+std::vector<float> RandomForest::PredictProba(const Tensor& features) const {
+  GEQO_CHECK(!trees_.empty()) << "RandomForest::Train must run first";
+  std::vector<float> out;
+  out.reserve(features.rows());
+  for (size_t i = 0; i < features.rows(); ++i) {
+    double sum = 0.0;
+    for (const Tree& tree : trees_) sum += PredictTree(tree, features.Row(i));
+    out.push_back(static_cast<float>(sum / static_cast<double>(trees_.size())));
+  }
+  return out;
+}
+
+}  // namespace geqo::ml

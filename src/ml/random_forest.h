@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "tensor/tensor.h"
+
+/// \file random_forest.h
+/// Random-forest baseline classifier (§5, §7.1.1 / Table 3): bagged CART
+/// trees with Gini-impurity splits and per-split feature subsampling.
+
+namespace geqo::ml {
+
+/// \brief Forest hyperparameters.
+struct RandomForestOptions {
+  size_t num_trees = 50;
+  size_t max_depth = 12;
+  size_t min_samples_leaf = 2;
+  /// Features considered per split; 0 = floor(sqrt(d)).
+  size_t features_per_split = 0;
+  uint64_t seed = 0xf0e57ULL;
+};
+
+/// \brief A random forest for binary classification.
+class RandomForest {
+ public:
+  explicit RandomForest(RandomForestOptions options = RandomForestOptions())
+      : options_(options) {}
+
+  /// Fits to \p features [n, d] and \p labels [n, 1] in {0, 1}.
+  void Train(const Tensor& features, const Tensor& labels);
+
+  /// Mean positive-class vote fraction across trees for each row.
+  std::vector<float> PredictProba(const Tensor& features) const;
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  /// Flat array-of-nodes decision tree. Leaves store the positive fraction.
+  struct TreeNode {
+    int32_t feature = -1;  ///< -1 marks a leaf
+    float threshold = 0.0f;
+    int32_t left = -1;
+    int32_t right = -1;
+    float positive_fraction = 0.0f;
+  };
+  using Tree = std::vector<TreeNode>;
+
+  int32_t BuildNode(Tree* tree, const Tensor& features, const Tensor& labels,
+                    std::vector<uint32_t>& indices, size_t begin, size_t end,
+                    size_t depth, Rng* rng);
+  static float PredictTree(const Tree& tree, const float* row);
+
+  RandomForestOptions options_;
+  std::vector<Tree> trees_;
+};
+
+}  // namespace geqo::ml

@@ -1,0 +1,71 @@
+#include "ml/trainer.h"
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+
+namespace geqo::ml {
+
+EmfTrainer::EmfTrainer(EmfModel* model, TrainOptions options)
+    : model_(model),
+      options_(options),
+      optimizer_(model->Params(), options.adam),
+      rng_(options.seed) {}
+
+TrainReport EmfTrainer::Train(const PairDataset& dataset) {
+  return RunEpochs(dataset, options_.epochs);
+}
+
+TrainReport EmfTrainer::FineTune(const PairDataset& dataset, size_t epochs) {
+  return RunEpochs(dataset, epochs);
+}
+
+TrainReport EmfTrainer::RunEpochs(const PairDataset& dataset, size_t epochs) {
+  GEQO_CHECK(!dataset.empty()) << "cannot train on an empty dataset";
+  Stopwatch watch;
+  TrainReport report;
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t epoch_batches = 0;
+    for (size_t begin = 0; begin < dataset.size();
+         begin += options_.batch_size) {
+      const size_t end = std::min(begin + options_.batch_size, dataset.size());
+      const float loss = model_->TrainStep(
+          dataset.LhsSlice(order, begin, end),
+          dataset.RhsSlice(order, begin, end),
+          dataset.LabelSlice(order, begin, end), &optimizer_);
+      epoch_loss += loss;
+      ++epoch_batches;
+      ++report.steps;
+    }
+    report.final_epoch_loss =
+        static_cast<float>(epoch_loss / static_cast<double>(epoch_batches));
+    if (options_.verbose) {
+      GEQO_LOG(kInfo) << "epoch " << (epoch + 1) << "/" << epochs << " loss "
+                      << report.final_epoch_loss;
+    }
+  }
+  report.seconds = watch.ElapsedSeconds();
+  return report;
+}
+
+std::vector<float> PredictAll(EmfModel* model, const PairDataset& dataset,
+                              size_t batch_size) {
+  std::vector<float> out;
+  out.reserve(dataset.size());
+  std::vector<size_t> order(dataset.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  for (size_t begin = 0; begin < dataset.size(); begin += batch_size) {
+    const size_t end = std::min(begin + batch_size, dataset.size());
+    const Tensor probs = model->PredictProba(
+        dataset.LhsSlice(order, begin, end),
+        dataset.RhsSlice(order, begin, end));
+    for (size_t i = 0; i < probs.rows(); ++i) out.push_back(probs.At(i, 0));
+  }
+  return out;
+}
+
+}  // namespace geqo::ml

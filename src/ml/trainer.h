@@ -1,0 +1,60 @@
+#pragma once
+
+#include <memory>
+
+#include "ml/dataset.h"
+#include "ml/emf_model.h"
+
+/// \file trainer.h
+/// Mini-batch training loop for the EMF (§5, §7.1.2). The optimizer state
+/// persists across Train() calls, which is what makes SSFL fine-tuning
+/// incremental (§6): new samples continue optimization instead of
+/// retraining from scratch.
+
+namespace geqo::ml {
+
+/// \brief Training hyperparameters (paper defaults: Adam, lr 1e-3, weight
+/// decay 5e-4, 20 epochs, 50% dropout).
+struct TrainOptions {
+  size_t epochs = 20;
+  size_t batch_size = 64;
+  nn::AdamOptions adam;
+  uint64_t seed = 0x7a117a11ULL;
+  bool verbose = false;
+};
+
+/// \brief Summary of one Train() invocation.
+struct TrainReport {
+  float final_epoch_loss = 0.0f;
+  size_t steps = 0;
+  double seconds = 0.0;
+};
+
+/// \brief Owns the optimizer for an EmfModel and drives epochs of shuffled
+/// mini-batch training.
+class EmfTrainer {
+ public:
+  EmfTrainer(EmfModel* model, TrainOptions options = TrainOptions());
+
+  /// Runs options.epochs passes over \p dataset.
+  TrainReport Train(const PairDataset& dataset);
+
+  /// Fine-tunes with a reduced number of epochs (SSFL iterations).
+  TrainReport FineTune(const PairDataset& dataset, size_t epochs);
+
+  EmfModel* model() { return model_; }
+
+ private:
+  TrainReport RunEpochs(const PairDataset& dataset, size_t epochs);
+
+  EmfModel* model_;
+  TrainOptions options_;
+  nn::Adam optimizer_;
+  Rng rng_;
+};
+
+/// \brief Batched inference: equivalence probability per pair.
+std::vector<float> PredictAll(EmfModel* model, const PairDataset& dataset,
+                              size_t batch_size = 256);
+
+}  // namespace geqo::ml

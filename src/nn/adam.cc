@@ -1,0 +1,50 @@
+#include "nn/adam.h"
+
+#include <cmath>
+
+namespace geqo::nn {
+
+Adam::Adam(std::vector<ParamRef> params, AdamOptions options)
+    : params_(std::move(params)), options_(options) {
+  first_moment_.reserve(params_.size());
+  second_moment_.reserve(params_.size());
+  for (const ParamRef& param : params_) {
+    GEQO_CHECK(param.value != nullptr && param.grad != nullptr);
+    GEQO_CHECK(param.value->rows() == param.grad->rows() &&
+               param.value->cols() == param.grad->cols());
+    first_moment_.emplace_back(param.value->rows(), param.value->cols());
+    second_moment_.emplace_back(param.value->rows(), param.value->cols());
+  }
+}
+
+void Adam::Step() {
+  ++step_count_;
+  const float bias1 =
+      1.0f - std::pow(options_.beta1, static_cast<float>(step_count_));
+  const float bias2 =
+      1.0f - std::pow(options_.beta2, static_cast<float>(step_count_));
+  for (size_t p = 0; p < params_.size(); ++p) {
+    float* value = params_[p].value->data();
+    const float* grad = params_[p].grad->data();
+    float* m = first_moment_[p].data();
+    float* v = second_moment_[p].data();
+    const size_t n = params_[p].value->size();
+    for (size_t i = 0; i < n; ++i) {
+      // L2 weight decay folded into the gradient (classic Adam style,
+      // matching PyTorch's weight_decay semantics used by the paper).
+      const float g = grad[i] + options_.weight_decay * value[i];
+      m[i] = options_.beta1 * m[i] + (1.0f - options_.beta1) * g;
+      v[i] = options_.beta2 * v[i] + (1.0f - options_.beta2) * g * g;
+      const float m_hat = m[i] / bias1;
+      const float v_hat = v[i] / bias2;
+      value[i] -=
+          options_.learning_rate * m_hat / (std::sqrt(v_hat) + options_.epsilon);
+    }
+  }
+}
+
+void Adam::ZeroGrad() {
+  for (const ParamRef& param : params_) param.grad->Fill(0.0f);
+}
+
+}  // namespace geqo::nn

@@ -1,0 +1,45 @@
+#pragma once
+
+#include <vector>
+
+#include "nn/layers.h"
+
+/// \file adam.h
+/// The Adam optimizer [33] with decoupled L2 weight decay. The paper trains
+/// the EMF with lr = 1e-3 and weight decay = 5e-4 (§7 Implementation).
+
+namespace geqo::nn {
+
+/// \brief Optimizer hyperparameters.
+struct AdamOptions {
+  float learning_rate = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float epsilon = 1e-8f;
+  float weight_decay = 5e-4f;
+};
+
+/// \brief Adam over a fixed set of parameters. Parameters are registered at
+/// construction; Step() consumes and ZeroGrad() clears their grad buffers.
+class Adam {
+ public:
+  Adam(std::vector<ParamRef> params, AdamOptions options = AdamOptions());
+
+  /// Applies one update using the accumulated gradients.
+  void Step();
+
+  /// Clears all gradient buffers (call before each forward/backward pass).
+  void ZeroGrad();
+
+  const AdamOptions& options() const { return options_; }
+  void set_learning_rate(float lr) { options_.learning_rate = lr; }
+
+ private:
+  std::vector<ParamRef> params_;
+  AdamOptions options_;
+  std::vector<Tensor> first_moment_;
+  std::vector<Tensor> second_moment_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace geqo::nn

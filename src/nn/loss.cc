@@ -1,0 +1,39 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+namespace geqo::nn {
+
+Tensor Sigmoid(const Tensor& logits) {
+  Tensor out = logits;
+  for (float& v : out.mutable_values()) {
+    v = 1.0f / (1.0f + std::exp(-v));
+  }
+  return out;
+}
+
+float BceWithLogitsLoss(const Tensor& logits, const Tensor& labels) {
+  GEQO_CHECK(logits.rows() == labels.rows() && logits.cols() == labels.cols());
+  GEQO_CHECK(logits.size() > 0);
+  double total = 0.0;
+  for (size_t i = 0; i < logits.size(); ++i) {
+    const float z = logits.values()[i];
+    const float y = labels.values()[i];
+    // max(z,0) - z*y + log(1 + exp(-|z|)): stable for large |z|.
+    total += std::max(z, 0.0f) - z * y + std::log1p(std::exp(-std::fabs(z)));
+  }
+  return static_cast<float>(total / static_cast<double>(logits.size()));
+}
+
+Tensor BceWithLogitsGrad(const Tensor& logits, const Tensor& labels) {
+  GEQO_CHECK(logits.rows() == labels.rows() && logits.cols() == labels.cols());
+  Tensor grad = Sigmoid(logits);
+  const float inv_n = 1.0f / static_cast<float>(logits.size());
+  for (size_t i = 0; i < grad.size(); ++i) {
+    grad.mutable_values()[i] =
+        (grad.values()[i] - labels.values()[i]) * inv_n;
+  }
+  return grad;
+}
+
+}  // namespace geqo::nn

@@ -1,0 +1,22 @@
+#pragma once
+
+#include "tensor/tensor.h"
+
+/// \file loss.h
+/// Binary classification loss for the EMF: numerically stable binary
+/// cross-entropy on logits, with the sigmoid folded into the gradient.
+
+namespace geqo::nn {
+
+/// \brief Elementwise logistic sigmoid.
+Tensor Sigmoid(const Tensor& logits);
+
+/// \brief Mean binary cross-entropy between \p logits ([N,1]) and \p labels
+/// ([N,1] of 0/1), computed in the numerically stable log-sum-exp form.
+float BceWithLogitsLoss(const Tensor& logits, const Tensor& labels);
+
+/// \brief Gradient of BceWithLogitsLoss w.r.t. the logits:
+/// (sigmoid(z) - y) / N.
+Tensor BceWithLogitsGrad(const Tensor& logits, const Tensor& labels);
+
+}  // namespace geqo::nn

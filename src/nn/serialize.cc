@@ -1,0 +1,75 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace geqo::nn {
+namespace {
+
+constexpr uint64_t kMagic = 0x4745514f4d4f444cULL;  // "GEQOMODL"
+
+}  // namespace
+
+Status SaveState(const std::vector<StateEntry>& state,
+                 const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  auto write_u64 = [&](uint64_t v) {
+    file.write(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  write_u64(kMagic);
+  write_u64(state.size());
+  for (const auto& [name, tensor] : state) {
+    write_u64(name.size());
+    file.write(name.data(), static_cast<std::streamsize>(name.size()));
+    write_u64(tensor->rows());
+    write_u64(tensor->cols());
+    file.write(reinterpret_cast<const char*>(tensor->data()),
+               static_cast<std::streamsize>(tensor->size() * sizeof(float)));
+  }
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadState(const std::vector<StateEntry>& state,
+                 const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  auto read_u64 = [&]() {
+    uint64_t v = 0;
+    file.read(reinterpret_cast<char*>(&v), sizeof(v));
+    return v;
+  };
+  if (read_u64() != kMagic) return Status::IoError("bad magic: " + path);
+  const uint64_t count = read_u64();
+  if (count != state.size()) {
+    return Status::InvalidArgument(
+        "state entry count mismatch loading " + path);
+  }
+  for (const auto& [name, tensor] : state) {
+    const uint64_t name_size = read_u64();
+    std::string saved_name(name_size, '\0');
+    file.read(saved_name.data(), static_cast<std::streamsize>(name_size));
+    if (saved_name != name) {
+      return Status::InvalidArgument("state name mismatch: expected " + name +
+                                     ", found " + saved_name);
+    }
+    const uint64_t rows = read_u64();
+    const uint64_t cols = read_u64();
+    if (rows != tensor->rows() || cols != tensor->cols()) {
+      return Status::InvalidArgument("state shape mismatch for " + name);
+    }
+    file.read(reinterpret_cast<char*>(tensor->data()),
+              static_cast<std::streamsize>(tensor->size() * sizeof(float)));
+    if (!file.good()) return Status::IoError("truncated state file: " + path);
+  }
+  return Status::OK();
+}
+
+Result<size_t> StateFileSize(const std::string& path) {
+  std::ifstream file(path, std::ios::binary | std::ios::ate);
+  if (!file) return Status::IoError("cannot open: " + path);
+  return static_cast<size_t>(file.tellg());
+}
+
+}  // namespace geqo::nn

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "tensor/tensor.h"
+
+/// \file serialize.h
+/// Binary (de)serialization of named tensors, used to persist the trained
+/// EMF model (the paper reports a ~2.3 MB serialized size, §7.1.2) and to
+/// swap fine-tuned models in after an SSFL round.
+
+namespace geqo::nn {
+
+/// A named tensor in a model's state (parameters + batch-norm statistics).
+using StateEntry = std::pair<std::string, Tensor*>;
+
+/// \brief Writes all \p state tensors to \p path. Format: magic, count, then
+/// per tensor (name, rows, cols, float32 row-major data).
+Status SaveState(const std::vector<StateEntry>& state, const std::string& path);
+
+/// \brief Restores \p state tensors from \p path. Names and shapes must
+/// match the saved file exactly.
+Status LoadState(const std::vector<StateEntry>& state, const std::string& path);
+
+/// \brief Size in bytes of a saved state file.
+Result<size_t> StateFileSize(const std::string& path);
+
+}  // namespace geqo::nn

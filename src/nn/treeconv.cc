@@ -1,0 +1,153 @@
+#include "nn/treeconv.h"
+
+#include <cmath>
+#include <limits>
+
+namespace geqo::nn {
+
+void TreeBatch::Validate() const {
+  GEQO_CHECK(left.size() == total_nodes() && right.size() == total_nodes());
+  for (const auto& [offset, count] : spans) {
+    GEQO_CHECK(offset + count <= total_nodes());
+    for (size_t i = offset; i < offset + count; ++i) {
+      for (const int32_t child : {left[i], right[i]}) {
+        if (child < 0) continue;
+        GEQO_CHECK(static_cast<size_t>(child) >= offset &&
+                   static_cast<size_t>(child) < offset + count)
+            << "child index escapes its tree span";
+      }
+    }
+  }
+}
+
+TreeConv::TreeConv(size_t in_features, size_t out_features, Rng* rng) {
+  const float stddev = std::sqrt(2.0f / static_cast<float>(in_features * 3));
+  self_weight_ = Tensor::Randn(out_features, in_features, stddev, rng);
+  left_weight_ = Tensor::Randn(out_features, in_features, stddev, rng);
+  right_weight_ = Tensor::Randn(out_features, in_features, stddev, rng);
+  bias_ = Tensor(1, out_features);
+  self_grad_ = Tensor(out_features, in_features);
+  left_grad_ = Tensor(out_features, in_features);
+  right_grad_ = Tensor(out_features, in_features);
+  bias_grad_ = Tensor(1, out_features);
+}
+
+Tensor TreeConv::GatherChildren(const Tensor& x,
+                                const std::vector<int32_t>& child) {
+  Tensor out(x.rows(), x.cols());
+  for (size_t i = 0; i < x.rows(); ++i) {
+    if (child[i] < 0) continue;
+    const float* src = x.Row(static_cast<size_t>(child[i]));
+    std::copy(src, src + x.cols(), out.Row(i));
+  }
+  return out;
+}
+
+void TreeConv::ScatterAddChildren(const Tensor& dy,
+                                  const std::vector<int32_t>& child,
+                                  Tensor* dx) {
+  for (size_t i = 0; i < dy.rows(); ++i) {
+    if (child[i] < 0) continue;
+    float* dst = dx->Row(static_cast<size_t>(child[i]));
+    const float* src = dy.Row(i);
+    for (size_t c = 0; c < dy.cols(); ++c) dst[c] += src[c];
+  }
+}
+
+TreeBatch TreeConv::Forward(const TreeBatch& input) {
+  GEQO_CHECK(input.feature_dim() == self_weight_.cols())
+      << "TreeConv input dim " << input.feature_dim() << " vs weight "
+      << self_weight_.ShapeString();
+  cached_input_ = input;
+
+  const Tensor left_gathered = GatherChildren(input.nodes, input.left);
+  const Tensor right_gathered = GatherChildren(input.nodes, input.right);
+
+  Tensor y = ops::MatMul(input.nodes, self_weight_, false, true);
+  ops::AddInPlace(&y, ops::MatMul(left_gathered, left_weight_, false, true));
+  ops::AddInPlace(&y, ops::MatMul(right_gathered, right_weight_, false, true));
+  ops::AddRowVectorInPlace(&y, bias_);
+
+  TreeBatch out;
+  out.nodes = std::move(y);
+  out.left = input.left;
+  out.right = input.right;
+  out.spans = input.spans;
+  return out;
+}
+
+TreeBatch TreeConv::Backward(const TreeBatch& dy) {
+  const Tensor& x = cached_input_.nodes;
+  const Tensor left_gathered = GatherChildren(x, cached_input_.left);
+  const Tensor right_gathered = GatherChildren(x, cached_input_.right);
+
+  // Parameter gradients.
+  ops::AddInPlace(&self_grad_, ops::MatMul(dy.nodes, x, true, false));
+  ops::AddInPlace(&left_grad_, ops::MatMul(dy.nodes, left_gathered, true, false));
+  ops::AddInPlace(&right_grad_,
+                  ops::MatMul(dy.nodes, right_gathered, true, false));
+  ops::AddInPlace(&bias_grad_, ops::ColumnSum(dy.nodes));
+
+  // Input gradients: self path plus scattered child paths.
+  Tensor dx = ops::MatMul(dy.nodes, self_weight_);
+  const Tensor d_left = ops::MatMul(dy.nodes, left_weight_);
+  const Tensor d_right = ops::MatMul(dy.nodes, right_weight_);
+  ScatterAddChildren(d_left, cached_input_.left, &dx);
+  ScatterAddChildren(d_right, cached_input_.right, &dx);
+
+  TreeBatch out;
+  out.nodes = std::move(dx);
+  out.left = cached_input_.left;
+  out.right = cached_input_.right;
+  out.spans = cached_input_.spans;
+  return out;
+}
+
+void TreeConv::CollectParams(const std::string& prefix,
+                             std::vector<ParamRef>* out) {
+  out->push_back(ParamRef{prefix + ".self", &self_weight_, &self_grad_});
+  out->push_back(ParamRef{prefix + ".left", &left_weight_, &left_grad_});
+  out->push_back(ParamRef{prefix + ".right", &right_weight_, &right_grad_});
+  out->push_back(ParamRef{prefix + ".bias", &bias_, &bias_grad_});
+}
+
+Tensor DynamicMaxPool::Forward(const TreeBatch& input) {
+  const size_t dim = input.feature_dim();
+  Tensor out(input.num_trees(), dim);
+  argmax_.assign(input.num_trees() * dim, 0);
+  for (size_t t = 0; t < input.num_trees(); ++t) {
+    const auto [offset, count] = input.spans[t];
+    GEQO_CHECK(count > 0) << "empty tree in pool";
+    float* out_row = out.Row(t);
+    for (size_t c = 0; c < dim; ++c) {
+      out_row[c] = -std::numeric_limits<float>::infinity();
+    }
+    for (size_t i = offset; i < offset + count; ++i) {
+      const float* row = input.nodes.Row(i);
+      for (size_t c = 0; c < dim; ++c) {
+        if (row[c] > out_row[c]) {
+          out_row[c] = row[c];
+          argmax_[t * dim + c] = static_cast<uint32_t>(i);
+        }
+      }
+    }
+  }
+  cached_structure_ = input;
+  cached_structure_.nodes = Tensor(input.total_nodes(), dim);  // shape only
+  return out;
+}
+
+TreeBatch DynamicMaxPool::Backward(const Tensor& dy) {
+  const size_t dim = dy.cols();
+  TreeBatch out = cached_structure_;
+  out.nodes = Tensor(cached_structure_.total_nodes(), dim);
+  for (size_t t = 0; t < dy.rows(); ++t) {
+    const float* dy_row = dy.Row(t);
+    for (size_t c = 0; c < dim; ++c) {
+      out.nodes.At(argmax_[t * dim + c], c) += dy_row[c];
+    }
+  }
+  return out;
+}
+
+}  // namespace geqo::nn

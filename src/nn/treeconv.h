@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "nn/layers.h"
+
+/// \file treeconv.h
+/// Tree convolution over logical-plan trees (Mou et al. [39], as used by
+/// Neo/Bao and by the paper's EMF, §3.2/§5). Every node is convolved with
+/// its (up to two) children:
+///
+///   y_i = W_self x_i + W_left x_left(i) + W_right x_right(i) + b
+///
+/// Missing children contribute zero. Stacking two such layers and applying
+/// dynamic max pooling over the nodes yields the fixed-size subexpression
+/// embedding shared by the EMF classifier and the VMF's metric space.
+
+namespace geqo::nn {
+
+/// \brief A batch of trees flattened into one node matrix.
+///
+/// Node features for all trees are concatenated row-wise; `left`/`right`
+/// hold *global* row indices of each node's children (or -1); `spans` lists
+/// each tree's (first row, node count). Structure is shared unchanged across
+/// layers — only node features change.
+struct TreeBatch {
+  Tensor nodes;                                  ///< [total_nodes, dim]
+  std::vector<int32_t> left;                     ///< child index or -1
+  std::vector<int32_t> right;                    ///< child index or -1
+  std::vector<std::pair<size_t, size_t>> spans;  ///< per-tree (offset, count)
+
+  size_t num_trees() const { return spans.size(); }
+  size_t total_nodes() const { return nodes.rows(); }
+  size_t feature_dim() const { return nodes.cols(); }
+
+  /// Structural sanity check: child indices stay within their tree's span.
+  void Validate() const;
+};
+
+/// \brief One tree-convolution layer with three weight matrices.
+class TreeConv {
+ public:
+  TreeConv(size_t in_features, size_t out_features, Rng* rng);
+
+  /// Produces a TreeBatch with identical structure and convolved features.
+  TreeBatch Forward(const TreeBatch& input);
+
+  /// \p dy carries gradients w.r.t. this layer's output node features and
+  /// must share the cached structure; returns gradients w.r.t. the input.
+  TreeBatch Backward(const TreeBatch& dy);
+
+  void CollectParams(const std::string& prefix, std::vector<ParamRef>* out);
+
+  size_t out_features() const { return self_weight_.rows(); }
+
+ private:
+  /// Gathers child rows: out[i] = x[child[i]] or zero.
+  static Tensor GatherChildren(const Tensor& x,
+                               const std::vector<int32_t>& child);
+  /// Scatter-adds rows back through the gather.
+  static void ScatterAddChildren(const Tensor& dy,
+                                 const std::vector<int32_t>& child,
+                                 Tensor* dx);
+
+  Tensor self_weight_;   ///< [out, in]
+  Tensor left_weight_;   ///< [out, in]
+  Tensor right_weight_;  ///< [out, in]
+  Tensor bias_;          ///< [1, out]
+  Tensor self_grad_;
+  Tensor left_grad_;
+  Tensor right_grad_;
+  Tensor bias_grad_;
+  TreeBatch cached_input_;
+};
+
+/// \brief Dynamic max pooling: reduces each tree's node features to a single
+/// fixed-size vector by elementwise max over its nodes.
+class DynamicMaxPool {
+ public:
+  /// Returns [num_trees, dim]; caches argmax indices for backward.
+  Tensor Forward(const TreeBatch& input);
+
+  /// Scatters [num_trees, dim] gradients back to the winning nodes.
+  TreeBatch Backward(const Tensor& dy);
+
+ private:
+  TreeBatch cached_structure_;         ///< structure of the pooled batch
+  std::vector<uint32_t> argmax_;       ///< per (tree, channel) winning row
+};
+
+}  // namespace geqo::nn

@@ -1,0 +1,561 @@
+#include "parser/parser.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+#include "parser/tokenizer.h"
+
+namespace geqo {
+namespace {
+
+/// One FROM-clause binding: table name plus the alias it is visible under.
+struct FromItem {
+  std::string table;
+  std::string alias;
+  JoinType join_type = JoinType::kInner;
+  bool explicit_join = false;            ///< bound via JOIN ... ON
+  std::vector<Comparison> on_conjuncts;  ///< only for explicit joins
+};
+
+class Parser {
+ public:
+  Parser(std::vector<Token> tokens, const Catalog& catalog)
+      : tokens_(std::move(tokens)), catalog_(catalog) {}
+
+  Result<PlanPtr> ParseQuery() {
+    GEQO_RETURN_NOT_OK(ExpectKeyword("select"));
+    bool select_star = false;
+    std::vector<OutputColumn> select_list;
+    if (Peek().IsSymbol("*")) {
+      Advance();
+      select_star = true;
+    } else {
+      GEQO_RETURN_NOT_OK(ParseSelectList(&select_list));
+    }
+
+    GEQO_RETURN_NOT_OK(ExpectKeyword("from"));
+    GEQO_RETURN_NOT_OK(ParseFromClause());
+
+    std::vector<Comparison> where;
+    if (Peek().IsKeyword("where")) {
+      Advance();
+      GEQO_RETURN_NOT_OK(ParseConjunction(&where));
+    }
+    if (Peek().IsKeyword("group")) {
+      GEQO_RETURN_NOT_OK(ParseGroupByClause());
+    }
+    if (!Peek().IsKeyword("") && Peek().kind != TokenKind::kEndOfInput) {
+      return Status::ParseError(StrFormat(
+          "unsupported trailing clause at offset %zu (SPJ+aggregate dialect "
+          "only)",
+          Peek().offset));
+    }
+    if ((!aggregates_.empty() || !group_by_.empty()) && select_star) {
+      return Status::ParseError("SELECT * cannot be combined with GROUP BY");
+    }
+
+    // Resolve column references now that the FROM bindings are known.
+    GEQO_RETURN_NOT_OK(BuildAliasMap());
+    for (OutputColumn& output : select_list) {
+      GEQO_ASSIGN_OR_RETURN(output.expr, Resolve(output.expr));
+    }
+    for (Comparison& cmp : where) {
+      GEQO_ASSIGN_OR_RETURN(cmp.lhs, Resolve(cmp.lhs));
+      GEQO_ASSIGN_OR_RETURN(cmp.rhs, Resolve(cmp.rhs));
+    }
+    for (AggregateExpr& aggregate : aggregates_) {
+      if (aggregate.argument != nullptr) {
+        GEQO_ASSIGN_OR_RETURN(aggregate.argument, Resolve(aggregate.argument));
+      }
+    }
+    for (ExprPtr& key : group_by_) {
+      GEQO_ASSIGN_OR_RETURN(key, Resolve(key));
+    }
+    for (FromItem& item : from_items_) {
+      for (Comparison& cmp : item.on_conjuncts) {
+        GEQO_ASSIGN_OR_RETURN(cmp.lhs, Resolve(cmp.lhs));
+        GEQO_ASSIGN_OR_RETURN(cmp.rhs, Resolve(cmp.rhs));
+      }
+    }
+
+    GEQO_ASSIGN_OR_RETURN(PlanPtr plan, BuildJoinTree(where));
+    if (!aggregates_.empty() || !group_by_.empty()) {
+      // Aggregation (paper §9.1 extension): the plain select items must be
+      // group-by keys; validate the correspondence loosely (every plain
+      // item must appear in GROUP BY, and vice versa).
+      std::vector<OutputColumn> keys;
+      for (const OutputColumn& item : select_list) {
+        bool in_group_by = false;
+        for (const ExprPtr& key : group_by_) {
+          if (item.expr->Equals(*key)) {
+            in_group_by = true;
+            break;
+          }
+        }
+        if (!in_group_by) {
+          return Status::ParseError("select item " + item.name +
+                                    " is not in GROUP BY");
+        }
+        keys.push_back(item);
+      }
+      // GROUP BY columns not in the select list still group (standard SQL);
+      // expose them too so the Aggregate node's keys equal the clause.
+      for (const ExprPtr& key : group_by_) {
+        bool selected = false;
+        for (const OutputColumn& item : select_list) {
+          if (item.expr->Equals(*key)) {
+            selected = true;
+            break;
+          }
+        }
+        if (!selected) {
+          const std::string name =
+              key->is_column() ? key->column().column : "key";
+          keys.push_back(OutputColumn{name, key});
+        }
+      }
+      return PlanNode::Aggregate(std::move(keys), std::move(aggregates_),
+                                 std::move(plan));
+    }
+    if (!select_star) {
+      plan = PlanNode::Project(std::move(select_list), std::move(plan));
+    }
+    return plan;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    const size_t index = std::min(pos_ + ahead, tokens_.size() - 1);
+    return tokens_[index];
+  }
+  const Token& Advance() { return tokens_[std::min(pos_++, tokens_.size() - 1)]; }
+
+  Status ExpectKeyword(std::string_view keyword) {
+    if (!Peek().IsKeyword(keyword)) {
+      return Status::ParseError(StrFormat(
+          "expected %.*s at offset %zu", static_cast<int>(keyword.size()),
+          keyword.data(), Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ExpectSymbol(std::string_view symbol) {
+    if (!Peek().IsSymbol(symbol)) {
+      return Status::ParseError(StrFormat(
+          "expected '%.*s' at offset %zu", static_cast<int>(symbol.size()),
+          symbol.data(), Peek().offset));
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  /// True when the next tokens form an aggregate call AGG(...).
+  bool AtAggregateFunction() const {
+    if (Peek().kind != TokenKind::kIdentifier || !Peek(1).IsSymbol("(")) {
+      return false;
+    }
+    const std::string& word = Peek().text;
+    return word == "count" || word == "sum" || word == "min" ||
+           word == "max" || word == "avg";
+  }
+
+  Result<AggregateExpr> ParseAggregateCall() {
+    const std::string word = Advance().text;  // function name
+    AggregateExpr aggregate;
+    if (word == "count") {
+      aggregate.fn = AggregateFn::kCount;
+    } else if (word == "sum") {
+      aggregate.fn = AggregateFn::kSum;
+    } else if (word == "min") {
+      aggregate.fn = AggregateFn::kMin;
+    } else if (word == "max") {
+      aggregate.fn = AggregateFn::kMax;
+    } else {
+      aggregate.fn = AggregateFn::kAvg;
+    }
+    GEQO_RETURN_NOT_OK(ExpectSymbol("("));
+    if (Peek().IsSymbol("*")) {
+      if (aggregate.fn != AggregateFn::kCount) {
+        return Status::ParseError("only COUNT accepts *");
+      }
+      Advance();
+    } else {
+      GEQO_ASSIGN_OR_RETURN(aggregate.argument, ParseExpr());
+    }
+    GEQO_RETURN_NOT_OK(ExpectSymbol(")"));
+    return aggregate;
+  }
+
+  Status ParseSelectList(std::vector<OutputColumn>* out) {
+    size_t index = 0;
+    while (true) {
+      if (AtAggregateFunction()) {
+        GEQO_ASSIGN_OR_RETURN(AggregateExpr aggregate, ParseAggregateCall());
+        std::string name = StrFormat("agg%zu", aggregates_.size());
+        if (Peek().IsKeyword("as")) {
+          Advance();
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Status::ParseError("expected output name after AS");
+          }
+          name = Advance().text;
+        }
+        aggregate.name = std::move(name);
+        // Aggregates must trail the group-by columns in the select list so
+        // the Aggregate node's canonical output order (keys, then
+        // aggregates) matches the query text.
+        aggregates_.push_back(std::move(aggregate));
+        ++index;
+        if (!Peek().IsSymbol(",")) return Status::OK();
+        Advance();
+        continue;
+      }
+      if (!aggregates_.empty()) {
+        return Status::ParseError(
+            "plain select items must precede aggregate functions");
+      }
+      GEQO_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      std::string name;
+      if (Peek().IsKeyword("as")) {
+        Advance();
+        if (Peek().kind != TokenKind::kIdentifier) {
+          return Status::ParseError("expected output name after AS");
+        }
+        name = Advance().text;
+      } else if (expr->is_column()) {
+        name = expr->column().column;
+      } else {
+        name = StrFormat("col%zu", index);
+      }
+      out->push_back(OutputColumn{std::move(name), std::move(expr)});
+      ++index;
+      if (!Peek().IsSymbol(",")) return Status::OK();
+      Advance();
+    }
+  }
+
+  Status ParseGroupByClause() {
+    // "group by" as two identifiers.
+    Advance();  // group
+    GEQO_RETURN_NOT_OK(ExpectKeyword("by"));
+    while (true) {
+      GEQO_ASSIGN_OR_RETURN(ExprPtr expr, ParseExpr());
+      group_by_.push_back(std::move(expr));
+      if (!Peek().IsSymbol(",")) return Status::OK();
+      Advance();
+    }
+  }
+
+  Status ParseFromClause() {
+    GEQO_RETURN_NOT_OK(ParseFromItem(/*join=*/false, JoinType::kInner));
+    while (true) {
+      if (Peek().IsSymbol(",")) {
+        Advance();
+        GEQO_RETURN_NOT_OK(ParseFromItem(/*join=*/false, JoinType::kInner));
+        continue;
+      }
+      JoinType join_type = JoinType::kInner;
+      bool is_join = false;
+      if (Peek().IsKeyword("join")) {
+        Advance();
+        is_join = true;
+      } else if (Peek().IsKeyword("inner") && Peek(1).IsKeyword("join")) {
+        Advance();
+        Advance();
+        is_join = true;
+      } else if (Peek().IsKeyword("left") || Peek().IsKeyword("right")) {
+        join_type = Peek().IsKeyword("left") ? JoinType::kLeftOuter
+                                             : JoinType::kRightOuter;
+        Advance();
+        if (Peek().IsKeyword("outer")) Advance();
+        GEQO_RETURN_NOT_OK(ExpectKeyword("join"));
+        is_join = true;
+      }
+      if (!is_join) return Status::OK();
+      GEQO_RETURN_NOT_OK(ParseFromItem(/*join=*/true, join_type));
+      GEQO_RETURN_NOT_OK(ExpectKeyword("on"));
+      GEQO_RETURN_NOT_OK(ParseConjunction(&from_items_.back().on_conjuncts));
+    }
+  }
+
+  Status ParseFromItem(bool join, JoinType join_type) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Status::ParseError(
+          StrFormat("expected table name at offset %zu", Peek().offset));
+    }
+    FromItem item;
+    item.table = Advance().text;
+    item.alias = item.table;
+    item.join_type = join_type;
+    item.explicit_join = join;
+    if (Peek().IsKeyword("as")) {
+      Advance();
+      if (Peek().kind != TokenKind::kIdentifier) {
+        return Status::ParseError("expected alias after AS");
+      }
+      item.alias = Advance().text;
+    } else if (Peek().kind == TokenKind::kIdentifier &&
+               !IsClauseKeyword(Peek().text)) {
+      item.alias = Advance().text;
+    }
+    if (catalog_.FindTable(item.table) == nullptr) {
+      return Status::ParseError("unknown table: " + item.table);
+    }
+    from_items_.push_back(std::move(item));
+    return Status::OK();
+  }
+
+  static bool IsClauseKeyword(const std::string& word) {
+    return word == "where" || word == "join" || word == "inner" ||
+           word == "left" || word == "right" || word == "outer" ||
+           word == "on" || word == "as" || word == "group" || word == "by";
+  }
+
+  Status ParseConjunction(std::vector<Comparison>* out) {
+    while (true) {
+      GEQO_ASSIGN_OR_RETURN(Comparison cmp, ParseComparison());
+      out->push_back(std::move(cmp));
+      if (!Peek().IsKeyword("and")) return Status::OK();
+      Advance();
+    }
+  }
+
+  Result<Comparison> ParseComparison() {
+    GEQO_ASSIGN_OR_RETURN(ExprPtr lhs, ParseExpr());
+    const Token& op_token = Peek();
+    CompareOp op;
+    if (op_token.IsSymbol("=")) {
+      op = CompareOp::kEq;
+    } else if (op_token.IsSymbol("<>")) {
+      op = CompareOp::kNe;
+    } else if (op_token.IsSymbol("<")) {
+      op = CompareOp::kLt;
+    } else if (op_token.IsSymbol("<=")) {
+      op = CompareOp::kLe;
+    } else if (op_token.IsSymbol(">")) {
+      op = CompareOp::kGt;
+    } else if (op_token.IsSymbol(">=")) {
+      op = CompareOp::kGe;
+    } else {
+      return Status::ParseError(StrFormat(
+          "expected comparison operator at offset %zu", op_token.offset));
+    }
+    Advance();
+    GEQO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseExpr());
+    return Comparison{std::move(lhs), op, std::move(rhs)};
+  }
+
+  Result<ExprPtr> ParseExpr() { return ParseAdditive(); }
+
+  Result<ExprPtr> ParseAdditive() {
+    GEQO_ASSIGN_OR_RETURN(ExprPtr expr, ParseMultiplicative());
+    while (Peek().IsSymbol("+") || Peek().IsSymbol("-")) {
+      const ExprKind kind =
+          Advance().text == "+" ? ExprKind::kAdd : ExprKind::kSub;
+      GEQO_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+      expr = Expr::Binary(kind, std::move(expr), std::move(rhs));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    GEQO_ASSIGN_OR_RETURN(ExprPtr expr, ParsePrimary());
+    while (Peek().IsSymbol("*") || Peek().IsSymbol("/")) {
+      const ExprKind kind =
+          Advance().text == "*" ? ExprKind::kMul : ExprKind::kDiv;
+      GEQO_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+      expr = Expr::Binary(kind, std::move(expr), std::move(rhs));
+    }
+    return expr;
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& token = Peek();
+    switch (token.kind) {
+      case TokenKind::kInteger:
+        Advance();
+        return Expr::IntLiteral(std::stoll(token.text));
+      case TokenKind::kFloat:
+        Advance();
+        return Expr::Literal(Value::Double(std::stod(token.text)));
+      case TokenKind::kString:
+        Advance();
+        return Expr::Literal(Value::String(token.text));
+      case TokenKind::kSymbol:
+        if (token.IsSymbol("(")) {
+          Advance();
+          GEQO_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          GEQO_RETURN_NOT_OK(ExpectSymbol(")"));
+          return inner;
+        }
+        if (token.IsSymbol("-")) {  // unary minus over a literal
+          Advance();
+          GEQO_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+          return FoldConstants(
+              Expr::Binary(ExprKind::kSub, Expr::IntLiteral(0), inner));
+        }
+        break;
+      case TokenKind::kIdentifier: {
+        Advance();
+        if (Peek().IsSymbol(".")) {
+          Advance();
+          if (Peek().kind != TokenKind::kIdentifier) {
+            return Status::ParseError("expected column after '.'");
+          }
+          return Expr::Column(token.text, Advance().text);
+        }
+        // Bare column: alias left empty, resolved after FROM is parsed.
+        return Expr::Column("", token.text);
+      }
+      default:
+        break;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected token at offset %zu", token.offset));
+  }
+
+  Status BuildAliasMap() {
+    for (const FromItem& item : from_items_) {
+      if (!alias_to_table_.emplace(item.alias, item.table).second) {
+        return Status::ParseError("duplicate alias: " + item.alias);
+      }
+    }
+    return Status::OK();
+  }
+
+  /// Resolves empty-alias column references and validates qualified ones.
+  Result<ExprPtr> Resolve(const ExprPtr& expr) {
+    switch (expr->kind()) {
+      case ExprKind::kLiteral:
+        return expr;
+      case ExprKind::kColumnRef: {
+        const ColumnRef& ref = expr->column();
+        if (!ref.alias.empty()) {
+          auto it = alias_to_table_.find(ref.alias);
+          if (it == alias_to_table_.end()) {
+            return Status::ParseError("unknown alias: " + ref.alias);
+          }
+          GEQO_ASSIGN_OR_RETURN(const TableDef* table,
+                                catalog_.GetTable(it->second));
+          if (!table->ColumnIndex(ref.column)) {
+            return Status::ParseError("unknown column: " + ref.ToString());
+          }
+          return expr;
+        }
+        // Bare column: search FROM bindings; must be unambiguous.
+        std::string found_alias;
+        for (const FromItem& item : from_items_) {
+          GEQO_ASSIGN_OR_RETURN(const TableDef* table,
+                                catalog_.GetTable(item.table));
+          if (table->ColumnIndex(ref.column)) {
+            if (!found_alias.empty()) {
+              return Status::ParseError("ambiguous column: " + ref.column);
+            }
+            found_alias = item.alias;
+          }
+        }
+        if (found_alias.empty()) {
+          return Status::ParseError("unknown column: " + ref.column);
+        }
+        return Expr::Column(found_alias, ref.column);
+      }
+      default: {
+        GEQO_ASSIGN_OR_RETURN(ExprPtr left, Resolve(expr->left()));
+        GEQO_ASSIGN_OR_RETURN(ExprPtr right, Resolve(expr->right()));
+        return Expr::Binary(expr->kind(), std::move(left), std::move(right));
+      }
+    }
+  }
+
+  /// Aliases referenced by \p cmp.
+  static std::vector<std::string> ComparisonAliases(const Comparison& cmp) {
+    std::vector<ColumnRef> columns;
+    cmp.CollectColumns(&columns);
+    std::vector<std::string> aliases;
+    for (const ColumnRef& ref : columns) aliases.push_back(ref.alias);
+    std::sort(aliases.begin(), aliases.end());
+    aliases.erase(std::unique(aliases.begin(), aliases.end()), aliases.end());
+    return aliases;
+  }
+
+  static bool Contains(const std::vector<std::string>& haystack,
+                       const std::string& needle) {
+    return std::find(haystack.begin(), haystack.end(), needle) !=
+           haystack.end();
+  }
+
+  static Comparison ConstantTrue() {
+    return Comparison{Expr::IntLiteral(1), CompareOp::kEq, Expr::IntLiteral(1)};
+  }
+
+  Result<PlanPtr> BuildJoinTree(std::vector<Comparison> where) {
+    GEQO_CHECK(!from_items_.empty());
+    PlanPtr plan =
+        PlanNode::Scan(from_items_[0].table, from_items_[0].alias);
+    std::vector<std::string> bound = {from_items_[0].alias};
+    std::vector<bool> where_used(where.size(), false);
+
+    for (size_t i = 1; i < from_items_.size(); ++i) {
+      FromItem& item = from_items_[i];
+      PlanPtr right = PlanNode::Scan(item.table, item.alias);
+      Comparison join_predicate = ConstantTrue();
+      std::vector<Comparison> extra;
+      if (item.explicit_join) {
+        // First ON conjunct becomes the join predicate; the rest become
+        // selections above the join (conjunct splitting, §3.1).
+        GEQO_CHECK(!item.on_conjuncts.empty()) << "ON clause cannot be empty";
+        join_predicate = item.on_conjuncts[0];
+        extra.assign(item.on_conjuncts.begin() + 1, item.on_conjuncts.end());
+      } else {
+        // Implicit join: adopt the first unused WHERE conjunct that spans
+        // both sides as the join predicate.
+        for (size_t w = 0; w < where.size(); ++w) {
+          if (where_used[w]) continue;
+          const auto aliases = ComparisonAliases(where[w]);
+          if (aliases.size() < 2) continue;
+          const bool spans_left =
+              std::any_of(aliases.begin(), aliases.end(),
+                          [&](const std::string& a) { return Contains(bound, a); });
+          const bool touches_right = Contains(aliases, item.alias);
+          if (spans_left && touches_right) {
+            join_predicate = where[w];
+            where_used[w] = true;
+            break;
+          }
+        }
+      }
+      plan = PlanNode::Join(item.join_type, std::move(join_predicate),
+                            std::move(plan), std::move(right));
+      for (Comparison& cmp : extra) {
+        plan = PlanNode::Select(std::move(cmp), std::move(plan));
+      }
+      bound.push_back(item.alias);
+    }
+
+    // Remaining WHERE conjuncts stack as selections, preserving order.
+    for (size_t w = 0; w < where.size(); ++w) {
+      if (where_used[w]) continue;
+      plan = PlanNode::Select(std::move(where[w]), std::move(plan));
+    }
+    return plan;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+  const Catalog& catalog_;
+  std::vector<FromItem> from_items_;
+  std::map<std::string, std::string> alias_to_table_;
+  std::vector<AggregateExpr> aggregates_;
+  std::vector<ExprPtr> group_by_;
+};
+
+}  // namespace
+
+Result<PlanPtr> ParseSql(std::string_view sql, const Catalog& catalog) {
+  GEQO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
+  Parser parser(std::move(tokens), catalog);
+  return parser.ParseQuery();
+}
+
+}  // namespace geqo

@@ -1,0 +1,32 @@
+#pragma once
+
+#include <string_view>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file parser.h
+/// SQL front end for the SPJ dialect GEqO operates on:
+///
+///   SELECT <expr> [AS name], ...  |  SELECT *
+///   FROM t1 [AS a1], t2 [AS a2], ...
+///        [INNER | LEFT [OUTER] | RIGHT [OUTER]] JOIN t ON <cond> ...
+///   [WHERE <comparison> AND <comparison> AND ...]
+///
+/// Expressions support + - * /, parentheses, integer/float/string literals,
+/// and (optionally qualified) column references resolved against a Catalog.
+/// The parser emits a canonical logical plan: a left-deep join tree with one
+/// atomic comparison per Select/Join node (conjunctions are split, §3.1).
+
+namespace geqo {
+
+/// \brief Parses \p sql into a logical plan over \p catalog.
+///
+/// Unqualified columns are resolved against the FROM tables; ambiguous or
+/// unknown references produce ParseError. Implicit joins (comma syntax) pick
+/// an applicable WHERE equality as each join's predicate, falling back to a
+/// constant-true predicate (cross join) when none applies.
+Result<PlanPtr> ParseSql(std::string_view sql, const Catalog& catalog);
+
+}  // namespace geqo

@@ -1,0 +1,112 @@
+#include "parser/tokenizer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace geqo {
+namespace {
+
+bool IsIdentifierStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentifierChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+Result<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (IsIdentifierStart(c)) {
+      const size_t start = i;
+      while (i < n && IsIdentifierChar(sql[i])) ++i;
+      tokens.push_back(Token{TokenKind::kIdentifier,
+                             ToLower(sql.substr(start, i - start)), start});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      const size_t start = i;
+      bool saw_dot = false;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+                       (sql[i] == '.' && !saw_dot))) {
+        saw_dot |= sql[i] == '.';
+        ++i;
+      }
+      tokens.push_back(Token{saw_dot ? TokenKind::kFloat : TokenKind::kInteger,
+                             std::string(sql.substr(start, i - start)), start});
+      continue;
+    }
+    if (c == '\'') {
+      const size_t start = i++;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (sql[i] == '\'') {
+          if (i + 1 < n && sql[i + 1] == '\'') {  // escaped quote
+            content += '\'';
+            i += 2;
+            continue;
+          }
+          ++i;
+          closed = true;
+          break;
+        }
+        content += sql[i++];
+      }
+      if (!closed) {
+        return Status::ParseError(StrFormat(
+            "unterminated string literal at offset %zu", start));
+      }
+      tokens.push_back(Token{TokenKind::kString, std::move(content), start});
+      continue;
+    }
+    // Two-character operators first.
+    if (i + 1 < n) {
+      const std::string_view two = sql.substr(i, 2);
+      if (two == "<=" || two == ">=" || two == "<>" || two == "!=") {
+        tokens.push_back(Token{TokenKind::kSymbol,
+                               two == "!=" ? "<>" : std::string(two), i});
+        i += 2;
+        continue;
+      }
+    }
+    switch (c) {
+      case '(':
+      case ')':
+      case ',':
+      case '.':
+      case '=':
+      case '<':
+      case '>':
+      case '+':
+      case '-':
+      case '*':
+      case '/':
+        tokens.push_back(Token{TokenKind::kSymbol, std::string(1, c), i});
+        ++i;
+        continue;
+      case ';':
+        ++i;  // statement terminator: ignored
+        continue;
+      default:
+        return Status::ParseError(
+            StrFormat("unexpected character '%c' at offset %zu", c, i));
+    }
+  }
+  tokens.push_back(Token{TokenKind::kEndOfInput, "", n});
+  return tokens;
+}
+
+}  // namespace geqo

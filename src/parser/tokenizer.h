@@ -1,0 +1,42 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+/// \file tokenizer.h
+/// SQL tokenizer for the SPJ dialect understood by geqo::ParseSql.
+
+namespace geqo {
+
+enum class TokenKind : uint8_t {
+  kIdentifier,  ///< table/column/alias names; keywords are identifiers too
+  kInteger,
+  kFloat,
+  kString,    ///< 'single-quoted'
+  kSymbol,    ///< punctuation / operators, stored as text
+  kEndOfInput,
+};
+
+/// \brief A lexed token with its source offset (for error messages).
+struct Token {
+  TokenKind kind = TokenKind::kEndOfInput;
+  std::string text;   ///< identifier lower-cased; symbols verbatim
+  size_t offset = 0;  ///< byte offset into the original SQL
+
+  bool IsKeyword(std::string_view keyword) const {
+    return kind == TokenKind::kIdentifier && text == keyword;
+  }
+  bool IsSymbol(std::string_view symbol) const {
+    return kind == TokenKind::kSymbol && text == symbol;
+  }
+};
+
+/// \brief Tokenizes \p sql. Identifiers and keywords are lower-cased; string
+/// literal contents are preserved verbatim. Returns ParseError on stray
+/// characters or unterminated strings.
+Result<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace geqo

@@ -1,0 +1,402 @@
+#include "pipeline/baselines.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/hash.h"
+#include "common/strings.h"
+#include "plan/canonicalize.h"
+#include "plan/spj.h"
+
+namespace geqo {
+namespace {
+
+/// Alias normalization: atoms sorted by (table, alias) get ordinals; every
+/// alias is replaced by "<table>#<ordinal within its table>". Self-join
+/// ordinal assignment is heuristic (both baselines are inexact by design).
+std::vector<std::pair<std::string, std::string>> AliasOrdinals(
+    const FlatSpj& flat) {
+  std::vector<TableAtom> atoms = flat.atoms;
+  std::sort(atoms.begin(), atoms.end(), [](const TableAtom& a, const TableAtom& b) {
+    return a.table != b.table ? a.table < b.table : a.alias < b.alias;
+  });
+  std::vector<std::pair<std::string, std::string>> rename;
+  std::map<std::string, size_t> per_table;
+  for (const TableAtom& atom : atoms) {
+    rename.emplace_back(atom.alias,
+                        StrFormat("%s#%zu", atom.table.c_str(),
+                                  per_table[atom.table]++));
+  }
+  return rename;
+}
+
+std::string RenderDouble(double v) { return StrFormat("%.9g", v); }
+
+/// Canonical rendering of a comparison after alias renaming: normalized to
+/// difference form when possible, raw otherwise.
+std::string RenderPredicate(const Comparison& cmp) {
+  const auto normalized = NormalizeComparison(cmp);
+  if (!normalized.has_value()) return "raw:" + cmp.ToString();
+  std::string out = normalized->left->ToString();
+  if (normalized->right) out += "-" + normalized->right->ToString();
+  out += std::string(CompareOpToString(normalized->op));
+  if (normalized->string_constant) {
+    out += "'" + *normalized->string_constant + "'";
+  } else {
+    out += RenderDouble(normalized->constant);
+  }
+  return out;
+}
+
+/// Fallback for non-SPJ plans: a canonical syntactic rendering.
+std::string SyntacticForm(const PlanPtr& plan) {
+  return Canonicalize(plan)->ToString();
+}
+
+int Direction(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return -1;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+/// Union-find over column references (for the optimizer's equality classes).
+class ColumnUnionFind {
+ public:
+  ColumnRef Find(const ColumnRef& ref) {
+    const std::string key = ref.ToString();
+    auto it = parent_.find(key);
+    if (it == parent_.end()) {
+      parent_.emplace(key, ref);
+      return ref;
+    }
+    if (it->second.ToString() == key) return ref;
+    const ColumnRef root = Find(it->second);
+    parent_[key] = root;
+    return root;
+  }
+
+  void Union(const ColumnRef& a, const ColumnRef& b) {
+    const ColumnRef ra = Find(a);
+    const ColumnRef rb = Find(b);
+    if (ra == rb) return;
+    // Smaller reference becomes the representative: deterministic classes.
+    if (ra < rb) {
+      parent_[rb.ToString()] = ra;
+    } else {
+      parent_[ra.ToString()] = rb;
+    }
+  }
+
+  /// All classes with at least two members, rendered canonically.
+  std::vector<std::string> RenderClasses() {
+    std::map<std::string, std::vector<std::string>> classes;
+    for (const auto& [key, value] : parent_) {
+      ColumnRef ref;
+      const size_t dot = key.find('.');
+      ref.alias = key.substr(0, dot);
+      ref.column = key.substr(dot + 1);
+      classes[Find(ref).ToString()].push_back(key);
+    }
+    std::vector<std::string> out;
+    for (auto& [root, members] : classes) {
+      if (members.size() < 2) continue;
+      std::sort(members.begin(), members.end());
+      out.push_back("eq{" + Join(members, ",") + "}");
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+ private:
+  std::unordered_map<std::string, ColumnRef> parent_;
+};
+
+}  // namespace
+
+namespace {
+
+/// Canonical rendering of an aggregate node's spec under \p rename:
+/// sorted group-by keys plus positional aggregates.
+std::string RenderAggregateSpec(
+    const PlanNode& node,
+    const std::vector<std::pair<std::string, std::string>>& rename) {
+  std::vector<std::string> keys;
+  for (const OutputColumn& key : node.group_by()) {
+    keys.push_back(key.expr->RenameAliases(rename)->ToString());
+  }
+  std::sort(keys.begin(), keys.end());
+  std::string out = "keys{" + Join(keys, ",") + "};aggs{";
+  for (const AggregateExpr& aggregate : node.aggregates()) {
+    out += std::string(AggregateFnToString(aggregate.fn)) + "(";
+    out += aggregate.argument == nullptr
+               ? "*"
+               : aggregate.argument->RenameAliases(rename)->ToString();
+    out += ");";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+namespace {
+
+/// Shared implementation: \p include_outputs is false when the plan is the
+/// child of an aggregate (its column order is irrelevant — the aggregate
+/// spec defines the outputs).
+Result<uint64_t> PlanSignatureImpl(const PlanPtr& plan, const Catalog& catalog,
+                                   bool include_outputs) {
+  const PlanPtr canonical = Canonicalize(plan);
+  if (canonical->kind() == OpKind::kAggregate) {
+    // Aggregate root: hash the spec (alias-normalized against the child's
+    // flattening) combined with the child's output-free signature.
+    const Result<FlatSpj> child = FlattenSpj(canonical->child(0), catalog);
+    if (child.ok()) {
+      GEQO_ASSIGN_OR_RETURN(
+          const uint64_t child_signature,
+          PlanSignatureImpl(canonical->child(0), catalog,
+                            /*include_outputs=*/false));
+      const auto rename = AliasOrdinals(*child);
+      return HashCombine(child_signature,
+                         HashString(RenderAggregateSpec(*canonical, rename)));
+    }
+    return HashString(SyntacticForm(plan));
+  }
+  const Result<FlatSpj> flat = FlattenSpj(canonical, catalog);
+  if (!flat.ok()) {
+    return HashString(SyntacticForm(plan));  // non-SPJ: pure syntax hash
+  }
+  const auto rename = AliasOrdinals(*flat);
+
+  uint64_t hash = 0x5167a70e;
+  // Table multiset (sorted).
+  std::vector<std::string> tables;
+  for (const TableAtom& atom : flat->atoms) tables.push_back(atom.table);
+  std::sort(tables.begin(), tables.end());
+  for (const std::string& table : tables) {
+    hash = HashCombine(hash, HashString(table));
+  }
+  // Conjuncts: canonical rendering, order-insensitive combination.
+  uint64_t predicate_hash = 0x9e3779b9;
+  for (const Comparison& cmp : flat->predicates) {
+    // Vacuously true conjuncts (cross-join 1=1) do not affect semantics.
+    const auto constant = TryEvaluateComparison(cmp);
+    if (constant.has_value() && *constant) continue;
+    predicate_hash = HashCombineUnordered(
+        predicate_hash, HashString(RenderPredicate(cmp.RenameAliases(rename))));
+  }
+  hash = HashCombine(hash, predicate_hash);
+  if (include_outputs) {
+    // Outputs: positional.
+    for (const OutputColumn& output : flat->outputs) {
+      hash = HashCombine(hash, output.expr->RenameAliases(rename)->Hash());
+    }
+  }
+  return hash;
+}
+
+}  // namespace
+
+Result<uint64_t> PlanSignature(const PlanPtr& plan, const Catalog& catalog) {
+  return PlanSignatureImpl(plan, catalog, /*include_outputs=*/true);
+}
+
+Result<std::vector<std::pair<size_t, size_t>>> SignatureEquivalences(
+    const std::vector<PlanPtr>& workload, const Catalog& catalog) {
+  std::unordered_map<uint64_t, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    GEQO_ASSIGN_OR_RETURN(const uint64_t signature,
+                          PlanSignature(workload[i], catalog));
+    buckets[signature].push_back(i);
+  }
+  std::vector<std::pair<size_t, size_t>> out;
+  for (const auto& [signature, members] : buckets) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        out.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+Result<std::string> OptimizerNormalFormImpl(const PlanPtr& plan,
+                                            const Catalog& catalog,
+                                            bool include_outputs);
+}  // namespace
+
+Result<std::string> OptimizerNormalForm(const PlanPtr& plan,
+                                        const Catalog& catalog) {
+  return OptimizerNormalFormImpl(plan, catalog, /*include_outputs=*/true);
+}
+
+namespace {
+Result<std::string> OptimizerNormalFormImpl(const PlanPtr& plan,
+                                            const Catalog& catalog,
+                                            bool include_outputs) {
+  const PlanPtr canonical = Canonicalize(plan);
+  if (canonical->kind() == OpKind::kAggregate) {
+    const Result<FlatSpj> child = FlattenSpj(canonical->child(0), catalog);
+    if (child.ok()) {
+      GEQO_ASSIGN_OR_RETURN(
+          const std::string child_form,
+          OptimizerNormalFormImpl(canonical->child(0), catalog,
+                                  /*include_outputs=*/false));
+      const auto rename = AliasOrdinals(*child);
+      return "aggregate:" + RenderAggregateSpec(*canonical, rename) + "|" +
+             child_form;
+    }
+    return "syntactic:" + SyntacticForm(plan);
+  }
+  const Result<FlatSpj> flat_result = FlattenSpj(canonical, catalog);
+  if (!flat_result.ok()) return "syntactic:" + SyntacticForm(plan);
+  FlatSpj flat = *flat_result;
+  const auto rename = AliasOrdinals(flat);
+
+  // Equality classes over plain column equalities (rule: equivalence
+  // transfer through join/filter equality predicates).
+  ColumnUnionFind classes;
+  std::vector<NormalizedComparison> range_predicates;
+  std::vector<std::string> opaque_predicates;
+  for (const Comparison& raw : flat.predicates) {
+    const auto constant = TryEvaluateComparison(raw);
+    if (constant.has_value() && *constant) continue;  // 1 = 1
+    const Comparison cmp = raw.RenameAliases(rename);
+    const auto normalized = NormalizeComparison(cmp);
+    if (!normalized.has_value()) {
+      opaque_predicates.push_back("raw:" + cmp.ToString());
+      continue;
+    }
+    if (normalized->op == CompareOp::kEq && normalized->right &&
+        normalized->constant == 0.0 && !normalized->string_constant) {
+      classes.Union(*normalized->left, *normalized->right);
+      continue;
+    }
+    range_predicates.push_back(*normalized);
+  }
+
+  // Substitute representatives into the remaining predicates.
+  for (NormalizedComparison& normalized : range_predicates) {
+    normalized.left = classes.Find(*normalized.left);
+    if (normalized.right) {
+      normalized.right = classes.Find(*normalized.right);
+      if (*normalized.right < *normalized.left) {
+        std::swap(normalized.left, normalized.right);
+        normalized.op = FlipCompareOp(normalized.op);
+        normalized.constant = -normalized.constant;
+      }
+      // A difference predicate between same-class columns reduces to a
+      // constant check on the residual; keep its rendering stable.
+      if (*normalized.left == *normalized.right) {
+        normalized.right = std::nullopt;
+        // col - col op c  ==  0 op c: fold to true/false.
+        opaque_predicates.push_back(
+            StrFormat("const:0%s%s",
+                      std::string(CompareOpToString(normalized.op)).c_str(),
+                      RenderDouble(normalized.constant).c_str()));
+        normalized.left = std::nullopt;
+      }
+    }
+  }
+  range_predicates.erase(
+      std::remove_if(range_predicates.begin(), range_predicates.end(),
+                     [](const NormalizedComparison& n) { return !n.left; }),
+      range_predicates.end());
+
+  // Same-term redundant-predicate pruning: keep only the strongest bound
+  // per (term, direction); keep equalities and inequalities as-is.
+  std::vector<std::string> rendered;
+  for (size_t i = 0; i < range_predicates.size(); ++i) {
+    const NormalizedComparison& a = range_predicates[i];
+    bool dominated = false;
+    if (Direction(a.op) != 0 && !a.string_constant) {
+      for (size_t j = 0; j < range_predicates.size() && !dominated; ++j) {
+        if (i == j) continue;
+        const NormalizedComparison& b = range_predicates[j];
+        if (b.string_constant || Direction(b.op) != Direction(a.op)) continue;
+        const bool same_term =
+            *a.left == *b.left && a.right.has_value() == b.right.has_value() &&
+            (!a.right || *a.right == *b.right);
+        if (!same_term) continue;
+        // b dominates a when b implies a; ties broken toward lower index so
+        // exactly one of two identical conjuncts survives.
+        const int dir = Direction(a.op);
+        const bool b_implies_a =
+            dir > 0 ? (b.constant > a.constant ||
+                       (b.constant == a.constant &&
+                        !(b.op == CompareOp::kGe && a.op == CompareOp::kGt)))
+                    : (b.constant < a.constant ||
+                       (b.constant == a.constant &&
+                        !(b.op == CompareOp::kLe && a.op == CompareOp::kLt)));
+        const bool identical = b.constant == a.constant && b.op == a.op;
+        if (b_implies_a && (!identical || j < i)) dominated = true;
+      }
+    }
+    if (dominated) continue;
+    std::string text = a.left->ToString();
+    if (a.right) text += "-" + a.right->ToString();
+    text += std::string(CompareOpToString(a.op));
+    text += a.string_constant ? ("'" + *a.string_constant + "'")
+                              : RenderDouble(a.constant);
+    rendered.push_back(std::move(text));
+  }
+  for (std::string& text : opaque_predicates) rendered.push_back(std::move(text));
+  std::sort(rendered.begin(), rendered.end());
+  rendered.erase(std::unique(rendered.begin(), rendered.end()), rendered.end());
+
+  // Assemble: tables | equality classes | predicates | outputs.
+  std::vector<std::string> tables;
+  for (const TableAtom& atom : flat.atoms) tables.push_back(atom.table);
+  std::sort(tables.begin(), tables.end());
+
+  std::string out = "tables:" + Join(tables, ",") + ";";
+  out += "classes:" + Join(classes.RenderClasses(), ";") + ";";
+  out += "predicates:" + Join(rendered, ";") + ";";
+  out += "outputs:";
+  if (include_outputs) {
+    for (const OutputColumn& output : flat.outputs) {
+      const ExprPtr renamed = output.expr->RenameAliases(rename);
+      const auto term = ExtractLinearTerm(renamed);
+      if (term && term->column) {
+        const ColumnRef representative = classes.Find(*term->column);
+        out += representative.ToString() + "+" + RenderDouble(term->offset) + ",";
+      } else {
+        out += renamed->ToString() + ",";
+      }
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Result<std::vector<std::pair<size_t, size_t>>> OptimizerEquivalences(
+    const std::vector<PlanPtr>& workload, const Catalog& catalog) {
+  std::unordered_map<std::string, std::vector<size_t>> buckets;
+  for (size_t i = 0; i < workload.size(); ++i) {
+    GEQO_ASSIGN_OR_RETURN(const std::string form,
+                          OptimizerNormalForm(workload[i], catalog));
+    buckets[form].push_back(i);
+  }
+  std::vector<std::pair<size_t, size_t>> out;
+  for (const auto& [form, members] : buckets) {
+    for (size_t i = 0; i < members.size(); ++i) {
+      for (size_t j = i + 1; j < members.size(); ++j) {
+        out.emplace_back(members[i], members[j]);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace geqo

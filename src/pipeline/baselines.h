@@ -1,0 +1,46 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file baselines.h
+/// The two non-ML equivalence detectors GEqO is compared against in §7.5:
+///
+///   Signature-based detection (CloudViews / Jindal et al. [32]): a Merkle-
+///   style hash over a lightly normalized syntax tree. Catches identical
+///   and trivially-reordered subexpressions; misses semantic rewrites such
+///   as implied-predicate insertion or equality substitution.
+///
+///   Optimizer-based detection (Calcite-style): a rule-driven normal form —
+///   column equality classes, per-term redundant-predicate pruning, sorted
+///   atoms and conjuncts — compared for identity. Stronger than signatures,
+///   but bounded by its rewrite rules: it cannot reason across terms (e.g.
+///   Figure 1's A.val > B.val + 10 ∧ B.val + 10 > 20 ⊢ A.val > 20), which
+///   is exactly the gap the paper attributes to optimizers [50].
+
+namespace geqo {
+
+/// \brief Signature of a subexpression: a stable 64-bit Merkle-style hash
+/// of the canonicalized plan with aliases replaced by table-name ordinals
+/// and conjuncts hashed order-insensitively.
+Result<uint64_t> PlanSignature(const PlanPtr& plan, const Catalog& catalog);
+
+/// \brief All pairs of \p workload with equal signatures (i < j indices).
+Result<std::vector<std::pair<size_t, size_t>>> SignatureEquivalences(
+    const std::vector<PlanPtr>& workload, const Catalog& catalog);
+
+/// \brief Rule-based normal form of a subexpression (see file comment);
+/// two subexpressions with equal normal forms are deemed equivalent by the
+/// optimizer baseline.
+Result<std::string> OptimizerNormalForm(const PlanPtr& plan,
+                                        const Catalog& catalog);
+
+/// \brief All pairs of \p workload with equal optimizer normal forms.
+Result<std::vector<std::pair<size_t, size_t>>> OptimizerEquivalences(
+    const std::vector<PlanPtr>& workload, const Catalog& catalog);
+
+}  // namespace geqo

@@ -1,0 +1,121 @@
+#include "pipeline/geqo.h"
+
+#include "common/stopwatch.h"
+
+namespace geqo {
+
+Result<GeqoResult> GeqoPipeline::DetectEquivalences(
+    const std::vector<PlanPtr>& workload, ValueRange value_range) {
+  Stopwatch total_watch;
+  GeqoResult result;
+  const size_t n = workload.size();
+  result.total_pairs = n * (n - 1) / 2;
+
+  GEQO_ASSIGN_OR_RETURN(
+      std::vector<EncodedPlan> encoded,
+      EncodeWorkload(workload, *instance_layout_, *catalog_, value_range));
+
+  // Stage 1: schema filter (or one group containing everything).
+  Stopwatch watch;
+  std::vector<SfGroup> groups;
+  if (options_.use_sf) {
+    GEQO_ASSIGN_OR_RETURN(groups, SchemaFilter(workload, *catalog_));
+  } else {
+    SfGroup everything;
+    for (size_t i = 0; i < n; ++i) everything.members.push_back(i);
+    groups.push_back(std::move(everything));
+  }
+  result.sf_stats.seconds = watch.ElapsedSeconds();
+  result.sf_stats.pairs_in = result.total_pairs;
+  result.sf_stats.pairs_out = CountIntraGroupPairs(groups);
+
+  // Stage 2: vector matching filter per group (or all intra-group pairs).
+  watch.Reset();
+  std::vector<std::pair<size_t, size_t>> candidates;
+  if (options_.use_vmf) {
+    VmfOptions vmf_options = options_.vmf;
+    // Without the SF, "groups" can reference arbitrarily many tables; fall
+    // back to the lossy group encoding (see AgnosticConverter::Create).
+    if (!options_.use_sf) vmf_options.truncate_overflow = true;
+    const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
+                                   vmf_options);
+    for (const SfGroup& group : groups) {
+      GEQO_ASSIGN_OR_RETURN(auto group_pairs,
+                            vmf.CandidatePairs(group.members, encoded));
+      candidates.insert(candidates.end(), group_pairs.begin(),
+                        group_pairs.end());
+    }
+  } else {
+    for (const SfGroup& group : groups) {
+      for (size_t i = 0; i < group.members.size(); ++i) {
+        for (size_t j = i + 1; j < group.members.size(); ++j) {
+          candidates.emplace_back(group.members[i], group.members[j]);
+        }
+      }
+    }
+  }
+  result.vmf_stats.seconds = watch.ElapsedSeconds();
+  result.vmf_stats.pairs_in = result.sf_stats.pairs_out;
+  result.vmf_stats.pairs_out = candidates.size();
+
+  // Stage 3: equivalence model filter.
+  watch.Reset();
+  if (options_.use_emf && !candidates.empty()) {
+    const EquivalenceModelFilter emf(model_, instance_layout_,
+                                     agnostic_layout_, options_.emf);
+    GEQO_ASSIGN_OR_RETURN(candidates, emf.Filter(candidates, encoded));
+  }
+  result.emf_stats.seconds = watch.ElapsedSeconds();
+  result.emf_stats.pairs_in = result.vmf_stats.pairs_out;
+  result.emf_stats.pairs_out = candidates.size();
+  result.candidates = candidates;
+
+  // Stage 4: automated verification of the surviving candidates.
+  watch.Reset();
+  if (options_.run_verifier) {
+    for (const auto& [i, j] : candidates) {
+      if (verifier_.CheckEquivalence(workload[i], workload[j]) ==
+          EquivalenceVerdict::kEquivalent) {
+        result.equivalences.emplace_back(i, j);
+      }
+    }
+  } else {
+    result.equivalences = candidates;
+  }
+  result.verify_stats.seconds = watch.ElapsedSeconds();
+  result.verify_stats.pairs_in = candidates.size();
+  result.verify_stats.pairs_out = result.equivalences.size();
+
+  result.total_seconds = total_watch.ElapsedSeconds();
+  return result;
+}
+
+Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
+                                     ValueRange value_range) {
+  // The pairwise special case of Equation 2: each enabled filter may
+  // short-circuit to "not equivalent"; survivors are verified.
+  if (options_.use_sf) {
+    GEQO_ASSIGN_OR_RETURN(const bool pass, SchemaFilterPair(a, b, *catalog_));
+    if (!pass) return false;
+  }
+  GEQO_ASSIGN_OR_RETURN(
+      std::vector<EncodedPlan> encoded,
+      EncodeWorkload({a, b}, *instance_layout_, *catalog_, value_range));
+  if (options_.use_vmf) {
+    const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
+                                   options_.vmf);
+    GEQO_ASSIGN_OR_RETURN(const auto pairs,
+                          vmf.CandidatePairs({0, 1}, encoded));
+    if (pairs.empty()) return false;
+  }
+  if (options_.use_emf) {
+    const EquivalenceModelFilter emf(model_, instance_layout_,
+                                     agnostic_layout_, options_.emf);
+    GEQO_ASSIGN_OR_RETURN(const auto scores, emf.Scores({{0, 1}}, encoded));
+    if (scores[0] < options_.emf.threshold) return false;
+  }
+  if (!options_.run_verifier) return true;
+  return verifier_.CheckEquivalence(a, b) == EquivalenceVerdict::kEquivalent;
+}
+
+}  // namespace geqo

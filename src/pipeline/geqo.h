@@ -1,0 +1,91 @@
+#pragma once
+
+#include <vector>
+
+#include "filters/emf_filter.h"
+#include "filters/schema_filter.h"
+#include "filters/vmf.h"
+#include "verify/verifier.h"
+#include "workload/labeled_data.h"
+
+/// \file geqo.h
+/// The end-to-end GEqO pipeline (Equations 1-2, §2.2): filters applied in
+/// decreasing order of speed and increasing order of precision — SF groups,
+/// VMF candidate pairs, EMF classification — with the automated verifier
+/// eliminating false positives last. Filters short-circuit: a pair rejected
+/// by any stage is never seen by later stages.
+
+namespace geqo {
+
+/// \brief Which filters run (the Fig-14 ablation toggles these) and their
+/// parameters.
+struct GeqoOptions {
+  bool use_sf = true;
+  bool use_vmf = true;
+  bool use_emf = true;
+  bool run_verifier = true;  ///< disable to inspect raw filter output
+  VmfOptions vmf;
+  EmfFilterOptions emf;
+  VerifierOptions verifier;
+};
+
+/// \brief Per-stage accounting for one DetectEquivalences run.
+struct StageStats {
+  double seconds = 0.0;
+  size_t pairs_in = 0;
+  size_t pairs_out = 0;
+};
+
+/// \brief Output of GEqO_SET.
+struct GeqoResult {
+  /// Verified equivalent pairs (workload indices, i < j).
+  std::vector<std::pair<size_t, size_t>> equivalences;
+  /// Pairs surviving all filters (the verifier's input).
+  std::vector<std::pair<size_t, size_t>> candidates;
+  size_t total_pairs = 0;  ///< |W| * (|W|-1) / 2
+  StageStats sf_stats;
+  StageStats vmf_stats;
+  StageStats emf_stats;
+  StageStats verify_stats;
+  double total_seconds = 0.0;
+};
+
+/// \brief The GEqO pipeline over a fixed catalog, model, and layouts.
+class GeqoPipeline {
+ public:
+  GeqoPipeline(const Catalog* catalog, ml::EmfModel* model,
+               const EncodingLayout* instance_layout,
+               const EncodingLayout* agnostic_layout,
+               GeqoOptions options = GeqoOptions())
+      : catalog_(catalog),
+        model_(model),
+        instance_layout_(instance_layout),
+        agnostic_layout_(agnostic_layout),
+        options_(options),
+        verifier_(catalog, options.verifier) {}
+
+  /// GEqO_SET(W, F): approximates the equivalence set of \p workload.
+  Result<GeqoResult> DetectEquivalences(const std::vector<PlanPtr>& workload,
+                                        ValueRange value_range);
+
+  /// GEqO_PAIR(q_i, q_j, F): the pairwise special case.
+  Result<bool> CheckPair(const PlanPtr& a, const PlanPtr& b,
+                         ValueRange value_range);
+
+  SpesVerifier& verifier() { return verifier_; }
+  const GeqoOptions& options() const { return options_; }
+  /// Adjusts the VMF threshold tau (used after CalibrateVmfRadius).
+  void set_vmf_radius(float radius) { options_.vmf.radius = radius; }
+  /// Adjusts the EMF decision threshold (used after CalibrateEmfThreshold).
+  void set_emf_threshold(float threshold) { options_.emf.threshold = threshold; }
+
+ private:
+  const Catalog* catalog_;
+  ml::EmfModel* model_;
+  const EncodingLayout* instance_layout_;
+  const EncodingLayout* agnostic_layout_;
+  GeqoOptions options_;
+  SpesVerifier verifier_;
+};
+
+}  // namespace geqo

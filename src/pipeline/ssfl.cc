@@ -1,0 +1,170 @@
+#include "pipeline/ssfl.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace geqo {
+namespace {
+
+/// Pairwise-converts (i, j) index pairs into an ml::PairDataset entry.
+Status EncodePairInto(const std::vector<EncodedPlan>& encoded,
+                      const EncodingLayout* instance_layout,
+                      const EncodingLayout* agnostic_layout, size_t i, size_t j,
+                      float label, ml::PairDataset* out) {
+  GEQO_ASSIGN_OR_RETURN(
+      AgnosticConverter converter,
+      AgnosticConverter::Create(instance_layout, agnostic_layout,
+                                {&encoded[i], &encoded[j]},
+                                /*truncate_overflow=*/true));
+  out->Add(converter.Convert(encoded[i]), converter.Convert(encoded[j]), label);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> Ssfl::EstimateConfidence(
+    const std::vector<EncodedPlan>& encoded) {
+  const size_t n = encoded.size();
+  if (n < 2) return 1.0;
+  ml::PairDataset sample;
+  for (size_t s = 0; s < options_.confidence_sample; ++s) {
+    const size_t i = rng_.Uniform(n);
+    size_t j = rng_.Uniform(n);
+    if (i == j) j = (j + 1) % n;
+    GEQO_RETURN_NOT_OK(EncodePairInto(encoded, instance_layout_,
+                                      agnostic_layout_, i, j, 0.0f, &sample));
+  }
+  const std::vector<float> probs = ml::PredictAll(model_, sample);
+  size_t confident = 0;
+  for (const float p : probs) {
+    confident += std::max(p, 1.0f - p) >= options_.confidence_threshold;
+  }
+  return static_cast<double>(confident) / static_cast<double>(probs.size());
+}
+
+Status Ssfl::DrawSample(const std::vector<PlanPtr>& workload,
+                        const std::vector<EncodedPlan>& encoded,
+                        SsflIterationReport* report, ml::PairDataset* out) {
+  Stopwatch watch;
+  std::vector<std::pair<size_t, size_t>> positives_candidates;
+  std::vector<std::pair<size_t, size_t>> labeled_pairs;
+  std::vector<float> labels;
+
+  if (options_.filter_based_sampling) {
+    // Filter-balanced sampling (§6): SF groups, VMF candidates, then AV
+    // labels. Keeps every labeled pair, positive or negative.
+    GEQO_ASSIGN_OR_RETURN(std::vector<SfGroup> groups,
+                          SchemaFilter(workload, *catalog_));
+    VmfOptions vmf_options = options_.vmf;
+    const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
+                                   vmf_options);
+    // Distance-ranked sampling: the closest embedding pairs per SF-group
+    // are the likeliest equivalences. Ranking (instead of a fixed radius)
+    // keeps the sampler productive even before the embedding space is
+    // calibrated for the new workload — the cold-start case this loop
+    // exists to fix (§6).
+    std::vector<std::pair<std::pair<size_t, size_t>, float>> ranked;
+    for (const SfGroup& group : groups) {
+      GEQO_ASSIGN_OR_RETURN(auto group_pairs,
+                            vmf.NearestPairs(group.members, encoded, 2));
+      ranked.insert(ranked.end(), group_pairs.begin(), group_pairs.end());
+    }
+    std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+      return a.second < b.second;
+    });
+    std::vector<std::pair<size_t, size_t>> candidates;
+    for (const auto& [pair, distance] : ranked) {
+      if (candidates.size() >= options_.sample_batch / 2) break;
+      if (!sampled_.insert(pair).second) continue;  // new pairs only
+      candidates.push_back(pair);
+    }
+    report->sample_seconds = watch.ElapsedSeconds();
+
+    watch.Reset();
+    for (const auto& [i, j] : candidates) {
+      const bool equivalent =
+          verifier_.CheckEquivalence(workload[i], workload[j]) ==
+          EquivalenceVerdict::kEquivalent;
+      labeled_pairs.emplace_back(i, j);
+      labels.push_back(equivalent ? 1.0f : 0.0f);
+      report->new_positives += equivalent;
+      report->new_negatives += !equivalent;
+    }
+    report->verify_seconds = watch.ElapsedSeconds();
+
+    // Balance per Algorithm 1 line 10: the random negative complement has
+    // size |S+|, keeping classes approximately balanced (an unbalanced,
+    // negative-dominated batch would collapse the model toward "never
+    // equivalent").
+    const size_t n = workload.size();
+    const size_t target_negatives =
+        std::max<size_t>(report->new_positives, options_.sample_batch / 16);
+    while (report->new_negatives < target_negatives && n >= 2 &&
+           labeled_pairs.size() < options_.sample_batch) {
+      const size_t i = rng_.Uniform(n);
+      size_t j = rng_.Uniform(n);
+      if (i == j) j = (j + 1) % n;
+      labeled_pairs.emplace_back(std::min(i, j), std::max(i, j));
+      labels.push_back(0.0f);
+      ++report->new_negatives;
+    }
+  } else {
+    // Random sampling baseline (§7.3): uniform pairs assumed non-equivalent
+    // without verification, mirroring Algorithm 1's unverified negative
+    // complement. This is what makes random sampling cheap (Figure 10) and
+    // useless for surfacing positives (Figure 9): in a quadratic pair space
+    // a uniform draw essentially never hits an equivalence.
+    const size_t n = workload.size();
+    report->sample_seconds = watch.ElapsedSeconds();
+    watch.Reset();
+    for (size_t s = 0; s < options_.sample_batch && n >= 2; ++s) {
+      const size_t i = rng_.Uniform(n);
+      size_t j = rng_.Uniform(n);
+      if (i == j) j = (j + 1) % n;
+      if (!sampled_.insert({std::min(i, j), std::max(i, j)}).second) continue;
+      labeled_pairs.emplace_back(std::min(i, j), std::max(i, j));
+      labels.push_back(0.0f);
+      ++report->new_negatives;
+    }
+    report->verify_seconds = watch.ElapsedSeconds();
+  }
+
+  watch.Reset();
+  for (size_t p = 0; p < labeled_pairs.size(); ++p) {
+    GEQO_RETURN_NOT_OK(EncodePairInto(encoded, instance_layout_,
+                                      agnostic_layout_, labeled_pairs[p].first,
+                                      labeled_pairs[p].second, labels[p], out));
+  }
+  report->featurize_seconds = watch.ElapsedSeconds();
+  return Status::OK();
+}
+
+Result<std::vector<SsflIterationReport>> Ssfl::Run(
+    const std::vector<PlanPtr>& workload, ValueRange value_range) {
+  GEQO_ASSIGN_OR_RETURN(
+      std::vector<EncodedPlan> encoded,
+      EncodeWorkload(workload, *instance_layout_, *catalog_, value_range));
+
+  std::vector<SsflIterationReport> reports;
+  for (size_t iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    SsflIterationReport report;
+    GEQO_ASSIGN_OR_RETURN(report.confidence, EstimateConfidence(encoded));
+    if (report.confidence >= options_.confidence_threshold) {
+      reports.push_back(report);
+      break;  // the model is confident: the loop deactivates (§7.3)
+    }
+
+    ml::PairDataset batch;
+    GEQO_RETURN_NOT_OK(DrawSample(workload, encoded, &report, &batch));
+    accumulated_.Append(batch);
+
+    Stopwatch watch;
+    trainer_->FineTune(accumulated_, options_.finetune_epochs);
+    report.train_seconds = watch.ElapsedSeconds();
+    reports.push_back(report);
+  }
+  return reports;
+}
+
+}  // namespace geqo

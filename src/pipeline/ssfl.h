@@ -1,0 +1,104 @@
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "ml/trainer.h"
+#include "pipeline/geqo.h"
+
+/// \file ssfl.h
+/// The semi-supervised feedback loop (SSFL, §6 / Algorithm 1). When the
+/// EMF's confidence over a workload falls below the threshold T_h, the SSFL
+/// draws a new balanced training sample — using the cheap SF and VMF filters
+/// to surface likely-equivalent pairs that the automated verifier then
+/// labels (filter-balanced sampling) — augments the training set, and
+/// fine-tunes the model. Random sampling is provided as the paper's
+/// comparison point (Figures 9-10).
+
+namespace geqo {
+
+/// \brief SSFL configuration (paper: T_h = 0.9, 512-sample batches).
+struct SsflOptions {
+  float confidence_threshold = 0.9f;  ///< T_h
+  size_t sample_batch = 512;          ///< labeled samples per iteration
+  size_t max_iterations = 8;
+  size_t finetune_epochs = 5;
+  bool filter_based_sampling = true;  ///< false = random sampling baseline
+  /// Pairs sampled from W x W to estimate SSFL-CL (Definition 6.1); the
+  /// full cross product is quadratic and needless for a rate estimate.
+  size_t confidence_sample = 2000;
+  uint64_t seed = 0x55f1ULL;
+  VmfOptions vmf;
+};
+
+/// \brief Per-iteration record backing Figures 9-11.
+struct SsflIterationReport {
+  double confidence = 0.0;       ///< SSFL-CL before this iteration's tuning
+  size_t new_positives = 0;
+  size_t new_negatives = 0;
+  double sample_seconds = 0.0;   ///< SF+VMF candidate generation / sampling
+  double verify_seconds = 0.0;   ///< AV labeling
+  double featurize_seconds = 0.0;
+  double train_seconds = 0.0;
+  double TotalSeconds() const {
+    return sample_seconds + verify_seconds + featurize_seconds + train_seconds;
+  }
+};
+
+/// \brief Runs Algorithm 1 over a workload.
+class Ssfl {
+ public:
+  Ssfl(const Catalog* catalog, ml::EmfModel* model, ml::EmfTrainer* trainer,
+       const EncodingLayout* instance_layout,
+       const EncodingLayout* agnostic_layout, SsflOptions options = SsflOptions())
+      : catalog_(catalog),
+        model_(model),
+        trainer_(trainer),
+        instance_layout_(instance_layout),
+        agnostic_layout_(agnostic_layout),
+        options_(options),
+        rng_(options.seed),
+        verifier_(catalog) {}
+
+  /// Iterates sample -> label -> fine-tune until the confidence level
+  /// reaches T_h or max_iterations is hit. Returns one report per executed
+  /// iteration (each beginning with the pre-tuning confidence estimate).
+  Result<std::vector<SsflIterationReport>> Run(
+      const std::vector<PlanPtr>& workload, ValueRange value_range);
+
+  /// SSFL-CL estimate for \p workload (Definition 6.1).
+  Result<double> EstimateConfidence(const std::vector<EncodedPlan>& encoded);
+
+  /// Seeds the accumulated pool with existing training data, so
+  /// fine-tuning *augments* the original dataset (§6) instead of replacing
+  /// it — this is what prevents catastrophic forgetting of the pretrained
+  /// patterns when the new-workload batches are small.
+  void SeedTrainingData(const ml::PairDataset& dataset) {
+    accumulated_.Append(dataset);
+  }
+
+  /// Training data accumulated across iterations.
+  const ml::PairDataset& accumulated_data() const { return accumulated_; }
+  SpesVerifier& verifier() { return verifier_; }
+
+ private:
+  /// Draws one labeled batch; appends to \p out and fills timing fields.
+  Status DrawSample(const std::vector<PlanPtr>& workload,
+                    const std::vector<EncodedPlan>& encoded,
+                    SsflIterationReport* report, ml::PairDataset* out);
+
+  const Catalog* catalog_;
+  ml::EmfModel* model_;
+  ml::EmfTrainer* trainer_;
+  const EncodingLayout* instance_layout_;
+  const EncodingLayout* agnostic_layout_;
+  SsflOptions options_;
+  Rng rng_;
+  SpesVerifier verifier_;
+  ml::PairDataset accumulated_;
+  /// Pairs already labeled in earlier iterations; skipped by the sampler so
+  /// every batch contributes new information.
+  std::set<std::pair<size_t, size_t>> sampled_;
+};
+
+}  // namespace geqo

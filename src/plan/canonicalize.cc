@@ -1,0 +1,95 @@
+#include "plan/canonicalize.h"
+
+#include <optional>
+
+namespace geqo {
+
+std::optional<bool> TryEvaluateComparison(const Comparison& raw) {
+  const Comparison cmp{FoldConstants(raw.lhs), raw.op, FoldConstants(raw.rhs)};
+  if (!cmp.lhs->is_literal() || !cmp.rhs->is_literal()) return std::nullopt;
+  const Value& a = cmp.lhs->value();
+  const Value& b = cmp.rhs->value();
+  if (a.is_numeric() != b.is_numeric()) return std::nullopt;
+  const int c = a.Compare(b);
+  switch (cmp.op) {
+    case CompareOp::kEq:
+      return c == 0;
+    case CompareOp::kNe:
+      return c != 0;
+    case CompareOp::kLt:
+      return c < 0;
+    case CompareOp::kLe:
+      return c <= 0;
+    case CompareOp::kGt:
+      return c > 0;
+    case CompareOp::kGe:
+      return c >= 0;
+  }
+  return std::nullopt;
+}
+
+
+PlanPtr Canonicalize(const PlanPtr& plan) {
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      return plan;
+    case OpKind::kSelect: {
+      PlanPtr child = Canonicalize(plan->child(0));
+      Comparison folded{FoldConstants(plan->predicate().lhs),
+                        plan->predicate().op,
+                        FoldConstants(plan->predicate().rhs)};
+      const std::optional<bool> constant = TryEvaluateComparison(folded);
+      if (constant.has_value() && *constant) {
+        return child;  // WHERE 1 = 1: drop
+      }
+      return PlanNode::Select(std::move(folded), std::move(child));
+    }
+    case OpKind::kJoin: {
+      PlanPtr left = Canonicalize(plan->child(0));
+      PlanPtr right = Canonicalize(plan->child(1));
+      Comparison folded{FoldConstants(plan->predicate().lhs),
+                        plan->predicate().op,
+                        FoldConstants(plan->predicate().rhs)};
+      return PlanNode::Join(plan->join_type(), std::move(folded),
+                            std::move(left), std::move(right));
+    }
+    case OpKind::kProject: {
+      PlanPtr child = Canonicalize(plan->child(0));
+      std::vector<OutputColumn> outputs;
+      outputs.reserve(plan->outputs().size());
+      for (const OutputColumn& output : plan->outputs()) {
+        outputs.push_back(OutputColumn{output.name, FoldConstants(output.expr)});
+      }
+      return PlanNode::Project(std::move(outputs), std::move(child));
+    }
+    case OpKind::kAggregate: {
+      PlanPtr child = Canonicalize(plan->child(0));
+      std::vector<OutputColumn> keys;
+      keys.reserve(plan->group_by().size());
+      for (const OutputColumn& key : plan->group_by()) {
+        keys.push_back(OutputColumn{key.name, FoldConstants(key.expr)});
+      }
+      std::vector<AggregateExpr> aggregates;
+      aggregates.reserve(plan->aggregates().size());
+      for (const AggregateExpr& aggregate : plan->aggregates()) {
+        aggregates.push_back(AggregateExpr{
+            aggregate.fn,
+            aggregate.argument == nullptr ? nullptr
+                                          : FoldConstants(aggregate.argument),
+            aggregate.name});
+      }
+      return PlanNode::Aggregate(std::move(keys), std::move(aggregates),
+                                 std::move(child));
+    }
+  }
+  return plan;
+}
+
+size_t CountPredicates(const PlanPtr& plan) {
+  size_t count =
+      (plan->kind() == OpKind::kSelect || plan->kind() == OpKind::kJoin) ? 1 : 0;
+  for (const PlanPtr& child : plan->children()) count += CountPredicates(child);
+  return count;
+}
+
+}  // namespace geqo

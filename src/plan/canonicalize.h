@@ -1,0 +1,30 @@
+#pragma once
+
+#include <optional>
+
+#include "plan/plan.h"
+
+/// \file canonicalize.h
+/// Plan canonicalization (§3.1): constant folding inside predicates and
+/// projections, plus elimination of vacuously true selections. Conjunctive
+/// predicates are already split — each Select/Join node carries exactly one
+/// atomic comparison by construction (the parser stacks Select nodes).
+
+namespace geqo {
+
+/// \brief Returns the canonical form of \p plan:
+///   - every expression is constant-folded (A.x > 10 + 5  =>  A.x > 15);
+///   - selections whose predicate folds to a constant true are removed;
+///   - selections folding to constant false are retained (removing them
+///     would change semantics; the verifier handles them via infeasibility).
+PlanPtr Canonicalize(const PlanPtr& plan);
+
+/// \brief Counts the selection/join predicates in \p plan.
+size_t CountPredicates(const PlanPtr& plan);
+
+/// \brief Evaluates `lhs op rhs` when both sides fold to literals of
+/// comparable types; nullopt otherwise. Used by the canonicalizer (dropping
+/// vacuous selections) and the verifier (constant join predicates).
+std::optional<bool> TryEvaluateComparison(const Comparison& cmp);
+
+}  // namespace geqo

@@ -1,0 +1,346 @@
+#include "plan/expr.h"
+
+#include "common/check.h"
+
+namespace geqo {
+
+ExprPtr Expr::Column(std::string alias, std::string column) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kColumnRef;
+  node->column_ = ColumnRef{std::move(alias), std::move(column)};
+  return node;
+}
+
+ExprPtr Expr::Literal(Value value) {
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = ExprKind::kLiteral;
+  node->value_ = std::move(value);
+  return node;
+}
+
+ExprPtr Expr::Binary(ExprKind kind, ExprPtr left, ExprPtr right) {
+  GEQO_CHECK(kind == ExprKind::kAdd || kind == ExprKind::kSub ||
+             kind == ExprKind::kMul || kind == ExprKind::kDiv)
+      << "Binary() requires an arithmetic kind";
+  GEQO_CHECK(left != nullptr && right != nullptr);
+  auto node = std::shared_ptr<Expr>(new Expr());
+  node->kind_ = kind;
+  node->left_ = std::move(left);
+  node->right_ = std::move(right);
+  return node;
+}
+
+const Value& Expr::value() const {
+  GEQO_DCHECK(kind_ == ExprKind::kLiteral);
+  return value_;
+}
+
+const ColumnRef& Expr::column() const {
+  GEQO_DCHECK(kind_ == ExprKind::kColumnRef);
+  return column_;
+}
+
+const ExprPtr& Expr::left() const {
+  GEQO_DCHECK(is_binary());
+  return left_;
+}
+
+const ExprPtr& Expr::right() const {
+  GEQO_DCHECK(is_binary());
+  return right_;
+}
+
+void Expr::CollectColumns(std::vector<ColumnRef>* out) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      out->push_back(column_);
+      return;
+    case ExprKind::kLiteral:
+      return;
+    default:
+      left_->CollectColumns(out);
+      right_->CollectColumns(out);
+      return;
+  }
+}
+
+bool Expr::Equals(const Expr& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return column_ == other.column_;
+    case ExprKind::kLiteral:
+      return value_.type() == other.value_.type() && value_ == other.value_;
+    default:
+      return left_->Equals(*other.left_) && right_->Equals(*other.right_);
+  }
+}
+
+uint64_t Expr::Hash() const {
+  uint64_t hash = HashCombine(0x9e3779b9, static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return HashCombine(hash, column_.Hash());
+    case ExprKind::kLiteral:
+      return HashCombine(hash, value_.Hash());
+    default:
+      hash = HashCombine(hash, left_->Hash());
+      return HashCombine(hash, right_->Hash());
+  }
+}
+
+namespace {
+
+std::string_view ArithmeticSymbol(ExprKind kind) {
+  switch (kind) {
+    case ExprKind::kAdd:
+      return "+";
+    case ExprKind::kSub:
+      return "-";
+    case ExprKind::kMul:
+      return "*";
+    case ExprKind::kDiv:
+      return "/";
+    default:
+      return "?";
+  }
+}
+
+}  // namespace
+
+std::string Expr::ToString() const {
+  switch (kind_) {
+    case ExprKind::kColumnRef:
+      return column_.ToString();
+    case ExprKind::kLiteral:
+      return value_.ToString();
+    default:
+      return "(" + left_->ToString() + " " +
+             std::string(ArithmeticSymbol(kind_)) + " " + right_->ToString() +
+             ")";
+  }
+}
+
+ExprPtr Expr::RenameAliases(
+    const std::vector<std::pair<std::string, std::string>>& rename) const {
+  switch (kind_) {
+    case ExprKind::kColumnRef: {
+      for (const auto& [from, to] : rename) {
+        if (column_.alias == from) return Expr::Column(to, column_.column);
+      }
+      return Expr::Column(column_.alias, column_.column);
+    }
+    case ExprKind::kLiteral:
+      return Expr::Literal(value_);
+    default:
+      return Expr::Binary(kind_, left_->RenameAliases(rename),
+                          right_->RenameAliases(rename));
+  }
+}
+
+CompareOp FlipCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kEq;
+    case CompareOp::kNe:
+      return CompareOp::kNe;
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+  }
+  return op;
+}
+
+CompareOp NegateCompareOp(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+  }
+  return op;
+}
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "<>";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+std::string Comparison::ToString() const {
+  return lhs->ToString() + " " + std::string(CompareOpToString(op)) + " " +
+         rhs->ToString();
+}
+
+bool Comparison::Equals(const Comparison& other) const {
+  return op == other.op && lhs->Equals(*other.lhs) && rhs->Equals(*other.rhs);
+}
+
+uint64_t Comparison::Hash() const {
+  uint64_t hash = HashCombine(0xc0111de, static_cast<uint64_t>(op));
+  hash = HashCombine(hash, lhs->Hash());
+  return HashCombine(hash, rhs->Hash());
+}
+
+void Comparison::CollectColumns(std::vector<ColumnRef>* out) const {
+  lhs->CollectColumns(out);
+  rhs->CollectColumns(out);
+}
+
+Comparison Comparison::RenameAliases(
+    const std::vector<std::pair<std::string, std::string>>& rename) const {
+  return Comparison{lhs->RenameAliases(rename), op, rhs->RenameAliases(rename)};
+}
+
+ExprPtr FoldConstants(const ExprPtr& expr) {
+  if (!expr->is_binary()) return expr;
+  ExprPtr left = FoldConstants(expr->left());
+  ExprPtr right = FoldConstants(expr->right());
+  if (left->is_literal() && right->is_literal() &&
+      left->value().is_numeric() && right->value().is_numeric()) {
+    const double a = left->value().AsDouble();
+    const double b = right->value().AsDouble();
+    double folded = 0.0;
+    switch (expr->kind()) {
+      case ExprKind::kAdd:
+        folded = a + b;
+        break;
+      case ExprKind::kSub:
+        folded = a - b;
+        break;
+      case ExprKind::kMul:
+        folded = a * b;
+        break;
+      case ExprKind::kDiv:
+        if (b == 0.0) return Expr::Binary(expr->kind(), left, right);
+        folded = a / b;
+        break;
+      default:
+        return Expr::Binary(expr->kind(), left, right);
+    }
+    // Preserve integer typing when both operands were integers and the
+    // result is integral (keeps signatures of int workloads stable).
+    if (left->value().type() == ValueType::kInt &&
+        right->value().type() == ValueType::kInt &&
+        folded == static_cast<double>(static_cast<int64_t>(folded))) {
+      return Expr::IntLiteral(static_cast<int64_t>(folded));
+    }
+    return Expr::Literal(Value::Double(folded));
+  }
+  if (left == expr->left() && right == expr->right()) return expr;
+  return Expr::Binary(expr->kind(), left, right);
+}
+
+std::optional<LinearTerm> ExtractLinearTerm(const ExprPtr& raw) {
+  const ExprPtr expr = FoldConstants(raw);
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      return LinearTerm{expr->column(), 0.0, std::nullopt};
+    case ExprKind::kLiteral: {
+      if (expr->value().type() == ValueType::kString) {
+        return LinearTerm{std::nullopt, 0.0, expr->value().AsString()};
+      }
+      return LinearTerm{std::nullopt, expr->value().AsDouble(), std::nullopt};
+    }
+    case ExprKind::kAdd:
+    case ExprKind::kSub: {
+      auto left = ExtractLinearTerm(expr->left());
+      auto right = ExtractLinearTerm(expr->right());
+      if (!left || !right) return std::nullopt;
+      if (left->string_constant || right->string_constant) return std::nullopt;
+      const double sign = expr->kind() == ExprKind::kAdd ? 1.0 : -1.0;
+      if (left->column && right->column) return std::nullopt;  // two columns
+      if (right->column && expr->kind() == ExprKind::kSub) {
+        return std::nullopt;  // c - col: negative coefficient unsupported
+      }
+      LinearTerm out;
+      out.column = left->column ? left->column : right->column;
+      out.offset = left->offset + sign * right->offset;
+      return out;
+    }
+    default:
+      return std::nullopt;  // kMul/kDiv over columns: outside the fragment
+  }
+}
+
+std::optional<NormalizedComparison> NormalizeComparison(const Comparison& cmp) {
+  auto left = ExtractLinearTerm(cmp.lhs);
+  auto right = ExtractLinearTerm(cmp.rhs);
+  if (!left || !right) return std::nullopt;
+
+  NormalizedComparison out;
+  out.op = cmp.op;
+  if (!left->column && right->column) {
+    // Put the column on the left: c op col  =>  col flip(op) c.
+    std::swap(left, right);
+    out.op = FlipCompareOp(out.op);
+  }
+  if (!left->column) {
+    return std::nullopt;  // constant-vs-constant handled by the canonicalizer
+  }
+  out.left = left->column;
+  if (right->string_constant) {
+    if (left->offset != 0.0) return std::nullopt;
+    out.string_constant = right->string_constant;
+    out.constant = 0.0;
+    return out;
+  }
+  if (right->column) {
+    // (lc + lo) op (rc + ro)  =>  lc - rc op (ro - lo).
+    out.right = right->column;
+    out.constant = right->offset - left->offset;
+    // Canonical operand order: the lexicographically smaller column goes
+    // left (flipping the operator), so that "a.v > b.v + 10" and
+    // "b.v + 10 < a.v" normalize identically. The encoder and the signature
+    // baseline rely on this; the verifier is order-insensitive anyway.
+    if (*out.right < *out.left) {
+      std::swap(out.left, out.right);
+      out.op = FlipCompareOp(out.op);
+      out.constant = -out.constant;
+    }
+  } else {
+    // (lc + lo) op c  =>  lc op (c - lo).
+    out.constant = right->offset - left->offset;
+  }
+  if (out.constant == 0.0) out.constant = 0.0;  // canonicalize -0.0 to +0.0
+  return out;
+}
+
+std::string NormalizedComparison::ToString() const {
+  std::string out = left ? left->ToString() : "<none>";
+  if (right) out += " - " + right->ToString();
+  out += " " + std::string(CompareOpToString(op)) + " ";
+  if (string_constant) {
+    out += "'" + *string_constant + "'";
+  } else {
+    out += std::to_string(constant);
+  }
+  return out;
+}
+
+}  // namespace geqo

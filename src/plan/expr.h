@@ -1,0 +1,160 @@
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "plan/value.h"
+
+/// \file expr.h
+/// Scalar expressions and comparison predicates. Expression nodes are
+/// immutable and shared (std::shared_ptr<const Expr>), so plans can share
+/// structure freely across rewrites and subexpression enumeration.
+
+namespace geqo {
+
+/// \brief A fully qualified column reference: alias.column.
+///
+/// Aliases identify table *instances* within a plan (self-joins bind the
+/// same table under two aliases), matching the paper's symbol tables
+/// (Figure 4 / Table 2).
+struct ColumnRef {
+  std::string alias;
+  std::string column;
+
+  bool operator==(const ColumnRef&) const = default;
+  bool operator<(const ColumnRef& other) const {
+    return alias != other.alias ? alias < other.alias : column < other.column;
+  }
+  std::string ToString() const { return alias + "." + column; }
+  uint64_t Hash() const {
+    return HashCombine(HashString(alias), HashString(column));
+  }
+};
+
+enum class ExprKind : uint8_t { kColumnRef, kLiteral, kAdd, kSub, kMul, kDiv };
+
+class Expr;
+using ExprPtr = std::shared_ptr<const Expr>;
+
+/// \brief An immutable scalar expression node.
+class Expr {
+ public:
+  /// Factory: column reference.
+  static ExprPtr Column(std::string alias, std::string column);
+  /// Factory: literal.
+  static ExprPtr Literal(Value value);
+  static ExprPtr IntLiteral(int64_t v) { return Literal(Value::Int(v)); }
+  /// Factory: binary arithmetic node (kind must be kAdd..kDiv).
+  static ExprPtr Binary(ExprKind kind, ExprPtr left, ExprPtr right);
+
+  ExprKind kind() const { return kind_; }
+  bool is_literal() const { return kind_ == ExprKind::kLiteral; }
+  bool is_column() const { return kind_ == ExprKind::kColumnRef; }
+  bool is_binary() const {
+    return kind_ != ExprKind::kColumnRef && kind_ != ExprKind::kLiteral;
+  }
+
+  const Value& value() const;
+  const ColumnRef& column() const;
+  const ExprPtr& left() const;
+  const ExprPtr& right() const;
+
+  /// Appends every column referenced in this expression to \p out.
+  void CollectColumns(std::vector<ColumnRef>* out) const;
+
+  /// Structural equality.
+  bool Equals(const Expr& other) const;
+
+  /// Structural hash, stable across runs.
+  uint64_t Hash() const;
+
+  /// SQL-ish rendering, e.g. "(A.val + 10)".
+  std::string ToString() const;
+
+  /// Returns a copy of this expression with every column's alias replaced
+  /// via \p rename (alias -> new alias). Unlisted aliases are kept.
+  ExprPtr RenameAliases(
+      const std::vector<std::pair<std::string, std::string>>& rename) const;
+
+ private:
+  Expr() = default;
+
+  ExprKind kind_ = ExprKind::kLiteral;
+  Value value_;
+  ColumnRef column_;
+  ExprPtr left_;
+  ExprPtr right_;
+};
+
+/// Comparison operators appearing in selection and join predicates.
+enum class CompareOp : uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// \brief Returns the operator with sides swapped (a < b  <=>  b > a).
+CompareOp FlipCompareOp(CompareOp op);
+/// \brief Returns the logical negation (a < b  <=>  !(a >= b)).
+CompareOp NegateCompareOp(CompareOp op);
+std::string_view CompareOpToString(CompareOp op);
+
+/// \brief An atomic comparison predicate `lhs op rhs`.
+///
+/// After canonicalization (§3.1) every Select/Join node carries exactly one
+/// Comparison; conjunctions are represented as stacked Select nodes.
+struct Comparison {
+  ExprPtr lhs;
+  CompareOp op = CompareOp::kEq;
+  ExprPtr rhs;
+
+  std::string ToString() const;
+  bool Equals(const Comparison& other) const;
+  uint64_t Hash() const;
+  void CollectColumns(std::vector<ColumnRef>* out) const;
+  Comparison RenameAliases(
+      const std::vector<std::pair<std::string, std::string>>& rename) const;
+};
+
+/// \brief An expression reduced to `column + offset` or a bare constant.
+///
+/// The canonical currency of the verifier and of predicate encoding: every
+/// predicate side that the system reasons about symbolically must reduce to
+/// this form (otherwise the verifier answers Unknown — it is correct but not
+/// complete, per §2.1).
+struct LinearTerm {
+  std::optional<ColumnRef> column;  ///< absent for pure constants
+  double offset = 0.0;              ///< additive constant
+  std::optional<std::string> string_constant;  ///< for string literals
+
+  bool is_constant() const { return !column.has_value(); }
+};
+
+/// \brief Reduces \p expr to a LinearTerm if possible (constant folding plus
+/// `col + c` / `c + col` / `col - c` patterns). Returns nullopt for
+/// expressions outside that fragment (e.g. col * 2, col1 + col2).
+std::optional<LinearTerm> ExtractLinearTerm(const ExprPtr& expr);
+
+/// \brief A comparison normalized to difference form.
+///
+/// Either `left - right op constant` (two columns) or `left op constant`
+/// (one column; right is absent). Produced by NormalizeComparison.
+struct NormalizedComparison {
+  std::optional<ColumnRef> left;
+  std::optional<ColumnRef> right;
+  CompareOp op = CompareOp::kEq;
+  double constant = 0.0;
+  std::optional<std::string> string_constant;
+
+  std::string ToString() const;
+};
+
+/// \brief Normalizes `lhs op rhs` into difference form, moving constants to
+/// the right and ensuring a column appears on the left (flipping the
+/// operator as needed). Returns nullopt outside the supported fragment.
+std::optional<NormalizedComparison> NormalizeComparison(const Comparison& cmp);
+
+/// \brief Folds constant subtrees: (10 + 5) -> 15, recursively. Division by
+/// zero and string arithmetic are left unfolded (and will later fail linear
+/// extraction, yielding Unknown from the verifier).
+ExprPtr FoldConstants(const ExprPtr& expr);
+
+}  // namespace geqo

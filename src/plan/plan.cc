@@ -1,0 +1,425 @@
+#include "plan/plan.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace geqo {
+
+std::string_view OpKindToString(OpKind kind) {
+  switch (kind) {
+    case OpKind::kScan:
+      return "Scan";
+    case OpKind::kSelect:
+      return "Select";
+    case OpKind::kProject:
+      return "Project";
+    case OpKind::kJoin:
+      return "Join";
+    case OpKind::kAggregate:
+      return "Aggregate";
+  }
+  return "?";
+}
+
+std::string_view AggregateFnToString(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "COUNT";
+    case AggregateFn::kSum:
+      return "SUM";
+    case AggregateFn::kMin:
+      return "MIN";
+    case AggregateFn::kMax:
+      return "MAX";
+    case AggregateFn::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+std::string AggregateExpr::ToString() const {
+  std::string out(AggregateFnToString(fn));
+  out += "(";
+  out += argument == nullptr ? "*" : argument->ToString();
+  out += ")";
+  return out;
+}
+
+bool AggregateExpr::Equals(const AggregateExpr& other) const {
+  if (fn != other.fn) return false;
+  if ((argument == nullptr) != (other.argument == nullptr)) return false;
+  return argument == nullptr || argument->Equals(*other.argument);
+}
+
+uint64_t AggregateExpr::Hash() const {
+  uint64_t hash = HashCombine(0xA6642E6A7E, static_cast<uint64_t>(fn));
+  if (argument != nullptr) hash = HashCombine(hash, argument->Hash());
+  return hash;
+}
+
+std::string_view JoinTypeToString(JoinType type) {
+  switch (type) {
+    case JoinType::kInner:
+      return "INNER";
+    case JoinType::kLeftOuter:
+      return "LEFT OUTER";
+    case JoinType::kRightOuter:
+      return "RIGHT OUTER";
+  }
+  return "?";
+}
+
+PlanPtr PlanNode::Scan(std::string table, std::string alias) {
+  GEQO_CHECK(!table.empty());
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  node->kind_ = OpKind::kScan;
+  node->table_ = std::move(table);
+  node->alias_ = alias.empty() ? node->table_ : std::move(alias);
+  return node;
+}
+
+PlanPtr PlanNode::Select(Comparison predicate, PlanPtr child) {
+  GEQO_CHECK(child != nullptr);
+  GEQO_CHECK(predicate.lhs != nullptr && predicate.rhs != nullptr);
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  node->kind_ = OpKind::kSelect;
+  node->predicate_ = std::move(predicate);
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+PlanPtr PlanNode::Project(std::vector<OutputColumn> outputs, PlanPtr child) {
+  GEQO_CHECK(child != nullptr);
+  GEQO_CHECK(!outputs.empty()) << "projection needs at least one column";
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  node->kind_ = OpKind::kProject;
+  node->outputs_ = std::move(outputs);
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+PlanPtr PlanNode::Join(JoinType type, Comparison predicate, PlanPtr left,
+                       PlanPtr right) {
+  GEQO_CHECK(left != nullptr && right != nullptr);
+  GEQO_CHECK(predicate.lhs != nullptr && predicate.rhs != nullptr);
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  node->kind_ = OpKind::kJoin;
+  node->join_type_ = type;
+  node->predicate_ = std::move(predicate);
+  node->children_.push_back(std::move(left));
+  node->children_.push_back(std::move(right));
+  return node;
+}
+
+PlanPtr PlanNode::Aggregate(std::vector<OutputColumn> group_by,
+                            std::vector<AggregateExpr> aggregates,
+                            PlanPtr child) {
+  GEQO_CHECK(child != nullptr);
+  GEQO_CHECK(!group_by.empty() || !aggregates.empty())
+      << "aggregation needs at least one key or aggregate";
+  auto node = std::shared_ptr<PlanNode>(new PlanNode());
+  node->kind_ = OpKind::kAggregate;
+  node->outputs_ = std::move(group_by);
+  node->aggregates_ = std::move(aggregates);
+  node->children_.push_back(std::move(child));
+  return node;
+}
+
+const std::string& PlanNode::table() const {
+  GEQO_DCHECK(kind_ == OpKind::kScan);
+  return table_;
+}
+
+const std::string& PlanNode::alias() const {
+  GEQO_DCHECK(kind_ == OpKind::kScan);
+  return alias_;
+}
+
+const Comparison& PlanNode::predicate() const {
+  GEQO_DCHECK(kind_ == OpKind::kSelect || kind_ == OpKind::kJoin);
+  return predicate_;
+}
+
+JoinType PlanNode::join_type() const {
+  GEQO_DCHECK(kind_ == OpKind::kJoin);
+  return join_type_;
+}
+
+const std::vector<OutputColumn>& PlanNode::outputs() const {
+  GEQO_DCHECK(kind_ == OpKind::kProject);
+  return outputs_;
+}
+
+const std::vector<OutputColumn>& PlanNode::group_by() const {
+  GEQO_DCHECK(kind_ == OpKind::kAggregate);
+  return outputs_;
+}
+
+const std::vector<AggregateExpr>& PlanNode::aggregates() const {
+  GEQO_DCHECK(kind_ == OpKind::kAggregate);
+  return aggregates_;
+}
+
+size_t PlanNode::NumOps() const {
+  size_t count = 1;
+  for (const PlanPtr& child : children_) count += child->NumOps();
+  return count;
+}
+
+size_t PlanNode::Height() const {
+  size_t height = 0;
+  for (const PlanPtr& child : children_) height = std::max(height, child->Height());
+  return height + 1;
+}
+
+namespace {
+
+void CollectScans(const PlanNode& node,
+                  std::vector<std::pair<std::string, std::string>>* out) {
+  if (node.kind() == OpKind::kScan) {
+    out->emplace_back(node.table(), node.alias());
+    return;
+  }
+  for (const PlanPtr& child : node.children()) CollectScans(*child, out);
+}
+
+}  // namespace
+
+std::vector<std::string> PlanNode::ScanAliases() const {
+  std::vector<std::pair<std::string, std::string>> bindings;
+  CollectScans(*this, &bindings);
+  std::vector<std::string> out;
+  out.reserve(bindings.size());
+  for (auto& [table, alias] : bindings) out.push_back(std::move(alias));
+  return out;
+}
+
+std::vector<std::pair<std::string, std::string>> PlanNode::ScanBindings() const {
+  std::vector<std::pair<std::string, std::string>> bindings;
+  CollectScans(*this, &bindings);
+  return bindings;
+}
+
+Result<std::vector<OutputColumn>> PlanNode::OutputColumns(
+    const Catalog& catalog) const {
+  if (kind_ == OpKind::kProject) return outputs_;
+  if (kind_ == OpKind::kAggregate) {
+    std::vector<OutputColumn> out = outputs_;  // group-by keys
+    for (const AggregateExpr& aggregate : aggregates_) {
+      // Expose the aggregate under its name; the expression records the
+      // argument's column dependencies (COUNT(*) depends on nothing).
+      out.push_back(OutputColumn{
+          aggregate.name, aggregate.argument != nullptr
+                              ? aggregate.argument
+                              : Expr::IntLiteral(1)});
+    }
+    return out;
+  }
+  if (kind_ == OpKind::kSelect) return children_[0]->OutputColumns(catalog);
+  if (kind_ == OpKind::kJoin) {
+    GEQO_ASSIGN_OR_RETURN(std::vector<OutputColumn> left,
+                          children_[0]->OutputColumns(catalog));
+    GEQO_ASSIGN_OR_RETURN(std::vector<OutputColumn> right,
+                          children_[1]->OutputColumns(catalog));
+    for (auto& column : right) left.push_back(std::move(column));
+    return left;
+  }
+  // Scan: expose every column of the table, qualified by the alias.
+  GEQO_ASSIGN_OR_RETURN(const TableDef* table, catalog.GetTable(table_));
+  std::vector<OutputColumn> out;
+  out.reserve(table->columns().size());
+  for (const ColumnDef& column : table->columns()) {
+    out.push_back(OutputColumn{alias_ + "." + column.name,
+                               Expr::Column(alias_, column.name)});
+  }
+  return out;
+}
+
+Result<size_t> PlanNode::NumOutputColumns(const Catalog& catalog) const {
+  if (kind_ == OpKind::kProject) return outputs_.size();
+  GEQO_ASSIGN_OR_RETURN(std::vector<OutputColumn> columns,
+                        OutputColumns(catalog));
+  return columns.size();
+}
+
+bool PlanNode::Equals(const PlanNode& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case OpKind::kScan:
+      return table_ == other.table_ && alias_ == other.alias_;
+    case OpKind::kSelect:
+      if (!predicate_.Equals(other.predicate_)) return false;
+      break;
+    case OpKind::kJoin:
+      if (join_type_ != other.join_type_ ||
+          !predicate_.Equals(other.predicate_)) {
+        return false;
+      }
+      break;
+    case OpKind::kProject: {
+      if (outputs_.size() != other.outputs_.size()) return false;
+      for (size_t i = 0; i < outputs_.size(); ++i) {
+        if (outputs_[i].name != other.outputs_[i].name ||
+            !outputs_[i].expr->Equals(*other.outputs_[i].expr)) {
+          return false;
+        }
+      }
+      break;
+    }
+    case OpKind::kAggregate: {
+      if (outputs_.size() != other.outputs_.size() ||
+          aggregates_.size() != other.aggregates_.size()) {
+        return false;
+      }
+      for (size_t i = 0; i < outputs_.size(); ++i) {
+        if (!outputs_[i].expr->Equals(*other.outputs_[i].expr)) return false;
+      }
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (!aggregates_[i].Equals(other.aggregates_[i])) return false;
+      }
+      break;
+    }
+  }
+  if (children_.size() != other.children_.size()) return false;
+  for (size_t i = 0; i < children_.size(); ++i) {
+    if (!children_[i]->Equals(*other.children_[i])) return false;
+  }
+  return true;
+}
+
+uint64_t PlanNode::Hash() const {
+  uint64_t hash = HashCombine(0x91a571c5, static_cast<uint64_t>(kind_));
+  switch (kind_) {
+    case OpKind::kScan:
+      hash = HashCombine(hash, HashString(table_));
+      hash = HashCombine(hash, HashString(alias_));
+      break;
+    case OpKind::kSelect:
+      hash = HashCombine(hash, predicate_.Hash());
+      break;
+    case OpKind::kJoin:
+      hash = HashCombine(hash, static_cast<uint64_t>(join_type_));
+      hash = HashCombine(hash, predicate_.Hash());
+      break;
+    case OpKind::kProject:
+      for (const OutputColumn& output : outputs_) {
+        hash = HashCombine(hash, HashString(output.name));
+        hash = HashCombine(hash, output.expr->Hash());
+      }
+      break;
+    case OpKind::kAggregate:
+      for (const OutputColumn& key : outputs_) {
+        hash = HashCombine(hash, key.expr->Hash());
+      }
+      for (const AggregateExpr& aggregate : aggregates_) {
+        hash = HashCombine(hash, aggregate.Hash());
+      }
+      break;
+  }
+  for (const PlanPtr& child : children_) hash = HashCombine(hash, child->Hash());
+  return hash;
+}
+
+void PlanNode::AppendString(std::string* out, int indent) const {
+  out->append(static_cast<size_t>(indent) * 2, ' ');
+  switch (kind_) {
+    case OpKind::kScan:
+      *out += "Scan(" + table_;
+      if (alias_ != table_) *out += " AS " + alias_;
+      *out += ")";
+      break;
+    case OpKind::kSelect:
+      *out += "Select(" + predicate_.ToString() + ")";
+      break;
+    case OpKind::kJoin:
+      *out += "Join[" + std::string(JoinTypeToString(join_type_)) + "](" +
+              predicate_.ToString() + ")";
+      break;
+    case OpKind::kProject: {
+      *out += "Project(";
+      for (size_t i = 0; i < outputs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += outputs_[i].expr->ToString() + " AS " + outputs_[i].name;
+      }
+      *out += ")";
+      break;
+    }
+    case OpKind::kAggregate: {
+      *out += "Aggregate(keys: ";
+      for (size_t i = 0; i < outputs_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += outputs_[i].expr->ToString();
+      }
+      *out += "; aggs: ";
+      for (size_t i = 0; i < aggregates_.size(); ++i) {
+        if (i > 0) *out += ", ";
+        *out += aggregates_[i].ToString() + " AS " + aggregates_[i].name;
+      }
+      *out += ")";
+      break;
+    }
+  }
+  *out += "\n";
+  for (const PlanPtr& child : children_) {
+    child->AppendString(out, indent + 1);
+  }
+}
+
+std::string PlanNode::ToString() const {
+  std::string out;
+  AppendString(&out, 0);
+  return out;
+}
+
+PlanPtr PlanNode::RenameAliases(
+    const std::vector<std::pair<std::string, std::string>>& rename) const {
+  switch (kind_) {
+    case OpKind::kScan: {
+      for (const auto& [from, to] : rename) {
+        if (alias_ == from) return PlanNode::Scan(table_, to);
+      }
+      return PlanNode::Scan(table_, alias_);
+    }
+    case OpKind::kSelect:
+      return PlanNode::Select(predicate_.RenameAliases(rename),
+                              children_[0]->RenameAliases(rename));
+    case OpKind::kJoin:
+      return PlanNode::Join(join_type_, predicate_.RenameAliases(rename),
+                            children_[0]->RenameAliases(rename),
+                            children_[1]->RenameAliases(rename));
+    case OpKind::kProject: {
+      std::vector<OutputColumn> outputs;
+      outputs.reserve(outputs_.size());
+      for (const OutputColumn& output : outputs_) {
+        outputs.push_back(
+            OutputColumn{output.name, output.expr->RenameAliases(rename)});
+      }
+      return PlanNode::Project(std::move(outputs),
+                               children_[0]->RenameAliases(rename));
+    }
+    case OpKind::kAggregate: {
+      std::vector<OutputColumn> keys;
+      keys.reserve(outputs_.size());
+      for (const OutputColumn& key : outputs_) {
+        keys.push_back(OutputColumn{key.name, key.expr->RenameAliases(rename)});
+      }
+      std::vector<AggregateExpr> aggregates;
+      aggregates.reserve(aggregates_.size());
+      for (const AggregateExpr& aggregate : aggregates_) {
+        aggregates.push_back(AggregateExpr{
+            aggregate.fn,
+            aggregate.argument == nullptr
+                ? nullptr
+                : aggregate.argument->RenameAliases(rename),
+            aggregate.name});
+      }
+      return PlanNode::Aggregate(std::move(keys), std::move(aggregates),
+                                 children_[0]->RenameAliases(rename));
+    }
+  }
+  GEQO_CHECK(false) << "unreachable";
+  return nullptr;
+}
+
+}  // namespace geqo

@@ -1,0 +1,151 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/expr.h"
+#include "plan/schema.h"
+
+/// \file plan.h
+/// Logical query plans. A plan is an immutable operator tree; every subtree
+/// is itself an executable subexpression (§2.1). GEqO's focus is SPJ plans
+/// with conjunctive predicates, which is exactly the operator set here.
+
+namespace geqo {
+
+enum class OpKind : uint8_t { kScan, kSelect, kProject, kJoin, kAggregate };
+
+std::string_view OpKindToString(OpKind kind);
+
+/// Join types referenced by the paper's featurization (J_W = {inner, left
+/// outer, right outer}); the verifier only proves inner joins, matching the
+/// conjunctive SPJ fragment, while outer joins flow through the filters and
+/// the syntactic baselines.
+enum class JoinType : uint8_t { kInner, kLeftOuter, kRightOuter };
+
+std::string_view JoinTypeToString(JoinType type);
+
+class PlanNode;
+using PlanPtr = std::shared_ptr<const PlanNode>;
+
+/// Aggregate functions supported by the §9.1 extension.
+enum class AggregateFn : uint8_t { kCount, kSum, kMin, kMax, kAvg };
+
+std::string_view AggregateFnToString(AggregateFn fn);
+
+/// \brief One aggregate output: fn(argument) AS name. A null argument means
+/// COUNT(*).
+struct AggregateExpr {
+  AggregateFn fn = AggregateFn::kCount;
+  ExprPtr argument;  ///< null for COUNT(*)
+  std::string name;
+
+  std::string ToString() const;
+  bool Equals(const AggregateExpr& other) const;
+  uint64_t Hash() const;
+};
+
+/// \brief A named output column of a plan: the projected expression plus the
+/// name it is exposed under.
+struct OutputColumn {
+  std::string name;
+  ExprPtr expr;
+};
+
+/// \brief An immutable logical plan operator.
+///
+/// Construction goes through the factories (Scan/Select/Project/Join), which
+/// validate shape invariants. After Canonicalize() (see canonicalize.h) each
+/// Select and Join node carries exactly one atomic comparison.
+class PlanNode {
+ public:
+  /// Leaf: scan of \p table bound to \p alias (alias must be plan-unique).
+  static PlanPtr Scan(std::string table, std::string alias);
+  /// Filter: retains rows of \p child satisfying \p predicate.
+  static PlanPtr Select(Comparison predicate, PlanPtr child);
+  /// Projection: exposes \p outputs computed over \p child.
+  static PlanPtr Project(std::vector<OutputColumn> outputs, PlanPtr child);
+  /// Join of \p left and \p right on \p predicate.
+  static PlanPtr Join(JoinType type, Comparison predicate, PlanPtr left,
+                      PlanPtr right);
+  /// Grouped aggregation over \p child (§9.1 extension). Outputs are the
+  /// group-by expressions (in order) followed by the aggregates. Either
+  /// list may be empty, but not both.
+  static PlanPtr Aggregate(std::vector<OutputColumn> group_by,
+                           std::vector<AggregateExpr> aggregates,
+                           PlanPtr child);
+
+  OpKind kind() const { return kind_; }
+  bool is_leaf() const { return kind_ == OpKind::kScan; }
+
+  // Scan accessors.
+  const std::string& table() const;
+  const std::string& alias() const;
+
+  // Select / Join accessors.
+  const Comparison& predicate() const;
+  JoinType join_type() const;
+
+  // Project accessors.
+  const std::vector<OutputColumn>& outputs() const;
+
+  // Aggregate accessors.
+  const std::vector<OutputColumn>& group_by() const;
+  const std::vector<AggregateExpr>& aggregates() const;
+
+  /// Children: 0 for scans, 1 for select/project, 2 for joins.
+  const std::vector<PlanPtr>& children() const { return children_; }
+  const PlanPtr& child(size_t i) const { return children_[i]; }
+  size_t num_children() const { return children_.size(); }
+
+  /// Number of operator nodes in this subtree (ops(q) in the paper).
+  size_t NumOps() const;
+
+  /// Height of this subtree (a single scan has height 1).
+  size_t Height() const;
+
+  /// All scan aliases in this subtree, in scan (left-to-right) order.
+  std::vector<std::string> ScanAliases() const;
+
+  /// All (table, alias) scan bindings in this subtree.
+  std::vector<std::pair<std::string, std::string>> ScanBindings() const;
+
+  /// The columns this subexpression returns. For a Project node these are
+  /// its outputs; otherwise every column of every scanned table in alias
+  /// order (requires \p catalog to expand scan schemas).
+  Result<std::vector<OutputColumn>> OutputColumns(const Catalog& catalog) const;
+
+  /// Number of returned columns (used by the schema filter, §2.2.1).
+  Result<size_t> NumOutputColumns(const Catalog& catalog) const;
+
+  /// Structural equality (exact tree match, no semantic reasoning).
+  bool Equals(const PlanNode& other) const;
+
+  /// Structural hash, stable across runs.
+  uint64_t Hash() const;
+
+  /// Multi-line indented rendering for debugging and examples.
+  std::string ToString() const;
+
+  /// Returns a copy of this plan with scan aliases (and all column
+  /// references) renamed via \p rename.
+  PlanPtr RenameAliases(
+      const std::vector<std::pair<std::string, std::string>>& rename) const;
+
+ private:
+  PlanNode() = default;
+  void AppendString(std::string* out, int indent) const;
+
+  OpKind kind_ = OpKind::kScan;
+  std::string table_;
+  std::string alias_;
+  Comparison predicate_;
+  JoinType join_type_ = JoinType::kInner;
+  std::vector<OutputColumn> outputs_;  ///< Project outputs / Aggregate keys
+  std::vector<AggregateExpr> aggregates_;
+  std::vector<PlanPtr> children_;
+};
+
+}  // namespace geqo

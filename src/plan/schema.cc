@@ -1,0 +1,93 @@
+#include "plan/schema.h"
+
+namespace geqo {
+
+std::string_view ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kInt:
+      return "INT";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "?";
+}
+
+std::string Value::ToString() const {
+  switch (type_) {
+    case ValueType::kInt:
+      return std::to_string(int_);
+    case ValueType::kDouble: {
+      std::string out = std::to_string(double_);
+      return out;
+    }
+    case ValueType::kString:
+      return "'" + string_ + "'";
+  }
+  return "?";
+}
+
+std::optional<size_t> TableDef::ColumnIndex(std::string_view column_name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column_name) return i;
+  }
+  return std::nullopt;
+}
+
+std::vector<std::string> TableDef::NumericColumns() const {
+  std::vector<std::string> out;
+  for (const ColumnDef& column : columns_) {
+    if (column.type != ValueType::kString) out.push_back(column.name);
+  }
+  return out;
+}
+
+Status Catalog::AddTable(TableDef table) {
+  if (FindTable(table.name()) != nullptr) {
+    return Status::InvalidArgument("duplicate table: " + table.name());
+  }
+  if (table.columns().empty()) {
+    return Status::InvalidArgument("table has no columns: " + table.name());
+  }
+  tables_.push_back(std::move(table));
+  return Status::OK();
+}
+
+Status Catalog::AddJoinKey(JoinKey key) {
+  const TableDef* left = FindTable(key.left_table);
+  const TableDef* right = FindTable(key.right_table);
+  if (left == nullptr || right == nullptr) {
+    return Status::InvalidArgument("join key references unknown table");
+  }
+  if (!left->ColumnIndex(key.left_column) || !right->ColumnIndex(key.right_column)) {
+    return Status::InvalidArgument("join key references unknown column");
+  }
+  join_keys_.push_back(std::move(key));
+  return Status::OK();
+}
+
+const TableDef* Catalog::FindTable(std::string_view name) const {
+  for (const TableDef& table : tables_) {
+    if (table.name() == name) return &table;
+  }
+  return nullptr;
+}
+
+Result<const TableDef*> Catalog::GetTable(std::string_view name) const {
+  const TableDef* table = FindTable(name);
+  if (table == nullptr) {
+    return Status::NotFound("no such table: " + std::string(name));
+  }
+  return table;
+}
+
+std::vector<JoinKey> Catalog::JoinKeysFor(std::string_view table) const {
+  std::vector<JoinKey> out;
+  for (const JoinKey& key : join_keys_) {
+    if (key.left_table == table || key.right_table == table) out.push_back(key);
+  }
+  return out;
+}
+
+}  // namespace geqo

@@ -1,0 +1,82 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "plan/value.h"
+
+/// \file schema.h
+/// Table schemas and the catalog. GEqO is database-agnostic, but its
+/// substrate (parser, plan analyzer, workload generator, executor) needs to
+/// know which tables and columns exist and how tables relate via join keys.
+
+namespace geqo {
+
+/// \brief A named, typed column of a base table.
+struct ColumnDef {
+  std::string name;
+  ValueType type = ValueType::kInt;
+
+  bool operator==(const ColumnDef&) const = default;
+};
+
+/// \brief A declared joinability edge between two tables (a PK/FK-style
+/// relationship). The workload generator uses these to produce meaningful
+/// equi-joins instead of random cross products.
+struct JoinKey {
+  std::string left_table;
+  std::string left_column;
+  std::string right_table;
+  std::string right_column;
+};
+
+/// \brief A base table definition.
+class TableDef {
+ public:
+  TableDef(std::string name, std::vector<ColumnDef> columns)
+      : name_(std::move(name)), columns_(std::move(columns)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<ColumnDef>& columns() const { return columns_; }
+
+  /// Index of \p column_name, or nullopt if absent.
+  std::optional<size_t> ColumnIndex(std::string_view column_name) const;
+
+  /// Columns of numeric type (the generator only writes arithmetic
+  /// predicates over these).
+  std::vector<std::string> NumericColumns() const;
+
+ private:
+  std::string name_;
+  std::vector<ColumnDef> columns_;
+};
+
+/// \brief A set of table definitions plus join-key relationships.
+class Catalog {
+ public:
+  Catalog() = default;
+
+  /// Adds a table; fails on duplicate names.
+  Status AddTable(TableDef table);
+
+  /// Declares a join relationship; both endpoints must exist.
+  Status AddJoinKey(JoinKey key);
+
+  const TableDef* FindTable(std::string_view name) const;
+  Result<const TableDef*> GetTable(std::string_view name) const;
+
+  const std::vector<TableDef>& tables() const { return tables_; }
+  const std::vector<JoinKey>& join_keys() const { return join_keys_; }
+
+  /// All join keys with either endpoint equal to \p table.
+  std::vector<JoinKey> JoinKeysFor(std::string_view table) const;
+
+ private:
+  std::vector<TableDef> tables_;
+  std::vector<JoinKey> join_keys_;
+};
+
+}  // namespace geqo

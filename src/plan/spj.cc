@@ -1,0 +1,67 @@
+#include "plan/spj.h"
+
+#include <algorithm>
+
+namespace geqo {
+namespace {
+
+Status FlattenInto(const PlanPtr& plan, FlatSpj* out) {
+  switch (plan->kind()) {
+    case OpKind::kScan:
+      out->atoms.push_back(TableAtom{plan->table(), plan->alias()});
+      return Status::OK();
+    case OpKind::kSelect:
+      GEQO_RETURN_NOT_OK(FlattenInto(plan->child(0), out));
+      out->predicates.push_back(plan->predicate());
+      return Status::OK();
+    case OpKind::kJoin:
+      if (plan->join_type() != JoinType::kInner) {
+        return Status::NotSupported(
+            "only inner joins flatten to conjunctive SPJ form");
+      }
+      GEQO_RETURN_NOT_OK(FlattenInto(plan->child(0), out));
+      GEQO_RETURN_NOT_OK(FlattenInto(plan->child(1), out));
+      out->predicates.push_back(plan->predicate());
+      return Status::OK();
+    case OpKind::kProject:
+      return Status::NotSupported("projection below the root is unsupported");
+    case OpKind::kAggregate:
+      return Status::NotSupported(
+          "aggregation does not flatten to conjunctive SPJ form");
+  }
+  return Status::Internal("unknown operator kind");
+}
+
+}  // namespace
+
+Result<FlatSpj> FlattenSpj(const PlanPtr& plan, const Catalog& catalog) {
+  FlatSpj out;
+  PlanPtr body = plan;
+  if (plan->kind() == OpKind::kProject) {
+    out.has_root_project = true;
+    out.outputs = plan->outputs();
+    body = plan->child(0);
+  }
+  GEQO_RETURN_NOT_OK(FlattenInto(body, &out));
+  if (!out.has_root_project) {
+    GEQO_ASSIGN_OR_RETURN(out.outputs, body->OutputColumns(catalog));
+  }
+  // Reject duplicate aliases: they would make column references ambiguous.
+  std::vector<std::string> aliases;
+  aliases.reserve(out.atoms.size());
+  for (const TableAtom& atom : out.atoms) aliases.push_back(atom.alias);
+  std::sort(aliases.begin(), aliases.end());
+  if (std::adjacent_find(aliases.begin(), aliases.end()) != aliases.end()) {
+    return Status::InvalidArgument("duplicate scan alias in plan");
+  }
+  return out;
+}
+
+std::vector<std::string> SortedTableNames(const PlanPtr& plan) {
+  std::vector<std::string> names;
+  for (auto& [table, alias] : plan->ScanBindings()) names.push_back(table);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace geqo

@@ -1,0 +1,43 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "plan/plan.h"
+
+/// \file spj.h
+/// Flattening of SPJ plans into a join-order-independent normal form:
+/// (multiset of table atoms, conjunction of predicates, output list).
+/// This form is shared by the verifier, the schema filter, the signature
+/// baseline, and the executor.
+
+namespace geqo {
+
+/// \brief One table instance scanned by the plan.
+struct TableAtom {
+  std::string table;
+  std::string alias;
+
+  bool operator==(const TableAtom&) const = default;
+};
+
+/// \brief The flattened form of an SPJ subexpression.
+struct FlatSpj {
+  std::vector<TableAtom> atoms;        ///< in scan (left-to-right) order
+  std::vector<Comparison> predicates;  ///< all join + selection conjuncts
+  std::vector<OutputColumn> outputs;   ///< the columns the plan returns
+  bool has_root_project = false;
+};
+
+/// \brief Flattens \p plan into a FlatSpj.
+///
+/// Supported shape: an optional Project at the root over a tree of Select /
+/// inner Join / Scan operators. Outer joins and non-root projections return
+/// NotSupported — callers (notably the verifier) treat that as Unknown.
+Result<FlatSpj> FlattenSpj(const PlanPtr& plan, const Catalog& catalog);
+
+/// \brief The set of distinct table names scanned by \p plan, sorted.
+std::vector<std::string> SortedTableNames(const PlanPtr& plan);
+
+}  // namespace geqo

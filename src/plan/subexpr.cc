@@ -1,0 +1,45 @@
+#include "plan/subexpr.h"
+
+#include <unordered_map>
+
+namespace geqo {
+namespace {
+
+void Enumerate(const PlanPtr& plan, std::vector<PlanPtr>* out) {
+  out->push_back(plan);
+  for (const PlanPtr& child : plan->children()) Enumerate(child, out);
+}
+
+}  // namespace
+
+std::vector<PlanPtr> EnumerateSubexpressions(const PlanPtr& plan) {
+  std::vector<PlanPtr> out;
+  Enumerate(plan, &out);
+  return out;
+}
+
+std::vector<PlanPtr> EnumerateWorkloadSubexpressions(
+    const std::vector<PlanPtr>& queries) {
+  std::vector<PlanPtr> out;
+  // Bucket by structural hash; confirm with Equals to handle collisions.
+  std::unordered_map<uint64_t, std::vector<const PlanNode*>> seen;
+  for (const PlanPtr& query : queries) {
+    for (const PlanPtr& subexpr : EnumerateSubexpressions(query)) {
+      const uint64_t hash = subexpr->Hash();
+      auto& bucket = seen[hash];
+      bool duplicate = false;
+      for (const PlanNode* prior : bucket) {
+        if (prior->Equals(*subexpr)) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (duplicate) continue;
+      bucket.push_back(subexpr.get());
+      out.push_back(subexpr);
+    }
+  }
+  return out;
+}
+
+}  // namespace geqo

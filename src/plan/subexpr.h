@@ -1,0 +1,23 @@
+#pragma once
+
+#include <vector>
+
+#include "plan/plan.h"
+
+/// \file subexpr.h
+/// Subexpression enumeration (§2.1): every subtree of a logical plan is an
+/// unambiguously executable subexpression, and the workload-equivalence
+/// problem is posed over the union of all subexpressions of all queries.
+
+namespace geqo {
+
+/// \brief Returns every subtree of \p plan, root included, in pre-order.
+/// Subtrees share structure with the input (no copies are made).
+std::vector<PlanPtr> EnumerateSubexpressions(const PlanPtr& plan);
+
+/// \brief Enumerates subexpressions of every plan in \p queries (the
+/// W = U_k S(Q^k) formulation), deduplicating structurally identical trees.
+std::vector<PlanPtr> EnumerateWorkloadSubexpressions(
+    const std::vector<PlanPtr>& queries);
+
+}  // namespace geqo

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+/// \file value.h
+/// Runtime / literal values shared by the plan library (literals in
+/// predicates) and the mini executor (cell values).
+
+namespace geqo {
+
+/// Column / literal types supported by the substrate.
+enum class ValueType : uint8_t { kInt, kDouble, kString };
+
+std::string_view ValueTypeToString(ValueType type);
+
+/// \brief A dynamically typed scalar value.
+///
+/// Small, copyable, ordered within a type. Numeric comparisons promote
+/// kInt to kDouble; cross-type comparison with strings is an error caught
+/// upstream by the analyzer/generator.
+class Value {
+ public:
+  Value() : type_(ValueType::kInt), int_(0) {}
+  static Value Int(int64_t v) {
+    Value out;
+    out.type_ = ValueType::kInt;
+    out.int_ = v;
+    return out;
+  }
+  static Value Double(double v) {
+    Value out;
+    out.type_ = ValueType::kDouble;
+    out.double_ = v;
+    return out;
+  }
+  static Value String(std::string v) {
+    Value out;
+    out.type_ = ValueType::kString;
+    out.string_ = std::move(v);
+    return out;
+  }
+
+  ValueType type() const { return type_; }
+  bool is_numeric() const { return type_ != ValueType::kString; }
+
+  int64_t AsInt() const {
+    GEQO_DCHECK(type_ == ValueType::kInt);
+    return int_;
+  }
+  double AsDouble() const {
+    GEQO_DCHECK(is_numeric());
+    return type_ == ValueType::kInt ? static_cast<double>(int_) : double_;
+  }
+  const std::string& AsString() const {
+    GEQO_DCHECK(type_ == ValueType::kString);
+    return string_;
+  }
+
+  /// Three-way comparison; numeric values compare numerically across
+  /// kInt/kDouble, strings compare lexicographically. Aborts on
+  /// numeric-vs-string comparison (a type error upstream).
+  int Compare(const Value& other) const {
+    if (is_numeric() && other.is_numeric()) {
+      const double a = AsDouble();
+      const double b = other.AsDouble();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    GEQO_CHECK(type_ == ValueType::kString && other.type_ == ValueType::kString)
+        << "cannot compare numeric and string values";
+    return string_.compare(other.string_) < 0
+               ? -1
+               : (string_ == other.string_ ? 0 : 1);
+  }
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  uint64_t Hash() const {
+    switch (type_) {
+      case ValueType::kInt:
+        // Hash ints through their double form so 3 == 3.0 hash-agree.
+        return HashBytes(&int_, sizeof(int_), 0x1234567);
+      case ValueType::kDouble: {
+        if (double_ == static_cast<double>(static_cast<int64_t>(double_))) {
+          const int64_t as_int = static_cast<int64_t>(double_);
+          return HashBytes(&as_int, sizeof(as_int), 0x1234567);
+        }
+        return HashBytes(&double_, sizeof(double_), 0x89abcd);
+      }
+      case ValueType::kString:
+        return HashString(string_);
+    }
+    return 0;
+  }
+
+  std::string ToString() const;
+
+ private:
+  ValueType type_;
+  int64_t int_ = 0;
+  double double_ = 0.0;
+  std::string string_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,157 @@
+#include "smt/solver.h"
+
+#include <limits>
+
+namespace geqo::smt {
+
+Verdict DiffLogicSolver::Solve() {
+  assignment_.assign(atoms_.size(), Assignment::kUnassigned);
+  return Dpll() ? Verdict::kSat : Verdict::kUnsat;
+}
+
+bool DiffLogicSolver::Dpll() {
+  std::vector<int32_t> trail;
+  if (!PropagateUnits(&trail)) {
+    ++stats_.conflicts;
+    Unassign(trail, 0);
+    return false;
+  }
+  if (!TheoryConsistent()) {
+    ++stats_.conflicts;
+    Unassign(trail, 0);
+    return false;
+  }
+
+  const int32_t branch_atom = PickBranchAtom();
+  if (branch_atom < 0) {
+    // All clauses satisfied and the theory is consistent: SAT.
+    Unassign(trail, 0);
+    return true;
+  }
+
+  ++stats_.decisions;
+  for (const Assignment choice : {Assignment::kTrue, Assignment::kFalse}) {
+    assignment_[static_cast<size_t>(branch_atom)] = choice;
+    if (Dpll()) {
+      assignment_[static_cast<size_t>(branch_atom)] = Assignment::kUnassigned;
+      Unassign(trail, 0);
+      return true;
+    }
+    assignment_[static_cast<size_t>(branch_atom)] = Assignment::kUnassigned;
+  }
+  Unassign(trail, 0);
+  return false;
+}
+
+bool DiffLogicSolver::PropagateUnits(std::vector<int32_t>* trail) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::vector<Literal>& clause : clauses_) {
+      int unassigned_count = 0;
+      const Literal* unit = nullptr;
+      bool satisfied = false;
+      for (const Literal& literal : clause) {
+        const Assignment a = assignment_[static_cast<size_t>(literal.atom)];
+        if (a == Assignment::kUnassigned) {
+          ++unassigned_count;
+          unit = &literal;
+        } else if ((a == Assignment::kTrue) == literal.positive) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned_count == 0) return false;  // conflict: clause falsified
+      if (unassigned_count == 1) {
+        assignment_[static_cast<size_t>(unit->atom)] =
+            unit->positive ? Assignment::kTrue : Assignment::kFalse;
+        trail->push_back(unit->atom);
+        ++stats_.propagations;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+bool DiffLogicSolver::TheoryConsistent() {
+  ++stats_.theory_checks;
+  // Collect asserted edges: atom true  => x - y (<|<=) c, edge y -> x, w = c;
+  //                         atom false => its negation's edge.
+  struct Edge {
+    VarId from;
+    VarId to;
+    double weight;
+    bool strict;
+  };
+  std::vector<Edge> edges;
+  edges.reserve(atoms_.size());
+  for (size_t i = 0; i < atoms_.size(); ++i) {
+    if (assignment_[i] == Assignment::kUnassigned) continue;
+    const DiffAtom atom = assignment_[i] == Assignment::kTrue
+                              ? atoms_[i]
+                              : atoms_[i].Negated();
+    edges.push_back(Edge{atom.y, atom.x, atom.bound, atom.strict});
+  }
+  if (edges.empty()) return true;
+
+  // Bellman-Ford from a virtual source connected to every node with weight
+  // 0. A strict edge x - y < c behaves as x - y <= c - ε: distances are
+  // (value, epsilon_count) pairs ordered lexicographically, with more
+  // epsilons meaning strictly smaller. A negative cycle — total weight < 0,
+  // or == 0 with at least one strict edge — keeps improving distances
+  // forever, so any improvement after |V| full rounds is a theory conflict.
+  const size_t n = static_cast<size_t>(num_vars_);
+  std::vector<double> dist(n, 0.0);
+  std::vector<int32_t> epsilons(n, 0);
+  auto improves = [](double new_d, int32_t new_e, double old_d, int32_t old_e) {
+    if (new_d < old_d) return true;
+    return new_d == old_d && new_e > old_e;
+  };
+  for (size_t round = 0; round <= n; ++round) {
+    bool changed = false;
+    for (const Edge& edge : edges) {
+      const auto from = static_cast<size_t>(edge.from);
+      const auto to = static_cast<size_t>(edge.to);
+      const double candidate = dist[from] + edge.weight;
+      const int32_t candidate_eps = epsilons[from] + (edge.strict ? 1 : 0);
+      if (improves(candidate, candidate_eps, dist[to], epsilons[to])) {
+        dist[to] = candidate;
+        epsilons[to] = candidate_eps;
+        changed = true;
+      }
+    }
+    if (!changed) return true;  // converged: no negative cycle
+  }
+  // Still improving after |V|+1 rounds: negative (or zero-strict) cycle.
+  return false;
+}
+
+void DiffLogicSolver::Unassign(const std::vector<int32_t>& trail, size_t from) {
+  for (size_t i = from; i < trail.size(); ++i) {
+    assignment_[static_cast<size_t>(trail[i])] = Assignment::kUnassigned;
+  }
+}
+
+int32_t DiffLogicSolver::PickBranchAtom() const {
+  // Prefer atoms from unresolved clauses (pure decision heuristics are
+  // unnecessary at verifier formula sizes).
+  for (const std::vector<Literal>& clause : clauses_) {
+    bool satisfied = false;
+    int32_t candidate = -1;
+    for (const Literal& literal : clause) {
+      const Assignment a = assignment_[static_cast<size_t>(literal.atom)];
+      if (a == Assignment::kUnassigned) {
+        if (candidate < 0) candidate = literal.atom;
+      } else if ((a == Assignment::kTrue) == literal.positive) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (!satisfied && candidate >= 0) return candidate;
+  }
+  return -1;
+}
+
+}  // namespace geqo::smt

@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.h"
+
+/// \file solver.h
+/// A miniature SMT solver in the DPLL(T) style: a DPLL SAT search with unit
+/// propagation and chronological backtracking, coupled to a difference-logic
+/// theory solver (Bellman-Ford negative-cycle detection).
+///
+/// This is the substrate that replaces Z3 for the SPES-style verifier (see
+/// DESIGN.md §1): the verifier lowers predicate-implication queries P ∧ ¬q
+/// to CNF over difference atoms and asks for (un)satisfiability. The theory
+/// fragment — conjunctions/disjunctions of x - y ⋈ c and x ⋈ c atoms over
+/// reals — exactly covers the conjunctive SPJ predicates GEqO targets.
+
+namespace geqo::smt {
+
+/// Variable identifiers. Variable 0 is reserved as the designated zero
+/// constant: "x <= 5" is expressed as x - zero <= 5.
+using VarId = int32_t;
+inline constexpr VarId kZeroVar = 0;
+
+/// \brief A difference-logic atom: x - y < c (strict) or x - y <= c.
+struct DiffAtom {
+  VarId x = kZeroVar;
+  VarId y = kZeroVar;
+  double bound = 0.0;
+  bool strict = false;
+
+  /// The negation: !(x - y <= c) == y - x < -c, and
+  /// !(x - y < c) == y - x <= -c.
+  DiffAtom Negated() const { return DiffAtom{y, x, -bound, !strict}; }
+};
+
+/// \brief A literal: an atom index with a polarity.
+struct Literal {
+  int32_t atom = 0;
+  bool positive = true;
+};
+
+enum class Verdict { kSat, kUnsat };
+
+/// \brief The DPLL(T) solver. Usage: create variables and atoms, add CNF
+/// clauses of literals, call Solve(). Solvers are single-shot.
+class DiffLogicSolver {
+ public:
+  DiffLogicSolver() { num_vars_ = 1; /* the zero variable */ }
+
+  /// Allocates a fresh theory variable.
+  VarId NewVariable() { return num_vars_++; }
+
+  /// Registers \p atom, returning its index for use in literals.
+  int32_t AddAtom(DiffAtom atom) {
+    atoms_.push_back(atom);
+    return static_cast<int32_t>(atoms_.size()) - 1;
+  }
+
+  /// Adds a CNF clause (disjunction of literals). An empty clause makes the
+  /// formula trivially unsatisfiable.
+  void AddClause(std::vector<Literal> clause) {
+    clauses_.push_back(std::move(clause));
+  }
+
+  /// Convenience: adds the unit clause [lit].
+  void AddUnit(Literal literal) { AddClause({literal}); }
+
+  /// Decides satisfiability of the clause set modulo difference logic.
+  Verdict Solve();
+
+  /// Number of registered atoms (γ in the paper's AV complexity bound).
+  size_t num_atoms() const { return atoms_.size(); }
+
+  /// Cumulative statistics across Solve() calls, for benchmark reporting.
+  struct Stats {
+    uint64_t decisions = 0;
+    uint64_t propagations = 0;
+    uint64_t theory_checks = 0;
+    uint64_t conflicts = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  enum class Assignment : int8_t { kUnassigned, kTrue, kFalse };
+
+  bool Dpll();
+  /// Runs unit propagation; returns false on boolean conflict.
+  bool PropagateUnits(std::vector<int32_t>* trail);
+  /// Checks theory consistency of the current assignment; returns false on
+  /// a negative cycle (theory conflict).
+  bool TheoryConsistent();
+  void Unassign(const std::vector<int32_t>& trail, size_t from);
+  int32_t PickBranchAtom() const;
+
+  int32_t num_vars_ = 1;
+  std::vector<DiffAtom> atoms_;
+  std::vector<std::vector<Literal>> clauses_;
+  std::vector<Assignment> assignment_;
+  Stats stats_;
+};
+
+}  // namespace geqo::smt

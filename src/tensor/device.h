@@ -1,0 +1,64 @@
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+/// \file device.h
+/// Device cost model used to reproduce Figure 12 (CPU vs GPU filter
+/// runtimes) without GPU hardware.
+///
+/// Substitution note (see DESIGN.md §1): the paper executed the VMF/EMF on
+/// an Nvidia Tesla T4 and found a crossover — the GPU loses at small input
+/// sizes (transfer/dispatch overhead dominates) and wins at large ones
+/// (compute amortizes). We reproduce the *mechanism*: kernels are
+/// instrumented (KernelStats counts dispatches, flops, and moved bytes), and
+/// the accelerator's modeled time is
+///
+///   dispatches x dispatch_overhead + transferred_bytes / pcie_bandwidth
+///     + measured_cpu_compute_time / compute_speedup.
+///
+/// plus a one-time session overhead (CUDA context creation, library/kernel
+/// warm-up) charged per filter invocation — the fixed cost that makes real
+/// GPUs lose at small input sizes.
+///
+/// The constants below are order-of-magnitude figures for a T4-class card
+/// attached over PCIe 3.0 x16; the crossover shape is insensitive to their
+/// exact values.
+
+namespace geqo {
+
+/// \brief An analytical device model applied to measured CPU executions.
+struct DeviceModel {
+  std::string name;
+  double dispatch_overhead_s = 0.0;   ///< per-kernel launch latency
+  double bytes_per_second = 0.0;      ///< host<->device bandwidth (0 = none)
+  double compute_speedup = 1.0;       ///< device FLOP rate / CPU FLOP rate
+  double session_overhead_s = 0.0;    ///< one-time context/warm-up cost
+
+  /// The CPU itself: measured time is reported unchanged.
+  static DeviceModel Cpu() { return DeviceModel{"cpu", 0.0, 0.0, 1.0, 0.0}; }
+
+  /// A T4-class accelerator: ~10us launch latency, ~12 GB/s effective PCIe
+  /// bandwidth, ~40x the single-core FP32 throughput of the host, and
+  /// ~1.5 s of context creation + warm-up per job.
+  static DeviceModel AcceleratorT4Like() {
+    return DeviceModel{"gpu-sim", 10e-6, 12e9, 40.0, 1.5};
+  }
+
+  /// \brief Models the wall time of an execution that took
+  /// \p measured_cpu_seconds on the CPU, issued \p stats kernels, and moved
+  /// \p transferred_bytes across the host/device boundary.
+  double ModelSeconds(double measured_cpu_seconds, const KernelStats& stats,
+                      double transferred_bytes) const {
+    if (compute_speedup == 1.0 && dispatch_overhead_s == 0.0) {
+      return measured_cpu_seconds;
+    }
+    double seconds = session_overhead_s + measured_cpu_seconds / compute_speedup;
+    seconds += static_cast<double>(stats.dispatches) * dispatch_overhead_s;
+    if (bytes_per_second > 0.0) seconds += transferred_bytes / bytes_per_second;
+    return seconds;
+  }
+};
+
+}  // namespace geqo

@@ -1,0 +1,174 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+
+namespace geqo {
+
+KernelStats& GetKernelStats() {
+  static KernelStats stats;
+  return stats;
+}
+
+namespace ops {
+namespace {
+
+void CountKernel(double flops) {
+  KernelStats& stats = GetKernelStats();
+  ++stats.dispatches;
+  stats.flops += flops;
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
+              bool transpose_b) {
+  const size_t m = transpose_a ? a.cols() : a.rows();
+  const size_t k = transpose_a ? a.rows() : a.cols();
+  const size_t k2 = transpose_b ? b.cols() : b.rows();
+  const size_t n = transpose_b ? b.rows() : b.cols();
+  GEQO_CHECK(k == k2) << "MatMul shape mismatch: " << a.ShapeString() << " x "
+                      << b.ShapeString();
+  Tensor out(m, n);
+  CountKernel(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k));
+
+  if (!transpose_a && !transpose_b) {
+    // ikj loop order: streams through b rows, cache friendly.
+    for (size_t i = 0; i < m; ++i) {
+      float* out_row = out.Row(i);
+      const float* a_row = a.Row(i);
+      for (size_t kk = 0; kk < k; ++kk) {
+        const float a_ik = a_row[kk];
+        if (a_ik == 0.0f) continue;
+        const float* b_row = b.Row(kk);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+      }
+    }
+    return out;
+  }
+
+  auto a_at = [&](size_t i, size_t kk) {
+    return transpose_a ? a.At(kk, i) : a.At(i, kk);
+  };
+  auto b_at = [&](size_t kk, size_t j) {
+    return transpose_b ? b.At(j, kk) : b.At(kk, j);
+  };
+  for (size_t i = 0; i < m; ++i) {
+    for (size_t j = 0; j < n; ++j) {
+      float acc = 0.0f;
+      for (size_t kk = 0; kk < k; ++kk) acc += a_at(i, kk) * b_at(kk, j);
+      out.At(i, j) = acc;
+    }
+  }
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = a;
+  CountKernel(static_cast<double>(a.size()));
+  const float* src = b.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < out.size(); ++i) dst[i] += src[i];
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = a;
+  CountKernel(static_cast<double>(a.size()));
+  const float* src = b.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < out.size(); ++i) dst[i] -= src[i];
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  Tensor out = a;
+  CountKernel(static_cast<double>(a.size()));
+  const float* src = b.data();
+  float* dst = out.data();
+  for (size_t i = 0; i < out.size(); ++i) dst[i] *= src[i];
+  return out;
+}
+
+Tensor Scale(const Tensor& a, float scalar) {
+  Tensor out = a;
+  CountKernel(static_cast<double>(a.size()));
+  for (float& v : out.mutable_values()) v *= scalar;
+  return out;
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  GEQO_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
+  CountKernel(static_cast<double>(a->size()));
+  const float* src = b.data();
+  float* dst = a->data();
+  for (size_t i = 0; i < a->size(); ++i) dst[i] += src[i];
+}
+
+void AddRowVectorInPlace(Tensor* a, const Tensor& bias) {
+  GEQO_CHECK(bias.rows() == 1 && bias.cols() == a->cols());
+  CountKernel(static_cast<double>(a->size()));
+  const float* b = bias.data();
+  for (size_t r = 0; r < a->rows(); ++r) {
+    float* row = a->Row(r);
+    for (size_t c = 0; c < a->cols(); ++c) row[c] += b[c];
+  }
+}
+
+Tensor ColumnSum(const Tensor& a) {
+  Tensor out(1, a.cols());
+  CountKernel(static_cast<double>(a.size()));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+  }
+  return out;
+}
+
+Tensor RowNorms(const Tensor& a) {
+  Tensor out(1, a.rows());
+  CountKernel(2.0 * static_cast<double>(a.size()));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const float* row = a.Row(r);
+    float acc = 0.0f;
+    for (size_t c = 0; c < a.cols(); ++c) acc += row[c] * row[c];
+    out.At(0, r) = std::sqrt(acc);
+  }
+  return out;
+}
+
+Tensor Transpose(const Tensor& a) {
+  Tensor out(a.cols(), a.rows());
+  CountKernel(static_cast<double>(a.size()));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    for (size_t c = 0; c < a.cols(); ++c) out.At(c, r) = a.At(r, c);
+  }
+  return out;
+}
+
+Tensor ConcatColumns(const Tensor& a, const Tensor& b) {
+  GEQO_CHECK(a.rows() == b.rows());
+  Tensor out(a.rows(), a.cols() + b.cols());
+  CountKernel(static_cast<double>(out.size()));
+  for (size_t r = 0; r < a.rows(); ++r) {
+    float* row = out.Row(r);
+    std::copy(a.Row(r), a.Row(r) + a.cols(), row);
+    std::copy(b.Row(r), b.Row(r) + b.cols(), row + a.cols());
+  }
+  return out;
+}
+
+float SquaredDistance(const float* a, const float* b, size_t n) {
+  float acc = 0.0f;
+  for (size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+}  // namespace ops
+}  // namespace geqo

@@ -1,0 +1,484 @@
+#include "verify/verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "plan/canonicalize.h"
+#include "smt/solver.h"
+
+namespace geqo {
+
+std::string_view VerdictToString(EquivalenceVerdict verdict) {
+  switch (verdict) {
+    case EquivalenceVerdict::kEquivalent:
+      return "Equivalent";
+    case EquivalenceVerdict::kNotEquivalent:
+      return "NotEquivalent";
+    case EquivalenceVerdict::kUnknown:
+      return "Unknown";
+  }
+  return "?";
+}
+
+namespace {
+
+/// A single-shot SMT query: interns variables, lowers comparisons into
+/// difference-logic clauses, asserts pairwise distinctness of string
+/// constants, and solves.
+class SmtQuery {
+ public:
+  /// Asserts \p cmp (or its negation when \p positive is false). Returns
+  /// NotSupported for predicates outside the linear fragment.
+  Status Assert(const Comparison& cmp, bool positive) {
+    // Constant comparisons (e.g. the 1 = 1 predicate of a cross join).
+    if (const auto value = TryEvaluateComparison(cmp)) {
+      if (*value != positive) solver_.AddClause({});  // contradiction
+      return Status::OK();
+    }
+    const auto normalized = NormalizeComparison(cmp);
+    if (!normalized.has_value()) {
+      return Status::NotSupported("predicate outside linear fragment: " +
+                                  cmp.ToString());
+    }
+    const CompareOp op =
+        positive ? normalized->op : NegateCompareOp(normalized->op);
+    const smt::VarId x = VarOf(*normalized->left);
+    smt::VarId y = smt::kZeroVar;
+    double c = normalized->constant;
+    if (normalized->right) {
+      y = VarOf(*normalized->right);
+    } else if (normalized->string_constant) {
+      if (op != CompareOp::kEq && op != CompareOp::kNe) {
+        return Status::NotSupported("string comparison with ordering");
+      }
+      y = VarOfString(*normalized->string_constant);
+      c = 0.0;
+    }
+    switch (op) {
+      case CompareOp::kLe:
+        solver_.AddUnit({solver_.AddAtom({x, y, c, false}), true});
+        break;
+      case CompareOp::kLt:
+        solver_.AddUnit({solver_.AddAtom({x, y, c, true}), true});
+        break;
+      case CompareOp::kGe:
+        solver_.AddUnit({solver_.AddAtom({y, x, -c, false}), true});
+        break;
+      case CompareOp::kGt:
+        solver_.AddUnit({solver_.AddAtom({y, x, -c, true}), true});
+        break;
+      case CompareOp::kEq:
+        solver_.AddUnit({solver_.AddAtom({x, y, c, false}), true});
+        solver_.AddUnit({solver_.AddAtom({y, x, -c, false}), true});
+        break;
+      case CompareOp::kNe:
+        solver_.AddClause({{solver_.AddAtom({x, y, c, true}), true},
+                           {solver_.AddAtom({y, x, -c, true}), true}});
+        break;
+    }
+    return Status::OK();
+  }
+
+  /// Solves the accumulated clause set.
+  smt::Verdict Solve() {
+    AssertStringDistinctness();
+    return solver_.Solve();
+  }
+
+ private:
+  smt::VarId VarOf(const ColumnRef& ref) {
+    const std::string key = ref.alias + "." + ref.column;
+    const auto it = column_vars_.find(key);
+    if (it != column_vars_.end()) return it->second;
+    const smt::VarId var = solver_.NewVariable();
+    column_vars_.emplace(key, var);
+    return var;
+  }
+
+  smt::VarId VarOfString(const std::string& value) {
+    const auto it = string_vars_.find(value);
+    if (it != string_vars_.end()) return it->second;
+    const smt::VarId var = solver_.NewVariable();
+    string_vars_.emplace(value, var);
+    return var;
+  }
+
+  /// Distinct string literals denote distinct values.
+  void AssertStringDistinctness() {
+    std::vector<smt::VarId> vars;
+    for (const auto& [text, var] : string_vars_) vars.push_back(var);
+    for (size_t i = 0; i < vars.size(); ++i) {
+      for (size_t j = i + 1; j < vars.size(); ++j) {
+        solver_.AddClause(
+            {{solver_.AddAtom({vars[i], vars[j], 0.0, true}), true},
+             {solver_.AddAtom({vars[j], vars[i], 0.0, true}), true}});
+      }
+    }
+  }
+
+  smt::DiffLogicSolver solver_;
+  std::map<std::string, smt::VarId> column_vars_;
+  std::map<std::string, smt::VarId> string_vars_;
+};
+
+/// Outcome of a theory query that may leave the supported fragment.
+enum class TriBool : uint8_t { kTrue, kFalse, kUnknown };
+
+/// Is the conjunction \p premises satisfiable?
+TriBool Feasible(const std::vector<Comparison>& premises,
+                 VerifierStats* stats) {
+  SmtQuery query;
+  for (const Comparison& premise : premises) {
+    if (!query.Assert(premise, /*positive=*/true).ok()) {
+      return TriBool::kUnknown;
+    }
+  }
+  ++stats->solver_calls;
+  return query.Solve() == smt::Verdict::kSat ? TriBool::kTrue : TriBool::kFalse;
+}
+
+/// Does \p premises imply \p conclusion? (UNSAT of premises ∧ ¬conclusion.)
+TriBool Implies(const std::vector<Comparison>& premises,
+                const Comparison& conclusion, VerifierStats* stats) {
+  SmtQuery query;
+  for (const Comparison& premise : premises) {
+    if (!query.Assert(premise, /*positive=*/true).ok()) {
+      return TriBool::kUnknown;
+    }
+  }
+  if (!query.Assert(conclusion, /*positive=*/false).ok()) {
+    return TriBool::kUnknown;
+  }
+  ++stats->solver_calls;
+  return query.Solve() == smt::Verdict::kUnsat ? TriBool::kTrue
+                                               : TriBool::kFalse;
+}
+
+/// Checks that every conjunct of \p conclusions follows from \p premises.
+TriBool ImpliesAll(const std::vector<Comparison>& premises,
+                   const std::vector<Comparison>& conclusions,
+                   VerifierStats* stats) {
+  for (const Comparison& conclusion : conclusions) {
+    const TriBool result = Implies(premises, conclusion, stats);
+    if (result != TriBool::kTrue) return result;
+  }
+  return TriBool::kTrue;
+}
+
+/// Positional output equality of translated-a vs b under b's predicates.
+TriBool OutputsMatch(const std::vector<OutputColumn>& a_translated,
+                     const std::vector<OutputColumn>& b,
+                     const std::vector<Comparison>& b_predicates,
+                     VerifierStats* stats) {
+  if (a_translated.size() != b.size()) return TriBool::kFalse;
+  for (size_t i = 0; i < a_translated.size(); ++i) {
+    const ExprPtr& ea = a_translated[i].expr;
+    const ExprPtr& eb = b[i].expr;
+    if (ea->Equals(*eb)) continue;  // syntactically identical
+    const auto ta = ExtractLinearTerm(ea);
+    const auto tb = ExtractLinearTerm(eb);
+    if (!ta || !tb) return TriBool::kUnknown;  // non-linear and non-identical
+    if (ta->string_constant || tb->string_constant) {
+      if (ta->string_constant && tb->string_constant &&
+          *ta->string_constant == *tb->string_constant) {
+        continue;
+      }
+      return TriBool::kFalse;
+    }
+    if (!ta->column && !tb->column) {
+      if (ta->offset == tb->offset) continue;
+      return TriBool::kFalse;
+    }
+    // At least one side has a column: ask the solver whether equality is
+    // forced by the predicates (e.g. outputs A.x vs B.x under A.x = B.x).
+    ExprPtr lhs = ta->column ? Expr::Column(ta->column->alias, ta->column->column)
+                             : Expr::Literal(Value::Double(0.0));
+    if (ta->offset != 0.0 || !ta->column) {
+      lhs = Expr::Binary(ExprKind::kAdd, lhs,
+                         Expr::Literal(Value::Double(ta->offset)));
+    }
+    ExprPtr rhs = tb->column ? Expr::Column(tb->column->alias, tb->column->column)
+                             : Expr::Literal(Value::Double(0.0));
+    if (tb->offset != 0.0 || !tb->column) {
+      rhs = Expr::Binary(ExprKind::kAdd, rhs,
+                         Expr::Literal(Value::Double(tb->offset)));
+    }
+    const TriBool equal =
+        Implies(b_predicates, Comparison{lhs, CompareOp::kEq, rhs}, stats);
+    if (equal != TriBool::kTrue) return equal;
+  }
+  return TriBool::kTrue;
+}
+
+/// Enumerates table-name-consistent bijections from a's atoms onto b's.
+class BijectionEnumerator {
+ public:
+  BijectionEnumerator(const std::vector<TableAtom>& a,
+                      const std::vector<TableAtom>& b, uint64_t max_bijections)
+      : a_(a), b_(b), max_bijections_(max_bijections), used_(b.size(), false) {}
+
+  /// Invokes \p visit with (a alias -> b alias) rename vectors until visit
+  /// returns true (stop) or the space is exhausted. Returns whether a visit
+  /// accepted, and sets *truncated if the cap was hit.
+  template <typename Visitor>
+  bool Enumerate(Visitor&& visit, uint64_t* tried, bool* truncated) {
+    assignment_.assign(a_.size(), 0);
+    return Recurse(0, visit, tried, truncated);
+  }
+
+ private:
+  template <typename Visitor>
+  bool Recurse(size_t index, Visitor&& visit, uint64_t* tried,
+               bool* truncated) {
+    if (*tried >= max_bijections_) {
+      *truncated = true;
+      return false;
+    }
+    if (index == a_.size()) {
+      ++*tried;
+      std::vector<std::pair<std::string, std::string>> rename;
+      rename.reserve(a_.size());
+      for (size_t i = 0; i < a_.size(); ++i) {
+        rename.emplace_back(a_[i].alias, b_[assignment_[i]].alias);
+      }
+      return visit(rename);
+    }
+    for (size_t j = 0; j < b_.size(); ++j) {
+      if (used_[j] || b_[j].table != a_[index].table) continue;
+      used_[j] = true;
+      assignment_[index] = j;
+      if (Recurse(index + 1, visit, tried, truncated)) {
+        used_[j] = false;
+        return true;
+      }
+      used_[j] = false;
+      if (*truncated) return false;
+    }
+    return false;
+  }
+
+  const std::vector<TableAtom>& a_;
+  const std::vector<TableAtom>& b_;
+  const uint64_t max_bijections_;
+  std::vector<bool> used_;
+  std::vector<size_t> assignment_;
+};
+
+std::vector<Comparison> RenamePredicates(
+    const std::vector<Comparison>& predicates,
+    const std::vector<std::pair<std::string, std::string>>& rename) {
+  std::vector<Comparison> out;
+  out.reserve(predicates.size());
+  for (const Comparison& cmp : predicates) out.push_back(cmp.RenameAliases(rename));
+  return out;
+}
+
+std::vector<OutputColumn> RenameOutputs(
+    const std::vector<OutputColumn>& outputs,
+    const std::vector<std::pair<std::string, std::string>>& rename) {
+  std::vector<OutputColumn> out;
+  out.reserve(outputs.size());
+  for (const OutputColumn& column : outputs) {
+    out.push_back(OutputColumn{column.name, column.expr->RenameAliases(rename)});
+  }
+  return out;
+}
+
+bool SameTableMultiset(const std::vector<TableAtom>& a,
+                       const std::vector<TableAtom>& b) {
+  if (a.size() != b.size()) return false;
+  std::vector<std::string> names_a, names_b;
+  for (const TableAtom& atom : a) names_a.push_back(atom.table);
+  for (const TableAtom& atom : b) names_b.push_back(atom.table);
+  std::sort(names_a.begin(), names_a.end());
+  std::sort(names_b.begin(), names_b.end());
+  return names_a == names_b;
+}
+
+}  // namespace
+
+EquivalenceVerdict SpesVerifier::CheckEquivalence(const PlanPtr& a,
+                                                  const PlanPtr& b) {
+  ++stats_.pairs_checked;
+  const PlanPtr ca = Canonicalize(a);
+  const PlanPtr cb = Canonicalize(b);
+
+  // Aggregate roots (§9.1 extension): prove the SPJ children equivalent
+  // under a bijection that also maps the aggregation spec.
+  if (ca->kind() == OpKind::kAggregate || cb->kind() == OpKind::kAggregate) {
+    if (ca->kind() != cb->kind()) {
+      // An aggregation result can coincide with a plain SPJ result only in
+      // exotic cases; stay sound and answer Unknown.
+      ++stats_.unknown_results;
+      return EquivalenceVerdict::kUnknown;
+    }
+    const Result<FlatSpj> child_a = FlattenSpj(ca->child(0), *catalog_);
+    const Result<FlatSpj> child_b = FlattenSpj(cb->child(0), *catalog_);
+    if (!child_a.ok() || !child_b.ok()) {
+      if (ca->Equals(*cb)) return EquivalenceVerdict::kEquivalent;
+      ++stats_.unknown_results;
+      return EquivalenceVerdict::kUnknown;
+    }
+    return CheckFlattened(*child_a, *child_b, /*containment_only=*/false,
+                          ca.get(), cb.get());
+  }
+
+  const Result<FlatSpj> flat_a = FlattenSpj(ca, *catalog_);
+  const Result<FlatSpj> flat_b = FlattenSpj(cb, *catalog_);
+  if (!flat_a.ok() || !flat_b.ok()) {
+    // Outside the SPJ fragment: only syntactic identity is provable.
+    if (ca->Equals(*cb)) return EquivalenceVerdict::kEquivalent;
+    ++stats_.unknown_results;
+    return EquivalenceVerdict::kUnknown;
+  }
+  return CheckFlattened(*flat_a, *flat_b, /*containment_only=*/false);
+}
+
+EquivalenceVerdict SpesVerifier::CheckContainment(const PlanPtr& a,
+                                                  const PlanPtr& b) {
+  ++stats_.pairs_checked;
+  const PlanPtr ca = Canonicalize(a);
+  const PlanPtr cb = Canonicalize(b);
+  const Result<FlatSpj> flat_a = FlattenSpj(ca, *catalog_);
+  const Result<FlatSpj> flat_b = FlattenSpj(cb, *catalog_);
+  if (!flat_a.ok() || !flat_b.ok()) {
+    if (ca->Equals(*cb)) return EquivalenceVerdict::kEquivalent;
+    ++stats_.unknown_results;
+    return EquivalenceVerdict::kUnknown;
+  }
+  return CheckFlattened(*flat_a, *flat_b, /*containment_only=*/true);
+}
+
+namespace {
+
+/// Renders an aggregate spec (group-by key set + positional aggregates)
+/// canonically after alias renaming; used for the conservative structural
+/// match of aggregate roots.
+bool AggregateSpecsMatch(
+    const PlanNode& a, const PlanNode& b,
+    const std::vector<std::pair<std::string, std::string>>& rename) {
+  if (a.group_by().size() != b.group_by().size() ||
+      a.aggregates().size() != b.aggregates().size()) {
+    return false;
+  }
+  // Group-by keys: order-insensitive comparison of renamed renderings.
+  std::vector<std::string> keys_a;
+  std::vector<std::string> keys_b;
+  for (const OutputColumn& key : a.group_by()) {
+    keys_a.push_back(key.expr->RenameAliases(rename)->ToString());
+  }
+  for (const OutputColumn& key : b.group_by()) {
+    keys_b.push_back(key.expr->ToString());
+  }
+  std::sort(keys_a.begin(), keys_a.end());
+  std::sort(keys_b.begin(), keys_b.end());
+  if (keys_a != keys_b) return false;
+  // Aggregates: positional, function + renamed argument.
+  for (size_t i = 0; i < a.aggregates().size(); ++i) {
+    const AggregateExpr& agg_a = a.aggregates()[i];
+    const AggregateExpr& agg_b = b.aggregates()[i];
+    if (agg_a.fn != agg_b.fn) return false;
+    if ((agg_a.argument == nullptr) != (agg_b.argument == nullptr)) {
+      return false;
+    }
+    if (agg_a.argument != nullptr &&
+        !agg_a.argument->RenameAliases(rename)->Equals(*agg_b.argument)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+EquivalenceVerdict SpesVerifier::CheckFlattened(const FlatSpj& a,
+                                                const FlatSpj& b,
+                                                bool containment_only,
+                                                const PlanNode* aggregate_a,
+                                                const PlanNode* aggregate_b) {
+  // Feasibility: a query with an unsatisfiable predicate set returns the
+  // empty bag on every database.
+  const TriBool feasible_a = Feasible(a.predicates, &stats_);
+  const TriBool feasible_b = Feasible(b.predicates, &stats_);
+  if (feasible_a == TriBool::kUnknown || feasible_b == TriBool::kUnknown) {
+    ++stats_.unknown_results;
+    return EquivalenceVerdict::kUnknown;
+  }
+  if (feasible_a == TriBool::kFalse && feasible_b == TriBool::kFalse) {
+    // Both children are always empty; with our executor semantics (grouped
+    // and global aggregates of an empty input are empty) the roots agree.
+    return EquivalenceVerdict::kEquivalent;
+  }
+  if (feasible_a == TriBool::kFalse && containment_only) {
+    return EquivalenceVerdict::kEquivalent;  // empty ⊆ anything
+  }
+  if (feasible_a != feasible_b) return EquivalenceVerdict::kNotEquivalent;
+
+  // Bag semantics: the scan multisets must correspond exactly.
+  if (!SameTableMultiset(a.atoms, b.atoms)) {
+    return EquivalenceVerdict::kNotEquivalent;
+  }
+  if (a.outputs.size() != b.outputs.size()) {
+    return EquivalenceVerdict::kNotEquivalent;
+  }
+
+  bool saw_unknown = false;
+  bool truncated = false;
+  uint64_t tried = 0;
+  BijectionEnumerator enumerator(a.atoms, b.atoms, options_.max_bijections);
+  const bool found = enumerator.Enumerate(
+      [&](const std::vector<std::pair<std::string, std::string>>& rename) {
+        const std::vector<Comparison> a_translated =
+            RenamePredicates(a.predicates, rename);
+        // a ⊆ b requires a's predicates to force b's; equivalence
+        // additionally requires the converse.
+        const TriBool forward =
+            ImpliesAll(a_translated, b.predicates, &stats_);
+        if (forward == TriBool::kUnknown) saw_unknown = true;
+        if (forward != TriBool::kTrue) return false;
+        if (!containment_only) {
+          const TriBool backward =
+              ImpliesAll(b.predicates, a_translated, &stats_);
+          if (backward == TriBool::kUnknown) saw_unknown = true;
+          if (backward != TriBool::kTrue) return false;
+        }
+        if (aggregate_a != nullptr) {
+          // Aggregate roots: the aggregation specs must correspond under
+          // this bijection (output checks are subsumed by the spec match).
+          return AggregateSpecsMatch(*aggregate_a, *aggregate_b, rename);
+        }
+        // Outputs must coincide under the (stronger) predicate set.
+        const std::vector<Comparison>& output_context =
+            containment_only ? a_translated : b.predicates;
+        const TriBool outputs =
+            OutputsMatch(RenameOutputs(a.outputs, rename), b.outputs,
+                         output_context, &stats_);
+        if (outputs == TriBool::kUnknown) saw_unknown = true;
+        return outputs == TriBool::kTrue;
+      },
+      &tried, &truncated);
+  stats_.bijections_tried += tried;
+
+  if (found) return EquivalenceVerdict::kEquivalent;
+  if (saw_unknown || truncated) {
+    ++stats_.unknown_results;
+    return EquivalenceVerdict::kUnknown;
+  }
+  if (aggregate_a != nullptr) {
+    // The aggregate spec match is conservative (syntactic after renaming),
+    // so a failed search does not *prove* non-equivalence — unless the
+    // result schemas already disagree in width.
+    const size_t arity_a =
+        aggregate_a->group_by().size() + aggregate_a->aggregates().size();
+    const size_t arity_b =
+        aggregate_b->group_by().size() + aggregate_b->aggregates().size();
+    if (arity_a == arity_b) {
+      ++stats_.unknown_results;
+      return EquivalenceVerdict::kUnknown;
+    }
+  }
+  return EquivalenceVerdict::kNotEquivalent;
+}
+
+}  // namespace geqo

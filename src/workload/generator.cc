@@ -1,0 +1,219 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+
+namespace geqo {
+namespace {
+
+const char* const kStringConstants[] = {"alpha", "beta", "gamma", "delta",
+                                        "omega"};
+
+CompareOp RandomNumericOp(Rng* rng) {
+  // Skew toward inequalities: equality on raw constants is rarely selective
+  // in analytic predicates, matching the generated-workload style of [34].
+  static const CompareOp kOps[] = {CompareOp::kLt, CompareOp::kLe,
+                                   CompareOp::kGt, CompareOp::kGe,
+                                   CompareOp::kEq, CompareOp::kNe};
+  return kOps[rng->Uniform(6)];
+}
+
+}  // namespace
+
+void QueryGenerator::PickTables(
+    Rng* rng, std::vector<std::pair<std::string, std::string>>* tables,
+    std::vector<Comparison>* join_predicates) const {
+  const auto in_pool = [&](const std::string& table) {
+    if (options_.table_pool.empty()) return true;
+    return std::find(options_.table_pool.begin(), options_.table_pool.end(),
+                     table) != options_.table_pool.end();
+  };
+  std::vector<const TableDef*> seeds;
+  for (const TableDef& table : catalog_->tables()) {
+    if (in_pool(table.name())) seeds.push_back(&table);
+  }
+  GEQO_CHECK(!seeds.empty()) << "table pool matches no catalog table";
+
+  const size_t target =
+      1 + rng->Uniform(std::max<size_t>(options_.max_tables, 1));
+  const TableDef& first = *seeds[rng->Uniform(seeds.size())];
+  tables->emplace_back(first.name(), first.name());
+
+  while (tables->size() < target) {
+    // Candidate join edges touching any already-bound table and introducing
+    // a new one (no self-joins: aliases equal table names).
+    struct Candidate {
+      JoinKey key;
+      std::string bound_alias;
+      bool new_on_right;
+    };
+    std::vector<Candidate> candidates;
+    for (const JoinKey& key : catalog_->join_keys()) {
+      const auto bound = [&](const std::string& table) -> const std::string* {
+        for (const auto& [t, alias] : *tables) {
+          if (t == table) return &alias;
+        }
+        return nullptr;
+      };
+      const std::string* left_bound = bound(key.left_table);
+      const std::string* right_bound = bound(key.right_table);
+      if (left_bound != nullptr && right_bound == nullptr &&
+          in_pool(key.right_table)) {
+        candidates.push_back(Candidate{key, *left_bound, true});
+      } else if (right_bound != nullptr && left_bound == nullptr &&
+                 in_pool(key.left_table)) {
+        candidates.push_back(Candidate{key, *right_bound, false});
+      }
+    }
+    if (candidates.empty()) break;  // join graph exhausted around this seed
+    const Candidate& chosen = candidates[rng->Uniform(candidates.size())];
+    const std::string& new_table =
+        chosen.new_on_right ? chosen.key.right_table : chosen.key.left_table;
+    tables->emplace_back(new_table, new_table);
+    const std::string& new_column =
+        chosen.new_on_right ? chosen.key.right_column : chosen.key.left_column;
+    const std::string& bound_column =
+        chosen.new_on_right ? chosen.key.left_column : chosen.key.right_column;
+    join_predicates->push_back(
+        Comparison{Expr::Column(chosen.bound_alias, bound_column),
+                   CompareOp::kEq, Expr::Column(new_table, new_column)});
+  }
+}
+
+Comparison QueryGenerator::MakeSelectionPredicate(
+    Rng* rng,
+    const std::vector<std::pair<std::string, std::string>>& tables) const {
+  // Pick a random bound table and a column of it.
+  const auto& [table_name, alias] = tables[rng->Uniform(tables.size())];
+  const TableDef* table = catalog_->FindTable(table_name);
+  GEQO_CHECK(table != nullptr);
+
+  // String equality predicate.
+  if (rng->Bernoulli(options_.string_predicate_probability)) {
+    std::vector<std::string> string_columns;
+    for (const ColumnDef& column : table->columns()) {
+      if (column.type == ValueType::kString) string_columns.push_back(column.name);
+    }
+    if (!string_columns.empty()) {
+      return Comparison{
+          Expr::Column(alias, rng->Choice(string_columns)),
+          rng->Bernoulli(0.8) ? CompareOp::kEq : CompareOp::kNe,
+          Expr::Literal(Value::String(kStringConstants[rng->Uniform(5)]))};
+    }
+  }
+
+  const std::vector<std::string> numeric = table->NumericColumns();
+  GEQO_CHECK(!numeric.empty()) << "table without numeric columns: "
+                               << table_name;
+  const std::string column = rng->Choice(numeric);
+
+  // Column-vs-column(+const) predicate across the bound tables.
+  if (tables.size() > 1 &&
+      rng->Bernoulli(options_.column_predicate_probability)) {
+    const auto& [other_table_name, other_alias] =
+        tables[rng->Uniform(tables.size())];
+    const TableDef* other = catalog_->FindTable(other_table_name);
+    const std::vector<std::string> other_numeric = other->NumericColumns();
+    if (!(other_alias == alias) && !other_numeric.empty()) {
+      ExprPtr rhs = Expr::Column(other_alias, rng->Choice(other_numeric));
+      if (rng->Bernoulli(0.5)) {
+        rhs = Expr::Binary(
+            ExprKind::kAdd, rhs,
+            Expr::IntLiteral(rng->UniformInt(1, options_.constant_max / 4)));
+      }
+      return Comparison{Expr::Column(alias, column), RandomNumericOp(rng),
+                        std::move(rhs)};
+    }
+  }
+
+  // Column-vs-constant predicate.
+  return Comparison{
+      Expr::Column(alias, column), RandomNumericOp(rng),
+      Expr::IntLiteral(
+          rng->UniformInt(options_.constant_min, options_.constant_max))};
+}
+
+PlanPtr QueryGenerator::Generate(Rng* rng) const {
+  std::vector<std::pair<std::string, std::string>> tables;
+  std::vector<Comparison> join_predicates;
+  PickTables(rng, &tables, &join_predicates);
+
+  // Left-deep join tree in pick order.
+  PlanPtr plan = PlanNode::Scan(tables[0].first, tables[0].second);
+  for (size_t i = 1; i < tables.size(); ++i) {
+    plan = PlanNode::Join(JoinType::kInner, join_predicates[i - 1],
+                          std::move(plan),
+                          PlanNode::Scan(tables[i].first, tables[i].second));
+  }
+
+  // Conjunctive selections.
+  const size_t span =
+      options_.max_select_predicates - std::min(options_.min_select_predicates,
+                                                options_.max_select_predicates);
+  const size_t num_predicates =
+      options_.min_select_predicates + rng->Uniform(span + 1);
+  for (size_t p = 0; p < num_predicates; ++p) {
+    plan = PlanNode::Select(MakeSelectionPredicate(rng, tables),
+                            std::move(plan));
+  }
+
+  // Projection over a random subset of the available columns.
+  std::vector<OutputColumn> available;
+  for (const auto& [table_name, alias] : tables) {
+    const TableDef* table = catalog_->FindTable(table_name);
+    for (const ColumnDef& column : table->columns()) {
+      available.push_back(
+          OutputColumn{column.name, Expr::Column(alias, column.name)});
+    }
+  }
+  const size_t num_outputs =
+      options_.fixed_projection_columns > 0
+          ? std::min(options_.fixed_projection_columns, available.size())
+          : 1 + rng->Uniform(std::min(options_.max_projected_columns,
+                                      available.size()));
+  std::vector<size_t> chosen = rng->SampleIndices(available.size(), num_outputs);
+  std::sort(chosen.begin(), chosen.end());  // deterministic output order
+  std::vector<OutputColumn> outputs;
+  for (const size_t index : chosen) outputs.push_back(available[index]);
+
+  // Optional aggregation root (§9.1 extension): group by the first chosen
+  // columns and aggregate a numeric column.
+  if (options_.aggregate_probability > 0.0 &&
+      rng->Bernoulli(options_.aggregate_probability)) {
+    std::vector<OutputColumn> keys = {outputs[0]};
+    if (outputs.size() > 1 && rng->Bernoulli(0.5)) keys.push_back(outputs[1]);
+    std::vector<AggregateExpr> aggregates;
+    static const AggregateFn kFns[] = {AggregateFn::kCount, AggregateFn::kSum,
+                                       AggregateFn::kMin, AggregateFn::kMax,
+                                       AggregateFn::kAvg};
+    const AggregateFn fn = kFns[rng->Uniform(5)];
+    ExprPtr argument;
+    if (fn != AggregateFn::kCount || rng->Bernoulli(0.5)) {
+      // Aggregate a random numeric column of one of the bound tables.
+      const auto& [table_name, alias] = tables[rng->Uniform(tables.size())];
+      const TableDef* table = catalog_->FindTable(table_name);
+      const auto numeric = table->NumericColumns();
+      if (!numeric.empty()) {
+        argument = Expr::Column(alias, rng->Choice(numeric));
+      }
+    }
+    if (argument == nullptr && fn != AggregateFn::kCount) {
+      // No numeric column found: fall back to COUNT(*).
+      aggregates.push_back(AggregateExpr{AggregateFn::kCount, nullptr, "agg0"});
+    } else {
+      aggregates.push_back(AggregateExpr{fn, argument, "agg0"});
+    }
+    return PlanNode::Aggregate(std::move(keys), std::move(aggregates),
+                               std::move(plan));
+  }
+  return PlanNode::Project(std::move(outputs), std::move(plan));
+}
+
+std::vector<PlanPtr> QueryGenerator::GenerateMany(size_t count,
+                                                  Rng* rng) const {
+  std::vector<PlanPtr> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) out.push_back(Generate(rng));
+  return out;
+}
+
+}  // namespace geqo

@@ -1,0 +1,67 @@
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file generator.h
+/// AMOEBA-style SPJ query fuzzer (§5). Generates random base queries over a
+/// catalog: a connected join path through the catalog's join-key graph,
+/// conjunctive selection predicates over numeric columns, and a projection.
+/// Substitution note (DESIGN.md §1): AMOEBA's role in the paper is to supply
+/// diverse base queries for training-data synthesis; this fuzzer fills that
+/// role for our catalogs.
+
+namespace geqo {
+
+/// \brief Fuzzer knobs.
+struct GeneratorOptions {
+  size_t max_tables = 3;          ///< 1..max joined tables per query
+  size_t min_select_predicates = 0;
+  size_t max_select_predicates = 3;
+  /// Restrict generation to these tables (empty = whole catalog). Detection
+  /// benchmarks use a narrow pool so that many subexpressions share an
+  /// SF signature, matching the collision-heavy corpora of §7.
+  std::vector<std::string> table_pool;
+  /// Exact number of projected columns (0 = random 1..max_projected).
+  size_t fixed_projection_columns = 0;
+  double column_predicate_probability = 0.25;  ///< col-op-col(+c) selections
+  /// Probability of wrapping the query in a GROUP BY / aggregation root
+  /// (paper §9.1 extension). Zero keeps the classic SPJ-only workloads.
+  double aggregate_probability = 0.0;
+  double string_predicate_probability = 0.15;
+  int64_t constant_min = 0;
+  int64_t constant_max = 100;
+  size_t max_projected_columns = 4;
+};
+
+/// \brief Generates random SPJ logical plans over a catalog.
+class QueryGenerator {
+ public:
+  QueryGenerator(const Catalog* catalog, GeneratorOptions options)
+      : catalog_(catalog), options_(options) {}
+
+  /// One random SPJ query (Project over Selects over a join tree).
+  PlanPtr Generate(Rng* rng) const;
+
+  /// \p count independent queries.
+  std::vector<PlanPtr> GenerateMany(size_t count, Rng* rng) const;
+
+  const Catalog& catalog() const { return *catalog_; }
+
+ private:
+  /// Random connected table walk: (table, alias) list plus join predicates.
+  void PickTables(Rng* rng,
+                  std::vector<std::pair<std::string, std::string>>* tables,
+                  std::vector<Comparison>* join_predicates) const;
+  Comparison MakeSelectionPredicate(
+      Rng* rng,
+      const std::vector<std::pair<std::string, std::string>>& tables) const;
+
+  const Catalog* catalog_;
+  GeneratorOptions options_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,142 @@
+#include "workload/labeled_data.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.h"
+#include "plan/spj.h"
+
+namespace geqo {
+namespace {
+
+/// SF-style signature: sorted distinct table names + output arity.
+Result<std::pair<std::vector<std::string>, size_t>> SchemaSignature(
+    const PlanPtr& plan, const Catalog& catalog) {
+  std::vector<std::string> tables = SortedTableNames(plan);
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  GEQO_ASSIGN_OR_RETURN(const size_t arity, plan->NumOutputColumns(catalog));
+  return std::make_pair(std::move(tables), arity);
+}
+
+}  // namespace
+
+Result<std::vector<LabeledPair>> BuildLabeledPairs(
+    const Catalog& catalog, const LabeledDataOptions& options, Rng* rng) {
+  QueryGenerator generator(&catalog, options.generator);
+  Rewriter rewriter(&catalog, options.rewrite);
+
+  std::vector<LabeledPair> pairs;
+  // Group members eligible for negative pairing: (signature -> plans with
+  // their base-query id, so negatives never pair a base with its own
+  // variants).
+  std::map<std::pair<std::vector<std::string>, size_t>,
+           std::vector<std::pair<size_t, PlanPtr>>>
+      by_signature;
+
+  size_t positives = 0;
+  for (size_t base_id = 0; base_id < options.num_base_queries; ++base_id) {
+    const PlanPtr base = generator.Generate(rng);
+    GEQO_ASSIGN_OR_RETURN(
+        std::vector<PlanPtr> variants,
+        rewriter.Variants(base, options.variants_per_query, rng));
+
+    // The closure {base} ∪ variants: all pairs, capped.
+    std::vector<PlanPtr> closure = {base};
+    for (PlanPtr& variant : variants) closure.push_back(std::move(variant));
+    size_t taken = 0;
+    for (size_t i = 0; i < closure.size() && taken < options.max_positive_pairs_per_base; ++i) {
+      for (size_t j = i + 1;
+           j < closure.size() && taken < options.max_positive_pairs_per_base;
+           ++j) {
+        pairs.push_back(LabeledPair{closure[i], closure[j], true});
+        ++taken;
+        ++positives;
+      }
+    }
+
+    GEQO_ASSIGN_OR_RETURN(auto signature, SchemaSignature(base, catalog));
+    for (const PlanPtr& plan : closure) {
+      by_signature[signature].emplace_back(base_id, plan);
+    }
+  }
+
+  // Negatives: schema-compatible pairs across distinct bases. Random
+  // independent SPJ queries over the same tables virtually never coincide
+  // semantically (the paper notes training tolerates the tiny noise rate).
+  const auto target_negatives = static_cast<size_t>(
+      static_cast<double>(positives) * options.negatives_per_positive);
+  std::vector<const std::vector<std::pair<size_t, PlanPtr>>*> groups;
+  for (const auto& [signature, members] : by_signature) {
+    if (members.size() >= 2) groups.push_back(&members);
+  }
+  size_t negatives = 0;
+  size_t attempts = 0;
+  while (negatives < target_negatives && !groups.empty() &&
+         attempts < target_negatives * 50) {
+    ++attempts;
+    const auto& members = *groups[rng->Uniform(groups.size())];
+    const auto& [base_a, plan_a] = members[rng->Uniform(members.size())];
+    const auto& [base_b, plan_b] = members[rng->Uniform(members.size())];
+    if (base_a == base_b) continue;  // same closure: would be a positive
+    pairs.push_back(LabeledPair{plan_a, plan_b, false});
+    ++negatives;
+  }
+  if (negatives < target_negatives) {
+    // Fall back to cross-signature (easy) negatives to preserve balance.
+    std::vector<PlanPtr> all;
+    for (const auto& [signature, members] : by_signature) {
+      for (const auto& [base_id, plan] : members) all.push_back(plan);
+    }
+    while (negatives < target_negatives && all.size() >= 2) {
+      const PlanPtr& a = all[rng->Uniform(all.size())];
+      const PlanPtr& b = all[rng->Uniform(all.size())];
+      if (a == b) continue;
+      pairs.push_back(LabeledPair{a, b, false});
+      ++negatives;
+    }
+  }
+
+  rng->Shuffle(pairs);
+  return pairs;
+}
+
+Result<ml::PairDataset> EncodeLabeledPairs(
+    const std::vector<LabeledPair>& pairs, const Catalog& catalog,
+    const EncodingLayout& instance_layout,
+    const EncodingLayout& agnostic_layout, ValueRange value_range,
+    size_t* skipped) {
+  PlanEncoder encoder(&instance_layout, &catalog, value_range);
+  ml::PairDataset dataset;
+  size_t skip_count = 0;
+  for (const LabeledPair& pair : pairs) {
+    GEQO_ASSIGN_OR_RETURN(EncodedPlan lhs, encoder.Encode(pair.lhs));
+    GEQO_ASSIGN_OR_RETURN(EncodedPlan rhs, encoder.Encode(pair.rhs));
+    const Result<AgnosticConverter> converter = AgnosticConverter::Create(
+        &instance_layout, &agnostic_layout, {&lhs, &rhs});
+    if (!converter.ok()) {
+      // Pair exceeds the agnostic layout's symbol capacity: skip.
+      ++skip_count;
+      continue;
+    }
+    dataset.Add(converter->Convert(lhs), converter->Convert(rhs),
+                pair.equivalent ? 1.0f : 0.0f);
+  }
+  if (skipped != nullptr) *skipped = skip_count;
+  return dataset;
+}
+
+Result<std::vector<EncodedPlan>> EncodeWorkload(
+    const std::vector<PlanPtr>& workload,
+    const EncodingLayout& instance_layout, const Catalog& catalog,
+    ValueRange value_range) {
+  PlanEncoder encoder(&instance_layout, &catalog, value_range);
+  std::vector<EncodedPlan> out;
+  out.reserve(workload.size());
+  for (const PlanPtr& plan : workload) {
+    GEQO_ASSIGN_OR_RETURN(EncodedPlan encoded, encoder.Encode(plan));
+    out.push_back(std::move(encoded));
+  }
+  return out;
+}
+
+}  // namespace geqo

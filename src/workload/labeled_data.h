@@ -1,0 +1,60 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "encode/agnostic.h"
+#include "ml/dataset.h"
+#include "workload/generator.h"
+#include "workload/rewrite.h"
+
+/// \file labeled_data.h
+/// Labeled training-data synthesis (§5): positives are pairs drawn from a
+/// base query's rewrite-variant closure (AMOEBA + WeTune role), negatives
+/// are random schema-compatible pairs from distinct bases; the result is a
+/// balanced dataset of (lhs, rhs, label) plans, plus the encoder that turns
+/// it into the EMF's tensor form.
+
+namespace geqo {
+
+/// \brief One labeled subexpression pair.
+struct LabeledPair {
+  PlanPtr lhs;
+  PlanPtr rhs;
+  bool equivalent = false;
+};
+
+/// \brief Synthesis knobs.
+struct LabeledDataOptions {
+  size_t num_base_queries = 60;
+  size_t variants_per_query = 3;
+  /// Negatives generated per positive (1 = balanced, as in §5).
+  double negatives_per_positive = 1.0;
+  /// Cap on positive pairs taken per base query's variant closure.
+  size_t max_positive_pairs_per_base = 6;
+  GeneratorOptions generator;
+  RewriteOptions rewrite;
+};
+
+/// \brief Builds a balanced labeled pair set over \p catalog.
+Result<std::vector<LabeledPair>> BuildLabeledPairs(
+    const Catalog& catalog, const LabeledDataOptions& options, Rng* rng);
+
+/// \brief Encodes labeled plan pairs into an ml::PairDataset: instance
+/// encoding (§4.1) followed by the pairwise fast agnostic conversion
+/// (§4.2.1). Pairs that exceed the agnostic layout's capacity are skipped
+/// (counted in \p skipped if non-null).
+Result<ml::PairDataset> EncodeLabeledPairs(
+    const std::vector<LabeledPair>& pairs, const Catalog& catalog,
+    const EncodingLayout& instance_layout, const EncodingLayout& agnostic_layout,
+    ValueRange value_range, size_t* skipped = nullptr);
+
+/// \brief Instance-encodes a workload of subexpressions (shared by the
+/// filters and the pipeline). Position i of the result corresponds to
+/// workload[i].
+Result<std::vector<EncodedPlan>> EncodeWorkload(
+    const std::vector<PlanPtr>& workload, const EncodingLayout& instance_layout,
+    const Catalog& catalog, ValueRange value_range);
+
+}  // namespace geqo

@@ -1,0 +1,391 @@
+#include "workload/rewrite.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+
+namespace geqo {
+
+std::string_view RewriteRuleToString(RewriteRule rule) {
+  switch (rule) {
+    case RewriteRule::kShuffleAtoms:
+      return "shuffle-atoms";
+    case RewriteRule::kShufflePredicates:
+      return "shuffle-predicates";
+    case RewriteRule::kSwapOperands:
+      return "swap-operands";
+    case RewriteRule::kShiftConstant:
+      return "shift-constant";
+    case RewriteRule::kAddImpliedPredicate:
+      return "add-implied-predicate";
+    case RewriteRule::kRemoveRedundantPredicate:
+      return "remove-redundant-predicate";
+    case RewriteRule::kRenameAliases:
+      return "rename-aliases";
+    case RewriteRule::kSubstituteEqualColumn:
+      return "substitute-equal-column";
+    case RewriteRule::kAddCrossTermImplied:
+      return "add-cross-term-implied";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<std::string> PredicateAliases(const Comparison& cmp) {
+  std::vector<ColumnRef> columns;
+  cmp.CollectColumns(&columns);
+  std::vector<std::string> aliases;
+  for (const ColumnRef& ref : columns) aliases.push_back(ref.alias);
+  std::sort(aliases.begin(), aliases.end());
+  aliases.erase(std::unique(aliases.begin(), aliases.end()), aliases.end());
+  return aliases;
+}
+
+/// True if \p cmp's sides are both numeric-linear (safe for arithmetic
+/// rewrites like shift-constant).
+bool IsNumericLinear(const Comparison& cmp) {
+  const auto normalized = NormalizeComparison(cmp);
+  return normalized.has_value() && !normalized->string_constant.has_value();
+}
+
+/// Direction class of an ordering operator: -1 for {<, <=}, +1 for {>, >=},
+/// 0 otherwise.
+int OpDirection(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+    case CompareOp::kLe:
+      return -1;
+    case CompareOp::kGt:
+    case CompareOp::kGe:
+      return 1;
+    default:
+      return 0;
+  }
+}
+
+/// Does `left op_a ca` imply `left op_b cb` (same column/difference term,
+/// same direction)?
+bool ConstantImplies(CompareOp op_a, double ca, CompareOp op_b, double cb) {
+  const int dir = OpDirection(op_a);
+  if (dir == 0 || OpDirection(op_b) != dir) return false;
+  if (dir > 0) {
+    // x > / >= ca implies x > / >= cb iff ca >= cb, with a strictness tweak
+    // at equality: x >= c does not imply x > c.
+    if (ca > cb) return true;
+    return ca == cb && !(op_a == CompareOp::kGe && op_b == CompareOp::kGt);
+  }
+  if (ca < cb) return true;
+  return ca == cb && !(op_a == CompareOp::kLe && op_b == CompareOp::kLt);
+}
+
+ExprPtr ReplaceColumn(const ExprPtr& expr, const ColumnRef& from,
+                      const ColumnRef& to) {
+  switch (expr->kind()) {
+    case ExprKind::kColumnRef:
+      if (expr->column() == from) return Expr::Column(to.alias, to.column);
+      return expr;
+    case ExprKind::kLiteral:
+      return expr;
+    default:
+      return Expr::Binary(expr->kind(),
+                          ReplaceColumn(expr->left(), from, to),
+                          ReplaceColumn(expr->right(), from, to));
+  }
+}
+
+}  // namespace
+
+PlanPtr RebuildPlan(const FlatSpj& flat) {
+  GEQO_CHECK(!flat.atoms.empty());
+
+  const auto contains = [](const std::vector<std::string>& haystack,
+                           const std::string& needle) {
+    return std::find(haystack.begin(), haystack.end(), needle) !=
+           haystack.end();
+  };
+
+  PlanPtr plan = PlanNode::Scan(flat.atoms[0].table, flat.atoms[0].alias);
+  std::vector<std::string> bound = {flat.atoms[0].alias};
+  std::vector<bool> used(flat.predicates.size(), false);
+  std::vector<bool> placed(flat.atoms.size(), false);
+  placed[0] = true;
+
+  // Finds an unused conjunct joining the bound set with `alias`, with every
+  // other referenced alias already bound.
+  const auto find_join_predicate = [&](const std::string& alias) -> ptrdiff_t {
+    for (size_t p = 0; p < flat.predicates.size(); ++p) {
+      if (used[p]) continue;
+      const auto aliases = PredicateAliases(flat.predicates[p]);
+      if (aliases.size() < 2) continue;
+      const bool spans_bound = std::any_of(
+          aliases.begin(), aliases.end(),
+          [&](const std::string& a) { return contains(bound, a); });
+      const bool touches_new = contains(aliases, alias);
+      const bool rest_bound = std::all_of(
+          aliases.begin(), aliases.end(),
+          [&](const std::string& a) { return a == alias || contains(bound, a); });
+      if (spans_bound && touches_new && rest_bound) {
+        return static_cast<ptrdiff_t>(p);
+      }
+    }
+    return -1;
+  };
+
+  for (size_t step = 1; step < flat.atoms.size(); ++step) {
+    // Prefer (in the given atom-order preference) an atom that joins the
+    // bound set through an existing predicate — like any real optimizer,
+    // avoid gratuitous cross products; fall back to the next unplaced atom
+    // (true cross join) only when the join graph is disconnected.
+    size_t next = flat.atoms.size();
+    ptrdiff_t predicate_index = -1;
+    for (size_t i = 1; i < flat.atoms.size(); ++i) {
+      if (placed[i]) continue;
+      if (next == flat.atoms.size()) next = i;  // fallback candidate
+      const ptrdiff_t p = find_join_predicate(flat.atoms[i].alias);
+      if (p >= 0) {
+        next = i;
+        predicate_index = p;
+        break;
+      }
+    }
+    GEQO_CHECK(next < flat.atoms.size());
+    Comparison join_predicate{Expr::IntLiteral(1), CompareOp::kEq,
+                              Expr::IntLiteral(1)};
+    if (predicate_index >= 0) {
+      join_predicate = flat.predicates[static_cast<size_t>(predicate_index)];
+      used[static_cast<size_t>(predicate_index)] = true;
+    }
+    plan = PlanNode::Join(JoinType::kInner, std::move(join_predicate),
+                          std::move(plan),
+                          PlanNode::Scan(flat.atoms[next].table,
+                                         flat.atoms[next].alias));
+    bound.push_back(flat.atoms[next].alias);
+    placed[next] = true;
+  }
+
+  for (size_t p = 0; p < flat.predicates.size(); ++p) {
+    if (!used[p]) plan = PlanNode::Select(flat.predicates[p], std::move(plan));
+  }
+  if (flat.has_root_project) {
+    plan = PlanNode::Project(flat.outputs, std::move(plan));
+  }
+  return plan;
+}
+
+Result<PlanPtr> Rewriter::Apply(RewriteRule rule, const PlanPtr& plan,
+                                Rng* rng) const {
+  // Aggregate roots (§9.1): rewrite the SPJ child and re-wrap. Alias
+  // renaming must be applied to the whole tree — the aggregation spec
+  // references the child's aliases.
+  if (plan->kind() == OpKind::kAggregate) {
+    if (rule == RewriteRule::kRenameAliases) {
+      const uint64_t base = rng->Uniform(900) + 100;
+      std::vector<std::pair<std::string, std::string>> rename;
+      const auto bindings = plan->ScanBindings();
+      for (size_t i = 0; i < bindings.size(); ++i) {
+        rename.emplace_back(
+            bindings[i].second,
+            StrFormat("v%llu_%zu", static_cast<unsigned long long>(base), i));
+      }
+      return plan->RenameAliases(rename);
+    }
+    GEQO_ASSIGN_OR_RETURN(PlanPtr child, Apply(rule, plan->child(0), rng));
+    return PlanNode::Aggregate(plan->group_by(), plan->aggregates(),
+                               std::move(child));
+  }
+  GEQO_ASSIGN_OR_RETURN(FlatSpj flat, FlattenSpj(plan, *catalog_));
+  switch (rule) {
+    case RewriteRule::kShuffleAtoms:
+      rng->Shuffle(flat.atoms);
+      break;
+
+    case RewriteRule::kShufflePredicates:
+      rng->Shuffle(flat.predicates);
+      break;
+
+    case RewriteRule::kSwapOperands: {
+      if (flat.predicates.empty()) break;
+      Comparison& target =
+          flat.predicates[rng->Uniform(flat.predicates.size())];
+      target = Comparison{target.rhs, FlipCompareOp(target.op), target.lhs};
+      break;
+    }
+
+    case RewriteRule::kShiftConstant: {
+      // a op b  <=>  a + k op b + k for numeric linear sides.
+      std::vector<size_t> eligible;
+      for (size_t p = 0; p < flat.predicates.size(); ++p) {
+        if (IsNumericLinear(flat.predicates[p])) eligible.push_back(p);
+      }
+      if (eligible.empty()) break;
+      Comparison& target = flat.predicates[rng->Choice(eligible)];
+      const int64_t k = rng->UniformInt(1, 25);
+      target.lhs =
+          Expr::Binary(ExprKind::kAdd, target.lhs, Expr::IntLiteral(k));
+      target.rhs =
+          Expr::Binary(ExprKind::kAdd, target.rhs, Expr::IntLiteral(k));
+      break;
+    }
+
+    case RewriteRule::kAddImpliedPredicate: {
+      // From a range predicate col op c, add the weaker col op c -/+ k.
+      std::vector<std::pair<size_t, NormalizedComparison>> eligible;
+      for (size_t p = 0; p < flat.predicates.size(); ++p) {
+        const auto normalized = NormalizeComparison(flat.predicates[p]);
+        if (normalized && !normalized->string_constant &&
+            OpDirection(normalized->op) != 0) {
+          eligible.emplace_back(p, *normalized);
+        }
+      }
+      if (eligible.empty()) break;
+      const auto& [index, normalized] =
+          eligible[rng->Uniform(eligible.size())];
+      const double k = static_cast<double>(rng->UniformInt(1, 25));
+      const double weaker_constant = OpDirection(normalized.op) > 0
+                                         ? normalized.constant - k
+                                         : normalized.constant + k;
+      ExprPtr lhs = Expr::Column(normalized.left->alias,
+                                 normalized.left->column);
+      ExprPtr rhs;
+      if (normalized.right) {
+        rhs = Expr::Binary(
+            ExprKind::kAdd,
+            Expr::Column(normalized.right->alias, normalized.right->column),
+            Expr::Literal(Value::Double(weaker_constant)));
+      } else {
+        rhs = Expr::Literal(Value::Double(weaker_constant));
+      }
+      flat.predicates.push_back(
+          Comparison{std::move(lhs), normalized.op, std::move(rhs)});
+      break;
+    }
+
+    case RewriteRule::kRemoveRedundantPredicate: {
+      // Drop a conjunct implied by another conjunct over the same
+      // column/difference term.
+      for (size_t i = 0; i < flat.predicates.size(); ++i) {
+        const auto a = NormalizeComparison(flat.predicates[i]);
+        if (!a || a->string_constant) continue;
+        for (size_t j = 0; j < flat.predicates.size(); ++j) {
+          if (i == j) continue;
+          const auto b = NormalizeComparison(flat.predicates[j]);
+          if (!b || b->string_constant) continue;
+          const bool same_term =
+              a->left == b->left &&
+              a->right.has_value() == b->right.has_value() &&
+              (!a->right || *a->right == *b->right);
+          if (same_term &&
+              ConstantImplies(a->op, a->constant, b->op, b->constant)) {
+            flat.predicates.erase(flat.predicates.begin() +
+                                  static_cast<ptrdiff_t>(j));
+            return RebuildPlan(flat);
+          }
+        }
+      }
+      break;
+    }
+
+    case RewriteRule::kRenameAliases: {
+      // A shared random base plus the atom index keeps fresh aliases unique.
+      const uint64_t base = rng->Uniform(900) + 100;
+      std::vector<std::pair<std::string, std::string>> rename;
+      for (size_t i = 0; i < flat.atoms.size(); ++i) {
+        rename.emplace_back(
+            flat.atoms[i].alias,
+            StrFormat("v%llu_%zu", static_cast<unsigned long long>(base), i));
+      }
+      return RebuildPlan(flat)->RenameAliases(rename);
+    }
+
+    case RewriteRule::kSubstituteEqualColumn: {
+      // Find a plain column equality conjunct colA = colB and rewrite one
+      // other predicate's use of colB into colA.
+      for (size_t e = 0; e < flat.predicates.size(); ++e) {
+        const Comparison& equality = flat.predicates[e];
+        if (equality.op != CompareOp::kEq || !equality.lhs->is_column() ||
+            !equality.rhs->is_column()) {
+          continue;
+        }
+        const ColumnRef& col_a = equality.lhs->column();
+        const ColumnRef& col_b = equality.rhs->column();
+        std::vector<size_t> uses;
+        for (size_t p = 0; p < flat.predicates.size(); ++p) {
+          if (p == e) continue;
+          std::vector<ColumnRef> columns;
+          flat.predicates[p].CollectColumns(&columns);
+          if (std::find(columns.begin(), columns.end(), col_b) !=
+              columns.end()) {
+            uses.push_back(p);
+          }
+        }
+        if (uses.empty()) continue;
+        Comparison& target = flat.predicates[rng->Choice(uses)];
+        target.lhs = ReplaceColumn(target.lhs, col_b, col_a);
+        target.rhs = ReplaceColumn(target.rhs, col_b, col_a);
+        break;
+      }
+      break;
+    }
+
+    case RewriteRule::kAddCrossTermImplied: {
+      // Find x - y OP1 c1 (OP1 in {>, >=}) and y OP2 c2 (OP2 in {>, >=});
+      // add the implied x > / >= c1 + c2. Mirrored for the < direction.
+      std::vector<Comparison> additions;
+      for (const Comparison& pa : flat.predicates) {
+        const auto a = NormalizeComparison(pa);
+        if (!a || !a->right || a->string_constant || OpDirection(a->op) == 0) {
+          continue;
+        }
+        for (const Comparison& pb : flat.predicates) {
+          const auto b = NormalizeComparison(pb);
+          if (!b || b->right || b->string_constant ||
+              OpDirection(b->op) != OpDirection(a->op)) {
+            continue;
+          }
+          if (!(*b->left == *a->right)) continue;
+          // a: x - y OP c1 ; b: y OP c2  =>  x OP' c1 + c2, where OP' is
+          // strict if either input is strict.
+          const bool strict =
+              a->op == CompareOp::kGt || a->op == CompareOp::kLt ||
+              b->op == CompareOp::kGt || b->op == CompareOp::kLt;
+          const CompareOp implied_op =
+              OpDirection(a->op) > 0 ? (strict ? CompareOp::kGt : CompareOp::kGe)
+                                     : (strict ? CompareOp::kLt : CompareOp::kLe);
+          additions.push_back(Comparison{
+              Expr::Column(a->left->alias, a->left->column), implied_op,
+              Expr::Literal(Value::Double(a->constant + b->constant))});
+        }
+      }
+      if (!additions.empty()) {
+        flat.predicates.push_back(additions[rng->Uniform(additions.size())]);
+      }
+      break;
+    }
+  }
+  return RebuildPlan(flat);
+}
+
+Result<PlanPtr> Rewriter::RewriteOnce(const PlanPtr& plan, Rng* rng) const {
+  const size_t num_rules = 1 + rng->Uniform(options_.max_rules_per_variant);
+  PlanPtr current = plan;
+  for (size_t i = 0; i < num_rules; ++i) {
+    const RewriteRule rule =
+        kAllRewriteRules[rng->Uniform(std::size(kAllRewriteRules))];
+    GEQO_ASSIGN_OR_RETURN(current, Apply(rule, current, rng));
+  }
+  return current;
+}
+
+Result<std::vector<PlanPtr>> Rewriter::Variants(const PlanPtr& plan,
+                                                size_t count, Rng* rng) const {
+  std::vector<PlanPtr> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    GEQO_ASSIGN_OR_RETURN(PlanPtr variant, RewriteOnce(plan, rng));
+    out.push_back(std::move(variant));
+  }
+  return out;
+}
+
+}  // namespace geqo

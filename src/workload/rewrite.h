@@ -1,0 +1,82 @@
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "plan/plan.h"
+#include "plan/spj.h"
+
+/// \file rewrite.h
+/// A WeTune-style library of semantics-preserving rewrite rules (§5).
+/// Applied to AMOEBA-style base queries, these rules manufacture the
+/// training signal GEqO learns from: pairs that are semantically equivalent
+/// yet syntactically dissimilar (exactly the Figure-1 class of variation).
+/// A property test asserts every rule preserves verifier equivalence.
+
+namespace geqo {
+
+/// \brief The rewrite rules. Each is semantics-preserving; rules that do not
+/// apply to a given plan leave it unchanged.
+enum class RewriteRule : uint8_t {
+  kShuffleAtoms,           ///< permute join order (join commutativity)
+  kShufflePredicates,      ///< permute conjunct order
+  kSwapOperands,           ///< a op b  ->  b flip(op) a
+  kShiftConstant,          ///< a op b  ->  a + k op b + k (numeric sides)
+  kAddImpliedPredicate,    ///< add a weaker copy of a range predicate
+  kRemoveRedundantPredicate,  ///< drop a conjunct implied by a stronger one
+  kRenameAliases,          ///< fresh table aliases
+  kSubstituteEqualColumn,  ///< replace col via an equality conjunct
+  /// From x - y > c1 and y > c2, add the implied x > c1 + c2 (the Figure-1
+  /// pattern). Requires cross-term arithmetic to undo, which rule-based
+  /// optimizers lack — this is the rewrite class that separates GEqO from
+  /// the optimizer baseline in §7.5.
+  kAddCrossTermImplied,
+};
+
+inline constexpr RewriteRule kAllRewriteRules[] = {
+    RewriteRule::kShuffleAtoms,
+    RewriteRule::kShufflePredicates,
+    RewriteRule::kSwapOperands,
+    RewriteRule::kShiftConstant,
+    RewriteRule::kAddImpliedPredicate,
+    RewriteRule::kRemoveRedundantPredicate,
+    RewriteRule::kRenameAliases,
+    RewriteRule::kSubstituteEqualColumn,
+    RewriteRule::kAddCrossTermImplied,
+};
+
+std::string_view RewriteRuleToString(RewriteRule rule);
+
+/// \brief Rebuilds a left-deep SPJ plan from a flattened form, choosing join
+/// predicates greedily (first conjunct spanning both sides) and stacking the
+/// remaining conjuncts as selections.
+PlanPtr RebuildPlan(const FlatSpj& flat);
+
+/// \brief Rewrite configuration.
+struct RewriteOptions {
+  size_t max_rules_per_variant = 3;  ///< rules chained per variant
+};
+
+/// \brief Applies semantics-preserving rewrites to SPJ plans.
+class Rewriter {
+ public:
+  Rewriter(const Catalog* catalog, RewriteOptions options = RewriteOptions())
+      : catalog_(catalog), options_(options) {}
+
+  /// Applies one named rule. NotSupported for plans outside SPJ form.
+  Result<PlanPtr> Apply(RewriteRule rule, const PlanPtr& plan, Rng* rng) const;
+
+  /// Applies 1..max_rules_per_variant random rules in sequence.
+  Result<PlanPtr> RewriteOnce(const PlanPtr& plan, Rng* rng) const;
+
+  /// \p count independent equivalent variants of \p plan.
+  Result<std::vector<PlanPtr>> Variants(const PlanPtr& plan, size_t count,
+                                        Rng* rng) const;
+
+ private:
+  const Catalog* catalog_;
+  RewriteOptions options_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,173 @@
+#include "workload/schemas.h"
+
+#include "common/strings.h"
+
+namespace geqo {
+namespace {
+
+ColumnDef IntCol(const char* name) { return ColumnDef{name, ValueType::kInt}; }
+ColumnDef DblCol(const char* name) {
+  return ColumnDef{name, ValueType::kDouble};
+}
+ColumnDef StrCol(const char* name) {
+  return ColumnDef{name, ValueType::kString};
+}
+
+}  // namespace
+
+Catalog MakeTpchCatalog() {
+  Catalog catalog;
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "region", {IntCol("r_regionkey"), StrCol("r_name")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "nation",
+      {IntCol("n_nationkey"), IntCol("n_regionkey"), StrCol("n_name")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "supplier", {IntCol("s_suppkey"), IntCol("s_nationkey"),
+                   DblCol("s_acctbal"), StrCol("s_name")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "customer", {IntCol("c_custkey"), IntCol("c_nationkey"),
+                   DblCol("c_acctbal"), StrCol("c_mktsegment")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "part", {IntCol("p_partkey"), IntCol("p_size"), DblCol("p_retailprice"),
+               StrCol("p_brand")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "partsupp", {IntCol("ps_partkey"), IntCol("ps_suppkey"),
+                   IntCol("ps_availqty"), DblCol("ps_supplycost")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "orders", {IntCol("o_orderkey"), IntCol("o_custkey"),
+                 DblCol("o_totalprice"), IntCol("o_shippriority")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "lineitem",
+      {IntCol("l_orderkey"), IntCol("l_partkey"), IntCol("l_suppkey"),
+       IntCol("l_quantity"), DblCol("l_extendedprice"), DblCol("l_discount")})));
+
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"nation", "n_regionkey", "region", "r_regionkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"supplier", "s_nationkey", "nation", "n_nationkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"customer", "c_nationkey", "nation", "n_nationkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"partsupp", "ps_partkey", "part", "p_partkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"partsupp", "ps_suppkey", "supplier", "s_suppkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"orders", "o_custkey", "customer", "c_custkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"lineitem", "l_orderkey", "orders", "o_orderkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"lineitem", "l_partkey", "part", "p_partkey"}));
+  GEQO_CHECK_OK(
+      catalog.AddJoinKey({"lineitem", "l_suppkey", "supplier", "s_suppkey"}));
+  return catalog;
+}
+
+Catalog MakeTpcdsCatalog() {
+  Catalog catalog;
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "date_dim", {IntCol("d_date_sk"), IntCol("d_year"), IntCol("d_moy"),
+                   IntCol("d_dom")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "item", {IntCol("i_item_sk"), DblCol("i_current_price"),
+               IntCol("i_manufact_id"), StrCol("i_category")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "customer", {IntCol("c_customer_sk"), IntCol("c_current_addr_sk"),
+                   IntCol("c_birth_year")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "customer_address",
+      {IntCol("ca_address_sk"), IntCol("ca_gmt_offset"), StrCol("ca_state")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "store", {IntCol("s_store_sk"), IntCol("s_number_employees"),
+                DblCol("s_tax_percentage")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "warehouse", {IntCol("w_warehouse_sk"), IntCol("w_warehouse_sq_ft")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "promotion", {IntCol("p_promo_sk"), IntCol("p_item_sk"),
+                    DblCol("p_cost")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "store_sales",
+      {IntCol("ss_sold_date_sk"), IntCol("ss_item_sk"), IntCol("ss_customer_sk"),
+       IntCol("ss_store_sk"), IntCol("ss_promo_sk"), IntCol("ss_quantity"),
+       DblCol("ss_sales_price"), DblCol("ss_net_profit")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "store_returns",
+      {IntCol("sr_returned_date_sk"), IntCol("sr_item_sk"),
+       IntCol("sr_customer_sk"), IntCol("sr_return_quantity"),
+       DblCol("sr_return_amt")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "catalog_sales",
+      {IntCol("cs_sold_date_sk"), IntCol("cs_item_sk"),
+       IntCol("cs_bill_customer_sk"), IntCol("cs_warehouse_sk"),
+       IntCol("cs_quantity"), DblCol("cs_sales_price")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "web_sales",
+      {IntCol("ws_sold_date_sk"), IntCol("ws_item_sk"),
+       IntCol("ws_bill_customer_sk"), IntCol("ws_promo_sk"),
+       IntCol("ws_quantity"), DblCol("ws_sales_price")})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "inventory", {IntCol("inv_date_sk"), IntCol("inv_item_sk"),
+                    IntCol("inv_warehouse_sk"), IntCol("inv_quantity_on_hand")})));
+
+  const auto join = [&](const char* lt, const char* lc, const char* rt,
+                        const char* rc) {
+    GEQO_CHECK_OK(catalog.AddJoinKey({lt, lc, rt, rc}));
+  };
+  join("store_sales", "ss_sold_date_sk", "date_dim", "d_date_sk");
+  join("store_sales", "ss_item_sk", "item", "i_item_sk");
+  join("store_sales", "ss_customer_sk", "customer", "c_customer_sk");
+  join("store_sales", "ss_store_sk", "store", "s_store_sk");
+  join("store_sales", "ss_promo_sk", "promotion", "p_promo_sk");
+  join("store_returns", "sr_returned_date_sk", "date_dim", "d_date_sk");
+  join("store_returns", "sr_item_sk", "item", "i_item_sk");
+  join("store_returns", "sr_customer_sk", "customer", "c_customer_sk");
+  join("catalog_sales", "cs_sold_date_sk", "date_dim", "d_date_sk");
+  join("catalog_sales", "cs_item_sk", "item", "i_item_sk");
+  join("catalog_sales", "cs_bill_customer_sk", "customer", "c_customer_sk");
+  join("catalog_sales", "cs_warehouse_sk", "warehouse", "w_warehouse_sk");
+  join("web_sales", "ws_sold_date_sk", "date_dim", "d_date_sk");
+  join("web_sales", "ws_item_sk", "item", "i_item_sk");
+  join("web_sales", "ws_bill_customer_sk", "customer", "c_customer_sk");
+  join("web_sales", "ws_promo_sk", "promotion", "p_promo_sk");
+  join("inventory", "inv_date_sk", "date_dim", "d_date_sk");
+  join("inventory", "inv_item_sk", "item", "i_item_sk");
+  join("inventory", "inv_warehouse_sk", "warehouse", "w_warehouse_sk");
+  join("customer", "c_current_addr_sk", "customer_address", "ca_address_sk");
+  join("promotion", "p_item_sk", "item", "i_item_sk");
+  return catalog;
+}
+
+Catalog MakeRandomCatalog(const RandomSchemaOptions& options, Rng* rng) {
+  Catalog catalog;
+  for (size_t t = 0; t < options.num_tables; ++t) {
+    std::vector<ColumnDef> columns;
+    const size_t num_columns = static_cast<size_t>(rng->UniformInt(
+        static_cast<int64_t>(options.min_columns),
+        static_cast<int64_t>(options.max_columns)));
+    // Column 0 is always an integer key so join edges are available.
+    columns.push_back(ColumnDef{StrFormat("k%zu", t), ValueType::kInt});
+    for (size_t c = 1; c < num_columns; ++c) {
+      const bool is_string = rng->Bernoulli(options.string_column_fraction);
+      columns.push_back(
+          ColumnDef{StrFormat("r%zu_c%zu", t, c),
+                    is_string ? ValueType::kString
+                              : (rng->Bernoulli(0.5) ? ValueType::kInt
+                                                     : ValueType::kDouble)});
+    }
+    GEQO_CHECK_OK(
+        catalog.AddTable(TableDef(StrFormat("rt%zu", t), std::move(columns))));
+  }
+  // Random join edges between distinct tables' key columns.
+  for (size_t k = 0; k < options.num_join_keys; ++k) {
+    const size_t a = rng->Uniform(options.num_tables);
+    size_t b = rng->Uniform(options.num_tables);
+    if (a == b) b = (b + 1) % options.num_tables;
+    GEQO_CHECK_OK(catalog.AddJoinKey({StrFormat("rt%zu", a),
+                                      StrFormat("k%zu", a),
+                                      StrFormat("rt%zu", b),
+                                      StrFormat("k%zu", b)}));
+  }
+  return catalog;
+}
+
+}  // namespace geqo

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "common/rng.h"
+#include "plan/schema.h"
+
+/// \file schemas.h
+/// Benchmark schemas for workload generation: simplified TPC-H and TPC-DS
+/// catalogs (the paper's evaluation schemas, §7) and a random-schema
+/// generator for the transfer-learning study (Table 4).
+///
+/// The catalogs carry the tables, the numeric columns predicates range
+/// over, and the PK/FK join keys the generator builds equi-joins from.
+/// Column lists are trimmed to the attributes analytic subexpressions
+/// actually touch; this affects only encoding-layout width, not behaviour.
+
+namespace geqo {
+
+/// \brief Simplified TPC-H catalog (8 tables).
+Catalog MakeTpchCatalog();
+
+/// \brief Simplified TPC-DS catalog (12 tables around the store/catalog/web
+/// sales fact tables).
+Catalog MakeTpcdsCatalog();
+
+/// \brief Options for random schema synthesis (Table 4's "randomly-generated
+/// schema" datasets).
+struct RandomSchemaOptions {
+  size_t num_tables = 6;
+  size_t min_columns = 3;
+  size_t max_columns = 7;
+  double string_column_fraction = 0.2;
+  size_t num_join_keys = 8;
+};
+
+/// \brief Generates a random catalog with joinable tables.
+Catalog MakeRandomCatalog(const RandomSchemaOptions& options, Rng* rng);
+
+}  // namespace geqo

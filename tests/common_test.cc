@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/stopwatch.h"
+#include "common/strings.h"
+
+namespace geqo {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::InvalidArgument("bad plan");
+  EXPECT_FALSE(status.ok());
+  EXPECT_TRUE(status.IsInvalidArgument());
+  EXPECT_EQ(status.ToString(), "InvalidArgument: bad plan");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto inner = []() { return Status::NotFound("x"); };
+  auto outer = [&]() -> Status {
+    GEQO_RETURN_NOT_OK(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsNotFound());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsInternal());
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, AssignOrReturnUnwraps) {
+  auto produce = []() -> Result<int> { return 7; };
+  auto consume = [&]() -> Result<int> {
+    GEQO_ASSIGN_OR_RETURN(int value, produce());
+    return value + 1;
+  };
+  EXPECT_EQ(*consume(), 8);
+}
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) differences += a.Next() != b.Next();
+  EXPECT_GT(differences, 0);
+}
+
+TEST(RngTest, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.Uniform(17), 17u);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(7);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const int64_t v = rng.UniformInt(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, GaussianRoughlyStandard) {
+  Rng rng(42);
+  double sum = 0.0;
+  double sum_squares = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.NextGaussian();
+    sum += v;
+    sum_squares += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum_squares / n, 1.0, 0.05);
+}
+
+TEST(RngTest, SampleIndicesDistinct) {
+  Rng rng(5);
+  const auto sample = rng.SampleIndices(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (size_t index : sample) EXPECT_LT(index, 100u);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(11);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  auto shuffled = items;
+  rng.Shuffle(shuffled);
+  std::multiset<int> a(items.begin(), items.end());
+  std::multiset<int> b(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(a, b);
+}
+
+TEST(HashTest, StableAcrossCalls) {
+  EXPECT_EQ(HashString("abc"), HashString("abc"));
+  EXPECT_NE(HashString("abc"), HashString("abd"));
+}
+
+TEST(HashTest, CombineOrderSensitive) {
+  const uint64_t a = HashCombine(HashCombine(0, 1), 2);
+  const uint64_t b = HashCombine(HashCombine(0, 2), 1);
+  EXPECT_NE(a, b);
+}
+
+TEST(HashTest, UnorderedCombineOrderInsensitive) {
+  const uint64_t a = HashCombineUnordered(HashCombineUnordered(7, 100), 200);
+  const uint64_t b = HashCombineUnordered(HashCombineUnordered(7, 200), 100);
+  EXPECT_EQ(a, b);
+}
+
+TEST(StringsTest, JoinAndSplitRoundTrip) {
+  const std::vector<std::string> parts = {"a", "bb", "", "c"};
+  EXPECT_EQ(Join(parts, ","), "a,bb,,c");
+  EXPECT_EQ(Split("a,bb,,c", ','), parts);
+}
+
+TEST(StringsTest, StripWhitespace) {
+  EXPECT_EQ(StripWhitespace("  x y\t\n"), "x y");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace(" \t "), "");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("SeLeCt"), "select");
+  EXPECT_EQ(ToUpper("join"), "JOIN");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 5, "x"), "5-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.5), "1.50");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  EXPECT_GE(watch.ElapsedSeconds(), 0.0);
+}
+
+TEST(AccumulatorTest, SumsIntervals) {
+  Accumulator accumulator;
+  {
+    ScopedTimer timer(&accumulator);
+  }
+  {
+    ScopedTimer timer(&accumulator);
+  }
+  EXPECT_GE(accumulator.TotalSeconds(), 0.0);
+  accumulator.Clear();
+  EXPECT_EQ(accumulator.TotalSeconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace geqo

@@ -1,0 +1,234 @@
+#include <gtest/gtest.h>
+
+#include "encode/agnostic.h"
+#include "encode/encoding.h"
+#include "test_util.h"
+#include "workload/schemas.h"
+
+namespace geqo {
+namespace {
+
+using testing::MakeFigure1Catalog;
+using testing::MustParse;
+
+class EncodingTest : public ::testing::Test {
+ protected:
+  EncodingTest()
+      : catalog_(MakeFigure1Catalog()),
+        instance_layout_(EncodingLayout::FromCatalog(catalog_)),
+        agnostic_layout_(EncodingLayout::Agnostic(4, 6)),
+        encoder_(&instance_layout_, &catalog_, ValueRange{0, 100}) {}
+
+  Catalog catalog_;
+  EncodingLayout instance_layout_;
+  EncodingLayout agnostic_layout_;
+  PlanEncoder encoder_;
+};
+
+TEST_F(EncodingTest, LayoutSizesMatchPaperFormula) {
+  // |NV| = |T| + 3|C| + 2|O| + |J| + 2 (§4.1) plus the §9.1 aggregation
+  // extension segments (2|C| + |F|, F = 5 aggregate functions). Figure-1
+  // catalog: 2 tables, 6 columns.
+  EXPECT_EQ(instance_layout_.num_tables(), 2u);
+  EXPECT_EQ(instance_layout_.num_columns(), 6u);
+  EXPECT_EQ(instance_layout_.node_vector_size(),
+            (2 + 3 * 6 + 2 * 6 + 3 + 2u) + (2 * 6 + 5u));
+}
+
+TEST_F(EncodingTest, AgnosticLayoutShape) {
+  EXPECT_EQ(agnostic_layout_.num_tables(), 4u);
+  EXPECT_EQ(agnostic_layout_.num_columns(), 24u);
+  EXPECT_EQ(agnostic_layout_.TableIndex("t02"), 1u);
+  EXPECT_EQ(agnostic_layout_.ColumnIndex("t02", "c03"), 6u + 2u);
+}
+
+TEST_F(EncodingTest, ScanEncodesTableOneHot) {
+  const auto encoded = encoder_.Encode(PlanNode::Scan("b", "b"));
+  ASSERT_TRUE(encoded.ok());
+  EXPECT_EQ(encoded->num_nodes(), 1u);
+  // "a" sorts before "b": slot 1.
+  EXPECT_EQ(encoded->nodes.At(0, instance_layout_.table_offset() + 1), 1.0f);
+  EXPECT_EQ(encoded->nodes.At(0, instance_layout_.table_offset() + 0), 0.0f);
+}
+
+TEST_F(EncodingTest, SelectEncodesColumnOpConstant) {
+  const PlanPtr plan =
+      MustParse("SELECT * FROM a WHERE a.val > 40", catalog_);  // Scan+Select
+  const auto encoded = encoder_.Encode(plan);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_EQ(encoded->num_nodes(), 2u);
+  const float* select_row = encoded->nodes.Row(0);  // BFS: select first
+  // a.val is column index 2 of sorted {a.joinkey, a.val, a.x, b.*}.
+  EXPECT_EQ(select_row[instance_layout_.select_col_offset() + 1], 1.0f);
+  EXPECT_EQ(select_row[instance_layout_.select_op_offset() +
+                       static_cast<size_t>(CompareOp::kGt)],
+            1.0f);
+  EXPECT_FLOAT_EQ(select_row[instance_layout_.select_norm_offset()], 0.4f);
+  EXPECT_EQ(select_row[instance_layout_.select_null_offset()], 0.0f);
+}
+
+TEST_F(EncodingTest, JoinEncodesBothColumnsAndType) {
+  const PlanPtr plan = MustParse(
+      "SELECT * FROM a JOIN b ON a.joinkey = b.joinkey", catalog_);
+  const auto encoded = encoder_.Encode(plan);
+  ASSERT_TRUE(encoded.ok());
+  const float* join_row = encoded->nodes.Row(0);
+  EXPECT_EQ(join_row[instance_layout_.join_left_offset() + 0], 1.0f);
+  EXPECT_EQ(join_row[instance_layout_.join_right_offset() + 3], 1.0f);
+  EXPECT_EQ(join_row[instance_layout_.join_type_offset() +
+                     static_cast<size_t>(JoinType::kInner)],
+            1.0f);
+}
+
+TEST_F(EncodingTest, BfsStructureAndChildIndices) {
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a JOIN b ON a.joinkey = b.joinkey", catalog_);
+  // Tree: Project -> Join -> (Scan a, Scan b). BFS: P(0) J(1) Sa(2) Sb(3).
+  const auto encoded = encoder_.Encode(plan);
+  ASSERT_TRUE(encoded.ok());
+  ASSERT_EQ(encoded->num_nodes(), 4u);
+  EXPECT_EQ(encoded->left[0], 1);
+  EXPECT_EQ(encoded->right[0], -1);
+  EXPECT_EQ(encoded->left[1], 2);
+  EXPECT_EQ(encoded->right[1], 3);
+  EXPECT_EQ(encoded->left[2], -1);
+}
+
+TEST_F(EncodingTest, NormalizedPredicateEncoding) {
+  // a.val + 10 > 30 must encode identically to a.val > 20.
+  const auto e1 =
+      encoder_.Encode(MustParse("SELECT * FROM a WHERE a.val + 10 > 30", catalog_));
+  const auto e2 =
+      encoder_.Encode(MustParse("SELECT * FROM a WHERE a.val > 20", catalog_));
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  ASSERT_EQ(e1->nodes.size(), e2->nodes.size());
+  for (size_t i = 0; i < e1->nodes.size(); ++i) {
+    EXPECT_EQ(e1->nodes.values()[i], e2->nodes.values()[i]);
+  }
+}
+
+TEST_F(EncodingTest, PathAEqualsPathB) {
+  // The fast converter (§4.2.1) must reproduce symbolize-then-encode.
+  const PlanPtr q1 = MustParse(
+      "SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey AND "
+      "a.val > b.val + 10 AND b.val > 10",
+      catalog_);
+  const PlanPtr q2 = MustParse(
+      "SELECT a.x, b.y FROM b, a WHERE b.joinkey = a.joinkey AND "
+      "b.val + 10 < a.val AND b.val + 10 > 20 AND a.val > 20",
+      catalog_);
+
+  // Path A: symbolize then encode.
+  const auto path_a = EncodePairAgnostic(q1, q2, agnostic_layout_, catalog_,
+                                         ValueRange{0, 100});
+  ASSERT_TRUE(path_a.ok()) << path_a.status().ToString();
+
+  // Path B: instance encode, then convert.
+  const auto i1 = encoder_.Encode(q1);
+  const auto i2 = encoder_.Encode(q2);
+  ASSERT_TRUE(i1.ok() && i2.ok());
+  const auto converter = AgnosticConverter::Create(
+      &instance_layout_, &agnostic_layout_, {&*i1, &*i2});
+  ASSERT_TRUE(converter.ok()) << converter.status().ToString();
+  const EncodedPlan b1 = converter->Convert(*i1);
+  const EncodedPlan b2 = converter->Convert(*i2);
+
+  ASSERT_EQ(path_a->first.nodes.size(), b1.nodes.size());
+  for (size_t i = 0; i < b1.nodes.size(); ++i) {
+    EXPECT_EQ(path_a->first.nodes.values()[i], b1.nodes.values()[i]) << i;
+  }
+  for (size_t i = 0; i < b2.nodes.size(); ++i) {
+    EXPECT_EQ(path_a->second.nodes.values()[i], b2.nodes.values()[i]) << i;
+  }
+}
+
+TEST_F(EncodingTest, AgnosticEncodingIsScheamInvariant) {
+  // Renaming tables/columns must leave the db-agnostic encoding unchanged
+  // (the motivation of §4.2: transfer across databases).
+  const PlanPtr q = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey AND a.val > 5",
+      catalog_);
+
+  Catalog renamed;
+  GEQO_CHECK_OK(renamed.AddTable(
+      TableDef("cc", {ColumnDef{"jk", ValueType::kInt},
+                      ColumnDef{"vv", ValueType::kInt},
+                      ColumnDef{"xx", ValueType::kInt}})));
+  GEQO_CHECK_OK(renamed.AddTable(
+      TableDef("dd", {ColumnDef{"jk", ValueType::kInt},
+                      ColumnDef{"vv", ValueType::kInt},
+                      ColumnDef{"yy", ValueType::kInt}})));
+  const PlanPtr q_renamed = MustParse(
+      "SELECT cc.xx FROM cc, dd WHERE cc.jk = dd.jk AND cc.vv > 5", renamed);
+
+  const auto pair_original = EncodePairAgnostic(q, q, agnostic_layout_,
+                                                catalog_, ValueRange{0, 100});
+  const auto pair_renamed = EncodePairAgnostic(
+      q_renamed, q_renamed, agnostic_layout_, renamed, ValueRange{0, 100});
+  ASSERT_TRUE(pair_original.ok() && pair_renamed.ok());
+  ASSERT_EQ(pair_original->first.nodes.size(),
+            pair_renamed->first.nodes.size());
+  // Same symbolic pattern: sorted columns {jk, vv, xx} map to c01..c03 in
+  // both schemas (joinkey/val/x sort identically to jk/vv/xx), so the
+  // encodings coincide bit for bit.
+  for (size_t i = 0; i < pair_original->first.nodes.size(); ++i) {
+    EXPECT_EQ(pair_original->first.nodes.values()[i],
+              pair_renamed->first.nodes.values()[i]);
+  }
+}
+
+TEST_F(EncodingTest, CapacityOverflowReported) {
+  const EncodingLayout tiny = EncodingLayout::Agnostic(1, 2);
+  const PlanPtr q = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey", catalog_);
+  EXPECT_TRUE(BuildSymbolMap({q}, tiny).status().code() ==
+              StatusCode::kResourceExhausted);
+}
+
+TEST_F(EncodingTest, TruncateOverflowDropsExtraTables) {
+  const EncodingLayout tiny = EncodingLayout::Agnostic(1, 6);
+  const PlanPtr q = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey", catalog_);
+  const auto encoded = encoder_.Encode(q);
+  ASSERT_TRUE(encoded.ok());
+  const auto converter = AgnosticConverter::Create(
+      &instance_layout_, &tiny, {&*encoded}, /*truncate_overflow=*/true);
+  ASSERT_TRUE(converter.ok());
+  const EncodedPlan lossy = converter->Convert(*encoded);
+  EXPECT_EQ(lossy.nodes.cols(), tiny.node_vector_size());
+}
+
+TEST_F(EncodingTest, ValueRangeFromWorkload) {
+  const PlanPtr q1 = MustParse("SELECT * FROM a WHERE a.val > 10", catalog_);
+  const PlanPtr q2 = MustParse("SELECT * FROM a WHERE a.val < 90", catalog_);
+  const ValueRange range = ComputeValueRange({q1, q2});
+  EXPECT_EQ(range.min, 10.0);
+  EXPECT_EQ(range.max, 90.0);
+  EXPECT_FLOAT_EQ(range.Normalize(50.0), 0.5f);
+  EXPECT_FLOAT_EQ(range.Normalize(-100.0), 0.0f);  // clamped
+}
+
+TEST_F(EncodingTest, BuildTreeBatchConcatenates) {
+  const auto e1 = encoder_.Encode(MustParse("SELECT * FROM a", catalog_));
+  const auto e2 = encoder_.Encode(
+      MustParse("SELECT * FROM a WHERE a.val > 1", catalog_));
+  ASSERT_TRUE(e1.ok() && e2.ok());
+  const nn::TreeBatch batch = BuildTreeBatch({&*e1, &*e2});
+  batch.Validate();
+  EXPECT_EQ(batch.num_trees(), 2u);
+  EXPECT_EQ(batch.total_nodes(), 3u);
+  EXPECT_EQ(batch.spans[1].first, 1u);
+  EXPECT_EQ(batch.left[1], 2);  // child index rebased past tree 1
+}
+
+TEST_F(EncodingTest, TpcdsLayoutBuilds) {
+  const Catalog tpcds = MakeTpcdsCatalog();
+  const EncodingLayout layout = EncodingLayout::FromCatalog(tpcds);
+  EXPECT_EQ(layout.num_tables(), 12u);
+  EXPECT_GT(layout.num_columns(), 40u);
+  EXPECT_EQ(layout.node_vector_size(),
+            layout.num_tables() + 5 * layout.num_columns() + 12 + 3 + 2 + 5);
+}
+
+}  // namespace
+}  // namespace geqo

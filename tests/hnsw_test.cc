@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ann/hnsw.h"
+
+namespace geqo::ann {
+namespace {
+
+std::vector<std::vector<float>> RandomPoints(size_t n, size_t dim, Rng* rng) {
+  std::vector<std::vector<float>> points(n, std::vector<float>(dim));
+  for (auto& point : points) {
+    for (float& v : point) v = static_cast<float>(rng->NextGaussian());
+  }
+  return points;
+}
+
+TEST(HnswTest, EmptyIndexReturnsNothing) {
+  HnswIndex index(4);
+  const float query[4] = {0, 0, 0, 0};
+  EXPECT_TRUE(index.SearchKnn(query, 3).empty());
+  EXPECT_TRUE(index.SearchRadius(query, 1.0f).empty());
+}
+
+TEST(HnswTest, SingleElement) {
+  HnswIndex index(2);
+  index.Add(std::vector<float>{1.0f, 2.0f});
+  const float query[2] = {1.0f, 2.0f};
+  const auto hits = index.SearchKnn(query, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 0u);
+  EXPECT_FLOAT_EQ(hits[0].distance, 0.0f);
+}
+
+TEST(HnswTest, FindsExactNearestOnSmallSet) {
+  Rng rng(21);
+  HnswIndex index(8);
+  const auto points = RandomPoints(200, 8, &rng);
+  for (const auto& point : points) index.Add(point);
+
+  // For every indexed point, querying it must return itself first.
+  for (size_t i = 0; i < points.size(); i += 17) {
+    const auto hits = index.SearchKnn(points[i].data(), 1);
+    ASSERT_FALSE(hits.empty());
+    EXPECT_EQ(hits[0].id, i);
+  }
+}
+
+TEST(HnswTest, KnnResultsSortedByDistance) {
+  Rng rng(22);
+  HnswIndex index(4);
+  for (const auto& point : RandomPoints(300, 4, &rng)) index.Add(point);
+  const float query[4] = {0.1f, -0.2f, 0.3f, 0.0f};
+  const auto hits = index.SearchKnn(query, 10);
+  ASSERT_EQ(hits.size(), 10u);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_LE(hits[i - 1].distance, hits[i].distance);
+  }
+}
+
+TEST(HnswTest, RadiusSearchRespectsRadius) {
+  Rng rng(23);
+  HnswIndex index(4);
+  for (const auto& point : RandomPoints(400, 4, &rng)) index.Add(point);
+  const float query[4] = {0, 0, 0, 0};
+  const float radius = 1.5f;
+  for (const Neighbor& hit : index.SearchRadius(query, radius)) {
+    EXPECT_LE(hit.distance, radius);
+  }
+}
+
+TEST(HnswTest, RecallAgainstExactSearch) {
+  Rng rng(24);
+  HnswOptions options;
+  options.ef_search = 128;
+  HnswIndex index(8, options);
+  const auto points = RandomPoints(500, 8, &rng);
+  for (const auto& point : points) index.Add(point);
+
+  size_t found = 0;
+  size_t expected = 0;
+  for (size_t q = 0; q < 50; ++q) {
+    const float* query = points[q * 7].data();
+    const auto exact = index.ExactRadius(query, 2.0f);
+    const auto approx = index.SearchRadius(query, 2.0f, 128);
+    expected += exact.size();
+    for (const Neighbor& hit : exact) {
+      for (const Neighbor& candidate : approx) {
+        if (candidate.id == hit.id) {
+          ++found;
+          break;
+        }
+      }
+    }
+  }
+  ASSERT_GT(expected, 0u);
+  const double recall =
+      static_cast<double>(found) / static_cast<double>(expected);
+  EXPECT_GT(recall, 0.9) << "HNSW radius recall too low: " << recall;
+}
+
+TEST(HnswTest, ClustersStayTogether) {
+  // Two well separated clusters: radius search within a cluster must never
+  // return members of the other.
+  Rng rng(25);
+  HnswIndex index(2);
+  for (size_t i = 0; i < 100; ++i) {
+    const float offset = i < 50 ? 0.0f : 100.0f;
+    index.Add(std::vector<float>{
+        offset + static_cast<float>(rng.NextGaussian()) * 0.1f,
+        offset + static_cast<float>(rng.NextGaussian()) * 0.1f});
+  }
+  const float query[2] = {0.0f, 0.0f};
+  for (const Neighbor& hit : index.SearchRadius(query, 5.0f, 128)) {
+    EXPECT_LT(hit.id, 50u);
+  }
+}
+
+TEST(HnswTest, DeterministicForSeed) {
+  Rng rng(26);
+  const auto points = RandomPoints(100, 4, &rng);
+  HnswOptions options;
+  options.seed = 777;
+  HnswIndex index1(4, options);
+  HnswIndex index2(4, options);
+  for (const auto& point : points) {
+    index1.Add(point);
+    index2.Add(point);
+  }
+  const auto hits1 = index1.SearchKnn(points[3].data(), 5);
+  const auto hits2 = index2.SearchKnn(points[3].data(), 5);
+  ASSERT_EQ(hits1.size(), hits2.size());
+  for (size_t i = 0; i < hits1.size(); ++i) {
+    EXPECT_EQ(hits1[i].id, hits2[i].id);
+  }
+}
+
+}  // namespace
+}  // namespace geqo::ann

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "parser/parser.h"
+#include "parser/tokenizer.h"
+#include "test_util.h"
+
+namespace geqo {
+namespace {
+
+using testing::MakeFigure1Catalog;
+using testing::MustParse;
+
+TEST(TokenizerTest, BasicTokens) {
+  const auto tokens = Tokenize("SELECT a.x, 10 FROM t WHERE y >= 2.5");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "select");
+  EXPECT_EQ((*tokens)[1].text, "a");
+  EXPECT_TRUE((*tokens)[2].IsSymbol("."));
+  EXPECT_EQ((*tokens)[5].kind, TokenKind::kInteger);
+  EXPECT_TRUE((*tokens)[10].IsSymbol(">="));
+  EXPECT_EQ((*tokens)[11].kind, TokenKind::kFloat);
+  EXPECT_EQ(tokens->back().kind, TokenKind::kEndOfInput);
+}
+
+TEST(TokenizerTest, StringLiterals) {
+  const auto tokens = Tokenize("name = 'O''Brien'");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[2].kind, TokenKind::kString);
+  EXPECT_EQ((*tokens)[2].text, "O'Brien");
+}
+
+TEST(TokenizerTest, UnterminatedStringFails) {
+  EXPECT_TRUE(Tokenize("x = 'oops").status().IsParseError());
+}
+
+TEST(TokenizerTest, NotEqualsVariants) {
+  const auto tokens = Tokenize("a != b <> c");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_TRUE((*tokens)[1].IsSymbol("<>"));
+  EXPECT_TRUE((*tokens)[3].IsSymbol("<>"));
+}
+
+TEST(TokenizerTest, RejectsStrayCharacters) {
+  EXPECT_TRUE(Tokenize("select @x").status().IsParseError());
+}
+
+TEST(ParserTest, SimpleSelect) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog);
+  EXPECT_EQ(plan->kind(), OpKind::kProject);
+  EXPECT_EQ(plan->child(0)->kind(), OpKind::kSelect);
+  EXPECT_EQ(plan->child(0)->child(0)->kind(), OpKind::kScan);
+}
+
+TEST(ParserTest, SelectStarHasNoProject) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT * FROM a", catalog);
+  EXPECT_EQ(plan->kind(), OpKind::kScan);
+}
+
+TEST(ParserTest, ImplicitJoinPicksSpanningPredicate) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x, b.y FROM a, b WHERE a.val > 3 AND a.joinkey = b.joinkey",
+      catalog);
+  // The join predicate must be the equality; the selection stays above.
+  ASSERT_EQ(plan->kind(), OpKind::kProject);
+  const PlanPtr select = plan->child(0);
+  ASSERT_EQ(select->kind(), OpKind::kSelect);
+  const PlanPtr join = select->child(0);
+  ASSERT_EQ(join->kind(), OpKind::kJoin);
+  EXPECT_EQ(join->predicate().ToString(), "a.joinkey = b.joinkey");
+}
+
+TEST(ParserTest, ExplicitJoinSyntax) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a INNER JOIN b ON a.joinkey = b.joinkey AND a.val > "
+      "b.val",
+      catalog);
+  // Second ON conjunct becomes a Select above the join.
+  const PlanPtr select = plan->child(0);
+  ASSERT_EQ(select->kind(), OpKind::kSelect);
+  EXPECT_EQ(select->child(0)->kind(), OpKind::kJoin);
+}
+
+TEST(ParserTest, LeftOuterJoin) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a LEFT OUTER JOIN b ON a.joinkey = b.joinkey", catalog);
+  EXPECT_EQ(plan->child(0)->join_type(), JoinType::kLeftOuter);
+}
+
+TEST(ParserTest, TableAliases) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT t1.x FROM a AS t1, a t2 WHERE t1.joinkey = t2.joinkey", catalog);
+  const auto aliases = plan->ScanAliases();
+  EXPECT_EQ(aliases[0], "t1");
+  EXPECT_EQ(aliases[1], "t2");
+}
+
+TEST(ParserTest, BareColumnResolution) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT x FROM a WHERE x > 1", catalog);
+  EXPECT_EQ(plan->outputs()[0].expr->ToString(), "a.x");
+}
+
+TEST(ParserTest, AmbiguousBareColumnFails) {
+  const Catalog catalog = MakeFigure1Catalog();
+  // `val` exists in both a and b.
+  EXPECT_TRUE(
+      ParseSql("SELECT val FROM a, b", catalog).status().IsParseError());
+}
+
+TEST(ParserTest, UnknownTableFails) {
+  const Catalog catalog = MakeFigure1Catalog();
+  EXPECT_TRUE(ParseSql("SELECT x FROM nope", catalog).status().IsParseError());
+}
+
+TEST(ParserTest, UnknownColumnFails) {
+  const Catalog catalog = MakeFigure1Catalog();
+  EXPECT_TRUE(
+      ParseSql("SELECT a.zzz FROM a", catalog).status().IsParseError());
+}
+
+TEST(ParserTest, DuplicateAliasFails) {
+  const Catalog catalog = MakeFigure1Catalog();
+  EXPECT_TRUE(
+      ParseSql("SELECT a.x FROM a, a", catalog).status().IsParseError());
+}
+
+TEST(ParserTest, UnsupportedClauseFails) {
+  const Catalog catalog = MakeFigure1Catalog();
+  EXPECT_TRUE(ParseSql("SELECT a.x FROM a ORDER BY a.x", catalog)
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(ParseSql("SELECT a.x FROM a WHERE a.x > 1 HAVING a.x > 2",
+                       catalog)
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ParserTest, ArithmeticPrecedence) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan =
+      MustParse("SELECT a.x + a.val * 2 AS z FROM a", catalog);
+  EXPECT_EQ(plan->outputs()[0].expr->ToString(), "(a.x + (a.val * 2))");
+  EXPECT_EQ(plan->outputs()[0].name, "z");
+}
+
+TEST(ParserTest, ParenthesesOverridePrecedence) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan =
+      MustParse("SELECT (a.x + a.val) * 2 AS z FROM a", catalog);
+  EXPECT_EQ(plan->outputs()[0].expr->ToString(), "((a.x + a.val) * 2)");
+}
+
+TEST(ParserTest, UnaryMinusLiteral) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT a.x FROM a WHERE a.val > -5", catalog);
+  EXPECT_EQ(plan->child(0)->predicate().rhs->value().AsInt(), -5);
+}
+
+TEST(ParserTest, CrossJoinGetsConstantTruePredicate) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT a.x, b.y FROM a, b", catalog);
+  const PlanPtr join = plan->child(0);
+  ASSERT_EQ(join->kind(), OpKind::kJoin);
+  EXPECT_EQ(join->predicate().ToString(), "1 = 1");
+}
+
+TEST(ParserTest, Figure1QueriesParse) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr q1 = MustParse(
+      "SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey AND "
+      "a.val > b.val + 10 AND b.val > 10",
+      catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT a.x, b.y FROM b, a WHERE b.joinkey = a.joinkey AND "
+      "b.val + 10 < a.val AND b.val + 10 > 20 AND a.val > 20",
+      catalog);
+  EXPECT_EQ(q1->NumOps(), 6u);  // project, select x2, join, scan x2
+  EXPECT_EQ(q2->NumOps(), 7u);
+}
+
+}  // namespace
+}  // namespace geqo

@@ -1,0 +1,370 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "filters/emf_filter.h"
+#include "ml/metrics.h"
+#include "plan/canonicalize.h"
+#include "pipeline/baselines.h"
+#include "pipeline/geqo.h"
+#include "pipeline/ssfl.h"
+#include "test_util.h"
+#include "workload/schemas.h"
+
+namespace geqo {
+namespace {
+
+using testing::MustParse;
+
+/// Shared trained-model fixture: builds a small TPC-H-trained EMF once for
+/// the whole suite (training is the expensive part).
+class PipelineTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Catalog catalog = MakeTpchCatalog();
+    EncodingLayout instance_layout = EncodingLayout::FromCatalog(catalog);
+    EncodingLayout agnostic_layout = EncodingLayout::Agnostic(6, 8);
+    std::unique_ptr<ml::EmfModel> model;
+    ValueRange value_range{0, 100};
+    float vmf_radius = 2.0f;
+    float emf_threshold = 0.3f;
+  };
+
+  static Shared& shared() {
+    static Shared* instance = [] {
+      auto* s = new Shared();
+      ml::EmfModelOptions model_options;
+      model_options.input_dim = s->agnostic_layout.node_vector_size();
+      model_options.conv1_size = 32;
+      model_options.conv2_size = 32;
+      model_options.fc1_size = 32;
+      model_options.fc2_size = 16;
+      model_options.dropout = 0.2f;
+      s->model = std::make_unique<ml::EmfModel>(model_options);
+
+      Rng rng(71);
+      LabeledDataOptions data_options;
+      data_options.num_base_queries = 40;
+      data_options.variants_per_query = 3;
+      auto pairs = BuildLabeledPairs(s->catalog, data_options, &rng);
+      GEQO_CHECK(pairs.ok());
+      auto dataset =
+          EncodeLabeledPairs(*pairs, s->catalog, s->instance_layout,
+                             s->agnostic_layout, s->value_range);
+      GEQO_CHECK(dataset.ok());
+      ml::TrainOptions train_options;
+      train_options.epochs = 10;
+      ml::EmfTrainer trainer(s->model.get(), train_options);
+      trainer.Train(*dataset);
+      // Use the deployed operating points: radius/threshold calibrated for
+      // near-perfect recall on the training distribution.
+      const auto radius = CalibrateVmfRadius(s->model.get(), *dataset);
+      if (radius.ok()) s->vmf_radius = *radius;
+      const auto threshold = CalibrateEmfThreshold(s->model.get(), *dataset);
+      if (threshold.ok()) s->emf_threshold = *threshold;
+      return s;
+    }();
+    return *instance;
+  }
+
+  /// A workload with planted equivalences: `num_bases` random queries, the
+  /// first `num_equivalent_bases` of which get one equivalent variant each.
+  std::vector<PlanPtr> MakeWorkload(size_t num_bases,
+                                    size_t num_equivalent_bases,
+                                    uint64_t seed,
+                                    std::vector<std::pair<size_t, size_t>>*
+                                        planted = nullptr) {
+    Shared& s = shared();
+    Rng rng(seed);
+    QueryGenerator generator(&s.catalog, GeneratorOptions());
+    Rewriter rewriter(&s.catalog);
+    std::vector<PlanPtr> workload;
+    for (size_t i = 0; i < num_bases; ++i) {
+      workload.push_back(generator.Generate(&rng));
+    }
+    for (size_t i = 0; i < num_equivalent_bases; ++i) {
+      auto variant = rewriter.RewriteOnce(workload[i], &rng);
+      GEQO_CHECK(variant.ok());
+      if (planted != nullptr) planted->emplace_back(i, workload.size());
+      workload.push_back(*variant);
+    }
+    return workload;
+  }
+};
+
+TEST_F(PipelineTest, SchemaFilterGroups) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = {
+      MustParse("SELECT c_custkey FROM customer", s.catalog),
+      MustParse("SELECT c_nationkey FROM customer", s.catalog),
+      MustParse("SELECT o_orderkey FROM orders", s.catalog),
+      MustParse("SELECT c_custkey, c_nationkey FROM customer", s.catalog),
+  };
+  const auto groups = SchemaFilter(workload, s.catalog);
+  ASSERT_TRUE(groups.ok());
+  // {customer,1col} x2, {orders,1col}, {customer,2col}.
+  EXPECT_EQ(groups->size(), 3u);
+  EXPECT_EQ(CountIntraGroupPairs(*groups), 1u);
+}
+
+TEST_F(PipelineTest, SchemaFilterPairSemantics) {
+  Shared& s = shared();
+  const PlanPtr a = MustParse("SELECT c_custkey FROM customer", s.catalog);
+  const PlanPtr b = MustParse("SELECT c_nationkey FROM customer", s.catalog);
+  const PlanPtr c = MustParse("SELECT o_orderkey FROM orders", s.catalog);
+  EXPECT_TRUE(*SchemaFilterPair(a, b, s.catalog));
+  EXPECT_FALSE(*SchemaFilterPair(a, c, s.catalog));
+}
+
+TEST_F(PipelineTest, EndToEndFindsPlantedEquivalences) {
+  Shared& s = shared();
+  std::vector<std::pair<size_t, size_t>> planted;
+  const std::vector<PlanPtr> workload = MakeWorkload(30, 5, 72, &planted);
+
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+  const auto result = pipeline.DetectEquivalences(workload, s.value_range);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Recall over planted pairs: the filters should admit most of them, and
+  // everything reported must be verified-correct.
+  size_t recovered = 0;
+  for (const auto& pair : planted) {
+    for (const auto& found : result->equivalences) {
+      if (found == pair) {
+        ++recovered;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(recovered, planted.size() - 1)
+      << "recovered only " << recovered << "/" << planted.size();
+
+  // No false positives can survive verification.
+  SpesVerifier oracle(&s.catalog);
+  for (const auto& [i, j] : result->equivalences) {
+    EXPECT_EQ(oracle.CheckEquivalence(workload[i], workload[j]),
+              EquivalenceVerdict::kEquivalent);
+  }
+
+  // Filter funnel: each stage passes at most what it received.
+  EXPECT_LE(result->sf_stats.pairs_out, result->sf_stats.pairs_in);
+  EXPECT_LE(result->vmf_stats.pairs_out, result->vmf_stats.pairs_in);
+  EXPECT_LE(result->emf_stats.pairs_out, result->emf_stats.pairs_in);
+}
+
+TEST_F(PipelineTest, FiltersShortCircuitReducesVerifierLoad) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(30, 3, 73);
+
+  GeqoOptions all_filters;
+  all_filters.vmf.radius = s.vmf_radius;
+  all_filters.emf.threshold = s.emf_threshold;
+  GeqoPipeline with_filters(&s.catalog, s.model.get(), &s.instance_layout,
+                            &s.agnostic_layout, all_filters);
+  const auto filtered = with_filters.DetectEquivalences(workload, s.value_range);
+  ASSERT_TRUE(filtered.ok());
+
+  GeqoOptions no_filters;
+  no_filters.use_sf = false;
+  no_filters.use_vmf = false;
+  no_filters.use_emf = false;
+  GeqoPipeline without_filters(&s.catalog, s.model.get(), &s.instance_layout,
+                               &s.agnostic_layout, no_filters);
+  const auto unfiltered =
+      without_filters.DetectEquivalences(workload, s.value_range);
+  ASSERT_TRUE(unfiltered.ok());
+
+  EXPECT_LT(filtered->candidates.size(), unfiltered->candidates.size());
+  // Verifying everything is the ground truth; GEqO must not report extras.
+  for (const auto& pair : filtered->equivalences) {
+    EXPECT_NE(std::find(unfiltered->equivalences.begin(),
+                        unfiltered->equivalences.end(), pair),
+              unfiltered->equivalences.end());
+  }
+}
+
+TEST_F(PipelineTest, CheckPairSpecialCase) {
+  Shared& s = shared();
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+  const PlanPtr q1 = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 50", s.catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT c_custkey FROM customer WHERE 50 < c_acctbal", s.catalog);
+  const PlanPtr q3 = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 51", s.catalog);
+  EXPECT_TRUE(*pipeline.CheckPair(q1, q2, s.value_range));
+  EXPECT_FALSE(*pipeline.CheckPair(q1, q3, s.value_range));
+}
+
+TEST_F(PipelineTest, SignatureBaselineCatchesSyntacticOnly) {
+  Shared& s = shared();
+  Rng rng(74);
+  QueryGenerator generator(&s.catalog, GeneratorOptions());
+  Rewriter rewriter(&s.catalog);
+  const PlanPtr base = generator.Generate(&rng);
+
+  // Join commutation (syntactic normalization catches it).
+  const auto commuted = rewriter.Apply(RewriteRule::kShuffleAtoms, base, &rng);
+  ASSERT_TRUE(commuted.ok());
+  EXPECT_EQ(*PlanSignature(base, s.catalog),
+            *PlanSignature(*commuted, s.catalog));
+
+  // Implied-predicate insertion (semantic: signatures must differ).
+  PlanPtr with_implied = base;
+  for (int i = 0; i < 5 && CountPredicates(with_implied) ==
+                               CountPredicates(base); ++i) {
+    auto r = rewriter.Apply(RewriteRule::kAddImpliedPredicate, with_implied, &rng);
+    ASSERT_TRUE(r.ok());
+    with_implied = *r;
+  }
+  if (CountPredicates(with_implied) > CountPredicates(base)) {
+    EXPECT_NE(*PlanSignature(base, s.catalog),
+              *PlanSignature(with_implied, s.catalog));
+  }
+}
+
+TEST_F(PipelineTest, OptimizerBaselineStrongerThanSignature) {
+  Shared& s = shared();
+  // Equality substitution: the optimizer's equivalence classes catch it;
+  // signatures do not.
+  const PlanPtr q1 = MustParse(
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey "
+      "AND o_custkey > 10",
+      s.catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey "
+      "AND c_custkey > 10",
+      s.catalog);
+  EXPECT_EQ(*OptimizerNormalForm(q1, s.catalog),
+            *OptimizerNormalForm(q2, s.catalog));
+  EXPECT_NE(*PlanSignature(q1, s.catalog), *PlanSignature(q2, s.catalog));
+}
+
+TEST_F(PipelineTest, OptimizerBaselineMissesCrossTermImplication) {
+  Shared& s = shared();
+  // The Figure-1 gap: cross-term implied predicates are beyond rule-based
+  // normalization but provable by the verifier.
+  const PlanPtr q1 = MustParse(
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey "
+      "AND o_totalprice > c_acctbal + 10 AND c_acctbal > 10",
+      s.catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT o_orderkey FROM orders, customer WHERE o_custkey = c_custkey "
+      "AND o_totalprice > c_acctbal + 10 AND c_acctbal > 10 "
+      "AND o_totalprice > 20",
+      s.catalog);
+  EXPECT_NE(*OptimizerNormalForm(q1, s.catalog),
+            *OptimizerNormalForm(q2, s.catalog));
+  SpesVerifier verifier(&s.catalog);
+  EXPECT_EQ(verifier.CheckEquivalence(q1, q2),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(PipelineTest, BaselinePowerOrdering) {
+  // Over a rewritten workload: signature ⊆ optimizer ⊆ verifier (by TPR).
+  Shared& s = shared();
+  std::vector<std::pair<size_t, size_t>> planted;
+  const std::vector<PlanPtr> workload = MakeWorkload(20, 10, 75, &planted);
+
+  const auto signature_pairs = SignatureEquivalences(workload, s.catalog);
+  const auto optimizer_pairs = OptimizerEquivalences(workload, s.catalog);
+  ASSERT_TRUE(signature_pairs.ok() && optimizer_pairs.ok());
+
+  size_t signature_hits = 0;
+  size_t optimizer_hits = 0;
+  for (const auto& pair : planted) {
+    signature_hits += std::find(signature_pairs->begin(), signature_pairs->end(),
+                                pair) != signature_pairs->end();
+    optimizer_hits += std::find(optimizer_pairs->begin(), optimizer_pairs->end(),
+                                pair) != optimizer_pairs->end();
+  }
+  EXPECT_LE(signature_hits, optimizer_hits);
+  EXPECT_LE(optimizer_hits, planted.size());
+
+  // Both baselines must be sound on this workload (verified spot check).
+  SpesVerifier verifier(&s.catalog);
+  for (const auto& [i, j] : *optimizer_pairs) {
+    EXPECT_NE(verifier.CheckEquivalence(workload[i], workload[j]),
+              EquivalenceVerdict::kNotEquivalent);
+  }
+}
+
+TEST_F(PipelineTest, SsflImprovesWeakModel) {
+  Shared& s = shared();
+  // A fresh (untrained) model fine-tuned by the SSFL on a workload with
+  // planted equivalences should end more confident than it started.
+  ml::EmfModelOptions model_options;
+  model_options.input_dim = s.agnostic_layout.node_vector_size();
+  model_options.conv1_size = 32;
+  model_options.conv2_size = 32;
+  model_options.fc1_size = 32;
+  model_options.fc2_size = 16;
+  model_options.dropout = 0.2f;
+  ml::EmfModel weak_model(model_options);
+  ml::TrainOptions train_options;
+  train_options.epochs = 4;
+  ml::EmfTrainer trainer(&weak_model, train_options);
+
+  const std::vector<PlanPtr> workload = MakeWorkload(20, 6, 76);
+  SsflOptions ssfl_options;
+  ssfl_options.max_iterations = 3;
+  ssfl_options.sample_batch = 64;
+  ssfl_options.confidence_sample = 200;
+  ssfl_options.finetune_epochs = 4;
+  ssfl_options.vmf.radius = 2.0f;
+  Ssfl ssfl(&s.catalog, &weak_model, &trainer, &s.instance_layout,
+            &s.agnostic_layout, ssfl_options);
+  const auto reports = ssfl.Run(workload, s.value_range);
+  ASSERT_TRUE(reports.ok()) << reports.status().ToString();
+  ASSERT_FALSE(reports->empty());
+  EXPECT_GT(ssfl.accumulated_data().size(), 0u);
+  // Timing fields populated on tuning iterations.
+  if (reports->size() > 1 || (*reports)[0].new_negatives > 0) {
+    EXPECT_GT((*reports)[0].TotalSeconds(), 0.0);
+  }
+}
+
+TEST_F(PipelineTest, SsflFilterSamplingFindsPositives) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(20, 8, 77);
+
+  ml::TrainOptions train_options;
+  train_options.epochs = 2;
+  ml::EmfTrainer trainer(s.model.get(), train_options);
+
+  SsflOptions filter_options;
+  filter_options.max_iterations = 1;
+  filter_options.sample_batch = 64;
+  filter_options.confidence_sample = 100;
+  filter_options.confidence_threshold = 1.1f;  // force one iteration
+  filter_options.vmf.radius = 2.5f;
+  Ssfl filter_ssfl(&s.catalog, s.model.get(), &trainer, &s.instance_layout,
+                   &s.agnostic_layout, filter_options);
+  const auto filter_reports = filter_ssfl.Run(workload, s.value_range);
+  ASSERT_TRUE(filter_reports.ok());
+
+  SsflOptions random_options = filter_options;
+  random_options.filter_based_sampling = false;
+  ml::EmfModel random_model(s.model->options());
+  ml::EmfTrainer random_trainer(&random_model, train_options);
+  Ssfl random_ssfl(&s.catalog, &random_model, &random_trainer,
+                   &s.instance_layout, &s.agnostic_layout, random_options);
+  const auto random_reports = random_ssfl.Run(workload, s.value_range);
+  ASSERT_TRUE(random_reports.ok());
+
+  // Filter-based sampling surfaces positives; random sampling over a
+  // quadratic pair space virtually never does (§6).
+  EXPECT_GE((*filter_reports)[0].new_positives,
+            (*random_reports)[0].new_positives);
+}
+
+}  // namespace
+}  // namespace geqo

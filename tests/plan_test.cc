@@ -1,0 +1,320 @@
+#include <gtest/gtest.h>
+
+#include "plan/canonicalize.h"
+#include "plan/expr.h"
+#include "plan/plan.h"
+#include "plan/spj.h"
+#include "plan/subexpr.h"
+#include "test_util.h"
+
+namespace geqo {
+namespace {
+
+using testing::MakeFigure1Catalog;
+using testing::MustParse;
+
+ExprPtr Col(const char* alias, const char* column) {
+  return Expr::Column(alias, column);
+}
+
+TEST(ExprTest, ToStringRendersTree) {
+  const ExprPtr expr = Expr::Binary(ExprKind::kAdd, Col("a", "val"),
+                                    Expr::IntLiteral(10));
+  EXPECT_EQ(expr->ToString(), "(a.val + 10)");
+}
+
+TEST(ExprTest, EqualsIsStructural) {
+  const ExprPtr a = Expr::Binary(ExprKind::kAdd, Col("a", "v"),
+                                 Expr::IntLiteral(1));
+  const ExprPtr b = Expr::Binary(ExprKind::kAdd, Col("a", "v"),
+                                 Expr::IntLiteral(1));
+  const ExprPtr c = Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(1),
+                                 Col("a", "v"));
+  EXPECT_TRUE(a->Equals(*b));
+  EXPECT_FALSE(a->Equals(*c));  // operand order matters structurally
+  EXPECT_EQ(a->Hash(), b->Hash());
+}
+
+TEST(ExprTest, CollectColumns) {
+  const ExprPtr expr = Expr::Binary(
+      ExprKind::kSub, Col("a", "x"),
+      Expr::Binary(ExprKind::kAdd, Col("b", "y"), Expr::IntLiteral(3)));
+  std::vector<ColumnRef> columns;
+  expr->CollectColumns(&columns);
+  ASSERT_EQ(columns.size(), 2u);
+  EXPECT_EQ(columns[0].ToString(), "a.x");
+  EXPECT_EQ(columns[1].ToString(), "b.y");
+}
+
+TEST(ExprTest, FoldConstantsCollapsesArithmetic) {
+  const ExprPtr expr = Expr::Binary(
+      ExprKind::kMul,
+      Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(2), Expr::IntLiteral(3)),
+      Expr::IntLiteral(4));
+  const ExprPtr folded = FoldConstants(expr);
+  ASSERT_TRUE(folded->is_literal());
+  EXPECT_EQ(folded->value().AsInt(), 20);
+}
+
+TEST(ExprTest, FoldConstantsPreservesColumns) {
+  const ExprPtr expr = Expr::Binary(
+      ExprKind::kAdd, Col("a", "v"),
+      Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(5), Expr::IntLiteral(5)));
+  const ExprPtr folded = FoldConstants(expr);
+  EXPECT_EQ(folded->ToString(), "(a.v + 10)");
+}
+
+TEST(ExprTest, FoldConstantsLeavesDivisionByZero) {
+  const ExprPtr expr = Expr::Binary(ExprKind::kDiv, Expr::IntLiteral(1),
+                                    Expr::IntLiteral(0));
+  EXPECT_TRUE(FoldConstants(expr)->is_binary());
+}
+
+TEST(LinearTermTest, ColumnPlusConstant) {
+  const auto term = ExtractLinearTerm(
+      Expr::Binary(ExprKind::kAdd, Col("a", "v"), Expr::IntLiteral(7)));
+  ASSERT_TRUE(term.has_value());
+  EXPECT_EQ(term->column->ToString(), "a.v");
+  EXPECT_EQ(term->offset, 7.0);
+}
+
+TEST(LinearTermTest, ConstantPlusColumn) {
+  const auto term = ExtractLinearTerm(
+      Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(7), Col("a", "v")));
+  ASSERT_TRUE(term.has_value());
+  EXPECT_EQ(term->column->ToString(), "a.v");
+  EXPECT_EQ(term->offset, 7.0);
+}
+
+TEST(LinearTermTest, ColumnMinusConstant) {
+  const auto term = ExtractLinearTerm(
+      Expr::Binary(ExprKind::kSub, Col("a", "v"), Expr::IntLiteral(3)));
+  ASSERT_TRUE(term.has_value());
+  EXPECT_EQ(term->offset, -3.0);
+}
+
+TEST(LinearTermTest, RejectsTwoColumns) {
+  EXPECT_FALSE(ExtractLinearTerm(Expr::Binary(ExprKind::kAdd, Col("a", "v"),
+                                              Col("b", "w")))
+                   .has_value());
+}
+
+TEST(LinearTermTest, RejectsScaledColumn) {
+  EXPECT_FALSE(ExtractLinearTerm(Expr::Binary(ExprKind::kMul, Col("a", "v"),
+                                              Expr::IntLiteral(2)))
+                   .has_value());
+}
+
+TEST(NormalizeComparisonTest, MovesConstantRight) {
+  // a.v + 10 < 30  =>  a.v < 20.
+  const Comparison cmp{
+      Expr::Binary(ExprKind::kAdd, Col("a", "v"), Expr::IntLiteral(10)),
+      CompareOp::kLt, Expr::IntLiteral(30)};
+  const auto normalized = NormalizeComparison(cmp);
+  ASSERT_TRUE(normalized.has_value());
+  EXPECT_EQ(normalized->left->ToString(), "a.v");
+  EXPECT_FALSE(normalized->right.has_value());
+  EXPECT_EQ(normalized->op, CompareOp::kLt);
+  EXPECT_EQ(normalized->constant, 20.0);
+}
+
+TEST(NormalizeComparisonTest, FlipsWhenColumnOnRight) {
+  // 30 < a.v  =>  a.v > 30.
+  const Comparison cmp{Expr::IntLiteral(30), CompareOp::kLt, Col("a", "v")};
+  const auto normalized = NormalizeComparison(cmp);
+  ASSERT_TRUE(normalized.has_value());
+  EXPECT_EQ(normalized->left->ToString(), "a.v");
+  EXPECT_EQ(normalized->op, CompareOp::kGt);
+  EXPECT_EQ(normalized->constant, 30.0);
+}
+
+TEST(NormalizeComparisonTest, DifferenceForm) {
+  // a.v > b.v + 10  =>  a.v - b.v > 10.
+  const Comparison cmp{
+      Col("a", "v"), CompareOp::kGt,
+      Expr::Binary(ExprKind::kAdd, Col("b", "v"), Expr::IntLiteral(10))};
+  const auto normalized = NormalizeComparison(cmp);
+  ASSERT_TRUE(normalized.has_value());
+  EXPECT_EQ(normalized->left->ToString(), "a.v");
+  EXPECT_EQ(normalized->right->ToString(), "b.v");
+  EXPECT_EQ(normalized->constant, 10.0);
+}
+
+TEST(NormalizeComparisonTest, EquivalentFormsNormalizeEqually) {
+  // b.val + 10 < a.val vs a.val > b.val + 10 (the Figure 1 rewrite).
+  const Comparison q2{
+      Expr::Binary(ExprKind::kAdd, Col("b", "val"), Expr::IntLiteral(10)),
+      CompareOp::kLt, Col("a", "val")};
+  const Comparison q1{
+      Col("a", "val"), CompareOp::kGt,
+      Expr::Binary(ExprKind::kAdd, Col("b", "val"), Expr::IntLiteral(10))};
+  const auto n1 = NormalizeComparison(q1);
+  const auto n2 = NormalizeComparison(q2);
+  ASSERT_TRUE(n1 && n2);
+  EXPECT_EQ(n1->left->ToString(), "a.val");  // canonical operand order
+  EXPECT_EQ(n1->left->ToString(), n2->left->ToString());
+  EXPECT_EQ(n1->right->ToString(), n2->right->ToString());
+  EXPECT_EQ(n1->op, n2->op);
+  EXPECT_EQ(n1->constant, n2->constant);
+}
+
+TEST(NormalizeComparisonTest, StringEquality) {
+  const Comparison cmp{Col("a", "name"), CompareOp::kEq,
+                       Expr::Literal(Value::String("acme"))};
+  const auto normalized = NormalizeComparison(cmp);
+  ASSERT_TRUE(normalized.has_value());
+  ASSERT_TRUE(normalized->string_constant.has_value());
+  EXPECT_EQ(*normalized->string_constant, "acme");
+}
+
+TEST(PlanTest, FactoriesAndAccessors) {
+  const PlanPtr scan = PlanNode::Scan("a", "a1");
+  EXPECT_EQ(scan->kind(), OpKind::kScan);
+  EXPECT_EQ(scan->table(), "a");
+  EXPECT_EQ(scan->alias(), "a1");
+  EXPECT_EQ(scan->NumOps(), 1u);
+
+  const PlanPtr select = PlanNode::Select(
+      Comparison{Col("a1", "val"), CompareOp::kGt, Expr::IntLiteral(5)}, scan);
+  EXPECT_EQ(select->NumOps(), 2u);
+  EXPECT_EQ(select->Height(), 2u);
+}
+
+TEST(PlanTest, ScanBindingsInOrder) {
+  const PlanPtr join = PlanNode::Join(
+      JoinType::kInner,
+      Comparison{Col("x", "joinkey"), CompareOp::kEq, Col("y", "joinkey")},
+      PlanNode::Scan("a", "x"), PlanNode::Scan("b", "y"));
+  const auto bindings = join->ScanBindings();
+  ASSERT_EQ(bindings.size(), 2u);
+  EXPECT_EQ(bindings[0].first, "a");
+  EXPECT_EQ(bindings[1].second, "y");
+}
+
+TEST(PlanTest, OutputColumnsExpandScans) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr scan = PlanNode::Scan("a", "a");
+  const auto columns = scan->OutputColumns(catalog);
+  ASSERT_TRUE(columns.ok());
+  EXPECT_EQ(columns->size(), 3u);
+  EXPECT_EQ((*columns)[0].name, "a.joinkey");
+}
+
+TEST(PlanTest, RenameAliasesRewritesEverything) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey AND a.val > 3",
+      catalog);
+  const PlanPtr renamed = plan->RenameAliases({{"a", "t1"}, {"b", "t2"}});
+  const auto aliases = renamed->ScanAliases();
+  EXPECT_EQ(aliases[0], "t1");
+  EXPECT_EQ(aliases[1], "t2");
+  EXPECT_EQ(renamed->outputs()[0].expr->ToString(), "t1.x");
+}
+
+TEST(PlanTest, HashAndEqualsAgree) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr p1 = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog);
+  const PlanPtr p2 = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog);
+  const PlanPtr p3 = MustParse("SELECT a.x FROM a WHERE a.val > 4", catalog);
+  EXPECT_TRUE(p1->Equals(*p2));
+  EXPECT_EQ(p1->Hash(), p2->Hash());
+  EXPECT_FALSE(p1->Equals(*p3));
+}
+
+TEST(CanonicalizeTest, FoldsPredicateConstants) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Col("a", "v"), CompareOp::kGt,
+                 Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(10),
+                              Expr::IntLiteral(5))},
+      PlanNode::Scan("a", "a"));
+  const PlanPtr canonical = Canonicalize(plan);
+  EXPECT_EQ(canonical->predicate().rhs->value().AsInt(), 15);
+}
+
+TEST(CanonicalizeTest, DropsVacuousSelection) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::IntLiteral(1), CompareOp::kEq, Expr::IntLiteral(1)},
+      PlanNode::Scan("a", "a"));
+  EXPECT_EQ(Canonicalize(plan)->kind(), OpKind::kScan);
+}
+
+TEST(CanonicalizeTest, KeepsFalseSelection) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::IntLiteral(1), CompareOp::kEq, Expr::IntLiteral(2)},
+      PlanNode::Scan("a", "a"));
+  EXPECT_EQ(Canonicalize(plan)->kind(), OpKind::kSelect);
+}
+
+TEST(CanonicalizeTest, CountPredicates) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey AND a.val > 3 AND "
+      "b.val < 9",
+      catalog);
+  EXPECT_EQ(CountPredicates(plan), 3u);
+}
+
+TEST(TryEvaluateComparisonTest, EvaluatesConstants) {
+  EXPECT_EQ(TryEvaluateComparison(Comparison{Expr::IntLiteral(3), CompareOp::kLt,
+                                             Expr::IntLiteral(4)}),
+            std::optional<bool>(true));
+  EXPECT_EQ(TryEvaluateComparison(Comparison{Expr::IntLiteral(3), CompareOp::kEq,
+                                             Expr::IntLiteral(4)}),
+            std::optional<bool>(false));
+  EXPECT_FALSE(TryEvaluateComparison(Comparison{Col("a", "v"), CompareOp::kLt,
+                                                Expr::IntLiteral(4)})
+                   .has_value());
+}
+
+TEST(FlattenSpjTest, CollectsAtomsPredicatesOutputs) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey AND a.val > 3",
+      catalog);
+  const auto flat = FlattenSpj(plan, catalog);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_EQ(flat->atoms.size(), 2u);
+  EXPECT_EQ(flat->predicates.size(), 2u);
+  EXPECT_EQ(flat->outputs.size(), 2u);
+  EXPECT_TRUE(flat->has_root_project);
+}
+
+TEST(FlattenSpjTest, RejectsOuterJoin) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a LEFT JOIN b ON a.joinkey = b.joinkey", catalog);
+  EXPECT_TRUE(FlattenSpj(plan, catalog).status().IsNotSupported());
+}
+
+TEST(FlattenSpjTest, NoProjectUsesScanColumns) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse("SELECT * FROM a WHERE a.val > 1", catalog);
+  const auto flat = FlattenSpj(plan, catalog);
+  ASSERT_TRUE(flat.ok());
+  EXPECT_FALSE(flat->has_root_project);
+  EXPECT_EQ(flat->outputs.size(), 3u);
+}
+
+TEST(SubexprTest, EnumeratesAllSubtrees) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr plan = MustParse(
+      "SELECT a.x FROM a, b WHERE a.joinkey = b.joinkey AND a.val > 3",
+      catalog);
+  // Project -> Select -> Join -> (Scan, Scan): 5 subexpressions.
+  EXPECT_EQ(EnumerateSubexpressions(plan).size(), 5u);
+}
+
+TEST(SubexprTest, WorkloadEnumerationDeduplicates) {
+  const Catalog catalog = MakeFigure1Catalog();
+  const PlanPtr q1 = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog);
+  const PlanPtr q2 = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog);
+  const PlanPtr q3 = MustParse("SELECT a.x FROM a WHERE a.val > 4", catalog);
+  const auto subexprs = EnumerateWorkloadSubexpressions({q1, q2, q3});
+  // q1 == q2 dedupes entirely: their 3 subtrees (project/select/scan) appear
+  // once; q3 contributes a distinct project and select but shares the scan.
+  EXPECT_EQ(subexprs.size(), 5u);
+}
+
+}  // namespace
+}  // namespace geqo

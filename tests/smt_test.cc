@@ -1,0 +1,172 @@
+#include <gtest/gtest.h>
+
+#include "smt/solver.h"
+
+namespace geqo::smt {
+namespace {
+
+TEST(DiffLogicSolverTest, EmptyFormulaIsSat) {
+  DiffLogicSolver solver;
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, EmptyClauseIsUnsat) {
+  DiffLogicSolver solver;
+  solver.AddClause({});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, SimpleConsistentBounds) {
+  // x <= 5 and x >= 3  (x - 0 <= 5, 0 - x <= -3): satisfiable.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, kZeroVar, 5.0, false}), true});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -3.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, ContradictoryBounds) {
+  // x <= 3 and x >= 5: unsatisfiable.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, kZeroVar, 3.0, false}), true});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -5.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, StrictBoundaryIsUnsat) {
+  // x < 5 and x >= 5.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, kZeroVar, 5.0, true}), true});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -5.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, NonStrictBoundaryIsSat) {
+  // x <= 5 and x >= 5: x = 5.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, kZeroVar, 5.0, false}), true});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -5.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, TransitiveChainConflict) {
+  // x - y <= -1, y - z <= -1, z - x <= -1: negative cycle.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const VarId y = solver.NewVariable();
+  const VarId z = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, y, -1.0, false}), true});
+  solver.AddUnit({solver.AddAtom({y, z, -1.0, false}), true});
+  solver.AddUnit({solver.AddAtom({z, x, -1.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, ZeroCycleWithStrictEdgeIsUnsat) {
+  // x < y and y <= x.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const VarId y = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, y, 0.0, true}), true});   // x - y < 0
+  solver.AddUnit({solver.AddAtom({y, x, 0.0, false}), true});  // y - x <= 0
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, EqualityCycleIsSat) {
+  // x <= y and y <= x: x = y, consistent.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const VarId y = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, y, 0.0, false}), true});
+  solver.AddUnit({solver.AddAtom({y, x, 0.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, NegativeLiteralAssertsNegation) {
+  // !(x - y <= 3) means x - y > 3; combined with x - y <= 2 it is UNSAT.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const VarId y = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({x, y, 3.0, false}), false});
+  solver.AddUnit({solver.AddAtom({x, y, 2.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, DisjunctionRequiresSearch) {
+  // (x <= 1 or x >= 10) and x >= 5 and x <= 7: both branches fail? No —
+  // x >= 10 conflicts with x <= 7, x <= 1 conflicts with x >= 5 => UNSAT.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const int32_t le1 = solver.AddAtom({x, kZeroVar, 1.0, false});
+  const int32_t ge10 = solver.AddAtom({kZeroVar, x, -10.0, false});
+  solver.AddClause({{le1, true}, {ge10, true}});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -5.0, false}), true});
+  solver.AddUnit({solver.AddAtom({x, kZeroVar, 7.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+  EXPECT_GT(solver.stats().theory_checks, 0u);
+}
+
+TEST(DiffLogicSolverTest, DisjunctionWithViableBranch) {
+  // (x <= 1 or x >= 10) and x >= 5: x = 10 works.
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const int32_t le1 = solver.AddAtom({x, kZeroVar, 1.0, false});
+  const int32_t ge10 = solver.AddAtom({kZeroVar, x, -10.0, false});
+  solver.AddClause({{le1, true}, {ge10, true}});
+  solver.AddUnit({solver.AddAtom({kZeroVar, x, -5.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, ImplicationViaUnsat) {
+  // Figure 1's inference: a - b > 10 and b > 10 implies a > 20.
+  // Check UNSAT of {a - b > 10, b > 10, a <= 20}.
+  DiffLogicSolver solver;
+  const VarId a = solver.NewVariable();
+  const VarId b = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({b, a, -10.0, true}), true});        // a-b>10
+  solver.AddUnit({solver.AddAtom({kZeroVar, b, -10.0, true}), true});  // b>10
+  solver.AddUnit({solver.AddAtom({a, kZeroVar, 20.0, false}), true});  // a<=20
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+}
+
+TEST(DiffLogicSolverTest, NonImplicationStaysSat) {
+  // a - b > 10 and b > 5 does NOT imply a > 20 (a=16.1, b=6 works).
+  DiffLogicSolver solver;
+  const VarId a = solver.NewVariable();
+  const VarId b = solver.NewVariable();
+  solver.AddUnit({solver.AddAtom({b, a, -10.0, true}), true});
+  solver.AddUnit({solver.AddAtom({kZeroVar, b, -5.0, true}), true});
+  solver.AddUnit({solver.AddAtom({a, kZeroVar, 20.0, false}), true});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+}
+
+TEST(DiffLogicSolverTest, PureBooleanSearch) {
+  // (p or q) and (!p or q) and (p or !q) and (!p or !q): UNSAT regardless of
+  // theory (atoms chosen consistent).
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const VarId y = solver.NewVariable();
+  const int32_t p = solver.AddAtom({x, kZeroVar, 100.0, false});
+  const int32_t q = solver.AddAtom({y, kZeroVar, 100.0, false});
+  solver.AddClause({{p, true}, {q, true}});
+  solver.AddClause({{p, false}, {q, true}});
+  solver.AddClause({{p, true}, {q, false}});
+  solver.AddClause({{p, false}, {q, false}});
+  EXPECT_EQ(solver.Solve(), Verdict::kUnsat);
+  EXPECT_GT(solver.stats().conflicts, 0u);
+}
+
+TEST(DiffLogicSolverTest, StatsAccumulate) {
+  DiffLogicSolver solver;
+  const VarId x = solver.NewVariable();
+  const int32_t p = solver.AddAtom({x, kZeroVar, 1.0, false});
+  const int32_t q = solver.AddAtom({x, kZeroVar, 2.0, false});
+  solver.AddClause({{p, true}, {q, true}});
+  EXPECT_EQ(solver.Solve(), Verdict::kSat);
+  EXPECT_GT(solver.stats().theory_checks, 0u);
+}
+
+}  // namespace
+}  // namespace geqo::smt

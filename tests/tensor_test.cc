@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "tensor/device.h"
+#include "tensor/tensor.h"
+
+namespace geqo {
+namespace {
+
+TEST(TensorTest, ConstructionAndAccess) {
+  Tensor t(2, 3);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cols(), 3u);
+  EXPECT_EQ(t.size(), 6u);
+  t.At(1, 2) = 5.0f;
+  EXPECT_EQ(t.At(1, 2), 5.0f);
+  EXPECT_EQ(t.At(0, 0), 0.0f);
+}
+
+TEST(TensorTest, FromVectorAndReshape) {
+  Tensor t = Tensor::FromVector({1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(t.rows(), 1u);
+  const Tensor reshaped = t.Reshaped(2, 3);
+  EXPECT_EQ(reshaped.At(1, 0), 4.0f);
+}
+
+TEST(TensorTest, SliceRows) {
+  const Tensor t = Tensor::FromRows(3, 2, {1, 2, 3, 4, 5, 6});
+  const Tensor middle = t.Slice(1, 2);
+  EXPECT_EQ(middle.rows(), 1u);
+  EXPECT_EQ(middle.At(0, 0), 3.0f);
+  EXPECT_EQ(middle.At(0, 1), 4.0f);
+}
+
+TEST(TensorOpsTest, MatMulBasic) {
+  const Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::FromRows(3, 2, {7, 8, 9, 10, 11, 12});
+  const Tensor c = ops::MatMul(a, b);
+  EXPECT_EQ(c.rows(), 2u);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.At(0, 0), 58.0f);
+  EXPECT_EQ(c.At(1, 1), 154.0f);
+}
+
+TEST(TensorOpsTest, MatMulTransposes) {
+  const Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor b = Tensor::FromRows(2, 3, {1, 0, 1, 0, 1, 0});
+  // a x b^T: [2,3] x [3,2].
+  const Tensor c = ops::MatMul(a, b, false, true);
+  EXPECT_EQ(c.cols(), 2u);
+  EXPECT_EQ(c.At(0, 0), 4.0f);   // 1+3
+  EXPECT_EQ(c.At(0, 1), 2.0f);   // 2
+  // a^T x a: [3,2]x[2,3] -> [3,3].
+  const Tensor d = ops::MatMul(a, a, true, false);
+  EXPECT_EQ(d.rows(), 3u);
+  EXPECT_EQ(d.At(0, 0), 17.0f);  // 1*1 + 4*4
+}
+
+TEST(TensorOpsTest, ElementwiseOps) {
+  const Tensor a = Tensor::FromVector({1, 2, 3});
+  const Tensor b = Tensor::FromVector({4, 5, 6});
+  EXPECT_EQ(ops::Add(a, b).At(0, 2), 9.0f);
+  EXPECT_EQ(ops::Sub(b, a).At(0, 0), 3.0f);
+  EXPECT_EQ(ops::Mul(a, b).At(0, 1), 10.0f);
+  EXPECT_EQ(ops::Scale(a, 2.0f).At(0, 2), 6.0f);
+}
+
+TEST(TensorOpsTest, RowVectorBroadcast) {
+  Tensor a = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  const Tensor bias = Tensor::FromVector({10, 20});
+  ops::AddRowVectorInPlace(&a, bias);
+  EXPECT_EQ(a.At(0, 0), 11.0f);
+  EXPECT_EQ(a.At(1, 1), 24.0f);
+}
+
+TEST(TensorOpsTest, ColumnSum) {
+  const Tensor a = Tensor::FromRows(2, 2, {1, 2, 3, 4});
+  const Tensor sums = ops::ColumnSum(a);
+  EXPECT_EQ(sums.At(0, 0), 4.0f);
+  EXPECT_EQ(sums.At(0, 1), 6.0f);
+}
+
+TEST(TensorOpsTest, TransposeRoundTrip) {
+  const Tensor a = Tensor::FromRows(2, 3, {1, 2, 3, 4, 5, 6});
+  const Tensor t = ops::Transpose(a);
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.At(2, 1), 6.0f);
+  const Tensor back = ops::Transpose(t);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a.values()[i], back.values()[i]);
+  }
+}
+
+TEST(TensorOpsTest, ConcatColumns) {
+  const Tensor a = Tensor::FromRows(2, 1, {1, 2});
+  const Tensor b = Tensor::FromRows(2, 2, {3, 4, 5, 6});
+  const Tensor c = ops::ConcatColumns(a, b);
+  EXPECT_EQ(c.cols(), 3u);
+  EXPECT_EQ(c.At(1, 0), 2.0f);
+  EXPECT_EQ(c.At(1, 2), 6.0f);
+}
+
+TEST(TensorOpsTest, SquaredDistance) {
+  const float a[] = {0.0f, 3.0f};
+  const float b[] = {4.0f, 0.0f};
+  EXPECT_EQ(ops::SquaredDistance(a, b, 2), 25.0f);
+}
+
+TEST(TensorOpsTest, KernelStatsCount) {
+  GetKernelStats().Reset();
+  const Tensor a = Tensor::FromRows(4, 4, std::vector<float>(16, 1.0f));
+  ops::MatMul(a, a);
+  EXPECT_EQ(GetKernelStats().dispatches, 1u);
+  EXPECT_EQ(GetKernelStats().flops, 2.0 * 4 * 4 * 4);
+}
+
+TEST(DeviceModelTest, CpuIsIdentity) {
+  KernelStats stats;
+  stats.dispatches = 100;
+  EXPECT_EQ(DeviceModel::Cpu().ModelSeconds(1.5, stats, 1e9), 1.5);
+}
+
+TEST(DeviceModelTest, AcceleratorCrossover) {
+  // Small job: dispatch overhead dominates, accelerator loses.
+  const DeviceModel gpu = DeviceModel::AcceleratorT4Like();
+  KernelStats small;
+  small.dispatches = 1000;
+  const double small_cpu = 1e-3;
+  EXPECT_GT(gpu.ModelSeconds(small_cpu, small, 1e6), small_cpu);
+  // Large job: compute dominates, accelerator wins.
+  KernelStats large;
+  large.dispatches = 1000;
+  const double large_cpu = 100.0;
+  EXPECT_LT(gpu.ModelSeconds(large_cpu, large, 1e9), large_cpu);
+}
+
+TEST(TensorTest, RandnIsSeeded) {
+  Rng rng1(42);
+  Rng rng2(42);
+  const Tensor a = Tensor::Randn(2, 2, 1.0f, &rng1);
+  const Tensor b = Tensor::Randn(2, 2, 1.0f, &rng2);
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.values()[i], b.values()[i]);
+}
+
+}  // namespace
+}  // namespace geqo

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "common/check.h"
+#include "parser/parser.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file test_util.h
+/// Shared fixtures: the Figure-1 schema (tables A and B) and parse helpers.
+
+namespace geqo::testing {
+
+/// Catalog matching the paper's running example (Figure 1): tables A and B
+/// with joinKey/val plus a payload column each.
+inline Catalog MakeFigure1Catalog() {
+  Catalog catalog;
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "a", {ColumnDef{"joinkey", ValueType::kInt}, ColumnDef{"val", ValueType::kInt},
+            ColumnDef{"x", ValueType::kInt}})));
+  GEQO_CHECK_OK(catalog.AddTable(TableDef(
+      "b", {ColumnDef{"joinkey", ValueType::kInt}, ColumnDef{"val", ValueType::kInt},
+            ColumnDef{"y", ValueType::kInt}})));
+  GEQO_CHECK_OK(catalog.AddJoinKey(JoinKey{"a", "joinkey", "b", "joinkey"}));
+  return catalog;
+}
+
+/// Parses \p sql against \p catalog, aborting the test on failure.
+inline PlanPtr MustParse(std::string_view sql, const Catalog& catalog) {
+  Result<PlanPtr> plan = ParseSql(sql, catalog);
+  GEQO_CHECK(plan.ok()) << "parse failed for: " << std::string(sql) << " -- "
+                        << plan.status().ToString();
+  return *plan;
+}
+
+}  // namespace geqo::testing

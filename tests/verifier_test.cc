@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "verify/verifier.h"
+
+namespace geqo {
+namespace {
+
+using testing::MakeFigure1Catalog;
+using testing::MustParse;
+
+class VerifierTest : public ::testing::Test {
+ protected:
+  VerifierTest() : catalog_(MakeFigure1Catalog()), verifier_(&catalog_) {}
+
+  EquivalenceVerdict Check(std::string_view sql_a, std::string_view sql_b) {
+    return verifier_.CheckEquivalence(MustParse(sql_a, catalog_),
+                                      MustParse(sql_b, catalog_));
+  }
+
+  Catalog catalog_;
+  SpesVerifier verifier_;
+};
+
+TEST_F(VerifierTest, IdenticalQueriesAreEquivalent) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 3",
+                  "SELECT a.x FROM a WHERE a.val > 3"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, DifferentConstantsAreNot) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 3",
+                  "SELECT a.x FROM a WHERE a.val > 4"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, OperandSwapIsEquivalent) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 3",
+                  "SELECT a.x FROM a WHERE 3 < a.val"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, ConstantShiftingIsEquivalent) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val + 10 > 30",
+                  "SELECT a.x FROM a WHERE a.val > 20"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, PredicateOrderIrrelevant) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 3 AND a.joinkey < 7",
+                  "SELECT a.x FROM a WHERE a.joinkey < 7 AND a.val > 3"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, RedundantImpliedPredicateIsEquivalent) {
+  // a.val > 5 implies a.val > 3; the weaker conjunct is redundant.
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 5",
+                  "SELECT a.x FROM a WHERE a.val > 5 AND a.val > 3"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, StrictVsNonStrictDiffers) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 3",
+                  "SELECT a.x FROM a WHERE a.val >= 3"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, JoinCommutativityIsEquivalent) {
+  EXPECT_EQ(Check("SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey",
+                  "SELECT a.x, b.y FROM b, a WHERE b.joinkey = a.joinkey"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, Figure1PairIsEquivalent) {
+  // The paper's running example: syntactically dissimilar, semantically
+  // equal (A.val > 20 is implied by the other two conjuncts).
+  EXPECT_EQ(
+      Check("SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey AND "
+            "a.val > b.val + 10 AND b.val > 10",
+            "SELECT a.x, b.y FROM b, a WHERE b.joinkey = a.joinkey AND "
+            "b.val + 10 < a.val AND b.val + 10 > 20 AND a.val > 20"),
+      EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, Figure1WeakenedVariantIsNot) {
+  // Replacing b.val > 10 with b.val > 5 changes the semantics.
+  EXPECT_EQ(
+      Check("SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey AND "
+            "a.val > b.val + 10 AND b.val > 5",
+            "SELECT a.x, b.y FROM b, a WHERE b.joinkey = a.joinkey AND "
+            "b.val + 10 < a.val AND b.val + 10 > 20 AND a.val > 20"),
+      EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, DifferentProjectionOrderIsNot) {
+  EXPECT_EQ(Check("SELECT a.x, b.y FROM a, b WHERE a.joinkey = b.joinkey",
+                  "SELECT b.y, a.x FROM a, b WHERE a.joinkey = b.joinkey"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, DifferentTablesAreNot) {
+  EXPECT_EQ(Check("SELECT a.val FROM a", "SELECT b.val FROM b"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, DifferentArityIsNot) {
+  EXPECT_EQ(Check("SELECT a.x FROM a", "SELECT a.x, a.val FROM a"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, OutputEqualityThroughJoinPredicate) {
+  // a.joinkey = b.joinkey forces the two projections to coincide.
+  EXPECT_EQ(Check("SELECT a.joinkey FROM a, b WHERE a.joinkey = b.joinkey",
+                  "SELECT b.joinkey FROM a, b WHERE a.joinkey = b.joinkey"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, BothInfeasibleAreEquivalent) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 5 AND a.val < 3",
+                  "SELECT a.x FROM a WHERE a.val > 9 AND a.val < 9"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, InfeasibleVsFeasibleAreNot) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val > 5 AND a.val < 3",
+                  "SELECT a.x FROM a WHERE a.val > 5"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, SelfJoinAliasPermutation) {
+  EXPECT_EQ(Check("SELECT t1.x FROM a t1, a t2 WHERE t1.joinkey = t2.joinkey "
+                  "AND t1.val > 3",
+                  "SELECT t2.x FROM a t1, a t2 WHERE t2.joinkey = t1.joinkey "
+                  "AND t2.val > 3"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+TEST_F(VerifierTest, SelfJoinAsymmetricPredicatesAreNot) {
+  EXPECT_EQ(Check("SELECT t1.x FROM a t1, a t2 WHERE t1.joinkey = t2.joinkey "
+                  "AND t1.val > 3",
+                  "SELECT t1.x FROM a t1, a t2 WHERE t1.joinkey = t2.joinkey "
+                  "AND t2.val > 3 AND t1.val < 0"),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, OuterJoinIsUnknownUnlessIdentical) {
+  const PlanPtr left_join = MustParse(
+      "SELECT a.x FROM a LEFT JOIN b ON a.joinkey = b.joinkey", catalog_);
+  const PlanPtr left_join_same = MustParse(
+      "SELECT a.x FROM a LEFT JOIN b ON a.joinkey = b.joinkey", catalog_);
+  const PlanPtr inner = MustParse(
+      "SELECT a.x FROM a JOIN b ON a.joinkey = b.joinkey", catalog_);
+  EXPECT_EQ(verifier_.CheckEquivalence(left_join, left_join_same),
+            EquivalenceVerdict::kEquivalent);
+  EXPECT_EQ(verifier_.CheckEquivalence(left_join, inner),
+            EquivalenceVerdict::kUnknown);
+}
+
+TEST_F(VerifierTest, NonLinearPredicateIsUnknown) {
+  EXPECT_EQ(Check("SELECT a.x FROM a WHERE a.val * 2 > 6",
+                  "SELECT a.x FROM a WHERE a.val > 3"),
+            EquivalenceVerdict::kUnknown);
+}
+
+TEST_F(VerifierTest, StatsTrackWork) {
+  verifier_.ResetStats();
+  Check("SELECT a.x FROM a WHERE a.val > 3",
+        "SELECT a.x FROM a WHERE 3 < a.val");
+  EXPECT_EQ(verifier_.stats().pairs_checked, 1u);
+  EXPECT_GT(verifier_.stats().solver_calls, 0u);
+  EXPECT_GE(verifier_.stats().bijections_tried, 1u);
+}
+
+TEST_F(VerifierTest, ContainmentStrongerIsContained) {
+  const PlanPtr strong =
+      MustParse("SELECT a.x FROM a WHERE a.val > 10", catalog_);
+  const PlanPtr weak = MustParse("SELECT a.x FROM a WHERE a.val > 3", catalog_);
+  EXPECT_EQ(verifier_.CheckContainment(strong, weak),
+            EquivalenceVerdict::kEquivalent);  // strong ⊆ weak
+  EXPECT_EQ(verifier_.CheckContainment(weak, strong),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(VerifierTest, StringPredicates) {
+  Catalog catalog;
+  GEQO_CHECK_OK(catalog.AddTable(
+      TableDef("t", {ColumnDef{"name", ValueType::kString},
+                     ColumnDef{"v", ValueType::kInt}})));
+  SpesVerifier verifier(&catalog);
+  const auto check = [&](std::string_view sa, std::string_view sb) {
+    return verifier.CheckEquivalence(MustParse(sa, catalog),
+                                     MustParse(sb, catalog));
+  };
+  EXPECT_EQ(check("SELECT t.v FROM t WHERE t.name = 'x'",
+                  "SELECT t.v FROM t WHERE 'x' = t.name"),
+            EquivalenceVerdict::kEquivalent);
+  EXPECT_EQ(check("SELECT t.v FROM t WHERE t.name = 'x'",
+                  "SELECT t.v FROM t WHERE t.name = 'y'"),
+            EquivalenceVerdict::kNotEquivalent);
+  // name = 'x' and name = 'y' simultaneously is infeasible.
+  EXPECT_EQ(check("SELECT t.v FROM t WHERE t.name = 'x' AND t.name = 'y'",
+                  "SELECT t.v FROM t WHERE t.v > 1 AND t.v < 1"),
+            EquivalenceVerdict::kEquivalent);
+}
+
+}  // namespace
+}  // namespace geqo
