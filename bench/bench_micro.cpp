@@ -7,18 +7,27 @@
 ///   - HNSW insertion and radius search (§2.2.1);
 ///   - DPLL(T) satisfiability queries (the verifier's inner loop);
 ///   - a full verifier pair check;
-///   - the EMF forward pass.
+///   - the EMF forward pass;
+///   - the blocked MatMul kernel across sizes;
+///   - thread-scaling of batched EMF scoring and the end-to-end pipeline
+///     (the tentpole speedup: run with --benchmark_filter=Threads and
+///     compare the per-Arg wall times).
 
 #include <benchmark/benchmark.h>
 
 #include "ann/hnsw.h"
+#include "common/thread_pool.h"
 #include "encode/agnostic.h"
+#include "filters/emf_filter.h"
 #include "ml/emf_model.h"
 #include "parser/parser.h"
 #include "pipeline/baselines.h"
+#include "pipeline/geqo.h"
 #include "smt/solver.h"
+#include "tensor/tensor.h"
 #include "verify/verifier.h"
 #include "workload/generator.h"
+#include "workload/labeled_data.h"
 #include "workload/rewrite.h"
 #include "workload/schemas.h"
 
@@ -177,6 +186,120 @@ void BM_EmfForwardPair(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_EmfForwardPair);
+
+void BM_MatMul(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(11);
+  const Tensor a = Tensor::Randn(n, n, 1.0f, &rng);
+  const Tensor b = Tensor::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMul(a, b);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_MatMulTransposeB(benchmark::State& state) {
+  // The Linear-forward shape (x · Wᵀ): the row-row dot-product path.
+  const auto n = static_cast<size_t>(state.range(0));
+  Rng rng(12);
+  const Tensor a = Tensor::Randn(n, n, 1.0f, &rng);
+  const Tensor b = Tensor::Randn(n, n, 1.0f, &rng);
+  for (auto _ : state) {
+    Tensor c = ops::MatMul(a, b, false, true);
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMulTransposeB)->Arg(64)->Arg(128)->Arg(256);
+
+/// Workload fixture for the thread-scaling benches: >= 200 encoded plans
+/// with planted equivalences and an (untrained) model of deployed size.
+struct ScalingFixture {
+  Catalog catalog = MakeTpchCatalog();
+  EncodingLayout instance_layout = EncodingLayout::FromCatalog(catalog);
+  EncodingLayout agnostic_layout = EncodingLayout::Agnostic(6, 8);
+  std::unique_ptr<ml::EmfModel> model;
+  std::vector<PlanPtr> workload;
+  std::vector<EncodedPlan> encoded;
+  std::vector<std::pair<size_t, size_t>> pairs;
+
+  ScalingFixture() {
+    ml::EmfModelOptions options;
+    options.input_dim = agnostic_layout.node_vector_size();
+    options.conv1_size = 64;
+    options.conv2_size = 64;
+    options.fc1_size = 64;
+    options.fc2_size = 32;
+    model = std::make_unique<ml::EmfModel>(options);
+
+    Rng rng(0x9e3779);
+    QueryGenerator generator(&catalog, GeneratorOptions());
+    Rewriter rewriter(&catalog);
+    for (size_t i = 0; i < 180; ++i) {
+      workload.push_back(generator.Generate(&rng));
+    }
+    for (size_t i = 0; i < 40; ++i) {
+      workload.push_back(*rewriter.RewriteOnce(workload[i], &rng));
+    }
+    encoded = *EncodeWorkload(workload, instance_layout, catalog,
+                              ValueRange{0, 100});
+    // A fixed scoring load for the EMF bench: every planted pair plus a
+    // band of random same-schema pairs, ~600 total.
+    for (size_t i = 0; i < 40; ++i) pairs.emplace_back(i, 180 + i);
+    while (pairs.size() < 600) {
+      const size_t i = rng.Uniform(workload.size());
+      const size_t j = rng.Uniform(workload.size());
+      if (i < j) pairs.emplace_back(i, j);
+    }
+  }
+};
+
+ScalingFixture& GetScalingFixture() {
+  static ScalingFixture fixture;
+  return fixture;
+}
+
+void BM_EmfScoresThreads(benchmark::State& state) {
+  ScalingFixture& fixture = GetScalingFixture();
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  EmfFilterOptions options;
+  options.batch_size = 64;  // 600 pairs -> ~10 shards
+  const EquivalenceModelFilter emf(fixture.model.get(),
+                                   &fixture.instance_layout,
+                                   &fixture.agnostic_layout, options);
+  for (auto _ : state) {
+    auto scores = emf.Scores(fixture.pairs, fixture.encoded);
+    benchmark::DoNotOptimize(scores);
+  }
+  state.SetItemsProcessed(state.iterations() * fixture.pairs.size());
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_EmfScoresThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_PipelineDetectThreads(benchmark::State& state) {
+  // End-to-end DetectEquivalences over the 220-plan workload. Generous VMF
+  // radius and a zero EMF threshold keep the funnel wide so encoding, VMF,
+  // EMF, and verification all carry real load.
+  ScalingFixture& fixture = GetScalingFixture();
+  ThreadPool::SetGlobalThreads(static_cast<size_t>(state.range(0)));
+  GeqoOptions options;
+  options.vmf.radius = 6.0f;
+  options.emf.threshold = 0.0f;
+  GeqoPipeline pipeline(&fixture.catalog, fixture.model.get(),
+                        &fixture.instance_layout, &fixture.agnostic_layout,
+                        options);
+  for (auto _ : state) {
+    auto result =
+        pipeline.DetectEquivalences(fixture.workload, ValueRange{0, 100});
+    benchmark::DoNotOptimize(result);
+  }
+  ThreadPool::SetGlobalThreads(1);
+}
+BENCHMARK(BM_PipelineDetectThreads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_PlanSignatureHash(benchmark::State& state) {
   Fixture& fixture = GetFixture();

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Full correctness gate: plain build + ctest, then a ThreadSanitizer build
+# + ctest to catch data races in the parallel pipeline (thread pool, shared
+# inference, per-worker verifiers).
+#
+# Usage: scripts/check.sh [ctest-args...]
+#   GEQO_CHECK_JOBS=N       parallel build/test jobs (default: nproc)
+#   GEQO_CHECK_SKIP_TSAN=1  run only the plain build + tests
+#   GEQO_CHECK_TSAN_FILTER  ctest -R filter for the TSan pass (default: all;
+#                           TSan runs ~5-20x slower, so narrowing to e.g.
+#                           'thread_pool|pipeline|tensor' keeps CI fast)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="${GEQO_CHECK_JOBS:-$(nproc)}"
+
+echo "== plain build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$jobs"
+echo "== plain ctest =="
+ctest --test-dir build --output-on-failure -j "$jobs" "$@"
+
+if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
+  echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="
+  exit 0
+fi
+
+echo "== TSan build =="
+cmake -B build-tsan -S . -DGEQO_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$jobs"
+echo "== TSan ctest =="
+# Threads > cores still interleaves enough for TSan to see races; force a
+# multi-threaded pool even on small CI machines.
+tsan_filter=(${GEQO_CHECK_TSAN_FILTER:+-R "$GEQO_CHECK_TSAN_FILTER"})
+GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+  "${tsan_filter[@]}" "$@"
+
+echo "== all checks passed =="

@@ -1,0 +1,164 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <exception>
+
+namespace geqo {
+namespace {
+
+/// True while this thread is executing inside a parallel region; nested
+/// ParallelFor calls then run inline (no recursive fan-out).
+thread_local bool t_in_parallel_region = false;
+
+size_t DefaultThreadCount() {
+  if (const char* env = std::getenv("GEQO_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && parsed >= 1) return static_cast<size_t>(parsed);
+  }
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc > 0 ? hc : 1;
+}
+
+std::mutex& GlobalPoolMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::shared_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::shared_ptr<ThreadPool> pool;
+  return pool;
+}
+
+}  // namespace
+
+/// Shared state of one ParallelFor region. Chunks are claimed off `next`;
+/// helper tasks hold the state alive via shared_ptr, and the caller does not
+/// return (so `fn` does not go out of scope) until `pending` reaches zero.
+struct ThreadPool::ForState {
+  std::atomic<size_t> next{0};
+  size_t end = 0;
+  size_t grain = 1;
+  const WorkerFn* fn = nullptr;
+  std::atomic<size_t> worker_ids{0};
+  std::atomic<size_t> pending{0};
+  std::mutex mu;
+  std::condition_variable done_cv;
+  std::mutex error_mu;
+  std::exception_ptr error;
+};
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  const size_t spawned = num_threads > 0 ? num_threads - 1 : 0;
+  workers_.reserve(spawned);
+  for (size_t i = 0; i < spawned; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  // Everything a worker runs is a region drain: nested regions stay inline.
+  t_in_parallel_region = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::Drain(ForState* state) {
+  const size_t worker = state->worker_ids.fetch_add(1);
+  for (;;) {
+    const size_t chunk_begin = state->next.fetch_add(state->grain);
+    if (chunk_begin >= state->end) return;
+    const size_t chunk_end = std::min(chunk_begin + state->grain, state->end);
+    try {
+      for (size_t i = chunk_begin; i < chunk_end; ++i) (*state->fn)(worker, i);
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(state->error_mu);
+        if (!state->error) state->error = std::current_exception();
+      }
+      // Abandon remaining chunks; in-flight ones finish their iteration.
+      state->next.store(state->end);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
+                             size_t grain) {
+  if (begin >= end) return;
+  const size_t count = end - begin;
+  if (t_in_parallel_region || workers_.empty() || count == 1) {
+    for (size_t i = begin; i < end; ++i) fn(0, i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->next.store(begin);
+  state->end = end;
+  state->grain =
+      grain > 0 ? grain : std::max<size_t>(1, count / (4 * num_threads()));
+  state->fn = &fn;
+
+  const size_t helpers = std::min(workers_.size(), count - 1);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (size_t t = 0; t < helpers; ++t) {
+      state->pending.fetch_add(1, std::memory_order_relaxed);
+      queue_.emplace_back([state] {
+        Drain(state.get());
+        if (state->pending.fetch_sub(1) == 1) {
+          std::lock_guard<std::mutex> state_lock(state->mu);
+          state->done_cv.notify_all();
+        }
+      });
+    }
+  }
+  cv_.notify_all();
+
+  t_in_parallel_region = true;
+  Drain(state.get());
+  t_in_parallel_region = false;
+
+  {
+    std::unique_lock<std::mutex> lock(state->mu);
+    state->done_cv.wait(lock, [&] { return state->pending.load() == 0; });
+  }
+  if (state->error) std::rethrow_exception(state->error);
+}
+
+std::shared_ptr<ThreadPool> ThreadPool::GlobalPool() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  std::shared_ptr<ThreadPool>& pool = GlobalPoolSlot();
+  if (!pool) pool = std::make_shared<ThreadPool>(DefaultThreadCount());
+  return pool;
+}
+
+void ThreadPool::SetGlobalThreads(size_t num_threads) {
+  auto fresh = std::make_shared<ThreadPool>(std::max<size_t>(1, num_threads));
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  GlobalPoolSlot().swap(fresh);
+  // `fresh` now holds the old pool; it is destroyed here unless an in-flight
+  // region still shares ownership.
+}
+
+size_t ThreadPool::GlobalThreads() { return GlobalPool()->num_threads(); }
+
+}  // namespace geqo

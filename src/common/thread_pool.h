@@ -1,0 +1,113 @@
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+/// \file thread_pool.h
+/// A persistent worker pool plus ParallelFor/ParallelMap helpers used by the
+/// hot paths of the filter cascade (encoding, VMF candidate generation, EMF
+/// batch scoring, verification). See DESIGN.md "Concurrency model" for the
+/// thread-safety contract each parallel section relies on.
+///
+/// Scheduling: a parallel region carves [begin, end) into chunks claimed off
+/// a shared atomic cursor, so fast workers steal leftover chunks from slow
+/// ones (dynamic load balancing without per-thread deques). The calling
+/// thread participates, so a pool of size N runs regions on N-1 spawned
+/// workers plus the caller. Nested ParallelFor calls run inline on their
+/// worker — there is no recursive fan-out, hence no deadlock.
+///
+/// The global pool's size defaults to std::thread::hardware_concurrency()
+/// and can be overridden with the GEQO_THREADS environment variable or
+/// programmatically with ThreadPool::SetGlobalThreads (benches/tests).
+
+namespace geqo {
+
+/// \brief A fixed-size pool of persistent worker threads.
+class ThreadPool {
+ public:
+  /// Creates a pool where parallel regions run on \p num_threads threads
+  /// (num_threads - 1 spawned workers plus the calling thread). A size of 1
+  /// runs everything inline on the caller.
+  explicit ThreadPool(size_t num_threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Threads participating in a parallel region (spawned workers + caller).
+  size_t num_threads() const { return workers_.size() + 1; }
+
+  /// \brief fn(worker, index): \p worker is a dense id < num_threads(),
+  /// stable for the duration of one ParallelFor call — use it to index
+  /// per-worker scratch state (e.g. per-thread SpesVerifier instances).
+  using WorkerFn = std::function<void(size_t worker, size_t index)>;
+
+  /// Runs fn(worker, i) for every i in [begin, end); blocks until all
+  /// iterations finish. The first exception thrown by \p fn is rethrown on
+  /// the calling thread (remaining chunks are abandoned). \p grain is the
+  /// chunk size claimed per cursor bump (0 = auto). Safe to call from inside
+  /// a running region: nested calls execute inline, serially.
+  void ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
+                   size_t grain = 0);
+
+  /// The process-wide pool (created on first use; sized from GEQO_THREADS
+  /// or hardware concurrency). Returned as shared_ptr so a concurrent
+  /// SetGlobalThreads cannot destroy a pool mid-region.
+  static std::shared_ptr<ThreadPool> GlobalPool();
+  /// Replaces the global pool with one of \p num_threads threads (clamped to
+  /// >= 1). In-flight regions keep their old pool alive until they finish.
+  static void SetGlobalThreads(size_t num_threads);
+  /// Size of the global pool.
+  static size_t GlobalThreads();
+
+ private:
+  struct ForState;
+  void WorkerLoop();
+  /// Claims chunks off \p state until the range is exhausted.
+  static void Drain(ForState* state);
+
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) on the global pool.
+template <typename Fn>
+void ParallelFor(size_t begin, size_t end, Fn&& fn, size_t grain = 0) {
+  static_assert(std::is_invocable_v<Fn&, size_t>,
+                "ParallelFor callback must accept an index");
+  ThreadPool::GlobalPool()->ParallelFor(
+      begin, end, [&fn](size_t, size_t i) { fn(i); }, grain);
+}
+
+/// Runs fn(worker, i) for i in [begin, end) on the global pool; \p worker is
+/// a dense per-region thread id for indexing per-worker state.
+template <typename Fn>
+void ParallelForWithWorker(size_t begin, size_t end, Fn&& fn,
+                           size_t grain = 0) {
+  static_assert(std::is_invocable_v<Fn&, size_t, size_t>,
+                "ParallelForWithWorker callback must accept (worker, index)");
+  ThreadPool::GlobalPool()->ParallelFor(
+      begin, end, [&fn](size_t worker, size_t i) { fn(worker, i); }, grain);
+}
+
+/// out[i] = fn(i) for i in [0, n), computed in parallel. The element type
+/// must be default-constructible (slots are filled in place).
+template <typename Fn>
+auto ParallelMap(size_t n, Fn&& fn) {
+  using T = std::decay_t<std::invoke_result_t<Fn&, size_t>>;
+  std::vector<T> out(n);
+  ParallelFor(0, n, [&](size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace geqo

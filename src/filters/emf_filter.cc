@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/thread_pool.h"
 #include "ml/trainer.h"
 
 namespace geqo {
@@ -9,34 +10,53 @@ namespace geqo {
 Result<std::vector<float>> EquivalenceModelFilter::Scores(
     const std::vector<std::pair<size_t, size_t>>& pairs,
     const std::vector<EncodedPlan>& instance_encoded) const {
-  std::vector<float> scores;
-  scores.reserve(pairs.size());
-  std::vector<EncodedPlan> lhs_converted;
-  std::vector<EncodedPlan> rhs_converted;
+  if (pairs.empty()) return std::vector<float>();
+  const size_t batch_size = std::max<size_t>(1, options_.batch_size);
+  const size_t num_batches = (pairs.size() + batch_size - 1) / batch_size;
+  std::vector<float> scores(pairs.size());
+  std::vector<Status> batch_status(num_batches);
 
-  for (size_t begin = 0; begin < pairs.size(); begin += options_.batch_size) {
-    const size_t end = std::min(begin + options_.batch_size, pairs.size());
-    lhs_converted.clear();
-    rhs_converted.clear();
+  // Batches are sharded across workers; inference uses running batch-norm
+  // statistics and no dropout, so each pair's score is independent of batch
+  // composition and thread count. Model inference is re-entrant (EmfModel
+  // class comment), and each shard writes a disjoint slice of `scores`.
+  ParallelFor(0, num_batches, [&](size_t batch_index) {
+    const size_t begin = batch_index * batch_size;
+    const size_t end = std::min(begin + batch_size, pairs.size());
+    std::vector<EncodedPlan> lhs_converted;
+    std::vector<EncodedPlan> rhs_converted;
+    lhs_converted.reserve(end - begin);
+    rhs_converted.reserve(end - begin);
     for (size_t p = begin; p < end; ++p) {
       const EncodedPlan& a = instance_encoded[pairs[p].first];
       const EncodedPlan& b = instance_encoded[pairs[p].second];
       // Pairwise fast conversion (§4.2.1): masks over the two members only.
-      GEQO_ASSIGN_OR_RETURN(
-          AgnosticConverter converter,
-          AgnosticConverter::Create(instance_layout_, agnostic_layout_,
-                                    {&a, &b}));
-      lhs_converted.push_back(converter.Convert(a));
-      rhs_converted.push_back(converter.Convert(b));
+      const Result<AgnosticConverter> converter = AgnosticConverter::Create(
+          instance_layout_, agnostic_layout_, {&a, &b});
+      if (!converter.ok()) {
+        batch_status[batch_index] = converter.status();
+        return;
+      }
+      lhs_converted.push_back(converter->Convert(a));
+      rhs_converted.push_back(converter->Convert(b));
     }
     std::vector<const EncodedPlan*> lhs_views;
     std::vector<const EncodedPlan*> rhs_views;
+    lhs_views.reserve(lhs_converted.size());
+    rhs_views.reserve(rhs_converted.size());
     for (size_t i = 0; i < lhs_converted.size(); ++i) {
       lhs_views.push_back(&lhs_converted[i]);
       rhs_views.push_back(&rhs_converted[i]);
     }
     const Tensor probs = model_->PredictProba(lhs_views, rhs_views);
-    for (size_t i = 0; i < probs.rows(); ++i) scores.push_back(probs.At(i, 0));
+    for (size_t i = 0; i < probs.rows(); ++i) {
+      scores[begin + i] = probs.At(i, 0);
+    }
+  });
+
+  // Deterministic error selection: first failing batch in pair order.
+  for (const Status& status : batch_status) {
+    if (!status.ok()) return status;
   }
   return scores;
 }

@@ -33,6 +33,16 @@ Tensor EmfModel::ForwardTrunk(const nn::TreeBatch& batch, bool training) {
   return pool_.Forward(t);
 }
 
+Tensor EmfModel::InferTrunk(const nn::TreeBatch& batch) const {
+  nn::TreeBatch t = conv1_.Infer(batch);
+  t.nodes = bn1_.Infer(t.nodes);
+  t.nodes = act1_.Infer(t.nodes);
+  t = conv2_.Infer(t);
+  t.nodes = bn2_.Infer(t.nodes);
+  t.nodes = act2_.Infer(t.nodes);
+  return nn::DynamicMaxPool::Infer(t);
+}
+
 void EmfModel::BackwardTrunk(const Tensor& pooled_grad) {
   nn::TreeBatch grad = pool_.Backward(pooled_grad);
   grad.nodes = act2_.Backward(grad.nodes);
@@ -122,15 +132,49 @@ float EmfModel::TrainStep(const std::vector<const EncodedPlan*>& lhs,
   return loss;
 }
 
-Tensor EmfModel::PredictProba(const std::vector<const EncodedPlan*>& lhs,
-                              const std::vector<const EncodedPlan*>& rhs) {
-  return nn::Sigmoid(Forward(lhs, rhs, /*training=*/false));
+Tensor EmfModel::InferLogits(const std::vector<const EncodedPlan*>& lhs,
+                             const std::vector<const EncodedPlan*>& rhs) const {
+  GEQO_CHECK(lhs.size() == rhs.size() && !lhs.empty());
+  const size_t n = lhs.size();
+
+  // Same combined-batch layout as Forward so results match it bit for bit;
+  // no caches are written, keeping this path re-entrant.
+  std::vector<const EncodedPlan*> combined;
+  combined.reserve(2 * n);
+  combined.insert(combined.end(), lhs.begin(), lhs.end());
+  combined.insert(combined.end(), rhs.begin(), rhs.end());
+  const nn::TreeBatch batch = BuildTreeBatch(combined);
+
+  const Tensor pooled = InferTrunk(batch);  // [2n, h]
+  const Tensor lhs_embedding = pooled.Slice(0, n);
+  const Tensor rhs_embedding = pooled.Slice(n, 2 * n);
+  const size_t h = options_.conv2_size;
+  Tensor abs_diff(n, h);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t c = 0; c < h; ++c) {
+      abs_diff.At(i, c) =
+          std::fabs(lhs_embedding.At(i, c) - rhs_embedding.At(i, c));
+    }
+  }
+  const Tensor concat = ops::ConcatColumns(
+      ops::ConcatColumns(lhs_embedding, rhs_embedding), abs_diff);
+
+  Tensor x = fc1_.Infer(concat);
+  x = act3_.Infer(x);
+  x = fc2_.Infer(x);  // dropout is the identity at inference
+  x = act4_.Infer(x);
+  return fc3_.Infer(x);
 }
 
-Tensor EmfModel::Embed(const std::vector<const EncodedPlan*>& plans) {
+Tensor EmfModel::PredictProba(const std::vector<const EncodedPlan*>& lhs,
+                              const std::vector<const EncodedPlan*>& rhs) const {
+  return nn::Sigmoid(InferLogits(lhs, rhs));
+}
+
+Tensor EmfModel::Embed(const std::vector<const EncodedPlan*>& plans) const {
   GEQO_CHECK(!plans.empty());
   const nn::TreeBatch batch = BuildTreeBatch(plans);
-  return ForwardTrunk(batch, /*training=*/false);
+  return InferTrunk(batch);
 }
 
 std::vector<nn::ParamRef> EmfModel::Params() {

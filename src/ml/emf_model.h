@@ -34,12 +34,19 @@ struct EmfModelOptions {
 
 /// \brief The EMF network. Forward/backward over batches of encoded plan
 /// pairs; both plans of a pair share the convolution weights (siamese).
+///
+/// Thread-safety: the const inference entry points (PredictProba, Embed,
+/// InferLogits) run through the layers' cache-free Infer paths and may be
+/// called concurrently from many threads on one model instance, provided no
+/// thread calls Forward/TrainStep at the same time (training mutates weights
+/// and layer caches). The parallel EMF/VMF stages rely on this contract.
 class EmfModel {
  public:
   explicit EmfModel(EmfModelOptions options);
 
   /// Logits for each pair, shape [batch, 1]. \p lhs and \p rhs must have
-  /// equal length; element i of each forms pair i.
+  /// equal length; element i of each forms pair i. Caches activations for
+  /// TrainStep's backward pass — training-side API, not re-entrant.
   Tensor Forward(const std::vector<const EncodedPlan*>& lhs,
                  const std::vector<const EncodedPlan*>& rhs, bool training);
 
@@ -49,13 +56,20 @@ class EmfModel {
                   const std::vector<const EncodedPlan*>& rhs,
                   const Tensor& labels, nn::Adam* optimizer);
 
+  /// Inference logits, shape [batch, 1]. Bit-identical to
+  /// Forward(lhs, rhs, /*training=*/false) but cache-free and re-entrant.
+  Tensor InferLogits(const std::vector<const EncodedPlan*>& lhs,
+                     const std::vector<const EncodedPlan*>& rhs) const;
+
   /// Equivalence probabilities (sigmoid of logits), shape [batch, 1].
+  /// Re-entrant (see class comment).
   Tensor PredictProba(const std::vector<const EncodedPlan*>& lhs,
-                      const std::vector<const EncodedPlan*>& rhs);
+                      const std::vector<const EncodedPlan*>& rhs) const;
 
   /// The VMF embedding: pooled tree-convolution features, [n, h] (§2.2,
-  /// §4.2.2). Runs the convolutional trunk in inference mode.
-  Tensor Embed(const std::vector<const EncodedPlan*>& plans);
+  /// §4.2.2). Runs the convolutional trunk in inference mode. Re-entrant
+  /// (see class comment).
+  Tensor Embed(const std::vector<const EncodedPlan*>& plans) const;
 
   /// Embedding dimension h.
   size_t embedding_dim() const { return options_.conv2_size; }
@@ -73,6 +87,8 @@ class EmfModel {
  private:
   /// Runs the convolutional trunk; returns pooled [n, h] features.
   Tensor ForwardTrunk(const nn::TreeBatch& batch, bool training);
+  /// Cache-free inference trunk (running batch-norm statistics, no dropout).
+  Tensor InferTrunk(const nn::TreeBatch& batch) const;
   /// Backpropagates through the trunk given pooled-feature gradients.
   void BackwardTrunk(const Tensor& pooled_grad);
 

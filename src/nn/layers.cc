@@ -23,6 +23,16 @@ Tensor Linear::Forward(const Tensor& x) {
   return y;
 }
 
+Tensor Linear::Infer(const Tensor& x) const {
+  GEQO_CHECK(x.cols() == weight_.cols())
+      << "Linear input " << x.ShapeString() << " vs weight "
+      << weight_.ShapeString();
+  Tensor y = ops::MatMul(x, weight_, /*transpose_a=*/false,
+                         /*transpose_b=*/true);
+  ops::AddRowVectorInPlace(&y, bias_);
+  return y;
+}
+
 Tensor Linear::Backward(const Tensor& dy) {
   // dW += dy^T x ; db += colsum(dy) ; dx = dy W.
   ops::AddInPlace(&weight_grad_,
@@ -45,6 +55,18 @@ PReLU::PReLU(size_t channels, float initial_slope)
 Tensor PReLU::Forward(const Tensor& x) {
   GEQO_CHECK(x.cols() == slope_.cols());
   cached_input_ = x;
+  Tensor y = x;
+  for (size_t r = 0; r < y.rows(); ++r) {
+    float* row = y.Row(r);
+    for (size_t c = 0; c < y.cols(); ++c) {
+      if (row[c] < 0.0f) row[c] *= slope_.At(0, c);
+    }
+  }
+  return y;
+}
+
+Tensor PReLU::Infer(const Tensor& x) const {
+  GEQO_CHECK(x.cols() == slope_.cols());
   Tensor y = x;
   for (size_t r = 0; r < y.rows(); ++r) {
     float* row = y.Row(r);
@@ -131,6 +153,29 @@ Tensor BatchNorm1d::Forward(const Tensor& x, bool training) {
           (row[c] - mean.At(0, c)) * cached_inv_std_.At(0, c);
       cached_normalized_.At(r, c) = normalized;
       y.At(r, c) = gamma_.At(0, c) * normalized + beta_.At(0, c);
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm1d::Infer(const Tensor& x) const {
+  GEQO_CHECK(x.cols() == gamma_.cols());
+  const size_t n = x.rows();
+  const size_t c_count = x.cols();
+  // Same arithmetic as Forward's inference branch (running statistics,
+  // 1/sqrt(var + eps)) so outputs are bit-identical to it.
+  Tensor inv_std(1, c_count);
+  for (size_t c = 0; c < c_count; ++c) {
+    inv_std.At(0, c) = 1.0f / std::sqrt(running_var_.At(0, c) + epsilon_);
+  }
+  Tensor y(n, c_count);
+  for (size_t r = 0; r < n; ++r) {
+    const float* row = x.Row(r);
+    float* y_row = y.Row(r);
+    for (size_t c = 0; c < c_count; ++c) {
+      const float normalized =
+          (row[c] - running_mean_.At(0, c)) * inv_std.At(0, c);
+      y_row[c] = gamma_.At(0, c) * normalized + beta_.At(0, c);
     }
   }
   return y;

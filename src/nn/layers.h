@@ -11,6 +11,13 @@
 /// Each layer caches its forward inputs and implements reverse-mode
 /// backpropagation; gradients accumulate into per-parameter grad tensors
 /// consumed by the Adam optimizer.
+///
+/// Every layer also exposes a const `Infer` path that computes the same
+/// inference-mode output as `Forward(..., training=false)` without touching
+/// the backward caches. Infer is safe to call concurrently from many threads
+/// on one layer instance as long as no thread trains it — the thread-safety
+/// contract the parallel filter cascade relies on (DESIGN.md, "Concurrency
+/// model").
 
 namespace geqo::nn {
 
@@ -30,6 +37,8 @@ class Linear {
   Linear(size_t in_features, size_t out_features, Rng* rng);
 
   Tensor Forward(const Tensor& x);
+  /// Forward pass without caching: re-entrant, usable concurrently.
+  Tensor Infer(const Tensor& x) const;
   Tensor Backward(const Tensor& dy);
   void CollectParams(const std::string& prefix, std::vector<ParamRef>* out);
 
@@ -52,6 +61,8 @@ class PReLU {
   explicit PReLU(size_t channels, float initial_slope = 0.25f);
 
   Tensor Forward(const Tensor& x);
+  /// Forward pass without caching: re-entrant, usable concurrently.
+  Tensor Infer(const Tensor& x) const;
   Tensor Backward(const Tensor& dy);
   void CollectParams(const std::string& prefix, std::vector<ParamRef>* out);
 
@@ -69,6 +80,10 @@ class BatchNorm1d {
                        float epsilon = 1e-5f);
 
   Tensor Forward(const Tensor& x, bool training);
+  /// Inference-mode forward (running statistics) without caching:
+  /// re-entrant, usable concurrently. Bit-identical to
+  /// Forward(x, /*training=*/false).
+  Tensor Infer(const Tensor& x) const;
   Tensor Backward(const Tensor& dy);
   void CollectParams(const std::string& prefix, std::vector<ParamRef>* out);
 

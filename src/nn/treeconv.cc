@@ -76,6 +76,27 @@ TreeBatch TreeConv::Forward(const TreeBatch& input) {
   return out;
 }
 
+TreeBatch TreeConv::Infer(const TreeBatch& input) const {
+  GEQO_CHECK(input.feature_dim() == self_weight_.cols())
+      << "TreeConv input dim " << input.feature_dim() << " vs weight "
+      << self_weight_.ShapeString();
+
+  const Tensor left_gathered = GatherChildren(input.nodes, input.left);
+  const Tensor right_gathered = GatherChildren(input.nodes, input.right);
+
+  Tensor y = ops::MatMul(input.nodes, self_weight_, false, true);
+  ops::AddInPlace(&y, ops::MatMul(left_gathered, left_weight_, false, true));
+  ops::AddInPlace(&y, ops::MatMul(right_gathered, right_weight_, false, true));
+  ops::AddRowVectorInPlace(&y, bias_);
+
+  TreeBatch out;
+  out.nodes = std::move(y);
+  out.left = input.left;
+  out.right = input.right;
+  out.spans = input.spans;
+  return out;
+}
+
 TreeBatch TreeConv::Backward(const TreeBatch& dy) {
   const Tensor& x = cached_input_.nodes;
   const Tensor left_gathered = GatherChildren(x, cached_input_.left);
@@ -134,6 +155,26 @@ Tensor DynamicMaxPool::Forward(const TreeBatch& input) {
   }
   cached_structure_ = input;
   cached_structure_.nodes = Tensor(input.total_nodes(), dim);  // shape only
+  return out;
+}
+
+Tensor DynamicMaxPool::Infer(const TreeBatch& input) {
+  const size_t dim = input.feature_dim();
+  Tensor out(input.num_trees(), dim);
+  for (size_t t = 0; t < input.num_trees(); ++t) {
+    const auto [offset, count] = input.spans[t];
+    GEQO_CHECK(count > 0) << "empty tree in pool";
+    float* out_row = out.Row(t);
+    for (size_t c = 0; c < dim; ++c) {
+      out_row[c] = -std::numeric_limits<float>::infinity();
+    }
+    for (size_t i = offset; i < offset + count; ++i) {
+      const float* row = input.nodes.Row(i);
+      for (size_t c = 0; c < dim; ++c) {
+        if (row[c] > out_row[c]) out_row[c] = row[c];
+      }
+    }
+  }
   return out;
 }
 

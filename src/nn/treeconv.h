@@ -47,6 +47,10 @@ class TreeConv {
   /// Produces a TreeBatch with identical structure and convolved features.
   TreeBatch Forward(const TreeBatch& input);
 
+  /// Forward pass without caching: re-entrant, usable concurrently while no
+  /// thread trains the layer.
+  TreeBatch Infer(const TreeBatch& input) const;
+
   /// \p dy carries gradients w.r.t. this layer's output node features and
   /// must share the cached structure; returns gradients w.r.t. the input.
   TreeBatch Backward(const TreeBatch& dy);
@@ -81,6 +85,9 @@ class DynamicMaxPool {
  public:
   /// Returns [num_trees, dim]; caches argmax indices for backward.
   Tensor Forward(const TreeBatch& input);
+
+  /// Pooling without the argmax cache: re-entrant, usable concurrently.
+  static Tensor Infer(const TreeBatch& input);
 
   /// Scatters [num_trees, dim] gradients back to the winning nodes.
   TreeBatch Backward(const Tensor& dy);

@@ -1,6 +1,9 @@
 #include "pipeline/geqo.h"
 
+#include <algorithm>
+
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace geqo {
 
@@ -11,6 +14,7 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   const size_t n = workload.size();
   result.total_pairs = n * (n - 1) / 2;
 
+  // Stage 0: instance encoding, parallel across plans (see EncodeWorkload).
   GEQO_ASSIGN_OR_RETURN(
       std::vector<EncodedPlan> encoded,
       EncodeWorkload(workload, *instance_layout_, *catalog_, value_range));
@@ -29,7 +33,11 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   result.sf_stats.pairs_in = result.total_pairs;
   result.sf_stats.pairs_out = CountIntraGroupPairs(groups);
 
-  // Stage 2: vector matching filter per group (or all intra-group pairs).
+  // Stage 2: vector matching filter, parallel across SF-groups. Groups are
+  // independent (each builds its own HNSW index over its own group encoding;
+  // model embedding is re-entrant), and each group's pair list is computed
+  // deterministically, so only concatenation order could vary — the sort
+  // below removes even that.
   watch.Reset();
   std::vector<std::pair<size_t, size_t>> candidates;
   if (options_.use_vmf) {
@@ -39,11 +47,23 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
     if (!options_.use_sf) vmf_options.truncate_overflow = true;
     const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
                                    vmf_options);
-    for (const SfGroup& group : groups) {
-      GEQO_ASSIGN_OR_RETURN(auto group_pairs,
-                            vmf.CandidatePairs(group.members, encoded));
-      candidates.insert(candidates.end(), group_pairs.begin(),
-                        group_pairs.end());
+    std::vector<std::vector<std::pair<size_t, size_t>>> group_pairs(
+        groups.size());
+    std::vector<Status> group_status(groups.size());
+    ParallelFor(0, groups.size(), [&](size_t g) {
+      Result<std::vector<std::pair<size_t, size_t>>> pairs =
+          vmf.CandidatePairs(groups[g].members, encoded);
+      if (pairs.ok()) {
+        group_pairs[g] = std::move(*pairs);
+      } else {
+        group_status[g] = pairs.status();
+      }
+    });
+    for (const Status& status : group_status) {
+      if (!status.ok()) return status;
+    }
+    for (std::vector<std::pair<size_t, size_t>>& pairs : group_pairs) {
+      candidates.insert(candidates.end(), pairs.begin(), pairs.end());
     }
   } else {
     for (const SfGroup& group : groups) {
@@ -54,11 +74,16 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
       }
     }
   }
+  // Canonical output order: sorted by workload index pair, independent of
+  // grouping, group iteration order, and thread count. Later stages preserve
+  // relative order, so candidates/equivalences stay sorted from here on.
+  std::sort(candidates.begin(), candidates.end());
   result.vmf_stats.seconds = watch.ElapsedSeconds();
   result.vmf_stats.pairs_in = result.sf_stats.pairs_out;
   result.vmf_stats.pairs_out = candidates.size();
 
-  // Stage 3: equivalence model filter.
+  // Stage 3: equivalence model filter (batches sharded across workers inside
+  // EquivalenceModelFilter::Scores).
   watch.Reset();
   if (options_.use_emf && !candidates.empty()) {
     const EquivalenceModelFilter emf(model_, instance_layout_,
@@ -70,14 +95,35 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   result.emf_stats.pairs_out = candidates.size();
   result.candidates = candidates;
 
-  // Stage 4: automated verification of the surviving candidates.
+  // Stage 4: automated verification of the surviving candidates — the
+  // dominant cost (§2.2). Pairs are verified in parallel with one
+  // SpesVerifier per worker (CheckEquivalence mutates internal stats, so
+  // instances cannot be shared); verdicts land in a per-pair slot and the
+  // surviving list is assembled serially in candidate order, keeping output
+  // and accounting identical across thread counts.
   watch.Reset();
-  if (options_.run_verifier) {
-    for (const auto& [i, j] : candidates) {
-      if (verifier_.CheckEquivalence(workload[i], workload[j]) ==
-          EquivalenceVerdict::kEquivalent) {
-        result.equivalences.emplace_back(i, j);
-      }
+  if (options_.run_verifier && !candidates.empty()) {
+    std::vector<uint8_t> verdicts(candidates.size(), 0);
+    const size_t num_workers = ThreadPool::GlobalThreads();
+    std::vector<SpesVerifier> verifiers;
+    verifiers.reserve(num_workers);
+    for (size_t w = 0; w < num_workers; ++w) {
+      verifiers.emplace_back(catalog_, options_.verifier);
+    }
+    ParallelForWithWorker(
+        0, candidates.size(),
+        [&](size_t worker, size_t p) {
+          const auto& [i, j] = candidates[p];
+          verdicts[p] =
+              verifiers[worker].CheckEquivalence(workload[i], workload[j]) ==
+              EquivalenceVerdict::kEquivalent;
+        },
+        /*grain=*/1);  // verification cost is highly skewed: steal per pair
+    for (const SpesVerifier& verifier : verifiers) {
+      verifier_.MergeStats(verifier.stats());
+    }
+    for (size_t p = 0; p < candidates.size(); ++p) {
+      if (verdicts[p]) result.equivalences.push_back(candidates[p]);
     }
   } else {
     result.equivalences = candidates;

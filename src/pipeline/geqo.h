@@ -14,6 +14,13 @@
 /// VMF candidate pairs, EMF classification — with the automated verifier
 /// eliminating false positives last. Filters short-circuit: a pair rejected
 /// by any stage is never seen by later stages.
+///
+/// DetectEquivalences parallelizes every stage but the (cheap) schema filter
+/// across the global ThreadPool: encoding per plan, VMF per SF-group, EMF
+/// per batch shard, and verification per pair with per-thread verifier
+/// instances. Output is deterministic — candidates and equivalences are
+/// sorted by workload index pair and identical at any thread count
+/// (GEQO_THREADS / ThreadPool::SetGlobalThreads).
 
 namespace geqo {
 
@@ -36,7 +43,8 @@ struct StageStats {
   size_t pairs_out = 0;
 };
 
-/// \brief Output of GEqO_SET.
+/// \brief Output of GEqO_SET. Pair lists are sorted ascending by
+/// (first, second) workload index regardless of grouping or thread count.
 struct GeqoResult {
   /// Verified equivalent pairs (workload indices, i < j).
   std::vector<std::pair<size_t, size_t>> equivalences;

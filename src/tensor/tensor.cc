@@ -1,5 +1,6 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace geqo {
@@ -14,9 +15,16 @@ namespace {
 
 void CountKernel(double flops) {
   KernelStats& stats = GetKernelStats();
-  ++stats.dispatches;
-  stats.flops += flops;
+  stats.dispatches.fetch_add(1, std::memory_order_relaxed);
+  stats.AddFlops(flops);
 }
+
+/// Inner-dimension block for the untransposed kernel: a kc x n panel of b is
+/// streamed once per block and reused across all m output rows, instead of
+/// re-reading the whole of b for every row. Summation still visits k in
+/// increasing order per output element, so results are bit-identical to the
+/// unblocked ikj kernel (and independent of the blocking factor).
+constexpr size_t kMatMulKBlock = 64;
 
 }  // namespace
 
@@ -33,30 +41,62 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
               static_cast<double>(k));
 
   if (!transpose_a && !transpose_b) {
-    // ikj loop order: streams through b rows, cache friendly.
-    for (size_t i = 0; i < m; ++i) {
-      float* out_row = out.Row(i);
-      const float* a_row = a.Row(i);
-      for (size_t kk = 0; kk < k; ++kk) {
-        const float a_ik = a_row[kk];
-        if (a_ik == 0.0f) continue;
-        const float* b_row = b.Row(kk);
-        for (size_t j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+    // Blocked ikj: k is tiled so the active panel of b stays cache-resident
+    // across output rows; the j loop is a contiguous axpy the compiler
+    // vectorizes.
+    for (size_t k0 = 0; k0 < k; k0 += kMatMulKBlock) {
+      const size_t k1 = std::min(k0 + kMatMulKBlock, k);
+      for (size_t i = 0; i < m; ++i) {
+        float* out_row = out.Row(i);
+        const float* a_row = a.Row(i);
+        for (size_t kk = k0; kk < k1; ++kk) {
+          const float a_ik = a_row[kk];
+          if (a_ik == 0.0f) continue;
+          const float* b_row = b.Row(kk);
+          for (size_t j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+        }
       }
     }
     return out;
   }
 
-  auto a_at = [&](size_t i, size_t kk) {
-    return transpose_a ? a.At(kk, i) : a.At(i, kk);
-  };
-  auto b_at = [&](size_t kk, size_t j) {
-    return transpose_b ? b.At(j, kk) : b.At(kk, j);
-  };
+  if (!transpose_a && transpose_b) {
+    // C[i,j] = <a_i, b_j>: both operands stream row-wise (the Linear-layer
+    // forward shape x W^T, the hottest kernel in EMF inference).
+    for (size_t i = 0; i < m; ++i) {
+      const float* a_row = a.Row(i);
+      float* out_row = out.Row(i);
+      for (size_t j = 0; j < n; ++j) {
+        const float* b_row = b.Row(j);
+        float acc = 0.0f;
+        for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
+        out_row[j] = acc;
+      }
+    }
+    return out;
+  }
+
+  if (transpose_a && !transpose_b) {
+    // C = A^T B via rank-1 updates: row kk of a and of b are contiguous, so
+    // the kk-outer order replaces strided column walks with streamed rows.
+    for (size_t kk = 0; kk < k; ++kk) {
+      const float* a_row = a.Row(kk);
+      const float* b_row = b.Row(kk);
+      for (size_t i = 0; i < m; ++i) {
+        const float a_ki = a_row[i];
+        if (a_ki == 0.0f) continue;
+        float* out_row = out.Row(i);
+        for (size_t j = 0; j < n; ++j) out_row[j] += a_ki * b_row[j];
+      }
+    }
+    return out;
+  }
+
+  // A^T B^T: not on any hot path; keep the simple generic loop.
   for (size_t i = 0; i < m; ++i) {
     for (size_t j = 0; j < n; ++j) {
       float acc = 0.0f;
-      for (size_t kk = 0; kk < k; ++kk) acc += a_at(i, kk) * b_at(kk, j);
+      for (size_t kk = 0; kk < k; ++kk) acc += a.At(kk, i) * b.At(j, kk);
       out.At(i, j) = acc;
     }
   }

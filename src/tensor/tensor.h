@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
@@ -108,17 +109,31 @@ class Tensor {
 /// \brief Counters for kernel dispatches and floating point work, used by the
 /// Fig-12 device model: the simulated accelerator charges a fixed latency per
 /// dispatch plus (measured CPU compute time / calibrated speedup).
+///
+/// Counters are atomics because kernels dispatch concurrently from the
+/// parallel filter cascade (relaxed ordering: they are statistics, not
+/// synchronization). Reads implicitly load; Reset is not atomic with respect
+/// to concurrent dispatches — call it at quiesce points only.
 struct KernelStats {
-  uint64_t dispatches = 0;
-  double flops = 0.0;
+  std::atomic<uint64_t> dispatches{0};
+  std::atomic<double> flops{0.0};
+
+  void AddFlops(double amount) {
+    // fetch_add on atomic<double> is C++20 but not yet lock-free everywhere;
+    // a CAS loop compiles to the same thing where it is.
+    double current = flops.load(std::memory_order_relaxed);
+    while (!flops.compare_exchange_weak(current, current + amount,
+                                        std::memory_order_relaxed)) {
+    }
+  }
 
   void Reset() {
-    dispatches = 0;
-    flops = 0.0;
+    dispatches.store(0, std::memory_order_relaxed);
+    flops.store(0.0, std::memory_order_relaxed);
   }
 };
 
-/// Global kernel statistics (single-threaded library; plain global is safe).
+/// Global kernel statistics (thread-safe: see KernelStats).
 KernelStats& GetKernelStats();
 
 namespace ops {

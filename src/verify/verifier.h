@@ -76,6 +76,16 @@ class SpesVerifier {
 
   const VerifierStats& stats() const { return stats_; }
   void ResetStats() { stats_ = VerifierStats(); }
+  /// Folds another verifier's counters into this one. The parallel pipeline
+  /// verifies with per-thread SpesVerifier instances (CheckEquivalence
+  /// mutates stats_, so instances must not be shared across threads) and
+  /// merges their work accounting back into the pipeline's verifier.
+  void MergeStats(const VerifierStats& other) {
+    stats_.pairs_checked += other.pairs_checked;
+    stats_.solver_calls += other.solver_calls;
+    stats_.bijections_tried += other.bijections_tried;
+    stats_.unknown_results += other.unknown_results;
+  }
 
  private:
   EquivalenceVerdict CheckFlattened(const FlatSpj& a, const FlatSpj& b,

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 #include "plan/spj.h"
 
 namespace geqo {
@@ -129,12 +130,23 @@ Result<std::vector<EncodedPlan>> EncodeWorkload(
     const std::vector<PlanPtr>& workload,
     const EncodingLayout& instance_layout, const Catalog& catalog,
     ValueRange value_range) {
+  // Plans encode independently (PlanEncoder::Encode is const and touches
+  // only the shared immutable layout/catalog), so the workload fans out
+  // across the pool; slot i of the result always holds workload[i].
   PlanEncoder encoder(&instance_layout, &catalog, value_range);
-  std::vector<EncodedPlan> out;
-  out.reserve(workload.size());
-  for (const PlanPtr& plan : workload) {
-    GEQO_ASSIGN_OR_RETURN(EncodedPlan encoded, encoder.Encode(plan));
-    out.push_back(std::move(encoded));
+  std::vector<EncodedPlan> out(workload.size());
+  std::vector<Status> statuses(workload.size());
+  ParallelFor(0, workload.size(), [&](size_t i) {
+    Result<EncodedPlan> encoded = encoder.Encode(workload[i]);
+    if (encoded.ok()) {
+      out[i] = std::move(*encoded);
+    } else {
+      statuses[i] = encoded.status();
+    }
+  });
+  // Deterministic error selection: first failing plan in workload order.
+  for (const Status& status : statuses) {
+    if (!status.ok()) return status;
   }
   return out;
 }

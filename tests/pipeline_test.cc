@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "common/thread_pool.h"
 #include "filters/emf_filter.h"
 #include "ml/metrics.h"
 #include "plan/canonicalize.h"
@@ -295,6 +296,66 @@ TEST_F(PipelineTest, BaselinePowerOrdering) {
     EXPECT_NE(verifier.CheckEquivalence(workload[i], workload[j]),
               EquivalenceVerdict::kNotEquivalent);
   }
+}
+
+TEST_F(PipelineTest, DeterministicAcrossThreadCounts) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(25, 5, 78);
+
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+
+  // The same workload at 1, 2, and 8 threads must yield bit-identical
+  // candidate and equivalence lists (sorted) and the same per-stage funnel.
+  std::vector<GeqoResult> results;
+  for (const size_t threads : {1u, 2u, 8u}) {
+    ThreadPool::SetGlobalThreads(threads);
+    GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                          &s.agnostic_layout, options);
+    const auto result = pipeline.DetectEquivalences(workload, s.value_range);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(*result);
+  }
+  ThreadPool::SetGlobalThreads(1);
+
+  const GeqoResult& base = results[0];
+  EXPECT_TRUE(std::is_sorted(base.candidates.begin(), base.candidates.end()));
+  EXPECT_TRUE(
+      std::is_sorted(base.equivalences.begin(), base.equivalences.end()));
+  for (size_t r = 1; r < results.size(); ++r) {
+    EXPECT_EQ(results[r].candidates, base.candidates) << "threads run " << r;
+    EXPECT_EQ(results[r].equivalences, base.equivalences)
+        << "threads run " << r;
+    for (const auto& [got, want] :
+         {std::pair{&results[r].sf_stats, &base.sf_stats},
+          std::pair{&results[r].vmf_stats, &base.vmf_stats},
+          std::pair{&results[r].emf_stats, &base.emf_stats},
+          std::pair{&results[r].verify_stats, &base.verify_stats}}) {
+      EXPECT_EQ(got->pairs_in, want->pairs_in);
+      EXPECT_EQ(got->pairs_out, want->pairs_out);
+    }
+  }
+}
+
+TEST_F(PipelineTest, VerifierStatsMergedFromWorkers) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(15, 4, 79);
+
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+
+  ThreadPool::SetGlobalThreads(4);
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+  const auto result = pipeline.DetectEquivalences(workload, s.value_range);
+  ThreadPool::SetGlobalThreads(1);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Every surviving candidate was verified exactly once, and the per-worker
+  // counters were folded back into the pipeline's verifier.
+  EXPECT_EQ(pipeline.verifier().stats().pairs_checked,
+            result->candidates.size());
 }
 
 TEST_F(PipelineTest, SsflImprovesWeakModel) {

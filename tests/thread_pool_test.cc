@@ -1,0 +1,119 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace geqo {
+namespace {
+
+TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
+  ThreadPool pool(4);
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 0, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(5, 5, [&](size_t, size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](size_t, size_t) { ++calls; });  // begin > end
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(ThreadPoolTest, VisitsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kCount = 10000;
+  std::vector<std::atomic<int>> visits(kCount);
+  pool.ParallelFor(0, kCount, [&](size_t, size_t i) { ++visits[i]; });
+  for (size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(visits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolRunsInline) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::vector<size_t> order;
+  pool.ParallelFor(0, 5, [&](size_t worker, size_t i) {
+    EXPECT_EQ(std::this_thread::get_id(), caller);
+    EXPECT_EQ(worker, 0u);
+    order.push_back(i);  // safe: inline execution is serial
+  });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, WorkerIdsAreDenseAndBounded) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(pool.num_threads());
+  pool.ParallelFor(
+      0, 1000,
+      [&](size_t worker, size_t) {
+        ASSERT_LT(worker, pool.num_threads());
+        ++hits[worker];
+      },
+      /*grain=*/1);
+  int total = 0;
+  for (auto& h : hits) total += h.load();
+  EXPECT_EQ(total, 1000);
+}
+
+TEST(ThreadPoolTest, ExceptionsPropagateToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 1000,
+                       [](size_t, size_t i) {
+                         if (i == 517) throw std::runtime_error("boom");
+                       }),
+      std::runtime_error);
+  // The pool survives a throwing region and keeps scheduling work.
+  std::atomic<int> calls{0};
+  pool.ParallelFor(0, 100, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls.load(), 100);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSingleThreadPool) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.ParallelFor(
+                   0, 10, [](size_t, size_t) { throw std::logic_error("x"); }),
+               std::logic_error);
+}
+
+TEST(ThreadPoolTest, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> inner_visits(64);
+  pool.ParallelFor(0, 8, [&](size_t, size_t i) {
+    // Nested region: must execute inline on this worker, not re-enqueue
+    // (re-enqueueing could deadlock with all workers waiting).
+    pool.ParallelFor(0, 8, [&](size_t inner_worker, size_t j) {
+      EXPECT_EQ(inner_worker, 0u);  // inline regions report worker 0
+      ++inner_visits[i * 8 + j];
+    });
+  });
+  for (auto& v : inner_visits) EXPECT_EQ(v.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelMapFillsSlotsInOrder) {
+  ThreadPool::SetGlobalThreads(4);
+  const std::vector<size_t> squares =
+      ParallelMap(100, [](size_t i) { return i * i; });
+  ASSERT_EQ(squares.size(), 100u);
+  for (size_t i = 0; i < squares.size(); ++i) EXPECT_EQ(squares[i], i * i);
+  ThreadPool::SetGlobalThreads(1);
+}
+
+TEST(ThreadPoolTest, GlobalPoolResizes) {
+  ThreadPool::SetGlobalThreads(3);
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 3u);
+  ThreadPool::SetGlobalThreads(0);  // clamped
+  EXPECT_EQ(ThreadPool::GlobalThreads(), 1u);
+}
+
+TEST(ThreadPoolTest, LargeGrainCoversWholeRange) {
+  ThreadPool pool(4);
+  std::atomic<size_t> sum{0};
+  pool.ParallelFor(
+      0, 103, [&](size_t, size_t i) { sum += i; }, /*grain=*/1000);
+  EXPECT_EQ(sum.load(), 103u * 102u / 2);
+}
+
+}  // namespace
+}  // namespace geqo
