@@ -106,6 +106,7 @@ int main() {
           CountTruePositives(geqo_result->equivalences, truth);
       geqo_total.seconds += ModeledAvSeconds(
           watch.ElapsedSeconds(), geqo_result->candidates.size());
+      WritePipelineArtifact("fig13/geqo", *geqo_result);
 
       // Signature baseline.
       watch.Reset();

@@ -58,12 +58,15 @@ int main() {
     auto result = foreign.pipeline->DetectEquivalences(
         workload.subexpressions, context.system->value_range());
     GEQO_CHECK(result.ok()) << result.status().ToString();
+    const StageReport* verify_stage = result->FindStage("verify");
+    GEQO_CHECK(verify_stage != nullptr);
     const double filter_seconds =
-        watch.ElapsedSeconds() - result->verify_stats.seconds;
+        watch.ElapsedSeconds() - verify_stage->seconds;
     const double total_seconds = ModeledAvSeconds(
         watch.ElapsedSeconds(), result->candidates.size());
     const ml::ConfusionMatrix matrix =
         ScoreDetection(workload, result->equivalences);
+    WritePipelineArtifact(std::string("fig14/") + combination.name, *result);
     std::printf("%-12s %12zu %14.3f %10.2f %8.2f\n", combination.name,
                 result->candidates.size(), filter_seconds, total_seconds,
                 matrix.TruePositiveRate());

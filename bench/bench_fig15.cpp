@@ -64,6 +64,7 @@ int main() {
   auto detection = geqo.pipeline->DetectEquivalences(
       workload, context.system->value_range());
   GEQO_CHECK(detection.ok());
+  WritePipelineArtifact("fig15/geqo", *detection);
 
   // Union-find into class ids.
   std::vector<size_t> parent(workload.size());

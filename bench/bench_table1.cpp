@@ -119,6 +119,9 @@ int main() {
       ModeledAvSeconds(geqo_seconds, geqo_result.candidates.size());
   PrintRow("GEqO", geqo_seconds, geqo_modeled,
            ScoreAgainstTruth(n, truth, geqo_result.equivalences));
+  WritePipelineArtifact("table1/geqo", geqo_result);
+  std::printf("\nfull-pipeline stage funnel:\n%s",
+              StageReport::FormatTable(geqo_result.stages).c_str());
 
   // Oracle + AV: verify exactly the true pairs.
   double oracle_modeled = 0.0;

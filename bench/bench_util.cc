@@ -4,10 +4,13 @@
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
+#include <fstream>
 
 #include "common/stopwatch.h"
-#include "filters/emf_filter.h"
 #include "common/strings.h"
+#include "filters/emf_filter.h"
+#include "obs/json.h"
+#include "obs/trace.h"
 
 namespace geqo::bench {
 
@@ -91,14 +94,16 @@ BenchContext BuildTrainedSystem(const std::string& tag,
           *pairs, *context.catalog, context.system->instance_layout(),
           context.system->agnostic_layout(), context.system->value_range());
       GEQO_CHECK(dataset.ok());
+      GeqoOptions calibrated = context.system->pipeline().options();
       const auto radius =
           CalibrateVmfRadius(&context.system->model(), *dataset);
-      if (radius.ok()) context.system->pipeline().set_vmf_radius(*radius);
+      if (radius.ok()) calibrated.vmf.radius = *radius;
       const auto threshold =
           CalibrateEmfThreshold(&context.system->model(), *dataset);
-      if (threshold.ok()) {
-        context.system->pipeline().set_emf_threshold(*threshold);
-      }
+      if (threshold.ok()) calibrated.emf.threshold = *threshold;
+      const Status updated =
+          context.system->pipeline().UpdateOptions(calibrated);
+      GEQO_CHECK(updated.ok()) << updated.ToString();
       std::printf("# model '%s': loaded from %s\n", tag.c_str(),
                   cache_path.c_str());
       return context;
@@ -357,6 +362,54 @@ SsflStudyResult RunSsflStudy(Scale scale) {
       RunSsflMode(false, scale, detection.subexpressions, tpcds, tpcds_layout,
                   eval.dataset);
   return result;
+}
+
+void WritePipelineArtifact(const std::string& label,
+                           const GeqoResult& result) {
+  struct Entry {
+    std::string label;
+    GeqoResult result;
+  };
+  static std::vector<Entry> entries;  // harness processes are single-threaded
+  entries.push_back(Entry{label, result});
+
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("runs").BeginArray();
+  for (const Entry& entry : entries) {
+    json.BeginObject();
+    json.Key("label").String(entry.label);
+    json.Key("total_pairs")
+        .Number(static_cast<uint64_t>(entry.result.total_pairs));
+    json.Key("candidates")
+        .Number(static_cast<uint64_t>(entry.result.candidates.size()));
+    json.Key("equivalences")
+        .Number(static_cast<uint64_t>(entry.result.equivalences.size()));
+    json.Key("total_seconds").Number(entry.result.total_seconds);
+    json.Key("stages").BeginArray();
+    for (const StageReport& stage : entry.result.stages) {
+      json.BeginObject();
+      json.Key("name").String(stage.name);
+      json.Key("enabled").Bool(stage.enabled);
+      json.Key("pairs_in").Number(static_cast<uint64_t>(stage.pairs_in));
+      json.Key("pairs_out").Number(static_cast<uint64_t>(stage.pairs_out));
+      json.Key("seconds").Number(stage.seconds);
+      json.Key("metrics").BeginObject();
+      for (const auto& [name, delta] : stage.metrics) {
+        json.Key(name).Number(delta);
+      }
+      json.EndObject();
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out("BENCH_pipeline.json", std::ios::trunc);
+  if (out) out << std::move(json).Finish();
+  obs::WriteTraceArtifactsIfEnabled();
 }
 
 void PrintHeader(const std::string& name, const std::string& reproduces) {

@@ -134,6 +134,13 @@ SsflStudyResult RunSsflStudy(Scale scale);
 /// Prints the standard harness header (binary name, scale, seed note).
 void PrintHeader(const std::string& name, const std::string& reproduces);
 
+/// \brief Records one DetectEquivalences run's StageReport funnel in the
+/// shared BENCH_pipeline.json artifact (rewritten after every call with all
+/// runs recorded so far by this process), and — when GEQO_TRACE is enabled —
+/// flushes the trace/metrics artifacts too. \p label distinguishes multiple
+/// runs from the same harness ("fig14/full", "table1/tpcds", ...).
+void WritePipelineArtifact(const std::string& label, const GeqoResult& result);
+
 /// \brief Modeled per-invocation cost of the paper's automated verifier.
 ///
 /// Substitution note (DESIGN.md §1): the paper's AV is SPES — a separate

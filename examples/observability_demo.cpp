@@ -1,0 +1,85 @@
+/// \file observability_demo.cpp
+/// Observability walkthrough: runs DetectEquivalences over a small
+/// synthetic TPC-H workload with an *untrained* EMF (no training cost — the
+/// point here is the instrumentation, not detection quality), prints the
+/// StageReport funnel, and, when GEQO_TRACE is set, writes the metrics
+/// snapshot and Chrome trace artifacts.
+///
+///   GEQO_TRACE=spans ./observability_demo
+///   -> geqo_metrics.json (registry snapshot)
+///   -> geqo_trace.json   (load in chrome://tracing or ui.perfetto.dev)
+///
+/// scripts/check.sh uses this binary as its traced smoke run and lints the
+/// emitted JSON with geqo_json_lint.
+
+#include <cstdio>
+
+#include "common/rng.h"
+#include "ml/emf_model.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/geqo.h"
+#include "workload/generator.h"
+#include "workload/rewrite.h"
+#include "workload/schemas.h"
+
+int main() {
+  using namespace geqo;
+
+  const Catalog catalog = MakeTpchCatalog();
+  const EncodingLayout instance_layout = EncodingLayout::FromCatalog(catalog);
+  const EncodingLayout agnostic_layout = EncodingLayout::Agnostic(6, 8);
+
+  ml::EmfModelOptions model_options;
+  model_options.input_dim = agnostic_layout.node_vector_size();
+  model_options.conv1_size = 32;
+  model_options.conv2_size = 32;
+  model_options.fc1_size = 32;
+  model_options.fc2_size = 16;
+  ml::EmfModel model(model_options);
+
+  // 60 generated subexpressions plus 15 planted rewrites.
+  Rng rng(0x0B5E);
+  QueryGenerator generator(&catalog, GeneratorOptions());
+  Rewriter rewriter(&catalog);
+  std::vector<PlanPtr> workload;
+  for (size_t i = 0; i < 60; ++i) workload.push_back(generator.Generate(&rng));
+  for (size_t i = 0; i < 15; ++i) {
+    auto variant = rewriter.RewriteOnce(workload[i], &rng);
+    GEQO_CHECK(variant.ok());
+    workload.push_back(*variant);
+  }
+
+  // Wide funnel so every stage carries load despite the untrained model.
+  GeqoOptions options;
+  options.vmf.radius = 6.0f;
+  options.emf.threshold = 0.0f;
+  GeqoPipeline pipeline(&catalog, &model, &instance_layout, &agnostic_layout,
+                        options);
+
+  auto result = pipeline.DetectEquivalences(workload, ValueRange{0, 100});
+  GEQO_CHECK(result.ok()) << result.status().ToString();
+
+  std::printf("GEQO_TRACE=%s\n",
+              obs::SpansEnabled()     ? "spans"
+              : obs::MetricsEnabled() ? "metrics"
+                                      : "off");
+  std::printf("%zu plans, %zu verified equivalences\n\n", workload.size(),
+              result->equivalences.size());
+  std::printf("%s\n", StageReport::FormatTable(result->stages).c_str());
+
+  if (obs::MetricsEnabled()) {
+    const obs::MetricsSnapshot snapshot = obs::MetricsRegistry::Global().Snapshot();
+    std::printf("registry: %zu metrics; SMT decisions=%.0f, "
+                "HNSW distances=%.0f, tensor dispatches=%.0f\n",
+                snapshot.samples.size(), snapshot.Value("smt.decisions"),
+                snapshot.Value("hnsw.distance_computations"),
+                snapshot.Value("tensor.dispatches"));
+  }
+  if (const auto path = obs::WriteTraceArtifactsIfEnabled()) {
+    std::printf("trace artifacts written (last: %s)\n", path->c_str());
+  } else {
+    std::printf("tracing off; set GEQO_TRACE=metrics|spans for artifacts\n");
+  }
+  return 0;
+}

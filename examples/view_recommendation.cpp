@@ -66,11 +66,9 @@ int main() {
 
   auto result = system.DetectEquivalences(workload);
   GEQO_CHECK_OK(result.status());
-  std::printf("GEqO: %zu -> SF %zu -> VMF %zu -> EMF %zu -> verified %zu "
-              "equivalent pairs (%.2fs total)\n",
-              result->total_pairs, result->sf_stats.pairs_out,
-              result->vmf_stats.pairs_out, result->emf_stats.pairs_out,
-              result->equivalences.size(), result->total_seconds);
+  std::printf("GEqO found %zu equivalent pairs in %.2fs:\n%s",
+              result->equivalences.size(), result->total_seconds,
+              geqo::StageReport::FormatTable(result->stages).c_str());
 
   // --- 3. Union-find the pairs into classes ------------------------------
   std::vector<size_t> parent(workload.size());

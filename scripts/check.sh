@@ -20,6 +20,18 @@ cmake --build build -j "$jobs"
 echo "== plain ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs" "$@"
 
+echo "== traced smoke run =="
+# Exercise the observability layer end to end: a spans-level run of the demo
+# must produce artifacts that the strict JSON linter accepts.
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+GEQO_TRACE=spans \
+  GEQO_TRACE_FILE="$smoke_dir/geqo_trace.json" \
+  GEQO_METRICS_FILE="$smoke_dir/geqo_metrics.json" \
+  ./build/examples/observability_demo
+./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace.json" \
+  "$smoke_dir/geqo_metrics.json"
+
 if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="
   exit 0
@@ -34,5 +46,15 @@ echo "== TSan ctest =="
 tsan_filter=(${GEQO_CHECK_TSAN_FILTER:+-R "$GEQO_CHECK_TSAN_FILTER"})
 GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
   "${tsan_filter[@]}" "$@"
+
+echo "== TSan traced smoke run =="
+# Tracing itself must be race-free under the 4-thread pool: spans close on
+# worker threads while metrics fold from every stage.
+GEQO_THREADS=4 GEQO_TRACE=spans \
+  GEQO_TRACE_FILE="$smoke_dir/geqo_trace_tsan.json" \
+  GEQO_METRICS_FILE="$smoke_dir/geqo_metrics_tsan.json" \
+  ./build-tsan/examples/observability_demo
+./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace_tsan.json" \
+  "$smoke_dir/geqo_metrics_tsan.json"
 
 echo "== all checks passed =="

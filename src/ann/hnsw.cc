@@ -5,6 +5,8 @@
 #include <queue>
 #include <unordered_set>
 
+#include "obs/metrics.h"
+
 namespace geqo::ann {
 
 HnswIndex::HnswIndex(size_t dim, HnswOptions options)
@@ -18,7 +20,21 @@ HnswIndex::HnswIndex(size_t dim, HnswOptions options)
 }
 
 float HnswIndex::Distance(const float* a, const float* b) const {
+  if (obs::MetricsEnabled()) {
+    pending_distances_.fetch_add(1, std::memory_order_relaxed);
+  }
   return std::sqrt(ops::SquaredDistance(a, b, dim_));
+}
+
+void HnswIndex::FoldMetrics() const {
+  if (!obs::MetricsEnabled()) return;
+  const uint64_t distances = pending_distances_.exchange(0);
+  const uint64_t hops = pending_hops_.exchange(0);
+  auto& registry = obs::MetricsRegistry::Global();
+  if (distances > 0) {
+    registry.GetCounter("hnsw.distance_computations").Add(distances);
+  }
+  if (hops > 0) registry.GetCounter("hnsw.hops").Add(hops);
 }
 
 int HnswIndex::RandomLevel() {
@@ -65,6 +81,7 @@ size_t HnswIndex::Add(const float* vector) {
     max_level_ = level;
     entry_point_ = id;
   }
+  FoldMetrics();
   return id;
 }
 
@@ -75,6 +92,9 @@ uint32_t HnswIndex::GreedySearch(const float* query, uint32_t entry,
   bool improved = true;
   while (improved) {
     improved = false;
+    if (obs::MetricsEnabled()) {
+      pending_hops_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (const uint32_t neighbor :
          nodes_[current].neighbors[static_cast<size_t>(layer)]) {
       const float d = Distance(query, vectors_[neighbor].data());
@@ -113,6 +133,9 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, uint32_t entry,
     const Neighbor current = candidates.top();
     candidates.pop();
     if (best.size() >= ef && current.distance > best.top().distance) break;
+    if (obs::MetricsEnabled()) {
+      pending_hops_.fetch_add(1, std::memory_order_relaxed);
+    }
     for (const uint32_t neighbor :
          nodes_[current.id].neighbors[static_cast<size_t>(layer)]) {
       if (!visited.insert(neighbor).second) continue;
@@ -169,6 +192,7 @@ std::vector<Neighbor> HnswIndex::SearchKnn(const float* query, size_t k,
   }
   std::vector<Neighbor> result = SearchLayer(query, entry, ef, /*layer=*/0);
   if (result.size() > k) result.resize(k);
+  FoldMetrics();
   return result;
 }
 
@@ -185,6 +209,7 @@ std::vector<Neighbor> HnswIndex::SearchRadius(const float* query, float radius,
   for (const Neighbor& neighbor : beam) {
     if (neighbor.distance <= radius) out.push_back(neighbor);
   }
+  FoldMetrics();
   return out;
 }
 
@@ -196,6 +221,7 @@ std::vector<Neighbor> HnswIndex::ExactRadius(const float* query,
     if (d <= radius) out.push_back(Neighbor{id, d});
   }
   std::sort(out.begin(), out.end());
+  FoldMetrics();
   return out;
 }
 

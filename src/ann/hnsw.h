@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -71,6 +72,10 @@ class HnswIndex {
   };
 
   float Distance(const float* a, const float* b) const;
+  /// Drains the pending distance/hop tallies into the metrics registry
+  /// ("hnsw.distance_computations", "hnsw.hops"). Called at the end of every
+  /// public operation so hot inner loops only touch the local atomics.
+  void FoldMetrics() const;
   int RandomLevel();
   /// Greedy descent in one layer starting from \p entry.
   uint32_t GreedySearch(const float* query, uint32_t entry, int layer) const;
@@ -90,6 +95,11 @@ class HnswIndex {
   std::vector<Node> nodes_;
   int max_level_ = -1;
   uint32_t entry_point_ = 0;
+  /// Index-local observability tallies. Searches run concurrently from the
+  /// VMF's parallel region, so these are relaxed atomics (statistics only);
+  /// they are drained to the global registry by FoldMetrics.
+  mutable std::atomic<uint64_t> pending_distances_{0};
+  mutable std::atomic<uint64_t> pending_hops_{0};
 };
 
 }  // namespace geqo::ann

@@ -1,8 +1,11 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <exception>
+
+#include "obs/metrics.h"
 
 namespace geqo {
 namespace {
@@ -77,6 +80,11 @@ void ThreadPool::WorkerLoop() {
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      if (obs::MetricsEnabled()) {
+        obs::MetricsRegistry::Global()
+            .GetGauge("pool.queue_depth")
+            .Set(static_cast<double>(queue_.size()));
+      }
     }
     task();
   }
@@ -118,17 +126,33 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
   state->fn = &fn;
 
   const size_t helpers = std::min(workers_.size(), count - 1);
+  const bool metered = obs::MetricsEnabled();
+  const auto enqueue_time = metered ? std::chrono::steady_clock::now()
+                                    : std::chrono::steady_clock::time_point();
   {
     std::lock_guard<std::mutex> lock(mu_);
     for (size_t t = 0; t < helpers; ++t) {
       state->pending.fetch_add(1, std::memory_order_relaxed);
-      queue_.emplace_back([state] {
+      queue_.emplace_back([state, metered, enqueue_time] {
+        if (metered) {
+          const std::chrono::duration<double> wait =
+              std::chrono::steady_clock::now() - enqueue_time;
+          auto& registry = obs::MetricsRegistry::Global();
+          registry.GetHistogram("pool.task_latency_seconds")
+              .Observe(wait.count());
+          registry.GetCounter("pool.tasks_executed").Increment();
+        }
         Drain(state.get());
         if (state->pending.fetch_sub(1) == 1) {
           std::lock_guard<std::mutex> state_lock(state->mu);
           state->done_cv.notify_all();
         }
       });
+    }
+    if (metered) {
+      obs::MetricsRegistry::Global()
+          .GetGauge("pool.queue_depth")
+          .Set(static_cast<double>(queue_.size()));
     }
   }
   cv_.notify_all();

@@ -41,19 +41,16 @@ Result<ml::TrainReport> GeqoSystem::TrainOnPairs(
   GEQO_ASSIGN_OR_RETURN(ml::TrainReport report, Result<ml::TrainReport>(trainer_->Train(dataset)));
   // Calibrate the VMF threshold on the freshly trained embedding space so
   // that ~98% of known-equivalent pairs fall within radius tau (Table 1).
+  GeqoOptions calibrated = pipeline_->options();
   const Result<float> radius = CalibrateVmfRadius(model_.get(), dataset);
-  if (radius.ok()) {
-    options_.pipeline.vmf.radius = *radius;
-    pipeline_->set_vmf_radius(*radius);
-  }
+  if (radius.ok()) calibrated.vmf.radius = *radius;
   // Likewise pick the EMF operating point that keeps recall near-perfect
   // (false negatives are the costly error; false positives only waste
   // verifier time, §7.1.1).
   const Result<float> threshold = CalibrateEmfThreshold(model_.get(), dataset);
-  if (threshold.ok()) {
-    options_.pipeline.emf.threshold = *threshold;
-    pipeline_->set_emf_threshold(*threshold);
-  }
+  if (threshold.ok()) calibrated.emf.threshold = *threshold;
+  GEQO_RETURN_NOT_OK(pipeline_->UpdateOptions(calibrated));
+  options_.pipeline = calibrated;
   return report;
 }
 

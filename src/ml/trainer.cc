@@ -2,6 +2,8 @@
 
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geqo::ml {
 
@@ -26,7 +28,10 @@ TrainReport EmfTrainer::RunEpochs(const PairDataset& dataset, size_t epochs) {
   std::vector<size_t> order(dataset.size());
   for (size_t i = 0; i < order.size(); ++i) order[i] = i;
 
+  obs::Span train_span("Train");
   for (size_t epoch = 0; epoch < epochs; ++epoch) {
+    obs::Span epoch_span("train.epoch");
+    Stopwatch epoch_watch;
     rng_.Shuffle(order);
     double epoch_loss = 0.0;
     size_t epoch_batches = 0;
@@ -43,6 +48,18 @@ TrainReport EmfTrainer::RunEpochs(const PairDataset& dataset, size_t epochs) {
     }
     report.final_epoch_loss =
         static_cast<float>(epoch_loss / static_cast<double>(epoch_batches));
+    if (obs::MetricsEnabled()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("train.epochs").Increment();
+      registry.GetCounter("train.steps").Add(epoch_batches);
+      registry.GetGauge("train.last_epoch_loss").Set(report.final_epoch_loss);
+      const double epoch_seconds = epoch_watch.ElapsedSeconds();
+      if (epoch_seconds > 0.0) {
+        registry.GetGauge("train.examples_per_second")
+            .Set(static_cast<double>(dataset.size()) / epoch_seconds);
+      }
+      registry.GetHistogram("train.epoch_seconds").Observe(epoch_seconds);
+    }
     if (options_.verbose) {
       GEQO_LOG(kInfo) << "epoch " << (epoch + 1) << "/" << epochs << " loss "
                       << report.final_epoch_loss;

@@ -1,0 +1,326 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+
+namespace geqo::obs {
+
+std::string JsonEscape(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void JsonWriter::Separate() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back() != 0) out_ += ',';
+    need_comma_.back() = 1;
+  }
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  Separate();
+  out_ += '{';
+  need_comma_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  need_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  Separate();
+  out_ += '[';
+  need_comma_.push_back(0);
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  need_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(std::string_view key) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(key);
+  out_ += "\":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::String(std::string_view value) {
+  Separate();
+  out_ += '"';
+  out_ += JsonEscape(value);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(double value) {
+  Separate();
+  if (!std::isfinite(value)) {
+    out_ += '0';
+    return *this;
+  }
+  char buf[40];
+  // %.17g round-trips doubles; trim the common integral case for readability.
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+  }
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Number(uint64_t value) {
+  Separate();
+  out_ += std::to_string(value);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Bool(bool value) {
+  Separate();
+  out_ += value ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::Finish() && { return std::move(out_); }
+
+namespace {
+
+/// Strict single-pass JSON parser used only for validation.
+class Validator {
+ public:
+  explicit Validator(std::string_view text) : text_(text) {}
+
+  std::optional<std::string> Run() {
+    SkipWhitespace();
+    if (auto error = ParseValue()) return error;
+    SkipWhitespace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return std::nullopt;
+  }
+
+ private:
+  std::optional<std::string> Error(const std::string& what) const {
+    return what + " at offset " + std::to_string(pos_);
+  }
+
+  bool AtEnd() const { return pos_ >= text_.size(); }
+  char Peek() const { return text_[pos_]; }
+
+  void SkipWhitespace() {
+    while (!AtEnd() && (Peek() == ' ' || Peek() == '\t' || Peek() == '\n' ||
+                        Peek() == '\r')) {
+      ++pos_;
+    }
+  }
+
+  std::optional<std::string> ParseValue() {
+    if (++depth_ > 256) return Error("nesting too deep");
+    if (AtEnd()) return Error("unexpected end of input");
+    std::optional<std::string> result;
+    switch (Peek()) {
+      case '{':
+        result = ParseObject();
+        break;
+      case '[':
+        result = ParseArray();
+        break;
+      case '"':
+        result = ParseString();
+        break;
+      case 't':
+        result = ParseLiteral("true");
+        break;
+      case 'f':
+        result = ParseLiteral("false");
+        break;
+      case 'n':
+        result = ParseLiteral("null");
+        break;
+      default:
+        result = ParseNumber();
+    }
+    --depth_;
+    return result;
+  }
+
+  std::optional<std::string> ParseLiteral(const char* literal) {
+    const size_t len = std::strlen(literal);
+    if (text_.compare(pos_, len, literal) != 0) return Error("invalid literal");
+    pos_ += len;
+    return std::nullopt;
+  }
+
+  std::optional<std::string> ParseObject() {
+    ++pos_;  // '{'
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == '}') {
+      ++pos_;
+      return std::nullopt;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (AtEnd() || Peek() != '"') return Error("expected object key");
+      if (auto error = ParseString()) return error;
+      SkipWhitespace();
+      if (AtEnd() || Peek() != ':') return Error("expected ':'");
+      ++pos_;
+      SkipWhitespace();
+      if (auto error = ParseValue()) return error;
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated object");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == '}') {
+        ++pos_;
+        return std::nullopt;
+      }
+      return Error("expected ',' or '}'");
+    }
+  }
+
+  std::optional<std::string> ParseArray() {
+    ++pos_;  // '['
+    SkipWhitespace();
+    if (!AtEnd() && Peek() == ']') {
+      ++pos_;
+      return std::nullopt;
+    }
+    for (;;) {
+      SkipWhitespace();
+      if (auto error = ParseValue()) return error;
+      SkipWhitespace();
+      if (AtEnd()) return Error("unterminated array");
+      if (Peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      if (Peek() == ']') {
+        ++pos_;
+        return std::nullopt;
+      }
+      return Error("expected ',' or ']'");
+    }
+  }
+
+  std::optional<std::string> ParseString() {
+    ++pos_;  // '"'
+    while (!AtEnd()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return std::nullopt;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (AtEnd()) break;
+        const char escape = text_[pos_];
+        if (escape == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (AtEnd() || !std::isxdigit(static_cast<unsigned char>(Peek()))) {
+              return Error("invalid \\u escape");
+            }
+          }
+        } else if (std::strchr("\"\\/bfnrt", escape) == nullptr) {
+          return Error("invalid escape character");
+        }
+      }
+      ++pos_;
+    }
+    return Error("unterminated string");
+  }
+
+  std::optional<std::string> ParseNumber() {
+    const size_t start = pos_;
+    if (!AtEnd() && Peek() == '-') ++pos_;
+    if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+      return Error("invalid number");
+    }
+    if (Peek() == '0') {
+      ++pos_;
+    } else {
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && Peek() == '.') {
+      ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected after '.'");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    if (!AtEnd() && (Peek() == 'e' || Peek() == 'E')) {
+      ++pos_;
+      if (!AtEnd() && (Peek() == '+' || Peek() == '-')) ++pos_;
+      if (AtEnd() || !std::isdigit(static_cast<unsigned char>(Peek()))) {
+        return Error("digit expected in exponent");
+      }
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start ? std::nullopt : Error("invalid number");
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::string> ValidateJson(std::string_view text) {
+  return Validator(text).Run();
+}
+
+}  // namespace geqo::obs

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+/// \file json.h
+/// Minimal JSON support for the observability exports: a streaming writer
+/// (correct escaping, no intermediate DOM) and a strict validator used by
+/// tests and the `geqo_json_lint` tool to check the emitted artifacts.
+/// Self-contained on purpose — geqo_obs sits below geqo_common in the
+/// dependency order and cannot use Status.
+
+namespace geqo::obs {
+
+/// \brief Builds a JSON document incrementally. The writer inserts commas
+/// between siblings automatically; calls must still nest correctly (this is
+/// a formatting helper, not a schema checker).
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+  /// Object key; must be followed by exactly one value.
+  JsonWriter& Key(std::string_view key);
+  JsonWriter& String(std::string_view value);
+  /// Finite numbers print as shortest round-trip doubles; NaN/inf (invalid
+  /// JSON) are written as 0.
+  JsonWriter& Number(double value);
+  JsonWriter& Number(uint64_t value);
+  JsonWriter& Bool(bool value);
+
+  std::string Finish() &&;
+
+ private:
+  void Separate();
+
+  std::string out_;
+  /// Whether the next value at the current nesting depth needs a ','.
+  std::string need_comma_;  // used as a stack of 0/1 bytes
+  bool after_key_ = false;
+};
+
+/// Escapes \p value for inclusion in a JSON string literal (no quotes).
+std::string JsonEscape(std::string_view value);
+
+/// Strict recursive-descent validation of a complete JSON document.
+/// Returns std::nullopt on success, or a human-readable error with offset.
+std::optional<std::string> ValidateJson(std::string_view text);
+
+}  // namespace geqo::obs

@@ -1,0 +1,34 @@
+// Tiny JSON well-formedness checker used by scripts/check.sh to validate the
+// observability artifacts. Exit 0 when every input file parses, 1 otherwise.
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.h"
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: geqo_json_lint FILE...\n");
+    return 2;
+  }
+  int failures = 0;
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in(argv[i], std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", argv[i]);
+      ++failures;
+      continue;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    if (auto error = geqo::obs::ValidateJson(contents.str())) {
+      std::fprintf(stderr, "%s: invalid JSON: %s\n", argv[i], error->c_str());
+      ++failures;
+    } else {
+      std::printf("%s: ok\n", argv[i]);
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

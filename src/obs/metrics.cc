@@ -1,0 +1,215 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/json.h"
+
+namespace geqo::obs {
+namespace {
+
+std::atomic<int>& LevelSlot() {
+  static std::atomic<int> level{-1};  // -1 = not yet parsed from GEQO_TRACE
+  return level;
+}
+
+}  // namespace
+
+TraceLevel ParseTraceLevel(const char* value) {
+  if (value == nullptr) return TraceLevel::kOff;
+  std::string lower(value);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lower == "metrics") return TraceLevel::kMetrics;
+  if (lower == "spans") return TraceLevel::kSpans;
+  return TraceLevel::kOff;
+}
+
+TraceLevel GlobalTraceLevel() {
+  int level = LevelSlot().load(std::memory_order_relaxed);
+  if (level < 0) {
+    level = static_cast<int>(ParseTraceLevel(std::getenv("GEQO_TRACE")));
+    // Racing first queries parse the same env var to the same answer.
+    LevelSlot().store(level, std::memory_order_relaxed);
+  }
+  return static_cast<TraceLevel>(level);
+}
+
+void SetTraceLevel(TraceLevel level) {
+  LevelSlot().store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() { return GlobalTraceLevel() >= TraceLevel::kMetrics; }
+bool SpansEnabled() { return GlobalTraceLevel() >= TraceLevel::kSpans; }
+
+double Histogram::BucketBound(size_t i) {
+  double bound = kFirstBound;
+  for (size_t b = 0; b < i; ++b) bound *= 2.0;
+  return bound;
+}
+
+void Histogram::Observe(double value) {
+  if (value < 0.0) value = 0.0;
+  size_t bucket = 0;
+  double bound = kFirstBound;
+  while (bucket + 1 < kNumBuckets && value > bound) {
+    bound *= 2.0;
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.Add(value);
+}
+
+double Histogram::Mean() const {
+  const uint64_t n = count();
+  return n == 0 ? 0.0 : sum() / static_cast<double>(n);
+}
+
+double Histogram::Percentile(double p) const {
+  const uint64_t total = count();
+  if (total == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  const double rank = p / 100.0 * static_cast<double>(total);
+  uint64_t seen = 0;
+  for (size_t b = 0; b < kNumBuckets; ++b) {
+    const uint64_t in_bucket = buckets_[b].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      const double lower = b == 0 ? 0.0 : BucketBound(b - 1);
+      const double upper = BucketBound(b);
+      const double within =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lower + (upper - lower) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return BucketBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.Reset();
+}
+
+double MetricsSnapshot::Value(std::string_view name) const {
+  for (const MetricSample& sample : samples) {
+    if (sample.name == name) return sample.value;
+  }
+  return 0.0;
+}
+
+std::vector<std::pair<std::string, double>> MetricsSnapshot::DeltaSince(
+    const MetricsSnapshot& before) const {
+  std::vector<std::pair<std::string, double>> delta;
+  for (const MetricSample& sample : samples) {
+    const double change = sample.value - before.Value(sample.name);
+    if (change != 0.0) delta.emplace_back(sample.name, change);
+  }
+  return delta;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  for (const MetricSample& sample : samples) {
+    switch (sample.kind) {
+      case MetricSample::Kind::kCounter:
+      case MetricSample::Kind::kGauge:
+        json.Key(sample.name).Number(sample.value);
+        break;
+      case MetricSample::Kind::kHistogram:
+        json.Key(sample.name).BeginObject();
+        json.Key("count").Number(static_cast<double>(sample.count));
+        json.Key("sum").Number(sample.value);
+        json.Key("p50").Number(sample.p50);
+        json.Key("p95").Number(sample.p95);
+        json.Key("p99").Number(sample.p99);
+        json.EndObject();
+        break;
+    }
+  }
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kCounter;
+    sample.value = static_cast<double>(counter->value());
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kGauge;
+    sample.value = gauge->value();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    MetricSample sample;
+    sample.name = name;
+    sample.kind = MetricSample::Kind::kHistogram;
+    sample.value = histogram->sum();
+    sample.count = histogram->count();
+    sample.p50 = histogram->P50();
+    sample.p95 = histogram->P95();
+    sample.p99 = histogram->P99();
+    snapshot.samples.push_back(std::move(sample));
+  }
+  std::sort(snapshot.samples.begin(), snapshot.samples.end(),
+            [](const MetricSample& a, const MetricSample& b) {
+              return a.name < b.name;
+            });
+  return snapshot;
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+}  // namespace geqo::obs

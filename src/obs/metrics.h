@@ -1,0 +1,165 @@
+#pragma once
+
+#include <atomic>
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file metrics.h
+/// The process-wide metrics registry behind the GEqO observability layer
+/// (DESIGN.md "Observability"): monotonic counters, gauges, and fixed-bucket
+/// histograms with percentile estimates, named by dotted strings
+/// ("smt.decisions", "pool.task_latency_seconds", ...).
+///
+/// Thread-safety contract: metric handles are created under the registry
+/// mutex and never move afterwards (node-stable storage), so hot paths
+/// update them lock-free with relaxed atomics — they are statistics, not
+/// synchronization. Collection is gated globally by GEQO_TRACE
+/// (off | metrics | spans); with tracing off every instrumentation site
+/// reduces to one relaxed atomic load.
+///
+/// To keep this library free of upward dependencies (the thread pool and
+/// tensor kernels in geqo_common/geqo_tensor are themselves instrumented)
+/// geqo_obs depends on nothing but the standard library and reports errors
+/// as plain strings rather than Status.
+
+namespace geqo::obs {
+
+/// \brief Collection level, normally parsed from GEQO_TRACE.
+enum class TraceLevel : int {
+  kOff = 0,      ///< no collection at all (the default)
+  kMetrics = 1,  ///< counters / gauges / histograms only
+  kSpans = 2,    ///< metrics plus tracing spans
+};
+
+/// Parses "off" / "metrics" / "spans" (case-insensitive); anything else
+/// (including unset) yields kOff.
+TraceLevel ParseTraceLevel(const char* value);
+
+/// The process-wide level. Initialized from GEQO_TRACE on first query;
+/// SetTraceLevel overrides it (tests, embedding applications).
+TraceLevel GlobalTraceLevel();
+void SetTraceLevel(TraceLevel level);
+
+/// Fast gates for instrumentation sites (one relaxed atomic load).
+bool MetricsEnabled();
+bool SpansEnabled();
+
+/// \brief A monotonic counter.
+class Counter {
+ public:
+  void Add(uint64_t amount) { value_.fetch_add(amount, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// \brief A double-valued gauge (last written value) that also supports
+/// accumulation — used both for instantaneous readings (queue depth) and
+/// summed quantities that are naturally fractional (FLOPs).
+class Gauge {
+ public:
+  void Set(double value) { value_.store(value, std::memory_order_relaxed); }
+  /// CAS accumulation: fetch_add on atomic<double> is not lock-free
+  /// everywhere; the loop compiles to the same thing where it is.
+  void Add(double amount) {
+    double current = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(current, current + amount,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// \brief A fixed-bucket histogram over non-negative values.
+///
+/// Buckets are geometric: bucket i covers [kFirstBound * 2^(i-1),
+/// kFirstBound * 2^i) with an underflow bucket below kFirstBound and an
+/// overflow bucket above the last bound. Geared for latencies in seconds
+/// (1 us .. ~35 s at full resolution) but usable for any positive quantity.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 28;
+  static constexpr double kFirstBound = 1e-6;
+
+  void Observe(double value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.value(); }
+  double Mean() const;
+  /// Percentile estimate in [0, 100]; linear interpolation inside the
+  /// winning bucket. Returns 0 when empty.
+  double Percentile(double p) const;
+  double P50() const { return Percentile(50.0); }
+  double P95() const { return Percentile(95.0); }
+  double P99() const { return Percentile(99.0); }
+  void Reset();
+
+  /// Upper bound of bucket \p i (inclusive side used by Observe).
+  static double BucketBound(size_t i);
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  Gauge sum_;
+};
+
+/// \brief One metric's exported value(s).
+struct MetricSample {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  double value = 0.0;  ///< counter/gauge value; histogram sum
+  uint64_t count = 0;  ///< histogram observation count
+  double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+};
+
+/// \brief A consistent-enough snapshot of every registered metric, sorted by
+/// name (stable iteration order for reports and JSON).
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;
+
+  /// Value of a named counter/gauge (histograms report their sum); 0 when
+  /// absent.
+  double Value(std::string_view name) const;
+  /// Per-name numeric difference vs an earlier snapshot; names absent from
+  /// \p before count from zero. Zero-delta entries are dropped.
+  std::vector<std::pair<std::string, double>> DeltaSince(
+      const MetricsSnapshot& before) const;
+  std::string ToJson() const;
+};
+
+/// \brief Name -> metric registry. Handles are stable for the registry's
+/// lifetime; the global registry lives for the process.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(std::string_view name);
+  Gauge& GetGauge(std::string_view name);
+  Histogram& GetHistogram(std::string_view name);
+
+  MetricsSnapshot Snapshot() const;
+  /// Zeroes every registered metric (names stay registered).
+  void Reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace geqo::obs

@@ -1,0 +1,248 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/json.h"
+
+namespace geqo::obs {
+namespace {
+
+/// Per-thread recording state. The buffer pointer is shared with the global
+/// Tracer so events outlive pool worker threads.
+struct ThreadState {
+  std::shared_ptr<Tracer::Buffer> buffer;
+  uint64_t thread_id = 0;
+  int depth = 0;
+};
+
+ThreadState& LocalState() {
+  thread_local ThreadState state;
+  return state;
+}
+
+}  // namespace
+
+int64_t Tracer::NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point epoch = Clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch)
+      .count();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();  // never destroyed
+  return *tracer;
+}
+
+Tracer::Buffer& Tracer::LocalBuffer() {
+  ThreadState& state = LocalState();
+  if (state.buffer == nullptr) {
+    state.buffer = std::make_shared<Buffer>();
+    std::lock_guard<std::mutex> lock(mu_);
+    state.thread_id = next_thread_id_++;
+    buffers_.push_back(state.buffer);
+  }
+  return *state.buffer;
+}
+
+std::vector<SpanEvent> Tracer::Collect() const {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  std::vector<SpanEvent> all;
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    all.insert(all.end(), buffer->events.begin(), buffer->events.end());
+  }
+  std::sort(all.begin(), all.end(), [](const SpanEvent& a, const SpanEvent& b) {
+    if (a.start_us != b.start_us) return a.start_us < b.start_us;
+    return a.depth < b.depth;
+  });
+  return all;
+}
+
+void Tracer::Reset() {
+  std::vector<std::shared_ptr<Buffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buffer : buffers) {
+    std::lock_guard<std::mutex> lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+Span::Span(std::string_view name) {
+  if (!SpansEnabled()) return;
+  active_ = true;
+  name_ = name;
+  Tracer::Global().LocalBuffer();  // register the thread before timing
+  ++LocalState().depth;
+  start_us_ = Tracer::NowMicros();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  const int64_t end_us = Tracer::NowMicros();
+  ThreadState& state = LocalState();
+  --state.depth;
+  SpanEvent event;
+  event.name = std::move(name_);
+  event.thread_id = state.thread_id;
+  event.depth = state.depth;
+  event.start_us = start_us_;
+  event.duration_us = end_us - start_us_;
+  Tracer::Buffer& buffer = *state.buffer;
+  std::lock_guard<std::mutex> lock(buffer.mu);
+  buffer.events.push_back(std::move(event));
+}
+
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& spans,
+                              const MetricsSnapshot& metrics) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("traceEvents").BeginArray();
+  for (const SpanEvent& span : spans) {
+    json.BeginObject();
+    json.Key("name").String(span.name);
+    json.Key("cat").String("geqo");
+    json.Key("ph").String("X");
+    json.Key("ts").Number(static_cast<double>(span.start_us));
+    json.Key("dur").Number(static_cast<double>(span.duration_us));
+    json.Key("pid").Number(static_cast<uint64_t>(1));
+    json.Key("tid").Number(span.thread_id);
+    json.EndObject();
+  }
+  // Counter events let chrome://tracing plot SMT / HNSW / kernel totals
+  // alongside the spans. Histograms are summarized by their sum.
+  const int64_t counter_ts =
+      spans.empty() ? 0 : spans.back().start_us + spans.back().duration_us;
+  for (const MetricSample& sample : metrics.samples) {
+    json.BeginObject();
+    json.Key("name").String(sample.name);
+    json.Key("cat").String("geqo");
+    json.Key("ph").String("C");
+    json.Key("ts").Number(static_cast<double>(counter_ts));
+    json.Key("pid").Number(static_cast<uint64_t>(1));
+    json.Key("tid").Number(static_cast<uint64_t>(0));
+    json.Key("args").BeginObject();
+    json.Key("value").Number(sample.value);
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("displayTimeUnit").String("ms");
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+namespace {
+
+/// Spans of one thread in start order; emits the subtree rooted at index
+/// \p i and returns the index just past it.
+size_t EmitSubtree(const std::vector<SpanEvent>& spans, size_t i,
+                   JsonWriter& json) {
+  const SpanEvent& root = spans[i];
+  json.BeginObject();
+  json.Key("name").String(root.name);
+  json.Key("thread").Number(root.thread_id);
+  json.Key("start_us").Number(static_cast<double>(root.start_us));
+  json.Key("duration_us").Number(static_cast<double>(root.duration_us));
+  json.Key("children").BeginArray();
+  size_t next = i + 1;
+  while (next < spans.size() && spans[next].depth > root.depth) {
+    if (spans[next].depth == root.depth + 1) {
+      next = EmitSubtree(spans, next, json);
+    } else {
+      ++next;  // malformed nesting; skip rather than crash
+    }
+  }
+  json.EndArray();
+  json.EndObject();
+  return next;
+}
+
+}  // namespace
+
+std::string ToSpanTreeJson(const std::vector<SpanEvent>& spans) {
+  // Group by thread: nesting depth is only meaningful within one thread.
+  std::vector<uint64_t> threads;
+  for (const SpanEvent& span : spans) {
+    if (std::find(threads.begin(), threads.end(), span.thread_id) ==
+        threads.end()) {
+      threads.push_back(span.thread_id);
+    }
+  }
+  std::sort(threads.begin(), threads.end());
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("threads").BeginArray();
+  for (const uint64_t tid : threads) {
+    std::vector<SpanEvent> mine;
+    for (const SpanEvent& span : spans) {
+      if (span.thread_id == tid) mine.push_back(span);
+    }
+    std::sort(mine.begin(), mine.end(),
+              [](const SpanEvent& a, const SpanEvent& b) {
+                if (a.start_us != b.start_us) return a.start_us < b.start_us;
+                return a.depth < b.depth;
+              });
+    json.BeginObject();
+    json.Key("thread").Number(tid);
+    json.Key("spans").BeginArray();
+    size_t i = 0;
+    while (i < mine.size()) {
+      if (mine[i].depth == 0) {
+        i = EmitSubtree(mine, i, json);
+      } else {
+        ++i;  // orphan (parent recorded on another run); skip
+      }
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return std::move(json).Finish();
+}
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << contents;
+  return static_cast<bool>(out);
+}
+
+std::string EnvOr(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' ? value : fallback;
+}
+
+}  // namespace
+
+std::optional<std::string> WriteTraceArtifactsIfEnabled() {
+  if (!MetricsEnabled()) return std::nullopt;
+  const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+  const std::string metrics_path =
+      EnvOr("GEQO_METRICS_FILE", "geqo_metrics.json");
+  if (!WriteFile(metrics_path, metrics.ToJson())) return std::nullopt;
+  if (!SpansEnabled()) return metrics_path;
+  const std::vector<SpanEvent> spans = Tracer::Global().Collect();
+  const std::string trace_path = EnvOr("GEQO_TRACE_FILE", "geqo_trace.json");
+  if (!WriteFile(trace_path, ToChromeTraceJson(spans, metrics))) {
+    return std::nullopt;
+  }
+  return trace_path;
+}
+
+}  // namespace geqo::obs

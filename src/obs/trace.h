@@ -1,0 +1,104 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+/// \file trace.h
+/// Scoped tracing spans for the GEqO pipeline (DESIGN.md "Observability").
+///
+/// A Span is an RAII scope that records {name, thread, start, duration,
+/// nesting depth}. When GEQO_TRACE is not "spans" construction reduces to a
+/// single relaxed atomic load and nothing is recorded.
+///
+/// Concurrency model: each thread appends completed spans to its own
+/// thread-local buffer, registered once with the process-wide Tracer. The
+/// per-buffer mutex is essentially uncontended (the owning thread at span
+/// close vs. the exporter at snapshot time), so tracing a ParallelFor body
+/// does not serialize the cascade. Buffers are owned by shared_ptr, so spans
+/// recorded by pool workers survive thread exit until exported. Export
+/// merges all buffers, sorts by start time, and rebuilds the tree from
+/// (thread, depth) nesting.
+
+namespace geqo::obs {
+
+/// \brief One completed span, as recorded at scope exit.
+struct SpanEvent {
+  std::string name;
+  uint64_t thread_id = 0;   ///< stable small id assigned per OS thread
+  int depth = 0;            ///< nesting depth within the recording thread
+  int64_t start_us = 0;     ///< microseconds since the process trace epoch
+  int64_t duration_us = 0;
+};
+
+/// \brief RAII tracing scope. Cheap no-op unless GEQO_TRACE=spans.
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  bool active_ = false;
+  std::string name_;
+  int64_t start_us_ = 0;
+};
+
+/// \brief Process-wide collector of completed spans.
+class Tracer {
+ public:
+  /// Per-thread event sink; shared-owned so worker spans outlive the worker.
+  struct Buffer {
+    mutable std::mutex mu;
+    std::vector<SpanEvent> events;
+  };
+
+  static Tracer& Global();
+
+  /// All spans recorded so far, merged across threads and sorted by
+  /// (start time, depth). Does not clear the buffers.
+  std::vector<SpanEvent> Collect() const;
+
+  /// Drops every recorded span (for tests and repeated runs).
+  void Reset();
+
+  /// Microseconds since the process trace epoch (steady clock).
+  static int64_t NowMicros();
+
+ private:
+  friend class Span;
+
+  /// The calling thread's buffer, registering it on first use.
+  Buffer& LocalBuffer();
+
+  mutable std::mutex mu_;
+  std::vector<std::shared_ptr<Buffer>> buffers_;
+  uint64_t next_thread_id_ = 0;
+};
+
+/// Chrome trace-event JSON (chrome://tracing / Perfetto): one ph:"X"
+/// complete event per span plus ph:"C" counter events for every counter and
+/// gauge in \p metrics.
+std::string ToChromeTraceJson(const std::vector<SpanEvent>& spans,
+                              const MetricsSnapshot& metrics);
+
+/// Hierarchical span-tree JSON: spans nested by (thread, depth)
+/// containment, one top-level entry per root span.
+std::string ToSpanTreeJson(const std::vector<SpanEvent>& spans);
+
+/// If GEQO_TRACE enables collection, writes the metrics snapshot (and, at
+/// spans level, the Chrome trace) to disk and returns the trace path.
+/// Paths default to "geqo_trace.json" / "geqo_metrics.json" in the working
+/// directory and can be overridden with GEQO_TRACE_FILE / GEQO_METRICS_FILE.
+/// Returns std::nullopt when tracing is off or the write fails.
+std::optional<std::string> WriteTraceArtifactsIfEnabled();
+
+}  // namespace geqo::obs

@@ -1,26 +1,139 @@
 #include "pipeline/geqo.h"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 
 #include "common/stopwatch.h"
+#include "common/strings.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geqo {
+namespace {
+
+/// Measures one pipeline stage: wall clock, a tracing span, and — when
+/// metrics are enabled — the global registry delta attributable to the
+/// stage. Instantiate at stage entry, call Finish(&report) at stage exit.
+class StageScope {
+ public:
+  explicit StageScope(const char* name) : span_(name) {
+    if (obs::MetricsEnabled()) {
+      before_ = obs::MetricsRegistry::Global().Snapshot();
+      metered_ = true;
+    }
+  }
+
+  void Finish(StageReport* report) {
+    report->seconds = watch_.ElapsedSeconds();
+    if (metered_) {
+      report->metrics =
+          obs::MetricsRegistry::Global().Snapshot().DeltaSince(before_);
+    }
+  }
+
+ private:
+  obs::Span span_;
+  Stopwatch watch_;
+  obs::MetricsSnapshot before_;
+  bool metered_ = false;
+};
+
+StageReport MakeStage(const char* name, bool enabled) {
+  StageReport report;
+  report.name = name;
+  report.enabled = enabled;
+  return report;
+}
+
+}  // namespace
+
+Status GeqoOptions::Validate() const {
+  if (!std::isfinite(vmf.radius) || vmf.radius < 0.0f) {
+    return Status::InvalidArgument(
+        StrFormat("vmf.radius must be finite and non-negative, got %g",
+                  static_cast<double>(vmf.radius)));
+  }
+  if (!std::isfinite(emf.threshold) || emf.threshold < 0.0f ||
+      emf.threshold > 1.0f) {
+    return Status::InvalidArgument(
+        StrFormat("emf.threshold must be within [0, 1], got %g",
+                  static_cast<double>(emf.threshold)));
+  }
+  if (emf.batch_size == 0) {
+    return Status::InvalidArgument("emf.batch_size must be positive");
+  }
+  if (vmf.hnsw.max_connections < 2) {
+    return Status::InvalidArgument(
+        StrFormat("vmf.hnsw.max_connections must be at least 2, got %zu",
+                  vmf.hnsw.max_connections));
+  }
+  if (vmf.hnsw.ef_construction == 0 || vmf.hnsw.ef_search == 0) {
+    return Status::InvalidArgument(
+        "vmf.hnsw beam widths (ef_construction, ef_search) must be positive");
+  }
+  if (verifier.max_bijections == 0) {
+    return Status::InvalidArgument("verifier.max_bijections must be positive");
+  }
+  return Status::OK();
+}
+
+std::string StageReport::FormatTable(const std::vector<StageReport>& stages) {
+  std::string out;
+  out += "  stage     pairs_in   pairs_out     seconds\n";
+  char line[128];
+  for (const StageReport& stage : stages) {
+    std::snprintf(line, sizeof(line), "  %-7s %10zu  %10zu  %10.4f%s\n",
+                  stage.name.c_str(), stage.pairs_in, stage.pairs_out,
+                  stage.seconds, stage.enabled ? "" : "  (off)");
+    out += line;
+  }
+  return out;
+}
+
+const StageReport* GeqoResult::FindStage(std::string_view name) const {
+  for (const StageReport& stage : stages) {
+    if (stage.name == name) return &stage;
+  }
+  return nullptr;
+}
+
+Status GeqoPipeline::UpdateOptions(const GeqoOptions& options) {
+  GEQO_RETURN_NOT_OK(options.Validate());
+  options_ = options;
+  options_status_ = Status::OK();
+  // Rebuild the verifier under the new VerifierOptions without losing the
+  // cumulative work accounting benches report across calibration runs.
+  SpesVerifier fresh(catalog_, options.verifier);
+  fresh.MergeStats(verifier_.stats());
+  verifier_ = std::move(fresh);
+  return Status::OK();
+}
 
 Result<GeqoResult> GeqoPipeline::DetectEquivalences(
     const std::vector<PlanPtr>& workload, ValueRange value_range) {
-  Stopwatch total_watch;
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span run_span("DetectEquivalences");
   GeqoResult result;
   const size_t n = workload.size();
   result.total_pairs = n * (n - 1) / 2;
 
   // Stage 0: instance encoding, parallel across plans (see EncodeWorkload).
+  // Not a pair filter: the funnel passes through unchanged.
+  StageReport encode_report = MakeStage("encode", /*enabled=*/true);
+  encode_report.pairs_in = result.total_pairs;
+  encode_report.pairs_out = result.total_pairs;
+  StageScope encode_scope("stage.encode");
   GEQO_ASSIGN_OR_RETURN(
       std::vector<EncodedPlan> encoded,
       EncodeWorkload(workload, *instance_layout_, *catalog_, value_range));
+  encode_scope.Finish(&encode_report);
+  result.stages.push_back(std::move(encode_report));
 
   // Stage 1: schema filter (or one group containing everything).
-  Stopwatch watch;
+  StageReport sf_report = MakeStage("sf", options_.use_sf);
+  StageScope sf_scope("stage.sf");
   std::vector<SfGroup> groups;
   if (options_.use_sf) {
     GEQO_ASSIGN_OR_RETURN(groups, SchemaFilter(workload, *catalog_));
@@ -29,16 +142,19 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
     for (size_t i = 0; i < n; ++i) everything.members.push_back(i);
     groups.push_back(std::move(everything));
   }
-  result.sf_stats.seconds = watch.ElapsedSeconds();
-  result.sf_stats.pairs_in = result.total_pairs;
-  result.sf_stats.pairs_out = CountIntraGroupPairs(groups);
+  sf_report.pairs_in = result.total_pairs;
+  sf_report.pairs_out = CountIntraGroupPairs(groups);
+  sf_scope.Finish(&sf_report);
+  const size_t sf_pairs_out = sf_report.pairs_out;
+  result.stages.push_back(std::move(sf_report));
 
   // Stage 2: vector matching filter, parallel across SF-groups. Groups are
   // independent (each builds its own HNSW index over its own group encoding;
   // model embedding is re-entrant), and each group's pair list is computed
   // deterministically, so only concatenation order could vary — the sort
   // below removes even that.
-  watch.Reset();
+  StageReport vmf_report = MakeStage("vmf", options_.use_vmf);
+  StageScope vmf_scope("stage.vmf");
   std::vector<std::pair<size_t, size_t>> candidates;
   if (options_.use_vmf) {
     VmfOptions vmf_options = options_.vmf;
@@ -78,21 +194,25 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   // grouping, group iteration order, and thread count. Later stages preserve
   // relative order, so candidates/equivalences stay sorted from here on.
   std::sort(candidates.begin(), candidates.end());
-  result.vmf_stats.seconds = watch.ElapsedSeconds();
-  result.vmf_stats.pairs_in = result.sf_stats.pairs_out;
-  result.vmf_stats.pairs_out = candidates.size();
+  vmf_report.pairs_in = sf_pairs_out;
+  vmf_report.pairs_out = candidates.size();
+  vmf_scope.Finish(&vmf_report);
+  const size_t vmf_pairs_out = vmf_report.pairs_out;
+  result.stages.push_back(std::move(vmf_report));
 
   // Stage 3: equivalence model filter (batches sharded across workers inside
   // EquivalenceModelFilter::Scores).
-  watch.Reset();
+  StageReport emf_report = MakeStage("emf", options_.use_emf);
+  StageScope emf_scope("stage.emf");
   if (options_.use_emf && !candidates.empty()) {
     const EquivalenceModelFilter emf(model_, instance_layout_,
                                      agnostic_layout_, options_.emf);
     GEQO_ASSIGN_OR_RETURN(candidates, emf.Filter(candidates, encoded));
   }
-  result.emf_stats.seconds = watch.ElapsedSeconds();
-  result.emf_stats.pairs_in = result.vmf_stats.pairs_out;
-  result.emf_stats.pairs_out = candidates.size();
+  emf_report.pairs_in = vmf_pairs_out;
+  emf_report.pairs_out = candidates.size();
+  emf_scope.Finish(&emf_report);
+  result.stages.push_back(std::move(emf_report));
   result.candidates = candidates;
 
   // Stage 4: automated verification of the surviving candidates — the
@@ -101,7 +221,8 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   // instances cannot be shared); verdicts land in a per-pair slot and the
   // surviving list is assembled serially in candidate order, keeping output
   // and accounting identical across thread counts.
-  watch.Reset();
+  StageReport verify_report = MakeStage("verify", options_.run_verifier);
+  StageScope verify_scope("stage.verify");
   if (options_.run_verifier && !candidates.empty()) {
     std::vector<uint8_t> verdicts(candidates.size(), 0);
     const size_t num_workers = ThreadPool::GlobalThreads();
@@ -119,25 +240,37 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
               EquivalenceVerdict::kEquivalent;
         },
         /*grain=*/1);  // verification cost is highly skewed: steal per pair
+    // Merge the per-worker accounting into the pipeline's verifier and fold
+    // this run's total into the registry once, at the quiesce point.
+    const VerifierStats before_merge = verifier_.stats();
     for (const SpesVerifier& verifier : verifiers) {
       verifier_.MergeStats(verifier.stats());
     }
+    FoldVerifierStatsToMetrics(verifier_.stats().DeltaSince(before_merge));
     for (size_t p = 0; p < candidates.size(); ++p) {
       if (verdicts[p]) result.equivalences.push_back(candidates[p]);
     }
   } else {
     result.equivalences = candidates;
   }
-  result.verify_stats.seconds = watch.ElapsedSeconds();
-  result.verify_stats.pairs_in = candidates.size();
-  result.verify_stats.pairs_out = result.equivalences.size();
+  verify_report.pairs_in = candidates.size();
+  verify_report.pairs_out = result.equivalences.size();
+  verify_scope.Finish(&verify_report);
+  result.stages.push_back(std::move(verify_report));
 
-  result.total_seconds = total_watch.ElapsedSeconds();
+  // The headline total is the sum of the measured stage spans — a separate
+  // wall clock can disagree with the per-stage sum under thread contention.
+  result.total_seconds = 0.0;
+  for (const StageReport& stage : result.stages) {
+    result.total_seconds += stage.seconds;
+  }
   return result;
 }
 
 Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
                                      ValueRange value_range) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("CheckPair");
   // The pairwise special case of Equation 2: each enabled filter may
   // short-circuit to "not equivalent"; survivors are verified.
   if (options_.use_sf) {
@@ -148,8 +281,12 @@ Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
       std::vector<EncodedPlan> encoded,
       EncodeWorkload({a, b}, *instance_layout_, *catalog_, value_range));
   if (options_.use_vmf) {
+    // Mirror the set path: without the SF there is no single-schema
+    // guarantee, so use the lossy group encoding rather than erroring.
+    VmfOptions vmf_options = options_.vmf;
+    if (!options_.use_sf) vmf_options.truncate_overflow = true;
     const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
-                                   options_.vmf);
+                                   vmf_options);
     GEQO_ASSIGN_OR_RETURN(const auto pairs,
                           vmf.CandidatePairs({0, 1}, encoded));
     if (pairs.empty()) return false;
@@ -161,7 +298,11 @@ Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
     if (scores[0] < options_.emf.threshold) return false;
   }
   if (!options_.run_verifier) return true;
-  return verifier_.CheckEquivalence(a, b) == EquivalenceVerdict::kEquivalent;
+  const VerifierStats before = verifier_.stats();
+  const bool equivalent =
+      verifier_.CheckEquivalence(a, b) == EquivalenceVerdict::kEquivalent;
+  FoldVerifierStatsToMetrics(verifier_.stats().DeltaSince(before));
+  return equivalent;
 }
 
 }  // namespace geqo

@@ -1,5 +1,7 @@
 #pragma once
 
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "filters/emf_filter.h"
@@ -21,6 +23,11 @@
 /// instances. Output is deterministic — candidates and equivalences are
 /// sorted by workload index pair and identical at any thread count
 /// (GEQO_THREADS / ThreadPool::SetGlobalThreads).
+///
+/// Observability (DESIGN.md §"Observability"): each run reports an ordered
+/// std::vector<StageReport> — one entry per pipeline stage in execution
+/// order — and emits tracing spans plus per-stage metric deltas when
+/// GEQO_TRACE is "metrics" or "spans".
 
 namespace geqo {
 
@@ -34,13 +41,31 @@ struct GeqoOptions {
   VmfOptions vmf;
   EmfFilterOptions emf;
   VerifierOptions verifier;
+
+  /// Checks every parameter for domain validity: the VMF radius must be
+  /// non-negative and finite, the EMF threshold must lie in [0, 1], batch
+  /// sizes and beam widths must be positive. All calibration and ablation
+  /// paths funnel through this check (construction and UpdateOptions), so
+  /// an out-of-domain value fails loudly instead of silently misfiltering.
+  Status Validate() const;
 };
 
-/// \brief Per-stage accounting for one DetectEquivalences run.
-struct StageStats {
-  double seconds = 0.0;
+/// \brief Accounting for one pipeline stage of one run: the pair funnel,
+/// the measured wall-clock span, and (at GEQO_TRACE=metrics or above) the
+/// global metric deltas attributable to the stage.
+struct StageReport {
+  std::string name;     ///< "encode", "sf", "vmf", "emf", or "verify"
+  bool enabled = true;  ///< disabled stages report pass-through pair counts
   size_t pairs_in = 0;
   size_t pairs_out = 0;
+  double seconds = 0.0;
+  /// Registry counter/gauge deltas observed while the stage ran (name,
+  /// increment), sorted by name. Empty when GEQO_TRACE=off.
+  std::vector<std::pair<std::string, double>> metrics;
+
+  /// Renders \p stages as an aligned text table (stage, in, out, seconds) —
+  /// the one formatting path for examples and bench drivers.
+  static std::string FormatTable(const std::vector<StageReport>& stages);
 };
 
 /// \brief Output of GEqO_SET. Pair lists are sorted ascending by
@@ -51,14 +76,26 @@ struct GeqoResult {
   /// Pairs surviving all filters (the verifier's input).
   std::vector<std::pair<size_t, size_t>> candidates;
   size_t total_pairs = 0;  ///< |W| * (|W|-1) / 2
-  StageStats sf_stats;
-  StageStats vmf_stats;
-  StageStats emf_stats;
-  StageStats verify_stats;
+  /// Stage accounting in execution order: encode, sf, vmf, emf, verify.
+  /// Always exactly these five entries (disabled stages carry enabled=false
+  /// and pass-through counts), so iteration order is stable across runs,
+  /// options, and versions.
+  std::vector<StageReport> stages;
+  /// Sum of the stages' measured seconds — by construction equal to the
+  /// per-stage total, never a separately measured wall clock.
   double total_seconds = 0.0;
+
+  /// The named stage entry, or nullptr if \p name is not a stage.
+  const StageReport* FindStage(std::string_view name) const;
 };
 
 /// \brief The GEqO pipeline over a fixed catalog, model, and layouts.
+///
+/// Options are validated at construction; an invalid GeqoOptions poisons
+/// the pipeline and every subsequent call returns the validation error
+/// (constructors cannot return Result). Runtime reconfiguration — VMF
+/// radius calibration, EMF threshold calibration, ablation toggling — goes
+/// through UpdateOptions, the one audited mutation route.
 class GeqoPipeline {
  public:
   GeqoPipeline(const Catalog* catalog, ml::EmfModel* model,
@@ -70,6 +107,7 @@ class GeqoPipeline {
         instance_layout_(instance_layout),
         agnostic_layout_(agnostic_layout),
         options_(options),
+        options_status_(options.Validate()),
         verifier_(catalog, options.verifier) {}
 
   /// GEqO_SET(W, F): approximates the equivalence set of \p workload.
@@ -80,12 +118,13 @@ class GeqoPipeline {
   Result<bool> CheckPair(const PlanPtr& a, const PlanPtr& b,
                          ValueRange value_range);
 
+  /// Replaces the pipeline's options after validating them. On validation
+  /// failure the current options are left untouched. The verifier is
+  /// rebuilt with the new VerifierOptions; its cumulative stats carry over.
+  Status UpdateOptions(const GeqoOptions& options);
+
   SpesVerifier& verifier() { return verifier_; }
   const GeqoOptions& options() const { return options_; }
-  /// Adjusts the VMF threshold tau (used after CalibrateVmfRadius).
-  void set_vmf_radius(float radius) { options_.vmf.radius = radius; }
-  /// Adjusts the EMF decision threshold (used after CalibrateEmfThreshold).
-  void set_emf_threshold(float threshold) { options_.emf.threshold = threshold; }
 
  private:
   const Catalog* catalog_;
@@ -93,6 +132,7 @@ class GeqoPipeline {
   const EncodingLayout* instance_layout_;
   const EncodingLayout* agnostic_layout_;
   GeqoOptions options_;
+  Status options_status_;  ///< construction-time validation verdict
   SpesVerifier verifier_;
 };
 

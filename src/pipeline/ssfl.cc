@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace geqo {
 namespace {
@@ -142,12 +144,15 @@ Status Ssfl::DrawSample(const std::vector<PlanPtr>& workload,
 
 Result<std::vector<SsflIterationReport>> Ssfl::Run(
     const std::vector<PlanPtr>& workload, ValueRange value_range) {
+  obs::Span run_span("RunSsfl");
+  const VerifierStats verifier_before = verifier_.stats();
   GEQO_ASSIGN_OR_RETURN(
       std::vector<EncodedPlan> encoded,
       EncodeWorkload(workload, *instance_layout_, *catalog_, value_range));
 
   std::vector<SsflIterationReport> reports;
   for (size_t iteration = 0; iteration < options_.max_iterations; ++iteration) {
+    obs::Span iteration_span("ssfl.iteration");
     SsflIterationReport report;
     GEQO_ASSIGN_OR_RETURN(report.confidence, EstimateConfidence(encoded));
     if (report.confidence >= options_.confidence_threshold) {
@@ -162,8 +167,16 @@ Result<std::vector<SsflIterationReport>> Ssfl::Run(
     Stopwatch watch;
     trainer_->FineTune(accumulated_, options_.finetune_epochs);
     report.train_seconds = watch.ElapsedSeconds();
+    if (obs::MetricsEnabled()) {
+      auto& registry = obs::MetricsRegistry::Global();
+      registry.GetCounter("ssfl.iterations").Increment();
+      registry.GetCounter("ssfl.new_positives").Add(report.new_positives);
+      registry.GetCounter("ssfl.new_negatives").Add(report.new_negatives);
+      registry.GetGauge("ssfl.confidence").Set(report.confidence);
+    }
     reports.push_back(report);
   }
+  FoldVerifierStatsToMetrics(verifier_.stats().DeltaSince(verifier_before));
   return reports;
 }
 

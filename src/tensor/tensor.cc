@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.h"
+
 namespace geqo {
 
 KernelStats& GetKernelStats() {
@@ -17,6 +19,11 @@ void CountKernel(double flops) {
   KernelStats& stats = GetKernelStats();
   stats.dispatches.fetch_add(1, std::memory_order_relaxed);
   stats.AddFlops(flops);
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("tensor.dispatches").Increment();
+    registry.GetGauge("tensor.flops").Add(flops);
+  }
 }
 
 /// Inner-dimension block for the untransposed kernel: a kc x n panel of b is

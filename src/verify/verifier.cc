@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 
+#include "obs/metrics.h"
 #include "plan/canonicalize.h"
 #include "smt/solver.h"
 
@@ -19,6 +20,19 @@ std::string_view VerdictToString(EquivalenceVerdict verdict) {
       return "Unknown";
   }
   return "?";
+}
+
+void FoldVerifierStatsToMetrics(const VerifierStats& delta) {
+  if (!obs::MetricsEnabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetCounter("verify.pairs_checked").Add(delta.pairs_checked);
+  registry.GetCounter("verify.solver_calls").Add(delta.solver_calls);
+  registry.GetCounter("verify.bijections_tried").Add(delta.bijections_tried);
+  registry.GetCounter("verify.unknown_results").Add(delta.unknown_results);
+  registry.GetCounter("smt.decisions").Add(delta.smt_decisions);
+  registry.GetCounter("smt.propagations").Add(delta.smt_propagations);
+  registry.GetCounter("smt.theory_checks").Add(delta.smt_theory_checks);
+  registry.GetCounter("smt.conflicts").Add(delta.smt_conflicts);
 }
 
 namespace {
@@ -80,10 +94,17 @@ class SmtQuery {
     return Status::OK();
   }
 
-  /// Solves the accumulated clause set.
-  smt::Verdict Solve() {
+  /// Solves the accumulated clause set, folding the solver's DPLL(T) search
+  /// totals into \p stats so the pipeline can report SMT cost per run.
+  smt::Verdict Solve(VerifierStats* stats) {
     AssertStringDistinctness();
-    return solver_.Solve();
+    const smt::Verdict verdict = solver_.Solve();
+    const smt::DiffLogicSolver::Stats& solver_stats = solver_.stats();
+    stats->smt_decisions += solver_stats.decisions;
+    stats->smt_propagations += solver_stats.propagations;
+    stats->smt_theory_checks += solver_stats.theory_checks;
+    stats->smt_conflicts += solver_stats.conflicts;
+    return verdict;
   }
 
  private:
@@ -135,7 +156,8 @@ TriBool Feasible(const std::vector<Comparison>& premises,
     }
   }
   ++stats->solver_calls;
-  return query.Solve() == smt::Verdict::kSat ? TriBool::kTrue : TriBool::kFalse;
+  return query.Solve(stats) == smt::Verdict::kSat ? TriBool::kTrue
+                                                  : TriBool::kFalse;
 }
 
 /// Does \p premises imply \p conclusion? (UNSAT of premises ∧ ¬conclusion.)
@@ -151,8 +173,8 @@ TriBool Implies(const std::vector<Comparison>& premises,
     return TriBool::kUnknown;
   }
   ++stats->solver_calls;
-  return query.Solve() == smt::Verdict::kUnsat ? TriBool::kTrue
-                                               : TriBool::kFalse;
+  return query.Solve(stats) == smt::Verdict::kUnsat ? TriBool::kTrue
+                                                    : TriBool::kFalse;
 }
 
 /// Checks that every conjunct of \p conclusions follows from \p premises.

@@ -52,13 +52,39 @@ struct VerifierOptions {
 };
 
 /// \brief Cumulative verifier work counters (reported by benches; the
-/// solver-call count tracks the paper's O(2^Ω(γ)) AV cost driver).
+/// solver-call count tracks the paper's O(2^Ω(γ)) AV cost driver). The
+/// smt_* fields accumulate the DPLL(T) search totals across every solver
+/// call, so one merged VerifierStats carries the full SMT cost of a run.
 struct VerifierStats {
   uint64_t pairs_checked = 0;
   uint64_t solver_calls = 0;
   uint64_t bijections_tried = 0;
   uint64_t unknown_results = 0;
+  uint64_t smt_decisions = 0;
+  uint64_t smt_propagations = 0;
+  uint64_t smt_theory_checks = 0;
+  uint64_t smt_conflicts = 0;
+
+  /// Field-wise difference vs an earlier copy of the same counters.
+  VerifierStats DeltaSince(const VerifierStats& before) const {
+    VerifierStats delta;
+    delta.pairs_checked = pairs_checked - before.pairs_checked;
+    delta.solver_calls = solver_calls - before.solver_calls;
+    delta.bijections_tried = bijections_tried - before.bijections_tried;
+    delta.unknown_results = unknown_results - before.unknown_results;
+    delta.smt_decisions = smt_decisions - before.smt_decisions;
+    delta.smt_propagations = smt_propagations - before.smt_propagations;
+    delta.smt_theory_checks = smt_theory_checks - before.smt_theory_checks;
+    delta.smt_conflicts = smt_conflicts - before.smt_conflicts;
+    return delta;
+  }
 };
+
+/// Adds \p delta to the global metrics registry under the "verify." and
+/// "smt." counters. No-op (one atomic load) when GEQO_TRACE=off; callers
+/// fold merged per-run deltas, never per-query values, to keep the hot path
+/// off the registry.
+void FoldVerifierStatsToMetrics(const VerifierStats& delta);
 
 /// \brief The automated verifier (the AV of Equation 2).
 class SpesVerifier {
@@ -85,6 +111,10 @@ class SpesVerifier {
     stats_.solver_calls += other.solver_calls;
     stats_.bijections_tried += other.bijections_tried;
     stats_.unknown_results += other.unknown_results;
+    stats_.smt_decisions += other.smt_decisions;
+    stats_.smt_propagations += other.smt_propagations;
+    stats_.smt_theory_checks += other.smt_theory_checks;
+    stats_.smt_conflicts += other.smt_conflicts;
   }
 
  private:

@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geqo::obs {
+namespace {
+
+/// Every test here toggles the global trace level; restore kOff on exit so
+/// ordering between tests (and the rest of the suite) cannot leak state.
+class ObsTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    SetTraceLevel(TraceLevel::kOff);
+    Tracer::Global().Reset();
+    MetricsRegistry::Global().Reset();
+  }
+};
+
+TEST_F(ObsTest, ParseTraceLevel) {
+  EXPECT_EQ(ParseTraceLevel(nullptr), TraceLevel::kOff);
+  EXPECT_EQ(ParseTraceLevel(""), TraceLevel::kOff);
+  EXPECT_EQ(ParseTraceLevel("off"), TraceLevel::kOff);
+  EXPECT_EQ(ParseTraceLevel("metrics"), TraceLevel::kMetrics);
+  EXPECT_EQ(ParseTraceLevel("spans"), TraceLevel::kSpans);
+  EXPECT_EQ(ParseTraceLevel("SPANS"), TraceLevel::kSpans);
+  EXPECT_EQ(ParseTraceLevel("bogus"), TraceLevel::kOff);
+}
+
+TEST_F(ObsTest, LevelGates) {
+  SetTraceLevel(TraceLevel::kOff);
+  EXPECT_FALSE(MetricsEnabled());
+  EXPECT_FALSE(SpansEnabled());
+  SetTraceLevel(TraceLevel::kMetrics);
+  EXPECT_TRUE(MetricsEnabled());
+  EXPECT_FALSE(SpansEnabled());
+  SetTraceLevel(TraceLevel::kSpans);
+  EXPECT_TRUE(MetricsEnabled());
+  EXPECT_TRUE(SpansEnabled());
+}
+
+TEST_F(ObsTest, CounterAndGaugeBasics) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  Counter& counter = registry.GetCounter("test.counter");
+  counter.Reset();
+  counter.Increment();
+  counter.Add(4);
+  EXPECT_EQ(counter.value(), 5u);
+  // Same name -> same handle.
+  EXPECT_EQ(&registry.GetCounter("test.counter"), &counter);
+
+  Gauge& gauge = registry.GetGauge("test.gauge");
+  gauge.Set(2.5);
+  gauge.Add(0.5);
+  EXPECT_DOUBLE_EQ(gauge.value(), 3.0);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  Counter& counter = MetricsRegistry::Global().GetCounter("test.concurrent");
+  counter.Reset();
+  Gauge& gauge = MetricsRegistry::Global().GetGauge("test.concurrent_gauge");
+  gauge.Reset();
+
+  ThreadPool::SetGlobalThreads(8);
+  constexpr size_t kIterations = 20000;
+  ParallelFor(0, kIterations, [&](size_t) {
+    counter.Increment();
+    gauge.Add(1.0);
+  });
+  ThreadPool::SetGlobalThreads(1);
+
+  EXPECT_EQ(counter.value(), kIterations);
+  EXPECT_DOUBLE_EQ(gauge.value(), static_cast<double>(kIterations));
+}
+
+TEST_F(ObsTest, HistogramPercentiles) {
+  Histogram histogram;
+  // 1000 observations spread over [1ms, 1s): percentiles must be ordered
+  // and land within a bucket (factor-of-two resolution) of the true value.
+  for (int i = 1; i <= 1000; ++i) {
+    histogram.Observe(1e-3 * static_cast<double>(i));
+  }
+  EXPECT_EQ(histogram.count(), 1000u);
+  EXPECT_NEAR(histogram.Mean(), 0.5005, 1e-9);
+  const double p50 = histogram.P50();
+  const double p95 = histogram.P95();
+  const double p99 = histogram.P99();
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GT(p50, 0.25);
+  EXPECT_LT(p50, 1.1);
+  EXPECT_GT(p99, p50);
+  // Empty histogram reports zeros.
+  histogram.Reset();
+  EXPECT_EQ(histogram.count(), 0u);
+  EXPECT_DOUBLE_EQ(histogram.P50(), 0.0);
+}
+
+TEST_F(ObsTest, HistogramBucketBoundsAreMonotonic) {
+  for (size_t i = 1; i < Histogram::kNumBuckets; ++i) {
+    EXPECT_GT(Histogram::BucketBound(i), Histogram::BucketBound(i - 1));
+  }
+}
+
+TEST_F(ObsTest, SnapshotValueAndDelta) {
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("test.delta.moves").Reset();
+  registry.GetCounter("test.delta.stays").Reset();
+  registry.GetCounter("test.delta.stays").Add(7);
+  const MetricsSnapshot before = registry.Snapshot();
+  EXPECT_DOUBLE_EQ(before.Value("test.delta.stays"), 7.0);
+  EXPECT_DOUBLE_EQ(before.Value("no.such.metric"), 0.0);
+
+  registry.GetCounter("test.delta.moves").Add(3);
+  const MetricsSnapshot after = registry.Snapshot();
+  const auto delta = after.DeltaSince(before);
+  bool saw_moves = false;
+  for (const auto& [name, value] : delta) {
+    EXPECT_NE(name, "test.delta.stays") << "zero deltas must be dropped";
+    if (name == "test.delta.moves") {
+      saw_moves = true;
+      EXPECT_DOUBLE_EQ(value, 3.0);
+    }
+  }
+  EXPECT_TRUE(saw_moves);
+
+  const auto json_error = ValidateJson(after.ToJson());
+  EXPECT_FALSE(json_error.has_value()) << json_error.value_or("");
+}
+
+TEST_F(ObsTest, JsonWriterProducesValidDocuments) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Key("name")
+      .String("q\"uote\\and\ncontrol")
+      .Key("values")
+      .BeginArray()
+      .Number(uint64_t{42})
+      .Number(0.125)
+      .Bool(true)
+      .EndArray()
+      .Key("nested")
+      .BeginObject()
+      .Key("empty")
+      .BeginArray()
+      .EndArray()
+      .EndObject()
+      .EndObject();
+  const std::string document = std::move(writer).Finish();
+  const auto error = ValidateJson(document);
+  EXPECT_FALSE(error.has_value()) << error.value_or("") << "\n" << document;
+  EXPECT_NE(document.find("\\\"uote\\\\and\\n"), std::string::npos)
+      << document;
+
+  // Non-finite numbers must not produce invalid JSON.
+  JsonWriter nan_writer;
+  nan_writer.BeginArray().Number(std::nan("")).EndArray();
+  const std::string nan_document = std::move(nan_writer).Finish();
+  EXPECT_FALSE(ValidateJson(nan_document).has_value()) << nan_document;
+}
+
+TEST_F(ObsTest, ValidatorRejectsMalformedJson) {
+  EXPECT_FALSE(ValidateJson("{}").has_value());
+  EXPECT_FALSE(ValidateJson("[1, 2.5e3, \"x\", null, true]").has_value());
+  EXPECT_TRUE(ValidateJson("").has_value());
+  EXPECT_TRUE(ValidateJson("{").has_value());
+  EXPECT_TRUE(ValidateJson("[1,]").has_value());
+  EXPECT_TRUE(ValidateJson("{\"a\":}").has_value());
+  EXPECT_TRUE(ValidateJson("{\"a\":1} trailing").has_value());
+  EXPECT_TRUE(ValidateJson("{'a': 1}").has_value());
+  EXPECT_TRUE(ValidateJson("[01]").has_value());
+}
+
+TEST_F(ObsTest, SpansRecordNestingAndSurviveWorkerThreads) {
+  SetTraceLevel(TraceLevel::kSpans);
+  Tracer::Global().Reset();
+
+  {
+    Span outer("outer");
+    Span inner("inner");
+  }
+  ThreadPool::SetGlobalThreads(4);
+  ParallelFor(0, 8, [](size_t) { Span worker_span("worker"); });
+  ThreadPool::SetGlobalThreads(1);
+
+  const std::vector<SpanEvent> spans = Tracer::Global().Collect();
+  const SpanEvent* outer = nullptr;
+  const SpanEvent* inner = nullptr;
+  size_t workers = 0;
+  for (const SpanEvent& span : spans) {
+    if (span.name == "outer") outer = &span;
+    if (span.name == "inner") inner = &span;
+    workers += span.name == "worker";
+  }
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(workers, 8u);
+
+  // Nesting: the inner span sits one level deeper, on the same thread, and
+  // within the outer span's time range.
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(inner->depth, 1);
+  EXPECT_EQ(outer->thread_id, inner->thread_id);
+  EXPECT_GE(inner->start_us, outer->start_us);
+  EXPECT_LE(inner->start_us + inner->duration_us,
+            outer->start_us + outer->duration_us);
+
+  const std::string chrome =
+      ToChromeTraceJson(spans, MetricsRegistry::Global().Snapshot());
+  const auto chrome_error = ValidateJson(chrome);
+  EXPECT_FALSE(chrome_error.has_value()) << chrome_error.value_or("");
+  const std::string tree = ToSpanTreeJson(spans);
+  const auto tree_error = ValidateJson(tree);
+  EXPECT_FALSE(tree_error.has_value()) << tree_error.value_or("");
+}
+
+TEST_F(ObsTest, SpansAreFreeWhenDisabled) {
+  SetTraceLevel(TraceLevel::kOff);
+  Tracer::Global().Reset();
+  { Span ignored("ignored"); }
+  EXPECT_TRUE(Tracer::Global().Collect().empty());
+}
+
+}  // namespace
+}  // namespace geqo::obs

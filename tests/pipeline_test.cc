@@ -5,6 +5,9 @@
 #include "common/thread_pool.h"
 #include "filters/emf_filter.h"
 #include "ml/metrics.h"
+#include "obs/json.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "plan/canonicalize.h"
 #include "pipeline/baselines.h"
 #include "pipeline/geqo.h"
@@ -151,10 +154,14 @@ TEST_F(PipelineTest, EndToEndFindsPlantedEquivalences) {
               EquivalenceVerdict::kEquivalent);
   }
 
-  // Filter funnel: each stage passes at most what it received.
-  EXPECT_LE(result->sf_stats.pairs_out, result->sf_stats.pairs_in);
-  EXPECT_LE(result->vmf_stats.pairs_out, result->vmf_stats.pairs_in);
-  EXPECT_LE(result->emf_stats.pairs_out, result->emf_stats.pairs_in);
+  // Filter funnel: each stage passes at most what it received, and the
+  // stage list always has the five fixed entries in execution order.
+  ASSERT_EQ(result->stages.size(), 5u);
+  const char* expected_order[] = {"encode", "sf", "vmf", "emf", "verify"};
+  for (size_t i = 0; i < result->stages.size(); ++i) {
+    EXPECT_EQ(result->stages[i].name, expected_order[i]);
+    EXPECT_LE(result->stages[i].pairs_out, result->stages[i].pairs_in);
+  }
 }
 
 TEST_F(PipelineTest, FiltersShortCircuitReducesVerifierLoad) {
@@ -327,13 +334,13 @@ TEST_F(PipelineTest, DeterministicAcrossThreadCounts) {
     EXPECT_EQ(results[r].candidates, base.candidates) << "threads run " << r;
     EXPECT_EQ(results[r].equivalences, base.equivalences)
         << "threads run " << r;
-    for (const auto& [got, want] :
-         {std::pair{&results[r].sf_stats, &base.sf_stats},
-          std::pair{&results[r].vmf_stats, &base.vmf_stats},
-          std::pair{&results[r].emf_stats, &base.emf_stats},
-          std::pair{&results[r].verify_stats, &base.verify_stats}}) {
-      EXPECT_EQ(got->pairs_in, want->pairs_in);
-      EXPECT_EQ(got->pairs_out, want->pairs_out);
+    ASSERT_EQ(results[r].stages.size(), base.stages.size());
+    for (size_t stage = 0; stage < base.stages.size(); ++stage) {
+      EXPECT_EQ(results[r].stages[stage].name, base.stages[stage].name);
+      EXPECT_EQ(results[r].stages[stage].pairs_in,
+                base.stages[stage].pairs_in);
+      EXPECT_EQ(results[r].stages[stage].pairs_out,
+                base.stages[stage].pairs_out);
     }
   }
 }
@@ -356,6 +363,191 @@ TEST_F(PipelineTest, VerifierStatsMergedFromWorkers) {
   // counters were folded back into the pipeline's verifier.
   EXPECT_EQ(pipeline.verifier().stats().pairs_checked,
             result->candidates.size());
+}
+
+TEST_F(PipelineTest, TotalSecondsIsSumOfStageSeconds) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(10, 2, 80);
+
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+  const auto result = pipeline.DetectEquivalences(workload, s.value_range);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The headline total is by construction the sum of the measured stage
+  // spans (the pre-redesign code measured them independently and drifted).
+  double stage_sum = 0.0;
+  for (const StageReport& stage : result->stages) {
+    EXPECT_GE(stage.seconds, 0.0) << stage.name;
+    stage_sum += stage.seconds;
+  }
+  EXPECT_DOUBLE_EQ(result->total_seconds, stage_sum);
+  EXPECT_GT(result->total_seconds, 0.0);
+}
+
+TEST_F(PipelineTest, OptionsValidateRejectsOutOfDomainValues) {
+  EXPECT_TRUE(GeqoOptions().Validate().ok());
+
+  GeqoOptions negative_radius;
+  negative_radius.vmf.radius = -1.0f;
+  EXPECT_FALSE(negative_radius.Validate().ok());
+
+  GeqoOptions threshold_above_one;
+  threshold_above_one.emf.threshold = 1.5f;
+  EXPECT_FALSE(threshold_above_one.Validate().ok());
+
+  GeqoOptions negative_threshold;
+  negative_threshold.emf.threshold = -0.1f;
+  EXPECT_FALSE(negative_threshold.Validate().ok());
+
+  GeqoOptions zero_batch;
+  zero_batch.emf.batch_size = 0;
+  EXPECT_FALSE(zero_batch.Validate().ok());
+}
+
+TEST_F(PipelineTest, InvalidOptionsPoisonPipelineUntilUpdated) {
+  Shared& s = shared();
+  const PlanPtr q1 = MustParse("SELECT c_custkey FROM customer", s.catalog);
+  const PlanPtr q2 = MustParse("SELECT c_nationkey FROM customer", s.catalog);
+
+  GeqoOptions bad;
+  bad.vmf.radius = -2.0f;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, bad);
+  // Every entry point reports the construction-time validation error.
+  EXPECT_FALSE(pipeline.DetectEquivalences({q1, q2}, s.value_range).ok());
+  EXPECT_FALSE(pipeline.CheckPair(q1, q2, s.value_range).ok());
+
+  // UpdateOptions with a valid configuration heals the pipeline.
+  GeqoOptions good;
+  good.vmf.radius = s.vmf_radius;
+  good.emf.threshold = s.emf_threshold;
+  ASSERT_TRUE(pipeline.UpdateOptions(good).ok());
+  EXPECT_TRUE(pipeline.DetectEquivalences({q1, q2}, s.value_range).ok());
+}
+
+TEST_F(PipelineTest, UpdateOptionsRejectsInvalidAndPreservesStats) {
+  Shared& s = shared();
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+
+  // Accumulate some verifier work first.
+  const PlanPtr q1 = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 50", s.catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT c_custkey FROM customer WHERE 50 < c_acctbal", s.catalog);
+  ASSERT_TRUE(pipeline.CheckPair(q1, q2, s.value_range).ok());
+  const uint64_t checked_before = pipeline.verifier().stats().pairs_checked;
+  ASSERT_GT(checked_before, 0u);
+
+  // A rejected update leaves the current options untouched.
+  GeqoOptions bad = pipeline.options();
+  bad.emf.threshold = 2.0f;
+  EXPECT_FALSE(pipeline.UpdateOptions(bad).ok());
+  EXPECT_FLOAT_EQ(pipeline.options().emf.threshold, s.emf_threshold);
+
+  // A valid update takes effect and carries the cumulative verifier
+  // accounting across the rebuild.
+  GeqoOptions tweaked = pipeline.options();
+  tweaked.vmf.radius = s.vmf_radius + 0.5f;
+  ASSERT_TRUE(pipeline.UpdateOptions(tweaked).ok());
+  EXPECT_FLOAT_EQ(pipeline.options().vmf.radius, s.vmf_radius + 0.5f);
+  EXPECT_EQ(pipeline.verifier().stats().pairs_checked, checked_before);
+}
+
+TEST_F(PipelineTest, CheckPairMatchesDetectAcrossAblations) {
+  Shared& s = shared();
+  const PlanPtr equal_a = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 50", s.catalog);
+  const PlanPtr equal_b = MustParse(
+      "SELECT c_custkey FROM customer WHERE 50 < c_acctbal", s.catalog);
+  const PlanPtr different = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 51", s.catalog);
+
+  // GEqO_PAIR must agree with GEqO_SET on the corresponding two-query
+  // workload under every combination of the Fig-14 ablation toggles.
+  for (int mask = 0; mask < 16; ++mask) {
+    GeqoOptions options;
+    options.vmf.radius = s.vmf_radius;
+    options.emf.threshold = s.emf_threshold;
+    options.use_sf = (mask & 1) != 0;
+    options.use_vmf = (mask & 2) != 0;
+    options.use_emf = (mask & 4) != 0;
+    options.run_verifier = (mask & 8) != 0;
+    GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                          &s.agnostic_layout, options);
+
+    for (const auto& [a, b] : {std::pair{equal_a, equal_b},
+                               std::pair{equal_a, different}}) {
+      const auto detect = pipeline.DetectEquivalences({a, b}, s.value_range);
+      ASSERT_TRUE(detect.ok()) << detect.status().ToString();
+      const bool detected =
+          std::find(detect->equivalences.begin(), detect->equivalences.end(),
+                    std::pair<size_t, size_t>{0, 1}) !=
+          detect->equivalences.end();
+      const auto pairwise = pipeline.CheckPair(a, b, s.value_range);
+      ASSERT_TRUE(pairwise.ok()) << pairwise.status().ToString();
+      EXPECT_EQ(*pairwise, detected) << "toggle mask " << mask;
+    }
+  }
+}
+
+TEST_F(PipelineTest, TraceSpansProduceValidJsonPerStage) {
+  Shared& s = shared();
+  const std::vector<PlanPtr> workload = MakeWorkload(12, 4, 81);
+
+  GeqoOptions options;
+  options.vmf.radius = s.vmf_radius;
+  options.emf.threshold = s.emf_threshold;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+
+  obs::SetTraceLevel(obs::TraceLevel::kSpans);
+  obs::Tracer::Global().Reset();
+  const auto result = pipeline.DetectEquivalences(workload, s.value_range);
+  const std::vector<obs::SpanEvent> spans = obs::Tracer::Global().Collect();
+  const obs::MetricsSnapshot snapshot =
+      obs::MetricsRegistry::Global().Snapshot();
+  obs::SetTraceLevel(obs::TraceLevel::kOff);
+  obs::Tracer::Global().Reset();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // Exactly one root span for the run and one span per enabled stage.
+  const auto count_spans = [&spans](const std::string& name) {
+    size_t n = 0;
+    for (const obs::SpanEvent& span : spans) n += span.name == name;
+    return n;
+  };
+  EXPECT_EQ(count_spans("DetectEquivalences"), 1u);
+  for (const StageReport& stage : result->stages) {
+    if (!stage.enabled) continue;
+    EXPECT_EQ(count_spans("stage." + stage.name), 1u) << stage.name;
+  }
+
+  // With metrics collection on, enabled stages attribute registry deltas
+  // (the verifier at minimum moves the smt.* and verify.* counters).
+  const StageReport* verify_stage = result->FindStage("verify");
+  ASSERT_NE(verify_stage, nullptr);
+  EXPECT_FALSE(verify_stage->metrics.empty());
+
+  // Every export format is valid JSON.
+  const std::string chrome = obs::ToChromeTraceJson(spans, snapshot);
+  const auto chrome_error = obs::ValidateJson(chrome);
+  EXPECT_FALSE(chrome_error.has_value()) << chrome_error.value_or("");
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+
+  const std::string tree = obs::ToSpanTreeJson(spans);
+  const auto tree_error = obs::ValidateJson(tree);
+  EXPECT_FALSE(tree_error.has_value()) << tree_error.value_or("");
+
+  const auto metrics_error = obs::ValidateJson(snapshot.ToJson());
+  EXPECT_FALSE(metrics_error.has_value()) << metrics_error.value_or("");
 }
 
 TEST_F(PipelineTest, SsflImprovesWeakModel) {
