@@ -39,7 +39,7 @@ int main() {
   std::error_code ec;
   std::filesystem::create_directories("bench_cache", ec);
   const std::string model_path = "bench_cache/emf_cost_probe.bin";
-  GEQO_CHECK_OK(system.SaveModel(model_path));
+  GEQO_CHECK_OK(system.SaveSnapshot(model_path));
   auto size = nn::StateFileSize(model_path);
   GEQO_CHECK(size.ok());
 

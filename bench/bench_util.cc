@@ -78,32 +78,12 @@ BenchContext BuildTrainedSystem(const std::string& tag,
   const std::string cache_path = cache_dir + "/" + tag + "_" +
                                  std::string(ScaleName(GetScale())) + ".bin";
   if (std::filesystem::exists(cache_path)) {
-    const Status loaded = context.system->LoadModel(cache_path);
+    // The snapshot carries the calibrated VMF radius and EMF threshold, so
+    // a cache hit needs no recalibration sample. Pre-snapshot cache files
+    // fail the magic check and fall through to retraining.
+    const Status loaded = context.system->LoadSnapshot(cache_path);
     if (loaded.ok()) {
       context.loaded_from_cache = true;
-      // The VMF radius depends on the trained embedding space; recalibrate
-      // on a small fresh sample.
-      Rng rng(seed ^ 0xCA11B7A7E);
-      LabeledDataOptions data_options = options.synthetic_data;
-      data_options.num_base_queries =
-          std::min<size_t>(data_options.num_base_queries, 60);
-      auto pairs =
-          BuildLabeledPairs(*context.catalog, data_options, &rng);
-      GEQO_CHECK(pairs.ok());
-      auto dataset = EncodeLabeledPairs(
-          *pairs, *context.catalog, context.system->instance_layout(),
-          context.system->agnostic_layout(), context.system->value_range());
-      GEQO_CHECK(dataset.ok());
-      GeqoOptions calibrated = context.system->pipeline().options();
-      const auto radius =
-          CalibrateVmfRadius(&context.system->model(), *dataset);
-      if (radius.ok()) calibrated.vmf.radius = *radius;
-      const auto threshold =
-          CalibrateEmfThreshold(&context.system->model(), *dataset);
-      if (threshold.ok()) calibrated.emf.threshold = *threshold;
-      const Status updated =
-          context.system->pipeline().UpdateOptions(calibrated);
-      GEQO_CHECK(updated.ok()) << updated.ToString();
       std::printf("# model '%s': loaded from %s\n", tag.c_str(),
                   cache_path.c_str());
       return context;
@@ -142,7 +122,7 @@ BenchContext BuildTrainedSystem(const std::string& tag,
 
   std::error_code ec;
   std::filesystem::create_directories(cache_dir, ec);
-  const Status saved = context.system->SaveModel(cache_path);
+  const Status saved = context.system->SaveSnapshot(cache_path);
   if (!saved.ok()) {
     std::printf("# model '%s': cache save failed (%s)\n", tag.c_str(),
                 saved.ToString().c_str());
@@ -408,6 +388,33 @@ void WritePipelineArtifact(const std::string& label,
   json.EndObject();
 
   std::ofstream out("BENCH_pipeline.json", std::ios::trunc);
+  if (out) out << std::move(json).Finish();
+  obs::WriteTraceArtifactsIfEnabled();
+}
+
+void WriteServeArtifact(const std::vector<ServeBenchReport>& phases) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("phases").BeginArray();
+  for (const ServeBenchReport& phase : phases) {
+    json.BeginObject();
+    json.Key("label").String(phase.label);
+    json.Key("catalog_size").Number(static_cast<uint64_t>(phase.catalog_size));
+    json.Key("classes").Number(static_cast<uint64_t>(phase.num_classes));
+    json.Key("probes").Number(static_cast<uint64_t>(phase.probes));
+    json.Key("verifier_calls").Number(phase.verifier_calls);
+    json.Key("memo_hits").Number(phase.memo_hits);
+    json.Key("class_shortcuts").Number(phase.class_shortcuts);
+    json.Key("memo_hit_rate").Number(phase.memo_hit_rate);
+    json.Key("probe_p50_seconds").Number(phase.p50_seconds);
+    json.Key("probe_p99_seconds").Number(phase.p99_seconds);
+    json.Key("total_seconds").Number(phase.total_seconds);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+
+  std::ofstream out("BENCH_serve.json", std::ios::trunc);
   if (out) out << std::move(json).Finish();
   obs::WriteTraceArtifactsIfEnabled();
 }

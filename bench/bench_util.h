@@ -141,6 +141,25 @@ void PrintHeader(const std::string& name, const std::string& reproduces);
 /// runs from the same harness ("fig14/full", "table1/tpcds", ...).
 void WritePipelineArtifact(const std::string& label, const GeqoResult& result);
 
+/// \brief One serving phase's aggregate numbers for BENCH_serve.json.
+struct ServeBenchReport {
+  std::string label;  ///< "stream", "reprobe", ...
+  size_t catalog_size = 0;
+  size_t num_classes = 0;
+  size_t probes = 0;
+  uint64_t verifier_calls = 0;
+  uint64_t memo_hits = 0;
+  uint64_t class_shortcuts = 0;
+  double memo_hit_rate = 0.0;  ///< memo_hits / (memo_hits + verifier_calls)
+  double p50_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+/// \brief Writes the serving benchmark artifact (BENCH_serve.json) with one
+/// entry per phase, and flushes trace artifacts when GEQO_TRACE is enabled.
+void WriteServeArtifact(const std::vector<ServeBenchReport>& phases);
+
 /// \brief Modeled per-invocation cost of the paper's automated verifier.
 ///
 /// Substitution note (DESIGN.md §1): the paper's AV is SPES — a separate

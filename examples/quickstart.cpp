@@ -100,7 +100,7 @@ int main() {
     return 1;
   }
   std::printf("GEqO pipeline (SF -> VMF -> EMF -> AV) says: %s\n",
-              *equivalent ? "EQUIVALENT" : "not equivalent");
+              std::string(geqo::VerdictToString(*equivalent)).c_str());
 
   // 3. A control pair that differs semantically (weaker range predicate).
   auto q3 = geqo::ParseSql(
@@ -111,7 +111,10 @@ int main() {
   auto different = system.CheckPair(*q1, *q3);
   GEQO_CHECK(different.ok());
   std::printf("Control pair (b.val > 5 instead of > 10):      %s\n",
-              *different ? "EQUIVALENT" : "not equivalent");
+              std::string(geqo::VerdictToString(*different)).c_str());
 
-  return (*equivalent && !*different) ? 0 : 1;
+  return (*equivalent == geqo::EquivalenceVerdict::kEquivalent &&
+          *different != geqo::EquivalenceVerdict::kEquivalent)
+             ? 0
+             : 1;
 }

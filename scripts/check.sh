@@ -32,6 +32,20 @@ GEQO_TRACE=spans \
 ./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace.json" \
   "$smoke_dir/geqo_metrics.json"
 
+echo "== serving snapshot round-trip smoke =="
+# The serving catalog's core guarantee: a stream interrupted by
+# save+restart replays with bit-identical probe results.
+check_serving_roundtrip() {
+  local demo="$1" snap_base="$2"
+  "$demo" > "$smoke_dir/serve_full.txt"
+  "$demo" --phase1 "$snap_base" > "$smoke_dir/serve_p1.txt"
+  "$demo" --phase2 "$snap_base" > "$smoke_dir/serve_p2.txt"
+  diff <(grep '^PROBE' "$smoke_dir/serve_full.txt") \
+       <(cat <(grep '^PROBE' "$smoke_dir/serve_p1.txt") \
+             <(grep '^PROBE' "$smoke_dir/serve_p2.txt"))
+}
+check_serving_roundtrip ./build/examples/serving_demo "$smoke_dir/serve_snap"
+
 if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="
   exit 0
@@ -56,5 +70,9 @@ GEQO_THREADS=4 GEQO_TRACE=spans \
   ./build-tsan/examples/observability_demo
 ./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace_tsan.json" \
   "$smoke_dir/geqo_metrics_tsan.json"
+
+echo "== TSan serving snapshot round-trip smoke =="
+GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
+  "$smoke_dir/serve_snap_tsan"
 
 echo "== all checks passed =="

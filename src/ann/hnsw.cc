@@ -1,13 +1,25 @@
 #include "ann/hnsw.h"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
+#include <istream>
+#include <ostream>
 #include <queue>
+#include <string>
 #include <unordered_set>
 
+#include "common/binary_io.h"
 #include "obs/metrics.h"
 
 namespace geqo::ann {
+namespace {
+
+constexpr uint64_t kHnswMagic = 0x4745514f484e5357ULL;     // "GEQOHNSW"
+constexpr uint64_t kHnswEndMagic = 0x484e5357454e4421ULL;  // "HNSWEND!"
+constexpr uint64_t kHnswVersion = 1;
+
+}  // namespace
 
 HnswIndex::HnswIndex(size_t dim, HnswOptions options)
     : dim_(dim),
@@ -154,7 +166,9 @@ std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, uint32_t entry,
     out.push_back(best.top());
     best.pop();
   }
-  std::reverse(out.begin(), out.end());  // closest first
+  // Closest first; ties broken by id (heap pop order among equal distances
+  // depends on insertion interleaving, so a final sort makes it stable).
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -174,8 +188,10 @@ void HnswIndex::Connect(uint32_t id, const std::vector<Neighbor>& candidates,
       const float* anchor = vectors_[candidate.id].data();
       std::sort(back_links.begin(), back_links.end(),
                 [&](uint32_t a, uint32_t b) {
-                  return Distance(anchor, vectors_[a].data()) <
-                         Distance(anchor, vectors_[b].data());
+                  const float da = Distance(anchor, vectors_[a].data());
+                  const float db = Distance(anchor, vectors_[b].data());
+                  if (da != db) return da < db;
+                  return a < b;  // deterministic prune among equidistant links
                 });
       back_links.resize(max_links);
     }
@@ -211,6 +227,120 @@ std::vector<Neighbor> HnswIndex::SearchRadius(const float* query, float radius,
   }
   FoldMetrics();
   return out;
+}
+
+Status HnswIndex::Serialize(std::ostream& os) const {
+  io::BinaryWriter writer(os, "HNSW index");
+  writer.U64(kHnswMagic);
+  writer.U64(kHnswVersion);
+  writer.U64(dim_);
+  writer.U64(options_.max_connections);
+  writer.U64(options_.ef_construction);
+  writer.U64(options_.ef_search);
+  writer.U64(options_.seed);
+  // The rng's stream position makes post-load Add assign the same levels the
+  // uninterrupted index would have.
+  for (const uint64_t word : rng_.SaveState()) writer.U64(word);
+  writer.I64(max_level_);
+  writer.U64(entry_point_);
+  writer.U64(vectors_.size());
+  for (const auto& vector : vectors_) {
+    writer.Bytes(vector.data(), vector.size() * sizeof(float));
+  }
+  for (const Node& node : nodes_) {
+    writer.I64(node.level);
+    for (const auto& links : node.neighbors) {
+      writer.U64(links.size());
+      writer.Bytes(links.data(), links.size() * sizeof(uint32_t));
+    }
+  }
+  writer.U64(kHnswEndMagic);
+  return writer.status();
+}
+
+Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(std::istream& is) {
+  io::BinaryReader reader(is, "HNSW index");
+  const uint64_t magic = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (magic != kHnswMagic) {
+    return Status::InvalidArgument("HNSW index: bad magic (not an index blob)");
+  }
+  const uint64_t version = reader.U64();
+  if (reader.ok() && version != kHnswVersion) {
+    return Status::InvalidArgument(
+        "HNSW index: unsupported version " + std::to_string(version) +
+        " (expected " + std::to_string(kHnswVersion) + ")");
+  }
+  const uint64_t dim = reader.U64();
+  HnswOptions options;
+  options.max_connections = reader.U64();
+  options.ef_construction = reader.U64();
+  options.ef_search = reader.U64();
+  options.seed = reader.U64();
+  std::array<uint64_t, 4> rng_state;
+  for (auto& word : rng_state) word = reader.U64();
+  const int64_t max_level = reader.I64();
+  const uint64_t entry_point = reader.U64();
+  const uint64_t count = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (dim == 0 || options.max_connections < 2) {
+    return Status::InvalidArgument("HNSW index: invalid header parameters");
+  }
+
+  auto index = std::make_unique<HnswIndex>(dim, options);
+  index->rng_.RestoreState(rng_state);
+  index->max_level_ = static_cast<int>(max_level);
+  index->entry_point_ = static_cast<uint32_t>(entry_point);
+  index->vectors_.resize(count);
+  for (auto& vector : index->vectors_) {
+    vector.resize(dim);
+    reader.Bytes(vector.data(), dim * sizeof(float));
+    GEQO_RETURN_NOT_OK(reader.status());
+  }
+  index->nodes_.resize(count);
+  for (Node& node : index->nodes_) {
+    node.level = static_cast<int>(reader.I64());
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (node.level < 0 || node.level > index->max_level_) {
+      return Status::InvalidArgument("HNSW index: node level out of range");
+    }
+    node.neighbors.resize(static_cast<size_t>(node.level) + 1);
+    for (auto& links : node.neighbors) {
+      const uint64_t n_links = reader.U64();
+      GEQO_RETURN_NOT_OK(reader.status());
+      if (n_links > count) {
+        return Status::InvalidArgument("HNSW index: neighbor count exceeds "
+                                       "element count (corrupt graph)");
+      }
+      links.resize(n_links);
+      reader.Bytes(links.data(), n_links * sizeof(uint32_t));
+      GEQO_RETURN_NOT_OK(reader.status());
+      for (const uint32_t link : links) {
+        if (link >= count) {
+          return Status::InvalidArgument(
+              "HNSW index: neighbor id out of range (corrupt graph)");
+        }
+      }
+    }
+  }
+  if (reader.U64() != kHnswEndMagic) {
+    reader.Fail("missing end marker");
+  }
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (count == 0) {
+    if (index->max_level_ != -1) {
+      return Status::InvalidArgument("HNSW index: empty index with entry");
+    }
+  } else {
+    if (entry_point >= count) {
+      return Status::InvalidArgument("HNSW index: entry point out of range");
+    }
+    if (index->nodes_[entry_point].level != index->max_level_) {
+      return Status::InvalidArgument(
+          "HNSW index: entry point level does not match max level");
+    }
+  }
+  return index;
 }
 
 std::vector<Neighbor> HnswIndex::ExactRadius(const float* query,

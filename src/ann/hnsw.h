@@ -2,10 +2,14 @@
 
 #include <atomic>
 #include <cstdint>
+#include <iosfwd>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "tensor/tensor.h"
 
 /// \file hnsw.h
@@ -30,8 +34,12 @@ struct Neighbor {
   size_t id;
   float distance;
 
+  /// Orders by distance, tie-breaking equal distances by id so result
+  /// ordering is deterministic across platforms and insertion interleavings
+  /// (duplicate embeddings are common in catalog serving).
   bool operator<(const Neighbor& other) const {
-    return distance < other.distance;
+    if (distance != other.distance) return distance < other.distance;
+    return id < other.id;
   }
 };
 
@@ -63,6 +71,18 @@ class HnswIndex {
   size_t size() const { return vectors_.size(); }
   size_t dim() const { return dim_; }
   const float* vector(size_t id) const { return vectors_[id].data(); }
+  const HnswOptions& options() const { return options_; }
+
+  /// Writes the complete index state — options, the rng's position in its
+  /// stream, all vectors, and the layered graph — to \p os. A deserialized
+  /// index continues to accept Add calls and produces bit-identical search
+  /// results and level assignments to the original.
+  Status Serialize(std::ostream& os) const;
+
+  /// Restores an index written by Serialize. Fails with a descriptive Status
+  /// (never aborts) on bad magic, version skew, truncation, or a graph that
+  /// violates structural invariants (out-of-range ids, level mismatches).
+  static Result<std::unique_ptr<HnswIndex>> Deserialize(std::istream& is);
 
  private:
   struct Node {

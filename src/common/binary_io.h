@@ -1,0 +1,142 @@
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+
+#include "common/status.h"
+
+/// \file binary_io.h
+/// Little helpers for the versioned binary snapshot formats (model state,
+/// HNSW graph, serving catalog). Readers latch the first failure so callers
+/// can issue a run of reads and check status() once; every error message
+/// carries the caller-supplied context so corrupted or truncated snapshots
+/// fail loudly with a pointer at the offending section.
+
+namespace geqo::io {
+
+/// \brief Buffered little-endian-as-host writer over an std::ostream.
+///
+/// The host format is not translated: snapshots are an on-disk cache for the
+/// machine that wrote them, not an interchange format (same stance as the
+/// model state files).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os, std::string context)
+      : os_(os), context_(std::move(context)) {}
+
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U8(uint8_t v) { Raw(&v, sizeof(v)); }
+  void F32(float v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  /// Signed values are stored as their two's-complement u64 image.
+  void I64(int64_t v) { U64(static_cast<uint64_t>(v)); }
+
+  void String(const std::string& s) {
+    U64(s.size());
+    Raw(s.data(), s.size());
+  }
+
+  void Bytes(const void* data, size_t size) { Raw(data, size); }
+
+  Status status() const {
+    if (os_.good()) return Status::OK();
+    return Status::IoError("write failed while saving " + context_);
+  }
+
+ private:
+  void Raw(const void* data, size_t size) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(size));
+  }
+
+  std::ostream& os_;
+  std::string context_;
+};
+
+/// \brief Reader over an std::istream that latches the first failure.
+///
+/// After a short read every subsequent accessor returns a zero value, so a
+/// sequence of reads can be issued unconditionally and validated once via
+/// status(). Truncated input therefore never turns into garbage state.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is, std::string context)
+      : is_(is), context_(std::move(context)) {}
+
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint8_t U8() { return Fixed<uint8_t>(); }
+  float F32() { return Fixed<float>(); }
+  double F64() { return Fixed<double>(); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  /// Reads a length-prefixed string, failing (not allocating) if the stored
+  /// length exceeds \p max_size — a cheap guard against interpreting a
+  /// corrupted length field as a multi-gigabyte allocation.
+  std::string String(size_t max_size = 1 << 20) {
+    const uint64_t size = U64();
+    if (!ok()) return {};
+    if (size > max_size) {
+      Fail("string length " + std::to_string(size) + " exceeds limit");
+      return {};
+    }
+    std::string out(size, '\0');
+    Raw(out.data(), out.size());
+    if (!ok()) return {};
+    return out;
+  }
+
+  void Bytes(void* data, size_t size) { Raw(data, size); }
+
+  bool ok() const { return !failed_; }
+
+  Status status() const {
+    if (!failed_) return Status::OK();
+    return Status::IoError("corrupted or truncated " + context_ +
+                           (detail_.empty() ? "" : ": " + detail_));
+  }
+
+  /// Marks the stream as failed with a caller-diagnosed reason (e.g. an
+  /// out-of-range id); later reads become no-ops.
+  void Fail(std::string detail) {
+    if (!failed_) detail_ = std::move(detail);
+    failed_ = true;
+  }
+
+  /// True when every byte of the stream has been consumed; trailing garbage
+  /// after a structurally valid snapshot is treated as corruption.
+  bool AtEof() {
+    if (failed_) return false;
+    return is_.peek() == std::istream::traits_type::eof();
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    T v{};
+    Raw(&v, sizeof(v));
+    if (failed_) return T{};
+    return v;
+  }
+
+  void Raw(void* data, size_t size) {
+    if (failed_) {
+      std::memset(data, 0, size);
+      return;
+    }
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (static_cast<size_t>(is_.gcount()) != size) Fail("unexpected end");
+  }
+
+  std::istream& is_;
+  std::string context_;
+  std::string detail_;
+  bool failed_ = false;
+};
+
+}  // namespace geqo::io

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdint>
 #include <vector>
@@ -130,6 +131,21 @@ class Rng {
 
   /// Derives an independent child generator (for per-module streams).
   Rng Fork() { return Rng(Next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+  /// Raw xoshiro256** state, for serializing a generator mid-stream so a
+  /// restored consumer (e.g. a reloaded HNSW index) continues the exact same
+  /// sequence. The Gaussian cache is deliberately excluded: restoring resets
+  /// it, so callers that need bit-identical resumption must only depend on
+  /// the uniform stream (Next/NextDouble/Uniform).
+  std::array<uint64_t, 4> SaveState() const {
+    return {state_[0], state_[1], state_[2], state_[3]};
+  }
+
+  void RestoreState(const std::array<uint64_t, 4>& state) {
+    for (size_t i = 0; i < 4; ++i) state_[i] = state[i];
+    has_cached_gaussian_ = false;
+    cached_gaussian_ = 0.0;
+  }
 
  private:
   static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }

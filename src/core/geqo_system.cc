@@ -1,10 +1,20 @@
 #include "core/geqo_system.h"
 
+#include <fstream>
+
+#include "common/binary_io.h"
 #include "filters/emf_filter.h"
 #include "filters/vmf.h"
 #include "nn/serialize.h"
+#include "plan/schema.h"
 
 namespace geqo {
+namespace {
+
+constexpr uint64_t kSnapshotMagic = 0x4745514f534e4150ULL;  // "GEQOSNAP"
+constexpr uint64_t kSnapshotVersion = 1;
+
+}  // namespace
 
 GeqoSystem::GeqoSystem(const Catalog* catalog, GeqoSystemOptions options)
     : catalog_(catalog),
@@ -59,7 +69,8 @@ Result<GeqoResult> GeqoSystem::DetectEquivalences(
   return pipeline_->DetectEquivalences(workload, options_.value_range);
 }
 
-Result<bool> GeqoSystem::CheckPair(const PlanPtr& a, const PlanPtr& b) {
+Result<EquivalenceVerdict> GeqoSystem::CheckPair(const PlanPtr& a,
+                                                 const PlanPtr& b) {
   return pipeline_->CheckPair(a, b, options_.value_range);
 }
 
@@ -70,12 +81,92 @@ Result<std::vector<SsflIterationReport>> GeqoSystem::RunSsfl(
   return ssfl.Run(workload, options_.value_range);
 }
 
-Status GeqoSystem::SaveModel(const std::string& path) {
-  return nn::SaveState(model_->State(), path);
+Status GeqoSystem::SaveSnapshot(const std::string& path) {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  io::BinaryWriter writer(file, "system snapshot");
+  writer.U64(kSnapshotMagic);
+  writer.U64(kSnapshotVersion);
+  writer.U64(CatalogFingerprint(*catalog_));
+  writer.U64(options_.agnostic_tables);
+  writer.U64(options_.agnostic_columns_per_table);
+  // The calibrated operating point (TrainOnPairs) travels with the weights,
+  // so a restored system needs no recalibration data.
+  writer.F32(options_.pipeline.vmf.radius);
+  writer.F32(options_.pipeline.emf.threshold);
+  GEQO_RETURN_NOT_OK(writer.status());
+  GEQO_RETURN_NOT_OK(nn::SaveState(model_->State(), file));
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
 }
 
-Status GeqoSystem::LoadModel(const std::string& path) {
-  return nn::LoadState(model_->State(), path);
+Status GeqoSystem::LoadSnapshot(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  io::BinaryReader reader(file, "system snapshot");
+  const uint64_t magic = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (magic != kSnapshotMagic) {
+    return Status::InvalidArgument(
+        "system snapshot: bad magic (not a GEqO snapshot): " + path);
+  }
+  const uint64_t version = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (version != kSnapshotVersion) {
+    return Status::InvalidArgument(
+        "system snapshot: unsupported version " + std::to_string(version) +
+        " (expected " + std::to_string(kSnapshotVersion) + "): " + path);
+  }
+  const uint64_t fingerprint = reader.U64();
+  const uint64_t tables = reader.U64();
+  const uint64_t columns = reader.U64();
+  const float radius = reader.F32();
+  const float threshold = reader.F32();
+  GEQO_RETURN_NOT_OK(reader.status());
+  const uint64_t expected = CatalogFingerprint(*catalog_);
+  if (fingerprint != expected) {
+    return Status::InvalidArgument(
+        "system snapshot: database schema fingerprint mismatch (snapshot " +
+        std::to_string(fingerprint) + ", current " + std::to_string(expected) +
+        ") — the snapshot was trained against a different catalog: " + path);
+  }
+  if (tables != options_.agnostic_tables ||
+      columns != options_.agnostic_columns_per_table) {
+    return Status::InvalidArgument(
+        "system snapshot: agnostic layout mismatch (snapshot " +
+        std::to_string(tables) + "x" + std::to_string(columns) + ", system " +
+        std::to_string(options_.agnostic_tables) + "x" +
+        std::to_string(options_.agnostic_columns_per_table) + "): " + path);
+  }
+  GEQO_RETURN_NOT_OK(nn::LoadState(model_->State(), file));
+  GeqoOptions calibrated = pipeline_->options();
+  calibrated.vmf.radius = radius;
+  calibrated.emf.threshold = threshold;
+  GEQO_RETURN_NOT_OK(pipeline_->UpdateOptions(calibrated));
+  options_.pipeline = calibrated;
+  return Status::OK();
+}
+
+std::unique_ptr<serve::EquivalenceCatalog> GeqoSystem::OpenCatalog(
+    serve::CatalogOptions options) {
+  return std::make_unique<serve::EquivalenceCatalog>(
+      catalog_, model_.get(), &instance_layout_, &agnostic_layout_,
+      options_.value_range, options);
+}
+
+std::unique_ptr<serve::EquivalenceCatalog> GeqoSystem::OpenCatalog() {
+  serve::CatalogOptions options;
+  options.pipeline = options_.pipeline;
+  return OpenCatalog(options);
+}
+
+Result<std::unique_ptr<serve::EquivalenceCatalog>> GeqoSystem::LoadCatalog(
+    const std::string& path, const std::vector<PlanPtr>& plans) {
+  serve::CatalogOptions options;
+  options.pipeline = options_.pipeline;
+  return serve::EquivalenceCatalog::Load(path, catalog_, model_.get(),
+                                         &instance_layout_, &agnostic_layout_,
+                                         options_.value_range, plans, options);
 }
 
 }  // namespace geqo

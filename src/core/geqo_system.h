@@ -8,6 +8,7 @@
 #include "pipeline/baselines.h"
 #include "pipeline/geqo.h"
 #include "pipeline/ssfl.h"
+#include "serve/equivalence_catalog.h"
 #include "workload/labeled_data.h"
 
 /// \file geqo_system.h
@@ -56,16 +57,37 @@ class GeqoSystem {
   /// GEqO_SET over a workload of subexpressions.
   Result<GeqoResult> DetectEquivalences(const std::vector<PlanPtr>& workload);
 
-  /// GEqO_PAIR for two subexpressions.
-  Result<bool> CheckPair(const PlanPtr& a, const PlanPtr& b);
+  /// GEqO_PAIR for two subexpressions. kEquivalent means proved (or, with
+  /// run_verifier disabled, survived the filter cascade), kNotEquivalent
+  /// means filter-rejected or refuted, kUnknown means the proof budget ran
+  /// out before a verdict.
+  Result<EquivalenceVerdict> CheckPair(const PlanPtr& a, const PlanPtr& b);
 
   /// Runs the semi-supervised feedback loop on \p workload (§6).
   Result<std::vector<SsflIterationReport>> RunSsfl(
       const std::vector<PlanPtr>& workload, SsflOptions options);
 
-  /// Saves / restores the trained model.
-  Status SaveModel(const std::string& path);
-  Status LoadModel(const std::string& path);
+  /// Saves / restores the trained deployment as a versioned snapshot:
+  /// magic + version, the database-catalog fingerprint, the agnostic layout
+  /// shape, the calibrated VMF radius and EMF threshold, and the model
+  /// weights. LoadSnapshot fails loudly when the snapshot was produced for
+  /// a different database schema, a different layout shape, or by a
+  /// different format version — and applies the saved calibration, so a
+  /// loaded system probes exactly like the one that saved it.
+  Status SaveSnapshot(const std::string& path);
+  Status LoadSnapshot(const std::string& path);
+
+  /// Opens an empty online serving catalog (§7.7) wired to this system's
+  /// model, layouts, and calibrated pipeline options. The catalog borrows
+  /// the system's components: the system must outlive it.
+  std::unique_ptr<serve::EquivalenceCatalog> OpenCatalog(
+      serve::CatalogOptions options);
+  std::unique_ptr<serve::EquivalenceCatalog> OpenCatalog();
+
+  /// Restores a serving catalog snapshot against this system (see
+  /// serve::EquivalenceCatalog::Load for the \p plans contract).
+  Result<std::unique_ptr<serve::EquivalenceCatalog>> LoadCatalog(
+      const std::string& path, const std::vector<PlanPtr>& plans);
 
   // Component access for advanced use and benchmarking.
   const Catalog& catalog() const { return *catalog_; }

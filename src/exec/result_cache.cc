@@ -74,4 +74,66 @@ CacheSimulation ResultCacheSimulator::Simulate(size_t budget_bytes) const {
   return simulation;
 }
 
+bool OnlineResultCache::MakeRoom(size_t needed_bytes, double value,
+                                 size_t* evicted) {
+  if (needed_bytes > budget_bytes_) return false;
+  // Victims cheapest-first, so the displaced value is minimal.
+  std::vector<std::pair<double, size_t>> residents;
+  for (const auto& [id, state] : classes_) {
+    if (state.materialized) residents.emplace_back(state.saved_seconds, id);
+  }
+  std::sort(residents.begin(), residents.end());
+  size_t free_bytes = budget_bytes_ - stats_.used_bytes;
+  size_t victims = 0;
+  double displaced = 0.0;
+  while (free_bytes < needed_bytes && victims < residents.size()) {
+    displaced += residents[victims].first;
+    free_bytes += classes_[residents[victims].second].result_bytes;
+    ++victims;
+  }
+  if (free_bytes < needed_bytes || displaced >= value) return false;
+  for (size_t v = 0; v < victims; ++v) {
+    ClassState& victim = classes_[residents[v].second];
+    victim.materialized = false;
+    stats_.used_bytes -= victim.result_bytes;
+  }
+  *evicted = victims;
+  return true;
+}
+
+CacheAccess OnlineResultCache::OnQuery(size_t equivalence_class,
+                                       double execution_seconds,
+                                       size_t result_bytes) {
+  CacheAccess access;
+  ClassState& state = classes_[equivalence_class];
+  ++state.accesses;
+  if (state.materialized) {
+    access.hit = true;
+    ++stats_.hits;
+    stats_.saved_seconds += execution_seconds;
+    state.saved_seconds += execution_seconds;
+    return access;
+  }
+  access.charged_seconds = execution_seconds;
+  ++stats_.misses;
+  stats_.executed_seconds += execution_seconds;
+  state.result_bytes = result_bytes;
+  if (state.accesses < 2) return access;  // no demonstrated reuse yet
+  // Demonstrated reuse: everything after the class's first execution is
+  // value the cache would have captured (the simulator's SavedSeconds).
+  state.saved_seconds += execution_seconds;
+  size_t evicted = 0;
+  if (!MakeRoom(result_bytes, state.saved_seconds, &evicted)) {
+    ++stats_.rejected;
+    return access;
+  }
+  state.materialized = true;
+  stats_.used_bytes += result_bytes;
+  ++stats_.admissions;
+  stats_.evictions += evicted;
+  access.admitted = true;
+  access.evicted = evicted > 0;
+  return access;
+}
+
 }  // namespace geqo

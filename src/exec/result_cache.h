@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <vector>
 
 #include "exec/executor.h"
@@ -9,6 +11,10 @@
 /// classes are known (detected by GEqO), materialize one representative
 /// result per class under a storage budget — most-expensive-first, using
 /// past runtime statistics — and serve later class members from the cache.
+/// ResultCacheSimulator replays a fully-profiled workload offline;
+/// OnlineResultCache makes the same value-ordered admission decision one
+/// query at a time, for the serving loop where classes arrive incrementally
+/// (EquivalenceCatalog::ProbeAdd supplies the class ids).
 
 namespace geqo {
 
@@ -53,6 +59,78 @@ class ResultCacheSimulator {
 
  private:
   std::vector<QueryProfile> profiles_;
+};
+
+/// \brief Outcome of one OnlineResultCache::OnQuery call.
+struct CacheAccess {
+  bool hit = false;       ///< served from a materialized representative
+  bool admitted = false;  ///< this access materialized the class
+  bool evicted = false;   ///< admission displaced at least one other class
+  /// What the caller pays for this access: 0 on a hit, the measured
+  /// execution time otherwise.
+  double charged_seconds = 0.0;
+};
+
+/// \brief Cumulative OnlineResultCache counters.
+struct OnlineCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t admissions = 0;
+  uint64_t evictions = 0;
+  uint64_t rejected = 0;  ///< admission attempts that lost on value or size
+  size_t used_bytes = 0;
+  double saved_seconds = 0.0;     ///< summed cost of all hits
+  double executed_seconds = 0.0;  ///< summed cost of all misses
+  double HitRate() const {
+    const uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+/// \brief Online (streaming) version of the §7.7 policy.
+///
+/// The first access to a class always executes: there is no evidence of
+/// reuse yet and the simulator's value function (time saved = everything
+/// after the first occurrence) is exactly zero. From the second access on,
+/// the class has demonstrated reuse and is admitted if its accumulated
+/// saved-seconds value beats the cheapest residents needed to make room
+/// (lower-value residents are evicted). This converges to the simulator's
+/// most-expensive-first choice as observations accumulate.
+class OnlineResultCache {
+ public:
+  explicit OnlineResultCache(size_t budget_bytes)
+      : budget_bytes_(budget_bytes) {}
+
+  /// Records one execution of a query in \p equivalence_class whose fresh
+  /// run costs \p execution_seconds and whose result occupies
+  /// \p result_bytes, and returns the cache's decision for this access.
+  CacheAccess OnQuery(size_t equivalence_class, double execution_seconds,
+                      size_t result_bytes);
+
+  bool Contains(size_t equivalence_class) const {
+    const auto it = classes_.find(equivalence_class);
+    return it != classes_.end() && it->second.materialized;
+  }
+
+  size_t budget_bytes() const { return budget_bytes_; }
+  const OnlineCacheStats& stats() const { return stats_; }
+
+ private:
+  struct ClassState {
+    bool materialized = false;
+    size_t result_bytes = 0;
+    double saved_seconds = 0.0;  ///< accumulated value (post-first accesses)
+    size_t accesses = 0;
+  };
+
+  /// Evicts lowest-value residents until \p needed_bytes fit; returns false
+  /// (leaving the cache untouched) if even that would not make room or the
+  /// candidate's \p value does not beat the victims'.
+  bool MakeRoom(size_t needed_bytes, double value, size_t* evicted);
+
+  size_t budget_bytes_;
+  std::map<size_t, ClassState> classes_;
+  OnlineCacheStats stats_;
 };
 
 }  // namespace geqo

@@ -10,6 +10,15 @@ namespace geqo {
 Result<std::vector<float>> EquivalenceModelFilter::Scores(
     const std::vector<std::pair<size_t, size_t>>& pairs,
     const std::vector<EncodedPlan>& instance_encoded) const {
+  std::vector<const EncodedPlan*> views;
+  views.reserve(instance_encoded.size());
+  for (const EncodedPlan& plan : instance_encoded) views.push_back(&plan);
+  return Scores(pairs, views);
+}
+
+Result<std::vector<float>> EquivalenceModelFilter::Scores(
+    const std::vector<std::pair<size_t, size_t>>& pairs,
+    const std::vector<const EncodedPlan*>& instance_encoded) const {
   if (pairs.empty()) return std::vector<float>();
   const size_t batch_size = std::max<size_t>(1, options_.batch_size);
   const size_t num_batches = (pairs.size() + batch_size - 1) / batch_size;
@@ -28,8 +37,8 @@ Result<std::vector<float>> EquivalenceModelFilter::Scores(
     lhs_converted.reserve(end - begin);
     rhs_converted.reserve(end - begin);
     for (size_t p = begin; p < end; ++p) {
-      const EncodedPlan& a = instance_encoded[pairs[p].first];
-      const EncodedPlan& b = instance_encoded[pairs[p].second];
+      const EncodedPlan& a = *instance_encoded[pairs[p].first];
+      const EncodedPlan& b = *instance_encoded[pairs[p].second];
       // Pairwise fast conversion (§4.2.1): masks over the two members only.
       const Result<AgnosticConverter> converter = AgnosticConverter::Create(
           instance_layout_, agnostic_layout_, {&a, &b});

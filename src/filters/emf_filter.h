@@ -39,6 +39,14 @@ class EquivalenceModelFilter {
       const std::vector<std::pair<size_t, size_t>>& pairs,
       const std::vector<EncodedPlan>& instance_encoded) const;
 
+  /// View-based variant for query-vs-catalog scoring: callers assemble the
+  /// position space from encodings that live in different containers (e.g.
+  /// slot 0 = the probe query, slots 1..k = catalog entries) without copying
+  /// any of them.
+  Result<std::vector<float>> Scores(
+      const std::vector<std::pair<size_t, size_t>>& pairs,
+      const std::vector<const EncodedPlan*>& instance_encoded) const;
+
   /// The pairs whose score clears the threshold.
   Result<std::vector<std::pair<size_t, size_t>>> Filter(
       const std::vector<std::pair<size_t, size_t>>& pairs,

@@ -7,20 +7,31 @@
 
 namespace geqo {
 
+Result<SfSignature> SchemaSignature(const PlanPtr& plan,
+                                    const Catalog& catalog) {
+  SfSignature signature;
+  signature.tables = SortedTableNames(plan);
+  signature.tables.erase(
+      std::unique(signature.tables.begin(), signature.tables.end()),
+      signature.tables.end());
+  GEQO_ASSIGN_OR_RETURN(signature.num_output_columns,
+                        plan->NumOutputColumns(catalog));
+  return signature;
+}
+
 Result<std::vector<SfGroup>> SchemaFilter(const std::vector<PlanPtr>& workload,
                                           const Catalog& catalog) {
-  std::map<std::pair<std::vector<std::string>, size_t>, size_t> group_index;
+  std::map<SfSignature, size_t> group_index;
   std::vector<SfGroup> groups;
   for (size_t i = 0; i < workload.size(); ++i) {
-    std::vector<std::string> tables = SortedTableNames(workload[i]);
-    tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
-    GEQO_ASSIGN_OR_RETURN(const size_t arity,
-                          workload[i]->NumOutputColumns(catalog));
-    const auto key = std::make_pair(tables, arity);
-    const auto it = group_index.find(key);
+    GEQO_ASSIGN_OR_RETURN(SfSignature signature,
+                          SchemaSignature(workload[i], catalog));
+    const auto it = group_index.find(signature);
     if (it == group_index.end()) {
-      group_index.emplace(key, groups.size());
-      groups.push_back(SfGroup{std::move(tables), arity, {i}});
+      group_index.emplace(signature, groups.size());
+      groups.push_back(SfGroup{std::move(signature.tables),
+                               signature.num_output_columns,
+                               {i}});
     } else {
       groups[it->second].members.push_back(i);
     }

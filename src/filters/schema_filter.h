@@ -21,6 +21,25 @@ struct SfGroup {
   std::vector<size_t> members;      ///< indices into the workload
 };
 
+/// \brief The SF signature of one subexpression: sorted distinct table names
+/// plus output arity. Two plans can only be SF-compatible if their
+/// signatures compare equal; the serving catalog keys its incremental group
+/// map on this.
+struct SfSignature {
+  std::vector<std::string> tables;
+  size_t num_output_columns = 0;
+
+  bool operator==(const SfSignature&) const = default;
+  bool operator<(const SfSignature& other) const {
+    if (tables != other.tables) return tables < other.tables;
+    return num_output_columns < other.num_output_columns;
+  }
+};
+
+/// \brief Computes the SF signature of \p plan.
+Result<SfSignature> SchemaSignature(const PlanPtr& plan,
+                                    const Catalog& catalog);
+
 /// \brief Groups \p workload subexpressions into SF-groups.
 Result<std::vector<SfGroup>> SchemaFilter(const std::vector<PlanPtr>& workload,
                                           const Catalog& catalog);

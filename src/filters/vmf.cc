@@ -29,6 +29,19 @@ Result<Tensor> VectorMatchingFilter::EmbedGroup(
   return model_->Embed(views);
 }
 
+Result<std::vector<float>> VectorMatchingFilter::EmbedSingle(
+    const EncodedPlan& instance_encoded) const {
+  GEQO_ASSIGN_OR_RETURN(
+      AgnosticConverter converter,
+      AgnosticConverter::Create(instance_layout_, agnostic_layout_,
+                                {&instance_encoded},
+                                options_.truncate_overflow));
+  const EncodedPlan converted = converter.Convert(instance_encoded);
+  const Tensor embedding = model_->Embed({&converted});
+  return std::vector<float>(embedding.Row(0),
+                            embedding.Row(0) + embedding.cols());
+}
+
 Result<std::vector<std::pair<size_t, size_t>>>
 VectorMatchingFilter::CandidatePairs(
     const std::vector<size_t>& group,

@@ -50,6 +50,14 @@ class VectorMatchingFilter {
       const std::vector<size_t>& group,
       const std::vector<EncodedPlan>& instance_encoded) const;
 
+  /// Embedding of a single subexpression under a singleton symbol map. The
+  /// batch path's n-ary map depends on group membership, so its embeddings
+  /// shift as the group changes; the singleton map depends on the plan
+  /// alone, which makes these embeddings stable forever — the property the
+  /// serving catalog needs to insert into one persistent HNSW index.
+  Result<std::vector<float>> EmbedSingle(
+      const EncodedPlan& instance_encoded) const;
+
   /// Radius-free variant used by the SSFL's sampler: the \p k nearest
   /// neighbor pairs per group member, tagged with their embedding distance
   /// (closest pairs are the likeliest equivalences even when the embedding

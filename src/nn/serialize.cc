@@ -3,6 +3,8 @@
 #include <cstdint>
 #include <fstream>
 
+#include "common/binary_io.h"
+
 namespace geqo::nn {
 namespace {
 
@@ -10,24 +12,64 @@ constexpr uint64_t kMagic = 0x4745514f4d4f444cULL;  // "GEQOMODL"
 
 }  // namespace
 
+Status SaveState(const std::vector<StateEntry>& state, std::ostream& os) {
+  io::BinaryWriter writer(os, "model state");
+  writer.U64(kMagic);
+  writer.U64(state.size());
+  for (const auto& [name, tensor] : state) {
+    writer.String(name);
+    writer.U64(tensor->rows());
+    writer.U64(tensor->cols());
+    writer.Bytes(tensor->data(), tensor->size() * sizeof(float));
+  }
+  return writer.status();
+}
+
 Status SaveState(const std::vector<StateEntry>& state,
                  const std::string& path) {
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IoError("cannot open for writing: " + path);
-  auto write_u64 = [&](uint64_t v) {
-    file.write(reinterpret_cast<const char*>(&v), sizeof(v));
-  };
-  write_u64(kMagic);
-  write_u64(state.size());
-  for (const auto& [name, tensor] : state) {
-    write_u64(name.size());
-    file.write(name.data(), static_cast<std::streamsize>(name.size()));
-    write_u64(tensor->rows());
-    write_u64(tensor->cols());
-    file.write(reinterpret_cast<const char*>(tensor->data()),
-               static_cast<std::streamsize>(tensor->size() * sizeof(float)));
-  }
+  GEQO_RETURN_NOT_OK(SaveState(state, file));
   if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status LoadState(const std::vector<StateEntry>& state, std::istream& is) {
+  io::BinaryReader reader(is, "model state");
+  const uint64_t magic = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (magic != kMagic) {
+    return Status::InvalidArgument(
+        "model state: bad magic (not a model state section)");
+  }
+  const uint64_t count = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (count != state.size()) {
+    return Status::InvalidArgument(
+        "model state: entry count mismatch (expected " +
+        std::to_string(state.size()) + ", found " + std::to_string(count) +
+        ")");
+  }
+  for (const auto& [name, tensor] : state) {
+    const std::string saved_name = reader.String();
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (saved_name != name) {
+      return Status::InvalidArgument("model state: name mismatch: expected " +
+                                     name + ", found " + saved_name);
+    }
+    const uint64_t rows = reader.U64();
+    const uint64_t cols = reader.U64();
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (rows != tensor->rows() || cols != tensor->cols()) {
+      return Status::InvalidArgument(
+          "model state: shape mismatch for " + name + ": expected " +
+          std::to_string(tensor->rows()) + "x" +
+          std::to_string(tensor->cols()) + ", found " + std::to_string(rows) +
+          "x" + std::to_string(cols));
+    }
+    reader.Bytes(tensor->data(), tensor->size() * sizeof(float));
+    GEQO_RETURN_NOT_OK(reader.status());
+  }
   return Status::OK();
 }
 
@@ -35,33 +77,9 @@ Status LoadState(const std::vector<StateEntry>& state,
                  const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open for reading: " + path);
-  auto read_u64 = [&]() {
-    uint64_t v = 0;
-    file.read(reinterpret_cast<char*>(&v), sizeof(v));
-    return v;
-  };
-  if (read_u64() != kMagic) return Status::IoError("bad magic: " + path);
-  const uint64_t count = read_u64();
-  if (count != state.size()) {
-    return Status::InvalidArgument(
-        "state entry count mismatch loading " + path);
-  }
-  for (const auto& [name, tensor] : state) {
-    const uint64_t name_size = read_u64();
-    std::string saved_name(name_size, '\0');
-    file.read(saved_name.data(), static_cast<std::streamsize>(name_size));
-    if (saved_name != name) {
-      return Status::InvalidArgument("state name mismatch: expected " + name +
-                                     ", found " + saved_name);
-    }
-    const uint64_t rows = read_u64();
-    const uint64_t cols = read_u64();
-    if (rows != tensor->rows() || cols != tensor->cols()) {
-      return Status::InvalidArgument("state shape mismatch for " + name);
-    }
-    file.read(reinterpret_cast<char*>(tensor->data()),
-              static_cast<std::streamsize>(tensor->size() * sizeof(float)));
-    if (!file.good()) return Status::IoError("truncated state file: " + path);
+  Status status = LoadState(state, file);
+  if (!status.ok()) {
+    return Status(status.code(), status.message() + " (file: " + path + ")");
   }
   return Status::OK();
 }

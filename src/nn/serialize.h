@@ -1,5 +1,6 @@
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,9 +23,16 @@ using StateEntry = std::pair<std::string, Tensor*>;
 /// per tensor (name, rows, cols, float32 row-major data).
 Status SaveState(const std::vector<StateEntry>& state, const std::string& path);
 
+/// \brief Stream variant, for embedding a model state section inside a
+/// larger snapshot (the section is self-delimiting).
+Status SaveState(const std::vector<StateEntry>& state, std::ostream& os);
+
 /// \brief Restores \p state tensors from \p path. Names and shapes must
 /// match the saved file exactly.
 Status LoadState(const std::vector<StateEntry>& state, const std::string& path);
+
+/// \brief Stream variant of LoadState; consumes exactly one state section.
+Status LoadState(const std::vector<StateEntry>& state, std::istream& is);
 
 /// \brief Size in bytes of a saved state file.
 Result<size_t> StateFileSize(const std::string& path);

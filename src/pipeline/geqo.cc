@@ -9,45 +9,9 @@
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "pipeline/stage_scope.h"
 
 namespace geqo {
-namespace {
-
-/// Measures one pipeline stage: wall clock, a tracing span, and — when
-/// metrics are enabled — the global registry delta attributable to the
-/// stage. Instantiate at stage entry, call Finish(&report) at stage exit.
-class StageScope {
- public:
-  explicit StageScope(const char* name) : span_(name) {
-    if (obs::MetricsEnabled()) {
-      before_ = obs::MetricsRegistry::Global().Snapshot();
-      metered_ = true;
-    }
-  }
-
-  void Finish(StageReport* report) {
-    report->seconds = watch_.ElapsedSeconds();
-    if (metered_) {
-      report->metrics =
-          obs::MetricsRegistry::Global().Snapshot().DeltaSince(before_);
-    }
-  }
-
- private:
-  obs::Span span_;
-  Stopwatch watch_;
-  obs::MetricsSnapshot before_;
-  bool metered_ = false;
-};
-
-StageReport MakeStage(const char* name, bool enabled) {
-  StageReport report;
-  report.name = name;
-  report.enabled = enabled;
-  return report;
-}
-
-}  // namespace
 
 Status GeqoOptions::Validate() const {
   if (!std::isfinite(vmf.radius) || vmf.radius < 0.0f) {
@@ -267,15 +231,20 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
   return result;
 }
 
-Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
-                                     ValueRange value_range) {
+Result<EquivalenceVerdict> GeqoPipeline::CheckPair(const PlanPtr& a,
+                                                   const PlanPtr& b,
+                                                   ValueRange value_range) {
   GEQO_RETURN_NOT_OK(options_status_);
   obs::Span span("CheckPair");
   // The pairwise special case of Equation 2: each enabled filter may
-  // short-circuit to "not equivalent"; survivors are verified.
+  // short-circuit to "not equivalent"; survivors are verified. Filter
+  // rejections are reported as kNotEquivalent — filters are approximate, but
+  // that is exactly the contract DetectEquivalences implements, and the
+  // tri-state keeps "refuted by proof" distinguishable wherever the verifier
+  // actually ran.
   if (options_.use_sf) {
     GEQO_ASSIGN_OR_RETURN(const bool pass, SchemaFilterPair(a, b, *catalog_));
-    if (!pass) return false;
+    if (!pass) return EquivalenceVerdict::kNotEquivalent;
   }
   GEQO_ASSIGN_OR_RETURN(
       std::vector<EncodedPlan> encoded,
@@ -289,20 +258,24 @@ Result<bool> GeqoPipeline::CheckPair(const PlanPtr& a, const PlanPtr& b,
                                    vmf_options);
     GEQO_ASSIGN_OR_RETURN(const auto pairs,
                           vmf.CandidatePairs({0, 1}, encoded));
-    if (pairs.empty()) return false;
+    if (pairs.empty()) return EquivalenceVerdict::kNotEquivalent;
   }
   if (options_.use_emf) {
     const EquivalenceModelFilter emf(model_, instance_layout_,
                                      agnostic_layout_, options_.emf);
     GEQO_ASSIGN_OR_RETURN(const auto scores, emf.Scores({{0, 1}}, encoded));
-    if (scores[0] < options_.emf.threshold) return false;
+    if (scores[0] < options_.emf.threshold) {
+      return EquivalenceVerdict::kNotEquivalent;
+    }
   }
-  if (!options_.run_verifier) return true;
+  // Without the verifier, surviving every enabled filter is the pipeline's
+  // (approximate) notion of equivalence — mirroring DetectEquivalences,
+  // which reports raw filter output as equivalences in that configuration.
+  if (!options_.run_verifier) return EquivalenceVerdict::kEquivalent;
   const VerifierStats before = verifier_.stats();
-  const bool equivalent =
-      verifier_.CheckEquivalence(a, b) == EquivalenceVerdict::kEquivalent;
+  const EquivalenceVerdict verdict = verifier_.CheckEquivalence(a, b);
   FoldVerifierStatsToMetrics(verifier_.stats().DeltaSince(before));
-  return equivalent;
+  return verdict;
 }
 
 }  // namespace geqo

@@ -114,9 +114,15 @@ class GeqoPipeline {
   Result<GeqoResult> DetectEquivalences(const std::vector<PlanPtr>& workload,
                                         ValueRange value_range);
 
-  /// GEqO_PAIR(q_i, q_j, F): the pairwise special case.
-  Result<bool> CheckPair(const PlanPtr& a, const PlanPtr& b,
-                         ValueRange value_range);
+  /// GEqO_PAIR(q_i, q_j, F): the pairwise special case. Returns the
+  /// verifier's tri-state so callers can distinguish a refutation from an
+  /// exhausted proof budget: kEquivalent (proved — or, with run_verifier
+  /// disabled, survived every enabled filter), kNotEquivalent (rejected by a
+  /// filter or refuted by the verifier), kUnknown (survived the filters but
+  /// the verifier could neither prove nor refute). DetectEquivalences counts
+  /// only kEquivalent pairs.
+  Result<EquivalenceVerdict> CheckPair(const PlanPtr& a, const PlanPtr& b,
+                                       ValueRange value_range);
 
   /// Replaces the pipeline's options after validating them. On validation
   /// failure the current options are left untouched. The verifier is

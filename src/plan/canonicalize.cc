@@ -1,5 +1,6 @@
 #include "plan/canonicalize.h"
 
+#include <algorithm>
 #include <optional>
 
 namespace geqo {
@@ -90,6 +91,16 @@ size_t CountPredicates(const PlanPtr& plan) {
       (plan->kind() == OpKind::kSelect || plan->kind() == OpKind::kJoin) ? 1 : 0;
   for (const PlanPtr& child : plan->children()) count += CountPredicates(child);
   return count;
+}
+
+uint64_t CanonicalHash(const PlanPtr& plan) {
+  return Canonicalize(plan)->Hash();
+}
+
+PairFingerprint FingerprintPair(uint64_t canonical_hash_a,
+                                uint64_t canonical_hash_b) {
+  return PairFingerprint{std::min(canonical_hash_a, canonical_hash_b),
+                         std::max(canonical_hash_a, canonical_hash_b)};
 }
 
 }  // namespace geqo

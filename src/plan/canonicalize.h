@@ -27,4 +27,29 @@ size_t CountPredicates(const PlanPtr& plan);
 /// vacuous selections) and the verifier (constant join predicates).
 std::optional<bool> TryEvaluateComparison(const Comparison& cmp);
 
+/// \brief Stable structural hash of the canonical form of \p plan, i.e.
+/// `Canonicalize(plan)->Hash()`. Plans that canonicalize identically (e.g.
+/// differing only in foldable constants) share a canonical hash.
+uint64_t CanonicalHash(const PlanPtr& plan);
+
+/// \brief Order-normalized fingerprint of an unordered plan pair, used to key
+/// verifier memoization: FingerprintPair(a, b) == FingerprintPair(b, a).
+/// Both canonical hashes are kept (128 bits total) rather than folded into
+/// one word, so accidental collisions need both halves to collide.
+struct PairFingerprint {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  bool operator==(const PairFingerprint&) const = default;
+  bool operator<(const PairFingerprint& other) const {
+    if (lo != other.lo) return lo < other.lo;
+    return hi < other.hi;
+  }
+};
+
+/// \brief Builds the fingerprint of the unordered pair of two canonical
+/// hashes (as produced by CanonicalHash).
+PairFingerprint FingerprintPair(uint64_t canonical_hash_a,
+                                uint64_t canonical_hash_b);
+
 }  // namespace geqo

@@ -1,5 +1,7 @@
 #include "plan/schema.h"
 
+#include "common/hash.h"
+
 namespace geqo {
 
 std::string_view ValueTypeToString(ValueType type) {
@@ -88,6 +90,29 @@ std::vector<JoinKey> Catalog::JoinKeysFor(std::string_view table) const {
     if (key.left_table == table || key.right_table == table) out.push_back(key);
   }
   return out;
+}
+
+uint64_t CatalogFingerprint(const Catalog& catalog) {
+  // Combine per-table and per-join-key hashes unordered, so two catalogs
+  // declaring the same schema in a different order fingerprint identically.
+  uint64_t fingerprint = HashString("geqo.catalog.v1");
+  for (const TableDef& table : catalog.tables()) {
+    uint64_t table_hash = HashString(table.name());
+    for (const ColumnDef& column : table.columns()) {
+      table_hash = HashCombine(table_hash, HashString(column.name));
+      table_hash =
+          HashCombine(table_hash, static_cast<uint64_t>(column.type));
+    }
+    fingerprint = HashCombineUnordered(fingerprint, table_hash);
+  }
+  for (const JoinKey& key : catalog.join_keys()) {
+    uint64_t key_hash = HashString(key.left_table);
+    key_hash = HashCombine(key_hash, HashString(key.left_column));
+    key_hash = HashCombine(key_hash, HashString(key.right_table));
+    key_hash = HashCombine(key_hash, HashString(key.right_column));
+    fingerprint = HashCombineUnordered(fingerprint, key_hash);
+  }
+  return fingerprint;
 }
 
 }  // namespace geqo

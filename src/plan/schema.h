@@ -79,4 +79,10 @@ class Catalog {
   std::vector<JoinKey> join_keys_;
 };
 
+/// \brief Stable fingerprint of a catalog's schema: table names, column
+/// names/types, and join keys, order-independent across declaration order.
+/// Snapshots embed it so state trained/indexed against one schema is never
+/// silently loaded against another.
+uint64_t CatalogFingerprint(const Catalog& catalog);
+
 }  // namespace geqo

@@ -1,0 +1,457 @@
+#include "serve/equivalence_catalog.h"
+
+#include <algorithm>
+#include <fstream>
+#include <set>
+
+#include "common/binary_io.h"
+#include "common/stopwatch.h"
+#include "filters/emf_filter.h"
+#include "filters/vmf.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/stage_scope.h"
+#include "plan/canonicalize.h"
+#include "workload/labeled_data.h"
+
+namespace geqo::serve {
+namespace {
+
+constexpr uint64_t kCatalogMagic = 0x4745514f43415447ULL;     // "GEQOCATG"
+constexpr uint64_t kCatalogEndMagic = 0x43415447454e4421ULL;  // "CATGEND!"
+constexpr uint64_t kCatalogVersion = 1;
+
+}  // namespace
+
+EquivalenceCatalog::EquivalenceCatalog(const Catalog* db_catalog,
+                                       ml::EmfModel* model,
+                                       const EncodingLayout* instance_layout,
+                                       const EncodingLayout* agnostic_layout,
+                                       ValueRange value_range,
+                                       CatalogOptions options)
+    : db_catalog_(db_catalog),
+      model_(model),
+      instance_layout_(instance_layout),
+      agnostic_layout_(agnostic_layout),
+      value_range_(value_range),
+      options_(options),
+      options_status_(options.Validate()),
+      verifier_(db_catalog, options.pipeline.verifier) {
+  // Only build the index once the options are known-valid (the HnswIndex
+  // constructor enforces its parameters with aborts, not Status).
+  if (options_status_.ok()) {
+    index_ = std::make_unique<ann::HnswIndex>(model_->embedding_dim(),
+                                              options_.pipeline.vmf.hnsw);
+  }
+}
+
+std::vector<size_t> EquivalenceCatalog::ClassMembers(size_t id) const {
+  const size_t root = classes_.Find(id);
+  std::vector<size_t> members;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    if (classes_.Find(i) == root) members.push_back(i);
+  }
+  return members;
+}
+
+Result<EquivalenceCatalog::QueryContext> EquivalenceCatalog::PrepareQuery(
+    const PlanPtr& plan) const {
+  QueryContext query;
+  query.plan = plan;
+  query.canonical_hash = CanonicalHash(plan);
+  GEQO_ASSIGN_OR_RETURN(query.signature, SchemaSignature(plan, *db_catalog_));
+  GEQO_ASSIGN_OR_RETURN(
+      std::vector<EncodedPlan> encoded,
+      EncodeWorkload({plan}, *instance_layout_, *db_catalog_, value_range_));
+  query.encoded = std::move(encoded[0]);
+  return query;
+}
+
+void EquivalenceCatalog::UpdateGauges() const {
+  if (!obs::MetricsEnabled()) return;
+  auto& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("serve.index_size").Set(static_cast<double>(size()));
+  registry.GetGauge("serve.classes").Set(static_cast<double>(NumClasses()));
+  registry.GetGauge("serve.memo_size").Set(static_cast<double>(memo_.size()));
+}
+
+Result<size_t> EquivalenceCatalog::Add(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("serve.Add");
+  GEQO_ASSIGN_OR_RETURN(QueryContext query, PrepareQuery(plan));
+  return AddPrepared(std::move(query));
+}
+
+Result<size_t> EquivalenceCatalog::AddPrepared(QueryContext query) {
+  // The embedding uses the singleton agnostic map (see EmbedSingle): it
+  // depends only on the plan, so it is computed exactly once per entry for
+  // the catalog's whole lifetime, across any number of later Adds.
+  const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
+                                 options_.pipeline.vmf);
+  GEQO_ASSIGN_OR_RETURN(const std::vector<float> embedding,
+                        vmf.EmbedSingle(query.encoded));
+  const size_t id = index_->Add(embedding);
+  GEQO_CHECK(id == entries_.size());
+  sf_groups_[query.signature].push_back(id);
+  entries_.push_back(Entry{std::move(query.plan), query.canonical_hash,
+                           std::move(query.encoded)});
+  const size_t class_id = classes_.Add();
+  GEQO_CHECK(class_id == id);
+  ++stats_.adds;
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global().GetCounter("serve.adds").Add(1);
+    UpdateGauges();
+  }
+  return id;
+}
+
+Result<ProbeResult> EquivalenceCatalog::Probe(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  GEQO_ASSIGN_OR_RETURN(const QueryContext query, PrepareQuery(plan));
+  return ProbePrepared(query);
+}
+
+EquivalenceVerdict EquivalenceCatalog::VerdictFor(const QueryContext& query,
+                                                  size_t id,
+                                                  ProbeResult* result) {
+  const PairFingerprint key =
+      FingerprintPair(query.canonical_hash, entries_[id].canonical_hash);
+  if (const auto memoized = memo_.Lookup(key)) {
+    ++stats_.memo_hits;
+    ++result->memo_hits;
+    return *memoized;
+  }
+  ++stats_.verifier_calls;
+  ++result->verifier_calls;
+  const EquivalenceVerdict verdict =
+      verifier_.CheckEquivalence(query.plan, entries_[id].plan);
+  memo_.Insert(key, verdict);
+  return verdict;
+}
+
+Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
+    const QueryContext& query) {
+  obs::Span span("serve.Probe");
+  Stopwatch watch;
+  ProbeResult result;
+  ++stats_.probes;
+  const GeqoOptions& opt = options_.pipeline;
+
+  // Stage 1: schema filter via the incremental signature map — O(log groups)
+  // instead of re-grouping the workload.
+  StageReport sf_report = MakeStage("sf", opt.use_sf);
+  StageScope sf_scope("serve.sf");
+  std::vector<size_t> pool;
+  if (opt.use_sf) {
+    const auto it = sf_groups_.find(query.signature);
+    if (it != sf_groups_.end()) pool = it->second;
+  } else {
+    pool.resize(entries_.size());
+    for (size_t i = 0; i < pool.size(); ++i) pool[i] = i;
+  }
+  sf_report.pairs_in = entries_.size();
+  sf_report.pairs_out = pool.size();
+  sf_scope.Finish(&sf_report);
+  result.stages.push_back(std::move(sf_report));
+
+  // Stage 2: VMF as one radius search of the shared persistent index,
+  // intersected with the SF pool.
+  StageReport vmf_report = MakeStage("vmf", opt.use_vmf);
+  StageScope vmf_scope("serve.vmf");
+  std::vector<size_t> candidates;
+  if (opt.use_vmf && !pool.empty()) {
+    const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
+                                   opt.vmf);
+    GEQO_ASSIGN_OR_RETURN(const std::vector<float> embedding,
+                          vmf.EmbedSingle(query.encoded));
+    std::vector<size_t> hits;
+    for (const ann::Neighbor& neighbor :
+         index_->SearchRadius(embedding.data(), opt.vmf.radius)) {
+      hits.push_back(neighbor.id);
+    }
+    std::sort(hits.begin(), hits.end());
+    std::set_intersection(pool.begin(), pool.end(), hits.begin(), hits.end(),
+                          std::back_inserter(candidates));
+  } else {
+    candidates = pool;
+  }
+  vmf_report.pairs_in = pool.size();
+  vmf_report.pairs_out = candidates.size();
+  vmf_scope.Finish(&vmf_report);
+  result.stages.push_back(std::move(vmf_report));
+
+  // Stage 3: EMF scoring of (query, entry) pairs — slot 0 is the query, the
+  // entries are viewed in place.
+  StageReport emf_report = MakeStage("emf", opt.use_emf);
+  StageScope emf_scope("serve.emf");
+  emf_report.pairs_in = candidates.size();
+  if (opt.use_emf && !candidates.empty()) {
+    const EquivalenceModelFilter emf(model_, instance_layout_,
+                                     agnostic_layout_, opt.emf);
+    std::vector<const EncodedPlan*> views;
+    views.reserve(candidates.size() + 1);
+    views.push_back(&query.encoded);
+    std::vector<std::pair<size_t, size_t>> pairs;
+    pairs.reserve(candidates.size());
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      views.push_back(&entries_[candidates[k]].encoded);
+      pairs.emplace_back(0, k + 1);
+    }
+    GEQO_ASSIGN_OR_RETURN(const std::vector<float> scores,
+                          emf.Scores(pairs, views));
+    std::vector<size_t> surviving;
+    for (size_t k = 0; k < candidates.size(); ++k) {
+      if (scores[k] >= opt.emf.threshold) surviving.push_back(candidates[k]);
+    }
+    candidates = std::move(surviving);
+  }
+  emf_report.pairs_out = candidates.size();
+  emf_scope.Finish(&emf_report);
+  result.stages.push_back(std::move(emf_report));
+  result.candidate_ids = candidates;
+
+  // Stage 4: verification, memo-first and class-at-a-time. Candidates are
+  // grouped by equivalence class; the representative (the class's oldest
+  // member) is decided first. A proof adopts the entire class and a
+  // refutation rejects it — members are mutually proven equivalent, so
+  // either verdict transfers — and only a kUnknown (budget exhaustion /
+  // unsupported fragment) falls back to the class's individual survivors.
+  StageReport verify_report = MakeStage("verify", opt.run_verifier);
+  StageScope verify_scope("serve.verify");
+  std::vector<size_t> equivalent;
+  std::vector<size_t> proven_roots;
+  if (!opt.run_verifier) {
+    // Batch-pipeline parity: without the verifier, the filter survivors are
+    // reported as (approximate) equivalences.
+    equivalent = candidates;
+    for (const size_t id : candidates) {
+      proven_roots.push_back(classes_.Find(id));
+    }
+  } else if (!candidates.empty()) {
+    const VerifierStats before = verifier_.stats();
+    std::map<size_t, std::vector<size_t>> by_class;
+    for (const size_t id : candidates) {
+      by_class[classes_.Find(id)].push_back(id);
+    }
+    for (const auto& [root, class_candidates] : by_class) {
+      size_t lookups = 1;
+      EquivalenceVerdict verdict = VerdictFor(query, root, &result);
+      if (verdict == EquivalenceVerdict::kUnknown) {
+        // The representative was inconclusive; any surviving member can
+        // still decide the class (q ~ member and member ~ root compose).
+        for (const size_t id : class_candidates) {
+          if (id == root) continue;
+          ++lookups;
+          verdict = VerdictFor(query, id, &result);
+          if (verdict != EquivalenceVerdict::kUnknown) break;
+        }
+      }
+      if (verdict == EquivalenceVerdict::kEquivalent) {
+        const std::vector<size_t> members = ClassMembers(root);
+        equivalent.insert(equivalent.end(), members.begin(), members.end());
+        proven_roots.push_back(root);
+        if (members.size() > lookups) {
+          const size_t shortcuts = members.size() - lookups;
+          result.class_shortcuts += shortcuts;
+          stats_.class_shortcuts += shortcuts;
+        }
+      } else if (verdict == EquivalenceVerdict::kNotEquivalent &&
+                 class_candidates.size() > lookups) {
+        const size_t shortcuts = class_candidates.size() - lookups;
+        result.class_shortcuts += shortcuts;
+        stats_.class_shortcuts += shortcuts;
+      }
+    }
+    FoldVerifierStatsToMetrics(verifier_.stats().DeltaSince(before));
+  }
+  std::sort(equivalent.begin(), equivalent.end());
+  equivalent.erase(std::unique(equivalent.begin(), equivalent.end()),
+                   equivalent.end());
+  result.equivalent_ids = std::move(equivalent);
+  if (!proven_roots.empty()) {
+    result.representative =
+        *std::min_element(proven_roots.begin(), proven_roots.end());
+  }
+  verify_report.pairs_in = result.candidate_ids.size();
+  verify_report.pairs_out = result.equivalent_ids.size();
+  verify_scope.Finish(&verify_report);
+  result.stages.push_back(std::move(verify_report));
+
+  result.seconds = watch.ElapsedSeconds();
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("serve.probes").Add(1);
+    registry.GetCounter("serve.verifier_calls").Add(result.verifier_calls);
+    registry.GetCounter("serve.memo_hits").Add(result.memo_hits);
+    registry.GetCounter("serve.class_shortcuts").Add(result.class_shortcuts);
+    registry.GetHistogram("serve.probe_seconds").Observe(result.seconds);
+    UpdateGauges();
+  }
+  return result;
+}
+
+Result<ProbeAddResult> EquivalenceCatalog::ProbeAdd(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("serve.ProbeAdd");
+  GEQO_ASSIGN_OR_RETURN(QueryContext query, PrepareQuery(plan));
+  GEQO_ASSIGN_OR_RETURN(ProbeResult probe, ProbePrepared(query));
+  // Collect the classes to join before inserting (the new entry's own
+  // singleton class would otherwise show up in the scan).
+  std::set<size_t> roots;
+  for (const size_t id : probe.equivalent_ids) roots.insert(classes_.Find(id));
+  GEQO_ASSIGN_OR_RETURN(const size_t id, AddPrepared(std::move(query)));
+  for (const size_t root : roots) {
+    if (classes_.Union(id, root)) ++stats_.unions;
+  }
+  if (obs::MetricsEnabled()) UpdateGauges();
+  ProbeAddResult result;
+  result.probe = std::move(probe);
+  result.id = id;
+  result.class_id = classes_.Find(id);
+  return result;
+}
+
+Status EquivalenceCatalog::Save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  GEQO_RETURN_NOT_OK(Save(file));
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status EquivalenceCatalog::Save(std::ostream& os) const {
+  GEQO_RETURN_NOT_OK(options_status_);
+  io::BinaryWriter writer(os, "catalog snapshot");
+  writer.U64(kCatalogMagic);
+  writer.U64(kCatalogVersion);
+  writer.U64(CatalogFingerprint(*db_catalog_));
+  writer.U64(model_->embedding_dim());
+  writer.U64(entries_.size());
+  for (const Entry& entry : entries_) writer.U64(entry.canonical_hash);
+  GEQO_RETURN_NOT_OK(writer.status());
+  GEQO_RETURN_NOT_OK(index_->Serialize(os));
+  for (const size_t parent : classes_.CompressedParents()) {
+    writer.U64(parent);
+  }
+  memo_.Serialize(writer);
+  writer.U64(kCatalogEndMagic);
+  return writer.status();
+}
+
+Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
+    const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
+    const EncodingLayout* instance_layout,
+    const EncodingLayout* agnostic_layout, ValueRange value_range,
+    const std::vector<PlanPtr>& plans, CatalogOptions options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  Result<std::unique_ptr<EquivalenceCatalog>> catalog =
+      Load(file, db_catalog, model, instance_layout, agnostic_layout,
+           value_range, plans, options);
+  if (!catalog.ok()) {
+    return Status(catalog.status().code(),
+                  catalog.status().message() + " (file: " + path + ")");
+  }
+  if (file.peek() != std::ifstream::traits_type::eof()) {
+    return Status::InvalidArgument(
+        "catalog snapshot: trailing bytes after end marker (corrupt file: " +
+        path + ")");
+  }
+  return catalog;
+}
+
+Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
+    std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
+    const EncodingLayout* instance_layout,
+    const EncodingLayout* agnostic_layout, ValueRange value_range,
+    const std::vector<PlanPtr>& plans, CatalogOptions options) {
+  io::BinaryReader reader(is, "catalog snapshot");
+  const uint64_t magic = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (magic != kCatalogMagic) {
+    return Status::InvalidArgument(
+        "catalog snapshot: bad magic (not a catalog snapshot)");
+  }
+  const uint64_t version = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (version != kCatalogVersion) {
+    return Status::InvalidArgument(
+        "catalog snapshot: unsupported version " + std::to_string(version) +
+        " (expected " + std::to_string(kCatalogVersion) + ")");
+  }
+  const uint64_t saved_fingerprint = reader.U64();
+  const uint64_t saved_dim = reader.U64();
+  const uint64_t count = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  const uint64_t expected_fingerprint = CatalogFingerprint(*db_catalog);
+  if (saved_fingerprint != expected_fingerprint) {
+    return Status::InvalidArgument(
+        "catalog snapshot: database schema fingerprint mismatch (snapshot " +
+        std::to_string(saved_fingerprint) + ", current " +
+        std::to_string(expected_fingerprint) +
+        ") — the snapshot was built against a different catalog");
+  }
+  if (saved_dim != model->embedding_dim()) {
+    return Status::InvalidArgument(
+        "catalog snapshot: embedding dim mismatch (snapshot " +
+        std::to_string(saved_dim) + ", model " +
+        std::to_string(model->embedding_dim()) + ")");
+  }
+  if (count != plans.size()) {
+    return Status::InvalidArgument(
+        "catalog snapshot: entry count mismatch (snapshot " +
+        std::to_string(count) + ", caller supplied " +
+        std::to_string(plans.size()) + " plans)");
+  }
+  std::vector<uint64_t> hashes(count);
+  for (auto& hash : hashes) hash = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+
+  auto catalog = std::make_unique<EquivalenceCatalog>(
+      db_catalog, model, instance_layout, agnostic_layout, value_range,
+      options);
+  GEQO_RETURN_NOT_OK(catalog->options_status_);
+  // Re-derive only the cheap per-entry state (signature, instance encoding);
+  // embeddings come from the serialized index below and memoized verdicts
+  // from the memo section — nothing is re-embedded or re-proved.
+  for (size_t i = 0; i < plans.size(); ++i) {
+    GEQO_ASSIGN_OR_RETURN(QueryContext query,
+                          catalog->PrepareQuery(plans[i]));
+    if (query.canonical_hash != hashes[i]) {
+      return Status::InvalidArgument(
+          "catalog snapshot: plan " + std::to_string(i) +
+          " does not match the snapshot (canonical hash " +
+          std::to_string(query.canonical_hash) + ", snapshot expects " +
+          std::to_string(hashes[i]) + ") — plans must be passed in Add order");
+    }
+    catalog->sf_groups_[query.signature].push_back(i);
+    catalog->entries_.push_back(Entry{std::move(query.plan),
+                                      query.canonical_hash,
+                                      std::move(query.encoded)});
+  }
+  GEQO_ASSIGN_OR_RETURN(catalog->index_, ann::HnswIndex::Deserialize(is));
+  if (catalog->index_->size() != count) {
+    return Status::InvalidArgument(
+        "catalog snapshot: index holds " +
+        std::to_string(catalog->index_->size()) + " vectors for " +
+        std::to_string(count) + " entries (corrupt snapshot)");
+  }
+  if (catalog->index_->dim() != saved_dim) {
+    return Status::InvalidArgument(
+        "catalog snapshot: index dim does not match header (corrupt "
+        "snapshot)");
+  }
+  std::vector<size_t> parents(count);
+  for (auto& parent : parents) parent = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  GEQO_RETURN_NOT_OK(catalog->classes_.Restore(std::move(parents)));
+  GEQO_RETURN_NOT_OK(catalog->memo_.Deserialize(reader));
+  if (reader.U64() != kCatalogEndMagic) {
+    reader.Fail("missing end marker");
+  }
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (obs::MetricsEnabled()) catalog->UpdateGauges();
+  return catalog;
+}
+
+}  // namespace geqo::serve

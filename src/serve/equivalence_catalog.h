@@ -1,0 +1,197 @@
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "filters/schema_filter.h"
+#include "pipeline/geqo.h"
+#include "serve/union_find.h"
+#include "serve/verifier_memo.h"
+
+/// \file equivalence_catalog.h
+/// The online serving layer (§1, §7.7): GEqO's motivating deployment is a
+/// stream of incoming subexpressions checked against an ever-growing
+/// repository of cached/materialized views, not a one-shot O(|W|^2) batch.
+/// EquivalenceCatalog turns the batch cascade into that long-lived service:
+///
+///   - Add(plan) canonicalizes, instance-encodes, embeds through the EMF
+///     trunk (singleton agnostic map, so the embedding never shifts as the
+///     catalog grows), and inserts incrementally into one persistent HNSW
+///     index.
+///   - Probe(plan) runs SF -> VMF -> EMF against only the catalog — the SF
+///     via an incremental signature map, the VMF as a single radius search
+///     of the shared index, the EMF scoring (query, entry) pairs — then
+///     verifies the survivors. Proven pairs fold into a union-find of
+///     equivalence classes, so a later probe that proves equivalence to a
+///     class representative adopts the whole class without re-proving, and
+///     a refutation of the representative rejects the whole class. Verifier
+///     verdicts are memoized by canonical pair fingerprint, so repeat
+///     verifications across probes (and across process restarts, via the
+///     snapshot) never happen.
+///   - Save/Load persist a versioned binary snapshot — HNSW graph + stored
+///     embeddings, equivalence classes, memo cache — such that a restarted
+///     service replays the remaining probe stream with bit-identical
+///     results and performs no verifier calls for already-memoized or
+///     class-joined pairs.
+///
+/// Thread-safety: a catalog is a single-writer object (Probe mutates the
+/// memo, stats, and verifier accounting). Wrap it or shard it for
+/// concurrent serving; the inference it calls into is re-entrant.
+
+namespace geqo::serve {
+
+/// \brief Serving configuration: the filter cascade parameters, reusing the
+/// batch pipeline's options (ablation toggles included).
+struct CatalogOptions {
+  GeqoOptions pipeline;
+
+  Status Validate() const { return pipeline.Validate(); }
+};
+
+/// \brief Cumulative serving counters (session-local; not persisted).
+struct CatalogStats {
+  uint64_t adds = 0;
+  uint64_t probes = 0;
+  uint64_t verifier_calls = 0;    ///< pairwise proofs actually attempted
+  uint64_t memo_hits = 0;         ///< verdicts served from the memo cache
+  uint64_t class_shortcuts = 0;   ///< pair verdicts derived via classes
+  uint64_t unions = 0;            ///< class merges performed by ProbeAdd
+};
+
+/// \brief Outcome of one probe.
+struct ProbeResult {
+  /// Entries equivalent to the query: every member of every proven class,
+  /// sorted ascending. With run_verifier disabled this is the filter
+  /// survivors (the batch pipeline's contract for that configuration).
+  std::vector<size_t> equivalent_ids;
+  /// Filter survivors (the verification stage's input), sorted ascending.
+  std::vector<size_t> candidate_ids;
+  /// Smallest proven class representative, if any class was proven.
+  std::optional<size_t> representative;
+  size_t verifier_calls = 0;
+  size_t memo_hits = 0;
+  size_t class_shortcuts = 0;
+  /// Stage accounting in execution order: sf, vmf, emf, verify (same
+  /// machinery as GeqoResult::stages).
+  std::vector<StageReport> stages;
+  double seconds = 0.0;
+};
+
+/// \brief Outcome of ProbeAdd: the probe, plus the new entry's id and the
+/// representative of the class it joined.
+struct ProbeAddResult {
+  ProbeResult probe;
+  size_t id = 0;
+  size_t class_id = 0;
+};
+
+/// \brief A long-lived, incrementally-updated equivalence catalog.
+class EquivalenceCatalog {
+ public:
+  /// \p db_catalog, \p model, and the layouts must outlive the catalog and
+  /// match the artifacts the model was trained with (GeqoSystem::OpenCatalog
+  /// wires this up). Invalid \p options poison the catalog: every entry
+  /// point returns the validation error.
+  EquivalenceCatalog(const Catalog* db_catalog, ml::EmfModel* model,
+                     const EncodingLayout* instance_layout,
+                     const EncodingLayout* agnostic_layout,
+                     ValueRange value_range,
+                     CatalogOptions options = CatalogOptions());
+
+  /// Registers \p plan as a catalog entry (canonicalize, encode, embed,
+  /// index) without probing; returns its id. Entries added this way stay in
+  /// singleton classes until some ProbeAdd proves them equivalent to
+  /// something.
+  Result<size_t> Add(const PlanPtr& plan);
+
+  /// Runs the cascade for \p plan against the catalog. Mutates only the
+  /// memo cache and counters — the entry set and classes are unchanged.
+  Result<ProbeResult> Probe(const PlanPtr& plan);
+
+  /// Probe, then Add, then join the new entry with every proven class.
+  Result<ProbeAddResult> ProbeAdd(const PlanPtr& plan);
+
+  size_t size() const { return entries_.size(); }
+  size_t NumClasses() const { return classes_.NumClasses(); }
+  /// Representative (oldest member) of \p id's equivalence class.
+  size_t ClassOf(size_t id) const { return classes_.Find(id); }
+  /// All members of \p id's class, sorted ascending.
+  std::vector<size_t> ClassMembers(size_t id) const;
+  const PlanPtr& plan(size_t id) const { return entries_[id].plan; }
+  const CatalogStats& stats() const { return stats_; }
+  size_t memo_size() const { return memo_.size(); }
+  const CatalogOptions& options() const { return options_; }
+
+  /// Writes the versioned snapshot: header (magic, version, db-catalog
+  /// fingerprint, embedding dim), per-entry canonical hashes, the HNSW
+  /// graph + vectors, the equivalence classes, and the memo cache.
+  Status Save(const std::string& path) const;
+  Status Save(std::ostream& os) const;
+
+  /// Restores a snapshot. \p plans must be the catalog's entries in Add
+  /// order (the snapshot stores their canonical hashes, not the plans; a
+  /// serving deployment keeps plan text in its own store). Fails loudly on
+  /// magic/version skew, a different database schema, mismatched plans, or
+  /// a corrupted/truncated stream. The loaded catalog re-derives only cheap
+  /// state (signatures, instance encodings) — embeddings come from the
+  /// snapshot and memoized verdicts are never re-proved.
+  static Result<std::unique_ptr<EquivalenceCatalog>> Load(
+      const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
+      const EncodingLayout* instance_layout,
+      const EncodingLayout* agnostic_layout, ValueRange value_range,
+      const std::vector<PlanPtr>& plans,
+      CatalogOptions options = CatalogOptions());
+  static Result<std::unique_ptr<EquivalenceCatalog>> Load(
+      std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
+      const EncodingLayout* instance_layout,
+      const EncodingLayout* agnostic_layout, ValueRange value_range,
+      const std::vector<PlanPtr>& plans,
+      CatalogOptions options = CatalogOptions());
+
+ private:
+  struct Entry {
+    PlanPtr plan;
+    uint64_t canonical_hash = 0;
+    EncodedPlan encoded;  ///< instance encoding (embedding lives in the index)
+  };
+
+  /// Everything Probe/Add need to know about one incoming plan.
+  struct QueryContext {
+    PlanPtr plan;
+    uint64_t canonical_hash = 0;
+    SfSignature signature;
+    EncodedPlan encoded;
+  };
+
+  Result<QueryContext> PrepareQuery(const PlanPtr& plan) const;
+  Result<size_t> AddPrepared(QueryContext query);
+  Result<ProbeResult> ProbePrepared(const QueryContext& query);
+  /// Memo-first verdict for (query, entry \p id); counts into \p result.
+  EquivalenceVerdict VerdictFor(const QueryContext& query, size_t id,
+                                ProbeResult* result);
+  void UpdateGauges() const;
+
+  const Catalog* db_catalog_;
+  ml::EmfModel* model_;
+  const EncodingLayout* instance_layout_;
+  const EncodingLayout* agnostic_layout_;
+  ValueRange value_range_;
+  CatalogOptions options_;
+  Status options_status_;  ///< construction-time validation verdict
+
+  std::vector<Entry> entries_;
+  /// Incremental SF: signature -> member ids (ascending by construction).
+  std::map<SfSignature, std::vector<size_t>> sf_groups_;
+  std::unique_ptr<ann::HnswIndex> index_;
+  UnionFind classes_;
+  VerifierMemo memo_;
+  SpesVerifier verifier_;
+  CatalogStats stats_;
+};
+
+}  // namespace geqo::serve

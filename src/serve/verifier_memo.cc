@@ -1,0 +1,41 @@
+#include "serve/verifier_memo.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace geqo::serve {
+
+void VerifierMemo::Serialize(io::BinaryWriter& writer) const {
+  std::vector<std::pair<PairFingerprint, EquivalenceVerdict>> sorted(
+      entries_.begin(), entries_.end());
+  std::sort(sorted.begin(), sorted.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  writer.U64(sorted.size());
+  for (const auto& [key, verdict] : sorted) {
+    writer.U64(key.lo);
+    writer.U64(key.hi);
+    writer.U8(static_cast<uint8_t>(verdict));
+  }
+}
+
+Status VerifierMemo::Deserialize(io::BinaryReader& reader) {
+  const uint64_t count = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  entries_.clear();
+  entries_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    PairFingerprint key;
+    key.lo = reader.U64();
+    key.hi = reader.U64();
+    const uint8_t verdict = reader.U8();
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (verdict > static_cast<uint8_t>(EquivalenceVerdict::kUnknown)) {
+      return Status::InvalidArgument(
+          "verifier memo: verdict byte out of range (corrupt snapshot)");
+    }
+    entries_.emplace(key, static_cast<EquivalenceVerdict>(verdict));
+  }
+  return Status::OK();
+}
+
+}  // namespace geqo::serve

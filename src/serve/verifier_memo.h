@@ -1,0 +1,55 @@
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "common/binary_io.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "plan/canonicalize.h"
+#include "verify/verifier.h"
+
+/// \file verifier_memo.h
+/// Memoization of verifier verdicts across probes, keyed by the
+/// order-normalized canonical plan-pair fingerprint (see FingerprintPair).
+/// Verification is the serving loop's dominant cost and its outcome is a
+/// pure function of the two canonical plans (given fixed VerifierOptions),
+/// so every verdict — including kUnknown, which is a deterministic budget
+/// outcome, not a transient failure — is safe to cache and to persist.
+
+namespace geqo::serve {
+
+/// \brief A persistent fingerprint → verdict cache.
+class VerifierMemo {
+ public:
+  /// The cached verdict for \p key, if any.
+  std::optional<EquivalenceVerdict> Lookup(const PairFingerprint& key) const {
+    const auto it = entries_.find(key);
+    if (it == entries_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void Insert(const PairFingerprint& key, EquivalenceVerdict verdict) {
+    entries_.emplace(key, verdict);
+  }
+
+  size_t size() const { return entries_.size(); }
+
+  /// Writes size + (lo, hi, verdict) triples sorted by fingerprint, so equal
+  /// memo contents always serialize to identical bytes.
+  void Serialize(io::BinaryWriter& writer) const;
+
+  /// Restores from Serialize's output; rejects out-of-range verdict bytes.
+  Status Deserialize(io::BinaryReader& reader);
+
+ private:
+  struct KeyHash {
+    size_t operator()(const PairFingerprint& key) const {
+      return static_cast<size_t>(HashCombine(key.lo, key.hi));
+    }
+  };
+
+  std::unordered_map<PairFingerprint, EquivalenceVerdict, KeyHash> entries_;
+};
+
+}  // namespace geqo::serve

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <fstream>
+#include <iterator>
 
 #include "core/geqo_system.h"
 #include "test_util.h"
@@ -49,8 +51,8 @@ TEST_F(GeqoSystemTest, CheckPairOnKnownRewrites) {
       "SELECT l_orderkey FROM lineitem WHERE 20 < l_quantity", catalog);
   const PlanPtr q3 = MustParse(
       "SELECT l_orderkey FROM lineitem WHERE l_quantity > 21", catalog);
-  EXPECT_TRUE(*System().CheckPair(q1, q2));
-  EXPECT_FALSE(*System().CheckPair(q1, q3));
+  EXPECT_EQ(*System().CheckPair(q1, q2), EquivalenceVerdict::kEquivalent);
+  EXPECT_EQ(*System().CheckPair(q1, q3), EquivalenceVerdict::kNotEquivalent);
 }
 
 TEST_F(GeqoSystemTest, DetectEquivalencesEndToEnd) {
@@ -94,19 +96,81 @@ TEST_F(GeqoSystemTest, SsflRunsThroughFacade) {
   EXPECT_EQ(reports->size(), 1u);
 }
 
-TEST_F(GeqoSystemTest, SaveAndLoadModelPreservesBehaviour) {
+TEST_F(GeqoSystemTest, SaveAndLoadSnapshotPreservesBehaviour) {
   const Catalog& catalog = System().catalog();
   const PlanPtr q1 = MustParse(
       "SELECT s_suppkey FROM supplier WHERE s_acctbal > 40", catalog);
   const PlanPtr q2 = MustParse(
       "SELECT s_suppkey FROM supplier WHERE 40 < s_acctbal", catalog);
-  const bool before = *System().CheckPair(q1, q2);
+  const EquivalenceVerdict before = *System().CheckPair(q1, q2);
+  const float radius_before = System().options().pipeline.vmf.radius;
+  const float threshold_before = System().options().pipeline.emf.threshold;
 
-  const std::string path = ::testing::TempDir() + "/geqo_core_model.bin";
-  ASSERT_TRUE(System().SaveModel(path).ok());
-  ASSERT_TRUE(System().LoadModel(path).ok());
+  const std::string path = ::testing::TempDir() + "/geqo_core_snapshot.bin";
+  ASSERT_TRUE(System().SaveSnapshot(path).ok());
+  ASSERT_TRUE(System().LoadSnapshot(path).ok());
   EXPECT_EQ(*System().CheckPair(q1, q2), before);
+  // The calibration travels with the snapshot.
+  EXPECT_EQ(System().options().pipeline.vmf.radius, radius_before);
+  EXPECT_EQ(System().options().pipeline.emf.threshold, threshold_before);
   std::remove(path.c_str());
+}
+
+TEST_F(GeqoSystemTest, LoadSnapshotRejectsForeignAndCorruptFiles) {
+  const std::string pristine =
+      ::testing::TempDir() + "/geqo_core_snapshot_pristine.bin";
+  const std::string path = ::testing::TempDir() + "/geqo_core_snapshot2.bin";
+  ASSERT_TRUE(System().SaveSnapshot(pristine).ok());
+  ASSERT_TRUE(System().SaveSnapshot(path).ok());
+
+  // A system over a different database schema must refuse the snapshot.
+  Catalog other = MakeTpchCatalog();
+  GEQO_CHECK_OK(other.AddTable(
+      TableDef("extra_table", {{"x", ValueType::kInt}})));
+  GeqoSystemOptions options;
+  options.model.conv1_size = 32;
+  options.model.conv2_size = 32;
+  options.model.fc1_size = 32;
+  options.model.fc2_size = 16;
+  GeqoSystem foreign(&other, options);
+  const Status mismatch = foreign.LoadSnapshot(path);
+  EXPECT_FALSE(mismatch.ok());
+  EXPECT_NE(mismatch.message().find("fingerprint mismatch"),
+            std::string::npos);
+
+  // A different agnostic layout shape is also refused.
+  Catalog same = MakeTpchCatalog();
+  GeqoSystemOptions wide = options;
+  wide.agnostic_tables = 7;
+  GeqoSystem reshaped(&same, wide);
+  const Status shape = reshaped.LoadSnapshot(path);
+  EXPECT_FALSE(shape.ok());
+  EXPECT_NE(shape.message().find("layout mismatch"), std::string::npos);
+
+  // A truncated file fails loudly rather than loading garbage weights.
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::vector<char> bytes((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size() / 2));
+  }
+  EXPECT_FALSE(System().LoadSnapshot(path).ok());
+
+  // A non-snapshot file is rejected on the magic number.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << "definitely not a snapshot";
+  }
+  const Status magic = System().LoadSnapshot(path);
+  EXPECT_FALSE(magic.ok());
+  EXPECT_NE(magic.message().find("bad magic"), std::string::npos);
+
+  // The failed loads must not have left the shared system half-mutated for
+  // the rest of the suite.
+  ASSERT_TRUE(System().LoadSnapshot(pristine).ok());
+  std::remove(path.c_str());
+  std::remove(pristine.c_str());
 }
 
 TEST_F(GeqoSystemTest, TrainOnEmptyPairsFails) {

@@ -154,6 +154,87 @@ TEST(ResultCacheTest, ZeroBudgetSavesNothing) {
   EXPECT_EQ(none.ReductionPercent(), 0.0);
 }
 
+TEST(OnlineResultCacheTest, AdmitsOnSecondAccessAndServesHits) {
+  OnlineResultCache cache(1000);
+  // First access: always a miss, never materialized (no reuse evidence).
+  CacheAccess first = cache.OnQuery(/*class=*/7, /*seconds=*/2.0, /*bytes=*/100);
+  EXPECT_FALSE(first.hit);
+  EXPECT_FALSE(first.admitted);
+  EXPECT_DOUBLE_EQ(first.charged_seconds, 2.0);
+  EXPECT_FALSE(cache.Contains(7));
+  // Second access demonstrates reuse: executed once more, then admitted.
+  CacheAccess second = cache.OnQuery(7, 2.0, 100);
+  EXPECT_FALSE(second.hit);
+  EXPECT_TRUE(second.admitted);
+  EXPECT_TRUE(cache.Contains(7));
+  // Third access is a hit at zero cost.
+  CacheAccess third = cache.OnQuery(7, 2.0, 100);
+  EXPECT_TRUE(third.hit);
+  EXPECT_DOUBLE_EQ(third.charged_seconds, 0.0);
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().admissions, 1u);
+  EXPECT_DOUBLE_EQ(cache.stats().saved_seconds, 2.0);
+  EXPECT_DOUBLE_EQ(cache.stats().HitRate(), 1.0 / 3.0);
+}
+
+TEST(OnlineResultCacheTest, EvictsLowerValueResidentsUnderPressure) {
+  OnlineResultCache cache(100);
+  // Class 1 earns residency with a modest value.
+  cache.OnQuery(1, 1.0, 100);
+  cache.OnQuery(1, 1.0, 100);
+  ASSERT_TRUE(cache.Contains(1));
+  // Class 2 is worth far more but needs class 1's bytes: evict and replace.
+  cache.OnQuery(2, 10.0, 100);
+  CacheAccess takeover = cache.OnQuery(2, 10.0, 100);
+  EXPECT_TRUE(takeover.admitted);
+  EXPECT_TRUE(takeover.evicted);
+  EXPECT_TRUE(cache.Contains(2));
+  EXPECT_FALSE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().used_bytes, 100u);
+}
+
+TEST(OnlineResultCacheTest, RejectsLowValueAndOversizedCandidates) {
+  OnlineResultCache cache(100);
+  cache.OnQuery(1, 10.0, 100);
+  cache.OnQuery(1, 10.0, 100);
+  ASSERT_TRUE(cache.Contains(1));
+  // A cheaper class must not displace the valuable resident.
+  cache.OnQuery(2, 1.0, 100);
+  CacheAccess rejected = cache.OnQuery(2, 1.0, 100);
+  EXPECT_FALSE(rejected.admitted);
+  EXPECT_TRUE(cache.Contains(1));
+  EXPECT_EQ(cache.stats().rejected, 1u);
+  // A result larger than the whole budget can never be admitted.
+  cache.OnQuery(3, 100.0, 1000);
+  CacheAccess oversized = cache.OnQuery(3, 100.0, 1000);
+  EXPECT_FALSE(oversized.admitted);
+  EXPECT_EQ(cache.stats().rejected, 2u);
+}
+
+TEST(OnlineResultCacheTest, ConvergesToSimulatorChoiceOnRepeatedStream) {
+  // Replaying the simulator's profile stream a few times ends with the same
+  // class materialized that the offline policy picks under the same budget.
+  const std::vector<QueryProfile> profiles = {
+      {0, 0, 10.0, 100}, {1, 0, 10.0, 100},  // class 0: saves 10s per round
+      {2, 1, 1.0, 100},  {3, 1, 1.0, 100},   // class 1: saves 1s per round
+  };
+  ResultCacheSimulator simulator(profiles);
+  const CacheSimulation offline = simulator.Simulate(100);
+  ASSERT_EQ(offline.classes_materialized, 1u);
+
+  OnlineResultCache cache(100);
+  for (int round = 0; round < 3; ++round) {
+    for (const QueryProfile& profile : profiles) {
+      cache.OnQuery(profile.equivalence_class, profile.execution_seconds,
+                    profile.result_bytes);
+    }
+  }
+  EXPECT_TRUE(cache.Contains(0));
+  EXPECT_FALSE(cache.Contains(1));
+}
+
 TEST(DatabaseTest, GenerationRespectsRowCounts) {
   const Catalog catalog = MakeFigure1Catalog();
   DataGenOptions options;

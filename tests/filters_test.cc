@@ -179,10 +179,14 @@ TEST_F(FiltersTest, EmfFilterThresholdSplitsScores) {
   EXPECT_GT((*scores)[0], (*scores)[1]);
 }
 
-TEST_F(FiltersTest, SystemModelRoundTripKeepsCalibration) {
-  const std::string path = ::testing::TempDir() + "/system_model.bin";
-  ASSERT_TRUE(System().SaveModel(path).ok());
-  ASSERT_TRUE(System().LoadModel(path).ok());
+TEST_F(FiltersTest, SystemSnapshotRoundTripKeepsCalibration) {
+  const std::string path = ::testing::TempDir() + "/system_snapshot.bin";
+  const float radius = System().options().pipeline.vmf.radius;
+  const float threshold = System().options().pipeline.emf.threshold;
+  ASSERT_TRUE(System().SaveSnapshot(path).ok());
+  ASSERT_TRUE(System().LoadSnapshot(path).ok());
+  EXPECT_EQ(System().options().pipeline.vmf.radius, radius);
+  EXPECT_EQ(System().options().pipeline.emf.threshold, threshold);
   std::remove(path.c_str());
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 
 #include "ann/hnsw.h"
 
@@ -132,6 +133,113 @@ TEST(HnswTest, DeterministicForSeed) {
   ASSERT_EQ(hits1.size(), hits2.size());
   for (size_t i = 0; i < hits1.size(); ++i) {
     EXPECT_EQ(hits1[i].id, hits2[i].id);
+  }
+}
+
+TEST(HnswTest, DuplicatePointsRankDeterministically) {
+  // Equal-distance neighbors tie-break by id, so duplicates come back in
+  // insertion order regardless of graph wiring.
+  HnswIndex index(2);
+  for (size_t i = 0; i < 8; ++i) index.Add(std::vector<float>{1.0f, 1.0f});
+  const float query[2] = {1.0f, 1.0f};
+  const auto hits = index.SearchKnn(query, 8);
+  ASSERT_EQ(hits.size(), 8u);
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].id, i);
+    EXPECT_FLOAT_EQ(hits[i].distance, 0.0f);
+  }
+}
+
+TEST(HnswTest, SerializeRoundTripPreservesSearches) {
+  Rng rng(27);
+  HnswOptions options;
+  options.seed = 4242;
+  HnswIndex index(6, options);
+  const auto points = RandomPoints(250, 6, &rng);
+  for (const auto& point : points) index.Add(point);
+
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Serialize(buffer).ok());
+  auto loaded = HnswIndex::Deserialize(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ((*loaded)->size(), index.size());
+  EXPECT_EQ((*loaded)->dim(), index.dim());
+
+  for (size_t q = 0; q < points.size(); q += 13) {
+    const auto before = index.SearchKnn(points[q].data(), 7);
+    const auto after = (*loaded)->SearchKnn(points[q].data(), 7);
+    ASSERT_EQ(before.size(), after.size());
+    for (size_t i = 0; i < before.size(); ++i) {
+      EXPECT_EQ(before[i].id, after[i].id);
+      EXPECT_FLOAT_EQ(before[i].distance, after[i].distance);
+    }
+    const auto radius_before = index.SearchRadius(points[q].data(), 2.0f);
+    const auto radius_after = (*loaded)->SearchRadius(points[q].data(), 2.0f);
+    ASSERT_EQ(radius_before.size(), radius_after.size());
+    for (size_t i = 0; i < radius_before.size(); ++i) {
+      EXPECT_EQ(radius_before[i].id, radius_after[i].id);
+    }
+  }
+}
+
+TEST(HnswTest, AddsAfterLoadMatchUninterruptedIndex) {
+  // The snapshot carries the level-assignment RNG state, so growing a
+  // restored index must produce bit-identical structure (and therefore
+  // searches) to an index that never stopped.
+  Rng rng(28);
+  const auto points = RandomPoints(300, 4, &rng);
+  HnswOptions options;
+  options.seed = 99;
+  HnswIndex uninterrupted(4, options);
+  HnswIndex first_half(4, options);
+  for (size_t i = 0; i < points.size(); ++i) {
+    uninterrupted.Add(points[i]);
+    if (i < points.size() / 2) first_half.Add(points[i]);
+  }
+
+  std::stringstream buffer;
+  ASSERT_TRUE(first_half.Serialize(buffer).ok());
+  auto resumed = HnswIndex::Deserialize(buffer);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  for (size_t i = points.size() / 2; i < points.size(); ++i) {
+    (*resumed)->Add(points[i]);
+  }
+
+  std::stringstream bytes_uninterrupted;
+  std::stringstream bytes_resumed;
+  ASSERT_TRUE(uninterrupted.Serialize(bytes_uninterrupted).ok());
+  ASSERT_TRUE((*resumed)->Serialize(bytes_resumed).ok());
+  EXPECT_EQ(bytes_uninterrupted.str(), bytes_resumed.str());
+}
+
+TEST(HnswTest, SerializedEmptyIndexRoundTrips) {
+  HnswIndex index(3);
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Serialize(buffer).ok());
+  auto loaded = HnswIndex::Deserialize(buffer);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), 0u);
+  const float query[3] = {0, 0, 0};
+  EXPECT_TRUE((*loaded)->SearchKnn(query, 3).empty());
+}
+
+TEST(HnswTest, DeserializeRejectsGarbageAndTruncation) {
+  // Not an index blob at all.
+  std::stringstream garbage("this is not an hnsw index");
+  EXPECT_FALSE(HnswIndex::Deserialize(garbage).ok());
+
+  // A valid blob cut short must fail loudly, not fabricate nodes.
+  Rng rng(29);
+  HnswIndex index(4);
+  for (const auto& point : RandomPoints(50, 4, &rng)) index.Add(point);
+  std::stringstream buffer;
+  ASSERT_TRUE(index.Serialize(buffer).ok());
+  const std::string bytes = buffer.str();
+  for (const double fraction : {0.25, 0.5, 0.9}) {
+    std::stringstream truncated(
+        bytes.substr(0, static_cast<size_t>(bytes.size() * fraction)));
+    EXPECT_FALSE(HnswIndex::Deserialize(truncated).ok())
+        << "fraction " << fraction;
   }
 }
 

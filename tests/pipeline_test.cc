@@ -208,8 +208,29 @@ TEST_F(PipelineTest, CheckPairSpecialCase) {
       "SELECT c_custkey FROM customer WHERE 50 < c_acctbal", s.catalog);
   const PlanPtr q3 = MustParse(
       "SELECT c_custkey FROM customer WHERE c_acctbal > 51", s.catalog);
-  EXPECT_TRUE(*pipeline.CheckPair(q1, q2, s.value_range));
-  EXPECT_FALSE(*pipeline.CheckPair(q1, q3, s.value_range));
+  EXPECT_EQ(*pipeline.CheckPair(q1, q2, s.value_range),
+            EquivalenceVerdict::kEquivalent);
+  EXPECT_EQ(*pipeline.CheckPair(q1, q3, s.value_range),
+            EquivalenceVerdict::kNotEquivalent);
+}
+
+TEST_F(PipelineTest, CheckPairSurfacesUnknownVerdicts) {
+  Shared& s = shared();
+  // Route straight to the verifier so the filters cannot pre-empt the
+  // tri-state: a non-linear predicate is outside the DPLL(T) fragment and
+  // must surface as kUnknown, not as a refutation.
+  GeqoOptions options;
+  options.use_sf = false;
+  options.use_vmf = false;
+  options.use_emf = false;
+  GeqoPipeline pipeline(&s.catalog, s.model.get(), &s.instance_layout,
+                        &s.agnostic_layout, options);
+  const PlanPtr q1 = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal * 2 > 100", s.catalog);
+  const PlanPtr q2 = MustParse(
+      "SELECT c_custkey FROM customer WHERE c_acctbal > 50", s.catalog);
+  EXPECT_EQ(*pipeline.CheckPair(q1, q2, s.value_range),
+            EquivalenceVerdict::kUnknown);
 }
 
 TEST_F(PipelineTest, SignatureBaselineCatchesSyntacticOnly) {
@@ -493,7 +514,10 @@ TEST_F(PipelineTest, CheckPairMatchesDetectAcrossAblations) {
           detect->equivalences.end();
       const auto pairwise = pipeline.CheckPair(a, b, s.value_range);
       ASSERT_TRUE(pairwise.ok()) << pairwise.status().ToString();
-      EXPECT_EQ(*pairwise, detected) << "toggle mask " << mask;
+      // DetectEquivalences counts only proved pairs, so kNotEquivalent and
+      // kUnknown both map to "not detected".
+      EXPECT_EQ(*pairwise == EquivalenceVerdict::kEquivalent, detected)
+          << "toggle mask " << mask;
     }
   }
 }

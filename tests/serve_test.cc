@@ -1,0 +1,347 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "core/geqo_system.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/equivalence_catalog.h"
+#include "serve/union_find.h"
+#include "test_util.h"
+#include "workload/schemas.h"
+
+namespace geqo {
+namespace {
+
+using serve::EquivalenceCatalog;
+using serve::ProbeAddResult;
+using serve::ProbeResult;
+using serve::UnionFind;
+using testing::MustParse;
+
+/// One small trained system shared by the suite (training dominates the
+/// suite's runtime; the serving-layer behaviour under test is deterministic
+/// given the trained weights).
+class ServeTest : public ::testing::Test {
+ protected:
+  static GeqoSystem& System() {
+    static GeqoSystem* system = [] {
+      static Catalog catalog = MakeTpchCatalog();
+      GeqoSystemOptions options;
+      options.model.conv1_size = 32;
+      options.model.conv2_size = 32;
+      options.model.fc1_size = 32;
+      options.model.fc2_size = 16;
+      options.model.dropout = 0.2f;
+      options.training.epochs = 8;
+      options.synthetic_data.num_base_queries = 40;
+      auto* out = new GeqoSystem(&catalog, options);
+      GEQO_CHECK_OK(out->TrainOnSyntheticWorkload(0xC0DE).status());
+      return out;
+    }();
+    return *system;
+  }
+
+  /// Three mutually-equivalent lineitem queries, one near-miss, and an
+  /// equivalent supplier pair.
+  static std::vector<PlanPtr> StreamPlans() {
+    const Catalog& catalog = System().catalog();
+    return {
+        MustParse("SELECT l_orderkey FROM lineitem WHERE l_quantity + 5 > 25",
+                  catalog),
+        MustParse("SELECT l_orderkey FROM lineitem WHERE 20 < l_quantity",
+                  catalog),
+        MustParse("SELECT l_orderkey FROM lineitem WHERE l_quantity > 20",
+                  catalog),
+        MustParse("SELECT l_orderkey FROM lineitem WHERE l_quantity > 21",
+                  catalog),
+        MustParse("SELECT s_suppkey FROM supplier WHERE s_acctbal > 40",
+                  catalog),
+        MustParse("SELECT s_suppkey FROM supplier WHERE 40 < s_acctbal",
+                  catalog),
+    };
+  }
+};
+
+TEST_F(ServeTest, UnionFindMinRootPolicy) {
+  UnionFind uf;
+  for (int i = 0; i < 6; ++i) uf.Add();
+  EXPECT_EQ(uf.NumClasses(), 6u);
+  EXPECT_TRUE(uf.Union(4, 2));
+  EXPECT_TRUE(uf.Union(5, 4));
+  EXPECT_FALSE(uf.Union(2, 5));  // already joined
+  EXPECT_EQ(uf.Find(5), 2u);     // oldest member is the representative
+  EXPECT_EQ(uf.NumClasses(), 4u);
+
+  // Restore round-trips through the compressed canonical form.
+  UnionFind restored;
+  ASSERT_TRUE(restored.Restore(uf.CompressedParents()).ok());
+  EXPECT_EQ(restored.NumClasses(), 4u);
+  EXPECT_EQ(restored.Find(5), 2u);
+
+  // Corrupt parent arrays are rejected.
+  EXPECT_FALSE(UnionFind().Restore({1, 1}).ok());  // parent > element
+  EXPECT_FALSE(UnionFind().Restore({0, 0, 1}).ok());  // non-root parent
+}
+
+TEST_F(ServeTest, ProbeAddBuildsEquivalenceClasses) {
+  auto catalog = System().OpenCatalog();
+  const std::vector<PlanPtr> plans = StreamPlans();
+  std::vector<ProbeAddResult> results;
+  for (const PlanPtr& plan : plans) {
+    auto result = catalog->ProbeAdd(plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    results.push_back(*result);
+  }
+  ASSERT_EQ(catalog->size(), plans.size());
+
+  // The three lineitem rewrites collapse into one class rooted at the
+  // oldest member; the supplier pair forms its own class; the near-miss
+  // (l_quantity > 21) stays a singleton.
+  EXPECT_EQ(catalog->ClassOf(1), 0u);
+  EXPECT_EQ(catalog->ClassOf(2), 0u);
+  EXPECT_EQ(catalog->ClassOf(3), 3u);
+  EXPECT_EQ(catalog->ClassOf(5), 4u);
+  EXPECT_EQ(catalog->NumClasses(), 3u);
+  EXPECT_EQ(catalog->ClassMembers(0), (std::vector<size_t>{0, 1, 2}));
+
+  // Each probe against a non-empty catalog reported its proven peers.
+  EXPECT_EQ(results[2].probe.equivalent_ids, (std::vector<size_t>{0, 1}));
+  ASSERT_TRUE(results[2].probe.representative.has_value());
+  EXPECT_EQ(*results[2].probe.representative, 0u);
+  EXPECT_TRUE(results[3].probe.equivalent_ids.empty());
+  EXPECT_EQ(results[5].probe.equivalent_ids, (std::vector<size_t>{4}));
+
+  // Probe alone never mutates the entry set or the classes.
+  const size_t classes_before = catalog->NumClasses();
+  auto probe = catalog->Probe(plans[0]);
+  ASSERT_TRUE(probe.ok());
+  EXPECT_EQ(catalog->size(), plans.size());
+  EXPECT_EQ(catalog->NumClasses(), classes_before);
+}
+
+TEST_F(ServeTest, MemoShortCircuitsRepeatProbes) {
+  auto catalog = System().OpenCatalog();
+  const std::vector<PlanPtr> plans = StreamPlans();
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(catalog->ProbeAdd(plans[i]).ok());
+  }
+  const PlanPtr query = MustParse(
+      "SELECT l_orderkey FROM lineitem WHERE l_quantity + 1 > 21",
+      System().catalog());
+
+  obs::SetTraceLevel(obs::TraceLevel::kMetrics);
+  const obs::MetricsSnapshot before = obs::MetricsRegistry::Global().Snapshot();
+  auto first = catalog->Probe(query);
+  const obs::MetricsSnapshot mid = obs::MetricsRegistry::Global().Snapshot();
+  auto second = catalog->Probe(query);
+  const obs::MetricsSnapshot after = obs::MetricsRegistry::Global().Snapshot();
+  obs::SetTraceLevel(obs::TraceLevel::kOff);
+
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  ASSERT_FALSE(first->candidate_ids.empty());
+  EXPECT_GT(first->verifier_calls, 0u);
+
+  // The repeat probe decided every candidate from the memo: zero verifier
+  // calls, visible both in the result and in the serve.*/verify.* metrics.
+  EXPECT_EQ(second->verifier_calls, 0u);
+  EXPECT_GT(second->memo_hits, 0u);
+  EXPECT_EQ(second->equivalent_ids, first->equivalent_ids);
+  EXPECT_GT(mid.Value("serve.verifier_calls") - before.Value("serve.verifier_calls"), 0.0);
+  EXPECT_EQ(after.Value("serve.verifier_calls") - mid.Value("serve.verifier_calls"), 0.0);
+  EXPECT_EQ(after.Value("verify.pairs_checked") - mid.Value("verify.pairs_checked"), 0.0);
+  EXPECT_GT(after.Value("serve.memo_hits") - mid.Value("serve.memo_hits"), 0.0);
+}
+
+TEST_F(ServeTest, ClassShortcutProvesOnceAndAdoptsWholeClass) {
+  auto catalog = System().OpenCatalog();
+  const std::vector<PlanPtr> plans = StreamPlans();
+  for (size_t i = 0; i < 3; ++i) {  // the three mutually-equivalent rewrites
+    ASSERT_TRUE(catalog->ProbeAdd(plans[i]).ok());
+  }
+  ASSERT_EQ(catalog->NumClasses(), 1u);
+
+  // A fresh equivalent query must adopt the 3-member class with exactly one
+  // pairwise proof (against the representative) — the other members are
+  // class shortcuts, not verifier calls.
+  const PlanPtr query = MustParse(
+      "SELECT l_orderkey FROM lineitem WHERE l_quantity + 2 > 22",
+      System().catalog());
+  auto probe = catalog->Probe(query);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ASSERT_EQ(probe->equivalent_ids, (std::vector<size_t>{0, 1, 2}));
+  EXPECT_EQ(probe->verifier_calls, 1u);
+  EXPECT_EQ(probe->class_shortcuts, 2u);
+  ASSERT_TRUE(probe->representative.has_value());
+  EXPECT_EQ(*probe->representative, 0u);
+}
+
+TEST_F(ServeTest, SnapshotRoundTripIsBitIdentical) {
+  const std::vector<PlanPtr> plans = StreamPlans();
+  const std::vector<PlanPtr> first_half(plans.begin(), plans.begin() + 4);
+
+  // Uninterrupted catalog: full stream.
+  auto uninterrupted = System().OpenCatalog();
+  std::vector<ProbeAddResult> expected;
+  for (size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(uninterrupted->ProbeAdd(plans[i]).ok());
+  }
+  const std::string path = ::testing::TempDir() + "/serve_catalog.bin";
+  ASSERT_TRUE(uninterrupted->Save(path).ok());
+  for (size_t i = 4; i < plans.size(); ++i) {
+    auto result = uninterrupted->ProbeAdd(plans[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    expected.push_back(*result);
+  }
+
+  // Interrupted catalog: restore the snapshot, replay the remainder.
+  auto loaded = System().LoadCatalog(path, first_half);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->size(), 4u);
+  EXPECT_EQ((*loaded)->NumClasses(), uninterrupted->NumClasses() - 1);
+  for (size_t i = 4; i < plans.size(); ++i) {
+    auto result = (*loaded)->ProbeAdd(plans[i]);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    const ProbeAddResult& want = expected[i - 4];
+    EXPECT_EQ(result->id, want.id);
+    EXPECT_EQ(result->class_id, want.class_id);
+    EXPECT_EQ(result->probe.equivalent_ids, want.probe.equivalent_ids);
+    EXPECT_EQ(result->probe.candidate_ids, want.probe.candidate_ids);
+    EXPECT_EQ(result->probe.representative, want.probe.representative);
+    EXPECT_EQ(result->probe.verifier_calls, want.probe.verifier_calls);
+    EXPECT_EQ(result->probe.memo_hits, want.probe.memo_hits);
+    EXPECT_EQ(result->probe.class_shortcuts, want.probe.class_shortcuts);
+  }
+
+  // After replay, both catalogs serialize to identical bytes.
+  std::stringstream bytes_uninterrupted;
+  std::stringstream bytes_loaded;
+  ASSERT_TRUE(uninterrupted->Save(bytes_uninterrupted).ok());
+  ASSERT_TRUE((*loaded)->Save(bytes_loaded).ok());
+  EXPECT_EQ(bytes_uninterrupted.str(), bytes_loaded.str());
+  std::remove(path.c_str());
+}
+
+TEST_F(ServeTest, LoadedMemoNeverReProves) {
+  const std::vector<PlanPtr> plans = StreamPlans();
+  const std::vector<PlanPtr> entries(plans.begin(), plans.begin() + 3);
+  auto original = System().OpenCatalog();
+  for (const PlanPtr& plan : entries) {
+    ASSERT_TRUE(original->ProbeAdd(plan).ok());
+  }
+  // Probe (without adding) so the verdicts land in the memo, then persist.
+  const PlanPtr query = MustParse(
+      "SELECT l_orderkey FROM lineitem WHERE l_quantity + 3 > 23",
+      System().catalog());
+  auto primed = original->Probe(query);
+  ASSERT_TRUE(primed.ok());
+  EXPECT_GT(primed->verifier_calls, 0u);
+  std::stringstream snapshot;
+  ASSERT_TRUE(original->Save(snapshot).ok());
+
+  auto loaded = EquivalenceCatalog::Load(
+      snapshot, &System().catalog(), &System().model(),
+      &System().instance_layout(), &System().agnostic_layout(),
+      System().value_range(), entries, original->options());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ((*loaded)->memo_size(), original->memo_size());
+
+  auto replay = (*loaded)->Probe(query);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->verifier_calls, 0u);
+  EXPECT_GT(replay->memo_hits, 0u);
+  EXPECT_EQ(replay->equivalent_ids, primed->equivalent_ids);
+}
+
+TEST_F(ServeTest, LoadRejectsCorruptAndMismatchedSnapshots) {
+  const std::vector<PlanPtr> plans = StreamPlans();
+  const std::vector<PlanPtr> entries(plans.begin(), plans.begin() + 3);
+  auto original = System().OpenCatalog();
+  for (const PlanPtr& plan : entries) {
+    ASSERT_TRUE(original->ProbeAdd(plan).ok());
+  }
+  const std::string path = ::testing::TempDir() + "/serve_corrupt.bin";
+  ASSERT_TRUE(original->Save(path).ok());
+
+  // Garbage file: rejected on the magic number.
+  {
+    std::ofstream out(path + ".garbage", std::ios::binary);
+    out << "not a catalog snapshot at all";
+  }
+  const auto garbage = System().LoadCatalog(path + ".garbage", entries);
+  ASSERT_FALSE(garbage.ok());
+  EXPECT_NE(garbage.status().message().find("bad magic"), std::string::npos);
+
+  // Wrong plan count.
+  const auto short_plans = System().LoadCatalog(
+      path, {entries.begin(), entries.begin() + 2});
+  ASSERT_FALSE(short_plans.ok());
+  EXPECT_NE(short_plans.status().message().find("entry count mismatch"),
+            std::string::npos);
+
+  // Right count, wrong order: the canonical hash check names the entry.
+  std::vector<PlanPtr> reordered = {entries[1], entries[0], entries[2]};
+  const auto swapped = System().LoadCatalog(path, reordered);
+  ASSERT_FALSE(swapped.ok());
+  EXPECT_NE(swapped.status().message().find("does not match"),
+            std::string::npos);
+
+  // A different database schema: fingerprint mismatch before any decoding.
+  Catalog other = MakeTpchCatalog();
+  GEQO_CHECK_OK(
+      other.AddTable(TableDef("extra", {{"x", ValueType::kInt}})));
+  const auto foreign = EquivalenceCatalog::Load(
+      path, &other, &System().model(), &System().instance_layout(),
+      &System().agnostic_layout(), System().value_range(), entries,
+      original->options());
+  ASSERT_FALSE(foreign.ok());
+  EXPECT_NE(foreign.status().message().find("fingerprint mismatch"),
+            std::string::npos);
+
+  // Truncations at several depths all fail loudly.
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream whole;
+  whole << in.rdbuf();
+  const std::string bytes = whole.str();
+  for (const double fraction : {0.1, 0.5, 0.95}) {
+    const std::string cut =
+        bytes.substr(0, static_cast<size_t>(bytes.size() * fraction));
+    std::stringstream stream(cut);
+    const auto truncated = EquivalenceCatalog::Load(
+        stream, &System().catalog(), &System().model(),
+        &System().instance_layout(), &System().agnostic_layout(),
+        System().value_range(), entries, original->options());
+    EXPECT_FALSE(truncated.ok()) << "fraction " << fraction;
+  }
+
+  // Trailing garbage after the end marker is rejected by the file loader.
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    out << "extra";
+  }
+  const auto trailing = System().LoadCatalog(path, entries);
+  ASSERT_FALSE(trailing.ok());
+  EXPECT_NE(trailing.status().message().find("trailing"), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove((path + ".garbage").c_str());
+}
+
+TEST_F(ServeTest, InvalidOptionsPoisonCatalog) {
+  serve::CatalogOptions options;
+  options.pipeline = System().options().pipeline;
+  options.pipeline.vmf.radius = -1.0f;
+  auto catalog = System().OpenCatalog(options);
+  const PlanPtr plan = StreamPlans()[0];
+  EXPECT_FALSE(catalog->Add(plan).ok());
+  EXPECT_FALSE(catalog->Probe(plan).ok());
+  EXPECT_FALSE(catalog->ProbeAdd(plan).ok());
+  std::stringstream sink;
+  EXPECT_FALSE(catalog->Save(sink).ok());
+}
+
+}  // namespace
+}  // namespace geqo
