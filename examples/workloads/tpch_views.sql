@@ -1,0 +1,48 @@
+-- Example TPC-H view workload for GEqO.
+--
+-- Each statement is one candidate view/subexpression of the kind the
+-- pipeline deduplicates in a shared analytics cluster (GEqO §2). The file
+-- doubles as a linted artifact: `geqo_lint --schema=tpch` parses every
+-- statement and runs the plan validator over the result, so a column typo
+-- or an ill-typed predicate here fails scripts/check.sh.
+
+-- Q-like single-table selections.
+SELECT s_name, s_acctbal
+FROM supplier
+WHERE s_acctbal > 1000;
+
+SELECT p_brand, p_retailprice
+FROM part
+WHERE p_size >= 10 AND p_retailprice < 500;
+
+-- The same view written twice, differently: a semantically equivalent pair
+-- the EMF/verifier stack should identify (predicate order + explicit join).
+SELECT c_custkey, o_totalprice
+FROM customer, orders
+WHERE c_custkey = o_custkey AND o_totalprice > 100;
+
+SELECT c.c_custkey, o.o_totalprice
+FROM customer AS c INNER JOIN orders AS o ON o.o_custkey = c.c_custkey
+WHERE o.o_totalprice > 100;
+
+-- Three-way join through the nation dimension.
+SELECT s.s_name, n.n_name
+FROM supplier AS s, nation AS n, region AS r
+WHERE s.s_nationkey = n.n_nationkey
+  AND n.n_regionkey = r.r_regionkey
+  AND s.s_acctbal > 500;
+
+-- Aggregate views (GROUP BY roots).
+SELECT o_custkey, COUNT(*)
+FROM orders
+GROUP BY o_custkey;
+
+SELECT l.l_suppkey, SUM(l.l_extendedprice)
+FROM lineitem AS l, orders AS o
+WHERE l.l_orderkey = o.o_orderkey AND o.o_shippriority = 1
+GROUP BY l.l_suppkey;
+
+-- Self-join with aliases: duplicate-alias and scope rules get exercised.
+SELECT p1.p_partkey, p2.p_retailprice
+FROM part AS p1, part AS p2
+WHERE p1.p_partkey = p2.p_partkey AND p1.p_size > 20;

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Full correctness gate: plain build + ctest, then a ThreadSanitizer build
-# + ctest to catch data races in the parallel pipeline (thread pool, shared
-# inference, per-worker verifiers).
+# Full correctness gate: plain build + ctest, artifact/SQL linting and debug
+# plan validation over the smoke runs, then a ThreadSanitizer build + ctest
+# to catch data races in the parallel pipeline, and finally an
+# UndefinedBehaviorSanitizer build + ctest as a UB gate.
 #
 # Usage: scripts/check.sh [ctest-args...]
-#   GEQO_CHECK_JOBS=N       parallel build/test jobs (default: nproc)
-#   GEQO_CHECK_SKIP_TSAN=1  run only the plain build + tests
-#   GEQO_CHECK_TSAN_FILTER  ctest -R filter for the TSan pass (default: all;
-#                           TSan runs ~5-20x slower, so narrowing to e.g.
-#                           'thread_pool|pipeline|tensor' keeps CI fast)
+#   GEQO_CHECK_JOBS=N        parallel build/test jobs (default: nproc)
+#   GEQO_CHECK_SKIP_TSAN=1   skip the ThreadSanitizer pass
+#   GEQO_CHECK_TSAN_FILTER   ctest -R filter for the TSan pass (default: all;
+#                            TSan runs ~5-20x slower, so narrowing to e.g.
+#                            'thread_pool|pipeline|tensor' keeps CI fast)
+#   GEQO_CHECK_SKIP_UBSAN=1  skip the UndefinedBehaviorSanitizer pass
+#   GEQO_CHECK_UBSAN_FILTER  ctest -R filter for the UBSan pass (default: all)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -20,59 +23,83 @@ cmake --build build -j "$jobs"
 echo "== plain ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs" "$@"
 
+lint=./build/src/analysis/geqo_lint
+
+echo "== clang-tidy gate =="
+# No-op (exit 0) on gcc-only hosts; full analysis when clang-tidy exists.
+scripts/tidy.sh build
+
+echo "== workload SQL lint =="
+# Checked-in example workloads must parse and validate cleanly.
+"$lint" --schema=tpch examples/workloads/*.sql
+
 echo "== traced smoke run =="
 # Exercise the observability layer end to end: a spans-level run of the demo
-# must produce artifacts that the strict JSON linter accepts.
+# must produce artifacts that the strict JSON linter accepts. GEQO_VALIDATE=1
+# turns on plan validation at every pipeline boundary for the smoke runs.
 smoke_dir="$(mktemp -d)"
 trap 'rm -rf "$smoke_dir"' EXIT
-GEQO_TRACE=spans \
+GEQO_VALIDATE=1 GEQO_TRACE=spans \
   GEQO_TRACE_FILE="$smoke_dir/geqo_trace.json" \
   GEQO_METRICS_FILE="$smoke_dir/geqo_metrics.json" \
   ./build/examples/observability_demo
-./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace.json" \
-  "$smoke_dir/geqo_metrics.json"
+"$lint" "$smoke_dir/geqo_trace.json" "$smoke_dir/geqo_metrics.json"
 
 echo "== serving snapshot round-trip smoke =="
 # The serving catalog's core guarantee: a stream interrupted by
-# save+restart replays with bit-identical probe results.
+# save+restart replays with bit-identical probe results. The snapshots the
+# demo writes must pass the artifact linter.
 check_serving_roundtrip() {
   local demo="$1" snap_base="$2"
-  "$demo" > "$smoke_dir/serve_full.txt"
-  "$demo" --phase1 "$snap_base" > "$smoke_dir/serve_p1.txt"
-  "$demo" --phase2 "$snap_base" > "$smoke_dir/serve_p2.txt"
+  GEQO_VALIDATE=1 "$demo" > "$smoke_dir/serve_full.txt"
+  GEQO_VALIDATE=1 "$demo" --phase1 "$snap_base" > "$smoke_dir/serve_p1.txt"
+  GEQO_VALIDATE=1 "$demo" --phase2 "$snap_base" > "$smoke_dir/serve_p2.txt"
   diff <(grep '^PROBE' "$smoke_dir/serve_full.txt") \
        <(cat <(grep '^PROBE' "$smoke_dir/serve_p1.txt") \
              <(grep '^PROBE' "$smoke_dir/serve_p2.txt"))
+  "$lint" "$snap_base.system" "$snap_base.catalog"
 }
 check_serving_roundtrip ./build/examples/serving_demo "$smoke_dir/serve_snap"
 
 if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="
-  exit 0
+else
+  echo "== TSan build =="
+  cmake -B build-tsan -S . -DGEQO_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j "$jobs"
+  echo "== TSan ctest =="
+  # Threads > cores still interleaves enough for TSan to see races; force a
+  # multi-threaded pool even on small CI machines.
+  tsan_filter=(${GEQO_CHECK_TSAN_FILTER:+-R "$GEQO_CHECK_TSAN_FILTER"})
+  GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    "${tsan_filter[@]}" "$@"
+
+  echo "== TSan traced smoke run =="
+  # Tracing itself must be race-free under the 4-thread pool: spans close on
+  # worker threads while metrics fold from every stage.
+  GEQO_THREADS=4 GEQO_VALIDATE=1 GEQO_TRACE=spans \
+    GEQO_TRACE_FILE="$smoke_dir/geqo_trace_tsan.json" \
+    GEQO_METRICS_FILE="$smoke_dir/geqo_metrics_tsan.json" \
+    ./build-tsan/examples/observability_demo
+  "$lint" "$smoke_dir/geqo_trace_tsan.json" "$smoke_dir/geqo_metrics_tsan.json"
+
+  echo "== TSan serving snapshot round-trip smoke =="
+  GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
+    "$smoke_dir/serve_snap_tsan"
 fi
 
-echo "== TSan build =="
-cmake -B build-tsan -S . -DGEQO_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j "$jobs"
-echo "== TSan ctest =="
-# Threads > cores still interleaves enough for TSan to see races; force a
-# multi-threaded pool even on small CI machines.
-tsan_filter=(${GEQO_CHECK_TSAN_FILTER:+-R "$GEQO_CHECK_TSAN_FILTER"})
-GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
-  "${tsan_filter[@]}" "$@"
-
-echo "== TSan traced smoke run =="
-# Tracing itself must be race-free under the 4-thread pool: spans close on
-# worker threads while metrics fold from every stage.
-GEQO_THREADS=4 GEQO_TRACE=spans \
-  GEQO_TRACE_FILE="$smoke_dir/geqo_trace_tsan.json" \
-  GEQO_METRICS_FILE="$smoke_dir/geqo_metrics_tsan.json" \
-  ./build-tsan/examples/observability_demo
-./build/src/obs/geqo_json_lint "$smoke_dir/geqo_trace_tsan.json" \
-  "$smoke_dir/geqo_metrics_tsan.json"
-
-echo "== TSan serving snapshot round-trip smoke =="
-GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
-  "$smoke_dir/serve_snap_tsan"
+if [[ "${GEQO_CHECK_SKIP_UBSAN:-0}" == "1" ]]; then
+  echo "== UBSan pass skipped (GEQO_CHECK_SKIP_UBSAN=1) =="
+else
+  echo "== UBSan build =="
+  # -fno-sanitize-recover=all: any diagnosed UB aborts the test instead of
+  # logging and carrying on, so the suite cannot pass over it.
+  cmake -B build-ubsan -S . -DGEQO_SANITIZE=undefined >/dev/null
+  cmake --build build-ubsan -j "$jobs"
+  echo "== UBSan ctest =="
+  ubsan_filter=(${GEQO_CHECK_UBSAN_FILTER:+-R "$GEQO_CHECK_UBSAN_FILTER"})
+  ctest --test-dir build-ubsan --output-on-failure -j "$jobs" \
+    "${ubsan_filter[@]}" "$@"
+fi
 
 echo "== all checks passed =="

@@ -1,0 +1,572 @@
+#include "analysis/artifact_lint.h"
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+#include "analysis/shape_checker.h"
+#include "common/format_magic.h"
+#include "common/hash.h"
+#include "encode/encoding.h"
+
+namespace geqo::analysis {
+namespace {
+
+/// Sanity bounds: a field beyond these is a corrupt length, not a real
+/// deployment (the largest shipped layout is ~10^2 symbols and the largest
+/// model ~10^7 scalars). They keep the walker from looping on garbage.
+constexpr uint64_t kMaxLayoutSymbols = 1 << 12;
+constexpr uint64_t kMaxTensorDim = 1 << 24;
+constexpr uint64_t kMaxStateEntries = 1 << 12;
+constexpr uint64_t kMaxNameLength = 1 << 12;
+constexpr int64_t kMaxHnswLevel = 64;
+
+/// Bounded reader over raw bytes that remembers where it fell off the end.
+class ByteCursor {
+ public:
+  explicit ByteCursor(std::string_view bytes) : bytes_(bytes) {}
+
+  size_t offset() const { return offset_; }
+  bool ok() const { return ok_; }
+  bool AtEnd() const { return offset_ == bytes_.size(); }
+  size_t remaining() const { return bytes_.size() - offset_; }
+
+  uint64_t U64() { return Fixed<uint64_t>(); }
+  uint32_t U32() { return Fixed<uint32_t>(); }
+  uint8_t U8() { return Fixed<uint8_t>(); }
+  float F32() { return Fixed<float>(); }
+  int64_t I64() { return static_cast<int64_t>(U64()); }
+
+  bool Skip(size_t n) {
+    if (!ok_ || remaining() < n) {
+      MarkFailed();
+      return false;
+    }
+    offset_ += n;
+    return true;
+  }
+
+  std::string String(size_t max_length) {
+    const uint64_t length = U64();
+    if (!ok_ || length > max_length || remaining() < length) {
+      MarkFailed();
+      return {};
+    }
+    std::string out(bytes_.substr(offset_, length));
+    offset_ += length;
+    return out;
+  }
+
+ private:
+  template <typename T>
+  T Fixed() {
+    if (!ok_ || remaining() < sizeof(T)) {
+      MarkFailed();
+      return T{};
+    }
+    T value;
+    std::memcpy(&value, bytes_.data() + offset_, sizeof(T));
+    offset_ += sizeof(T);
+    return value;
+  }
+
+  void MarkFailed() { ok_ = false; }
+
+  std::string_view bytes_;
+  size_t offset_ = 0;
+  bool ok_ = true;
+};
+
+std::string OffsetContext(size_t offset) {
+  return "offset " + std::to_string(offset);
+}
+
+void At(Diagnostics* out, const char* code, std::string message,
+        size_t offset) {
+  Report(out, code, std::move(message), OffsetContext(offset));
+}
+
+/// Strips and verifies the 8-byte checksum footer shared by the v2 container
+/// formats. Returns the payload view; on a bad footer the payload is still
+/// returned (best effort) so the structural walk can narrow the damage.
+std::string_view CheckFooter(std::string_view bytes, const char* kind_prefix,
+                             Diagnostics* out) {
+  const std::string truncated_code = std::string(kind_prefix) + ".truncated";
+  const std::string checksum_code = std::string(kind_prefix) + ".checksum";
+  if (bytes.size() < sizeof(uint64_t)) {
+    Report(out, truncated_code,
+           "file is shorter than the checksum footer", OffsetContext(0));
+    return {};
+  }
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload_size, sizeof(stored));
+  const uint64_t computed = HashBytes(bytes.data(), payload_size);
+  if (stored != computed) {
+    Report(out, checksum_code,
+           "payload checksum mismatch: the file is corrupt, truncated, or "
+           "carries trailing bytes",
+           OffsetContext(payload_size));
+  }
+  return bytes.substr(0, payload_size);
+}
+
+/// Walks a GEQOMODL section. Collects the tensor shapes and, when the
+/// entries look like an EMF state dict, proves the layer graph. Returns
+/// false when the walk had to stop early.
+bool LintModelSection(ByteCursor* cursor, size_t expected_input_dim,
+                      Diagnostics* out) {
+  const size_t magic_offset = cursor->offset();
+  const uint64_t magic = cursor->U64();
+  if (!cursor->ok() || magic != io::kModelStateMagic) {
+    At(out, "model.magic",
+       "model state section does not start with the GEQOMODL magic",
+       magic_offset);
+    return false;
+  }
+  const size_t count_offset = cursor->offset();
+  const uint64_t count = cursor->U64();
+  if (!cursor->ok() || count > kMaxStateEntries) {
+    At(out, "model.count",
+       "implausible state entry count " + std::to_string(count),
+       count_offset);
+    return false;
+  }
+  std::vector<NamedShape> shapes;
+  for (uint64_t i = 0; i < count; ++i) {
+    const size_t entry_offset = cursor->offset();
+    const std::string name = cursor->String(kMaxNameLength);
+    if (!cursor->ok()) {
+      At(out, "model.name",
+         "state entry " + std::to_string(i) +
+             " has a truncated or oversized name",
+         entry_offset);
+      return false;
+    }
+    const size_t shape_offset = cursor->offset();
+    const uint64_t rows = cursor->U64();
+    const uint64_t cols = cursor->U64();
+    if (!cursor->ok() || rows > kMaxTensorDim || cols > kMaxTensorDim) {
+      At(out, "model.shape",
+         "state entry '" + name + "' declares an implausible shape " +
+             std::to_string(rows) + "x" + std::to_string(cols),
+         shape_offset);
+      return false;
+    }
+    if (!cursor->Skip(rows * cols * sizeof(float))) {
+      At(out, "model.truncated",
+         "state entry '" + name + "' is cut off before its " +
+             std::to_string(rows * cols) + " float payload ends",
+         shape_offset);
+      return false;
+    }
+    shapes.push_back(NamedShape{name, rows, cols});
+  }
+  // Only state dicts that announce the EMF trunk get the layer-graph proof;
+  // GEQOMODL itself is a generic named-tensor container.
+  bool looks_like_emf = false;
+  for (const NamedShape& shape : shapes) {
+    if (shape.name == "conv1.self") looks_like_emf = true;
+  }
+  if (looks_like_emf) {
+    for (Diagnostic diagnostic :
+         CheckEmfStateShapes(shapes, expected_input_dim)) {
+      out->push_back(std::move(diagnostic));
+    }
+  }
+  return true;
+}
+
+/// Walks a GEQOHNSW section. \p expected_dim / \p expected_count are
+/// cross-checked when provided (from the catalog header).
+bool LintHnswSection(ByteCursor* cursor, std::optional<uint64_t> expected_dim,
+                     std::optional<uint64_t> expected_count,
+                     Diagnostics* out) {
+  const size_t magic_offset = cursor->offset();
+  const uint64_t magic = cursor->U64();
+  if (!cursor->ok() || magic != io::kHnswMagic) {
+    At(out, "hnsw.magic",
+       "index section does not start with the GEQOHNSW magic", magic_offset);
+    return false;
+  }
+  const size_t version_offset = cursor->offset();
+  const uint64_t version = cursor->U64();
+  if (!cursor->ok() || version != io::kHnswVersion) {
+    At(out, "hnsw.version",
+       "unsupported index version " + std::to_string(version),
+       version_offset);
+    return false;
+  }
+  const size_t params_offset = cursor->offset();
+  const uint64_t dim = cursor->U64();
+  const uint64_t max_connections = cursor->U64();
+  cursor->Skip(3 * sizeof(uint64_t));  // ef_construction, ef_search, seed
+  cursor->Skip(4 * sizeof(uint64_t));  // rng stream position
+  const size_t level_offset = cursor->offset();
+  const int64_t max_level = cursor->I64();
+  const uint64_t entry_point = cursor->U64();
+  const size_t count_offset = cursor->offset();
+  const uint64_t count = cursor->U64();
+  if (!cursor->ok()) {
+    At(out, "hnsw.truncated", "index header is cut off", params_offset);
+    return false;
+  }
+  if (dim == 0 || dim > kMaxTensorDim || max_connections < 2) {
+    At(out, "hnsw.params",
+       "invalid construction parameters (dim " + std::to_string(dim) +
+           ", M " + std::to_string(max_connections) + ")",
+       params_offset);
+    return false;
+  }
+  if (expected_dim.has_value() && dim != *expected_dim) {
+    At(out, "hnsw.dim-mismatch",
+       "index dim " + std::to_string(dim) +
+           " does not match the embedding dim " +
+           std::to_string(*expected_dim) + " of the enclosing snapshot",
+       params_offset);
+  }
+  if (expected_count.has_value() && count != *expected_count) {
+    At(out, "hnsw.count-mismatch",
+       "index holds " + std::to_string(count) + " vectors for " +
+           std::to_string(*expected_count) + " catalog entries",
+       count_offset);
+    return false;
+  }
+  if (max_level < -1 || max_level > kMaxHnswLevel) {
+    At(out, "hnsw.level",
+       "implausible max level " + std::to_string(max_level), level_offset);
+    return false;
+  }
+  if (count == 0 && max_level != -1) {
+    At(out, "hnsw.entry-point", "empty index declares an entry point",
+       level_offset);
+  }
+  if (count > 0 && entry_point >= count) {
+    At(out, "hnsw.entry-point",
+       "entry point " + std::to_string(entry_point) + " is out of range",
+       level_offset);
+  }
+  if (!cursor->Skip(count * dim * sizeof(float))) {
+    At(out, "hnsw.truncated", "vector payload is cut off", count_offset);
+    return false;
+  }
+  for (uint64_t node = 0; node < count; ++node) {
+    const size_t node_offset = cursor->offset();
+    const int64_t level = cursor->I64();
+    if (!cursor->ok() || level < 0 || level > max_level) {
+      At(out, "hnsw.level",
+         "node " + std::to_string(node) + " has level " +
+             std::to_string(level) + " outside [0, " +
+             std::to_string(max_level) + "]",
+         node_offset);
+      return false;
+    }
+    for (int64_t layer = 0; layer <= level; ++layer) {
+      const size_t links_offset = cursor->offset();
+      const uint64_t n_links = cursor->U64();
+      if (!cursor->ok() || n_links > count) {
+        At(out, "hnsw.link",
+           "node " + std::to_string(node) + " layer " +
+               std::to_string(layer) + " declares " +
+               std::to_string(n_links) + " links (index holds " +
+               std::to_string(count) + " nodes)",
+           links_offset);
+        return false;
+      }
+      for (uint64_t i = 0; i < n_links; ++i) {
+        const uint32_t link = cursor->U32();
+        if (!cursor->ok() || link >= count) {
+          At(out, "hnsw.link",
+             "node " + std::to_string(node) + " links to out-of-range id " +
+                 std::to_string(link),
+             links_offset);
+          return false;
+        }
+      }
+    }
+  }
+  const size_t end_offset = cursor->offset();
+  const uint64_t end_magic = cursor->U64();
+  if (!cursor->ok() || end_magic != io::kHnswEndMagic) {
+    At(out, "hnsw.end-magic", "index section is missing its end marker",
+       end_offset);
+    return false;
+  }
+  return true;
+}
+
+void LintSystemSnapshot(std::string_view bytes, Diagnostics* out) {
+  const std::string_view payload = CheckFooter(bytes, "snapshot", out);
+  ByteCursor cursor(payload);
+  const uint64_t magic = cursor.U64();
+  if (!cursor.ok() || magic != io::kSystemSnapshotMagic) {
+    At(out, "snapshot.magic", "missing GEQOSNAP magic", 0);
+    return;
+  }
+  const size_t version_offset = cursor.offset();
+  const uint64_t version = cursor.U64();
+  if (!cursor.ok() || version != io::kSystemSnapshotVersion) {
+    At(out, "snapshot.version",
+       "unsupported snapshot version " + std::to_string(version),
+       version_offset);
+    return;
+  }
+  cursor.U64();  // catalog fingerprint: opaque without the live catalog
+  const size_t layout_offset = cursor.offset();
+  const uint64_t tables = cursor.U64();
+  const uint64_t columns = cursor.U64();
+  const size_t calibration_offset = cursor.offset();
+  const float radius = cursor.F32();
+  const float threshold = cursor.F32();
+  if (!cursor.ok()) {
+    At(out, "snapshot.truncated", "snapshot header is cut off", 0);
+    return;
+  }
+  size_t expected_input_dim = 0;
+  if (tables == 0 || tables > kMaxLayoutSymbols || columns == 0 ||
+      columns > kMaxLayoutSymbols) {
+    At(out, "snapshot.layout",
+       "implausible agnostic layout " + std::to_string(tables) + "x" +
+           std::to_string(columns),
+       layout_offset);
+  } else {
+    expected_input_dim =
+        EncodingLayout::Agnostic(tables, columns).node_vector_size();
+  }
+  if (!std::isfinite(radius) || radius < 0.0f) {
+    At(out, "snapshot.radius",
+       "calibrated VMF radius is not a finite non-negative value",
+       calibration_offset);
+  }
+  if (!std::isfinite(threshold) || threshold < 0.0f || threshold > 1.0f) {
+    At(out, "snapshot.threshold",
+       "calibrated EMF threshold is outside [0, 1]", calibration_offset);
+  }
+  if (!LintModelSection(&cursor, expected_input_dim, out)) return;
+  if (!cursor.AtEnd()) {
+    At(out, "snapshot.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the model state section",
+       cursor.offset());
+  }
+}
+
+void LintCatalogSnapshot(std::string_view bytes, Diagnostics* out) {
+  const std::string_view payload = CheckFooter(bytes, "catalog", out);
+  ByteCursor cursor(payload);
+  const uint64_t magic = cursor.U64();
+  if (!cursor.ok() || magic != io::kCatalogMagic) {
+    At(out, "catalog.magic", "missing GEQOCATG magic", 0);
+    return;
+  }
+  const size_t version_offset = cursor.offset();
+  const uint64_t version = cursor.U64();
+  if (!cursor.ok() || version != io::kCatalogVersion) {
+    At(out, "catalog.version",
+       "unsupported catalog version " + std::to_string(version),
+       version_offset);
+    return;
+  }
+  cursor.U64();  // database schema fingerprint: opaque without the catalog
+  const size_t dim_offset = cursor.offset();
+  const uint64_t embedding_dim = cursor.U64();
+  const size_t count_offset = cursor.offset();
+  const uint64_t count = cursor.U64();
+  if (!cursor.ok()) {
+    At(out, "catalog.truncated", "catalog header is cut off", 0);
+    return;
+  }
+  if (embedding_dim == 0 || embedding_dim > kMaxTensorDim) {
+    At(out, "catalog.embedding-dim",
+       "implausible embedding dim " + std::to_string(embedding_dim),
+       dim_offset);
+    return;
+  }
+  if (count * sizeof(uint64_t) > cursor.remaining()) {
+    At(out, "catalog.entry-count",
+       "entry count " + std::to_string(count) +
+           " exceeds what the file can hold",
+       count_offset);
+    return;
+  }
+  cursor.Skip(count * sizeof(uint64_t));  // canonical hashes: free-form
+  if (!LintHnswSection(&cursor, embedding_dim, count, out)) return;
+  // Union-find forest in compressed, min-root form: every parent points at
+  // or below its child and directly at its root.
+  const size_t parents_offset = cursor.offset();
+  std::vector<uint64_t> parents(count);
+  for (uint64_t i = 0; i < count; ++i) parents[i] = cursor.U64();
+  if (!cursor.ok()) {
+    At(out, "catalog.truncated", "class forest is cut off", parents_offset);
+    return;
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (parents[i] > i) {
+      At(out, "catalog.parent-range",
+         "entry " + std::to_string(i) + " has parent " +
+             std::to_string(parents[i]) +
+             " above itself (roots must be class minima)",
+         parents_offset);
+      return;
+    }
+    if (parents[parents[i]] != parents[i]) {
+      At(out, "catalog.parent-compressed",
+         "entry " + std::to_string(i) +
+             " points at a non-root parent (forest must be "
+             "path-compressed)",
+         parents_offset);
+      return;
+    }
+  }
+  // Verifier memo: strictly sorted normalized pair fingerprints with
+  // verdict bytes in the tri-state range.
+  const size_t memo_offset = cursor.offset();
+  const uint64_t memo_count = cursor.U64();
+  if (!cursor.ok() ||
+      memo_count > cursor.remaining() / (2 * sizeof(uint64_t) + 1)) {
+    At(out, "catalog.truncated", "verifier memo is cut off", memo_offset);
+    return;
+  }
+  uint64_t prev_lo = 0;
+  uint64_t prev_hi = 0;
+  for (uint64_t i = 0; i < memo_count; ++i) {
+    const size_t entry_offset = cursor.offset();
+    const uint64_t lo = cursor.U64();
+    const uint64_t hi = cursor.U64();
+    const uint8_t verdict = cursor.U8();
+    if (!cursor.ok()) {
+      At(out, "catalog.truncated", "verifier memo is cut off", entry_offset);
+      return;
+    }
+    if (lo > hi) {
+      At(out, "catalog.memo-key",
+         "memo entry " + std::to_string(i) +
+             " is not a normalized pair fingerprint (lo > hi)",
+         entry_offset);
+      return;
+    }
+    if (i > 0 && (lo < prev_lo || (lo == prev_lo && hi <= prev_hi))) {
+      At(out, "catalog.memo-order",
+         "memo entries are not strictly sorted at entry " +
+             std::to_string(i),
+         entry_offset);
+      return;
+    }
+    if (verdict > 2) {  // EquivalenceVerdict::kUnknown is the largest value
+      At(out, "catalog.memo-verdict",
+         "memo entry " + std::to_string(i) + " has verdict byte " +
+             std::to_string(verdict) + " outside the tri-state range",
+         entry_offset);
+      return;
+    }
+    prev_lo = lo;
+    prev_hi = hi;
+  }
+  const size_t end_offset = cursor.offset();
+  const uint64_t end_magic = cursor.U64();
+  if (!cursor.ok() || end_magic != io::kCatalogEndMagic) {
+    At(out, "catalog.end-magic", "catalog is missing its CATGEND! marker",
+       end_offset);
+    return;
+  }
+  if (!cursor.AtEnd()) {
+    At(out, "catalog.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the end marker",
+       cursor.offset());
+  }
+}
+
+void LintModelStateFile(std::string_view bytes, Diagnostics* out) {
+  ByteCursor cursor(bytes);
+  if (!LintModelSection(&cursor, /*expected_input_dim=*/0, out)) return;
+  if (!cursor.AtEnd()) {
+    At(out, "model.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the last state entry",
+       cursor.offset());
+  }
+}
+
+void LintHnswFile(std::string_view bytes, Diagnostics* out) {
+  ByteCursor cursor(bytes);
+  if (!LintHnswSection(&cursor, std::nullopt, std::nullopt, out)) return;
+  if (!cursor.AtEnd()) {
+    At(out, "hnsw.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the end marker",
+       cursor.offset());
+  }
+}
+
+}  // namespace
+
+std::string_view ArtifactKindToString(ArtifactKind kind) {
+  switch (kind) {
+    case ArtifactKind::kSystemSnapshot:
+      return "system snapshot";
+    case ArtifactKind::kServingCatalog:
+      return "serving catalog";
+    case ArtifactKind::kModelState:
+      return "model state";
+    case ArtifactKind::kHnswIndex:
+      return "hnsw index";
+    case ArtifactKind::kUnknown:
+      break;
+  }
+  return "unknown";
+}
+
+ArtifactKind SniffArtifact(std::string_view bytes) {
+  if (bytes.size() < sizeof(uint64_t)) return ArtifactKind::kUnknown;
+  uint64_t magic = 0;
+  std::memcpy(&magic, bytes.data(), sizeof(magic));
+  switch (magic) {
+    case io::kSystemSnapshotMagic:
+      return ArtifactKind::kSystemSnapshot;
+    case io::kCatalogMagic:
+      return ArtifactKind::kServingCatalog;
+    case io::kModelStateMagic:
+      return ArtifactKind::kModelState;
+    case io::kHnswMagic:
+      return ArtifactKind::kHnswIndex;
+    default:
+      return ArtifactKind::kUnknown;
+  }
+}
+
+Diagnostics LintArtifactBytes(std::string_view bytes) {
+  Diagnostics out;
+  switch (SniffArtifact(bytes)) {
+    case ArtifactKind::kSystemSnapshot:
+      LintSystemSnapshot(bytes, &out);
+      break;
+    case ArtifactKind::kServingCatalog:
+      LintCatalogSnapshot(bytes, &out);
+      break;
+    case ArtifactKind::kModelState:
+      LintModelStateFile(bytes, &out);
+      break;
+    case ArtifactKind::kHnswIndex:
+      LintHnswFile(bytes, &out);
+      break;
+    case ArtifactKind::kUnknown:
+      At(&out, "artifact.unknown-magic",
+         "file does not start with any known GEqO artifact magic", 0);
+      break;
+  }
+  return out;
+}
+
+Result<Diagnostics> LintArtifactFile(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  std::ostringstream contents;
+  contents << file.rdbuf();
+  return LintArtifactBytes(contents.str());
+}
+
+}  // namespace geqo::analysis

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "analysis/diagnostics.h"
+#include "common/result.h"
+
+/// \file artifact_lint.h
+/// Static validation of the library's binary artifacts from raw bytes —
+/// no GeqoSystem, catalog, or model is needed, so a linter can gate files
+/// before they ever reach the serving path. The walker mirrors the on-disk
+/// formats declared in common/format_magic.h:
+///
+///   GEQOSNAP  system snapshot: header, calibration, GEQOMODL model state,
+///             checksum footer. Codes snapshot.* / model.* / emf.*.
+///   GEQOCATG  serving catalog: header, canonical hashes, GEQOHNSW graph,
+///             union-find parents, verifier memo, end magic, checksum
+///             footer. Codes catalog.* / hnsw.*.
+///   GEQOMODL  standalone model state file. Codes model.* / emf.*.
+///   GEQOHNSW  standalone index blob. Codes hnsw.*.
+///
+/// Diagnostics carry byte-offset contexts ("offset 123") pointing at the
+/// section that violated its invariant.
+
+namespace geqo::analysis {
+
+enum class ArtifactKind : uint8_t {
+  kUnknown,
+  kSystemSnapshot,
+  kServingCatalog,
+  kModelState,
+  kHnswIndex,
+};
+
+std::string_view ArtifactKindToString(ArtifactKind kind);
+
+/// Identifies an artifact by its leading magic (8 bytes).
+ArtifactKind SniffArtifact(std::string_view bytes);
+
+/// Lints \p bytes as whichever artifact its magic announces. Unknown magic
+/// is itself a finding (artifact.unknown-magic). Empty result = valid.
+Diagnostics LintArtifactBytes(std::string_view bytes);
+
+/// Reads and lints \p path; Status errors are I/O-level only (unreadable
+/// file), all content problems come back as diagnostics.
+Result<Diagnostics> LintArtifactFile(const std::string& path);
+
+}  // namespace geqo::analysis

@@ -1,0 +1,32 @@
+#include "analysis/diagnostics.h"
+
+namespace geqo::analysis {
+
+void Report(Diagnostics* out, std::string code, std::string message,
+            std::string context) {
+  out->push_back(Diagnostic{std::move(code), std::move(message),
+                            std::move(context)});
+}
+
+bool HasFindings(const Diagnostics& diagnostics) {
+  return !diagnostics.empty();
+}
+
+bool HasCode(const Diagnostics& diagnostics, std::string_view code) {
+  for (const Diagnostic& diagnostic : diagnostics) {
+    if (diagnostic.code == code) return true;
+  }
+  return false;
+}
+
+std::string FormatDiagnostics(const Diagnostics& diagnostics) {
+  std::string out;
+  for (const Diagnostic& diagnostic : diagnostics) {
+    out += "[" + diagnostic.code + "] " + diagnostic.message;
+    if (!diagnostic.context.empty()) out += " (" + diagnostic.context + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace geqo::analysis

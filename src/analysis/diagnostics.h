@@ -1,0 +1,37 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+/// \file diagnostics.h
+/// Structured findings produced by the static analysis layer (plan
+/// validator, model shape checker, artifact linter). Every finding carries a
+/// stable machine-readable code (e.g. "plan.scan.unknown-table") so tests
+/// can assert that exactly the intended invariant fired and tools can filter
+/// without parsing prose.
+
+namespace geqo::analysis {
+
+struct Diagnostic {
+  std::string code;     ///< stable dotted identifier of the violated invariant
+  std::string message;  ///< human-readable explanation
+  std::string context;  ///< location: plan path, byte offset, statement line
+};
+
+using Diagnostics = std::vector<Diagnostic>;
+
+/// Appends a finding; the canonical way checkers report.
+void Report(Diagnostics* out, std::string code, std::string message,
+            std::string context = {});
+
+/// True when any finding was reported (all diagnostics are errors).
+bool HasFindings(const Diagnostics& diagnostics);
+
+/// True when a finding with exactly \p code is present.
+bool HasCode(const Diagnostics& diagnostics, std::string_view code);
+
+/// One line per finding: "[code] message (context)".
+std::string FormatDiagnostics(const Diagnostics& diagnostics);
+
+}  // namespace geqo::analysis

@@ -1,0 +1,109 @@
+// geqo_lint: static artifact linter for everything the pipeline writes or
+// reads. Dispatches on file type:
+//   *.json           observability exports (strict JSON well-formedness)
+//   *.sql            workload files (parse + PlanValidator, --schema=...)
+//   anything else    binary artifacts by magic: GEQOSNAP, GEQOCATG,
+//                    GEQOMODL, GEQOHNSW
+// Exit 0 when every file is clean, 1 on findings, 2 on usage/IO errors.
+// Grown from the PR 2 JSON-only geqo_json_lint.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analysis/artifact_lint.h"
+#include "analysis/sql_lint.h"
+#include "obs/json.h"
+#include "workload/schemas.h"
+
+namespace {
+
+using geqo::analysis::Diagnostics;
+
+bool EndsWith(const std::string& value, const char* suffix) {
+  const size_t n = std::strlen(suffix);
+  return value.size() >= n &&
+         value.compare(value.size() - n, n, suffix) == 0;
+}
+
+void PrintFindings(const std::string& path, const Diagnostics& diagnostics) {
+  for (const auto& diagnostic : diagnostics) {
+    std::fprintf(stderr, "%s: [%s] %s%s%s%s\n", path.c_str(),
+                 diagnostic.code.c_str(), diagnostic.message.c_str(),
+                 diagnostic.context.empty() ? "" : " (",
+                 diagnostic.context.c_str(),
+                 diagnostic.context.empty() ? "" : ")");
+  }
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: geqo_lint [--schema=tpch|tpcds] FILE...\n"
+               "  *.json  strict JSON validation (observability exports)\n"
+               "  *.sql   parse + plan validation against --schema "
+               "(default tpch)\n"
+               "  other   binary artifact lint (GEQOSNAP, GEQOCATG, "
+               "GEQOMODL, GEQOHNSW)\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  geqo::Catalog catalog = geqo::MakeTpchCatalog();
+  int first_file = 1;
+  for (; first_file < argc; ++first_file) {
+    const std::string arg = argv[first_file];
+    if (arg.rfind("--schema=", 0) != 0) break;
+    const std::string schema = arg.substr(std::strlen("--schema="));
+    if (schema == "tpch") {
+      catalog = geqo::MakeTpchCatalog();
+    } else if (schema == "tpcds") {
+      catalog = geqo::MakeTpcdsCatalog();
+    } else {
+      std::fprintf(stderr, "geqo_lint: unknown schema '%s'\n",
+                   schema.c_str());
+      return Usage();
+    }
+  }
+  if (first_file >= argc) return Usage();
+
+  int failures = 0;
+  for (int i = first_file; i < argc; ++i) {
+    const std::string path = argv[i];
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+      return 2;
+    }
+    std::ostringstream contents;
+    contents << in.rdbuf();
+    const std::string bytes = contents.str();
+
+    Diagnostics diagnostics;
+    const char* kind = "artifact";
+    if (EndsWith(path, ".json")) {
+      kind = "json";
+      if (const auto error = geqo::obs::ValidateJson(bytes)) {
+        diagnostics.push_back({"json.invalid", *error, ""});
+      }
+    } else if (EndsWith(path, ".sql")) {
+      kind = "sql";
+      diagnostics = geqo::analysis::LintSqlText(bytes, catalog);
+    } else {
+      diagnostics = geqo::analysis::LintArtifactBytes(bytes);
+      kind = geqo::analysis::ArtifactKindToString(
+                 geqo::analysis::SniffArtifact(bytes))
+                 .data();
+    }
+    if (diagnostics.empty()) {
+      std::printf("%s: ok (%s)\n", path.c_str(), kind);
+    } else {
+      PrintFindings(path, diagnostics);
+      ++failures;
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -1,0 +1,35 @@
+#pragma once
+
+#include "analysis/shape_checker.h"
+#include "common/status.h"
+#include "ml/emf_model.h"
+
+/// \file model_check.h
+/// Header-only bridge from a live ml::EmfModel to the generic shape checker.
+/// Kept out of the geqo_analysis library so that library depends only on
+/// plan/encode — callers of this header (core, tests) already link geqo_ml.
+
+namespace geqo::analysis {
+
+/// The model's state dict as named shapes.
+inline std::vector<NamedShape> ModelStateShapes(ml::EmfModel& model) {
+  std::vector<NamedShape> shapes;
+  for (const auto& [name, tensor] : model.State()) {
+    shapes.push_back(NamedShape{name, tensor->rows(), tensor->cols()});
+  }
+  return shapes;
+}
+
+/// Proves every layer of \p model shape-compatible (including against its
+/// configured input_dim) before a training or inference call; a violation
+/// comes back as one InvalidArgument carrying the named diagnostics instead
+/// of a crash deep inside MatMul.
+inline Status CheckModelShapes(ml::EmfModel& model) {
+  const Diagnostics diagnostics = CheckEmfStateShapes(
+      ModelStateShapes(model), model.options().input_dim);
+  if (diagnostics.empty()) return Status::OK();
+  return Status::InvalidArgument("EMF model shape check failed:\n" +
+                                 FormatDiagnostics(diagnostics));
+}
+
+}  // namespace geqo::analysis

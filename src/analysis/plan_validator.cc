@@ -1,0 +1,295 @@
+#include "analysis/plan_validator.h"
+
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "common/check.h"
+#include "plan/canonicalize.h"
+
+namespace geqo::analysis {
+namespace {
+
+/// The three-valued type lattice the validator reasons in. Int/double
+/// distinctions never matter for validity (numeric comparisons promote),
+/// only the numeric/string divide does.
+enum class ExprType { kNumeric, kString, kUnknown };
+
+ExprType FromValueType(ValueType type) {
+  return type == ValueType::kString ? ExprType::kString : ExprType::kNumeric;
+}
+
+/// Scan bindings visible to a node: alias -> table name.
+using Scope = std::map<std::string, std::string>;
+
+class Walker {
+ public:
+  Walker(const Catalog* catalog, const PlanNode& root, Diagnostics* out)
+      : catalog_(catalog), out_(out) {
+    // Global alias set, to tell a reference to a sibling subtree's scan
+    // (out of scope) apart from one that resolves nowhere at all.
+    for (const auto& [table, alias] : root.ScanBindings()) {
+      global_aliases_.insert(alias);
+    }
+  }
+
+  Scope Walk(const PlanNode& node, const std::string& path) {
+    switch (node.kind()) {
+      case OpKind::kScan:
+        return WalkScan(node, path);
+      case OpKind::kSelect: {
+        Scope scope = WalkChild(node, 0, path);
+        CheckComparison(node.predicate(), scope, path);
+        return scope;
+      }
+      case OpKind::kProject: {
+        Scope scope = WalkChild(node, 0, path);
+        for (const OutputColumn& output : node.outputs()) {
+          if (output.name.empty()) {
+            Report(out_, "plan.project.empty-name",
+                   "projection output with an empty name", path);
+          }
+          if (output.expr == nullptr) {
+            Report(out_, "plan.expr.null",
+                   "projection output '" + output.name +
+                       "' has no expression",
+                   path);
+            continue;
+          }
+          TypeOf(*output.expr, scope, path);
+        }
+        // Scan bindings stay visible above a Project: operators placed on
+        // top of projections (rewrite products) keep referencing base
+        // columns, matching OutputColumns' expansion semantics.
+        return scope;
+      }
+      case OpKind::kJoin: {
+        Scope left = WalkChild(node, 0, path);
+        const Scope right = WalkChild(node, 1, path);
+        for (const auto& [alias, table] : right) {
+          if (!left.emplace(alias, table).second) {
+            Report(out_, "plan.scan.duplicate-alias",
+                   "alias '" + alias +
+                       "' is bound by scans in both join subtrees",
+                   path);
+          }
+        }
+        CheckComparison(node.predicate(), left, path);
+        return left;
+      }
+      case OpKind::kAggregate: {
+        Scope scope = WalkChild(node, 0, path);
+        for (const OutputColumn& key : node.group_by()) {
+          if (key.name.empty()) {
+            Report(out_, "plan.project.empty-name",
+                   "group-by key with an empty name", path);
+          }
+          if (key.expr == nullptr) {
+            Report(out_, "plan.expr.null",
+                   "group-by key '" + key.name + "' has no expression", path);
+            continue;
+          }
+          TypeOf(*key.expr, scope, path);
+        }
+        for (const AggregateExpr& aggregate : node.aggregates()) {
+          if (aggregate.name.empty()) {
+            Report(out_, "plan.aggregate.empty-name",
+                   "aggregate output with an empty name", path);
+          }
+          if (aggregate.argument == nullptr) {
+            if (aggregate.fn != AggregateFn::kCount) {
+              Report(out_, "plan.aggregate.null-argument",
+                     std::string(AggregateFnToString(aggregate.fn)) +
+                         "(*) is not a thing: only COUNT may omit its "
+                         "argument",
+                     path);
+            }
+            continue;
+          }
+          const ExprType type = TypeOf(*aggregate.argument, scope, path);
+          const bool numeric_only = aggregate.fn == AggregateFn::kSum ||
+                                    aggregate.fn == AggregateFn::kAvg;
+          if (numeric_only && type == ExprType::kString) {
+            Report(out_, "plan.aggregate.string-argument",
+                   std::string(AggregateFnToString(aggregate.fn)) +
+                       " over the string expression " +
+                       aggregate.argument->ToString(),
+                   path);
+          }
+        }
+        return scope;
+      }
+    }
+    return {};
+  }
+
+ private:
+  Scope WalkScan(const PlanNode& node, const std::string& path) {
+    if (catalog_->FindTable(node.table()) == nullptr) {
+      Report(out_, "plan.scan.unknown-table",
+             "scan of table '" + node.table() +
+                 "' which is not in the catalog",
+             path);
+    }
+    return Scope{{node.alias(), node.table()}};
+  }
+
+  Scope WalkChild(const PlanNode& node, size_t i, const std::string& path) {
+    const PlanNode& child = *node.child(i);
+    return Walk(child, path + "/" + std::to_string(i) + ":" +
+                           std::string(OpKindToString(child.kind())));
+  }
+
+  void CheckComparison(const Comparison& cmp, const Scope& scope,
+                       const std::string& path) {
+    if (cmp.lhs == nullptr || cmp.rhs == nullptr) {
+      Report(out_, "plan.expr.null", "comparison with a missing side", path);
+      return;
+    }
+    const ExprType lhs = TypeOf(*cmp.lhs, scope, path);
+    const ExprType rhs = TypeOf(*cmp.rhs, scope, path);
+    if (lhs != ExprType::kUnknown && rhs != ExprType::kUnknown &&
+        lhs != rhs) {
+      Report(out_, "plan.predicate.type-mismatch",
+             "comparison between a string and a numeric side: " +
+                 cmp.ToString(),
+             path);
+    }
+  }
+
+  ExprType TypeOf(const Expr& expr, const Scope& scope,
+                  const std::string& path) {
+    switch (expr.kind()) {
+      case ExprKind::kLiteral:
+        return FromValueType(expr.value().type());
+      case ExprKind::kColumnRef:
+        return TypeOfColumn(expr.column(), scope, path);
+      default: {
+        if (expr.left() == nullptr || expr.right() == nullptr) {
+          Report(out_, "plan.expr.null",
+                 "arithmetic node with a missing operand", path);
+          return ExprType::kUnknown;
+        }
+        const ExprType left = TypeOf(*expr.left(), scope, path);
+        const ExprType right = TypeOf(*expr.right(), scope, path);
+        if (left == ExprType::kString || right == ExprType::kString) {
+          Report(out_, "plan.expr.string-arithmetic",
+                 "arithmetic over a string operand: " + expr.ToString(),
+                 path);
+          return ExprType::kUnknown;
+        }
+        if (left == ExprType::kUnknown || right == ExprType::kUnknown) {
+          return ExprType::kUnknown;
+        }
+        return ExprType::kNumeric;
+      }
+    }
+  }
+
+  ExprType TypeOfColumn(const ColumnRef& ref, const Scope& scope,
+                        const std::string& path) {
+    const auto it = scope.find(ref.alias);
+    if (it == scope.end()) {
+      if (global_aliases_.count(ref.alias) != 0) {
+        Report(out_, "plan.column.out-of-scope",
+               "column " + ref.ToString() +
+                   " references a scan outside this operator's subtree",
+               path);
+      } else {
+        Report(out_, "plan.column.unknown-alias",
+               "column " + ref.ToString() +
+                   " references an alias no scan binds",
+               path);
+      }
+      return ExprType::kUnknown;
+    }
+    const TableDef* table = catalog_->FindTable(it->second);
+    // Unknown table already reported at the scan; nothing to resolve against.
+    if (table == nullptr) return ExprType::kUnknown;
+    const auto index = table->ColumnIndex(ref.column);
+    if (!index.has_value()) {
+      Report(out_, "plan.column.unknown-column",
+             "column " + ref.ToString() + " does not exist in table '" +
+                 it->second + "'",
+             path);
+      return ExprType::kUnknown;
+    }
+    return FromValueType(table->columns()[*index].type);
+  }
+
+  const Catalog* catalog_;
+  Diagnostics* out_;
+  std::set<std::string> global_aliases_;
+};
+
+}  // namespace
+
+Diagnostics PlanValidator::Validate(const PlanPtr& plan) const {
+  Diagnostics out;
+  if (plan == nullptr) {
+    Report(&out, "plan.null-node", "plan is null", "$");
+    return out;
+  }
+  Walker walker(catalog_, *plan, &out);
+  walker.Walk(*plan, std::string(OpKindToString(plan->kind())));
+  return out;
+}
+
+Diagnostics PlanValidator::ValidateCanonical(const PlanPtr& plan) const {
+  Diagnostics out = Validate(plan);
+  if (!out.empty()) return out;
+  const PlanPtr canonical = Canonicalize(plan);
+  if (!canonical->Equals(*plan)) {
+    Report(&out, "plan.canonical.not-canonical",
+           "re-canonicalizing changes the plan: a plan presented as "
+           "canonical must be a fixed point of Canonicalize",
+           std::string(OpKindToString(plan->kind())));
+  }
+  return out;
+}
+
+Status PlanValidator::ValidateOrError(const PlanPtr& plan) const {
+  const Diagnostics diagnostics = Validate(plan);
+  if (diagnostics.empty()) return Status::OK();
+  return Status::InvalidArgument("invalid plan:\n" +
+                                 FormatDiagnostics(diagnostics));
+}
+
+bool DebugValidationEnabled() {
+  static const bool enabled = [] {
+    if (const char* env = std::getenv("GEQO_VALIDATE")) {
+      const std::string_view value(env);
+      return value == "1" || value == "on";
+    }
+#ifdef NDEBUG
+    return false;
+#else
+    return true;
+#endif
+  }();
+  return enabled;
+}
+
+void DebugValidatePlan(const PlanPtr& plan, const Catalog& catalog,
+                       const char* boundary) {
+  if (!DebugValidationEnabled()) return;
+  const Diagnostics diagnostics = PlanValidator(&catalog).Validate(plan);
+  GEQO_CHECK(diagnostics.empty())
+      << "invalid plan at boundary " << boundary << ":\n"
+      << FormatDiagnostics(diagnostics);
+}
+
+void DebugValidateCanonical(const PlanPtr& plan, const Catalog& catalog,
+                            const char* boundary) {
+  if (!DebugValidationEnabled()) return;
+  const Diagnostics diagnostics =
+      PlanValidator(&catalog).ValidateCanonical(plan);
+  GEQO_CHECK(diagnostics.empty())
+      << "invalid canonical plan at boundary " << boundary << ":\n"
+      << FormatDiagnostics(diagnostics);
+}
+
+}  // namespace geqo::analysis

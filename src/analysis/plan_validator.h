@@ -1,0 +1,70 @@
+#pragma once
+
+#include "analysis/diagnostics.h"
+#include "common/status.h"
+#include "plan/plan.h"
+#include "plan/schema.h"
+
+/// \file plan_validator.h
+/// Structural and semantic invariant checks over logical plans. The factory
+/// functions in plan.h enforce local shape (arity, non-null children); the
+/// validator proves the global properties the rest of the system assumes:
+///
+///   - every scan names a catalog table and aliases are plan-unique
+///     (plan.scan.unknown-table, plan.scan.duplicate-alias)
+///   - every column reference resolves against the scans of the subtree it
+///     appears in (plan.column.unknown-alias, plan.column.unknown-column,
+///     plan.column.out-of-scope)
+///   - predicates are well-typed atomic comparisons: no string arithmetic,
+///     no string-vs-numeric comparison (plan.expr.string-arithmetic,
+///     plan.predicate.type-mismatch)
+///   - projections and aggregations expose well-formed outputs
+///     (plan.project.empty-name, plan.expr.null, plan.aggregate.empty-name,
+///     plan.aggregate.null-argument, plan.aggregate.string-argument)
+///   - canonicalized plans really are canonical: re-canonicalizing is a
+///     no-op (plan.canonical.not-canonical, ValidateCanonical only)
+///
+/// The Validate() API is always available and returns structured
+/// diagnostics; the Debug* entry points run the same checks at pipeline
+/// boundaries (post-parse, pre-encode, post-rewrite, post-canonicalize) and
+/// abort on violation, gated like GEQO_DCHECK: on in !NDEBUG builds, off in
+/// release unless GEQO_VALIDATE=1 is set in the environment.
+
+namespace geqo::analysis {
+
+class PlanValidator {
+ public:
+  /// \p catalog must outlive the validator.
+  explicit PlanValidator(const Catalog* catalog) : catalog_(catalog) {}
+
+  /// Structural/semantic validation; empty result means the plan is valid.
+  Diagnostics Validate(const PlanPtr& plan) const;
+
+  /// Validate() plus the canonical-form idempotence check: \p plan must be
+  /// its own canonicalization.
+  Diagnostics ValidateCanonical(const PlanPtr& plan) const;
+
+  /// Status-idiom wrapper: OK, or InvalidArgument carrying every finding.
+  Status ValidateOrError(const PlanPtr& plan) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+/// True when boundary debug validation is active: !NDEBUG builds, or
+/// GEQO_VALIDATE=1/on in the environment (GEQO_VALIDATE=0/off forces it off
+/// even in debug builds). Cached after the first call.
+bool DebugValidationEnabled();
+
+/// Aborts (GEQO_CHECK) with formatted diagnostics when debug validation is
+/// enabled and \p plan is invalid. \p boundary names the pipeline edge for
+/// the failure message, e.g. "parser.ParseSql".
+void DebugValidatePlan(const PlanPtr& plan, const Catalog& catalog,
+                       const char* boundary);
+
+/// As DebugValidatePlan, but additionally requires \p plan to be in
+/// canonical form (used after canonicalization boundaries).
+void DebugValidateCanonical(const PlanPtr& plan, const Catalog& catalog,
+                            const char* boundary);
+
+}  // namespace geqo::analysis

@@ -1,0 +1,202 @@
+#include "analysis/shape_checker.h"
+
+#include <map>
+#include <set>
+
+namespace geqo::analysis {
+namespace {
+
+struct Shape {
+  size_t rows = 0;
+  size_t cols = 0;
+
+  bool operator==(const Shape&) const = default;
+};
+
+std::string ShapeString(const Shape& shape) {
+  return std::to_string(shape.rows) + "x" + std::to_string(shape.cols);
+}
+
+class ShapeChecker {
+ public:
+  ShapeChecker(const std::vector<NamedShape>& state, Diagnostics* out)
+      : out_(out) {
+    for (const NamedShape& entry : state) {
+      shapes_.emplace(entry.name, Shape{entry.rows, entry.cols});
+    }
+  }
+
+  bool CheckEntrySet() {
+    bool complete = true;
+    for (const std::string& name : EmfStateEntryNames()) {
+      if (shapes_.count(name) == 0) {
+        Report(out_, "emf.state.missing-entry",
+               "state dict is missing the entry '" + name + "'", name);
+        complete = false;
+      }
+    }
+    const std::set<std::string> expected(EmfStateEntryNames().begin(),
+                                         EmfStateEntryNames().end());
+    for (const auto& [name, shape] : shapes_) {
+      if (expected.count(name) == 0) {
+        Report(out_, "emf.state.unknown-entry",
+               "state dict carries the entry '" + name +
+                   "' which is not part of the EMF architecture",
+               name);
+      }
+    }
+    return complete;
+  }
+
+  void CheckGraph(size_t expected_input_dim) {
+    // Tree convolutions: the self/left/right filters of one layer must
+    // agree ([out, in] each), with the bias spanning the output channels.
+    const Shape conv1 = At("conv1.self");
+    CheckConvTriple("conv1", conv1);
+    if (conv1.rows == 0 || conv1.cols == 0) {
+      Report(out_, "emf.conv.weight-shape",
+             "conv1.self has a degenerate shape " + ShapeString(conv1),
+             "conv1.self");
+    }
+    const Shape conv2 = At("conv2.self");
+    CheckConvTriple("conv2", conv2);
+    if (conv2.cols != conv1.rows) {
+      Report(out_, "emf.conv.chain",
+             "conv2 consumes " + std::to_string(conv2.cols) +
+                 " features but conv1 produces " + std::to_string(conv1.rows),
+             "conv2.self");
+    }
+    // Batch norm and PReLU act per channel on their layer's output width.
+    CheckChannels("bn1", {"gamma", "beta", "running_mean", "running_var"},
+                  conv1.rows, "emf.bn.channels");
+    CheckChannels("bn2", {"gamma", "beta", "running_mean", "running_var"},
+                  conv2.rows, "emf.bn.channels");
+    CheckChannels("act1", {"slope"}, conv1.rows, "emf.prelu.channels");
+    CheckChannels("act2", {"slope"}, conv2.rows, "emf.prelu.channels");
+    // The classifier head consumes concat(e_lhs, e_rhs, |e_lhs - e_rhs|):
+    // three embedding-width blocks.
+    const Shape fc1 = At("fc1.weight");
+    if (fc1.cols != 3 * conv2.rows) {
+      Report(out_, "emf.fc.input",
+             "fc1 consumes " + std::to_string(fc1.cols) +
+                 " features but the concatenated pair summary is 3*" +
+                 std::to_string(conv2.rows) + " = " +
+                 std::to_string(3 * conv2.rows) + " wide",
+             "fc1.weight");
+    }
+    CheckLinearBias("fc1", fc1);
+    CheckChannels("act3", {"slope"}, fc1.rows, "emf.prelu.channels");
+    const Shape fc2 = At("fc2.weight");
+    if (fc2.cols != fc1.rows) {
+      Report(out_, "emf.fc.chain",
+             "fc2 consumes " + std::to_string(fc2.cols) +
+                 " features but fc1 produces " + std::to_string(fc1.rows),
+             "fc2.weight");
+    }
+    CheckLinearBias("fc2", fc2);
+    CheckChannels("act4", {"slope"}, fc2.rows, "emf.prelu.channels");
+    const Shape fc3 = At("fc3.weight");
+    if (fc3.cols != fc2.rows) {
+      Report(out_, "emf.fc.chain",
+             "fc3 consumes " + std::to_string(fc3.cols) +
+                 " features but fc2 produces " + std::to_string(fc2.rows),
+             "fc3.weight");
+    }
+    if (fc3.rows != 1) {
+      Report(out_, "emf.fc.output",
+             "fc3 must produce the single pair logit, not " +
+                 std::to_string(fc3.rows) + " outputs",
+             "fc3.weight");
+    }
+    CheckLinearBias("fc3", fc3);
+    if (expected_input_dim != 0 && conv1.cols != expected_input_dim) {
+      Report(out_, "emf.input-dim",
+             "conv1 consumes node vectors of width " +
+                 std::to_string(conv1.cols) +
+                 " but the encoding layout produces width " +
+                 std::to_string(expected_input_dim),
+             "conv1.self");
+    }
+  }
+
+ private:
+  Shape At(const std::string& name) const {
+    const auto it = shapes_.find(name);
+    return it == shapes_.end() ? Shape{} : it->second;
+  }
+
+  void CheckConvTriple(const std::string& prefix, const Shape& self) {
+    for (const char* filter : {".left", ".right"}) {
+      const Shape shape = At(prefix + filter);
+      if (shape != self) {
+        Report(out_, "emf.conv.weight-shape",
+               prefix + filter + " is " + ShapeString(shape) +
+                   " but the triple's self filter is " + ShapeString(self),
+               prefix + filter);
+      }
+    }
+    const Shape bias = At(prefix + ".bias");
+    if (bias != Shape{1, self.rows}) {
+      Report(out_, "emf.conv.weight-shape",
+             prefix + ".bias is " + ShapeString(bias) + ", expected 1x" +
+                 std::to_string(self.rows),
+             prefix + ".bias");
+    }
+  }
+
+  void CheckChannels(const std::string& prefix,
+                     std::initializer_list<const char*> members,
+                     size_t channels, const char* code) {
+    for (const char* member : members) {
+      const std::string name = prefix + "." + member;
+      const Shape shape = At(name);
+      if (shape != Shape{1, channels}) {
+        Report(out_, code,
+               name + " is " + ShapeString(shape) + " but its layer has " +
+                   std::to_string(channels) + " channels",
+               name);
+      }
+    }
+  }
+
+  void CheckLinearBias(const std::string& prefix, const Shape& weight) {
+    const Shape bias = At(prefix + ".bias");
+    if (bias != Shape{1, weight.rows}) {
+      Report(out_, "emf.fc.bias",
+             prefix + ".bias is " + ShapeString(bias) + ", expected 1x" +
+                 std::to_string(weight.rows),
+             prefix + ".bias");
+    }
+  }
+
+  std::map<std::string, Shape> shapes_;
+  Diagnostics* out_;
+};
+
+}  // namespace
+
+const std::vector<std::string>& EmfStateEntryNames() {
+  static const std::vector<std::string> names = {
+      "conv1.self",       "conv1.left",      "conv1.right", "conv1.bias",
+      "bn1.gamma",        "bn1.beta",        "act1.slope",  "conv2.self",
+      "conv2.left",       "conv2.right",     "conv2.bias",  "bn2.gamma",
+      "bn2.beta",         "act2.slope",      "fc1.weight",  "fc1.bias",
+      "act3.slope",       "fc2.weight",      "fc2.bias",    "act4.slope",
+      "fc3.weight",       "fc3.bias",        "bn1.running_mean",
+      "bn1.running_var",  "bn2.running_mean", "bn2.running_var",
+  };
+  return names;
+}
+
+Diagnostics CheckEmfStateShapes(const std::vector<NamedShape>& state,
+                                size_t expected_input_dim) {
+  Diagnostics out;
+  ShapeChecker checker(state, &out);
+  // An incomplete entry set would cascade into shape noise on the zero
+  // shapes of the missing tensors; report the real cause and stop.
+  if (!checker.CheckEntrySet()) return out;
+  checker.CheckGraph(expected_input_dim);
+  return out;
+}
+
+}  // namespace geqo::analysis

@@ -1,0 +1,42 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analysis/diagnostics.h"
+
+/// \file shape_checker.h
+/// Static shape verification of the EMF network (§5, Figure 6). The checker
+/// walks the layer graph — conv1 → bn1 → act1 → conv2 → bn2 → act2 →
+/// dynamic max pool → concat(lhs, rhs, |lhs−rhs|) → fc1 → act3 → fc2 →
+/// act4 → fc3 — over *named tensor shapes* rather than a live model, so the
+/// same rules prove a freshly constructed model, a deserialized state dict,
+/// and the raw bytes of a snapshot (via the artifact linter) before any
+/// MatMul can crash deep inside training or inference.
+///
+/// Codes: emf.state.missing-entry, emf.state.unknown-entry,
+/// emf.conv.weight-shape, emf.conv.chain, emf.bn.channels,
+/// emf.prelu.channels, emf.fc.input, emf.fc.chain, emf.fc.bias,
+/// emf.fc.output, emf.input-dim.
+
+namespace geqo::analysis {
+
+/// A tensor's identity in a state dict: name plus [rows, cols] shape.
+struct NamedShape {
+  std::string name;
+  size_t rows = 0;
+  size_t cols = 0;
+};
+
+/// The entry names an EMF state dict must contain (model State() order).
+const std::vector<std::string>& EmfStateEntryNames();
+
+/// Proves layer-graph shape compatibility of an EMF state dict. Pass
+/// \p expected_input_dim = 0 when the encoding layout is unknown (skips the
+/// emf.input-dim rule). Empty result means every MatMul in the forward and
+/// backward passes is dimensionally sound.
+Diagnostics CheckEmfStateShapes(const std::vector<NamedShape>& state,
+                                size_t expected_input_dim);
+
+}  // namespace geqo::analysis

@@ -1,0 +1,78 @@
+#include "analysis/sql_lint.h"
+
+#include <string>
+
+#include "analysis/plan_validator.h"
+#include "parser/parser.h"
+
+namespace geqo::analysis {
+namespace {
+
+/// Replaces `--` comments with spaces, keeping every newline so byte
+/// positions keep mapping to the same lines.
+std::string StripComments(std::string_view text) {
+  std::string out(text);
+  size_t i = 0;
+  while (i + 1 < out.size()) {
+    if (out[i] == '-' && out[i + 1] == '-') {
+      while (i < out.size() && out[i] != '\n') out[i++] = ' ';
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+size_t LineOf(std::string_view text, size_t offset) {
+  size_t line = 1;
+  for (size_t i = 0; i < offset && i < text.size(); ++i) {
+    if (text[i] == '\n') ++line;
+  }
+  return line;
+}
+
+bool IsBlank(std::string_view statement) {
+  for (const char c : statement) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Diagnostics LintSqlText(std::string_view text, const Catalog& catalog) {
+  Diagnostics out;
+  const std::string stripped = StripComments(text);
+  const PlanValidator validator(&catalog);
+  size_t start = 0;
+  while (start <= stripped.size()) {
+    size_t end = stripped.find(';', start);
+    if (end == std::string::npos) end = stripped.size();
+    const std::string_view statement =
+        std::string_view(stripped).substr(start, end - start);
+    if (!IsBlank(statement)) {
+      // Skip leading whitespace so the reported line is the statement's.
+      size_t first = start;
+      while (first < end && (stripped[first] == ' ' ||
+                             stripped[first] == '\t' ||
+                             stripped[first] == '\n' ||
+                             stripped[first] == '\r')) {
+        ++first;
+      }
+      const std::string line = "line " + std::to_string(LineOf(stripped, first));
+      const Result<PlanPtr> plan = ParseSql(statement, catalog);
+      if (!plan.ok()) {
+        Report(&out, "sql.parse", plan.status().message(), line);
+      } else {
+        for (Diagnostic diagnostic : validator.Validate(*plan)) {
+          diagnostic.context = line + ", " + diagnostic.context;
+          out.push_back(std::move(diagnostic));
+        }
+      }
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+}  // namespace geqo::analysis

@@ -1,0 +1,22 @@
+#pragma once
+
+#include <string_view>
+
+#include "analysis/diagnostics.h"
+#include "plan/schema.h"
+
+/// \file sql_lint.h
+/// Lints a workload SQL file: statements are split on ';', parsed against a
+/// catalog, and the resulting plans run through the PlanValidator. Contexts
+/// carry 1-based line numbers ("line 12"). Lives beside (not inside)
+/// geqo_analysis because it needs the parser, which itself depends on
+/// geqo_analysis for the post-parse debug validation hook.
+
+namespace geqo::analysis {
+
+/// Lints \p text (the content of a .sql file). `--` comments are ignored;
+/// blank statements are skipped. Codes: sql.parse for statements the SPJ
+/// dialect rejects, plus every plan.* validator code.
+Diagnostics LintSqlText(std::string_view text, const Catalog& catalog);
+
+}  // namespace geqo::analysis

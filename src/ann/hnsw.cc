@@ -10,14 +10,15 @@
 #include <unordered_set>
 
 #include "common/binary_io.h"
+#include "common/format_magic.h"
 #include "obs/metrics.h"
 
 namespace geqo::ann {
 namespace {
 
-constexpr uint64_t kHnswMagic = 0x4745514f484e5357ULL;     // "GEQOHNSW"
-constexpr uint64_t kHnswEndMagic = 0x484e5357454e4421ULL;  // "HNSWEND!"
-constexpr uint64_t kHnswVersion = 1;
+constexpr uint64_t kHnswMagic = io::kHnswMagic;        // "GEQOHNSW"
+constexpr uint64_t kHnswEndMagic = io::kHnswEndMagic;  // "HNSWEND!"
+constexpr uint64_t kHnswVersion = io::kHnswVersion;
 
 }  // namespace
 

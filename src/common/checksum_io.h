@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "common/hash.h"
+#include "common/result.h"
+#include "common/status.h"
+
+/// \file checksum_io.h
+/// Whole-payload integrity framing for the v2 snapshot formats: the payload
+/// bytes are followed by an 8-byte FNV-1a checksum over everything before
+/// it. Truncation, bit flips anywhere in the payload, and trailing garbage
+/// all surface as one loud checksum mismatch instead of whatever the
+/// structural parser happens to trip over (or, worse, silently accepts).
+
+namespace geqo::io {
+
+/// Checksum of a payload, as stored in the footer.
+inline uint64_t PayloadChecksum(const std::string& payload) {
+  return HashBytes(payload.data(), payload.size());
+}
+
+/// Writes \p payload followed by its checksum footer.
+inline Status WriteChecksummed(std::ostream& os, const std::string& payload,
+                               const std::string& context) {
+  const uint64_t checksum = PayloadChecksum(payload);
+  os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  os.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+  if (!os.good()) return Status::IoError("write failed while saving " + context);
+  return Status::OK();
+}
+
+/// Consumes the remainder of \p is and validates the checksum footer.
+/// Returns the payload (footer stripped) on success.
+inline Result<std::string> ReadChecksummed(std::istream& is,
+                                           const std::string& context) {
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (bytes.size() < sizeof(uint64_t)) {
+    return Status::InvalidArgument(
+        context + ": truncated (shorter than the checksum footer)");
+  }
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  uint64_t stored = 0;
+  std::memcpy(&stored, bytes.data() + payload_size, sizeof(stored));
+  const uint64_t computed =
+      HashBytes(bytes.data(), payload_size);
+  if (stored != computed) {
+    return Status::InvalidArgument(
+        context +
+        ": checksum mismatch — the file is corrupt, truncated, or carries "
+        "trailing bytes");
+  }
+  bytes.resize(payload_size);
+  return bytes;
+}
+
+}  // namespace geqo::io

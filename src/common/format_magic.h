@@ -1,0 +1,33 @@
+#pragma once
+
+#include <cstdint>
+
+/// \file format_magic.h
+/// The magic numbers and format versions of every binary artifact the
+/// library writes. Centralized so the writers (core, serve, nn, ann) and the
+/// static artifact linter (analysis) agree on one definition per format —
+/// a linter that re-declared these privately could silently drift.
+
+namespace geqo::io {
+
+/// GeqoSystem snapshot ("GEQOSNAP"): header + calibration + model state,
+/// followed by a whole-payload FNV-1a checksum footer (since v2).
+constexpr uint64_t kSystemSnapshotMagic = 0x4745514f534e4150ULL;
+constexpr uint64_t kSystemSnapshotVersion = 2;
+
+/// Serving catalog snapshot ("GEQOCATG" ... "CATGEND!"): entries, HNSW
+/// graph, class forest, verifier memo, plus the v2 checksum footer.
+constexpr uint64_t kCatalogMagic = 0x4745514f43415447ULL;
+constexpr uint64_t kCatalogEndMagic = 0x43415447454e4421ULL;
+constexpr uint64_t kCatalogVersion = 2;
+
+/// Model state section ("GEQOMODL"): named tensors, no framing of its own —
+/// it is embedded in the system snapshot and in standalone state files.
+constexpr uint64_t kModelStateMagic = 0x4745514f4d4f444cULL;
+
+/// HNSW index section ("GEQOHNSW" ... "HNSWEND!").
+constexpr uint64_t kHnswMagic = 0x4745514f484e5357ULL;
+constexpr uint64_t kHnswEndMagic = 0x484e5357454e4421ULL;
+constexpr uint64_t kHnswVersion = 1;
+
+}  // namespace geqo::io

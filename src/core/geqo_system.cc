@@ -1,20 +1,19 @@
 #include "core/geqo_system.h"
 
 #include <fstream>
+#include <sstream>
 
+#include "analysis/model_check.h"
+#include "analysis/plan_validator.h"
 #include "common/binary_io.h"
+#include "common/checksum_io.h"
+#include "common/format_magic.h"
 #include "filters/emf_filter.h"
 #include "filters/vmf.h"
 #include "nn/serialize.h"
 #include "plan/schema.h"
 
 namespace geqo {
-namespace {
-
-constexpr uint64_t kSnapshotMagic = 0x4745514f534e4150ULL;  // "GEQOSNAP"
-constexpr uint64_t kSnapshotVersion = 1;
-
-}  // namespace
 
 GeqoSystem::GeqoSystem(const Catalog* catalog, GeqoSystemOptions options)
     : catalog_(catalog),
@@ -41,6 +40,9 @@ Result<ml::TrainReport> GeqoSystem::TrainOnSyntheticWorkload(uint64_t seed) {
 
 Result<ml::TrainReport> GeqoSystem::TrainOnPairs(
     const std::vector<LabeledPair>& pairs) {
+  // Static shape proof before any MatMul runs: a mis-assembled model fails
+  // here with named diagnostics rather than deep inside the first batch.
+  GEQO_RETURN_NOT_OK(analysis::CheckModelShapes(*model_));
   GEQO_ASSIGN_OR_RETURN(
       ml::PairDataset dataset,
       EncodeLabeledPairs(pairs, *catalog_, instance_layout_, agnostic_layout_,
@@ -82,11 +84,16 @@ Result<std::vector<SsflIterationReport>> GeqoSystem::RunSsfl(
 }
 
 Status GeqoSystem::SaveSnapshot(const std::string& path) {
+  GEQO_RETURN_NOT_OK(analysis::CheckModelShapes(*model_));
   std::ofstream file(path, std::ios::binary | std::ios::trunc);
   if (!file) return Status::IoError("cannot open for writing: " + path);
-  io::BinaryWriter writer(file, "system snapshot");
-  writer.U64(kSnapshotMagic);
-  writer.U64(kSnapshotVersion);
+  // The payload is buffered so the v2 footer can checksum it whole: any
+  // later bit flip or truncation fails loudly at load time instead of
+  // surviving as silently corrupted weights.
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "system snapshot");
+  writer.U64(io::kSystemSnapshotMagic);
+  writer.U64(io::kSystemSnapshotVersion);
   writer.U64(CatalogFingerprint(*catalog_));
   writer.U64(options_.agnostic_tables);
   writer.U64(options_.agnostic_columns_per_table);
@@ -95,7 +102,9 @@ Status GeqoSystem::SaveSnapshot(const std::string& path) {
   writer.F32(options_.pipeline.vmf.radius);
   writer.F32(options_.pipeline.emf.threshold);
   GEQO_RETURN_NOT_OK(writer.status());
-  GEQO_RETURN_NOT_OK(nn::SaveState(model_->State(), file));
+  GEQO_RETURN_NOT_OK(nn::SaveState(model_->State(), payload));
+  GEQO_RETURN_NOT_OK(
+      io::WriteChecksummed(file, payload.str(), "system snapshot"));
   if (!file.good()) return Status::IoError("write failed: " + path);
   return Status::OK();
 }
@@ -103,19 +112,24 @@ Status GeqoSystem::SaveSnapshot(const std::string& path) {
 Status GeqoSystem::LoadSnapshot(const std::string& path) {
   std::ifstream file(path, std::ios::binary);
   if (!file) return Status::IoError("cannot open for reading: " + path);
-  io::BinaryReader reader(file, "system snapshot");
+  GEQO_ASSIGN_OR_RETURN(
+      const std::string payload,
+      io::ReadChecksummed(file, "system snapshot " + path));
+  std::istringstream stream(payload);
+  io::BinaryReader reader(stream, "system snapshot");
   const uint64_t magic = reader.U64();
   GEQO_RETURN_NOT_OK(reader.status());
-  if (magic != kSnapshotMagic) {
+  if (magic != io::kSystemSnapshotMagic) {
     return Status::InvalidArgument(
         "system snapshot: bad magic (not a GEqO snapshot): " + path);
   }
   const uint64_t version = reader.U64();
   GEQO_RETURN_NOT_OK(reader.status());
-  if (version != kSnapshotVersion) {
+  if (version != io::kSystemSnapshotVersion) {
     return Status::InvalidArgument(
         "system snapshot: unsupported version " + std::to_string(version) +
-        " (expected " + std::to_string(kSnapshotVersion) + "): " + path);
+        " (expected " + std::to_string(io::kSystemSnapshotVersion) +
+        "): " + path);
   }
   const uint64_t fingerprint = reader.U64();
   const uint64_t tables = reader.U64();
@@ -138,7 +152,13 @@ Status GeqoSystem::LoadSnapshot(const std::string& path) {
         std::to_string(options_.agnostic_tables) + "x" +
         std::to_string(options_.agnostic_columns_per_table) + "): " + path);
   }
-  GEQO_RETURN_NOT_OK(nn::LoadState(model_->State(), file));
+  GEQO_RETURN_NOT_OK(nn::LoadState(model_->State(), stream));
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument(
+        "system snapshot: trailing bytes after the model state: " + path);
+  }
+  // The loaded weights must still assemble into a shape-sound network.
+  GEQO_RETURN_NOT_OK(analysis::CheckModelShapes(*model_));
   GeqoOptions calibrated = pipeline_->options();
   calibrated.vmf.radius = radius;
   calibrated.emf.threshold = threshold;

@@ -4,11 +4,12 @@
 #include <fstream>
 
 #include "common/binary_io.h"
+#include "common/format_magic.h"
 
 namespace geqo::nn {
 namespace {
 
-constexpr uint64_t kMagic = 0x4745514f4d4f444cULL;  // "GEQOMODL"
+constexpr uint64_t kMagic = io::kModelStateMagic;  // "GEQOMODL"
 
 }  // namespace
 

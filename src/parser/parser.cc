@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/plan_validator.h"
 #include "common/strings.h"
 #include "parser/tokenizer.h"
 
@@ -555,7 +556,11 @@ class Parser {
 Result<PlanPtr> ParseSql(std::string_view sql, const Catalog& catalog) {
   GEQO_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(sql));
   Parser parser(std::move(tokens), catalog);
-  return parser.ParseQuery();
+  GEQO_ASSIGN_OR_RETURN(PlanPtr plan, parser.ParseQuery());
+  // Post-parse boundary: in debug-validation mode every plan the parser
+  // emits is proven well-formed before anything downstream consumes it.
+  analysis::DebugValidatePlan(plan, catalog, "parser.ParseSql");
+  return plan;
 }
 
 }  // namespace geqo

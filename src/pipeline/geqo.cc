@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "analysis/plan_validator.h"
 #include "common/stopwatch.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -79,6 +80,12 @@ Result<GeqoResult> GeqoPipeline::DetectEquivalences(
     const std::vector<PlanPtr>& workload, ValueRange value_range) {
   GEQO_RETURN_NOT_OK(options_status_);
   obs::Span run_span("DetectEquivalences");
+  if (analysis::DebugValidationEnabled()) {
+    for (const PlanPtr& plan : workload) {
+      analysis::DebugValidatePlan(plan, *catalog_,
+                                  "pipeline.DetectEquivalences");
+    }
+  }
   GeqoResult result;
   const size_t n = workload.size();
   result.total_pairs = n * (n - 1) / 2;
@@ -236,6 +243,8 @@ Result<EquivalenceVerdict> GeqoPipeline::CheckPair(const PlanPtr& a,
                                                    ValueRange value_range) {
   GEQO_RETURN_NOT_OK(options_status_);
   obs::Span span("CheckPair");
+  analysis::DebugValidatePlan(a, *catalog_, "pipeline.CheckPair/a");
+  analysis::DebugValidatePlan(b, *catalog_, "pipeline.CheckPair/b");
   // The pairwise special case of Equation 2: each enabled filter may
   // short-circuit to "not equivalent"; survivors are verified. Filter
   // rejections are reported as kNotEquivalent — filters are approximate, but

@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <fstream>
 #include <set>
+#include <sstream>
 
+#include "analysis/plan_validator.h"
 #include "common/binary_io.h"
+#include "common/checksum_io.h"
+#include "common/format_magic.h"
 #include "common/stopwatch.h"
 #include "filters/emf_filter.h"
 #include "filters/vmf.h"
@@ -15,13 +19,6 @@
 #include "workload/labeled_data.h"
 
 namespace geqo::serve {
-namespace {
-
-constexpr uint64_t kCatalogMagic = 0x4745514f43415447ULL;     // "GEQOCATG"
-constexpr uint64_t kCatalogEndMagic = 0x43415447454e4421ULL;  // "CATGEND!"
-constexpr uint64_t kCatalogVersion = 1;
-
-}  // namespace
 
 EquivalenceCatalog::EquivalenceCatalog(const Catalog* db_catalog,
                                        ml::EmfModel* model,
@@ -58,6 +55,14 @@ Result<EquivalenceCatalog::QueryContext> EquivalenceCatalog::PrepareQuery(
     const PlanPtr& plan) const {
   QueryContext query;
   query.plan = plan;
+  // Debug-gated boundary checks: the incoming plan must be valid, and its
+  // canonical form must be a Canonicalize fixed point (the canonical hash
+  // below is only meaningful if canonicalization is idempotent).
+  if (analysis::DebugValidationEnabled()) {
+    analysis::DebugValidatePlan(plan, *db_catalog_, "serve.PrepareQuery");
+    analysis::DebugValidateCanonical(Canonicalize(plan), *db_catalog_,
+                                     "serve.PrepareQuery/canonical");
+  }
   query.canonical_hash = CanonicalHash(plan);
   GEQO_ASSIGN_OR_RETURN(query.signature, SchemaSignature(plan, *db_catalog_));
   GEQO_ASSIGN_OR_RETURN(
@@ -321,21 +326,24 @@ Status EquivalenceCatalog::Save(const std::string& path) const {
 
 Status EquivalenceCatalog::Save(std::ostream& os) const {
   GEQO_RETURN_NOT_OK(options_status_);
-  io::BinaryWriter writer(os, "catalog snapshot");
-  writer.U64(kCatalogMagic);
-  writer.U64(kCatalogVersion);
+  // Buffer the payload so the v2 checksum footer can cover it whole.
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "catalog snapshot");
+  writer.U64(io::kCatalogMagic);
+  writer.U64(io::kCatalogVersion);
   writer.U64(CatalogFingerprint(*db_catalog_));
   writer.U64(model_->embedding_dim());
   writer.U64(entries_.size());
   for (const Entry& entry : entries_) writer.U64(entry.canonical_hash);
   GEQO_RETURN_NOT_OK(writer.status());
-  GEQO_RETURN_NOT_OK(index_->Serialize(os));
+  GEQO_RETURN_NOT_OK(index_->Serialize(payload));
   for (const size_t parent : classes_.CompressedParents()) {
     writer.U64(parent);
   }
   memo_.Serialize(writer);
-  writer.U64(kCatalogEndMagic);
-  return writer.status();
+  writer.U64(io::kCatalogEndMagic);
+  GEQO_RETURN_NOT_OK(writer.status());
+  return io::WriteChecksummed(os, payload.str(), "catalog snapshot");
 }
 
 Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
@@ -352,11 +360,6 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
     return Status(catalog.status().code(),
                   catalog.status().message() + " (file: " + path + ")");
   }
-  if (file.peek() != std::ifstream::traits_type::eof()) {
-    return Status::InvalidArgument(
-        "catalog snapshot: trailing bytes after end marker (corrupt file: " +
-        path + ")");
-  }
   return catalog;
 }
 
@@ -365,19 +368,25 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
     const EncodingLayout* instance_layout,
     const EncodingLayout* agnostic_layout, ValueRange value_range,
     const std::vector<PlanPtr>& plans, CatalogOptions options) {
-  io::BinaryReader reader(is, "catalog snapshot");
+  // The v2 footer checksums the whole payload: corruption anywhere —
+  // including trailing bytes after the end marker — fails here, before any
+  // section is interpreted.
+  GEQO_ASSIGN_OR_RETURN(const std::string payload,
+                        io::ReadChecksummed(is, "catalog snapshot"));
+  std::istringstream stream(payload);
+  io::BinaryReader reader(stream, "catalog snapshot");
   const uint64_t magic = reader.U64();
   GEQO_RETURN_NOT_OK(reader.status());
-  if (magic != kCatalogMagic) {
+  if (magic != io::kCatalogMagic) {
     return Status::InvalidArgument(
         "catalog snapshot: bad magic (not a catalog snapshot)");
   }
   const uint64_t version = reader.U64();
   GEQO_RETURN_NOT_OK(reader.status());
-  if (version != kCatalogVersion) {
+  if (version != io::kCatalogVersion) {
     return Status::InvalidArgument(
         "catalog snapshot: unsupported version " + std::to_string(version) +
-        " (expected " + std::to_string(kCatalogVersion) + ")");
+        " (expected " + std::to_string(io::kCatalogVersion) + ")");
   }
   const uint64_t saved_fingerprint = reader.U64();
   const uint64_t saved_dim = reader.U64();
@@ -429,7 +438,7 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
                                       query.canonical_hash,
                                       std::move(query.encoded)});
   }
-  GEQO_ASSIGN_OR_RETURN(catalog->index_, ann::HnswIndex::Deserialize(is));
+  GEQO_ASSIGN_OR_RETURN(catalog->index_, ann::HnswIndex::Deserialize(stream));
   if (catalog->index_->size() != count) {
     return Status::InvalidArgument(
         "catalog snapshot: index holds " +
@@ -446,10 +455,15 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
   GEQO_RETURN_NOT_OK(reader.status());
   GEQO_RETURN_NOT_OK(catalog->classes_.Restore(std::move(parents)));
   GEQO_RETURN_NOT_OK(catalog->memo_.Deserialize(reader));
-  if (reader.U64() != kCatalogEndMagic) {
+  if (reader.U64() != io::kCatalogEndMagic) {
     reader.Fail("missing end marker");
   }
   GEQO_RETURN_NOT_OK(reader.status());
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument(
+        "catalog snapshot: trailing bytes after end marker (corrupt "
+        "snapshot)");
+  }
   if (obs::MetricsEnabled()) catalog->UpdateGauges();
   return catalog;
 }

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/plan_validator.h"
+
 namespace geqo {
 namespace {
 
@@ -202,10 +204,15 @@ PlanPtr QueryGenerator::Generate(Rng* rng) const {
     } else {
       aggregates.push_back(AggregateExpr{fn, argument, "agg0"});
     }
-    return PlanNode::Aggregate(std::move(keys), std::move(aggregates),
-                               std::move(plan));
+    PlanPtr aggregated = PlanNode::Aggregate(std::move(keys),
+                                             std::move(aggregates),
+                                             std::move(plan));
+    analysis::DebugValidatePlan(aggregated, *catalog_, "workload.Generate");
+    return aggregated;
   }
-  return PlanNode::Project(std::move(outputs), std::move(plan));
+  PlanPtr projected = PlanNode::Project(std::move(outputs), std::move(plan));
+  analysis::DebugValidatePlan(projected, *catalog_, "workload.Generate");
+  return projected;
 }
 
 std::vector<PlanPtr> QueryGenerator::GenerateMany(size_t count,

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/plan_validator.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
 #include "plan/spj.h"
@@ -106,6 +107,16 @@ Result<ml::PairDataset> EncodeLabeledPairs(
     const EncodingLayout& instance_layout,
     const EncodingLayout& agnostic_layout, ValueRange value_range,
     size_t* skipped) {
+  // Pre-encode boundary: encoding assumes structurally sound plans (resolved
+  // columns, non-null predicates); prove that up front in debug mode.
+  if (analysis::DebugValidationEnabled()) {
+    for (const LabeledPair& pair : pairs) {
+      analysis::DebugValidatePlan(pair.lhs, catalog,
+                                  "encode.EncodeLabeledPairs/lhs");
+      analysis::DebugValidatePlan(pair.rhs, catalog,
+                                  "encode.EncodeLabeledPairs/rhs");
+    }
+  }
   PlanEncoder encoder(&instance_layout, &catalog, value_range);
   ml::PairDataset dataset;
   size_t skip_count = 0;
@@ -130,6 +141,11 @@ Result<std::vector<EncodedPlan>> EncodeWorkload(
     const std::vector<PlanPtr>& workload,
     const EncodingLayout& instance_layout, const Catalog& catalog,
     ValueRange value_range) {
+  if (analysis::DebugValidationEnabled()) {
+    for (const PlanPtr& plan : workload) {
+      analysis::DebugValidatePlan(plan, catalog, "encode.EncodeWorkload");
+    }
+  }
   // Plans encode independently (PlanEncoder::Encode is const and touches
   // only the shared immutable layout/catalog), so the workload fans out
   // across the pool; slot i of the result always holds workload[i].

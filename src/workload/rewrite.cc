@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/plan_validator.h"
 #include "common/strings.h"
 
 namespace geqo {
@@ -374,6 +375,10 @@ Result<PlanPtr> Rewriter::RewriteOnce(const PlanPtr& plan, Rng* rng) const {
         kAllRewriteRules[rng->Uniform(std::size(kAllRewriteRules))];
     GEQO_ASSIGN_OR_RETURN(current, Apply(rule, current, rng));
   }
+  // Rewrites must preserve well-formedness: a variant that drops a column
+  // binding or builds an ill-typed predicate is a rewriter bug, caught here
+  // at the boundary rather than downstream in encoding.
+  analysis::DebugValidatePlan(current, *catalog_, "workload.RewriteOnce");
   return current;
 }
 

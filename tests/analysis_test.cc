@@ -1,0 +1,384 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "analysis/model_check.h"
+#include "analysis/plan_validator.h"
+#include "analysis/shape_checker.h"
+#include "common/rng.h"
+#include "ml/emf_model.h"
+#include "plan/canonicalize.h"
+#include "plan/plan.h"
+#include "workload/generator.h"
+#include "workload/rewrite.h"
+#include "workload/schemas.h"
+
+// Mutation tests for the invariant analysis layer: every PlanValidator and
+// ShapeChecker rule is exercised by a minimally broken input that violates
+// exactly that rule, and the test asserts the named diagnostic code fired.
+// A final sweep proves zero false positives over generated workloads.
+
+namespace geqo::analysis {
+namespace {
+
+// ---------------------------------------------------------------------------
+// PlanValidator mutations (TPC-H catalog).
+
+class PlanValidatorTest : public ::testing::Test {
+ protected:
+  PlanValidatorTest() : catalog_(MakeTpchCatalog()), validator_(&catalog_) {}
+
+  Diagnostics Validate(const PlanPtr& plan) const {
+    return validator_.Validate(plan);
+  }
+
+  static PlanPtr RegionScan() { return PlanNode::Scan("region", "r"); }
+
+  Catalog catalog_;
+  PlanValidator validator_;
+};
+
+TEST_F(PlanValidatorTest, ValidPlanIsClean) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("r", "r_regionkey"), CompareOp::kGt,
+                 Expr::IntLiteral(1)},
+      RegionScan());
+  EXPECT_TRUE(Validate(plan).empty()) << FormatDiagnostics(Validate(plan));
+  EXPECT_TRUE(validator_.ValidateOrError(plan).ok());
+}
+
+TEST_F(PlanValidatorTest, NullPlanIsReported) {
+  const Diagnostics findings = Validate(nullptr);
+  ASSERT_TRUE(HasFindings(findings));
+  EXPECT_TRUE(HasCode(findings, "plan.null-node"));
+}
+
+TEST_F(PlanValidatorTest, UnknownScanTable) {
+  const Diagnostics findings = Validate(PlanNode::Scan("nope", "n"));
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "plan.scan.unknown-table");
+  EXPECT_NE(findings[0].message.find("nope"), std::string::npos);
+}
+
+TEST_F(PlanValidatorTest, DuplicateScanAlias) {
+  const PlanPtr plan = PlanNode::Join(
+      JoinType::kInner,
+      Comparison{Expr::Column("r", "r_regionkey"), CompareOp::kEq,
+                 Expr::Column("r", "r_regionkey")},
+      RegionScan(), PlanNode::Scan("region", "r"));
+  EXPECT_TRUE(HasCode(Validate(plan), "plan.scan.duplicate-alias"));
+}
+
+TEST_F(PlanValidatorTest, UnknownAliasInPredicate) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("zz", "r_regionkey"), CompareOp::kGt,
+                 Expr::IntLiteral(1)},
+      RegionScan());
+  const Diagnostics findings = Validate(plan);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "plan.column.unknown-alias");
+}
+
+TEST_F(PlanValidatorTest, OutOfScopeAliasIsDistinguishedFromUnknown) {
+  // The selection under the join's left input references the alias bound by
+  // the *right* input — resolvable globally, but not in its subtree.
+  const PlanPtr left = PlanNode::Select(
+      Comparison{Expr::Column("n", "n_nationkey"), CompareOp::kGt,
+                 Expr::IntLiteral(0)},
+      RegionScan());
+  const PlanPtr plan = PlanNode::Join(
+      JoinType::kInner,
+      Comparison{Expr::Column("r", "r_regionkey"), CompareOp::kEq,
+                 Expr::Column("n", "n_regionkey")},
+      left, PlanNode::Scan("nation", "n"));
+  const Diagnostics findings = Validate(plan);
+  ASSERT_TRUE(HasCode(findings, "plan.column.out-of-scope"));
+  EXPECT_FALSE(HasCode(findings, "plan.column.unknown-alias"));
+}
+
+TEST_F(PlanValidatorTest, UnknownColumnOnKnownAlias) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("r", "zzz"), CompareOp::kGt,
+                 Expr::IntLiteral(1)},
+      RegionScan());
+  const Diagnostics findings = Validate(plan);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "plan.column.unknown-column");
+}
+
+TEST_F(PlanValidatorTest, NullProjectionExpression) {
+  const PlanPtr plan =
+      PlanNode::Project({OutputColumn{"x", nullptr}}, RegionScan());
+  EXPECT_TRUE(HasCode(Validate(plan), "plan.expr.null"));
+}
+
+TEST_F(PlanValidatorTest, StringArithmetic) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Binary(ExprKind::kAdd, Expr::Column("r", "r_name"),
+                              Expr::IntLiteral(1)),
+                 CompareOp::kGt, Expr::IntLiteral(5)},
+      RegionScan());
+  EXPECT_TRUE(HasCode(Validate(plan), "plan.expr.string-arithmetic"));
+}
+
+TEST_F(PlanValidatorTest, PredicateTypeMismatch) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("r", "r_name"), CompareOp::kGt,
+                 Expr::IntLiteral(5)},
+      RegionScan());
+  const Diagnostics findings = Validate(plan);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "plan.predicate.type-mismatch");
+}
+
+TEST_F(PlanValidatorTest, StringEqualityIsWellTyped) {
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("r", "r_name"), CompareOp::kEq,
+                 Expr::Literal(Value::String("EUROPE"))},
+      RegionScan());
+  EXPECT_TRUE(Validate(plan).empty()) << FormatDiagnostics(Validate(plan));
+}
+
+TEST_F(PlanValidatorTest, EmptyProjectionName) {
+  const PlanPtr plan = PlanNode::Project(
+      {OutputColumn{"", Expr::Column("r", "r_regionkey")}}, RegionScan());
+  const Diagnostics findings = Validate(plan);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "plan.project.empty-name");
+}
+
+TEST_F(PlanValidatorTest, EmptyAggregateName) {
+  const PlanPtr plan = PlanNode::Aggregate(
+      {}, {AggregateExpr{AggregateFn::kCount, nullptr, ""}}, RegionScan());
+  EXPECT_TRUE(HasCode(Validate(plan), "plan.aggregate.empty-name"));
+}
+
+TEST_F(PlanValidatorTest, NullAggregateArgument) {
+  // COUNT(*) legitimately has no argument; SUM without one is a broken plan.
+  const PlanPtr count_star = PlanNode::Aggregate(
+      {}, {AggregateExpr{AggregateFn::kCount, nullptr, "c"}}, RegionScan());
+  EXPECT_TRUE(Validate(count_star).empty());
+  const PlanPtr sum_null = PlanNode::Aggregate(
+      {}, {AggregateExpr{AggregateFn::kSum, nullptr, "s"}}, RegionScan());
+  EXPECT_TRUE(HasCode(Validate(sum_null), "plan.aggregate.null-argument"));
+}
+
+TEST_F(PlanValidatorTest, StringAggregateArgument) {
+  const PlanPtr plan = PlanNode::Aggregate(
+      {},
+      {AggregateExpr{AggregateFn::kSum, Expr::Column("r", "r_name"), "s"}},
+      RegionScan());
+  EXPECT_TRUE(HasCode(Validate(plan), "plan.aggregate.string-argument"));
+}
+
+TEST_F(PlanValidatorTest, CanonicalIdempotenceCheck) {
+  // `r_regionkey > 10 + 5` folds to `> 15`: the raw plan is not canonical,
+  // its canonicalization is.
+  const PlanPtr plan = PlanNode::Select(
+      Comparison{Expr::Column("r", "r_regionkey"), CompareOp::kGt,
+                 Expr::Binary(ExprKind::kAdd, Expr::IntLiteral(10),
+                              Expr::IntLiteral(5))},
+      RegionScan());
+  EXPECT_TRUE(Validate(plan).empty());
+  EXPECT_TRUE(
+      HasCode(validator_.ValidateCanonical(plan), "plan.canonical.not-canonical"));
+  const PlanPtr canonical = Canonicalize(plan);
+  EXPECT_TRUE(validator_.ValidateCanonical(canonical).empty())
+      << FormatDiagnostics(validator_.ValidateCanonical(canonical));
+}
+
+TEST_F(PlanValidatorTest, ValidateOrErrorCarriesTheCode) {
+  const Status status = validator_.ValidateOrError(PlanNode::Scan("nope", "n"));
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("plan.scan.unknown-table"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Zero false positives: every generated plan, rewrite variant, and
+// canonicalized form must validate cleanly on both shipped schemas.
+
+TEST(PlanValidatorSweepTest, GeneratedWorkloadsHaveNoFindings) {
+  for (const Catalog& catalog : {MakeTpchCatalog(), MakeTpcdsCatalog()}) {
+    GeneratorOptions options;
+    options.aggregate_probability = 0.3;
+    const QueryGenerator generator(&catalog, options);
+    const Rewriter rewriter(&catalog);
+    const PlanValidator validator(&catalog);
+    Rng rng(20260806);
+    for (const PlanPtr& plan : generator.GenerateMany(40, &rng)) {
+      EXPECT_TRUE(validator.Validate(plan).empty())
+          << FormatDiagnostics(validator.Validate(plan));
+      const auto variants = rewriter.Variants(plan, 3, &rng);
+      ASSERT_TRUE(variants.ok());
+      for (const PlanPtr& variant : *variants) {
+        EXPECT_TRUE(validator.Validate(variant).empty())
+            << FormatDiagnostics(validator.Validate(variant));
+      }
+      EXPECT_TRUE(validator.ValidateCanonical(Canonicalize(plan)).empty())
+          << FormatDiagnostics(
+                 validator.ValidateCanonical(Canonicalize(plan)));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShapeChecker mutations. A real (small) model provides the sound baseline;
+// each test applies one minimal corruption and asserts the named code.
+
+class ShapeCheckerTest : public ::testing::Test {
+ protected:
+  static constexpr size_t kInputDim = 12;
+
+  ShapeCheckerTest() {
+    ml::EmfModelOptions options;
+    options.input_dim = kInputDim;
+    options.conv1_size = 8;
+    options.conv2_size = 8;
+    options.fc1_size = 8;
+    options.fc2_size = 4;
+    ml::EmfModel model(options);
+    baseline_ = ModelStateShapes(model);
+  }
+
+  NamedShape& Entry(const std::string& name) {
+    const auto it =
+        std::find_if(baseline_.begin(), baseline_.end(),
+                     [&](const NamedShape& s) { return s.name == name; });
+    EXPECT_NE(it, baseline_.end()) << name;
+    return *it;
+  }
+
+  Diagnostics Check() const {
+    return CheckEmfStateShapes(baseline_, kInputDim);
+  }
+
+  std::vector<NamedShape> baseline_;
+};
+
+TEST_F(ShapeCheckerTest, SoundModelIsClean) {
+  EXPECT_TRUE(Check().empty()) << FormatDiagnostics(Check());
+  // Unknown layout: the input-dim rule is skipped, everything else holds.
+  EXPECT_TRUE(CheckEmfStateShapes(baseline_, 0).empty());
+  EXPECT_EQ(baseline_.size(), EmfStateEntryNames().size());
+}
+
+TEST_F(ShapeCheckerTest, MissingEntryDoesNotCascade) {
+  baseline_.erase(std::remove_if(
+                      baseline_.begin(), baseline_.end(),
+                      [](const NamedShape& s) { return s.name == "fc3.bias"; }),
+                  baseline_.end());
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.state.missing-entry");
+  EXPECT_NE(findings[0].message.find("fc3.bias"), std::string::npos);
+}
+
+TEST_F(ShapeCheckerTest, UnknownEntry) {
+  baseline_.push_back(NamedShape{"fc4.weight", 4, 4});
+  EXPECT_TRUE(HasCode(Check(), "emf.state.unknown-entry"));
+}
+
+TEST_F(ShapeCheckerTest, ConvTripleDisagreement) {
+  Entry("conv1.left").cols += 1;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.conv.weight-shape");
+  EXPECT_EQ(findings[0].context, "conv1.left");
+}
+
+TEST_F(ShapeCheckerTest, ConvBiasWidth) {
+  Entry("conv2.bias").cols += 1;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.conv.weight-shape");
+  EXPECT_EQ(findings[0].context, "conv2.bias");
+}
+
+TEST_F(ShapeCheckerTest, ConvChainBreak) {
+  // All three conv2 filters agree on a wrong input width: only the chain
+  // rule (conv2 consumes what conv1 produces) can catch it.
+  for (const char* name : {"conv2.self", "conv2.left", "conv2.right"}) {
+    Entry(name).cols += 1;
+  }
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.conv.chain");
+}
+
+TEST_F(ShapeCheckerTest, BatchNormChannels) {
+  Entry("bn1.running_var").cols -= 1;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.bn.channels");
+  EXPECT_EQ(findings[0].context, "bn1.running_var");
+}
+
+TEST_F(ShapeCheckerTest, PreluChannels) {
+  Entry("act2.slope").cols += 3;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.prelu.channels");
+}
+
+TEST_F(ShapeCheckerTest, ClassifierInputWidth) {
+  // fc1 must consume concat(lhs, rhs, |lhs-rhs|) = 3 embedding widths.
+  Entry("fc1.weight").cols += 1;
+  EXPECT_TRUE(HasCode(Check(), "emf.fc.input"));
+}
+
+TEST_F(ShapeCheckerTest, ClassifierChainBreak) {
+  Entry("fc2.weight").cols += 1;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.fc.chain");
+}
+
+TEST_F(ShapeCheckerTest, ClassifierBiasWidth) {
+  Entry("fc2.bias").cols += 1;
+  const Diagnostics findings = Check();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.fc.bias");
+}
+
+TEST_F(ShapeCheckerTest, OutputMustBeSingleLogit) {
+  Entry("fc3.weight").rows = 2;
+  EXPECT_TRUE(HasCode(Check(), "emf.fc.output"));
+}
+
+TEST_F(ShapeCheckerTest, InputDimMismatch) {
+  const Diagnostics findings =
+      CheckEmfStateShapes(baseline_, kInputDim + 1);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "emf.input-dim");
+}
+
+TEST(ModelCheckTest, LiveModelBridge) {
+  ml::EmfModelOptions options;
+  options.input_dim = 16;
+  options.conv1_size = 8;
+  options.conv2_size = 8;
+  options.fc1_size = 8;
+  options.fc2_size = 4;
+  ml::EmfModel model(options);
+  EXPECT_TRUE(CheckModelShapes(model).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Debug boundary gating.
+
+TEST(DebugValidationTest, EnvironmentOverrideWins) {
+  // The cached flag was resolved at first use in this process; here we only
+  // prove the API is callable and a valid plan passes the boundary check
+  // regardless of the gate state.
+  const Catalog catalog = MakeTpchCatalog();
+  const PlanPtr plan = PlanNode::Scan("region", "r");
+  DebugValidatePlan(plan, catalog, "test.boundary");
+  DebugValidateCanonical(Canonicalize(plan), catalog, "test.boundary");
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace geqo::analysis

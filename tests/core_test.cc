@@ -157,14 +157,15 @@ TEST_F(GeqoSystemTest, LoadSnapshotRejectsForeignAndCorruptFiles) {
   }
   EXPECT_FALSE(System().LoadSnapshot(path).ok());
 
-  // A non-snapshot file is rejected on the magic number.
+  // A non-snapshot file fails the v2 whole-payload checksum before any
+  // field is decoded.
   {
     std::ofstream out(path, std::ios::binary | std::ios::trunc);
     out << "definitely not a snapshot";
   }
   const Status magic = System().LoadSnapshot(path);
   EXPECT_FALSE(magic.ok());
-  EXPECT_NE(magic.message().find("bad magic"), std::string::npos);
+  EXPECT_NE(magic.message().find("checksum mismatch"), std::string::npos);
 
   // The failed loads must not have left the shared system half-mutated for
   // the rest of the suite.

@@ -1,0 +1,415 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "analysis/artifact_lint.h"
+#include "analysis/sql_lint.h"
+#include "ann/hnsw.h"
+#include "common/binary_io.h"
+#include "common/checksum_io.h"
+#include "common/format_magic.h"
+#include "common/logging.h"
+#include "common/rng.h"
+#include "core/geqo_system.h"
+#include "ml/emf_model.h"
+#include "nn/serialize.h"
+#include "workload/generator.h"
+#include "workload/schemas.h"
+
+// Corruption tests for the artifact linter and the v2 snapshot loaders:
+// every seeded corruption (byte truncation, bit flips, hand-crafted section
+// violations) must be flagged by geqo_lint's walker with a named diagnostic
+// AND rejected by the corresponding Load path — while pristine artifacts
+// produce zero findings.
+
+namespace geqo::analysis {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+void WriteFile(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+std::string CodesOf(const Diagnostics& diagnostics) {
+  return FormatDiagnostics(diagnostics);
+}
+
+// Shared fixture: one small system + serving catalog saved once, reused by
+// every corruption test in the suite.
+class ArtifactLintTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog(MakeTpchCatalog());
+    GeqoSystemOptions options;
+    options.model.conv1_size = 8;
+    options.model.conv2_size = 8;
+    options.model.fc1_size = 8;
+    options.model.fc2_size = 4;
+    system_ = new GeqoSystem(catalog_, options);
+
+    GeneratorOptions generator_options;
+    const QueryGenerator generator(catalog_, generator_options);
+    Rng rng(7);
+    plans_ = new std::vector<PlanPtr>(generator.GenerateMany(3, &rng));
+
+    system_path_ = ::testing::TempDir() + "/lint_system.snapshot";
+    catalog_path_ = ::testing::TempDir() + "/lint_catalog.snapshot";
+    GEQO_CHECK_OK(system_->SaveSnapshot(system_path_));
+    auto serving = system_->OpenCatalog();
+    for (const PlanPtr& plan : *plans_) {
+      GEQO_CHECK_OK(serving->ProbeAdd(plan).status());
+    }
+    GEQO_CHECK_OK(serving->Save(catalog_path_));
+  }
+
+  static void TearDownTestSuite() {
+    std::remove(system_path_.c_str());
+    std::remove(catalog_path_.c_str());
+    delete plans_;
+    delete system_;
+    delete catalog_;
+    plans_ = nullptr;
+    system_ = nullptr;
+    catalog_ = nullptr;
+  }
+
+  static Diagnostics Lint(const std::string& bytes) {
+    return LintArtifactBytes(bytes);
+  }
+
+  static Status LoadSystem(const std::string& bytes) {
+    const std::string path = ::testing::TempDir() + "/lint_mut.snapshot";
+    WriteFile(path, bytes);
+    const Status status = system_->LoadSnapshot(path);
+    std::remove(path.c_str());
+    return status;
+  }
+
+  static Status LoadServing(const std::string& bytes) {
+    const std::string path = ::testing::TempDir() + "/lint_mut.catalog";
+    WriteFile(path, bytes);
+    const auto loaded = system_->LoadCatalog(path, *plans_);
+    std::remove(path.c_str());
+    return loaded.status();
+  }
+
+  static Catalog* catalog_;
+  static GeqoSystem* system_;
+  static std::vector<PlanPtr>* plans_;
+  static std::string system_path_;
+  static std::string catalog_path_;
+};
+
+Catalog* ArtifactLintTest::catalog_ = nullptr;
+GeqoSystem* ArtifactLintTest::system_ = nullptr;
+std::vector<PlanPtr>* ArtifactLintTest::plans_ = nullptr;
+std::string ArtifactLintTest::system_path_;
+std::string ArtifactLintTest::catalog_path_;
+
+TEST_F(ArtifactLintTest, PristineArtifactsHaveZeroFindings) {
+  const auto system_findings = LintArtifactFile(system_path_);
+  ASSERT_TRUE(system_findings.ok());
+  EXPECT_TRUE(system_findings->empty()) << CodesOf(*system_findings);
+  EXPECT_EQ(SniffArtifact(ReadFile(system_path_)),
+            ArtifactKind::kSystemSnapshot);
+
+  const auto catalog_findings = LintArtifactFile(catalog_path_);
+  ASSERT_TRUE(catalog_findings.ok());
+  EXPECT_TRUE(catalog_findings->empty()) << CodesOf(*catalog_findings);
+  EXPECT_EQ(SniffArtifact(ReadFile(catalog_path_)),
+            ArtifactKind::kServingCatalog);
+
+  // The pristine files also load.
+  EXPECT_TRUE(LoadSystem(ReadFile(system_path_)).ok());
+  EXPECT_TRUE(LoadServing(ReadFile(catalog_path_)).ok());
+}
+
+TEST_F(ArtifactLintTest, TruncationIsDetectedAtEveryDepth) {
+  for (const std::string& path : {system_path_, catalog_path_}) {
+    const std::string bytes = ReadFile(path);
+    for (const double fraction : {0.02, 0.2, 0.5, 0.8, 0.99}) {
+      const std::string cut =
+          bytes.substr(0, static_cast<size_t>(bytes.size() * fraction));
+      const Diagnostics findings = Lint(cut);
+      EXPECT_TRUE(HasFindings(findings))
+          << path << " truncated to " << fraction;
+      // The checksum footer (now misaligned) always names the corruption.
+      EXPECT_TRUE(HasCode(findings, "snapshot.checksum") ||
+                  HasCode(findings, "catalog.checksum") ||
+                  HasCode(findings, "snapshot.truncated") ||
+                  HasCode(findings, "catalog.truncated") ||
+                  HasCode(findings, "artifact.unknown-magic"))
+          << CodesOf(findings);
+      const Status load = path == system_path_ ? LoadSystem(cut)
+                                               : LoadServing(cut);
+      EXPECT_FALSE(load.ok()) << path << " truncated to " << fraction;
+    }
+  }
+}
+
+TEST_F(ArtifactLintTest, BitFlipsAreDetectedEverywhere) {
+  for (const std::string& path : {system_path_, catalog_path_}) {
+    const std::string bytes = ReadFile(path);
+    for (const size_t offset :
+         {size_t{0}, size_t{8}, bytes.size() / 2, bytes.size() - 1}) {
+      std::string flipped = bytes;
+      flipped[offset] = static_cast<char>(flipped[offset] ^ 0x20);
+      const Diagnostics findings = Lint(flipped);
+      EXPECT_TRUE(HasFindings(findings)) << path << " flip at " << offset;
+      if (offset == 0) {
+        // The leading magic no longer matches any artifact.
+        EXPECT_TRUE(HasCode(findings, "artifact.unknown-magic"))
+            << CodesOf(findings);
+      } else {
+        EXPECT_TRUE(HasCode(findings, "snapshot.checksum") ||
+                    HasCode(findings, "catalog.checksum"))
+            << CodesOf(findings);
+      }
+      const Status load = path == system_path_ ? LoadSystem(flipped)
+                                               : LoadServing(flipped);
+      EXPECT_FALSE(load.ok()) << path << " flip at " << offset;
+    }
+  }
+}
+
+TEST_F(ArtifactLintTest, VersionFieldFlipNamesTheVersion) {
+  // Byte 8 is the low byte of the version field: rewrite it to a valid
+  // little-endian "version 9" and fix up the checksum so the structural
+  // walker (not the footer) must catch it.
+  std::string bytes = ReadFile(system_path_);
+  bytes[8] = 9;
+  std::string payload = bytes.substr(0, bytes.size() - sizeof(uint64_t));
+  std::ostringstream refreshed;
+  GEQO_CHECK_OK(io::WriteChecksummed(refreshed, payload, "test"));
+  const Diagnostics findings = Lint(refreshed.str());
+  ASSERT_TRUE(HasFindings(findings));
+  EXPECT_TRUE(HasCode(findings, "snapshot.version")) << CodesOf(findings);
+  EXPECT_FALSE(HasCode(findings, "snapshot.checksum")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSystem(refreshed.str()).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Hand-crafted catalog payloads: section-level invariant violations that a
+// checksum cannot catch (the writer computes a valid footer over bad bytes).
+
+struct MemoEntry {
+  uint64_t lo;
+  uint64_t hi;
+  uint8_t verdict;
+};
+
+std::string CraftCatalog(uint64_t dim, const std::vector<uint64_t>& parents,
+                         const std::vector<MemoEntry>& memo,
+                         uint64_t version = io::kCatalogVersion,
+                         uint64_t end_magic = io::kCatalogEndMagic,
+                         const std::string& trailing = {}) {
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "crafted catalog");
+  writer.U64(io::kCatalogMagic);
+  writer.U64(version);
+  writer.U64(0);  // schema fingerprint (opaque to the linter)
+  writer.U64(dim);
+  writer.U64(parents.size());
+  for (size_t i = 0; i < parents.size(); ++i) writer.U64(i);  // hashes
+  ann::HnswIndex index(dim);
+  std::vector<float> vector(dim, 0.0f);
+  for (size_t i = 0; i < parents.size(); ++i) {
+    vector[0] = static_cast<float>(i);
+    index.Add(vector);
+  }
+  GEQO_CHECK_OK(index.Serialize(payload));
+  for (const uint64_t parent : parents) writer.U64(parent);
+  writer.U64(memo.size());
+  for (const MemoEntry& entry : memo) {
+    writer.U64(entry.lo);
+    writer.U64(entry.hi);
+    writer.U8(entry.verdict);
+  }
+  writer.U64(end_magic);
+  payload << trailing;
+  std::ostringstream file;
+  GEQO_CHECK_OK(io::WriteChecksummed(file, payload.str(), "crafted catalog"));
+  return file.str();
+}
+
+TEST(CraftedCatalogTest, WellFormedCraftIsClean) {
+  const Diagnostics findings = LintArtifactBytes(
+      CraftCatalog(4, {0, 1, 0}, {{3, 5, 0}, {3, 7, 1}, {4, 4, 2}}));
+  EXPECT_TRUE(findings.empty()) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, UnsupportedVersion) {
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {}, {}, /*version=*/1));
+  ASSERT_TRUE(HasFindings(findings));
+  EXPECT_EQ(findings[0].code, "catalog.version");
+}
+
+TEST(CraftedCatalogTest, ParentAboveChild) {
+  const Diagnostics findings = LintArtifactBytes(CraftCatalog(4, {1, 0}, {}));
+  EXPECT_TRUE(HasCode(findings, "catalog.parent-range")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, ParentNotPathCompressed) {
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {0, 0, 1}, {}));
+  EXPECT_TRUE(HasCode(findings, "catalog.parent-compressed"))
+      << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, MemoKeyNotNormalized) {
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {}, {{9, 3, 0}}));
+  EXPECT_TRUE(HasCode(findings, "catalog.memo-key")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, MemoNotStrictlySorted) {
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {}, {{5, 6, 0}, {5, 6, 1}}));
+  EXPECT_TRUE(HasCode(findings, "catalog.memo-order")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, MemoVerdictOutOfRange) {
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {}, {{3, 5, 7}}));
+  EXPECT_TRUE(HasCode(findings, "catalog.memo-verdict")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, MissingEndMarker) {
+  const Diagnostics findings = LintArtifactBytes(
+      CraftCatalog(4, {}, {}, io::kCatalogVersion, /*end_magic=*/0));
+  EXPECT_TRUE(HasCode(findings, "catalog.end-magic")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, TrailingBytesInsideTheChecksummedPayload) {
+  const Diagnostics findings = LintArtifactBytes(
+      CraftCatalog(4, {}, {}, io::kCatalogVersion, io::kCatalogEndMagic,
+                   "stowaway"));
+  EXPECT_TRUE(HasCode(findings, "catalog.trailing")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, ImplausibleEmbeddingDim) {
+  // dim 0 is rejected before the HNSW section is even entered.
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "crafted catalog");
+  writer.U64(io::kCatalogMagic);
+  writer.U64(io::kCatalogVersion);
+  writer.U64(0);
+  writer.U64(0);  // embedding dim
+  writer.U64(0);  // count
+  std::ostringstream file;
+  GEQO_CHECK_OK(io::WriteChecksummed(file, payload.str(), "crafted catalog"));
+  const Diagnostics findings = LintArtifactBytes(file.str());
+  EXPECT_TRUE(HasCode(findings, "catalog.embedding-dim"))
+      << CodesOf(findings);
+}
+
+// ---------------------------------------------------------------------------
+// Standalone GEQOMODL and GEQOHNSW blobs.
+
+std::string SmallModelStateBytes() {
+  ml::EmfModelOptions options;
+  options.input_dim = 12;
+  options.conv1_size = 8;
+  options.conv2_size = 8;
+  options.fc1_size = 8;
+  options.fc2_size = 4;
+  ml::EmfModel model(options);
+  std::ostringstream bytes;
+  GEQO_CHECK_OK(nn::SaveState(model.State(), bytes));
+  return bytes.str();
+}
+
+TEST(ModelStateLintTest, CleanStateAndCorruptions) {
+  const std::string bytes = SmallModelStateBytes();
+  EXPECT_EQ(SniffArtifact(bytes), ArtifactKind::kModelState);
+  EXPECT_TRUE(LintArtifactBytes(bytes).empty())
+      << CodesOf(LintArtifactBytes(bytes));
+
+  const Diagnostics truncated =
+      LintArtifactBytes(bytes.substr(0, bytes.size() / 3));
+  EXPECT_TRUE(HasFindings(truncated)) << CodesOf(truncated);
+
+  const Diagnostics trailing = LintArtifactBytes(bytes + "junk");
+  EXPECT_TRUE(HasCode(trailing, "model.trailing")) << CodesOf(trailing);
+}
+
+TEST(HnswLintTest, CleanIndexAndCorruptions) {
+  ann::HnswIndex index(4);
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    index.Add({rng.NextFloat(), rng.NextFloat(), rng.NextFloat(),
+               rng.NextFloat()});
+  }
+  std::ostringstream out;
+  GEQO_CHECK_OK(index.Serialize(out));
+  const std::string bytes = out.str();
+  EXPECT_EQ(SniffArtifact(bytes), ArtifactKind::kHnswIndex);
+  EXPECT_TRUE(LintArtifactBytes(bytes).empty())
+      << CodesOf(LintArtifactBytes(bytes));
+
+  // Chop off the end marker.
+  const Diagnostics cut =
+      LintArtifactBytes(bytes.substr(0, bytes.size() - sizeof(uint64_t)));
+  EXPECT_TRUE(HasCode(cut, "hnsw.end-magic")) << CodesOf(cut);
+
+  const Diagnostics trailing = LintArtifactBytes(bytes + "junk");
+  EXPECT_TRUE(HasCode(trailing, "hnsw.trailing")) << CodesOf(trailing);
+}
+
+// ---------------------------------------------------------------------------
+// SQL workload linting.
+
+TEST(SqlLintTest, CleanWorkloadHasNoFindings) {
+  const Catalog catalog = MakeTpchCatalog();
+  const Diagnostics findings = LintSqlText(
+      "-- a comment\n"
+      "SELECT r_name FROM region WHERE r_regionkey > 1;\n"
+      "SELECT n.n_name, r.r_name\n"
+      "FROM nation AS n, region AS r\n"
+      "WHERE n.n_regionkey = r.r_regionkey;\n",
+      catalog);
+  EXPECT_TRUE(findings.empty()) << CodesOf(findings);
+}
+
+TEST(SqlLintTest, ParseErrorCarriesTheLineNumber) {
+  const Catalog catalog = MakeTpchCatalog();
+  const Diagnostics findings = LintSqlText(
+      "SELECT r_name FROM region;\n"
+      "\n"
+      "SELECT FROM WHERE;\n",
+      catalog);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].code, "sql.parse");
+  EXPECT_NE(findings[0].context.find("line 3"), std::string::npos)
+      << findings[0].context;
+}
+
+TEST(SqlLintTest, UnknownColumnIsAFinding) {
+  const Catalog catalog = MakeTpchCatalog();
+  const Diagnostics findings =
+      LintSqlText("SELECT r_nothing FROM region;", catalog);
+  ASSERT_TRUE(HasFindings(findings));
+  EXPECT_EQ(findings[0].code, "sql.parse");
+}
+
+TEST(SqlLintTest, CommentsAndBlanksAreIgnored) {
+  const Catalog catalog = MakeTpchCatalog();
+  EXPECT_TRUE(LintSqlText("", catalog).empty());
+  EXPECT_TRUE(LintSqlText("-- nothing here\n\n;\n  ;", catalog).empty());
+}
+
+}  // namespace
+}  // namespace geqo::analysis

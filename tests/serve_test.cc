@@ -266,14 +266,16 @@ TEST_F(ServeTest, LoadRejectsCorruptAndMismatchedSnapshots) {
   const std::string path = ::testing::TempDir() + "/serve_corrupt.bin";
   ASSERT_TRUE(original->Save(path).ok());
 
-  // Garbage file: rejected on the magic number.
+  // Garbage file: the v2 whole-payload checksum rejects it before any field
+  // is decoded.
   {
     std::ofstream out(path + ".garbage", std::ios::binary);
     out << "not a catalog snapshot at all";
   }
   const auto garbage = System().LoadCatalog(path + ".garbage", entries);
   ASSERT_FALSE(garbage.ok());
-  EXPECT_NE(garbage.status().message().find("bad magic"), std::string::npos);
+  EXPECT_NE(garbage.status().message().find("checksum mismatch"),
+            std::string::npos);
 
   // Wrong plan count.
   const auto short_plans = System().LoadCatalog(
