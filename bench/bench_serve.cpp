@@ -8,10 +8,16 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
+#include <string>
 #include <vector>
 
+#include "ann/hnsw.h"
 #include "bench_util.h"
 #include "common/stopwatch.h"
+#include "encode/encoding.h"
+#include "filters/vmf.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace geqo::bench {
 namespace {
@@ -71,6 +77,57 @@ void PrintPhase(const ServeBenchReport& report) {
       static_cast<unsigned long long>(report.memo_hits),
       static_cast<unsigned long long>(report.class_shortcuts),
       report.memo_hit_rate * 100.0);
+}
+
+/// Times the serving-core embed+probe loop (EMF embedding through the VMF's
+/// singleton map, then an HNSW radius probe of a pre-built catalog index)
+/// under the currently forced kernel table / quant mode.
+KernelBenchReport RunEmbedProbePhase(const std::string& label,
+                                     const VectorMatchingFilter& vmf,
+                                     const std::vector<EncodedPlan>& encoded,
+                                     float radius) {
+  // Index build is serving state, not the measured op; the quant override
+  // follows the process-wide switch, calibrating early enough that even the
+  // smoke-scale workload exercises the SQ8 path.
+  ann::HnswOptions hnsw = vmf.options().hnsw;
+  hnsw.quant = ann::QuantOverride::kAuto;
+  hnsw.sq8_calibration = std::max<size_t>(8, encoded.size() / 2);
+  std::unique_ptr<ann::HnswIndex> index;
+  for (const EncodedPlan& plan : encoded) {
+    auto embedding = vmf.EmbedSingle(plan);
+    GEQO_CHECK(embedding.ok()) << embedding.status().ToString();
+    if (index == nullptr) {
+      index = std::make_unique<ann::HnswIndex>(embedding->size(), hnsw);
+    }
+    index->Add(*embedding);
+  }
+  GEQO_CHECK(index != nullptr);
+
+  KernelBenchReport report;
+  report.label = label;
+  report.isa = kernels::ActiveIsaName();
+  report.quant = kernels::QuantModeName();
+  Stopwatch watch;
+  // Whole passes over the stream until enough wall clock has accumulated,
+  // so both modes are measured over the same op mix.
+  while (report.seconds < 0.5) {
+    for (const EncodedPlan& plan : encoded) {
+      auto embedding = vmf.EmbedSingle(plan);
+      GEQO_CHECK(embedding.ok()) << embedding.status().ToString();
+      index->SearchRadius(embedding->data(), radius);
+    }
+    report.ops += encoded.size();
+    report.seconds = watch.ElapsedSeconds();
+  }
+  report.ops_per_second =
+      static_cast<double>(report.ops) / std::max(report.seconds, 1e-12);
+  return report;
+}
+
+void PrintKernelPhase(const KernelBenchReport& report) {
+  std::printf("%-12s  isa=%-6s quant=%-4s ops=%-6zu %10.1f ops/s\n",
+              report.label.c_str(), report.isa.c_str(), report.quant.c_str(),
+              report.ops, report.ops_per_second);
 }
 
 }  // namespace
@@ -142,7 +199,55 @@ int main() {
               ModeledAvSeconds(0.0, phases.back().memo_hits +
                                         phases.back().class_shortcuts));
 
-  WriteServeArtifact(phases);
+  // Phase 4: kernel throughput — the embed+probe core of every probe above,
+  // measured under the portable scalar/f32 table and again under the best
+  // dispatched table with SQ8 quantization, for the speedup record.
+  std::printf("\n# embed+probe kernel throughput (%s host)\n",
+              kernels::Avx2TableOrNull() != nullptr ? "avx2" : "scalar-only");
+  GeqoSystem& system = *context.system;
+  PlanEncoder encoder(&system.instance_layout(), &system.catalog(),
+                      system.value_range());
+  std::vector<EncodedPlan> encoded;
+  for (const PlanPtr& plan : workload.subexpressions) {
+    auto plan_encoded = encoder.Encode(plan);
+    GEQO_CHECK(plan_encoded.ok()) << plan_encoded.status().ToString();
+    encoded.push_back(std::move(*plan_encoded));
+  }
+  const VmfOptions vmf_options = system.options().pipeline.vmf;
+  VectorMatchingFilter vmf(&system.model(), &system.instance_layout(),
+                           &system.agnostic_layout(), vmf_options);
+
+  const kernels::Isa saved_isa = kernels::ActiveIsa();
+  const bool saved_quant = kernels::QuantEnabled();
+  std::vector<KernelBenchReport> kernel_phases;
+
+  kernels::SetIsa(kernels::Isa::kScalar);
+  kernels::SetQuantMode(false);
+  kernel_phases.push_back(RunEmbedProbePhase("scalar/f32", vmf, encoded,
+                                             vmf_options.radius));
+  PrintKernelPhase(kernel_phases.back());
+
+  const kernels::Isa best_isa = kernels::Avx2TableOrNull() != nullptr
+                                    ? kernels::Isa::kAvx2
+                                    : kernels::Isa::kScalar;
+  kernels::SetIsa(best_isa);
+  kernels::SetQuantMode(true);
+  kernel_phases.push_back(RunEmbedProbePhase(
+      std::string(best_isa == kernels::Isa::kAvx2 ? "avx2" : "scalar") +
+          "/sq8",
+      vmf, encoded, vmf_options.radius));
+  PrintKernelPhase(kernel_phases.back());
+
+  kernels::SetIsa(saved_isa);
+  kernels::SetQuantMode(saved_quant);
+
+  const double speedup =
+      kernel_phases[1].ops_per_second /
+      std::max(kernel_phases[0].ops_per_second, 1e-12);
+  std::printf("embed+probe speedup (%s over scalar/f32): %.2fx\n",
+              kernel_phases[1].label.c_str(), speedup);
+
+  WriteServeArtifact(phases, kernel_phases, speedup);
   std::printf("\nBENCH_serve.json written\n");
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/strings.h"
 #include "filters/emf_filter.h"
 #include "obs/json.h"
+#include "tensor/kernels/kernel_table.h"
 #include "obs/trace.h"
 
 namespace geqo::bench {
@@ -392,9 +393,15 @@ void WritePipelineArtifact(const std::string& label,
   obs::WriteTraceArtifactsIfEnabled();
 }
 
-void WriteServeArtifact(const std::vector<ServeBenchReport>& phases) {
+void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
+                        const std::vector<KernelBenchReport>& kernel_phases,
+                        double speedup) {
   obs::JsonWriter json;
   json.BeginObject();
+  json.Key("kernel").BeginObject();
+  json.Key("isa").String(kernels::ActiveIsaName());
+  json.Key("quant").String(kernels::QuantModeName());
+  json.EndObject();
   json.Key("phases").BeginArray();
   for (const ServeBenchReport& phase : phases) {
     json.BeginObject();
@@ -412,6 +419,21 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases) {
     json.EndObject();
   }
   json.EndArray();
+  if (!kernel_phases.empty()) {
+    json.Key("embed_probe").BeginArray();
+    for (const KernelBenchReport& phase : kernel_phases) {
+      json.BeginObject();
+      json.Key("label").String(phase.label);
+      json.Key("isa").String(phase.isa);
+      json.Key("quant").String(phase.quant);
+      json.Key("ops").Number(static_cast<uint64_t>(phase.ops));
+      json.Key("seconds").Number(phase.seconds);
+      json.Key("ops_per_second").Number(phase.ops_per_second);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("embed_probe_speedup").Number(speedup);
+  }
   json.EndObject();
 
   std::ofstream out("BENCH_serve.json", std::ios::trunc);

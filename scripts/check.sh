@@ -12,6 +12,9 @@
 #                            'thread_pool|pipeline|tensor' keeps CI fast)
 #   GEQO_CHECK_SKIP_UBSAN=1  skip the UndefinedBehaviorSanitizer pass
 #   GEQO_CHECK_UBSAN_FILTER  ctest -R filter for the UBSan pass (default: all)
+#   GEQO_CHECK_SKIP_ASAN=1   skip the AddressSanitizer kernel-parity pass
+#   GEQO_CHECK_SCALAR_FILTER ctest -R filter for the forced-scalar lane
+#                            (default: the kernel-sensitive suites)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j "$jobs"
 echo "== plain ctest =="
 ctest --test-dir build --output-on-failure -j "$jobs" "$@"
+
+echo "== forced-scalar ctest lane (GEQO_ISA=scalar) =="
+# The portable kernel table must behave exactly like the dispatched one
+# across the whole suite — this is the lane that keeps non-AVX2 hosts
+# honest. GEQO_CHECK_SCALAR_FILTER narrows it (ctest -R on gtest suite
+# names, e.g. 'KernelTable|Quant|Hnsw|Tensor') when CI time is tight.
+scalar_filter=(${GEQO_CHECK_SCALAR_FILTER:+-R "$GEQO_CHECK_SCALAR_FILTER"})
+GEQO_ISA=scalar ctest --test-dir build --output-on-failure -j "$jobs" \
+  "${scalar_filter[@]}" "$@"
 
 lint=./build/src/analysis/geqo_lint
 
@@ -86,6 +98,23 @@ else
   echo "== TSan serving snapshot round-trip smoke =="
   GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
     "$smoke_dir/serve_snap_tsan"
+fi
+
+if [[ "${GEQO_CHECK_SKIP_ASAN:-0}" == "1" ]]; then
+  echo "== ASan kernel-parity pass skipped (GEQO_CHECK_SKIP_ASAN=1) =="
+else
+  echo "== ASan build (kernel parity) =="
+  # The SIMD kernels read in 32-byte lanes with scalar tails; ASan over the
+  # parity and quantization suites catches any out-of-bounds lane, on both
+  # the dispatched and the forced-scalar table.
+  cmake -B build-asan -S . -DGEQO_SANITIZE=address >/dev/null
+  cmake --build build-asan -j "$jobs" --target kernels_test quant_test \
+    hnsw_test tensor_test
+  echo "== ASan kernel-parity ctest =="
+  ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'KernelTable|Alignment|Quant|Hnsw|Tensor' "$@"
+  GEQO_ISA=scalar ctest --test-dir build-asan --output-on-failure -j "$jobs" \
+    -R 'KernelTable|Alignment|Quant' "$@"
 fi
 
 if [[ "${GEQO_CHECK_SKIP_UBSAN:-0}" == "1" ]]; then

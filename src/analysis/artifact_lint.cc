@@ -204,6 +204,44 @@ bool LintHnswSection(ByteCursor* cursor, std::optional<uint64_t> expected_dim,
   const uint64_t dim = cursor->U64();
   const uint64_t max_connections = cursor->U64();
   cursor->Skip(3 * sizeof(uint64_t));  // ef_construction, ef_search, seed
+  // v2 quantization block: resolved mode, calibration threshold, calibrated
+  // flag, and — only for a calibrated quantized index — the HNSWSQ8! magic
+  // plus dim (min, max) f32 range pairs.
+  const size_t quant_offset = cursor->offset();
+  const uint64_t quant_enabled = cursor->U64();
+  cursor->Skip(sizeof(uint64_t));  // sq8_calibration threshold
+  const uint64_t calibrated = cursor->U64();
+  if (!cursor->ok() || quant_enabled > 1 || calibrated > 1) {
+    At(out, "hnsw.quant",
+       "invalid quantization flags (quant " + std::to_string(quant_enabled) +
+           ", calibrated " + std::to_string(calibrated) + ")",
+       quant_offset);
+    return false;
+  }
+  if (quant_enabled == 1 && calibrated == 1) {
+    const size_t sq8_magic_offset = cursor->offset();
+    const uint64_t sq8_magic = cursor->U64();
+    if (!cursor->ok() || sq8_magic != io::kHnswSq8Magic) {
+      At(out, "hnsw.quant-magic",
+         "calibrated quantized index is missing the HNSWSQ8! range-table "
+         "magic",
+         sq8_magic_offset);
+      return false;
+    }
+    for (uint64_t i = 0; i < dim; ++i) {
+      const size_t range_offset = cursor->offset();
+      const float range_min = cursor->F32();
+      const float range_max = cursor->F32();
+      if (!cursor->ok() || !std::isfinite(range_min) ||
+          !std::isfinite(range_max) || range_min > range_max) {
+        At(out, "hnsw.quant-range",
+           "SQ8 range for dimension " + std::to_string(i) +
+               " is corrupt (non-finite or min > max)",
+           range_offset);
+        return false;
+      }
+    }
+  }
   cursor->Skip(4 * sizeof(uint64_t));  // rng stream position
   const size_t level_offset = cursor->offset();
   const int64_t max_level = cursor->I64();

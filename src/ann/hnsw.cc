@@ -5,38 +5,81 @@
 #include <cmath>
 #include <istream>
 #include <ostream>
-#include <queue>
 #include <string>
-#include <unordered_set>
 
 #include "common/binary_io.h"
 #include "common/format_magic.h"
 #include "obs/metrics.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace geqo::ann {
 namespace {
 
 constexpr uint64_t kHnswMagic = io::kHnswMagic;        // "GEQOHNSW"
 constexpr uint64_t kHnswEndMagic = io::kHnswEndMagic;  // "HNSWEND!"
+constexpr uint64_t kHnswSq8Magic = io::kHnswSq8Magic;  // "HNSWSQ8!"
 constexpr uint64_t kHnswVersion = io::kHnswVersion;
+
+bool ResolveQuant(QuantOverride mode) {
+  switch (mode) {
+    case QuantOverride::kOff:
+      return false;
+    case QuantOverride::kOn:
+      return true;
+    case QuantOverride::kAuto:
+      return kernels::QuantEnabled();
+  }
+  return false;
+}
 
 }  // namespace
 
 HnswIndex::HnswIndex(size_t dim, HnswOptions options)
     : dim_(dim),
+      padded_dim_(AlignedStride(dim, sizeof(float))),
+      code_stride_(AlignedStride(dim, sizeof(uint8_t))),
       options_(options),
       level_multiplier_(1.0 /
                         std::log(static_cast<double>(options.max_connections))),
-      rng_(options.seed) {
+      rng_(options.seed),
+      quant_enabled_(ResolveQuant(options.quant)) {
   GEQO_CHECK(dim_ > 0);
   GEQO_CHECK(options_.max_connections >= 2);
+  if (quant_enabled_) {
+    range_min_.assign(dim_, 0.0f);
+    range_max_.assign(dim_, 0.0f);
+  }
 }
 
-float HnswIndex::Distance(const float* a, const float* b) const {
+HnswIndex::SearchContext HnswIndex::MakeContext(const float* query) const {
+  SearchContext ctx;
+  ctx.query = query;
+  ctx.quantized = quant_enabled_ && calibrated_;
+  if (ctx.quantized) {
+    ctx.shifted.resize(dim_);
+    std::copy(query, query + dim_, ctx.shifted.data());
+    kernels::Active().sub(ctx.shifted.data(), range_min_.data(), dim_);
+  }
+  return ctx;
+}
+
+float HnswIndex::DistanceSq(const SearchContext& ctx, uint32_t id) const {
   if (obs::MetricsEnabled()) {
     pending_distances_.fetch_add(1, std::memory_order_relaxed);
   }
-  return std::sqrt(ops::SquaredDistance(a, b, dim_));
+  if (ctx.quantized) {
+    return kernels::Active().sq8_distance(ctx.shifted.data(), scale_.data(),
+                                          codes_.data() + id * code_stride_,
+                                          dim_);
+  }
+  return ops::SquaredDistance(ctx.query, vector(id), dim_);
+}
+
+float HnswIndex::StoredDistanceSq(uint32_t a, uint32_t b) const {
+  if (obs::MetricsEnabled()) {
+    pending_distances_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return ops::SquaredDistance(vector(a), vector(b), dim_);
 }
 
 void HnswIndex::FoldMetrics() const {
@@ -55,19 +98,69 @@ int HnswIndex::RandomLevel() {
   return static_cast<int>(-std::log(u) * level_multiplier_);
 }
 
+void HnswIndex::EncodeVector(uint32_t id) {
+  const float* v = vector(id);
+  uint8_t* codes = codes_.data() + static_cast<size_t>(id) * code_stride_;
+  for (size_t i = 0; i < dim_; ++i) {
+    if (scale_[i] == 0.0f) {
+      codes[i] = 0;
+      continue;
+    }
+    const long q = std::lrint((v[i] - range_min_[i]) / scale_[i]);
+    codes[i] = static_cast<uint8_t>(std::clamp(q, 0L, 255L));
+  }
+  std::fill(codes + dim_, codes + code_stride_, static_cast<uint8_t>(0));
+}
+
+void HnswIndex::Calibrate() {
+  scale_.resize(dim_);
+  for (size_t i = 0; i < dim_; ++i) {
+    scale_[i] = (range_max_[i] - range_min_[i]) / 255.0f;
+  }
+  calibrated_ = true;
+  codes_.assign(nodes_.size() * code_stride_, 0);
+  for (uint32_t id = 0; id < nodes_.size(); ++id) EncodeVector(id);
+}
+
 size_t HnswIndex::Add(const std::vector<float>& vector) {
   GEQO_CHECK(vector.size() == dim_);
   return Add(vector.data());
 }
 
 size_t HnswIndex::Add(const float* vector) {
-  const auto id = static_cast<uint32_t>(vectors_.size());
-  vectors_.emplace_back(vector, vector + dim_);
+  const auto id = static_cast<uint32_t>(nodes_.size());
+  vectors_.resize(vectors_.size() + padded_dim_, 0.0f);
+  float* stored = vectors_.data() + static_cast<size_t>(id) * padded_dim_;
+  std::copy(vector, vector + dim_, stored);
+
+  if (quant_enabled_) {
+    if (!calibrated_) {
+      // Running per-dimension ranges over the calibration sample.
+      for (size_t i = 0; i < dim_; ++i) {
+        if (id == 0) {
+          range_min_[i] = vector[i];
+          range_max_[i] = vector[i];
+        } else {
+          range_min_[i] = std::min(range_min_[i], vector[i]);
+          range_max_[i] = std::max(range_max_[i], vector[i]);
+        }
+      }
+    } else {
+      codes_.resize(codes_.size() + code_stride_, 0);
+      EncodeVector(id);  // post-freeze inserts clamp to the frozen ranges
+    }
+  }
+
   const int level = RandomLevel();
   Node node;
   node.level = level;
   node.neighbors.resize(static_cast<size_t>(level) + 1);
   nodes_.push_back(std::move(node));
+
+  if (quant_enabled_ && !calibrated_ &&
+      nodes_.size() >= std::max<size_t>(options_.sq8_calibration, 1)) {
+    Calibrate();
+  }
 
   if (id == 0) {
     max_level_ = level;
@@ -75,16 +168,16 @@ size_t HnswIndex::Add(const float* vector) {
     return id;
   }
 
-  const float* query = vectors_[id].data();
+  SearchContext ctx = MakeContext(stored);
   uint32_t entry = entry_point_;
   // Greedy descent through layers above the new node's level.
   for (int layer = max_level_; layer > level; --layer) {
-    entry = GreedySearch(query, entry, layer);
+    entry = GreedySearch(ctx, entry, layer);
   }
   // Insert into each layer from min(level, max_level_) down to 0.
   for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
     const std::vector<Neighbor> candidates =
-        SearchLayer(query, entry, options_.ef_construction, layer);
+        SearchLayer(ctx, entry, options_.ef_construction, layer);
     const size_t max_links = layer == 0 ? options_.max_connections * 2
                                         : options_.max_connections;
     Connect(id, candidates, layer, max_links);
@@ -98,10 +191,10 @@ size_t HnswIndex::Add(const float* vector) {
   return id;
 }
 
-uint32_t HnswIndex::GreedySearch(const float* query, uint32_t entry,
+uint32_t HnswIndex::GreedySearch(const SearchContext& ctx, uint32_t entry,
                                  int layer) const {
   uint32_t current = entry;
-  float current_distance = Distance(query, vectors_[current].data());
+  float current_distance = DistanceSq(ctx, current);
   bool improved = true;
   while (improved) {
     improved = false;
@@ -110,7 +203,7 @@ uint32_t HnswIndex::GreedySearch(const float* query, uint32_t entry,
     }
     for (const uint32_t neighbor :
          nodes_[current].neighbors[static_cast<size_t>(layer)]) {
-      const float d = Distance(query, vectors_[neighbor].data());
+      const float d = DistanceSq(ctx, neighbor);
       if (d < current_distance) {
         current = neighbor;
         current_distance = d;
@@ -121,56 +214,85 @@ uint32_t HnswIndex::GreedySearch(const float* query, uint32_t entry,
   return current;
 }
 
-std::vector<Neighbor> HnswIndex::SearchLayer(const float* query, uint32_t entry,
-                                             size_t ef, int layer) const {
-  // Classic beam search: `candidates` is a min-heap of frontier nodes,
-  // `best` a max-heap of the ef closest results found so far.
+std::vector<Neighbor> HnswIndex::SearchLayer(SearchContext& ctx,
+                                             uint32_t entry, size_t ef,
+                                             int layer) const {
+  // Classic beam search over squared distances: `candidates` is a min-heap
+  // of frontier nodes, `best` a max-heap of the ef closest results so far.
+  // Both heaps and the visited mask live in the per-search scratch (their
+  // capacity survives across layers and the mask is a flat byte array), so
+  // the hot probe path performs no per-layer hash or heap allocations. The
+  // heap algorithms match what std::priority_queue runs, so the beam —
+  // including tie resolution among equal distances — is unchanged.
   const auto further = [](const Neighbor& a, const Neighbor& b) {
     return a.distance < b.distance;  // max-heap by distance
   };
   const auto closer = [](const Neighbor& a, const Neighbor& b) {
     return a.distance > b.distance;  // min-heap by distance
   };
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(further)> best(
-      further);
-  std::priority_queue<Neighbor, std::vector<Neighbor>, decltype(closer)>
-      candidates(closer);
-  std::unordered_set<uint32_t> visited;
+  std::vector<Neighbor>& best = ctx.best_heap;
+  std::vector<Neighbor>& candidates = ctx.candidate_heap;
+  std::vector<uint8_t>& visited = ctx.visited;
+  best.clear();
+  candidates.clear();
+  visited.assign(nodes_.size(), 0);
 
-  const float entry_distance = Distance(query, vectors_[entry].data());
-  best.push(Neighbor{entry, entry_distance});
-  candidates.push(Neighbor{entry, entry_distance});
-  visited.insert(entry);
+  const float entry_distance = DistanceSq(ctx, entry);
+  best.push_back(Neighbor{entry, entry_distance});
+  candidates.push_back(Neighbor{entry, entry_distance});
+  visited[entry] = 1;
 
   while (!candidates.empty()) {
-    const Neighbor current = candidates.top();
-    candidates.pop();
-    if (best.size() >= ef && current.distance > best.top().distance) break;
+    const Neighbor current = candidates.front();
+    std::pop_heap(candidates.begin(), candidates.end(), closer);
+    candidates.pop_back();
+    if (best.size() >= ef && current.distance > best.front().distance) break;
     if (obs::MetricsEnabled()) {
       pending_hops_.fetch_add(1, std::memory_order_relaxed);
     }
     for (const uint32_t neighbor :
          nodes_[current.id].neighbors[static_cast<size_t>(layer)]) {
-      if (!visited.insert(neighbor).second) continue;
-      const float d = Distance(query, vectors_[neighbor].data());
-      if (best.size() < ef || d < best.top().distance) {
-        best.push(Neighbor{neighbor, d});
-        candidates.push(Neighbor{neighbor, d});
-        if (best.size() > ef) best.pop();
+      if (visited[neighbor] != 0) continue;
+      visited[neighbor] = 1;
+      const float d = DistanceSq(ctx, neighbor);
+      if (best.size() < ef || d < best.front().distance) {
+        best.push_back(Neighbor{neighbor, d});
+        std::push_heap(best.begin(), best.end(), further);
+        candidates.push_back(Neighbor{neighbor, d});
+        std::push_heap(candidates.begin(), candidates.end(), closer);
+        if (best.size() > ef) {
+          std::pop_heap(best.begin(), best.end(), further);
+          best.pop_back();
+        }
       }
     }
   }
 
-  std::vector<Neighbor> out;
-  out.reserve(best.size());
-  while (!best.empty()) {
-    out.push_back(best.top());
-    best.pop();
-  }
-  // Closest first; ties broken by id (heap pop order among equal distances
+  // Closest first; ties broken by id (heap order among equal distances
   // depends on insertion interleaving, so a final sort makes it stable).
+  std::vector<Neighbor> out(best.begin(), best.end());
   std::sort(out.begin(), out.end());
   return out;
+}
+
+std::vector<Neighbor> HnswIndex::FinishBeam(const SearchContext& ctx,
+                                            std::vector<Neighbor> beam) const {
+  // The beam carries squared distances (approximate ones under SQ8). Exact
+  // rerank: recompute f32 squared distances for the quantized case, then
+  // convert to true distance and restore the (distance, id) order — so
+  // reported distances are always exact and quantization can only have
+  // affected which candidates made the beam, not how they are reported.
+  for (Neighbor& neighbor : beam) {
+    const float exact_sq =
+        ctx.quantized
+            ? ops::SquaredDistance(ctx.query,
+                                   vector(static_cast<uint32_t>(neighbor.id)),
+                                   dim_)
+            : neighbor.distance;
+    neighbor.distance = std::sqrt(exact_sq);
+  }
+  std::sort(beam.begin(), beam.end());
+  return beam;
 }
 
 void HnswIndex::Connect(uint32_t id, const std::vector<Neighbor>& candidates,
@@ -186,11 +308,11 @@ void HnswIndex::Connect(uint32_t id, const std::vector<Neighbor>& candidates,
         nodes_[candidate.id].neighbors[static_cast<size_t>(layer)];
     back_links.push_back(id);
     if (back_links.size() > max_links) {
-      const float* anchor = vectors_[candidate.id].data();
+      const auto anchor = static_cast<uint32_t>(candidate.id);
       std::sort(back_links.begin(), back_links.end(),
                 [&](uint32_t a, uint32_t b) {
-                  const float da = Distance(anchor, vectors_[a].data());
-                  const float db = Distance(anchor, vectors_[b].data());
+                  const float da = StoredDistanceSq(anchor, a);
+                  const float db = StoredDistanceSq(anchor, b);
                   if (da != db) return da < db;
                   return a < b;  // deterministic prune among equidistant links
                 });
@@ -201,13 +323,15 @@ void HnswIndex::Connect(uint32_t id, const std::vector<Neighbor>& candidates,
 
 std::vector<Neighbor> HnswIndex::SearchKnn(const float* query, size_t k,
                                            size_t ef) const {
-  if (vectors_.empty()) return {};
+  if (nodes_.empty()) return {};
   if (ef == 0) ef = std::max(options_.ef_search, k);
+  SearchContext ctx = MakeContext(query);
   uint32_t entry = entry_point_;
   for (int layer = max_level_; layer > 0; --layer) {
-    entry = GreedySearch(query, entry, layer);
+    entry = GreedySearch(ctx, entry, layer);
   }
-  std::vector<Neighbor> result = SearchLayer(query, entry, ef, /*layer=*/0);
+  std::vector<Neighbor> result =
+      FinishBeam(ctx, SearchLayer(ctx, entry, ef, /*layer=*/0));
   if (result.size() > k) result.resize(k);
   FoldMetrics();
   return result;
@@ -215,13 +339,15 @@ std::vector<Neighbor> HnswIndex::SearchKnn(const float* query, size_t k,
 
 std::vector<Neighbor> HnswIndex::SearchRadius(const float* query, float radius,
                                               size_t ef) const {
-  if (vectors_.empty()) return {};
+  if (nodes_.empty()) return {};
   if (ef == 0) ef = options_.ef_search;
+  SearchContext ctx = MakeContext(query);
   uint32_t entry = entry_point_;
   for (int layer = max_level_; layer > 0; --layer) {
-    entry = GreedySearch(query, entry, layer);
+    entry = GreedySearch(ctx, entry, layer);
   }
-  std::vector<Neighbor> beam = SearchLayer(query, entry, ef, /*layer=*/0);
+  const std::vector<Neighbor> beam =
+      FinishBeam(ctx, SearchLayer(ctx, entry, ef, /*layer=*/0));
   std::vector<Neighbor> out;
   for (const Neighbor& neighbor : beam) {
     if (neighbor.distance <= radius) out.push_back(neighbor);
@@ -239,14 +365,27 @@ Status HnswIndex::Serialize(std::ostream& os) const {
   writer.U64(options_.ef_construction);
   writer.U64(options_.ef_search);
   writer.U64(options_.seed);
+  // Quantization block: the *resolved* mode is stored (not the kAuto
+  // request), so a snapshot reproduces its serving behavior regardless of
+  // the GEQO_QUANT environment at load time.
+  writer.U64(quant_enabled_ ? 1 : 0);
+  writer.U64(options_.sq8_calibration);
+  writer.U64(calibrated_ ? 1 : 0);
+  if (quant_enabled_ && calibrated_) {
+    writer.U64(kHnswSq8Magic);
+    for (size_t i = 0; i < dim_; ++i) {
+      writer.F32(range_min_[i]);
+      writer.F32(range_max_[i]);
+    }
+  }
   // The rng's stream position makes post-load Add assign the same levels the
   // uninterrupted index would have.
   for (const uint64_t word : rng_.SaveState()) writer.U64(word);
   writer.I64(max_level_);
   writer.U64(entry_point_);
-  writer.U64(vectors_.size());
-  for (const auto& vector : vectors_) {
-    writer.Bytes(vector.data(), vector.size() * sizeof(float));
+  writer.U64(nodes_.size());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    writer.Bytes(vector(id), dim_ * sizeof(float));
   }
   for (const Node& node : nodes_) {
     writer.I64(node.level);
@@ -278,6 +417,36 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(std::istream& is) {
   options.ef_construction = reader.U64();
   options.ef_search = reader.U64();
   options.seed = reader.U64();
+  const uint64_t quant_enabled = reader.U64();
+  options.sq8_calibration = reader.U64();
+  const uint64_t calibrated = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (quant_enabled > 1 || calibrated > 1) {
+    return Status::InvalidArgument(
+        "HNSW index: invalid quantization flags (corrupt quant block)");
+  }
+  options.quant = quant_enabled == 1 ? QuantOverride::kOn : QuantOverride::kOff;
+  std::vector<float> range_min;
+  std::vector<float> range_max;
+  if (quant_enabled == 1 && calibrated == 1) {
+    if (reader.U64() != kHnswSq8Magic) {
+      return Status::InvalidArgument(
+          "HNSW index: missing SQ8 calibration magic (corrupt quant block)");
+    }
+    range_min.resize(dim);
+    range_max.resize(dim);
+    for (uint64_t i = 0; i < dim; ++i) {
+      range_min[i] = reader.F32();
+      range_max[i] = reader.F32();
+      GEQO_RETURN_NOT_OK(reader.status());
+      if (!std::isfinite(range_min[i]) || !std::isfinite(range_max[i]) ||
+          range_min[i] > range_max[i]) {
+        return Status::InvalidArgument(
+            "HNSW index: invalid SQ8 range for dimension " +
+            std::to_string(i) + " (corrupt calibration table)");
+      }
+    }
+  }
   std::array<uint64_t, 4> rng_state;
   for (auto& word : rng_state) word = reader.U64();
   const int64_t max_level = reader.I64();
@@ -292,10 +461,10 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(std::istream& is) {
   index->rng_.RestoreState(rng_state);
   index->max_level_ = static_cast<int>(max_level);
   index->entry_point_ = static_cast<uint32_t>(entry_point);
-  index->vectors_.resize(count);
-  for (auto& vector : index->vectors_) {
-    vector.resize(dim);
-    reader.Bytes(vector.data(), dim * sizeof(float));
+  index->vectors_.assign(count * index->padded_dim_, 0.0f);
+  for (uint64_t id = 0; id < count; ++id) {
+    reader.Bytes(index->vectors_.data() + id * index->padded_dim_,
+                 dim * sizeof(float));
     GEQO_RETURN_NOT_OK(reader.status());
   }
   index->nodes_.resize(count);
@@ -341,14 +510,40 @@ Result<std::unique_ptr<HnswIndex>> HnswIndex::Deserialize(std::istream& is) {
           "HNSW index: entry point level does not match max level");
     }
   }
+  if (quant_enabled == 1) {
+    if (calibrated == 1) {
+      index->range_min_ = std::move(range_min);
+      index->range_max_ = std::move(range_max);
+      index->Calibrate();  // derives scales, re-encodes codes from f32
+    } else if (count > 0) {
+      // Resume an in-progress calibration: replay the ranges the stored
+      // vectors would have produced.
+      for (uint64_t id = 0; id < count; ++id) {
+        const float* v = index->vector(id);
+        for (size_t i = 0; i < dim; ++i) {
+          if (id == 0) {
+            index->range_min_[i] = v[i];
+            index->range_max_[i] = v[i];
+          } else {
+            index->range_min_[i] = std::min(index->range_min_[i], v[i]);
+            index->range_max_[i] = std::max(index->range_max_[i], v[i]);
+          }
+        }
+      }
+    }
+  }
   return index;
 }
 
 std::vector<Neighbor> HnswIndex::ExactRadius(const float* query,
                                              float radius) const {
   std::vector<Neighbor> out;
-  for (size_t id = 0; id < vectors_.size(); ++id) {
-    const float d = Distance(query, vectors_[id].data());
+  for (size_t id = 0; id < nodes_.size(); ++id) {
+    if (obs::MetricsEnabled()) {
+      pending_distances_.fetch_add(1, std::memory_order_relaxed);
+    }
+    const float d = std::sqrt(
+        ops::SquaredDistance(query, vector(id), dim_));
     if (d <= radius) out.push_back(Neighbor{id, d});
   }
   std::sort(out.begin(), out.end());

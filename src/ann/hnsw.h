@@ -7,6 +7,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -18,8 +19,26 @@
 /// (§2.2.1, Definition 2.1) embeds subexpressions with the EMF's learned
 /// tree convolution and uses this index for threshold (radius) searches at
 /// O(log n) per query.
+///
+/// Distances: graph traversal compares squared L2 distances (sqrt is
+/// monotonic, so ordering is unchanged and the per-comparison sqrt of the
+/// original implementation is gone); results convert to true distance only at
+/// the radius-check / result boundary, so the public Neighbor contract is
+/// still true L2 distance.
+///
+/// Quantization: with SQ8 enabled (HnswOptions::quant, defaulting to the
+/// process-wide GEQO_QUANT switch), the index stores uint8 codes alongside
+/// the f32 vectors. Per-dimension min/max ranges are calibrated from the
+/// first `sq8_calibration` inserts, after which traversal distances use the
+/// asymmetric int8 kernel and the final beam is exactly reranked against the
+/// f32 vectors — quantization error can only reorder the beam's tail, never
+/// the reported distances.
 
 namespace geqo::ann {
+
+/// Index-level SQ8 switch: kAuto follows kernels::QuantEnabled() at
+/// construction time, the explicit settings pin it per index.
+enum class QuantOverride : int { kAuto = 0, kOff = 1, kOn = 2 };
 
 /// \brief Construction / search parameters.
 struct HnswOptions {
@@ -27,6 +46,11 @@ struct HnswOptions {
   size_t ef_construction = 100;   ///< beam width while inserting
   size_t ef_search = 64;          ///< default beam width while querying
   uint64_t seed = 0x9e3779b97f4aULL;
+  /// SQ8 storage for traversal distances (see file comment).
+  QuantOverride quant = QuantOverride::kAuto;
+  /// Number of inserts observed before the per-dimension ranges freeze and
+  /// codes are built; until then quantized indexes search in f32.
+  size_t sq8_calibration = 64;
 };
 
 /// \brief One search hit: element id plus its L2 distance to the query.
@@ -46,7 +70,8 @@ struct Neighbor {
 /// \brief An HNSW index over fixed-dimension float vectors.
 ///
 /// Vectors are copied in. Ids are assigned densely in insertion order.
-/// Single-threaded (consistent with the library's execution model).
+/// Adds are single-threaded; searches may run concurrently (consistent with
+/// the library's execution model).
 class HnswIndex {
  public:
   HnswIndex(size_t dim, HnswOptions options = HnswOptions());
@@ -65,23 +90,38 @@ class HnswIndex {
   std::vector<Neighbor> SearchRadius(const float* query, float radius,
                                      size_t ef = 0) const;
 
-  /// Exact (brute-force) radius search, for recall evaluation in tests.
+  /// Exact (brute-force, always f32) radius search, for recall evaluation.
   std::vector<Neighbor> ExactRadius(const float* query, float radius) const;
 
-  size_t size() const { return vectors_.size(); }
+  size_t size() const { return nodes_.size(); }
   size_t dim() const { return dim_; }
-  const float* vector(size_t id) const { return vectors_[id].data(); }
+  /// Stored f32 vector for \p id — 32-byte aligned (rows are padded to the
+  /// kernel alignment).
+  const float* vector(size_t id) const {
+    return vectors_.data() + id * padded_dim_;
+  }
   const HnswOptions& options() const { return options_; }
 
+  /// True when this index stores SQ8 codes (resolved from options().quant at
+  /// construction, or from the snapshot at load).
+  bool quantized() const { return quant_enabled_; }
+  /// True once the per-dimension ranges have frozen and traversal uses the
+  /// int8 kernel.
+  bool calibrated() const { return calibrated_; }
+
   /// Writes the complete index state — options, the rng's position in its
-  /// stream, all vectors, and the layered graph — to \p os. A deserialized
-  /// index continues to accept Add calls and produces bit-identical search
-  /// results and level assignments to the original.
+  /// stream, quantization ranges, all vectors, and the layered graph — to
+  /// \p os. A deserialized index continues to accept Add calls and produces
+  /// bit-identical search results and level assignments to the original.
   Status Serialize(std::ostream& os) const;
 
   /// Restores an index written by Serialize. Fails with a descriptive Status
-  /// (never aborts) on bad magic, version skew, truncation, or a graph that
-  /// violates structural invariants (out-of-range ids, level mismatches).
+  /// (never aborts) on bad magic, version skew, truncation, a corrupt
+  /// quantization range table, or a graph that violates structural
+  /// invariants (out-of-range ids, level mismatches). The quantization mode
+  /// stored in the snapshot wins over the current GEQO_QUANT environment, so
+  /// a loaded index reproduces the serving behavior it was built with; SQ8
+  /// codes are re-encoded deterministically from the stored f32 vectors.
   static Result<std::unique_ptr<HnswIndex>> Deserialize(std::istream& is);
 
  private:
@@ -91,16 +131,49 @@ class HnswIndex {
     std::vector<std::vector<uint32_t>> neighbors;
   };
 
-  float Distance(const float* a, const float* b) const;
+  /// Per-search state. Quantized traversal needs the query pre-shifted by
+  /// the per-dimension minima (so the range offsets cancel in the kernel);
+  /// building it once per search keeps Distance() scratch-free and searches
+  /// safely concurrent.
+  struct SearchContext {
+    const float* query;
+    /// query - min_, only populated when `quantized` is set.
+    AlignedVector<float> shifted;
+    bool quantized = false;
+    /// Per-search scratch for SearchLayer: a byte-mask visited set and the
+    /// two beam heaps, allocated once per search instead of per layer (the
+    /// hot serving probe was dominated by these allocations, not distance
+    /// math). Living in the context keeps concurrent searches safe.
+    std::vector<uint8_t> visited;
+    std::vector<Neighbor> best_heap;
+    std::vector<Neighbor> candidate_heap;
+  };
+
+  SearchContext MakeContext(const float* query) const;
+  /// Squared distance from the context's query to stored element \p id —
+  /// SQ8 approximate when the context is quantized, exact f32 otherwise.
+  float DistanceSq(const SearchContext& ctx, uint32_t id) const;
+  /// Exact f32 squared distance between two stored elements (link pruning).
+  float StoredDistanceSq(uint32_t a, uint32_t b) const;
+  /// Converts a beam of squared distances into true-distance neighbors,
+  /// exactly reranking against the f32 vectors when \p ctx is quantized.
+  std::vector<Neighbor> FinishBeam(const SearchContext& ctx,
+                                   std::vector<Neighbor> beam) const;
   /// Drains the pending distance/hop tallies into the metrics registry
   /// ("hnsw.distance_computations", "hnsw.hops"). Called at the end of every
   /// public operation so hot inner loops only touch the local atomics.
   void FoldMetrics() const;
   int RandomLevel();
+  /// Freezes min/max ranges and encodes all stored vectors.
+  void Calibrate();
+  /// Encodes stored element \p id into codes_ using the frozen ranges.
+  void EncodeVector(uint32_t id);
   /// Greedy descent in one layer starting from \p entry.
-  uint32_t GreedySearch(const float* query, uint32_t entry, int layer) const;
-  /// Beam search within a layer; returns up to \p ef closest, sorted.
-  std::vector<Neighbor> SearchLayer(const float* query, uint32_t entry,
+  uint32_t GreedySearch(const SearchContext& ctx, uint32_t entry,
+                        int layer) const;
+  /// Beam search within a layer; returns up to \p ef closest by squared
+  /// distance, sorted. Mutates only \p ctx's scratch buffers.
+  std::vector<Neighbor> SearchLayer(SearchContext& ctx, uint32_t entry,
                                     size_t ef, int layer) const;
   /// Links \p id to the closest \p max_links of \p candidates in \p layer,
   /// pruning back-links that overflow.
@@ -108,13 +181,28 @@ class HnswIndex {
                size_t max_links);
 
   size_t dim_;
+  /// dim_ rounded up to a whole number of 32-byte blocks; row stride of
+  /// vectors_ (floats) and codes_ (bytes use their own stride).
+  size_t padded_dim_;
+  size_t code_stride_;
   HnswOptions options_;
   double level_multiplier_;
   Rng rng_;
-  std::vector<std::vector<float>> vectors_;
+  /// Flat row-major storage, one padded row per element, 32-byte aligned.
+  AlignedVector<float> vectors_;
   std::vector<Node> nodes_;
   int max_level_ = -1;
   uint32_t entry_point_ = 0;
+
+  /// SQ8 state (see file comment). min_/scale_ have dim_ entries once
+  /// calibrated; codes_ is one padded row per element.
+  bool quant_enabled_ = false;
+  bool calibrated_ = false;
+  std::vector<float> range_min_;
+  std::vector<float> range_max_;
+  std::vector<float> scale_;
+  AlignedVector<uint8_t> codes_;
+
   /// Index-local observability tallies. Searches run concurrently from the
   /// VMF's parallel region, so these are relaxed atomics (statistics only);
   /// they are drained to the global registry by FoldMetrics.

@@ -1,0 +1,77 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+/// \file aligned.h
+/// 32-byte-aligned storage for the SIMD kernel layer (tensor/kernels). AVX2
+/// works on 32-byte lanes; keeping every tensor buffer and every HNSW vector
+/// row on a 32-byte boundary lets the vectorized kernels use aligned loads
+/// and keeps rows from straddling cache lines.
+
+namespace geqo {
+
+/// Alignment of every buffer the SIMD kernels touch. 32 bytes = one AVX2
+/// vector; also a half cache line, so an aligned row never splits a load.
+inline constexpr std::size_t kKernelAlignment = 32;
+
+/// \brief Minimal C++17 allocator handing out storage aligned to
+/// \p Alignment bytes. Drop-in std::vector allocator.
+template <typename T, std::size_t Alignment = kKernelAlignment>
+class AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T),
+                "alignment must not weaken the type's natural alignment");
+
+ public:
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t(Alignment)));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t(Alignment));
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// A std::vector whose data() is 32-byte aligned.
+template <typename T>
+using AlignedVector = std::vector<T, AlignedAllocator<T, kKernelAlignment>>;
+
+/// True when \p p sits on a kernel-alignment boundary.
+inline bool IsKernelAligned(const void* p) {
+  return reinterpret_cast<std::uintptr_t>(p) % kKernelAlignment == 0;
+}
+
+/// Rounds \p n elements of size \p element up so a row of that many elements
+/// spans a whole number of 32-byte blocks (e.g. floats round to multiples of
+/// 8, bytes to multiples of 32). Used as the row stride of packed
+/// vector/code storage so every row starts aligned.
+inline constexpr std::size_t AlignedStride(std::size_t n, std::size_t element) {
+  const std::size_t per_block = kKernelAlignment / element;
+  return (n + per_block - 1) / per_block * per_block;
+}
+
+}  // namespace geqo

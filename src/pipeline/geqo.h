@@ -59,6 +59,9 @@ struct StageReport {
   size_t pairs_in = 0;
   size_t pairs_out = 0;
   double seconds = 0.0;
+  /// Kernel table the stage's tensor work dispatched through ("scalar",
+  /// "avx2"), captured at stage entry.
+  std::string isa;
   /// Registry counter/gauge deltas observed while the stage ran (name,
   /// increment), sorted by name. Empty when GEQO_TRACE=off.
   std::vector<std::pair<std::string, double>> metrics;

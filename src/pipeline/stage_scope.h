@@ -4,6 +4,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "pipeline/geqo.h"
+#include "tensor/kernels/kernel_table.h"
 
 /// \file stage_scope.h
 /// Shared stage accounting for cascade runners. Both the batch pipeline
@@ -45,6 +46,7 @@ inline StageReport MakeStage(const char* name, bool enabled) {
   StageReport report;
   report.name = name;
   report.enabled = enabled;
+  report.isa = kernels::ActiveIsaName();
   return report;
 }
 

@@ -12,6 +12,7 @@
 #include "pipeline/geqo.h"
 #include "serve/union_find.h"
 #include "serve/verifier_memo.h"
+#include "tensor/kernels/kernel_table.h"
 
 /// \file equivalence_catalog.h
 /// The online serving layer (§1, §7.7): GEqO's motivating deployment is a
@@ -126,6 +127,16 @@ class EquivalenceCatalog {
   const CatalogStats& stats() const { return stats_; }
   size_t memo_size() const { return memo_.size(); }
   const CatalogOptions& options() const { return options_; }
+
+  /// Kernel table the catalog's tensor work dispatches through ("scalar",
+  /// "avx2") — process-wide, surfaced here so serving reports and bench
+  /// artifacts can tag their numbers.
+  const char* kernel_isa() const { return kernels::ActiveIsaName(); }
+  /// True when the catalog's HNSW index stores SQ8 codes ("sq8" vs "f32"
+  /// serving mode; resolved at construction or snapshot load).
+  bool index_quantized() const {
+    return index_ != nullptr && index_->quantized();
+  }
 
   /// Writes the versioned snapshot: header (magic, version, db-catalog
   /// fingerprint, embedding dim), per-entry canonical hashes, the HNSW

@@ -1,0 +1,109 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+/// \file kernel_table.h
+/// Runtime ISA dispatch for the tensor hot loops.
+///
+/// Every arithmetic inner loop in the cascade — MatMul for EMF inference,
+/// SquaredDistance for HNSW search, and the elementwise ops — funnels through
+/// one function-pointer table selected once at startup. Two implementations
+/// exist: a portable scalar table whose arithmetic is bit-identical to the
+/// historical loops in tensor.cc, and an AVX2+FMA table compiled in its own
+/// translation unit (the only TU built with -mavx2 -mfma, keeping the rest of
+/// the binary portable). Selection order:
+///
+///   1. `GEQO_ISA=scalar|avx2|auto` env override, read once at first use.
+///      `avx2` on a host without AVX2 support logs a warning and falls back.
+///   2. `auto` (default): CPUID probe — AVX2+FMA present picks the AVX2 table.
+///
+/// Benches and tests can flip tables after startup with SetIsa(); production
+/// code never does. A separate process-wide quantization switch (`GEQO_QUANT`,
+/// SetQuantMode) gates the int8 paths layered on top of the f32 kernels; the
+/// two knobs are independent — quantized distances work (slower) on the
+/// scalar table too, which is what makes parity testing possible.
+
+namespace geqo::kernels {
+
+/// Instruction sets a kernel table can be built for.
+enum class Isa : int {
+  kScalar = 0,
+  kAvx2 = 1,
+};
+
+/// One entry point per hot loop. Pointer parameters follow the historical
+/// tensor.cc conventions: contiguous f32 rows, no aliasing between source and
+/// destination unless the name says "in place" (dst-accumulating ops read and
+/// write dst only at the same index, so dst==src is still well-defined).
+struct KernelTable {
+  /// Strict-order reference semantics are defined by the scalar table; SIMD
+  /// tables may reassociate float sums (documented ULP tolerance), but all
+  /// integer kernels must be exact across tables.
+  const char* name;
+
+  /// sum_i a[i]*b[i]
+  float (*dot)(const float* a, const float* b, std::size_t n);
+  /// y[i] += a * x[i]
+  void (*axpy)(float a, const float* x, float* y, std::size_t n);
+  /// sum_i (a[i]-b[i])^2
+  float (*squared_distance)(const float* a, const float* b, std::size_t n);
+  /// dst[i] += src[i]
+  void (*add)(float* dst, const float* src, std::size_t n);
+  /// dst[i] -= src[i]
+  void (*sub)(float* dst, const float* src, std::size_t n);
+  /// dst[i] *= src[i]
+  void (*mul)(float* dst, const float* src, std::size_t n);
+  /// dst[i] *= s
+  void (*scale)(float* dst, float s, std::size_t n);
+  /// Asymmetric SQ8 distance (ADC): sum_i (t[i] - scale[i]*codes[i])^2.
+  /// The caller pre-subtracts the per-dimension minimum from the query so
+  /// t = query - min; the stored side decodes as min + scale*code and the
+  /// min offsets cancel. Query side stays f32, so only the stored vector
+  /// carries quantization error.
+  float (*sq8_distance)(const float* t, const float* scale,
+                        const std::uint8_t* codes, std::size_t n);
+  /// sum_i a[i]*b[i] in int32 — exact, table-independent (used by the
+  /// quantized EMF batch path, which must be bit-identical across ISAs).
+  std::int32_t (*dot_i8)(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n);
+};
+
+/// The table every op dispatches through. First call resolves GEQO_ISA /
+/// CPUID; subsequent calls are a single atomic load.
+const KernelTable& Active();
+
+/// Currently active ISA / its lower-case name ("scalar", "avx2").
+Isa ActiveIsa();
+const char* ActiveIsaName();
+
+/// Metrics counter name for the active table, e.g. "kernel.dispatch.avx2".
+const char* DispatchCounterName();
+
+/// Portable reference table (always available).
+const KernelTable& ScalarTable();
+
+/// AVX2+FMA table, or nullptr when the binary was built without AVX2 support
+/// or the host CPU lacks AVX2/FMA. Defined in kernels_avx2.cc.
+const KernelTable* Avx2TableOrNull();
+
+/// Forces the active table (benches / parity tests). Returns false and leaves
+/// the table unchanged when \p isa is unavailable on this build/host.
+bool SetIsa(Isa isa);
+
+/// Parses "scalar" / "avx2" / "auto" (case-sensitive, as documented for
+/// GEQO_ISA). Returns false on an unrecognised spec. "auto" resolves to the
+/// best ISA the host supports.
+bool ResolveIsaSpec(const std::string& spec, Isa* out);
+
+/// Process-wide int8 switch: when on, HNSW indexes default to SQ8 storage and
+/// Linear::Infer quantizes large batches. Resolved once from `GEQO_QUANT`
+/// (truthy: "1", "on", "true"); SetQuantMode overrides it at runtime.
+bool QuantEnabled();
+void SetQuantMode(bool on);
+
+/// "sq8" or "f32" — for StageReport tags and bench artifacts.
+const char* QuantModeName();
+
+}  // namespace geqo::kernels

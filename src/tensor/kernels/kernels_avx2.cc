@@ -1,0 +1,209 @@
+#include "tensor/kernels/kernel_table.h"
+
+/// \file kernels_avx2.cc
+/// AVX2+FMA kernels. This is the only translation unit in the tree compiled
+/// with -mavx2 -mfma (see src/tensor/CMakeLists.txt); everything here is
+/// fenced behind GEQO_KERNELS_AVX2 so the file still links into portable
+/// builds, where Avx2TableOrNull() simply reports "unavailable".
+///
+/// Accuracy contract: float reductions use four independent accumulators and
+/// a lane-tree horizontal sum, so dot/squared_distance/sq8_distance may
+/// differ from the scalar table by reassociation only (tested to a small ULP
+/// bound in kernels_test). Elementwise ops and dot_i8 are exact — identical
+/// bits to the scalar table — because per-element float ops and int32
+/// arithmetic don't reassociate. (axpy uses FMA, so its single rounding per
+/// element can differ from scalar mul+add by <= 1 ULP per update.)
+
+#if defined(GEQO_KERNELS_AVX2)
+
+#include <immintrin.h>
+
+namespace geqo::kernels {
+namespace {
+
+float Hsum(__m256 v) {
+  __m128 s = _mm_add_ps(_mm256_castps256_ps128(v), _mm256_extractf128_ps(v, 1));
+  s = _mm_add_ps(s, _mm_movehl_ps(s, s));
+  s = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x55));
+  return _mm_cvtss_f32(s);
+}
+
+std::int32_t HsumI32(__m256i v) {
+  __m128i s =
+      _mm_add_epi32(_mm256_castsi256_si128(v), _mm256_extracti128_si256(v, 1));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 8));
+  s = _mm_add_epi32(s, _mm_srli_si128(s, 4));
+  return _mm_cvtsi128_si32(s);
+}
+
+float DotAvx2(const float* a, const float* b, std::size_t n) {
+  // Four accumulators break the FMA dependency chain that makes the scalar
+  // loop latency-bound; loads are unaligned-tolerant so callers with
+  // arbitrary row offsets (transpose variants, tails) stay correct.
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  __m256 acc2 = _mm256_setzero_ps();
+  __m256 acc3 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+    acc1 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8),
+                           acc1);
+    acc2 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 16),
+                           _mm256_loadu_ps(b + i + 16), acc2);
+    acc3 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i + 24),
+                           _mm256_loadu_ps(b + i + 24), acc3);
+  }
+  for (; i + 8 <= n; i += 8) {
+    acc0 = _mm256_fmadd_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i), acc0);
+  }
+  float sum = Hsum(_mm256_add_ps(_mm256_add_ps(acc0, acc1),
+                                 _mm256_add_ps(acc2, acc3)));
+  for (; i < n; ++i) sum += a[i] * b[i];
+  return sum;
+}
+
+void AxpyAvx2(float a, const float* x, float* y, std::size_t n) {
+  const __m256 va = _mm256_set1_ps(a);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        y + i, _mm256_fmadd_ps(va, _mm256_loadu_ps(x + i), _mm256_loadu_ps(y + i)));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+float SquaredDistanceAvx2(const float* a, const float* b, std::size_t n) {
+  __m256 acc0 = _mm256_setzero_ps();
+  __m256 acc1 = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256 d0 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    const __m256 d1 =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i + 8), _mm256_loadu_ps(b + i + 8));
+    acc0 = _mm256_fmadd_ps(d0, d0, acc0);
+    acc1 = _mm256_fmadd_ps(d1, d1, acc1);
+  }
+  for (; i + 8 <= n; i += 8) {
+    const __m256 d =
+        _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc0 = _mm256_fmadd_ps(d, d, acc0);
+  }
+  float sum = Hsum(_mm256_add_ps(acc0, acc1));
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+void AddAvx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_add_ps(_mm256_loadu_ps(dst + i), _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void SubAvx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_sub_ps(_mm256_loadu_ps(dst + i), _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+void MulAvx2(float* dst, const float* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(
+        dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), _mm256_loadu_ps(src + i)));
+  }
+  for (; i < n; ++i) dst[i] *= src[i];
+}
+
+void ScaleAvx2(float* dst, float s, std::size_t n) {
+  const __m256 vs = _mm256_set1_ps(s);
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    _mm256_storeu_ps(dst + i, _mm256_mul_ps(_mm256_loadu_ps(dst + i), vs));
+  }
+  for (; i < n; ++i) dst[i] *= s;
+}
+
+float Sq8DistanceAvx2(const float* t, const float* scale,
+                      const std::uint8_t* codes, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    // 8 uint8 codes -> 8 int32 lanes -> f32, then d = t - scale*code.
+    const __m256 c = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(codes + i))));
+    const __m256 d = _mm256_fnmadd_ps(_mm256_loadu_ps(scale + i), c,
+                                      _mm256_loadu_ps(t + i));
+    acc = _mm256_fmadd_ps(d, d, acc);
+  }
+  float sum = Hsum(acc);
+  for (; i < n; ++i) {
+    const float d = t[i] - scale[i] * static_cast<float>(codes[i]);
+    sum += d * d;
+  }
+  return sum;
+}
+
+std::int32_t DotI8Avx2(const std::int8_t* a, const std::int8_t* b,
+                       std::size_t n) {
+  // 16 int8 pairs per step: widen to i16, madd to pairwise i32 sums. i16*i16
+  // products accumulate in i32 inside madd, so the result is exact and
+  // bit-identical to the scalar table.
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  std::int32_t sum = HsumI32(acc);
+  for (; i < n; ++i) {
+    sum += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return sum;
+}
+
+constexpr KernelTable kAvx2Table = {
+    "avx2",         DotAvx2, AxpyAvx2, SquaredDistanceAvx2,
+    AddAvx2,        SubAvx2, MulAvx2,  ScaleAvx2,
+    Sq8DistanceAvx2, DotI8Avx2,
+};
+
+bool HostSupportsAvx2Fma() {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+const KernelTable* Avx2TableOrNull() {
+  static const bool supported = HostSupportsAvx2Fma();
+  return supported ? &kAvx2Table : nullptr;
+}
+
+}  // namespace geqo::kernels
+
+#else  // !GEQO_KERNELS_AVX2
+
+namespace geqo::kernels {
+
+const KernelTable* Avx2TableOrNull() { return nullptr; }
+
+}  // namespace geqo::kernels
+
+#endif  // GEQO_KERNELS_AVX2

@@ -1,0 +1,78 @@
+#include "tensor/kernels/kernel_table.h"
+
+/// \file kernels_scalar.cc
+/// Portable reference kernels. These loops ARE the pre-dispatch tensor.cc
+/// arithmetic, moved verbatim: strict left-to-right accumulation, no
+/// reassociation, no FMA contraction surprises beyond what the base compile
+/// flags already allowed. The forced-`GEQO_ISA=scalar` CI lane asserts the
+/// pipeline output is bit-identical to the pre-dispatch code, so treat any
+/// change to the float ordering here as a format break.
+
+namespace geqo::kernels {
+namespace {
+
+float DotScalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void AxpyScalar(float a, const float* x, float* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += a * x[i];
+}
+
+float SquaredDistanceScalar(const float* a, const float* b, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+void AddScalar(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void SubScalar(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+void MulScalar(float* dst, const float* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= src[i];
+}
+
+void ScaleScalar(float* dst, float s, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= s;
+}
+
+float Sq8DistanceScalar(const float* t, const float* scale,
+                        const std::uint8_t* codes, std::size_t n) {
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < n; ++i) {
+    const float d = t[i] - scale[i] * static_cast<float>(codes[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::int32_t DotI8Scalar(const std::int8_t* a, const std::int8_t* b,
+                         std::size_t n) {
+  std::int32_t acc = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += static_cast<std::int32_t>(a[i]) * static_cast<std::int32_t>(b[i]);
+  }
+  return acc;
+}
+
+constexpr KernelTable kScalarTable = {
+    "scalar",         DotScalar, AxpyScalar, SquaredDistanceScalar,
+    AddScalar,        SubScalar, MulScalar,  ScaleScalar,
+    Sq8DistanceScalar, DotI8Scalar,
+};
+
+}  // namespace
+
+const KernelTable& ScalarTable() { return kScalarTable; }
+
+}  // namespace geqo::kernels

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/metrics.h"
+#include "tensor/kernels/kernel_table.h"
 
 namespace geqo {
 
@@ -22,6 +23,7 @@ void CountKernel(double flops) {
   if (obs::MetricsEnabled()) {
     auto& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("tensor.dispatches").Increment();
+    registry.GetCounter(kernels::DispatchCounterName()).Increment();
     registry.GetGauge("tensor.flops").Add(flops);
   }
 }
@@ -32,6 +34,27 @@ void CountKernel(double flops) {
 /// increasing order per output element, so results are bit-identical to the
 /// unblocked ikj kernel (and independent of the blocking factor).
 constexpr size_t kMatMulKBlock = 64;
+
+/// Quantizes one f32 row to int8 with symmetric maxabs/127 scaling, zeroing
+/// the padded tail. Returns the dequantization scale (maxabs / 127). Plain
+/// scalar code on purpose: quantization must produce the same codes whatever
+/// kernel table is active, so only the (exact) int8 dot goes through the
+/// table.
+float QuantizeRowI8(const float* row, size_t n, int8_t* out, size_t stride) {
+  float maxabs = 0.0f;
+  for (size_t i = 0; i < n; ++i) maxabs = std::max(maxabs, std::fabs(row[i]));
+  if (maxabs == 0.0f) {
+    std::fill(out, out + stride, static_cast<int8_t>(0));
+    return 0.0f;
+  }
+  const float inv = 127.0f / maxabs;
+  for (size_t i = 0; i < n; ++i) {
+    const long q = std::lrint(row[i] * inv);
+    out[i] = static_cast<int8_t>(std::clamp(q, -127L, 127L));
+  }
+  std::fill(out + n, out + stride, static_cast<int8_t>(0));
+  return maxabs / 127.0f;
+}
 
 }  // namespace
 
@@ -46,11 +69,11 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   Tensor out(m, n);
   CountKernel(2.0 * static_cast<double>(m) * static_cast<double>(n) *
               static_cast<double>(k));
+  const kernels::KernelTable& kt = kernels::Active();
 
   if (!transpose_a && !transpose_b) {
     // Blocked ikj: k is tiled so the active panel of b stays cache-resident
-    // across output rows; the j loop is a contiguous axpy the compiler
-    // vectorizes.
+    // across output rows; the j loop is a contiguous axpy.
     for (size_t k0 = 0; k0 < k; k0 += kMatMulKBlock) {
       const size_t k1 = std::min(k0 + kMatMulKBlock, k);
       for (size_t i = 0; i < m; ++i) {
@@ -59,8 +82,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
         for (size_t kk = k0; kk < k1; ++kk) {
           const float a_ik = a_row[kk];
           if (a_ik == 0.0f) continue;
-          const float* b_row = b.Row(kk);
-          for (size_t j = 0; j < n; ++j) out_row[j] += a_ik * b_row[j];
+          kt.axpy(a_ik, b.Row(kk), out_row, n);
         }
       }
     }
@@ -74,10 +96,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
       const float* a_row = a.Row(i);
       float* out_row = out.Row(i);
       for (size_t j = 0; j < n; ++j) {
-        const float* b_row = b.Row(j);
-        float acc = 0.0f;
-        for (size_t kk = 0; kk < k; ++kk) acc += a_row[kk] * b_row[kk];
-        out_row[j] = acc;
+        out_row[j] = kt.dot(a_row, b.Row(j), k);
       }
     }
     return out;
@@ -92,8 +111,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
       for (size_t i = 0; i < m; ++i) {
         const float a_ki = a_row[i];
         if (a_ki == 0.0f) continue;
-        float* out_row = out.Row(i);
-        for (size_t j = 0; j < n; ++j) out_row[j] += a_ki * b_row[j];
+        kt.axpy(a_ki, b_row, out.Row(i), n);
       }
     }
     return out;
@@ -110,13 +128,49 @@ Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a,
   return out;
 }
 
+Tensor MatMulNTSq8(const Tensor& a, const Tensor& b) {
+  GEQO_CHECK(a.cols() == b.cols())
+      << "MatMulNTSq8 shape mismatch: " << a.ShapeString() << " x "
+      << b.ShapeString();
+  const size_t m = a.rows();
+  const size_t n = b.rows();
+  const size_t k = a.cols();
+  Tensor out(m, n);
+  CountKernel(2.0 * static_cast<double>(m) * static_cast<double>(n) *
+              static_cast<double>(k));
+  const kernels::KernelTable& kt = kernels::Active();
+
+  // Rows are padded to the kernel alignment with zero codes; zeros add
+  // nothing to the integer dot, so the padded length can be passed straight
+  // to dot_i8 and every row starts 32-byte aligned.
+  const size_t stride = AlignedStride(k, sizeof(int8_t));
+  AlignedVector<int8_t> qa(m * stride);
+  AlignedVector<int8_t> qb(n * stride);
+  std::vector<float> scale_a(m);
+  std::vector<float> scale_b(n);
+  for (size_t i = 0; i < m; ++i) {
+    scale_a[i] = QuantizeRowI8(a.Row(i), k, qa.data() + i * stride, stride);
+  }
+  for (size_t j = 0; j < n; ++j) {
+    scale_b[j] = QuantizeRowI8(b.Row(j), k, qb.data() + j * stride, stride);
+  }
+
+  for (size_t i = 0; i < m; ++i) {
+    const int8_t* qa_row = qa.data() + i * stride;
+    float* out_row = out.Row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const int32_t acc = kt.dot_i8(qa_row, qb.data() + j * stride, stride);
+      out_row[j] = static_cast<float>(acc) * scale_a[i] * scale_b[j];
+    }
+  }
+  return out;
+}
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor out = a;
   CountKernel(static_cast<double>(a.size()));
-  const float* src = b.data();
-  float* dst = out.data();
-  for (size_t i = 0; i < out.size(); ++i) dst[i] += src[i];
+  kernels::Active().add(out.data(), b.data(), out.size());
   return out;
 }
 
@@ -124,9 +178,7 @@ Tensor Sub(const Tensor& a, const Tensor& b) {
   GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor out = a;
   CountKernel(static_cast<double>(a.size()));
-  const float* src = b.data();
-  float* dst = out.data();
-  for (size_t i = 0; i < out.size(); ++i) dst[i] -= src[i];
+  kernels::Active().sub(out.data(), b.data(), out.size());
   return out;
 }
 
@@ -134,43 +186,39 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
   GEQO_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
   Tensor out = a;
   CountKernel(static_cast<double>(a.size()));
-  const float* src = b.data();
-  float* dst = out.data();
-  for (size_t i = 0; i < out.size(); ++i) dst[i] *= src[i];
+  kernels::Active().mul(out.data(), b.data(), out.size());
   return out;
 }
 
 Tensor Scale(const Tensor& a, float scalar) {
   Tensor out = a;
   CountKernel(static_cast<double>(a.size()));
-  for (float& v : out.mutable_values()) v *= scalar;
+  kernels::Active().scale(out.data(), scalar, out.size());
   return out;
 }
 
 void AddInPlace(Tensor* a, const Tensor& b) {
   GEQO_CHECK(a->rows() == b.rows() && a->cols() == b.cols());
   CountKernel(static_cast<double>(a->size()));
-  const float* src = b.data();
-  float* dst = a->data();
-  for (size_t i = 0; i < a->size(); ++i) dst[i] += src[i];
+  kernels::Active().add(a->data(), b.data(), a->size());
 }
 
 void AddRowVectorInPlace(Tensor* a, const Tensor& bias) {
   GEQO_CHECK(bias.rows() == 1 && bias.cols() == a->cols());
   CountKernel(static_cast<double>(a->size()));
+  const kernels::KernelTable& kt = kernels::Active();
   const float* b = bias.data();
   for (size_t r = 0; r < a->rows(); ++r) {
-    float* row = a->Row(r);
-    for (size_t c = 0; c < a->cols(); ++c) row[c] += b[c];
+    kt.add(a->Row(r), b, a->cols());
   }
 }
 
 Tensor ColumnSum(const Tensor& a) {
   Tensor out(1, a.cols());
   CountKernel(static_cast<double>(a.size()));
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t r = 0; r < a.rows(); ++r) {
-    const float* row = a.Row(r);
-    for (size_t c = 0; c < a.cols(); ++c) out.At(0, c) += row[c];
+    kt.add(out.Row(0), a.Row(r), a.cols());
   }
   return out;
 }
@@ -178,11 +226,10 @@ Tensor ColumnSum(const Tensor& a) {
 Tensor RowNorms(const Tensor& a) {
   Tensor out(1, a.rows());
   CountKernel(2.0 * static_cast<double>(a.size()));
+  const kernels::KernelTable& kt = kernels::Active();
   for (size_t r = 0; r < a.rows(); ++r) {
     const float* row = a.Row(r);
-    float acc = 0.0f;
-    for (size_t c = 0; c < a.cols(); ++c) acc += row[c] * row[c];
-    out.At(0, r) = std::sqrt(acc);
+    out.At(0, r) = std::sqrt(kt.dot(row, row, a.cols()));
   }
   return out;
 }
@@ -209,12 +256,7 @@ Tensor ConcatColumns(const Tensor& a, const Tensor& b) {
 }
 
 float SquaredDistance(const float* a, const float* b, size_t n) {
-  float acc = 0.0f;
-  for (size_t i = 0; i < n; ++i) {
-    const float d = a[i] - b[i];
-    acc += d * d;
-  }
-  return acc;
+  return kernels::Active().squared_distance(a, b, n);
 }
 
 }  // namespace ops

@@ -6,6 +6,7 @@
 #include <string>
 #include <vector>
 
+#include "common/aligned.h"
 #include "common/check.h"
 #include "common/rng.h"
 
@@ -39,19 +40,20 @@ class Tensor {
     }
     return out;
   }
-  static Tensor FromVector(std::vector<float> values) {
+  static Tensor FromVector(const std::vector<float>& values) {
     Tensor out;
     out.rows_ = 1;
     out.cols_ = values.size();
-    out.data_ = std::move(values);
+    out.data_.assign(values.begin(), values.end());
     return out;
   }
-  static Tensor FromRows(size_t rows, size_t cols, std::vector<float> values) {
+  static Tensor FromRows(size_t rows, size_t cols,
+                         const std::vector<float>& values) {
     GEQO_CHECK(values.size() == rows * cols);
     Tensor out;
     out.rows_ = rows;
     out.cols_ = cols;
-    out.data_ = std::move(values);
+    out.data_.assign(values.begin(), values.end());
     return out;
   }
 
@@ -72,8 +74,8 @@ class Tensor {
   const float* Row(size_t r) const { return data_.data() + r * cols_; }
   float* data() { return data_.data(); }
   const float* data() const { return data_.data(); }
-  const std::vector<float>& values() const { return data_; }
-  std::vector<float>& mutable_values() { return data_; }
+  const AlignedVector<float>& values() const { return data_; }
+  AlignedVector<float>& mutable_values() { return data_; }
 
   /// Reinterprets the buffer with a new shape of identical element count.
   Tensor Reshaped(size_t rows, size_t cols) const {
@@ -103,7 +105,11 @@ class Tensor {
  private:
   size_t rows_ = 0;
   size_t cols_ = 0;
-  std::vector<float> data_;
+  /// 32-byte aligned so the buffer's first element satisfies the SIMD
+  /// kernels' aligned-load fast path (rows after the first are only aligned
+  /// when cols is a multiple of 8; the kernels use unaligned-tolerant loads,
+  /// so this is a performance property, not a correctness requirement).
+  AlignedVector<float> data_;
 };
 
 /// \brief Counters for kernel dispatches and floating point work, used by the
@@ -141,6 +147,14 @@ namespace ops {
 /// C = A x B (optionally transposing either input). Shapes must agree.
 Tensor MatMul(const Tensor& a, const Tensor& b, bool transpose_a = false,
               bool transpose_b = false);
+
+/// C = A x B^T via dynamic int8 quantization: each row of A and of B is
+/// scaled symmetrically (maxabs / 127) to int8, products accumulate exactly
+/// in int32, and the result is dequantized by the two row scales. Used by the
+/// quantized EMF batch-inference path; the int8 arithmetic is bit-identical
+/// across ISA tables (only the quantization itself is lossy). Requires
+/// a.cols() == b.cols().
+Tensor MatMulNTSq8(const Tensor& a, const Tensor& b);
 
 /// out = a + b (elementwise, same shape).
 Tensor Add(const Tensor& a, const Tensor& b);

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <string>
@@ -367,6 +368,53 @@ TEST(HnswLintTest, CleanIndexAndCorruptions) {
 
   const Diagnostics trailing = LintArtifactBytes(bytes + "junk");
   EXPECT_TRUE(HasCode(trailing, "hnsw.trailing")) << CodesOf(trailing);
+}
+
+TEST(HnswLintTest, CorruptedCalibrationIsNamed) {
+  ann::HnswOptions options;
+  options.quant = ann::QuantOverride::kOn;
+  options.sq8_calibration = 8;
+  ann::HnswIndex index(4, options);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    index.Add({rng.NextFloat(), rng.NextFloat(), rng.NextFloat(),
+               rng.NextFloat()});
+  }
+  std::ostringstream out;
+  GEQO_CHECK_OK(index.Serialize(out));
+  const std::string bytes = out.str();
+  EXPECT_TRUE(LintArtifactBytes(bytes).empty())
+      << CodesOf(LintArtifactBytes(bytes));
+
+  // Quant block layout: 7 header u64s, then quant_enabled / threshold /
+  // calibrated u64s, the HNSWSQ8! sub-magic, and the per-dim range table.
+  const size_t quant_offset = 7 * sizeof(uint64_t);
+  const size_t magic_offset = 10 * sizeof(uint64_t);
+  const size_t table_offset = 11 * sizeof(uint64_t);
+
+  std::string bad_flag = bytes;
+  bad_flag[quant_offset] = 7;  // quant_enabled must be 0 or 1
+  const Diagnostics flag = LintArtifactBytes(bad_flag);
+  EXPECT_TRUE(HasCode(flag, "hnsw.quant")) << CodesOf(flag);
+
+  std::string bad_magic = bytes;
+  bad_magic[magic_offset] ^= 0x5a;
+  const Diagnostics magic = LintArtifactBytes(bad_magic);
+  EXPECT_TRUE(HasCode(magic, "hnsw.quant-magic")) << CodesOf(magic);
+
+  // Swap the first (min, max) pair so min > max.
+  std::string bad_range = bytes;
+  float range_min = 0.0f;
+  float range_max = 0.0f;
+  std::memcpy(&range_min, bad_range.data() + table_offset, sizeof(float));
+  std::memcpy(&range_max, bad_range.data() + table_offset + sizeof(float),
+              sizeof(float));
+  ASSERT_LT(range_min, range_max);
+  std::memcpy(bad_range.data() + table_offset, &range_max, sizeof(float));
+  std::memcpy(bad_range.data() + table_offset + sizeof(float), &range_min,
+              sizeof(float));
+  const Diagnostics range = LintArtifactBytes(bad_range);
+  EXPECT_TRUE(HasCode(range, "hnsw.quant-range")) << CodesOf(range);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "ann/hnsw.h"
+#include "encode/encoding.h"
+#include "filters/vmf.h"
+#include "ml/emf_model.h"
+#include "ml/trainer.h"
+#include "tensor/kernels/kernel_table.h"
+#include "workload/labeled_data.h"
+#include "workload/schemas.h"
+
+/// Quantization accuracy budget on the seed workload (DESIGN.md §9): SQ8
+/// approximations must stay within a stated epsilon of the f32 baseline —
+/// EMF AUC within 0.02, VMF radius-search recall within 0.05. A fast path
+/// that loses more than that just shifts cost back onto the verifier tier,
+/// defeating the cascade.
+
+namespace geqo {
+namespace {
+
+constexpr double kEmfAucEpsilon = 0.02;
+constexpr double kVmfRecallEpsilon = 0.05;
+
+/// Flips the process-wide quant switch for one scope.
+class QuantGuard {
+ public:
+  explicit QuantGuard(bool on) : saved_(kernels::QuantEnabled()) {
+    kernels::SetQuantMode(on);
+  }
+  ~QuantGuard() { kernels::SetQuantMode(saved_); }
+
+ private:
+  bool saved_;
+};
+
+/// Rank-based AUC (probability a positive outscores a negative; ties count
+/// half).
+double Auc(const std::vector<float>& scores, const std::vector<float>& labels) {
+  double pairs = 0.0;
+  double wins = 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (labels[i] < 0.5f) continue;
+    for (size_t j = 0; j < scores.size(); ++j) {
+      if (labels[j] >= 0.5f) continue;
+      pairs += 1.0;
+      if (scores[i] > scores[j]) {
+        wins += 1.0;
+      } else if (scores[i] == scores[j]) {
+        wins += 0.5;
+      }
+    }
+  }
+  return pairs > 0.0 ? wins / pairs : 0.0;
+}
+
+/// Shared trained-model fixture (same shape as pipeline_test's): a small
+/// TPC-H-trained EMF built once for the suite.
+class QuantTest : public ::testing::Test {
+ protected:
+  struct Shared {
+    Catalog catalog = MakeTpchCatalog();
+    EncodingLayout instance_layout = EncodingLayout::FromCatalog(catalog);
+    EncodingLayout agnostic_layout = EncodingLayout::Agnostic(6, 8);
+    std::unique_ptr<ml::EmfModel> model;
+    ValueRange value_range{0, 100};
+    ml::PairDataset eval;
+    /// Instance encodings of the eval lhs plans (EmbedSingle's input form —
+    /// the dataset's plans are already agnostic-converted).
+    std::vector<EncodedPlan> eval_instance;
+  };
+
+  static Shared& shared() {
+    static Shared* instance = [] {
+      auto* s = new Shared();
+      ml::EmfModelOptions model_options;
+      model_options.input_dim = s->agnostic_layout.node_vector_size();
+      model_options.conv1_size = 32;
+      model_options.conv2_size = 32;
+      model_options.fc1_size = 32;
+      model_options.fc2_size = 16;
+      model_options.dropout = 0.2f;
+      s->model = std::make_unique<ml::EmfModel>(model_options);
+
+      Rng rng(71);
+      LabeledDataOptions data_options;
+      data_options.num_base_queries = 40;
+      data_options.variants_per_query = 3;
+      auto pairs = BuildLabeledPairs(s->catalog, data_options, &rng);
+      GEQO_CHECK(pairs.ok());
+      auto dataset =
+          EncodeLabeledPairs(*pairs, s->catalog, s->instance_layout,
+                             s->agnostic_layout, s->value_range);
+      GEQO_CHECK(dataset.ok());
+      ml::TrainOptions train_options;
+      train_options.epochs = 10;
+      ml::EmfTrainer trainer(s->model.get(), train_options);
+      trainer.Train(*dataset);
+
+      // Held-out pairs from a different generator stream for evaluation.
+      Rng eval_rng(1234);
+      LabeledDataOptions eval_options;
+      eval_options.num_base_queries = 24;
+      eval_options.variants_per_query = 2;
+      auto eval_pairs = BuildLabeledPairs(s->catalog, eval_options, &eval_rng);
+      GEQO_CHECK(eval_pairs.ok());
+      auto eval =
+          EncodeLabeledPairs(*eval_pairs, s->catalog, s->instance_layout,
+                             s->agnostic_layout, s->value_range);
+      GEQO_CHECK(eval.ok());
+      s->eval = std::move(*eval);
+
+      PlanEncoder encoder(&s->instance_layout, &s->catalog, s->value_range);
+      for (const auto& pair : *eval_pairs) {
+        auto encoded = encoder.Encode(pair.lhs);
+        GEQO_CHECK(encoded.ok());
+        s->eval_instance.push_back(std::move(*encoded));
+      }
+      return s;
+    }();
+    return *instance;
+  }
+
+  /// Scores every eval pair in one batch (large enough to take the
+  /// quantized Linear path when quant is on).
+  static std::vector<float> ScoreEval() {
+    Shared& s = shared();
+    std::vector<const EncodedPlan*> lhs;
+    std::vector<const EncodedPlan*> rhs;
+    for (size_t i = 0; i < s.eval.lhs.size(); ++i) {
+      lhs.push_back(&s.eval.lhs[i]);
+      rhs.push_back(&s.eval.rhs[i]);
+    }
+    const Tensor proba = s.model->PredictProba(lhs, rhs);
+    std::vector<float> scores(proba.size());
+    for (size_t i = 0; i < proba.size(); ++i) scores[i] = proba.values()[i];
+    return scores;
+  }
+
+  /// Singleton-map embeddings of the eval set's lhs plans.
+  static std::vector<std::vector<float>> EvalEmbeddings() {
+    Shared& s = shared();
+    VectorMatchingFilter vmf(s.model.get(), &s.instance_layout,
+                             &s.agnostic_layout);
+    std::vector<std::vector<float>> embeddings;
+    for (const EncodedPlan& plan : s.eval_instance) {
+      auto embedding = vmf.EmbedSingle(plan);
+      GEQO_CHECK(embedding.ok());
+      embeddings.push_back(std::move(*embedding));
+    }
+    return embeddings;
+  }
+};
+
+TEST_F(QuantTest, EmfAucWithinEpsilonOfF32) {
+  Shared& s = shared();
+  std::vector<float> f32_scores;
+  std::vector<float> sq8_scores;
+  {
+    QuantGuard off(false);
+    f32_scores = ScoreEval();
+  }
+  {
+    QuantGuard on(true);
+    sq8_scores = ScoreEval();
+  }
+  const double f32_auc = Auc(f32_scores, s.eval.labels);
+  const double sq8_auc = Auc(sq8_scores, s.eval.labels);
+  // The baseline itself must be informative for the comparison to mean
+  // anything.
+  EXPECT_GT(f32_auc, 0.7) << "f32 baseline degenerate";
+  EXPECT_GE(sq8_auc, f32_auc - kEmfAucEpsilon)
+      << "f32 AUC " << f32_auc << " vs SQ8 AUC " << sq8_auc;
+}
+
+TEST_F(QuantTest, VmfRadiusRecallWithinEpsilonOfF32) {
+  // Distinct embeddings only: equivalent variants embed identically, and a
+  // duplicate-heavy set degrades HNSW graph connectivity for f32 and SQ8
+  // alike, drowning the comparison in graph noise.
+  std::vector<std::vector<float>> embeddings;
+  for (auto& embedding : EvalEmbeddings()) {
+    if (std::find(embeddings.begin(), embeddings.end(), embedding) ==
+        embeddings.end()) {
+      embeddings.push_back(std::move(embedding));
+    }
+  }
+  ASSERT_GE(embeddings.size(), 16u);
+  const size_t dim = embeddings[0].size();
+
+  // Radius chosen from the data: median nearest-neighbor distance times a
+  // small factor, so every query has a non-trivial exact result set.
+  std::vector<float> nn(embeddings.size(), std::numeric_limits<float>::max());
+  for (size_t i = 0; i < embeddings.size(); ++i) {
+    for (size_t j = 0; j < embeddings.size(); ++j) {
+      if (i == j) continue;
+      float d2 = 0.0f;
+      for (size_t k = 0; k < dim; ++k) {
+        const float d = embeddings[i][k] - embeddings[j][k];
+        d2 += d * d;
+      }
+      nn[i] = std::min(nn[i], std::sqrt(d2));
+    }
+  }
+  std::vector<float> sorted_nn = nn;
+  std::sort(sorted_nn.begin(), sorted_nn.end());
+  const float radius = sorted_nn[sorted_nn.size() / 2] * 2.0f;
+
+  const auto recall_with = [&](bool quant) {
+    ann::HnswOptions options;
+    options.quant = quant ? ann::QuantOverride::kOn : ann::QuantOverride::kOff;
+    options.sq8_calibration = 8;  // calibrate early on this small set
+    ann::HnswIndex index(dim, options);
+    for (const auto& embedding : embeddings) index.Add(embedding);
+    EXPECT_EQ(index.quantized(), quant);
+    if (quant) {
+      EXPECT_TRUE(index.calibrated());
+    }
+
+    double recalled = 0.0;
+    double expected = 0.0;
+    for (const auto& embedding : embeddings) {
+      const auto exact = index.ExactRadius(embedding.data(), radius);
+      const auto approx = index.SearchRadius(embedding.data(), radius);
+      expected += static_cast<double>(exact.size());
+      for (const auto& hit : exact) {
+        for (const auto& candidate : approx) {
+          if (candidate.id == hit.id) {
+            recalled += 1.0;
+            break;
+          }
+        }
+      }
+    }
+    return expected > 0.0 ? recalled / expected : 1.0;
+  };
+
+  const double f32_recall = recall_with(false);
+  const double sq8_recall = recall_with(true);
+  EXPECT_GT(f32_recall, 0.9) << "f32 baseline degenerate";
+  EXPECT_GE(sq8_recall, f32_recall - kVmfRecallEpsilon)
+      << "f32 recall " << f32_recall << " vs SQ8 recall " << sq8_recall;
+}
+
+TEST_F(QuantTest, QuantizedSearchReportsExactDistances) {
+  // Exact-rerank contract: reported distances come from the f32 vectors even
+  // when traversal used SQ8 codes.
+  const std::vector<std::vector<float>> embeddings = EvalEmbeddings();
+  const size_t dim = embeddings[0].size();
+  ann::HnswOptions options;
+  options.quant = ann::QuantOverride::kOn;
+  options.sq8_calibration = 4;
+  ann::HnswIndex index(dim, options);
+  for (const auto& embedding : embeddings) index.Add(embedding);
+  ASSERT_TRUE(index.calibrated());
+
+  const auto hits = index.SearchKnn(embeddings[0].data(), 5);
+  ASSERT_FALSE(hits.empty());
+  for (const auto& hit : hits) {
+    float d2 = 0.0f;
+    const float* stored = index.vector(hit.id);
+    for (size_t k = 0; k < dim; ++k) {
+      const float d = embeddings[0][k] - stored[k];
+      d2 += d * d;
+    }
+    EXPECT_FLOAT_EQ(hit.distance, std::sqrt(d2));
+  }
+}
+
+}  // namespace
+}  // namespace geqo
