@@ -395,7 +395,9 @@ void WritePipelineArtifact(const std::string& label,
 
 void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
                         const std::vector<KernelBenchReport>& kernel_phases,
-                        double speedup) {
+                        double speedup,
+                        const std::vector<ConcurrentServeReport>& concurrent,
+                        double concurrent_p99_speedup) {
   obs::JsonWriter json;
   json.BeginObject();
   json.Key("kernel").BeginObject();
@@ -433,6 +435,26 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
     }
     json.EndArray();
     json.Key("embed_probe_speedup").Number(speedup);
+  }
+  if (!concurrent.empty()) {
+    json.Key("concurrent").BeginArray();
+    for (const ConcurrentServeReport& report : concurrent) {
+      json.BeginObject();
+      json.Key("label").String(report.label);
+      json.Key("probers").Number(static_cast<uint64_t>(report.probers));
+      json.Key("adders").Number(static_cast<uint64_t>(report.adders));
+      json.Key("shards").Number(static_cast<uint64_t>(report.num_shards));
+      json.Key("verifier_threads")
+          .Number(static_cast<uint64_t>(report.verifier_threads));
+      json.Key("probes").Number(static_cast<uint64_t>(report.probes));
+      json.Key("adds").Number(static_cast<uint64_t>(report.adds));
+      json.Key("probe_p50_seconds").Number(report.p50_seconds);
+      json.Key("probe_p99_seconds").Number(report.p99_seconds);
+      json.Key("wall_seconds").Number(report.wall_seconds);
+      json.EndObject();
+    }
+    json.EndArray();
+    json.Key("concurrent_p99_speedup").Number(concurrent_p99_speedup);
   }
   json.EndObject();
 

@@ -167,14 +167,38 @@ struct KernelBenchReport {
   double ops_per_second = 0.0;
 };
 
+/// \brief One multi-client open-loop serving measurement for
+/// BENCH_serve.json: K probers against a catalog that M adders mutate
+/// concurrently. Latency is completion minus *scheduled* arrival, so a
+/// probe stuck behind a writer pays for the queueing it caused — the
+/// open-loop convention that makes the mutex-serialized baseline and the
+/// sharded catalog comparable.
+struct ConcurrentServeReport {
+  std::string label;  ///< "mutex-baseline", "sharded"
+  size_t probers = 0;
+  size_t adders = 0;
+  size_t num_shards = 0;        ///< 1 for the baseline
+  size_t verifier_threads = 0;  ///< 0 = verification on the probe path
+  size_t probes = 0;
+  size_t adds = 0;
+  double p50_seconds = 0.0;  ///< probe latency, open-loop convention
+  double p99_seconds = 0.0;
+  double wall_seconds = 0.0;
+};
+
 /// \brief Writes the serving benchmark artifact (BENCH_serve.json) with one
 /// entry per phase, the active kernel ISA / quant mode, the embed+probe
-/// throughput per kernel mode, and the SIMD-over-scalar speedup; flushes
-/// trace artifacts when GEQO_TRACE is enabled.
+/// throughput per kernel mode, the SIMD-over-scalar speedup, and — when the
+/// multi-client phase ran — the open-loop concurrent reports plus the
+/// sharded-over-baseline p99 speedup; flushes trace artifacts when
+/// GEQO_TRACE is enabled.
 void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
                         const std::vector<KernelBenchReport>& kernel_phases =
                             std::vector<KernelBenchReport>(),
-                        double speedup = 0.0);
+                        double speedup = 0.0,
+                        const std::vector<ConcurrentServeReport>& concurrent =
+                            std::vector<ConcurrentServeReport>(),
+                        double concurrent_p99_speedup = 0.0);
 
 /// \brief Modeled per-invocation cost of the paper's automated verifier.
 ///

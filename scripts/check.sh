@@ -98,6 +98,16 @@ else
   echo "== TSan serving snapshot round-trip smoke =="
   GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
     "$smoke_dir/serve_snap_tsan"
+
+  echo "== TSan multi-client serving bench smoke =="
+  # The open-loop phase runs 4 probers + 2 adders against the sharded
+  # catalog with background verifier workers — the full concurrent plane
+  # under TSan. The bench itself asserts the sharded probe p99 beats the
+  # mutex baseline; the SLO bound is generous because TSan slows
+  # everything ~10x (it gates hangs/pathologies, not performance).
+  (cd build-tsan && GEQO_THREADS=4 GEQO_BENCH_SCALE=smoke \
+    GEQO_SERVE_SLO_MS=500 ./bench/bench_serve > "$smoke_dir/bench_serve_tsan.txt")
+  grep -q '"concurrent_p99_speedup"' build-tsan/BENCH_serve.json
 fi
 
 if [[ "${GEQO_CHECK_SKIP_ASAN:-0}" == "1" ]]; then

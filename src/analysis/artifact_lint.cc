@@ -23,6 +23,7 @@ constexpr uint64_t kMaxTensorDim = 1 << 24;
 constexpr uint64_t kMaxStateEntries = 1 << 12;
 constexpr uint64_t kMaxNameLength = 1 << 12;
 constexpr int64_t kMaxHnswLevel = 64;
+constexpr uint64_t kMaxLintShards = 4096;  // ShardedCatalogOptions::Validate
 
 /// Bounded reader over raw bytes that remembers where it fell off the end.
 class ByteCursor {
@@ -459,12 +460,13 @@ void LintCatalogSnapshot(std::string_view bytes, Diagnostics* out) {
       return;
     }
   }
-  // Verifier memo: strictly sorted normalized pair fingerprints with
-  // verdict bytes in the tri-state range.
+  // Verifier memo (v3): strictly sorted normalized pair fingerprints, each
+  // carrying its secondary check-hash pair (the collision guard) and a
+  // verdict byte in the tri-state range.
   const size_t memo_offset = cursor.offset();
   const uint64_t memo_count = cursor.U64();
   if (!cursor.ok() ||
-      memo_count > cursor.remaining() / (2 * sizeof(uint64_t) + 1)) {
+      memo_count > cursor.remaining() / (4 * sizeof(uint64_t) + 1)) {
     At(out, "catalog.truncated", "verifier memo is cut off", memo_offset);
     return;
   }
@@ -474,6 +476,8 @@ void LintCatalogSnapshot(std::string_view bytes, Diagnostics* out) {
     const size_t entry_offset = cursor.offset();
     const uint64_t lo = cursor.U64();
     const uint64_t hi = cursor.U64();
+    const uint64_t check_lo = cursor.U64();
+    const uint64_t check_hi = cursor.U64();
     const uint8_t verdict = cursor.U8();
     if (!cursor.ok()) {
       At(out, "catalog.truncated", "verifier memo is cut off", entry_offset);
@@ -490,6 +494,14 @@ void LintCatalogSnapshot(std::string_view bytes, Diagnostics* out) {
       At(out, "catalog.memo-order",
          "memo entries are not strictly sorted at entry " +
              std::to_string(i),
+         entry_offset);
+      return;
+    }
+    if (lo == hi && check_lo > check_hi) {
+      At(out, "catalog.memo-check",
+         "memo entry " + std::to_string(i) +
+             " violates the check-pair normalization on a key tie "
+             "(check_lo > check_hi while lo == hi)",
          entry_offset);
       return;
     }
@@ -512,6 +524,171 @@ void LintCatalogSnapshot(std::string_view bytes, Diagnostics* out) {
   }
   if (!cursor.AtEnd()) {
     At(out, "catalog.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the end marker",
+       cursor.offset());
+  }
+}
+
+/// Walks a GEQOSHRD container: header, per-entry shard routing table, one
+/// full GEQOCATG snapshot per shard (linted recursively), and the
+/// pending-verification tail of (query gid, member gid) pairs.
+void LintShardedCatalog(std::string_view bytes, Diagnostics* out) {
+  const std::string_view payload = CheckFooter(bytes, "sharded", out);
+  ByteCursor cursor(payload);
+  const uint64_t magic = cursor.U64();
+  if (!cursor.ok() || magic != io::kShardedCatalogMagic) {
+    At(out, "sharded.magic", "missing GEQOSHRD magic", 0);
+    return;
+  }
+  const size_t version_offset = cursor.offset();
+  const uint64_t version = cursor.U64();
+  if (!cursor.ok() || version != io::kShardedCatalogVersion) {
+    At(out, "sharded.version",
+       "unsupported sharded catalog version " + std::to_string(version),
+       version_offset);
+    return;
+  }
+  const size_t shards_offset = cursor.offset();
+  const uint64_t num_shards = cursor.U64();
+  const size_t count_offset = cursor.offset();
+  const uint64_t count = cursor.U64();
+  if (!cursor.ok()) {
+    At(out, "sharded.truncated", "container header is cut off", 0);
+    return;
+  }
+  if (num_shards == 0 || num_shards > kMaxLintShards) {
+    At(out, "sharded.shard-count",
+       "implausible shard count " + std::to_string(num_shards),
+       shards_offset);
+    return;
+  }
+  if (count > cursor.remaining() / sizeof(uint64_t)) {
+    At(out, "sharded.entry-count",
+       "entry count " + std::to_string(count) +
+           " exceeds what the file can hold",
+       count_offset);
+    return;
+  }
+  const size_t routing_offset = cursor.offset();
+  std::vector<uint64_t> shard_of(count);
+  for (uint64_t i = 0; i < count; ++i) shard_of[i] = cursor.U64();
+  if (!cursor.ok()) {
+    At(out, "sharded.truncated", "shard routing table is cut off",
+       routing_offset);
+    return;
+  }
+  std::vector<uint64_t> per_shard(num_shards, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    if (shard_of[i] >= num_shards) {
+      At(out, "sharded.shard-range",
+         "entry " + std::to_string(i) + " routes to shard " +
+             std::to_string(shard_of[i]) + " of " +
+             std::to_string(num_shards),
+         routing_offset);
+      return;
+    }
+    ++per_shard[shard_of[i]];
+  }
+  for (uint64_t sid = 0; sid < num_shards; ++sid) {
+    const size_t segment_offset = cursor.offset();
+    const uint64_t segment_size = cursor.U64();
+    if (!cursor.ok() || segment_size > cursor.remaining()) {
+      At(out, "sharded.truncated",
+         "shard " + std::to_string(sid) + " segment is cut off",
+         segment_offset);
+      return;
+    }
+    const std::string_view segment =
+        payload.substr(cursor.offset(), segment_size);
+    cursor.Skip(segment_size);
+    // Each segment is a complete GEQOCATG snapshot (own footer, memo, end
+    // magic): the catalog walker proves it. Its diagnostics carry offsets
+    // relative to the segment, so anchor them with a container-level note.
+    const size_t findings_before = out->size();
+    LintCatalogSnapshot(segment, out);
+    if (out->size() > findings_before) {
+      At(out, "sharded.segment",
+         "shard " + std::to_string(sid) +
+             " segment failed the catalog walk (segment-relative offsets "
+             "above)",
+         segment_offset);
+      return;
+    }
+    // Cross-check: the segment's entry count must match the routing table.
+    // GEQOCATG layout: magic, version, fingerprint, dim, count — count at
+    // byte 32 of the segment payload.
+    if (segment.size() >= 5 * sizeof(uint64_t)) {
+      uint64_t segment_count = 0;
+      std::memcpy(&segment_count, segment.data() + 4 * sizeof(uint64_t),
+                  sizeof(segment_count));
+      if (segment_count != per_shard[sid]) {
+        At(out, "sharded.segment-count",
+           "shard " + std::to_string(sid) + " segment holds " +
+               std::to_string(segment_count) +
+               " entries but the routing table assigns it " +
+               std::to_string(per_shard[sid]),
+           segment_offset);
+        return;
+      }
+    }
+  }
+  // Pending-verification tail: sorted, deduplicated (query gid, member gid)
+  // pairs. Both endpoints must exist and share a shard — equivalence classes
+  // never span shards, so a cross-shard pair is corruption.
+  const size_t pending_offset = cursor.offset();
+  const uint64_t pending_count = cursor.U64();
+  if (!cursor.ok() ||
+      pending_count > cursor.remaining() / (2 * sizeof(uint64_t))) {
+    At(out, "sharded.truncated", "pending-verification tail is cut off",
+       pending_offset);
+    return;
+  }
+  uint64_t prev_query = 0;
+  uint64_t prev_member = 0;
+  for (uint64_t i = 0; i < pending_count; ++i) {
+    const size_t pair_offset = cursor.offset();
+    const uint64_t query_gid = cursor.U64();
+    const uint64_t member_gid = cursor.U64();
+    if (!cursor.ok()) {
+      At(out, "sharded.truncated", "pending-verification tail is cut off",
+         pair_offset);
+      return;
+    }
+    if (query_gid >= count || member_gid >= count) {
+      At(out, "sharded.pending-range",
+         "pending pair " + std::to_string(i) + " names entry " +
+             std::to_string(query_gid >= count ? query_gid : member_gid) +
+             " beyond the " + std::to_string(count) + " stored entries",
+         pair_offset);
+      return;
+    }
+    if (shard_of[query_gid] != shard_of[member_gid]) {
+      At(out, "sharded.pending-shard",
+         "pending pair " + std::to_string(i) +
+             " spans shards — equivalence classes never do",
+         pair_offset);
+      return;
+    }
+    if (i > 0 && (query_gid < prev_query ||
+                  (query_gid == prev_query && member_gid <= prev_member))) {
+      At(out, "sharded.pending-order",
+         "pending pairs are not strictly sorted at pair " + std::to_string(i),
+         pair_offset);
+      return;
+    }
+    prev_query = query_gid;
+    prev_member = member_gid;
+  }
+  const size_t end_offset = cursor.offset();
+  const uint64_t end_magic = cursor.U64();
+  if (!cursor.ok() || end_magic != io::kShardedCatalogEndMagic) {
+    At(out, "sharded.end-magic",
+       "sharded catalog is missing its end marker", end_offset);
+    return;
+  }
+  if (!cursor.AtEnd()) {
+    At(out, "sharded.trailing",
        std::to_string(cursor.remaining()) +
            " unexpected bytes after the end marker",
        cursor.offset());
@@ -552,6 +729,8 @@ std::string_view ArtifactKindToString(ArtifactKind kind) {
       return "model state";
     case ArtifactKind::kHnswIndex:
       return "hnsw index";
+    case ArtifactKind::kShardedCatalog:
+      return "sharded catalog";
     case ArtifactKind::kUnknown:
       break;
   }
@@ -571,6 +750,8 @@ ArtifactKind SniffArtifact(std::string_view bytes) {
       return ArtifactKind::kModelState;
     case io::kHnswMagic:
       return ArtifactKind::kHnswIndex;
+    case io::kShardedCatalogMagic:
+      return ArtifactKind::kShardedCatalog;
     default:
       return ArtifactKind::kUnknown;
   }
@@ -590,6 +771,9 @@ Diagnostics LintArtifactBytes(std::string_view bytes) {
       break;
     case ArtifactKind::kHnswIndex:
       LintHnswFile(bytes, &out);
+      break;
+    case ArtifactKind::kShardedCatalog:
+      LintShardedCatalog(bytes, &out);
       break;
     case ArtifactKind::kUnknown:
       At(&out, "artifact.unknown-magic",

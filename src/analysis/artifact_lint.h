@@ -19,6 +19,10 @@
 ///             footer. Codes catalog.* / hnsw.*.
 ///   GEQOMODL  standalone model state file. Codes model.* / emf.*.
 ///   GEQOHNSW  standalone index blob. Codes hnsw.*.
+///   GEQOSHRD  sharded serving catalog: header, per-entry shard ids,
+///             per-shard GEQOCATG segments, pending-verification tail, end
+///             magic, checksum footer. Codes sharded.* plus the per-segment
+///             catalog.* / hnsw.* codes.
 ///
 /// Diagnostics carry byte-offset contexts ("offset 123") pointing at the
 /// section that violated its invariant.
@@ -31,6 +35,7 @@ enum class ArtifactKind : uint8_t {
   kServingCatalog,
   kModelState,
   kHnswIndex,
+  kShardedCatalog,
 };
 
 std::string_view ArtifactKindToString(ArtifactKind kind);

@@ -70,8 +70,16 @@ struct Neighbor {
 /// \brief An HNSW index over fixed-dimension float vectors.
 ///
 /// Vectors are copied in. Ids are assigned densely in insertion order.
-/// Adds are single-threaded; searches may run concurrently (consistent with
-/// the library's execution model).
+///
+/// Thread-safety contract (relied on by serve::ShardedCatalog): the index
+/// is a single-writer / multi-reader structure. Any number of const
+/// searches (SearchKnn / SearchRadius) may run concurrently with each
+/// other — search state lives in a per-call context and the observability
+/// tallies are relaxed atomics. Add is NOT safe concurrently with anything,
+/// including searches: it splices link lists and grows the vector arena in
+/// place, so writers need exclusive external synchronization (the sharded
+/// catalog wraps each shard's index in a reader-writer lock: probes hold it
+/// shared, inserts hold it unique).
 class HnswIndex {
  public:
   HnswIndex(size_t dim, HnswOptions options = HnswOptions());

@@ -16,10 +16,21 @@ constexpr uint64_t kSystemSnapshotMagic = 0x4745514f534e4150ULL;
 constexpr uint64_t kSystemSnapshotVersion = 2;
 
 /// Serving catalog snapshot ("GEQOCATG" ... "CATGEND!"): entries, HNSW
-/// graph, class forest, verifier memo, plus the v2 checksum footer.
+/// graph, class forest, verifier memo, plus the v2 checksum footer. v3
+/// widened each memo entry with the (check_lo, check_hi) secondary-hash
+/// pair that closes the 64-bit canonical-hash collision hole.
 constexpr uint64_t kCatalogMagic = 0x4745514f43415447ULL;
 constexpr uint64_t kCatalogEndMagic = 0x43415447454e4421ULL;
-constexpr uint64_t kCatalogVersion = 2;
+constexpr uint64_t kCatalogVersion = 3;
+
+/// Sharded serving catalog container ("GEQOSHRD" ... "SHRDEND!"): shard
+/// count, the global-id → shard routing map, one length-prefixed GEQOCATG
+/// segment per shard, and the pending-verification tail (entry-id pairs the
+/// async verifier plane had not yet drained at save time), all inside one
+/// checksum footer.
+constexpr uint64_t kShardedCatalogMagic = 0x4745514f53485244ULL;
+constexpr uint64_t kShardedCatalogEndMagic = 0x53485244454e4421ULL;
+constexpr uint64_t kShardedCatalogVersion = 1;
 
 /// Model state section ("GEQOMODL"): named tensors, no framing of its own —
 /// it is embedded in the system snapshot and in standalone state files.

@@ -1,10 +1,12 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdlib>
 #include <exception>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 
 namespace geqo {
@@ -15,13 +17,13 @@ namespace {
 thread_local bool t_in_parallel_region = false;
 
 size_t DefaultThreadCount() {
-  if (const char* env = std::getenv("GEQO_THREADS")) {
-    char* end = nullptr;
-    const long parsed = std::strtol(env, &end, 10);
-    if (end != env && parsed >= 1) return static_cast<size_t>(parsed);
-  }
   const unsigned hc = std::thread::hardware_concurrency();
-  return hc > 0 ? hc : 1;
+  const size_t hardware = hc > 0 ? hc : 1;
+  if (const char* env = std::getenv("GEQO_THREADS")) {
+    const size_t parsed = ThreadPool::ParseThreadCount(env, hardware);
+    if (parsed > 0) return parsed;
+  }
+  return hardware;
 }
 
 std::mutex& GlobalPoolMutex() {
@@ -166,6 +168,28 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
     state->done_cv.wait(lock, [&] { return state->pending.load() == 0; });
   }
   if (state->error) std::rethrow_exception(state->error);
+}
+
+size_t ThreadPool::ParseThreadCount(const char* value,
+                                    size_t hardware_concurrency) {
+  if (value == nullptr || *value == '\0') return 0;
+  char* end = nullptr;
+  errno = 0;
+  const long long parsed = std::strtoll(value, &end, 10);
+  if (end == value || *end != '\0' || errno == ERANGE || parsed < 1) {
+    GEQO_LOG(kWarning) << "ignoring GEQO_THREADS='" << value
+                       << "': not a positive integer";
+    return 0;
+  }
+  const size_t hardware = hardware_concurrency > 0 ? hardware_concurrency : 1;
+  const size_t cap = hardware * kMaxHardwareMultiple;
+  if (static_cast<unsigned long long>(parsed) > cap) {
+    GEQO_LOG(kWarning) << "clamping GEQO_THREADS=" << parsed << " to " << cap
+                       << " (" << kMaxHardwareMultiple << "x the "
+                       << hardware << " hardware threads)";
+    return cap;
+  }
+  return static_cast<size_t>(parsed);
 }
 
 std::shared_ptr<ThreadPool> ThreadPool::GlobalPool() {

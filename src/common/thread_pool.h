@@ -61,6 +61,18 @@ class ThreadPool {
   /// or hardware concurrency). Returned as shared_ptr so a concurrent
   /// SetGlobalThreads cannot destroy a pool mid-region.
   static std::shared_ptr<ThreadPool> GlobalPool();
+  /// Largest GEQO_THREADS accepted, as a multiple of hardware concurrency.
+  /// Oversubscription beyond this only adds context-switch thrash (and a
+  /// typo'd "GEQO_THREADS=1000000" would try to spawn a million threads).
+  static constexpr size_t kMaxHardwareMultiple = 8;
+  /// Parses a GEQO_THREADS-style override against \p hardware_concurrency.
+  /// The whole string must be a positive decimal integer — trailing garbage
+  /// ("8x") and non-numeric values are rejected, not prefix-parsed. Values
+  /// above kMaxHardwareMultiple x hardware are clamped with a warning.
+  /// Returns 0 for rejected input (callers fall back to the hardware
+  /// default). Exposed for tests.
+  static size_t ParseThreadCount(const char* value,
+                                 size_t hardware_concurrency);
   /// Replaces the global pool with one of \p num_threads threads (clamped to
   /// >= 1). In-flight regions keep their old pool alive until they finish.
   static void SetGlobalThreads(size_t num_threads);

@@ -1,0 +1,140 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+/// \file work_queue.h
+/// A bounded multi-producer / multi-consumer task queue for background
+/// service planes (the serving layer's async verifier pool is the first
+/// client). Unlike ThreadPool::ParallelFor — which fans a finite index range
+/// out to workers and blocks the caller — a WorkQueue decouples producers
+/// from consumers: producers Push items and return immediately (blocking
+/// only at the capacity bound, the backpressure contract), while long-lived
+/// consumer threads Pop until Close.
+///
+/// Lifecycle extras the async plane needs:
+///   - WaitIdle(): block until the queue is empty AND every popped item has
+///     been matched by a TaskDone() — i.e. no work is queued or in flight.
+///     This is the drain barrier behind "no lost async verdicts".
+///   - Pause()/Resume(): stop handing items to consumers without closing,
+///     then SnapshotPending() the untouched backlog — the snapshot path
+///     uses this to persist the pending-verification tail atomically.
+
+namespace geqo {
+
+template <typename T>
+class WorkQueue {
+ public:
+  /// \p capacity bounds the backlog; 0 means unbounded. Push blocks while
+  /// the queue is at capacity (backpressure, never silent drops).
+  explicit WorkQueue(size_t capacity = 0) : capacity_(capacity) {}
+
+  WorkQueue(const WorkQueue&) = delete;
+  WorkQueue& operator=(const WorkQueue&) = delete;
+
+  /// Enqueues \p item, blocking while full. Returns false (and drops the
+  /// item) only after Close().
+  bool Push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    space_cv_.wait(lock, [this] {
+      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
+    });
+    if (closed_) return false;
+    queue_.push_back(std::move(item));
+    item_cv_.notify_one();
+    return true;
+  }
+
+  /// Dequeues the oldest item, blocking while the queue is empty or paused.
+  /// Returns nullopt once the queue is closed and drained. Every returned
+  /// item counts as in-flight until the consumer calls TaskDone().
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    item_cv_.wait(lock, [this] {
+      return (closed_ || !queue_.empty()) && !paused_;
+    });
+    if (queue_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(queue_.front());
+    queue_.pop_front();
+    ++in_flight_;
+    space_cv_.notify_one();
+    return item;
+  }
+
+  /// Marks one popped item fully processed (side effects applied).
+  void TaskDone() {
+    std::lock_guard<std::mutex> lock(mu_);
+    --in_flight_;
+    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+  }
+
+  /// Blocks until the queue is empty and no popped item is still in flight.
+  /// With no consumer attached this returns only once producers stop and
+  /// the backlog is externally drained — callers owning zero consumer
+  /// threads should use SnapshotPending()/Pop-inline instead.
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mu_);
+    idle_cv_.wait(lock,
+                  [this] { return queue_.empty() && in_flight_ == 0; });
+  }
+
+  /// Stops handing items to consumers (Pop blocks; Push still accepted),
+  /// then waits for in-flight items to finish. On return the backlog is
+  /// frozen and fully observable via SnapshotPending().
+  void Pause() {
+    std::unique_lock<std::mutex> lock(mu_);
+    paused_ = true;
+    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+
+  void Resume() {
+    std::lock_guard<std::mutex> lock(mu_);
+    paused_ = false;
+    item_cv_.notify_all();
+  }
+
+  /// The frozen backlog, oldest first. Meaningful while paused (or when the
+  /// caller otherwise knows no consumer is active).
+  std::vector<T> SnapshotPending() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return std::vector<T>(queue_.begin(), queue_.end());
+  }
+
+  /// Wakes all consumers to exit once the backlog drains; further Push
+  /// calls are refused.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+    item_cv_.notify_all();
+    space_cv_.notify_all();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+
+  /// Queued plus in-flight items — the quantity a drain must retire.
+  size_t outstanding() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size() + in_flight_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable item_cv_;   ///< items available (or closed)
+  std::condition_variable space_cv_;  ///< capacity available (or closed)
+  std::condition_variable idle_cv_;   ///< empty + nothing in flight
+  std::deque<T> queue_;
+  size_t in_flight_ = 0;
+  bool closed_ = false;
+  bool paused_ = false;
+};
+
+}  // namespace geqo

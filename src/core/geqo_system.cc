@@ -189,4 +189,25 @@ Result<std::unique_ptr<serve::EquivalenceCatalog>> GeqoSystem::LoadCatalog(
                                          options_.value_range, plans, options);
 }
 
+std::unique_ptr<serve::ShardedCatalog> GeqoSystem::OpenShardedCatalog(
+    serve::ShardedCatalogOptions options) {
+  return std::make_unique<serve::ShardedCatalog>(
+      catalog_, model_.get(), &instance_layout_, &agnostic_layout_,
+      options_.value_range, options);
+}
+
+std::unique_ptr<serve::ShardedCatalog> GeqoSystem::OpenShardedCatalog() {
+  serve::ShardedCatalogOptions options;
+  options.catalog.pipeline = options_.pipeline;
+  return OpenShardedCatalog(options);
+}
+
+Result<std::unique_ptr<serve::ShardedCatalog>> GeqoSystem::LoadShardedCatalog(
+    const std::string& path, const std::vector<PlanPtr>& plans,
+    serve::ShardedCatalogOptions options) {
+  return serve::ShardedCatalog::Load(path, catalog_, model_.get(),
+                                     &instance_layout_, &agnostic_layout_,
+                                     options_.value_range, plans, options);
+}
+
 }  // namespace geqo

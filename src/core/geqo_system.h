@@ -9,6 +9,7 @@
 #include "pipeline/geqo.h"
 #include "pipeline/ssfl.h"
 #include "serve/equivalence_catalog.h"
+#include "serve/sharded_catalog.h"
 #include "workload/labeled_data.h"
 
 /// \file geqo_system.h
@@ -88,6 +89,22 @@ class GeqoSystem {
   /// serve::EquivalenceCatalog::Load for the \p plans contract).
   Result<std::unique_ptr<serve::EquivalenceCatalog>> LoadCatalog(
       const std::string& path, const std::vector<PlanPtr>& plans);
+
+  /// Opens an empty *sharded* serving catalog (concurrent Probe/Add with an
+  /// async verification plane — see serve::ShardedCatalog). The no-argument
+  /// overload uses the system's calibrated pipeline options with the sharded
+  /// defaults. Same borrowing contract as OpenCatalog.
+  std::unique_ptr<serve::ShardedCatalog> OpenShardedCatalog(
+      serve::ShardedCatalogOptions options);
+  std::unique_ptr<serve::ShardedCatalog> OpenShardedCatalog();
+
+  /// Restores a sharded catalog snapshot (GEQOSHRD) against this system;
+  /// \p plans are all entries in global Add order. \p options supplies the
+  /// runtime knobs (verifier threads, queue bound) — the shard count comes
+  /// from the snapshot.
+  Result<std::unique_ptr<serve::ShardedCatalog>> LoadShardedCatalog(
+      const std::string& path, const std::vector<PlanPtr>& plans,
+      serve::ShardedCatalogOptions options = serve::ShardedCatalogOptions());
 
   // Component access for advanced use and benchmarking.
   const Catalog& catalog() const { return *catalog_; }

@@ -62,6 +62,9 @@ struct StageReport {
   /// Kernel table the stage's tensor work dispatched through ("scalar",
   /// "avx2"), captured at stage entry.
   std::string isa;
+  /// Serving-layer tag: the catalog shard the stage ran against, or -1 for
+  /// batch-pipeline and unsharded stages.
+  int shard = -1;
   /// Registry counter/gauge deltas observed while the stage ran (name,
   /// increment), sorted by name. Empty when GEQO_TRACE=off.
   std::vector<std::pair<std::string, double>> metrics;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <optional>
 
+#include "common/hash.h"
+
 namespace geqo {
 
 std::optional<bool> TryEvaluateComparison(const Comparison& raw) {
@@ -95,6 +97,14 @@ size_t CountPredicates(const PlanPtr& plan) {
 
 uint64_t CanonicalHash(const PlanPtr& plan) {
   return Canonicalize(plan)->Hash();
+}
+
+uint64_t CanonicalCheckHash(const PlanPtr& plan) {
+  // Distinct seed and distinct input channel (the textual rendering instead
+  // of the structural node walk), so this does not co-collide with
+  // CanonicalHash. Canonicalize is idempotent: callers may pass either the
+  // raw or the canonical plan.
+  return HashString(Canonicalize(plan)->ToString(), 0x9ae16a3b2f90404fULL);
 }
 
 PairFingerprint FingerprintPair(uint64_t canonical_hash_a,

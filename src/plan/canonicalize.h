@@ -32,6 +32,16 @@ std::optional<bool> TryEvaluateComparison(const Comparison& cmp);
 /// differing only in foldable constants) share a canonical hash.
 uint64_t CanonicalHash(const PlanPtr& plan);
 
+/// \brief Secondary canonical-form hash over an independent channel: the
+/// canonical rendering (ToString) hashed with a distinct FNV seed, where
+/// CanonicalHash walks the node structure. Two distinct canonical plans that
+/// collide on CanonicalHash are overwhelmingly unlikely to also collide
+/// here. The verifier memo stores this pair alongside every entry and treats
+/// a mismatch as a collision (i.e. a miss), so a 64-bit CanonicalHash
+/// collision can no longer serve a wrong — potentially unsound — cached
+/// verdict.
+uint64_t CanonicalCheckHash(const PlanPtr& plan);
+
 /// \brief Order-normalized fingerprint of an unordered plan pair, used to key
 /// verifier memoization: FingerprintPair(a, b) == FingerprintPair(b, a).
 /// Both canonical hashes are kept (128 bits total) rather than folded into

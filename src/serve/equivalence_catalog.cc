@@ -20,6 +20,28 @@
 
 namespace geqo::serve {
 
+namespace {
+
+double SumStageSeconds(const std::vector<StageReport>& stages) {
+  double total = 0.0;
+  for (const StageReport& stage : stages) total += stage.seconds;
+  return total;
+}
+
+}  // namespace
+
+std::string_view MatchVerdictToString(MatchVerdict verdict) {
+  switch (verdict) {
+    case MatchVerdict::kProven:
+      return "proven";
+    case MatchVerdict::kLikely:
+      return "likely";
+    case MatchVerdict::kRefuted:
+      return "refuted";
+  }
+  return "invalid";
+}
+
 EquivalenceCatalog::EquivalenceCatalog(const Catalog* db_catalog,
                                        ml::EmfModel* model,
                                        const EncodingLayout* instance_layout,
@@ -55,15 +77,19 @@ Result<EquivalenceCatalog::QueryContext> EquivalenceCatalog::PrepareQuery(
     const PlanPtr& plan) const {
   QueryContext query;
   query.plan = plan;
+  // Canonicalize exactly once: both hashes and the debug fixed-point check
+  // below consume the same canonical form.
+  const PlanPtr canonical = Canonicalize(plan);
   // Debug-gated boundary checks: the incoming plan must be valid, and its
   // canonical form must be a Canonicalize fixed point (the canonical hash
   // below is only meaningful if canonicalization is idempotent).
   if (analysis::DebugValidationEnabled()) {
     analysis::DebugValidatePlan(plan, *db_catalog_, "serve.PrepareQuery");
-    analysis::DebugValidateCanonical(Canonicalize(plan), *db_catalog_,
+    analysis::DebugValidateCanonical(canonical, *db_catalog_,
                                      "serve.PrepareQuery/canonical");
   }
-  query.canonical_hash = CanonicalHash(plan);
+  query.canonical_hash = canonical->Hash();
+  query.check_hash = CanonicalCheckHash(canonical);
   GEQO_ASSIGN_OR_RETURN(query.signature, SchemaSignature(plan, *db_catalog_));
   GEQO_ASSIGN_OR_RETURN(
       std::vector<EncodedPlan> encoded,
@@ -87,19 +113,28 @@ Result<size_t> EquivalenceCatalog::Add(const PlanPtr& plan) {
   return AddPrepared(std::move(query));
 }
 
-Result<size_t> EquivalenceCatalog::AddPrepared(QueryContext query) {
+Result<std::vector<float>> EquivalenceCatalog::EmbedQuery(
+    const QueryContext& query) const {
   // The embedding uses the singleton agnostic map (see EmbedSingle): it
   // depends only on the plan, so it is computed exactly once per entry for
   // the catalog's whole lifetime, across any number of later Adds.
   const VectorMatchingFilter vmf(model_, instance_layout_, agnostic_layout_,
                                  options_.pipeline.vmf);
-  GEQO_ASSIGN_OR_RETURN(const std::vector<float> embedding,
-                        vmf.EmbedSingle(query.encoded));
+  return vmf.EmbedSingle(query.encoded);
+}
+
+Result<size_t> EquivalenceCatalog::AddPrepared(QueryContext query) {
+  GEQO_ASSIGN_OR_RETURN(const std::vector<float> embedding, EmbedQuery(query));
+  return AddWithEmbedding(std::move(query), embedding);
+}
+
+Result<size_t> EquivalenceCatalog::AddWithEmbedding(
+    QueryContext query, const std::vector<float>& embedding) {
   const size_t id = index_->Add(embedding);
   GEQO_CHECK(id == entries_.size());
   sf_groups_[query.signature].push_back(id);
   entries_.push_back(Entry{std::move(query.plan), query.canonical_hash,
-                           std::move(query.encoded)});
+                           query.check_hash, std::move(query.encoded)});
   const size_t class_id = classes_.Add();
   GEQO_CHECK(class_id == id);
   ++stats_.adds;
@@ -112,35 +147,47 @@ Result<size_t> EquivalenceCatalog::AddPrepared(QueryContext query) {
 
 Result<ProbeResult> EquivalenceCatalog::Probe(const PlanPtr& plan) {
   GEQO_RETURN_NOT_OK(options_status_);
-  GEQO_ASSIGN_OR_RETURN(const QueryContext query, PrepareQuery(plan));
-  return ProbePrepared(query);
+  // The span and the stage clock start here, before PrepareQuery does its
+  // (non-trivial) canonicalize/encode work — a probe's reported latency is
+  // the full entry-to-exit cost.
+  obs::Span span("serve.Probe");
+  StageReport prepare = MakeStage("prepare", true);
+  StageScope prepare_scope("serve.prepare");
+  Result<QueryContext> query = PrepareQuery(plan);
+  GEQO_RETURN_NOT_OK(query.status());
+  prepare.pairs_in = 1;
+  prepare.pairs_out = 1;
+  prepare_scope.Finish(&prepare);
+  return ProbePrepared(*query, std::move(prepare));
 }
 
 EquivalenceVerdict EquivalenceCatalog::VerdictFor(const QueryContext& query,
                                                   size_t id,
                                                   ProbeResult* result) {
-  const PairFingerprint key =
-      FingerprintPair(query.canonical_hash, entries_[id].canonical_hash);
-  if (const auto memoized = memo_.Lookup(key)) {
+  const Entry& entry = entries_[id];
+  const CheckedPair memo_key =
+      MakeCheckedPair(query.canonical_hash, query.check_hash,
+                      entry.canonical_hash, entry.check_hash);
+  const VerifierMemo::LookupOutcome memoized =
+      memo_.Lookup(memo_key.key, memo_key.check);
+  if (memoized.collision) ++stats_.memo_collisions;
+  if (memoized.verdict) {
     ++stats_.memo_hits;
     ++result->memo_hits;
-    return *memoized;
+    return *memoized.verdict;
   }
   ++stats_.verifier_calls;
   ++result->verifier_calls;
   const EquivalenceVerdict verdict =
-      verifier_.CheckEquivalence(query.plan, entries_[id].plan);
-  memo_.Insert(key, verdict);
+      verifier_.CheckEquivalence(query.plan, entry.plan);
+  memo_.Insert(memo_key.key, memo_key.check, verdict);
   return verdict;
 }
 
-Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
-    const QueryContext& query) {
-  obs::Span span("serve.Probe");
-  Stopwatch watch;
-  ProbeResult result;
-  ++stats_.probes;
+Result<EquivalenceCatalog::FilterOutcome> EquivalenceCatalog::RunFilters(
+    const QueryContext& query, std::vector<StageReport>* stages) const {
   const GeqoOptions& opt = options_.pipeline;
+  FilterOutcome out;
 
   // Stage 1: schema filter via the incremental signature map — O(log groups)
   // instead of re-grouping the workload.
@@ -157,7 +204,7 @@ Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
   sf_report.pairs_in = entries_.size();
   sf_report.pairs_out = pool.size();
   sf_scope.Finish(&sf_report);
-  result.stages.push_back(std::move(sf_report));
+  stages->push_back(std::move(sf_report));
 
   // Stage 2: VMF as one radius search of the shared persistent index,
   // intersected with the SF pool.
@@ -183,13 +230,15 @@ Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
   vmf_report.pairs_in = pool.size();
   vmf_report.pairs_out = candidates.size();
   vmf_scope.Finish(&vmf_report);
-  result.stages.push_back(std::move(vmf_report));
+  stages->push_back(std::move(vmf_report));
 
   // Stage 3: EMF scoring of (query, entry) pairs — slot 0 is the query, the
-  // entries are viewed in place.
+  // entries are viewed in place. Survivors keep their score (1.0 when the
+  // stage is disabled) for the async path's Likely classification.
   StageReport emf_report = MakeStage("emf", opt.use_emf);
   StageScope emf_scope("serve.emf");
   emf_report.pairs_in = candidates.size();
+  std::vector<float> survivor_scores;
   if (opt.use_emf && !candidates.empty()) {
     const EquivalenceModelFilter emf(model_, instance_layout_,
                                      agnostic_layout_, opt.emf);
@@ -206,13 +255,34 @@ Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
                           emf.Scores(pairs, views));
     std::vector<size_t> surviving;
     for (size_t k = 0; k < candidates.size(); ++k) {
-      if (scores[k] >= opt.emf.threshold) surviving.push_back(candidates[k]);
+      if (scores[k] >= opt.emf.threshold) {
+        surviving.push_back(candidates[k]);
+        survivor_scores.push_back(scores[k]);
+      }
     }
     candidates = std::move(surviving);
+  } else {
+    survivor_scores.assign(candidates.size(), 1.0f);
   }
   emf_report.pairs_out = candidates.size();
   emf_scope.Finish(&emf_report);
-  result.stages.push_back(std::move(emf_report));
+  stages->push_back(std::move(emf_report));
+
+  out.candidates = std::move(candidates);
+  out.scores = std::move(survivor_scores);
+  return out;
+}
+
+Result<ProbeResult> EquivalenceCatalog::ProbePrepared(const QueryContext& query,
+                                                      StageReport prepare) {
+  ProbeResult result;
+  result.stages.push_back(std::move(prepare));
+  ++stats_.probes;
+  const GeqoOptions& opt = options_.pipeline;
+
+  GEQO_ASSIGN_OR_RETURN(FilterOutcome filtered,
+                        RunFilters(query, &result.stages));
+  std::vector<size_t>& candidates = filtered.candidates;
   result.candidate_ids = candidates;
 
   // Stage 4: verification, memo-first and class-at-a-time. Candidates are
@@ -282,7 +352,10 @@ Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
   verify_scope.Finish(&verify_report);
   result.stages.push_back(std::move(verify_report));
 
-  result.seconds = watch.ElapsedSeconds();
+  // The reported latency is the stage sum (prepare included) — the same
+  // convention as GeqoResult::total_seconds, so stage accounting always
+  // explains the whole number.
+  result.seconds = SumStageSeconds(result.stages);
   if (obs::MetricsEnabled()) {
     auto& registry = obs::MetricsRegistry::Global();
     registry.GetCounter("serve.probes").Add(1);
@@ -295,11 +368,129 @@ Result<ProbeResult> EquivalenceCatalog::ProbePrepared(
   return result;
 }
 
+Result<EquivalenceCatalog::ReadProbeResult> EquivalenceCatalog::ProbeReadOnly(
+    const QueryContext& query) const {
+  GEQO_RETURN_NOT_OK(options_status_);
+  const GeqoOptions& opt = options_.pipeline;
+  ReadProbeResult result;
+  GEQO_ASSIGN_OR_RETURN(FilterOutcome filtered,
+                        RunFilters(query, &result.stages));
+
+  // Stage 4 (read-only): classify each survivor from the memo and the class
+  // forest alone. Proven/Refuted verdicts are final; everything else is
+  // Likely, and classes with at least one un-memoized pair go on the pending
+  // agenda for the async verifier plane. No verifier call, no mutation.
+  StageReport classify = MakeStage("classify", opt.run_verifier);
+  StageScope classify_scope("serve.classify");
+  classify.pairs_in = filtered.candidates.size();
+  std::map<size_t, float> score_of;
+  for (size_t k = 0; k < filtered.candidates.size(); ++k) {
+    score_of[filtered.candidates[k]] = filtered.scores[k];
+  }
+  std::vector<size_t> proven_roots;
+  if (!opt.run_verifier) {
+    // Batch-pipeline parity: without the verifier, the filter survivors are
+    // the (approximate) equivalences — final, nothing pending.
+    for (const size_t id : filtered.candidates) {
+      result.matches.push_back(
+          ProbeMatch{id, MatchVerdict::kProven, score_of[id]});
+      result.proven_ids.push_back(id);
+      proven_roots.push_back(classes_.Find(id));
+    }
+  } else if (!filtered.candidates.empty()) {
+    std::map<size_t, std::vector<size_t>> by_class;
+    for (const size_t id : filtered.candidates) {
+      by_class[classes_.Find(id)].push_back(id);
+    }
+    for (const auto& [root, class_candidates] : by_class) {
+      // Replay the sync path's agenda — root first, then the surviving
+      // members — against the memo only. The first decisive memoized
+      // verdict settles the class; a miss or a detected collision defers
+      // the whole class to the async plane.
+      std::vector<size_t> agenda;
+      agenda.push_back(root);
+      for (const size_t id : class_candidates) {
+        if (id != root) agenda.push_back(id);
+      }
+      std::optional<EquivalenceVerdict> decision;
+      bool needs_verify = false;
+      size_t lookups = 0;
+      for (const size_t id : agenda) {
+        const Entry& entry = entries_[id];
+        const CheckedPair memo_key =
+            MakeCheckedPair(query.canonical_hash, query.check_hash,
+                            entry.canonical_hash, entry.check_hash);
+        const VerifierMemo::LookupOutcome memoized =
+            memo_.Lookup(memo_key.key, memo_key.check);
+        if (memoized.collision) ++result.collisions;
+        if (!memoized.verdict) {
+          needs_verify = true;
+          break;
+        }
+        ++result.memo_hits;
+        ++lookups;
+        if (*memoized.verdict != EquivalenceVerdict::kUnknown) {
+          decision = *memoized.verdict;
+          break;
+        }
+      }
+      MatchVerdict match_verdict = MatchVerdict::kLikely;
+      if (needs_verify) {
+        result.pending.push_back(ClassDecision{root, std::move(agenda)});
+      } else if (decision == EquivalenceVerdict::kEquivalent) {
+        match_verdict = MatchVerdict::kProven;
+        proven_roots.push_back(root);
+        const std::vector<size_t> members = ClassMembers(root);
+        result.proven_ids.insert(result.proven_ids.end(), members.begin(),
+                                 members.end());
+        if (members.size() > lookups) {
+          result.class_shortcuts += members.size() - lookups;
+        }
+      } else if (decision == EquivalenceVerdict::kNotEquivalent) {
+        match_verdict = MatchVerdict::kRefuted;
+        if (class_candidates.size() > lookups) {
+          result.class_shortcuts += class_candidates.size() - lookups;
+        }
+      }
+      // decision absent with nothing pending: every agenda pair is memoized
+      // kUnknown — the verifier already gave up on this class, so it stays
+      // Likely forever (the async plane would re-derive exactly that).
+      for (const size_t id : class_candidates) {
+        result.matches.push_back(ProbeMatch{id, match_verdict, score_of[id]});
+      }
+    }
+  }
+  std::sort(result.matches.begin(), result.matches.end(),
+            [](const ProbeMatch& a, const ProbeMatch& b) { return a.id < b.id; });
+  std::sort(result.proven_ids.begin(), result.proven_ids.end());
+  result.proven_ids.erase(
+      std::unique(result.proven_ids.begin(), result.proven_ids.end()),
+      result.proven_ids.end());
+  if (!proven_roots.empty()) {
+    result.representative =
+        *std::min_element(proven_roots.begin(), proven_roots.end());
+  }
+  classify.pairs_out = result.matches.size();
+  classify_scope.Finish(&classify);
+  result.stages.push_back(std::move(classify));
+  return result;
+}
+
 Result<ProbeAddResult> EquivalenceCatalog::ProbeAdd(const PlanPtr& plan) {
   GEQO_RETURN_NOT_OK(options_status_);
+  // Span + stage clock at entry, same as Probe: PrepareQuery's cost belongs
+  // to this call's reported latency.
   obs::Span span("serve.ProbeAdd");
-  GEQO_ASSIGN_OR_RETURN(QueryContext query, PrepareQuery(plan));
-  GEQO_ASSIGN_OR_RETURN(ProbeResult probe, ProbePrepared(query));
+  StageReport prepare = MakeStage("prepare", true);
+  StageScope prepare_scope("serve.prepare");
+  Result<QueryContext> prepared = PrepareQuery(plan);
+  GEQO_RETURN_NOT_OK(prepared.status());
+  prepare.pairs_in = 1;
+  prepare.pairs_out = 1;
+  prepare_scope.Finish(&prepare);
+  QueryContext query = std::move(*prepared);
+  GEQO_ASSIGN_OR_RETURN(ProbeResult probe,
+                        ProbePrepared(query, std::move(prepare)));
   // Collect the classes to join before inserting (the new entry's own
   // singleton class would otherwise show up in the scan).
   std::set<size_t> roots;
@@ -420,9 +611,10 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
       db_catalog, model, instance_layout, agnostic_layout, value_range,
       options);
   GEQO_RETURN_NOT_OK(catalog->options_status_);
-  // Re-derive only the cheap per-entry state (signature, instance encoding);
-  // embeddings come from the serialized index below and memoized verdicts
-  // from the memo section — nothing is re-embedded or re-proved.
+  // Re-derive only the cheap per-entry state (signature, instance encoding,
+  // the two canonical hashes); embeddings come from the serialized index
+  // below and memoized verdicts from the memo section — nothing is
+  // re-embedded or re-proved.
   for (size_t i = 0; i < plans.size(); ++i) {
     GEQO_ASSIGN_OR_RETURN(QueryContext query,
                           catalog->PrepareQuery(plans[i]));
@@ -435,7 +627,7 @@ Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
     }
     catalog->sf_groups_[query.signature].push_back(i);
     catalog->entries_.push_back(Entry{std::move(query.plan),
-                                      query.canonical_hash,
+                                      query.canonical_hash, query.check_hash,
                                       std::move(query.encoded)});
   }
   GEQO_ASSIGN_OR_RETURN(catalog->index_, ann::HnswIndex::Deserialize(stream));

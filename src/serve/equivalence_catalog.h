@@ -31,18 +31,24 @@
 ///     equivalence classes, so a later probe that proves equivalence to a
 ///     class representative adopts the whole class without re-proving, and
 ///     a refutation of the representative rejects the whole class. Verifier
-///     verdicts are memoized by canonical pair fingerprint, so repeat
-///     verifications across probes (and across process restarts, via the
-///     snapshot) never happen.
+///     verdicts are memoized by canonical pair fingerprint plus an
+///     independent secondary check-hash pair (a detected collision is a
+///     miss, never a wrong verdict), so repeat verifications across probes
+///     (and across process restarts, via the snapshot) never happen.
 ///   - Save/Load persist a versioned binary snapshot — HNSW graph + stored
 ///     embeddings, equivalence classes, memo cache — such that a restarted
 ///     service replays the remaining probe stream with bit-identical
 ///     results and performs no verifier calls for already-memoized or
 ///     class-joined pairs.
 ///
-/// Thread-safety: a catalog is a single-writer object (Probe mutates the
-/// memo, stats, and verifier accounting). Wrap it or shard it for
-/// concurrent serving; the inference it calls into is re-entrant.
+/// Thread-safety: one EquivalenceCatalog is a single-writer object — Probe
+/// mutates the memo, stats, and verifier accounting, and Add mutates the
+/// index and classes. For concurrent serving use serve::ShardedCatalog
+/// (sharded_catalog.h), which routes traffic across many catalogs by SF
+/// signature group, guards each with a reader-writer lock, and moves
+/// verification onto an async background plane; the inference this class
+/// calls into is re-entrant, and its read-only probe path (ProbeReadOnly)
+/// is const and safe under a shared lock.
 
 namespace geqo::serve {
 
@@ -60,6 +66,7 @@ struct CatalogStats {
   uint64_t probes = 0;
   uint64_t verifier_calls = 0;    ///< pairwise proofs actually attempted
   uint64_t memo_hits = 0;         ///< verdicts served from the memo cache
+  uint64_t memo_collisions = 0;   ///< check-pair mismatches treated as misses
   uint64_t class_shortcuts = 0;   ///< pair verdicts derived via classes
   uint64_t unions = 0;            ///< class merges performed by ProbeAdd
 };
@@ -77,9 +84,14 @@ struct ProbeResult {
   size_t verifier_calls = 0;
   size_t memo_hits = 0;
   size_t class_shortcuts = 0;
-  /// Stage accounting in execution order: sf, vmf, emf, verify (same
-  /// machinery as GeqoResult::stages).
+  /// Stage accounting in execution order: prepare (canonicalize + sign +
+  /// instance-encode), sf, vmf, emf, verify — the same machinery as
+  /// GeqoResult::stages.
   std::vector<StageReport> stages;
+  /// Total probe latency, measured from Probe/ProbeAdd entry: defined as
+  /// the sum of the stage seconds (prepare included), mirroring
+  /// GeqoResult::total_seconds, so stage accounting always explains the
+  /// reported latency.
   double seconds = 0.0;
 };
 
@@ -89,6 +101,23 @@ struct ProbeAddResult {
   ProbeResult probe;
   size_t id = 0;
   size_t class_id = 0;
+};
+
+/// \brief Immediate classification of one filter survivor on the async
+/// serving path (see ShardedCatalog): kProven/kRefuted are decided from the
+/// memo and equivalence classes alone; kLikely carries the filter evidence
+/// (EMF score) and — unless the pair is memoized kUnknown — is upgraded
+/// later by the background verifier plane.
+enum class MatchVerdict : uint8_t { kProven = 0, kLikely = 1, kRefuted = 2 };
+
+std::string_view MatchVerdictToString(MatchVerdict verdict);
+
+/// \brief One classified filter survivor of an async probe.
+struct ProbeMatch {
+  size_t id = 0;  ///< catalog entry id (shard-local or global, per context)
+  MatchVerdict verdict = MatchVerdict::kLikely;
+  /// EMF score of the (query, entry) pair; 1.0 when the EMF stage is off.
+  float score = 1.0f;
 };
 
 /// \brief A long-lived, incrementally-updated equivalence catalog.
@@ -165,9 +194,12 @@ class EquivalenceCatalog {
       CatalogOptions options = CatalogOptions());
 
  private:
+  friend class ShardedCatalog;
+
   struct Entry {
     PlanPtr plan;
     uint64_t canonical_hash = 0;
+    uint64_t check_hash = 0;  ///< CanonicalCheckHash (memo collision guard)
     EncodedPlan encoded;  ///< instance encoding (embedding lives in the index)
   };
 
@@ -175,13 +207,57 @@ class EquivalenceCatalog {
   struct QueryContext {
     PlanPtr plan;
     uint64_t canonical_hash = 0;
+    uint64_t check_hash = 0;
     SfSignature signature;
     EncodedPlan encoded;
   };
 
+  /// Filter-cascade output shared by the sync and read-only probe paths.
+  struct FilterOutcome {
+    std::vector<size_t> candidates;  ///< surviving ids, ascending
+    std::vector<float> scores;       ///< EMF scores aligned with candidates
+  };
+
+  /// One candidate class the read-only probe could not decide from the memo
+  /// alone: the ordered verification agenda (class root first, then the
+  /// surviving members) handed to the async verifier plane, which replays
+  /// exactly the sync path's root-then-members cascade.
+  struct ClassDecision {
+    size_t root = 0;
+    std::vector<size_t> agenda;
+  };
+
+  /// Outcome of the const, lock-friendly probe used by ShardedCatalog:
+  /// filters plus memo/class classification, never a verifier call and
+  /// never a state mutation.
+  struct ReadProbeResult {
+    std::vector<ProbeMatch> matches;  ///< one per filter survivor, ascending
+    std::vector<size_t> proven_ids;   ///< class-expanded, sorted ascending
+    std::optional<size_t> representative;
+    size_t memo_hits = 0;
+    size_t class_shortcuts = 0;
+    size_t collisions = 0;
+    std::vector<ClassDecision> pending;
+    std::vector<StageReport> stages;  ///< sf, vmf, emf, classify
+  };
+
   Result<QueryContext> PrepareQuery(const PlanPtr& plan) const;
+  /// Embeds the prepared query through the EMF trunk (singleton agnostic
+  /// map) — the expensive half of Add, safe to run outside any shard lock.
+  Result<std::vector<float>> EmbedQuery(const QueryContext& query) const;
   Result<size_t> AddPrepared(QueryContext query);
-  Result<ProbeResult> ProbePrepared(const QueryContext& query);
+  /// Index/bookkeeping half of Add: inserts a pre-computed embedding.
+  Result<size_t> AddWithEmbedding(QueryContext query,
+                                  const std::vector<float>& embedding);
+  /// Runs SF -> VMF -> EMF, appending the three stage reports to \p stages.
+  Result<FilterOutcome> RunFilters(const QueryContext& query,
+                                   std::vector<StageReport>* stages) const;
+  Result<ProbeResult> ProbePrepared(const QueryContext& query,
+                                    StageReport prepare);
+  /// Const classification probe for the async serving plane (see
+  /// ReadProbeResult). Safe to call concurrently with other const methods;
+  /// callers must exclude Add (ShardedCatalog's shard lock does).
+  Result<ReadProbeResult> ProbeReadOnly(const QueryContext& query) const;
   /// Memo-first verdict for (query, entry \p id); counts into \p result.
   EquivalenceVerdict VerdictFor(const QueryContext& query, size_t id,
                                 ProbeResult* result);

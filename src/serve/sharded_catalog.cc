@@ -1,0 +1,790 @@
+#include "serve/sharded_catalog.h"
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#include <sys/resource.h>
+#include <unistd.h>
+#endif
+
+#include <algorithm>
+#include <fstream>
+#include <mutex>
+#include <set>
+#include <sstream>
+#include <utility>
+
+#include "common/binary_io.h"
+#include "common/checksum_io.h"
+#include "common/format_magic.h"
+#include "common/hash.h"
+#include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "pipeline/stage_scope.h"
+
+namespace geqo::serve {
+
+namespace {
+
+constexpr size_t kMaxShards = 4096;
+constexpr size_t kMaxVerifierThreads = 256;
+
+double SumStageSeconds(const std::vector<StageReport>& stages) {
+  double total = 0.0;
+  for (const StageReport& stage : stages) total += stage.seconds;
+  return total;
+}
+
+/// Background proofs should lose every CPU race against foreground
+/// Probe/Add clients, but a worker must NEVER hold a shard lock while in
+/// the idle scheduling class — a preempted idle lock-holder starves the
+/// probes waiting on that shard (classic priority inversion). So demotion
+/// is scoped: ScopedIdleSched wraps only the lock-free CheckEquivalence
+/// call, and is enabled only when the thread is guaranteed to be able to
+/// switch back (the kernel gates leaving SCHED_IDLE behind CAP_SYS_NICE /
+/// RLIMIT_NICE; a thread stuck at idle would reintroduce the inversion).
+bool CanUseIdleProofPriority() {
+#if defined(__linux__) && defined(SCHED_IDLE)
+  if (geteuid() == 0) return true;
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NICE, &lim) != 0) return false;
+  // rlim_cur >= 20 permits re-acquiring nice 0 (SCHED_OTHER's default),
+  // which is what leaving SCHED_IDLE requires of an unprivileged thread.
+  return lim.rlim_cur >= 20;
+#else
+  return false;
+#endif
+}
+
+class ScopedIdleSched {
+ public:
+  explicit ScopedIdleSched(bool enable) {
+#if defined(__linux__) && defined(SCHED_IDLE)
+    if (!enable) return;
+    if (pthread_getschedparam(pthread_self(), &saved_policy_, &saved_param_) !=
+        0) {
+      return;
+    }
+    sched_param idle{};
+    demoted_ =
+        pthread_setschedparam(pthread_self(), SCHED_IDLE, &idle) == 0;
+#else
+    (void)enable;
+#endif
+  }
+  ~ScopedIdleSched() {
+#if defined(__linux__) && defined(SCHED_IDLE)
+    if (demoted_) {
+      pthread_setschedparam(pthread_self(), saved_policy_, &saved_param_);
+    }
+#endif
+  }
+  ScopedIdleSched(const ScopedIdleSched&) = delete;
+  ScopedIdleSched& operator=(const ScopedIdleSched&) = delete;
+
+ private:
+#if defined(__linux__) && defined(SCHED_IDLE)
+  int saved_policy_ = 0;
+  sched_param saved_param_{};
+  bool demoted_ = false;
+#endif
+};
+
+}  // namespace
+
+Status ShardedCatalogOptions::Validate() const {
+  GEQO_RETURN_NOT_OK(catalog.Validate());
+  if (num_shards == 0) {
+    return Status::InvalidArgument("sharded catalog: num_shards must be >= 1");
+  }
+  if (num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "sharded catalog: num_shards " + std::to_string(num_shards) +
+        " exceeds the sanity bound " + std::to_string(kMaxShards));
+  }
+  if (verifier_threads > kMaxVerifierThreads) {
+    return Status::InvalidArgument(
+        "sharded catalog: verifier_threads " +
+        std::to_string(verifier_threads) + " exceeds the sanity bound " +
+        std::to_string(kMaxVerifierThreads));
+  }
+  if (verify_queue_capacity != 0 && verifier_threads == 0) {
+    return Status::InvalidArgument(
+        "sharded catalog: a bounded verify queue requires verifier_threads "
+        "> 0 (a full queue with no consumer would block producers forever)");
+  }
+  return Status::OK();
+}
+
+ShardedCatalog::ShardedCatalog(const Catalog* db_catalog, ml::EmfModel* model,
+                               const EncodingLayout* instance_layout,
+                               const EncodingLayout* agnostic_layout,
+                               ValueRange value_range,
+                               ShardedCatalogOptions options)
+    : db_catalog_(db_catalog),
+      model_(model),
+      instance_layout_(instance_layout),
+      agnostic_layout_(agnostic_layout),
+      value_range_(value_range),
+      options_(std::move(options)),
+      options_status_(options_.Validate()),
+      queue_(options_.verify_queue_capacity) {
+  if (!options_status_.ok()) return;  // poisoned: every entry point reports it
+  shards_.reserve(options_.num_shards);
+  for (size_t i = 0; i < options_.num_shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->catalog = std::make_unique<EquivalenceCatalog>(
+        db_catalog_, model_, instance_layout_, agnostic_layout_, value_range_,
+        options_.catalog);
+    shards_.push_back(std::move(shard));
+  }
+  workers_.reserve(options_.verifier_threads);
+  for (size_t i = 0; i < options_.verifier_threads; ++i) {
+    workers_.emplace_back(&ShardedCatalog::WorkerLoop, this);
+  }
+}
+
+ShardedCatalog::~ShardedCatalog() {
+  queue_.Close();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+size_t ShardedCatalog::ShardOf(const SfSignature& signature) const {
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const std::string& table : signature.tables) {
+    hash = HashCombine(hash, HashString(table));
+  }
+  hash = HashCombine(hash, signature.num_output_columns);
+  return static_cast<size_t>(hash % shards_.size());
+}
+
+void ShardedCatalog::UpdateQueueGauge() const {
+  if (!obs::MetricsEnabled()) return;
+  obs::MetricsRegistry::Global()
+      .GetGauge("serve.verify_queue_depth")
+      .Set(static_cast<double>(queue_.outstanding()));
+}
+
+Result<ShardedCatalog::PreparedAdd> ShardedCatalog::PrepareAdd(
+    const PlanPtr& plan) const {
+  PreparedAdd out;
+  GEQO_ASSIGN_OR_RETURN(out.query, prep().PrepareQuery(plan));
+  GEQO_ASSIGN_OR_RETURN(out.embedding, prep().EmbedQuery(out.query));
+  return out;
+}
+
+Result<size_t> ShardedCatalog::CommitAdd(PreparedAdd prepared) {
+  const size_t sid = ShardOf(prepared.query.signature);
+  Shard& shard = *shards_[sid];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  GEQO_ASSIGN_OR_RETURN(
+      const size_t local,
+      shard.catalog->AddWithEmbedding(std::move(prepared.query),
+                                      prepared.embedding));
+  size_t gid = 0;
+  {
+    std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+    gid = global_map_.size();
+    global_map_.emplace_back(sid, local);
+  }
+  shard.to_global.push_back(gid);
+  adds_.fetch_add(1, std::memory_order_relaxed);
+  return gid;
+}
+
+Result<size_t> ShardedCatalog::Add(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("serve.ShardedAdd");
+  GEQO_ASSIGN_OR_RETURN(PreparedAdd prepared, PrepareAdd(plan));
+  return CommitAdd(std::move(prepared));
+}
+
+Result<std::vector<size_t>> ShardedCatalog::AddBatch(
+    const std::vector<PlanPtr>& plans) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("serve.ShardedAddBatch");
+  const size_t n = plans.size();
+  // Prepare + embed (the expensive part) in parallel on the global pool;
+  // commit sequentially in input order so ids are deterministic.
+  std::vector<std::optional<PreparedAdd>> items(n);
+  std::vector<Status> statuses(n);
+  ParallelFor(0, n, [&](size_t i) {
+    Result<PreparedAdd> prepared = PrepareAdd(plans[i]);
+    if (prepared.ok()) {
+      items[i] = std::move(*prepared);
+    } else {
+      statuses[i] = prepared.status();
+    }
+  });
+  for (const Status& status : statuses) GEQO_RETURN_NOT_OK(status);
+  std::vector<size_t> ids;
+  ids.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    GEQO_ASSIGN_OR_RETURN(const size_t gid, CommitAdd(std::move(*items[i])));
+    ids.push_back(gid);
+  }
+  return ids;
+}
+
+void ShardedCatalog::TranslateLocked(const Shard& shard, size_t sid,
+                                     EquivalenceCatalog::ReadProbeResult& read,
+                                     ShardedProbeResult* out) const {
+  out->matches.reserve(read.matches.size());
+  for (const ProbeMatch& match : read.matches) {
+    out->matches.push_back(
+        ProbeMatch{shard.to_global[match.id], match.verdict, match.score});
+  }
+  // to_global is strictly increasing in the local id, so sorted local lists
+  // translate to sorted global lists.
+  out->proven_ids.reserve(read.proven_ids.size());
+  for (const size_t id : read.proven_ids) {
+    out->proven_ids.push_back(shard.to_global[id]);
+  }
+  if (read.representative) {
+    out->representative = shard.to_global[*read.representative];
+  }
+  out->memo_hits = read.memo_hits;
+  out->class_shortcuts = read.class_shortcuts;
+  for (StageReport& stage : read.stages) {
+    stage.shard = static_cast<int>(sid);
+    out->stages.push_back(std::move(stage));
+  }
+}
+
+void ShardedCatalog::EnqueuePending(
+    size_t shard, const PlanPtr& query_plan, uint64_t query_hash,
+    uint64_t query_check, size_t query_local,
+    std::vector<EquivalenceCatalog::ClassDecision> pending) {
+  if (pending.empty()) return;
+  for (EquivalenceCatalog::ClassDecision& decision : pending) {
+    VerifyTask task;
+    task.shard = shard;
+    task.query_plan = query_plan;
+    task.query_hash = query_hash;
+    task.query_check = query_check;
+    task.query_local = query_local;
+    task.agenda = std::move(decision.agenda);
+    if (queue_.Push(std::move(task))) {
+      verify_tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  UpdateQueueGauge();
+}
+
+Result<ShardedProbeResult> ShardedCatalog::Probe(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  // Span + stage clock at entry: PrepareQuery's canonicalize/encode cost is
+  // part of the reported probe latency (see ProbeResult::seconds).
+  obs::Span span("serve.ShardedProbe");
+  StageReport prepare = MakeStage("prepare", true);
+  StageScope prepare_scope("serve.prepare");
+  Result<EquivalenceCatalog::QueryContext> prepared = prep().PrepareQuery(plan);
+  GEQO_RETURN_NOT_OK(prepared.status());
+  prepare.pairs_in = 1;
+  prepare.pairs_out = 1;
+  prepare_scope.Finish(&prepare);
+
+  const size_t sid = ShardOf(prepared->signature);
+  Shard& shard = *shards_[sid];
+  ShardedProbeResult result;
+  result.shard = sid;
+  result.stages.push_back(std::move(prepare));
+  EquivalenceCatalog::ReadProbeResult read;
+  {
+    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    GEQO_ASSIGN_OR_RETURN(read, shard.catalog->ProbeReadOnly(*prepared));
+    TranslateLocked(shard, sid, read, &result);
+  }
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  memo_collisions_.fetch_add(read.collisions, std::memory_order_relaxed);
+  result.pending_classes = read.pending.size();
+  EnqueuePending(sid, prepared->plan, prepared->canonical_hash,
+                 prepared->check_hash, kNoEntry, std::move(read.pending));
+  result.seconds = SumStageSeconds(result.stages);
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("serve.probes").Add(1);
+    registry.GetCounter("serve.memo_hits").Add(result.memo_hits);
+    registry.GetCounter("serve.pending_classes").Add(result.pending_classes);
+    registry.GetHistogram("serve.probe_seconds").Observe(result.seconds);
+  }
+  return result;
+}
+
+Result<ShardedProbeAddResult> ShardedCatalog::ProbeAdd(const PlanPtr& plan) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  obs::Span span("serve.ShardedProbeAdd");
+  StageReport prepare = MakeStage("prepare", true);
+  StageScope prepare_scope("serve.prepare");
+  Result<PreparedAdd> prepared = PrepareAdd(plan);  // embed outside the lock
+  GEQO_RETURN_NOT_OK(prepared.status());
+  prepare.pairs_in = 1;
+  prepare.pairs_out = 1;
+  prepare_scope.Finish(&prepare);
+
+  const size_t sid = ShardOf(prepared->query.signature);
+  Shard& shard = *shards_[sid];
+  ShardedProbeAddResult result;
+  result.probe.shard = sid;
+  result.probe.stages.push_back(std::move(prepare));
+  const PlanPtr query_plan = prepared->query.plan;
+  const uint64_t query_hash = prepared->query.canonical_hash;
+  const uint64_t query_check = prepared->query.check_hash;
+  EquivalenceCatalog::ReadProbeResult read;
+  size_t local = 0;
+  {
+    // Probe + insert + sync unions as one exclusive critical section on the
+    // routed shard: the probe's verdicts and the join set stay consistent.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    GEQO_ASSIGN_OR_RETURN(read, shard.catalog->ProbeReadOnly(prepared->query));
+    std::set<size_t> roots;
+    for (const size_t id : read.proven_ids) {
+      roots.insert(shard.catalog->classes_.Find(id));
+    }
+    GEQO_ASSIGN_OR_RETURN(
+        local, shard.catalog->AddWithEmbedding(std::move(prepared->query),
+                                               prepared->embedding));
+    {
+      std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+      result.id = global_map_.size();
+      global_map_.emplace_back(sid, local);
+    }
+    shard.to_global.push_back(result.id);
+    for (const size_t root : roots) {
+      shard.catalog->classes_.Union(local, root);
+    }
+    TranslateLocked(shard, sid, read, &result.probe);
+  }
+  adds_.fetch_add(1, std::memory_order_relaxed);
+  probes_.fetch_add(1, std::memory_order_relaxed);
+  memo_collisions_.fetch_add(read.collisions, std::memory_order_relaxed);
+  result.probe.pending_classes = read.pending.size();
+  EnqueuePending(sid, query_plan, query_hash, query_check, local,
+                 std::move(read.pending));
+  result.probe.seconds = SumStageSeconds(result.probe.stages);
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("serve.probes").Add(1);
+    registry.GetCounter("serve.memo_hits").Add(result.probe.memo_hits);
+    registry.GetCounter("serve.pending_classes")
+        .Add(result.probe.pending_classes);
+    registry.GetHistogram("serve.probe_seconds").Observe(result.probe.seconds);
+  }
+  return result;
+}
+
+void ShardedCatalog::WorkerLoop() {
+  const bool idle_proofs =
+      options_.low_priority_verifiers && CanUseIdleProofPriority();
+  // Each worker owns its verifier: CheckEquivalence mutates per-instance
+  // stats, so instances are thread-confined (same rule as the pipeline's
+  // per-thread verifiers).
+  SpesVerifier verifier(db_catalog_, options_.catalog.pipeline.verifier);
+  while (std::optional<VerifyTask> task = queue_.Pop()) {
+    ProcessTask(*task, verifier, idle_proofs);
+    queue_.TaskDone();
+    UpdateQueueGauge();
+  }
+}
+
+void ShardedCatalog::ProcessTask(const VerifyTask& task,
+                                 SpesVerifier& verifier, bool idle_proofs) {
+  Shard& shard = *shards_[task.shard];
+  const VerifierStats before = verifier.stats();
+  // Replay the sync path's class-at-a-time cascade: root first, advance
+  // past kUnknown, stop at the first decisive verdict. Memo lookups happen
+  // under the shard's shared lock; actual proofs run with no lock held and
+  // fold back in under a brief unique lock.
+  std::optional<EquivalenceVerdict> decision;
+  size_t decided_member = kNoEntry;
+  for (const size_t id : task.agenda) {
+    CheckedPair memo_key;
+    PlanPtr entry_plan;
+    std::optional<EquivalenceVerdict> verdict;
+    {
+      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      const auto& entry = shard.catalog->entries_[id];
+      memo_key = MakeCheckedPair(task.query_hash, task.query_check,
+                                 entry.canonical_hash, entry.check_hash);
+      const VerifierMemo::LookupOutcome memoized =
+          shard.catalog->memo_.Lookup(memo_key.key, memo_key.check);
+      if (memoized.collision) {
+        memo_collisions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (memoized.verdict) {
+        verdict = memoized.verdict;
+        async_memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        entry_plan = entry.plan;
+      }
+    }
+    if (!verdict) {
+      async_verifier_calls_.fetch_add(1, std::memory_order_relaxed);
+      const EquivalenceVerdict proved = [&] {
+        // Idle priority for the proof only — never across a lock.
+        ScopedIdleSched idle(idle_proofs);
+        return verifier.CheckEquivalence(task.query_plan, entry_plan);
+      }();
+      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      shard.catalog->memo_.Insert(memo_key.key, memo_key.check, proved);
+      verdict = proved;
+    }
+    if (*verdict != EquivalenceVerdict::kUnknown) {
+      decision = verdict;
+      decided_member = id;
+      break;
+    }
+  }
+  if (decision == EquivalenceVerdict::kEquivalent &&
+      task.query_local != kNoEntry) {
+    // The query is itself an entry (ProbeAdd): fold the proof into the
+    // shard's class forest, upgrading what later probes see.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    if (shard.catalog->classes_.Union(task.query_local, decided_member)) {
+      async_unions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  verify_tasks_completed_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::MetricsEnabled()) {
+    auto& registry = obs::MetricsRegistry::Global();
+    registry.GetCounter("serve.verify_tasks").Add(1);
+    registry.GetHistogram("serve.verify_lag_seconds")
+        .Observe(task.enqueued.ElapsedSeconds());
+    FoldVerifierStatsToMetrics(verifier.stats().DeltaSince(before));
+  }
+}
+
+void ShardedCatalog::DrainPendingVerifications() {
+  if (!workers_.empty()) {
+    queue_.WaitIdle();
+    UpdateQueueGauge();
+    return;
+  }
+  // Deferred mode: process the backlog inline. drain_mu_ makes this the
+  // queue's only consumer, so size() > 0 guarantees Pop() will not block.
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (!drain_verifier_) {
+    drain_verifier_ = std::make_unique<SpesVerifier>(
+        db_catalog_, options_.catalog.pipeline.verifier);
+  }
+  while (queue_.size() > 0) {
+    std::optional<VerifyTask> task = queue_.Pop();
+    if (!task) break;
+    ProcessTask(*task, *drain_verifier_);
+    queue_.TaskDone();
+  }
+  UpdateQueueGauge();
+}
+
+size_t ShardedCatalog::size() const {
+  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  return global_map_.size();
+}
+
+size_t ShardedCatalog::NumClasses() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->catalog->NumClasses();
+  }
+  return total;
+}
+
+size_t ShardedCatalog::memo_size() const {
+  size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    total += shard->catalog->memo_size();
+  }
+  return total;
+}
+
+std::vector<size_t> ShardedCatalog::ClassMembers(size_t gid) const {
+  std::pair<size_t, size_t> slot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    GEQO_CHECK(gid < global_map_.size());
+    slot = global_map_[gid];
+  }
+  const Shard& shard = *shards_[slot.first];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  std::vector<size_t> members;
+  for (const size_t local : shard.catalog->ClassMembers(slot.second)) {
+    members.push_back(shard.to_global[local]);
+  }
+  return members;
+}
+
+size_t ShardedCatalog::ClassOf(size_t gid) const {
+  std::pair<size_t, size_t> slot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    GEQO_CHECK(gid < global_map_.size());
+    slot = global_map_[gid];
+  }
+  const Shard& shard = *shards_[slot.first];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.to_global[shard.catalog->ClassOf(slot.second)];
+}
+
+PlanPtr ShardedCatalog::plan(size_t gid) const {
+  std::pair<size_t, size_t> slot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    GEQO_CHECK(gid < global_map_.size());
+    slot = global_map_[gid];
+  }
+  const Shard& shard = *shards_[slot.first];
+  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  return shard.catalog->plan(slot.second);
+}
+
+ShardedCatalogStats ShardedCatalog::stats() const {
+  ShardedCatalogStats out;
+  out.adds = adds_.load(std::memory_order_relaxed);
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.verify_tasks_enqueued =
+      verify_tasks_enqueued_.load(std::memory_order_relaxed);
+  out.verify_tasks_completed =
+      verify_tasks_completed_.load(std::memory_order_relaxed);
+  out.async_verifier_calls =
+      async_verifier_calls_.load(std::memory_order_relaxed);
+  out.async_memo_hits = async_memo_hits_.load(std::memory_order_relaxed);
+  out.async_unions = async_unions_.load(std::memory_order_relaxed);
+  out.memo_collisions = memo_collisions_.load(std::memory_order_relaxed);
+  out.dropped_probe_tasks =
+      dropped_probe_tasks_.load(std::memory_order_relaxed);
+  return out;
+}
+
+Status ShardedCatalog::Save(const std::string& path) const {
+  std::ofstream file(path, std::ios::binary | std::ios::trunc);
+  if (!file) return Status::IoError("cannot open for writing: " + path);
+  GEQO_RETURN_NOT_OK(Save(file));
+  if (!file.good()) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+Status ShardedCatalog::Save(std::ostream& os) const {
+  GEQO_RETURN_NOT_OK(options_status_);
+  // Freeze the async plane: Pause waits for in-flight tasks to apply their
+  // side effects, after which the backlog is exactly SnapshotPending().
+  queue_.Pause();
+  Status status = [&]() -> Status {
+    const std::vector<VerifyTask> pending = queue_.SnapshotPending();
+    // Lock every shard (index order, so concurrent Saves cannot deadlock)
+    // plus the global map for one consistent cross-shard view.
+    std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
+    shard_locks.reserve(shards_.size());
+    for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+
+    std::ostringstream payload;
+    io::BinaryWriter writer(payload, "sharded catalog snapshot");
+    writer.U64(io::kShardedCatalogMagic);
+    writer.U64(io::kShardedCatalogVersion);
+    writer.U64(shards_.size());
+    writer.U64(global_map_.size());
+    for (const auto& [sid, local] : global_map_) writer.U64(sid);
+    GEQO_RETURN_NOT_OK(writer.status());
+    for (const auto& shard : shards_) {
+      std::ostringstream segment;
+      GEQO_RETURN_NOT_OK(shard->catalog->Save(segment));
+      const std::string bytes = segment.str();
+      writer.U64(bytes.size());
+      writer.Bytes(bytes.data(), bytes.size());
+    }
+    // The pending tail: (query gid, member gid) pairs for tasks whose query
+    // is a catalog entry. Probe-only tasks have no entry to name across a
+    // restart — they are dropped (counted), and the client just re-probes.
+    std::vector<std::pair<uint64_t, uint64_t>> pairs;
+    for (const VerifyTask& task : pending) {
+      if (task.query_local == kNoEntry) {
+        dropped_probe_tasks_.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const std::vector<size_t>& to_global = shards_[task.shard]->to_global;
+      for (const size_t member : task.agenda) {
+        pairs.emplace_back(to_global[task.query_local], to_global[member]);
+      }
+    }
+    std::sort(pairs.begin(), pairs.end());
+    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+    writer.U64(pairs.size());
+    for (const auto& [query_gid, member_gid] : pairs) {
+      writer.U64(query_gid);
+      writer.U64(member_gid);
+    }
+    writer.U64(io::kShardedCatalogEndMagic);
+    GEQO_RETURN_NOT_OK(writer.status());
+    return io::WriteChecksummed(os, payload.str(),
+                                "sharded catalog snapshot");
+  }();
+  queue_.Resume();
+  return status;
+}
+
+Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
+    const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
+    const EncodingLayout* instance_layout,
+    const EncodingLayout* agnostic_layout, ValueRange value_range,
+    const std::vector<PlanPtr>& plans, ShardedCatalogOptions options) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::IoError("cannot open for reading: " + path);
+  Result<std::unique_ptr<ShardedCatalog>> catalog =
+      Load(file, db_catalog, model, instance_layout, agnostic_layout,
+           value_range, plans, options);
+  if (!catalog.ok()) {
+    return Status(catalog.status().code(),
+                  catalog.status().message() + " (file: " + path + ")");
+  }
+  return catalog;
+}
+
+Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
+    std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
+    const EncodingLayout* instance_layout,
+    const EncodingLayout* agnostic_layout, ValueRange value_range,
+    const std::vector<PlanPtr>& plans, ShardedCatalogOptions options) {
+  GEQO_ASSIGN_OR_RETURN(const std::string payload,
+                        io::ReadChecksummed(is, "sharded catalog snapshot"));
+  std::istringstream stream(payload);
+  io::BinaryReader reader(stream, "sharded catalog snapshot");
+  const uint64_t magic = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (magic != io::kShardedCatalogMagic) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: bad magic (not a sharded catalog "
+        "snapshot)");
+  }
+  const uint64_t version = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (version != io::kShardedCatalogVersion) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: unsupported version " +
+        std::to_string(version) + " (expected " +
+        std::to_string(io::kShardedCatalogVersion) + ")");
+  }
+  const uint64_t num_shards = reader.U64();
+  const uint64_t count = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (num_shards == 0 || num_shards > kMaxShards) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: implausible shard count " +
+        std::to_string(num_shards) + " (corrupt snapshot)");
+  }
+  if (count != plans.size()) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: entry count mismatch (snapshot " +
+        std::to_string(count) + ", caller supplied " +
+        std::to_string(plans.size()) + " plans)");
+  }
+  std::vector<size_t> shard_of(count);
+  for (auto& sid : shard_of) {
+    sid = reader.U64();
+    if (reader.ok() && sid >= num_shards) {
+      reader.Fail("entry routed to shard " + std::to_string(sid) +
+                  " of " + std::to_string(num_shards));
+    }
+  }
+  GEQO_RETURN_NOT_OK(reader.status());
+
+  // Routing must stay consistent with the ids already assigned, so the
+  // shard count is adopted from the snapshot regardless of the option.
+  options.num_shards = num_shards;
+  auto catalog = std::make_unique<ShardedCatalog>(
+      db_catalog, model, instance_layout, agnostic_layout, value_range,
+      options);
+  GEQO_RETURN_NOT_OK(catalog->options_status_);
+
+  // Split the global plan list into per-shard lists (local order == global
+  // order restricted to the shard) and rebuild both id maps.
+  std::vector<std::vector<PlanPtr>> shard_plans(num_shards);
+  catalog->global_map_.reserve(count);
+  for (size_t gid = 0; gid < count; ++gid) {
+    const size_t sid = shard_of[gid];
+    catalog->global_map_.emplace_back(sid, shard_plans[sid].size());
+    catalog->shards_[sid]->to_global.push_back(gid);
+    shard_plans[sid].push_back(plans[gid]);
+  }
+  for (size_t sid = 0; sid < num_shards; ++sid) {
+    const uint64_t segment_size = reader.U64();
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (segment_size > payload.size()) {
+      return Status::InvalidArgument(
+          "sharded catalog snapshot: shard " + std::to_string(sid) +
+          " segment length exceeds the payload (corrupt snapshot)");
+    }
+    std::string segment(segment_size, '\0');
+    reader.Bytes(segment.data(), segment.size());
+    GEQO_RETURN_NOT_OK(reader.status());
+    std::istringstream segment_stream(segment);
+    Result<std::unique_ptr<EquivalenceCatalog>> loaded =
+        EquivalenceCatalog::Load(segment_stream, db_catalog, model,
+                                 instance_layout, agnostic_layout, value_range,
+                                 shard_plans[sid], options.catalog);
+    if (!loaded.ok()) {
+      return Status(loaded.status().code(), "sharded catalog snapshot: shard " +
+                                                std::to_string(sid) + ": " +
+                                                loaded.status().message());
+    }
+    catalog->shards_[sid]->catalog = std::move(*loaded);
+  }
+  const uint64_t num_pending = reader.U64();
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (num_pending > payload.size()) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: implausible pending-tail count (corrupt "
+        "snapshot)");
+  }
+  std::vector<VerifyTask> pending;
+  pending.reserve(num_pending);
+  for (uint64_t i = 0; i < num_pending; ++i) {
+    const uint64_t query_gid = reader.U64();
+    const uint64_t member_gid = reader.U64();
+    GEQO_RETURN_NOT_OK(reader.status());
+    if (query_gid >= count || member_gid >= count) {
+      return Status::InvalidArgument(
+          "sharded catalog snapshot: pending pair references entry beyond "
+          "the catalog (corrupt snapshot)");
+    }
+    if (shard_of[query_gid] != shard_of[member_gid]) {
+      return Status::InvalidArgument(
+          "sharded catalog snapshot: pending pair spans shards — classes "
+          "never do (corrupt snapshot)");
+    }
+    const size_t sid = shard_of[query_gid];
+    const size_t query_local = catalog->global_map_[query_gid].second;
+    const auto& entry =
+        catalog->shards_[sid]->catalog->entries_[query_local];
+    VerifyTask task;
+    task.shard = sid;
+    task.query_plan = entry.plan;
+    task.query_hash = entry.canonical_hash;
+    task.query_check = entry.check_hash;
+    task.query_local = query_local;
+    task.agenda = {catalog->global_map_[member_gid].second};
+    pending.push_back(std::move(task));
+  }
+  if (reader.U64() != io::kShardedCatalogEndMagic) {
+    reader.Fail("missing end marker");
+  }
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument(
+        "sharded catalog snapshot: trailing bytes after end marker (corrupt "
+        "snapshot)");
+  }
+  // Re-arm the verification backlog only once the whole snapshot has
+  // validated (the worker pool may start consuming immediately).
+  for (VerifyTask& task : pending) {
+    if (catalog->queue_.Push(std::move(task))) {
+      catalog->verify_tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  catalog->UpdateQueueGauge();
+  return catalog;
+}
+
+}  // namespace geqo::serve

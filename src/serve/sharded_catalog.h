@@ -1,0 +1,311 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "common/work_queue.h"
+#include "serve/equivalence_catalog.h"
+
+/// \file sharded_catalog.h
+/// Concurrent serving (§7.7 at scale): a ShardedCatalog partitions one
+/// logical equivalence catalog across N EquivalenceCatalog shards routed by
+/// SF signature, and moves verification off the probe path onto an async
+/// background plane.
+///
+/// Why sharding by SF signature is complete: two equivalent subexpressions
+/// necessarily scan the same table set and return the same output arity
+/// (§2.2.1) — i.e. they share an SF signature — so every equivalence class
+/// lives entirely inside one shard and cross-shard traffic never exists.
+/// Routing uses the signature even when the pipeline's use_sf ablation
+/// toggle is off (the toggle still controls the *filter stage* within the
+/// routed shard).
+///
+/// Concurrency model:
+///   - Each shard carries a reader-writer lock. Probe takes the shard's
+///     shared lock and runs EquivalenceCatalog::ProbeReadOnly — a const
+///     filter-plus-classification pass that never calls the verifier and
+///     never mutates — so probes of one shard proceed concurrently with
+///     each other and block only behind that shard's brief Add critical
+///     section, never behind verification.
+///   - Add/ProbeAdd prepare and embed OUTSIDE any lock (the expensive part),
+///     then take the shard's unique lock only for the index insert and
+///     bookkeeping. AddBatch fans the prepare/embed work through the global
+///     thread pool and applies the inserts in input order, so assigned ids
+///     are deterministic regardless of thread count.
+///   - Probe returns immediately with per-candidate MatchVerdicts: kProven /
+///     kRefuted straight from the memo and class forest, kLikely (with the
+///     EMF score) for anything undecided. Undecided classes are enqueued on
+///     a WorkQueue; a pool of background verifier threads — each owning its
+///     own SpesVerifier — drains them, memoizes the verdicts, and folds
+///     proofs into the owning shard's union-find, upgrading what a later
+///     probe of the same pair will see. DrainPendingVerifications() is the
+///     barrier that makes "no lost async verdicts" testable.
+///   - With verifier_threads == 0 the plane is *deferred*: tasks queue up
+///     and DrainPendingVerifications() processes them inline on the caller.
+///     Deterministic by construction — the mode the replay tests and the
+///     snapshot pending-tail tests use.
+///
+/// Global ids: entries get densely-increasing global ids in Add order,
+/// mapped to (shard, local) slots. All public results speak global ids.
+///
+/// Snapshots: Save/Load use the GEQOSHRD container — shard count, the
+/// gid -> shard routing map, one length-prefixed GEQOCATG segment per shard,
+/// and the pending-verification tail (entry-entry pairs not yet drained), so
+/// a restarted service resumes both the catalog state and the unfinished
+/// verification backlog. Probe-only pending tasks (whose query is not an
+/// entry) are dropped at save and counted; a restarted client simply
+/// re-probes.
+
+namespace geqo::serve {
+
+/// \brief Configuration of a sharded serving deployment.
+struct ShardedCatalogOptions {
+  /// Per-shard catalog (filter cascade) options.
+  CatalogOptions catalog;
+  /// Number of shards; routing is HashSignature % num_shards.
+  size_t num_shards = 4;
+  /// Background verifier threads; 0 = deferred mode (tasks queue until
+  /// DrainPendingVerifications drains them inline on the caller).
+  size_t verifier_threads = 1;
+  /// Verify-queue capacity bound (producers block when full); 0 = unbounded.
+  /// Requires verifier_threads > 0 — a bounded queue with no consumer would
+  /// deadlock the producer.
+  size_t verify_queue_capacity = 0;
+  /// Run background proof computation at idle scheduling priority
+  /// (SCHED_IDLE on Linux; no-op elsewhere) so proof work never
+  /// time-slices against foreground Probe/Add clients when cores are
+  /// scarce. The demotion is scoped to the lock-free verifier call — shard
+  /// locks are always taken at normal priority (no priority inversion) —
+  /// and engages only when the worker is guaranteed to be able to leave
+  /// SCHED_IDLE again (CAP_SYS_NICE or RLIMIT_NICE >= 20).
+  bool low_priority_verifiers = true;
+
+  Status Validate() const;
+};
+
+/// \brief Monotonic serving counters, aggregated across shards and the
+/// async plane. Readable concurrently at any time (atomics snapshot).
+struct ShardedCatalogStats {
+  uint64_t adds = 0;
+  uint64_t probes = 0;
+  uint64_t verify_tasks_enqueued = 0;
+  uint64_t verify_tasks_completed = 0;
+  uint64_t async_verifier_calls = 0;  ///< proofs attempted by the plane
+  uint64_t async_memo_hits = 0;       ///< plane tasks settled from the memo
+  uint64_t async_unions = 0;          ///< class merges folded by the plane
+  uint64_t memo_collisions = 0;       ///< check-pair mismatches (all paths)
+  uint64_t dropped_probe_tasks = 0;   ///< probe-only tasks dropped at Save
+};
+
+/// \brief Outcome of one async-path probe. Ids are global.
+struct ShardedProbeResult {
+  /// One entry per filter survivor, ascending by id, each classified
+  /// kProven / kLikely(score) / kRefuted (see MatchVerdict).
+  std::vector<ProbeMatch> matches;
+  /// Every member of every already-proven class, sorted ascending.
+  std::vector<size_t> proven_ids;
+  /// Smallest proven class representative, if any.
+  std::optional<size_t> representative;
+  size_t shard = 0;  ///< the shard the probe routed to
+  size_t memo_hits = 0;
+  size_t class_shortcuts = 0;
+  /// Candidate classes handed to the async verifier plane by this probe.
+  size_t pending_classes = 0;
+  /// prepare + the shard's sf/vmf/emf/classify stages (tagged with shard).
+  std::vector<StageReport> stages;
+  /// Stage-sum latency, measured from Probe entry (same convention as
+  /// ProbeResult::seconds).
+  double seconds = 0.0;
+};
+
+/// \brief Outcome of ProbeAdd: the probe plus the new entry's global id.
+struct ShardedProbeAddResult {
+  ShardedProbeResult probe;
+  size_t id = 0;
+};
+
+/// \brief A sharded, concurrently-servable equivalence catalog with an
+/// async verification plane.
+class ShardedCatalog {
+ public:
+  /// Component lifetime contract matches EquivalenceCatalog: \p db_catalog,
+  /// \p model, and the layouts must outlive this object. Background
+  /// verifier threads start immediately (when verifier_threads > 0).
+  ShardedCatalog(const Catalog* db_catalog, ml::EmfModel* model,
+                 const EncodingLayout* instance_layout,
+                 const EncodingLayout* agnostic_layout, ValueRange value_range,
+                 ShardedCatalogOptions options = ShardedCatalogOptions());
+  /// Closes the verify queue and joins the worker pool. Pending tasks that
+  /// were not drained are discarded — Save first if they matter.
+  ~ShardedCatalog();
+
+  ShardedCatalog(const ShardedCatalog&) = delete;
+  ShardedCatalog& operator=(const ShardedCatalog&) = delete;
+
+  /// Registers \p plan (prepare + embed outside the lock, brief unique-lock
+  /// insert); returns its global id. Thread-safe.
+  Result<size_t> Add(const PlanPtr& plan);
+
+  /// Adds \p plans, fanning the prepare/embed work through the global
+  /// thread pool; inserts happen in input order, so the returned ids are
+  /// plans' positions appended to the current size — deterministic for any
+  /// thread count. Thread-safe (concurrent AddBatch calls interleave
+  /// batches, not elements).
+  Result<std::vector<size_t>> AddBatch(const std::vector<PlanPtr>& plans);
+
+  /// Classifies \p plan against its routed shard under a shared lock:
+  /// returns immediately with Proven/Likely/Refuted matches, enqueueing
+  /// undecided classes for the async plane. Never blocks behind another
+  /// probe or a verification; blocks only behind the shard's brief Add
+  /// critical section. Thread-safe.
+  Result<ShardedProbeResult> Probe(const PlanPtr& plan);
+
+  /// Probe + Add as one exclusive critical section on the routed shard; the
+  /// new entry joins every already-proven class synchronously, and pending
+  /// classes carry the entry id so async proofs union it in later.
+  /// Thread-safe.
+  Result<ShardedProbeAddResult> ProbeAdd(const PlanPtr& plan);
+
+  /// Blocks until every queued verification task has been fully applied
+  /// (memo + unions). In deferred mode (verifier_threads == 0) the backlog
+  /// is processed inline on the calling thread.
+  void DrainPendingVerifications();
+
+  /// Queued plus in-flight verification tasks.
+  size_t PendingVerifications() const { return queue_.outstanding(); }
+
+  size_t size() const;
+  size_t num_shards() const { return shards_.size(); }
+  size_t NumClasses() const;
+  size_t memo_size() const;
+  /// Members of \p gid's equivalence class, as sorted global ids.
+  std::vector<size_t> ClassMembers(size_t gid) const;
+  /// Representative (smallest global id) of \p gid's class.
+  size_t ClassOf(size_t gid) const;
+  PlanPtr plan(size_t gid) const;
+  ShardedCatalogStats stats() const;
+  const ShardedCatalogOptions& options() const { return options_; }
+
+  /// Persists the GEQOSHRD container (see file comment). Pauses the verify
+  /// queue so the pending tail is captured atomically, then resumes it.
+  Status Save(const std::string& path) const;
+  Status Save(std::ostream& os) const;
+
+  /// Restores a GEQOSHRD snapshot. \p plans must be all entries in global
+  /// Add order (the same contract as EquivalenceCatalog::Load). The shard
+  /// count is adopted from the snapshot (routing must stay consistent with
+  /// the ids already assigned); \p options.num_shards is ignored. The
+  /// pending-verification tail is re-enqueued, ready for the worker pool or
+  /// a DrainPendingVerifications call.
+  static Result<std::unique_ptr<ShardedCatalog>> Load(
+      const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
+      const EncodingLayout* instance_layout,
+      const EncodingLayout* agnostic_layout, ValueRange value_range,
+      const std::vector<PlanPtr>& plans,
+      ShardedCatalogOptions options = ShardedCatalogOptions());
+  static Result<std::unique_ptr<ShardedCatalog>> Load(
+      std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
+      const EncodingLayout* instance_layout,
+      const EncodingLayout* agnostic_layout, ValueRange value_range,
+      const std::vector<PlanPtr>& plans,
+      ShardedCatalogOptions options = ShardedCatalogOptions());
+
+ private:
+  /// Sentinel for "the probing plan is not a catalog entry".
+  static constexpr size_t kNoEntry = ~static_cast<size_t>(0);
+
+  /// One undecided candidate class, bound for the verifier plane.
+  struct VerifyTask {
+    size_t shard = 0;
+    PlanPtr query_plan;
+    uint64_t query_hash = 0;
+    uint64_t query_check = 0;
+    /// The query's own local id when it was ProbeAdd'ed (async proofs then
+    /// union it into the proven class); kNoEntry for plain probes.
+    size_t query_local = kNoEntry;
+    /// Shard-local verification agenda, class root first — replayed exactly
+    /// like the sync path's class-at-a-time cascade.
+    std::vector<size_t> agenda;
+    Stopwatch enqueued;  ///< verify-lag clock, started at enqueue
+  };
+
+  struct Shard {
+    /// Guards catalog (its entries, index, classes, memo) and to_global.
+    mutable std::shared_mutex mu;
+    std::unique_ptr<EquivalenceCatalog> catalog;
+    std::vector<size_t> to_global;  ///< local id -> global id (ascending)
+  };
+
+  /// Plan plus its precomputed embedding, ready for the locked insert.
+  struct PreparedAdd {
+    EquivalenceCatalog::QueryContext query;
+    std::vector<float> embedding;
+  };
+
+  size_t ShardOf(const SfSignature& signature) const;
+  /// The shard-0 catalog, used for lock-free const preparation work
+  /// (PrepareQuery/EmbedQuery touch only immutable wiring).
+  const EquivalenceCatalog& prep() const { return *shards_[0]->catalog; }
+  Result<PreparedAdd> PrepareAdd(const PlanPtr& plan) const;
+  /// Insert under the shard's unique lock; returns the new global id.
+  Result<size_t> CommitAdd(PreparedAdd prepared);
+  /// Rewrites a shard-local ReadProbeResult into \p out with global ids and
+  /// shard-tagged stages; the caller must hold \p shard's lock (shared or
+  /// unique) so to_global is stable.
+  void TranslateLocked(const Shard& shard, size_t sid,
+                       EquivalenceCatalog::ReadProbeResult& read,
+                       ShardedProbeResult* out) const;
+  /// Converts a probe's undecided classes into queued VerifyTasks.
+  void EnqueuePending(size_t shard, const PlanPtr& query_plan,
+                      uint64_t query_hash, uint64_t query_check,
+                      size_t query_local,
+                      std::vector<EquivalenceCatalog::ClassDecision> pending);
+  void WorkerLoop();
+  /// Applies one task: memo-first agenda replay, verifier calls outside any
+  /// lock, memo insert + union under the shard's unique lock.
+  /// \p idle_proofs runs the (lock-free) proof at idle scheduling priority;
+  /// shard locks are always taken at the caller's normal priority.
+  void ProcessTask(const VerifyTask& task, SpesVerifier& verifier,
+                   bool idle_proofs = false);
+  void UpdateQueueGauge() const;
+
+  const Catalog* db_catalog_;
+  ml::EmfModel* model_;
+  const EncodingLayout* instance_layout_;
+  const EncodingLayout* agnostic_layout_;
+  ValueRange value_range_;
+  ShardedCatalogOptions options_;
+  Status options_status_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  /// Guards global_map_. Lock order: shard.mu before map_mu_; never acquire
+  /// a shard lock while holding map_mu_.
+  mutable std::shared_mutex map_mu_;
+  std::vector<std::pair<size_t, size_t>> global_map_;  ///< gid -> (shard, local)
+
+  mutable WorkQueue<VerifyTask> queue_;
+  std::vector<std::thread> workers_;
+  /// Deferred-mode verifier (verifier_threads == 0), guarded by drain_mu_.
+  std::mutex drain_mu_;
+  std::unique_ptr<SpesVerifier> drain_verifier_;
+
+  std::atomic<uint64_t> adds_{0};
+  std::atomic<uint64_t> probes_{0};
+  std::atomic<uint64_t> verify_tasks_enqueued_{0};
+  std::atomic<uint64_t> verify_tasks_completed_{0};
+  std::atomic<uint64_t> async_verifier_calls_{0};
+  std::atomic<uint64_t> async_memo_hits_{0};
+  std::atomic<uint64_t> async_unions_{0};
+  std::atomic<uint64_t> memo_collisions_{0};
+  mutable std::atomic<uint64_t> dropped_probe_tasks_{0};
+};
+
+}  // namespace geqo::serve

@@ -26,21 +26,23 @@ class UnionFind {
     return parent_.size() - 1;
   }
 
-  /// Representative (smallest id) of \p x's class.
+  /// Representative (smallest id) of \p x's class. A pure read — no path
+  /// compression — so any number of concurrent Finds are race-free as long
+  /// as writers (Add/Union/Restore) are excluded, which is exactly the
+  /// sharded serving layer's reader-writer locking discipline.
   size_t Find(size_t x) const {
     GEQO_DCHECK(x < parent_.size());
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];  // path halving
-      x = parent_[x];
-    }
+    while (parent_[x] != x) x = parent_[x];
     return x;
   }
 
   /// Merges the classes of \p a and \p b; the smaller root becomes the
-  /// representative. Returns false if they were already joined.
+  /// representative. Returns false if they were already joined. Compresses
+  /// the two touched paths (writers hold exclusive access anyway, and
+  /// Union-side compression keeps the read-only Find's chains short).
   bool Union(size_t a, size_t b) {
-    a = Find(a);
-    b = Find(b);
+    a = FindAndCompress(a);
+    b = FindAndCompress(b);
     if (a == b) return false;
     if (b < a) std::swap(a, b);
     parent_[b] = a;
@@ -86,9 +88,17 @@ class UnionFind {
   }
 
  private:
-  /// Mutable so Find can compress paths from const contexts; compression
-  /// never changes the represented partition.
-  mutable std::vector<size_t> parent_;
+  /// Find with path halving, for mutating contexts only; compression never
+  /// changes the represented partition.
+  size_t FindAndCompress(size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  std::vector<size_t> parent_;
   size_t num_classes_ = 0;
 };
 

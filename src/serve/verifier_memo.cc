@@ -6,15 +6,17 @@
 namespace geqo::serve {
 
 void VerifierMemo::Serialize(io::BinaryWriter& writer) const {
-  std::vector<std::pair<PairFingerprint, EquivalenceVerdict>> sorted(
-      entries_.begin(), entries_.end());
+  std::vector<std::pair<PairFingerprint, Entry>> sorted(entries_.begin(),
+                                                        entries_.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
   writer.U64(sorted.size());
-  for (const auto& [key, verdict] : sorted) {
+  for (const auto& [key, entry] : sorted) {
     writer.U64(key.lo);
     writer.U64(key.hi);
-    writer.U8(static_cast<uint8_t>(verdict));
+    writer.U64(entry.check.lo);
+    writer.U64(entry.check.hi);
+    writer.U8(static_cast<uint8_t>(entry.verdict));
   }
 }
 
@@ -27,13 +29,22 @@ Status VerifierMemo::Deserialize(io::BinaryReader& reader) {
     PairFingerprint key;
     key.lo = reader.U64();
     key.hi = reader.U64();
+    MemoCheck check;
+    check.lo = reader.U64();
+    check.hi = reader.U64();
     const uint8_t verdict = reader.U8();
     GEQO_RETURN_NOT_OK(reader.status());
     if (verdict > static_cast<uint8_t>(EquivalenceVerdict::kUnknown)) {
       return Status::InvalidArgument(
           "verifier memo: verdict byte out of range (corrupt snapshot)");
     }
-    entries_.emplace(key, static_cast<EquivalenceVerdict>(verdict));
+    if (key.lo == key.hi && check.lo > check.hi) {
+      return Status::InvalidArgument(
+          "verifier memo: check pair not normalized on a key tie (corrupt "
+          "snapshot)");
+    }
+    entries_.emplace(
+        key, Entry{check, static_cast<EquivalenceVerdict>(verdict)});
   }
   return Status::OK();
 }

@@ -1,8 +1,10 @@
 #include "verify/verifier.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <set>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "plan/canonicalize.h"
@@ -323,6 +325,13 @@ bool SameTableMultiset(const std::vector<TableAtom>& a,
 EquivalenceVerdict SpesVerifier::CheckEquivalence(const PlanPtr& a,
                                                   const PlanPtr& b) {
   ++stats_.pairs_checked;
+  if (options_.modeled_invocation_stall_seconds > 0.0) {
+    // Physically model the out-of-process AV call (see VerifierOptions):
+    // the stall is wall-clock, not CPU — the subprocess round-trip blocks
+    // the caller, whoever that is.
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        options_.modeled_invocation_stall_seconds));
+  }
   const PlanPtr ca = Canonicalize(a);
   const PlanPtr cb = Canonicalize(b);
 

@@ -49,6 +49,14 @@ struct VerifierOptions {
   /// Upper bound on alias bijections tried per pair (factorial in the
   /// number of same-table self-join atoms; real workloads stay tiny).
   uint64_t max_bijections = 100000;
+  /// Models the paper's out-of-process AV invocation (SPES spawns a JVM +
+  /// Z3 per check, ~18 ms wall — see kSpesInvocationOverheadSeconds in
+  /// bench_util.h): every CheckEquivalence call stalls this long before
+  /// returning. 0 disables it (the in-process DPLL(T) cost only).
+  /// Benches enable this when the *placement* of verification cost
+  /// (inline under a serving lock vs. on the async plane) is the object
+  /// of measurement, not just its total.
+  double modeled_invocation_stall_seconds = 0.0;
 };
 
 /// \brief Cumulative verifier work counters (reported by benches; the

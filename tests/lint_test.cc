@@ -67,20 +67,43 @@ class ArtifactLintTest : public ::testing::Test {
 
     system_path_ = ::testing::TempDir() + "/lint_system.snapshot";
     catalog_path_ = ::testing::TempDir() + "/lint_catalog.snapshot";
+    sharded_path_ = ::testing::TempDir() + "/lint_sharded.snapshot";
     GEQO_CHECK_OK(system_->SaveSnapshot(system_path_));
     auto serving = system_->OpenCatalog();
     for (const PlanPtr& plan : *plans_) {
       GEQO_CHECK_OK(serving->ProbeAdd(plan).status());
     }
     GEQO_CHECK_OK(serving->Save(catalog_path_));
+
+    // A sharded catalog with a non-empty pending-verification tail: deferred
+    // mode (no verifier threads) queues every undecided class, and feeding a
+    // duplicate plan with the learned filters disabled guarantees at least
+    // one undecided class reaches the queue.
+    sharded_plans_ = new std::vector<PlanPtr>(*plans_);
+    sharded_plans_->push_back((*plans_)[0]);
+    serve::ShardedCatalogOptions sharded_options;
+    sharded_options.catalog.pipeline = system_->options().pipeline;
+    sharded_options.catalog.pipeline.use_vmf = false;
+    sharded_options.catalog.pipeline.use_emf = false;
+    sharded_options.num_shards = 2;
+    sharded_options.verifier_threads = 0;
+    auto sharded = system_->OpenShardedCatalog(sharded_options);
+    for (const PlanPtr& plan : *sharded_plans_) {
+      GEQO_CHECK_OK(sharded->ProbeAdd(plan).status());
+    }
+    sharded_pending_ = sharded->PendingVerifications();
+    GEQO_CHECK_OK(sharded->Save(sharded_path_));
   }
 
   static void TearDownTestSuite() {
     std::remove(system_path_.c_str());
     std::remove(catalog_path_.c_str());
+    std::remove(sharded_path_.c_str());
+    delete sharded_plans_;
     delete plans_;
     delete system_;
     delete catalog_;
+    sharded_plans_ = nullptr;
     plans_ = nullptr;
     system_ = nullptr;
     catalog_ = nullptr;
@@ -106,18 +129,46 @@ class ArtifactLintTest : public ::testing::Test {
     return loaded.status();
   }
 
+  static Status LoadSharded(const std::string& bytes) {
+    const std::string path = ::testing::TempDir() + "/lint_mut.sharded";
+    WriteFile(path, bytes);
+    serve::ShardedCatalogOptions options;
+    options.verifier_threads = 0;
+    const auto loaded =
+        system_->LoadShardedCatalog(path, *sharded_plans_, options);
+    std::remove(path.c_str());
+    return loaded.status();
+  }
+
+  /// Rewrites 8 bytes of the checksummed payload at \p offset and refreshes
+  /// the footer, so the structural walker (not the checksum) must object.
+  static std::string MutatePayloadU64(const std::string& bytes, size_t offset,
+                                      uint64_t value) {
+    std::string payload = bytes.substr(0, bytes.size() - sizeof(uint64_t));
+    std::memcpy(payload.data() + offset, &value, sizeof(value));
+    std::ostringstream out;
+    GEQO_CHECK_OK(io::WriteChecksummed(out, payload, "mutated artifact"));
+    return out.str();
+  }
+
   static Catalog* catalog_;
   static GeqoSystem* system_;
   static std::vector<PlanPtr>* plans_;
+  static std::vector<PlanPtr>* sharded_plans_;
   static std::string system_path_;
   static std::string catalog_path_;
+  static std::string sharded_path_;
+  static size_t sharded_pending_;
 };
 
 Catalog* ArtifactLintTest::catalog_ = nullptr;
 GeqoSystem* ArtifactLintTest::system_ = nullptr;
 std::vector<PlanPtr>* ArtifactLintTest::plans_ = nullptr;
+std::vector<PlanPtr>* ArtifactLintTest::sharded_plans_ = nullptr;
 std::string ArtifactLintTest::system_path_;
 std::string ArtifactLintTest::catalog_path_;
+std::string ArtifactLintTest::sharded_path_;
+size_t ArtifactLintTest::sharded_pending_ = 0;
 
 TEST_F(ArtifactLintTest, PristineArtifactsHaveZeroFindings) {
   const auto system_findings = LintArtifactFile(system_path_);
@@ -202,12 +253,101 @@ TEST_F(ArtifactLintTest, VersionFieldFlipNamesTheVersion) {
 }
 
 // ---------------------------------------------------------------------------
+// GEQOSHRD sharded catalog container.
+
+TEST_F(ArtifactLintTest, PristineShardedCatalogHasZeroFindings) {
+  const std::string bytes = ReadFile(sharded_path_);
+  EXPECT_EQ(SniffArtifact(bytes), ArtifactKind::kShardedCatalog);
+  const auto findings = LintArtifactFile(sharded_path_);
+  ASSERT_TRUE(findings.ok());
+  EXPECT_TRUE(findings->empty()) << CodesOf(*findings);
+  EXPECT_TRUE(LoadSharded(bytes).ok());
+  // The fixture was built to carry a pending-verification tail, so these
+  // tests exercise the tail walker, not an empty section.
+  EXPECT_GT(sharded_pending_, 0u);
+}
+
+TEST_F(ArtifactLintTest, ShardedTruncationAndBitFlipsAreDetected) {
+  const std::string bytes = ReadFile(sharded_path_);
+  for (const double fraction : {0.02, 0.5, 0.99}) {
+    const std::string cut =
+        bytes.substr(0, static_cast<size_t>(bytes.size() * fraction));
+    const Diagnostics findings = Lint(cut);
+    EXPECT_TRUE(HasFindings(findings)) << "truncated to " << fraction;
+    EXPECT_FALSE(LoadSharded(cut).ok()) << "truncated to " << fraction;
+  }
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] =
+      static_cast<char>(flipped[bytes.size() / 2] ^ 0x20);
+  const Diagnostics findings = Lint(flipped);
+  EXPECT_TRUE(HasCode(findings, "sharded.checksum")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(flipped).ok());
+}
+
+// Payload layout: magic(8) version(8) num_shards(8) count(8), then the
+// per-entry shard routing table. The tail is: ...pairs, end magic(8).
+
+TEST_F(ArtifactLintTest, ShardedVersionIsChecked) {
+  const std::string mutated =
+      MutatePayloadU64(ReadFile(sharded_path_), 8, 9);
+  const Diagnostics findings = Lint(mutated);
+  EXPECT_TRUE(HasCode(findings, "sharded.version")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(mutated).ok());
+}
+
+TEST_F(ArtifactLintTest, ShardedRoutingEntryOutOfRange) {
+  const std::string mutated =
+      MutatePayloadU64(ReadFile(sharded_path_), 32, 9999);
+  const Diagnostics findings = Lint(mutated);
+  EXPECT_TRUE(HasCode(findings, "sharded.shard-range")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(mutated).ok());
+}
+
+TEST_F(ArtifactLintTest, ShardedRoutingSegmentCountMismatch) {
+  // Re-route entry 0 to the other shard (still a valid shard id): the
+  // routing table now disagrees with the segments' own entry counts.
+  const std::string bytes = ReadFile(sharded_path_);
+  uint64_t shard0 = 0;
+  std::memcpy(&shard0, bytes.data() + 32, sizeof(shard0));
+  const std::string mutated = MutatePayloadU64(bytes, 32, 1 - shard0);
+  const Diagnostics findings = Lint(mutated);
+  EXPECT_TRUE(HasCode(findings, "sharded.segment-count"))
+      << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(mutated).ok());
+}
+
+TEST_F(ArtifactLintTest, ShardedPendingPairOutOfRange) {
+  ASSERT_GT(sharded_pending_, 0u);
+  const std::string bytes = ReadFile(sharded_path_);
+  // The last pair's member gid sits 16 bytes before the end magic, which is
+  // the final 8 payload bytes.
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  const std::string mutated =
+      MutatePayloadU64(bytes, payload_size - 2 * sizeof(uint64_t), 1u << 20);
+  const Diagnostics findings = Lint(mutated);
+  EXPECT_TRUE(HasCode(findings, "sharded.pending-range")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(mutated).ok());
+}
+
+TEST_F(ArtifactLintTest, ShardedEndMarkerMissing) {
+  const std::string bytes = ReadFile(sharded_path_);
+  const size_t payload_size = bytes.size() - sizeof(uint64_t);
+  const std::string mutated =
+      MutatePayloadU64(bytes, payload_size - sizeof(uint64_t), 0);
+  const Diagnostics findings = Lint(mutated);
+  EXPECT_TRUE(HasCode(findings, "sharded.end-magic")) << CodesOf(findings);
+  EXPECT_FALSE(LoadSharded(mutated).ok());
+}
+
+// ---------------------------------------------------------------------------
 // Hand-crafted catalog payloads: section-level invariant violations that a
 // checksum cannot catch (the writer computes a valid footer over bad bytes).
 
 struct MemoEntry {
   uint64_t lo;
   uint64_t hi;
+  uint64_t check_lo;
+  uint64_t check_hi;
   uint8_t verdict;
 };
 
@@ -236,6 +376,8 @@ std::string CraftCatalog(uint64_t dim, const std::vector<uint64_t>& parents,
   for (const MemoEntry& entry : memo) {
     writer.U64(entry.lo);
     writer.U64(entry.hi);
+    writer.U64(entry.check_lo);
+    writer.U64(entry.check_hi);
     writer.U8(entry.verdict);
   }
   writer.U64(end_magic);
@@ -246,8 +388,9 @@ std::string CraftCatalog(uint64_t dim, const std::vector<uint64_t>& parents,
 }
 
 TEST(CraftedCatalogTest, WellFormedCraftIsClean) {
-  const Diagnostics findings = LintArtifactBytes(
-      CraftCatalog(4, {0, 1, 0}, {{3, 5, 0}, {3, 7, 1}, {4, 4, 2}}));
+  const Diagnostics findings = LintArtifactBytes(CraftCatalog(
+      4, {0, 1, 0},
+      {{3, 5, 9, 2, 0}, {3, 7, 1, 1, 1}, {4, 4, 2, 6, 2}}));
   EXPECT_TRUE(findings.empty()) << CodesOf(findings);
 }
 
@@ -272,19 +415,28 @@ TEST(CraftedCatalogTest, ParentNotPathCompressed) {
 
 TEST(CraftedCatalogTest, MemoKeyNotNormalized) {
   const Diagnostics findings =
-      LintArtifactBytes(CraftCatalog(4, {}, {{9, 3, 0}}));
+      LintArtifactBytes(CraftCatalog(4, {}, {{9, 3, 0, 0, 0}}));
   EXPECT_TRUE(HasCode(findings, "catalog.memo-key")) << CodesOf(findings);
 }
 
 TEST(CraftedCatalogTest, MemoNotStrictlySorted) {
-  const Diagnostics findings =
-      LintArtifactBytes(CraftCatalog(4, {}, {{5, 6, 0}, {5, 6, 1}}));
+  const Diagnostics findings = LintArtifactBytes(
+      CraftCatalog(4, {}, {{5, 6, 0, 0, 0}, {5, 6, 0, 0, 1}}));
   EXPECT_TRUE(HasCode(findings, "catalog.memo-order")) << CodesOf(findings);
+}
+
+TEST(CraftedCatalogTest, MemoCheckPairNotNormalizedOnKeyTie) {
+  // A key tie (lo == hi) forces the check pair into (min, max) order; a
+  // descending check pair there means the writer's collision guard is
+  // corrupt and a memo hit could silently compare the wrong direction.
+  const Diagnostics findings =
+      LintArtifactBytes(CraftCatalog(4, {}, {{4, 4, 9, 3, 0}}));
+  EXPECT_TRUE(HasCode(findings, "catalog.memo-check")) << CodesOf(findings);
 }
 
 TEST(CraftedCatalogTest, MemoVerdictOutOfRange) {
   const Diagnostics findings =
-      LintArtifactBytes(CraftCatalog(4, {}, {{3, 5, 7}}));
+      LintArtifactBytes(CraftCatalog(4, {}, {{3, 5, 1, 2, 7}}));
   EXPECT_TRUE(HasCode(findings, "catalog.memo-verdict")) << CodesOf(findings);
 }
 

@@ -9,6 +9,7 @@
 #include "obs/trace.h"
 #include "serve/equivalence_catalog.h"
 #include "serve/union_find.h"
+#include "serve/verifier_memo.h"
 #include "test_util.h"
 #include "workload/schemas.h"
 
@@ -120,6 +121,77 @@ TEST_F(ServeTest, ProbeAddBuildsEquivalenceClasses) {
   ASSERT_TRUE(probe.ok());
   EXPECT_EQ(catalog->size(), plans.size());
   EXPECT_EQ(catalog->NumClasses(), classes_before);
+}
+
+TEST_F(ServeTest, ProbeLatencyCoversPreparationAndSumsStages) {
+  auto catalog = System().OpenCatalog();
+  const std::vector<PlanPtr> plans = StreamPlans();
+  ASSERT_TRUE(catalog->ProbeAdd(plans[0]).ok());
+  ASSERT_TRUE(catalog->ProbeAdd(plans[1]).ok());
+
+  // The stopwatch starts at Probe entry: the first stage is the query
+  // preparation (canonicalize + hash + encode) that used to run before the
+  // clock, and `seconds` is exactly the sum of the reported stages.
+  auto probe = catalog->Probe(plans[2]);
+  ASSERT_TRUE(probe.ok()) << probe.status().ToString();
+  ASSERT_FALSE(probe->stages.empty());
+  EXPECT_EQ(probe->stages.front().name, "prepare");
+  EXPECT_GT(probe->stages.front().seconds, 0.0);
+  double stage_sum = 0.0;
+  for (const StageReport& stage : probe->stages) stage_sum += stage.seconds;
+  EXPECT_DOUBLE_EQ(probe->seconds, stage_sum);
+
+  auto probe_add = catalog->ProbeAdd(plans[3]);
+  ASSERT_TRUE(probe_add.ok());
+  ASSERT_FALSE(probe_add->probe.stages.empty());
+  EXPECT_EQ(probe_add->probe.stages.front().name, "prepare");
+  stage_sum = 0.0;
+  for (const StageReport& stage : probe_add->probe.stages) {
+    stage_sum += stage.seconds;
+  }
+  EXPECT_DOUBLE_EQ(probe_add->probe.seconds, stage_sum);
+}
+
+TEST_F(ServeTest, MemoCollisionIsDetectedAndNeverServesTheWrongVerdict) {
+  serve::VerifierMemo memo;
+  // Two distinct plan pairs engineered to share the 64-bit fingerprint key
+  // (same primary hashes) while their secondary check hashes differ — the
+  // collision the key alone cannot see.
+  const serve::CheckedPair first =
+      serve::MakeCheckedPair(0x1111, 0xAAAA, 0x2222, 0xBBBB);
+  const serve::CheckedPair collided =
+      serve::MakeCheckedPair(0x1111, 0xCCCC, 0x2222, 0xDDDD);
+  ASSERT_EQ(first.key.lo, collided.key.lo);
+  ASSERT_EQ(first.key.hi, collided.key.hi);
+
+  memo.Insert(first.key, first.check, EquivalenceVerdict::kEquivalent);
+  const auto hit = memo.Lookup(first.key, first.check);
+  EXPECT_FALSE(hit.collision);
+  ASSERT_TRUE(hit.verdict.has_value());
+  EXPECT_EQ(*hit.verdict, EquivalenceVerdict::kEquivalent);
+
+  // The colliding pair must NOT inherit the cached (unsound for it)
+  // kEquivalent: the mismatching check pair demotes the hit to a miss.
+  const auto miss = memo.Lookup(collided.key, collided.check);
+  EXPECT_TRUE(miss.collision);
+  EXPECT_FALSE(miss.verdict.has_value());
+
+  // Re-inserting under the same key overwrites — last verifier outcome
+  // wins, and the evicted pair now reads as the collision.
+  memo.Insert(collided.key, collided.check,
+              EquivalenceVerdict::kNotEquivalent);
+  EXPECT_EQ(memo.size(), 1u);
+  EXPECT_TRUE(memo.Lookup(first.key, first.check).collision);
+
+  // The checked pair is symmetric in its arguments...
+  const serve::CheckedPair swapped =
+      serve::MakeCheckedPair(0x2222, 0xDDDD, 0x1111, 0xCCCC);
+  EXPECT_TRUE(swapped.check == collided.check);
+  // ...including on a primary-hash tie, where the check pair itself is
+  // ordered (the invariant geqo_lint's catalog.memo-check enforces).
+  const serve::CheckedPair tie = serve::MakeCheckedPair(7, 9, 7, 3);
+  EXPECT_EQ(tie.check.lo, 3u);
+  EXPECT_EQ(tie.check.hi, 9u);
 }
 
 TEST_F(ServeTest, MemoShortCircuitsRepeatProbes) {

@@ -10,6 +10,35 @@
 namespace geqo {
 namespace {
 
+TEST(ThreadPoolTest, ParseThreadCountRejectsGarbageAndClampsExtremes) {
+  constexpr size_t kHardware = 4;
+  // Plain positive integers parse.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1", kHardware), 1u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("8", kHardware), 8u);
+  // Unset / empty means "no override".
+  EXPECT_EQ(ThreadPool::ParseThreadCount(nullptr, kHardware), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("", kHardware), 0u);
+  // Trailing garbage is rejected, not silently prefix-parsed ("8x" used to
+  // read as 8).
+  EXPECT_EQ(ThreadPool::ParseThreadCount("8x", kHardware), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("4 ", kHardware), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("abc", kHardware), 0u);
+  // Non-positive counts are rejected.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("0", kHardware), 0u);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("-3", kHardware), 0u);
+  // Absurd requests clamp to kMaxHardwareMultiple x hardware instead of
+  // spawning an unbounded thread army.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1000000", kHardware),
+            ThreadPool::kMaxHardwareMultiple * kHardware);
+  EXPECT_EQ(ThreadPool::ParseThreadCount("99999999999999999999", kHardware),
+            0u);  // out of long-long range entirely
+  // The clamp survives a zero hardware_concurrency report.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("1000000", 0),
+            ThreadPool::kMaxHardwareMultiple);
+  // At the cap exactly: no clamp.
+  EXPECT_EQ(ThreadPool::ParseThreadCount("32", kHardware), 32u);
+}
+
 TEST(ThreadPoolTest, EmptyRangeIsANoOp) {
   ThreadPool pool(4);
   std::atomic<int> calls{0};
