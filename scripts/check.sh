@@ -102,9 +102,10 @@ else
   echo "== TSan multi-client serving bench smoke =="
   # The open-loop phase runs 4 probers + 2 adders against the sharded
   # catalog with background verifier workers — the full concurrent plane
-  # under TSan. The bench itself asserts the sharded probe p99 beats the
-  # mutex baseline; the SLO bound is generous because TSan slows
-  # everything ~10x (it gates hangs/pathologies, not performance).
+  # under TSan. The sharded-vs-mutex p99 comparison is reported, not
+  # asserted (wall-clock noise under TSan's ~10x slowdown would flake);
+  # lanes wanting a floor set GEQO_SERVE_MIN_P99_SPEEDUP. The generous SLO
+  # bound gates hangs/pathologies, not performance.
   (cd build-tsan && GEQO_THREADS=4 GEQO_BENCH_SCALE=smoke \
     GEQO_SERVE_SLO_MS=500 ./bench/bench_serve > "$smoke_dir/bench_serve_tsan.txt")
   grep -q '"concurrent_p99_speedup"' build-tsan/BENCH_serve.json

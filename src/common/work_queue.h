@@ -24,6 +24,8 @@
 ///   - Pause()/Resume(): stop handing items to consumers without closing,
 ///     then SnapshotPending() the untouched backlog — the snapshot path
 ///     uses this to persist the pending-verification tail atomically.
+///     Pauses nest: with overlapping Pause/Resume pairs (concurrent
+///     snapshotters), consumers resume only after the last Resume.
 
 namespace geqo {
 
@@ -56,7 +58,7 @@ class WorkQueue {
   std::optional<T> Pop() {
     std::unique_lock<std::mutex> lock(mu_);
     item_cv_.wait(lock, [this] {
-      return (closed_ || !queue_.empty()) && !paused_;
+      return (closed_ || !queue_.empty()) && pause_count_ == 0;
     });
     if (queue_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(queue_.front());
@@ -70,7 +72,10 @@ class WorkQueue {
   void TaskDone() {
     std::lock_guard<std::mutex> lock(mu_);
     --in_flight_;
-    if (queue_.empty() && in_flight_ == 0) idle_cv_.notify_all();
+    // Notify on every idle transition, not only when the backlog is also
+    // empty: Pause() waits for in_flight_ == 0 alone (the backlog may be
+    // non-empty and frozen), and both waiters re-check their own predicate.
+    if (in_flight_ == 0) idle_cv_.notify_all();
   }
 
   /// Blocks until the queue is empty and no popped item is still in flight.
@@ -85,17 +90,21 @@ class WorkQueue {
 
   /// Stops handing items to consumers (Pop blocks; Push still accepted),
   /// then waits for in-flight items to finish. On return the backlog is
-  /// frozen and fully observable via SnapshotPending().
+  /// frozen and fully observable via SnapshotPending(). Reentrant: pauses
+  /// nest, and consumers run again only after the matching last Resume —
+  /// so two overlapping pause/snapshot/resume sections each see a frozen
+  /// backlog for their whole extent.
   void Pause() {
     std::unique_lock<std::mutex> lock(mu_);
-    paused_ = true;
+    ++pause_count_;
     idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
   }
 
+  /// Undoes one Pause(); consumers wake once every pause is matched.
   void Resume() {
     std::lock_guard<std::mutex> lock(mu_);
-    paused_ = false;
-    item_cv_.notify_all();
+    if (pause_count_ > 0) --pause_count_;
+    if (pause_count_ == 0) item_cv_.notify_all();
   }
 
   /// The frozen backlog, oldest first. Meaningful while paused (or when the
@@ -133,8 +142,8 @@ class WorkQueue {
   std::condition_variable idle_cv_;   ///< empty + nothing in flight
   std::deque<T> queue_;
   size_t in_flight_ = 0;
+  size_t pause_count_ = 0;
   bool closed_ = false;
-  bool paused_ = false;
 };
 
 }  // namespace geqo

@@ -570,6 +570,8 @@ Status ShardedCatalog::Save(std::ostream& os) const {
   GEQO_RETURN_NOT_OK(options_status_);
   // Freeze the async plane: Pause waits for in-flight tasks to apply their
   // side effects, after which the backlog is exactly SnapshotPending().
+  // Pauses nest, so with overlapping Saves the queue stays frozen until the
+  // last one Resumes — no Save can observe workers retiring tasks mid-shot.
   queue_.Pause();
   Status status = [&]() -> Status {
     const std::vector<VerifyTask> pending = queue_.SnapshotPending();

@@ -2,8 +2,10 @@
 
 #include <atomic>
 #include <cstdio>
+#include <fstream>
 #include <set>
 #include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -286,6 +288,75 @@ TEST_F(ShardedServeTest, SnapshotRoundTripsStateAndPendingTail) {
   ASSERT_TRUE(original->Save(original_bytes).ok());
   ASSERT_TRUE(loaded->Save(loaded_bytes).ok());
   EXPECT_EQ(original_bytes.str(), loaded_bytes.str());
+}
+
+TEST_F(ShardedServeTest, OverlappingSavesUnderActiveVerifierLoad) {
+  ShardedCatalogOptions options;
+  options.catalog.pipeline = System().options().pipeline;
+  // Stall each verifier call so the Saves below land while workers are
+  // mid-task with a queued backlog — the shape where Pause() used to wait
+  // forever for an idle signal TaskDone only sent on an empty queue.
+  options.catalog.pipeline.verifier.modeled_invocation_stall_seconds = 0.002;
+  options.num_shards = 3;
+  options.verifier_threads = 2;
+  auto sharded = System().OpenShardedCatalog(options);
+  const std::vector<PlanPtr> plans = StreamPlans();
+  for (const PlanPtr& plan : plans) {
+    ASSERT_TRUE(sharded->ProbeAdd(plan).ok());
+  }
+
+  // Overlapping Saves from several threads: the queue pause must nest, so
+  // no Save observes workers retiring tasks mid-snapshot.
+  constexpr int kSavers = 3;
+  std::vector<std::string> snapshots(kSavers);
+  std::atomic<bool> save_failed{false};
+  std::vector<std::thread> savers;
+  for (int i = 0; i < kSavers; ++i) {
+    savers.emplace_back([&, i] {
+      std::ostringstream bytes;
+      if (sharded->Save(bytes).ok()) {
+        snapshots[i] = bytes.str();
+      } else {
+        save_failed = true;
+      }
+    });
+  }
+  for (std::thread& saver : savers) saver.join();
+  ASSERT_FALSE(save_failed.load());
+
+  sharded->DrainPendingVerifications();
+  EXPECT_EQ(sharded->PendingVerifications(), 0u);
+  const auto stats = sharded->stats();
+  EXPECT_EQ(stats.verify_tasks_completed, stats.verify_tasks_enqueued);
+  ExpectOracleAgreement(*sharded);
+
+  // Every snapshot captured a consistent state: restoring one and draining
+  // its saved pending tail converges to the same classes as the catalog
+  // that was never interrupted — no pending verification was lost to an
+  // overlapping Save.
+  for (int i = 0; i < kSavers; ++i) {
+    const std::string path = ::testing::TempDir() + "/overlap_save_" +
+                             std::to_string(i) + ".snapshot";
+    {
+      std::ofstream file(path, std::ios::binary | std::ios::trunc);
+      ASSERT_TRUE(file.write(snapshots[i].data(),
+                             static_cast<std::streamsize>(snapshots[i].size()))
+                      .good());
+    }
+    ShardedCatalogOptions load_options;
+    load_options.catalog.pipeline = System().options().pipeline;
+    load_options.verifier_threads = 0;
+    auto loaded_or = System().LoadShardedCatalog(path, plans, load_options);
+    std::remove(path.c_str());
+    ASSERT_TRUE(loaded_or.ok())
+        << "snapshot " << i << ": " << loaded_or.status().ToString();
+    auto loaded = std::move(*loaded_or);
+    loaded->DrainPendingVerifications();
+    for (size_t gid = 0; gid < sharded->size(); ++gid) {
+      EXPECT_EQ(loaded->ClassOf(gid), sharded->ClassOf(gid))
+          << "snapshot " << i << ", entry " << gid;
+    }
+  }
 }
 
 TEST_F(ShardedServeTest, ProbeOnlyPendingTasksAreDroppedAtSaveAndCounted) {

@@ -3,9 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <thread>
 #include <vector>
+
+#include "common/work_queue.h"
 
 namespace geqo {
 namespace {
@@ -142,6 +149,110 @@ TEST(ThreadPoolTest, LargeGrainCoversWholeRange) {
   pool.ParallelFor(
       0, 103, [&](size_t, size_t i) { sum += i; }, /*grain=*/1000);
   EXPECT_EQ(sum.load(), 103u * 102u / 2);
+}
+
+TEST(WorkQueueTest, ProducersAndConsumersDrainEveryItemOnce) {
+  WorkQueue<int> queue(/*capacity=*/8);
+  constexpr int kProducers = 3;
+  constexpr int kConsumers = 2;
+  constexpr int kPerProducer = 100;
+  std::vector<std::atomic<int>> seen(kProducers * kPerProducer);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      while (std::optional<int> item = queue.Pop()) {
+        ++seen[*item];
+        queue.TaskDone();
+      }
+    });
+  }
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        EXPECT_TRUE(queue.Push(p * kPerProducer + i));
+      }
+    });
+  }
+  for (size_t t = kConsumers; t < threads.size(); ++t) threads[t].join();
+  queue.WaitIdle();
+  queue.Close();
+  EXPECT_FALSE(queue.Push(-1));  // refused after Close
+  for (int t = 0; t < kConsumers; ++t) threads[t].join();
+  for (auto& count : seen) EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(queue.outstanding(), 0u);
+}
+
+TEST(WorkQueueTest, PauseReturnsWithBackloggedQueueWhileTaskInFlight) {
+  // The ShardedCatalog::Save-under-load shape: one item in flight, more
+  // queued behind it. Pause() must return once the in-flight item retires,
+  // even though the backlog stays non-empty — TaskDone used to signal idle
+  // only on an empty queue, deadlocking Pause (and with it Save) forever.
+  WorkQueue<int> queue;
+  ASSERT_TRUE(queue.Push(1));
+  ASSERT_TRUE(queue.Push(2));  // stays queued across the whole pause
+
+  std::mutex mu;
+  std::condition_variable cv;
+  bool popped = false;
+  bool release = false;
+  std::thread worker([&] {
+    const std::optional<int> item = queue.Pop();
+    EXPECT_TRUE(item.has_value());
+    std::unique_lock<std::mutex> lock(mu);
+    popped = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+    lock.unlock();
+    queue.TaskDone();
+  });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return popped; });
+  }
+  // Let the in-flight task finish a beat after Pause starts waiting.
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+    cv.notify_all();
+  });
+
+  queue.Pause();
+  EXPECT_EQ(queue.SnapshotPending(), (std::vector<int>{2}));
+  queue.Resume();
+  worker.join();
+  releaser.join();
+
+  const std::optional<int> rest = queue.Pop();
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(*rest, 2);
+  queue.TaskDone();
+  queue.WaitIdle();
+}
+
+TEST(WorkQueueTest, NestedPausesFreezeConsumersUntilLastResume) {
+  WorkQueue<int> queue;
+  queue.Pause();
+  queue.Pause();  // a second, overlapping pause (concurrent snapshotters)
+  ASSERT_TRUE(queue.Push(7));  // Push is accepted while paused
+
+  std::atomic<bool> consumed{false};
+  std::thread consumer([&] {
+    const std::optional<int> item = queue.Pop();
+    EXPECT_TRUE(item.has_value());
+    consumed = true;
+    queue.TaskDone();
+  });
+
+  queue.Resume();  // one pause undone: the backlog must stay frozen
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(consumed.load());
+  EXPECT_EQ(queue.SnapshotPending(), (std::vector<int>{7}));
+
+  queue.Resume();  // matches the last pause: consumers run again
+  consumer.join();
+  EXPECT_TRUE(consumed.load());
+  queue.WaitIdle();
 }
 
 }  // namespace
