@@ -11,9 +11,11 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -25,6 +27,11 @@
 #include "filters/vmf.h"
 #include "serve/sharded_catalog.h"
 #include "tensor/kernels/kernel_table.h"
+#include "workload/generator.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
 
 namespace geqo::bench {
 namespace {
@@ -463,7 +470,102 @@ int main() {
         << " ms exceeds GEQO_SERVE_SLO_MS=" << slo_ms;
   }
 
-  WriteServeArtifact(phases, kernel_phases, speedup, concurrent, p99_speedup);
+  // Phase 6: durability — what a serving pause costs on a populated
+  // catalog. Stream the workload into a durable CatalogStore, bulk-grow it
+  // to bench scale, then compare the two ways a service made its state
+  // durable: (a) the legacy pause — serialize the whole catalog and write
+  // the bytes to disk durably, O(catalog); (b) the incremental
+  // Checkpoint() pause — fsync the log tail and rotate, independent of
+  // catalog size. Finally (c): fold the log into a base, append a small
+  // tail, and measure a cold reopen's recovery (base import + tail
+  // replay), the designed restart path.
+  std::printf("\n# durable store: checkpoint pause vs full-snapshot pause\n");
+  DurabilityBenchReport durability;
+  {
+    const std::string dir = "bench_cache/serve_store";
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+
+    // Full add-ordered plan list: the probe stream, the bulk population,
+    // and the post-compaction tail (the reopen replays against it).
+    std::vector<PlanPtr> all_plans = workload.subexpressions;
+    {
+      Rng rng(0xD07A);
+      QueryGenerator generator(context.catalog.get(), GeneratorOptions());
+      const size_t bulk = Pick(600, 3000, 8000);
+      const size_t tail = Pick(60, 120, 240);
+      for (size_t i = 0; i < bulk + tail; ++i) {
+        all_plans.push_back(generator.Generate(&rng));
+      }
+    }
+    const size_t tail_count = Pick(60, 120, 240);
+    const size_t populated = all_plans.size() - tail_count;
+
+    auto store = context.system->OpenCatalogStore(dir, all_plans);
+    GEQO_CHECK(store.ok()) << store.status().ToString();
+    for (const PlanPtr& plan : workload.subexpressions) {
+      GEQO_CHECK((*store)->catalog()->ProbeAdd(plan).ok());
+    }
+    for (size_t i = (*store)->catalog()->size(); i < populated; ++i) {
+      GEQO_CHECK((*store)->catalog()->Add(all_plans[i]).ok());
+    }
+    durability.entries = (*store)->catalog()->size();
+    durability.wal_records = (*store)->stats().wal_records_appended;
+
+    // (a) Legacy full-snapshot pause: what Save(path) used to cost —
+    // serialize everything, write it out, fsync.
+    Stopwatch snapshot_watch;
+    {
+      std::ostringstream snapshot;
+      GEQO_CHECK_OK((*store)->ExportSnapshot(snapshot));
+      const std::string bytes = snapshot.str();
+      const std::string path = "bench_cache/serve_store_snapshot.bin";
+      std::FILE* file = std::fopen(path.c_str(), "wb");
+      GEQO_CHECK(file != nullptr);
+      GEQO_CHECK(std::fwrite(bytes.data(), 1, bytes.size(), file) ==
+                 bytes.size());
+      GEQO_CHECK(std::fflush(file) == 0);
+#ifdef __unix__
+      GEQO_CHECK(::fsync(fileno(file)) == 0);
+#endif
+      GEQO_CHECK(std::fclose(file) == 0);
+    }
+    durability.snapshot_pause_ms = snapshot_watch.ElapsedSeconds() * 1e3;
+    std::filesystem::remove("bench_cache/serve_store_snapshot.bin", ec);
+
+    // (b) Incremental checkpoint pause on the same populated catalog.
+    Stopwatch checkpoint_watch;
+    GEQO_CHECK_OK((*store)->Checkpoint());
+    durability.checkpoint_pause_ms = checkpoint_watch.ElapsedSeconds() * 1e3;
+
+    // (c) Fold into a base, append a fresh tail, and cold-restart: the
+    // reopen imports the base and replays only the tail generation.
+    GEQO_CHECK_OK((*store)->Compact());
+    for (size_t i = populated; i < all_plans.size(); ++i) {
+      GEQO_CHECK((*store)->catalog()->Add(all_plans[i]).ok());
+    }
+    GEQO_CHECK_OK((*store)->Close());
+
+    Stopwatch reopen_watch;
+    auto reopened = context.system->OpenCatalogStore(dir, all_plans);
+    GEQO_CHECK(reopened.ok()) << reopened.status().ToString();
+    durability.recovery_replay_ms = reopen_watch.ElapsedSeconds() * 1e3;
+    GEQO_CHECK((*reopened)->catalog()->size() == all_plans.size())
+        << "recovery lost entries: " << (*reopened)->catalog()->size()
+        << " of " << all_plans.size();
+    GEQO_CHECK_OK((*reopened)->Close());
+    std::filesystem::remove_all(dir, ec);
+
+    std::printf(
+        "entries=%zu wal_records=%zu  full_snapshot_pause=%7.3f ms  "
+        "checkpoint_pause=%7.3f ms  recovery(base+%zu-record tail)=%7.3f ms\n",
+        durability.entries, durability.wal_records,
+        durability.snapshot_pause_ms, durability.checkpoint_pause_ms,
+        tail_count, durability.recovery_replay_ms);
+  }
+
+  WriteServeArtifact(phases, kernel_phases, speedup, concurrent, p99_speedup,
+                     &durability);
   std::printf("\nBENCH_serve.json written\n");
   return 0;
 }

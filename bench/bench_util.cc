@@ -397,7 +397,8 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
                         const std::vector<KernelBenchReport>& kernel_phases,
                         double speedup,
                         const std::vector<ConcurrentServeReport>& concurrent,
-                        double concurrent_p99_speedup) {
+                        double concurrent_p99_speedup,
+                        const DurabilityBenchReport* durability) {
   obs::JsonWriter json;
   json.BeginObject();
   json.Key("kernel").BeginObject();
@@ -455,6 +456,16 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
     }
     json.EndArray();
     json.Key("concurrent_p99_speedup").Number(concurrent_p99_speedup);
+  }
+  if (durability != nullptr) {
+    json.Key("durability").BeginObject();
+    json.Key("entries").Number(static_cast<uint64_t>(durability->entries));
+    json.Key("wal_records")
+        .Number(static_cast<uint64_t>(durability->wal_records));
+    json.Key("snapshot_pause_ms").Number(durability->snapshot_pause_ms);
+    json.Key("checkpoint_pause_ms").Number(durability->checkpoint_pause_ms);
+    json.Key("recovery_replay_ms").Number(durability->recovery_replay_ms);
+    json.EndObject();
   }
   json.EndObject();
 

@@ -186,6 +186,18 @@ struct ConcurrentServeReport {
   double wall_seconds = 0.0;
 };
 
+/// \brief The durable-store measurement for BENCH_serve.json: what a
+/// serving pause costs under the legacy full-snapshot serialize versus an
+/// incremental CatalogStore::Checkpoint() (log rotation), and how long a
+/// cold reopen (base import + WAL replay) of the same state takes.
+struct DurabilityBenchReport {
+  size_t entries = 0;           ///< catalog size at measurement time
+  size_t wal_records = 0;       ///< records appended during the stream
+  double snapshot_pause_ms = 0.0;    ///< full ExportSnapshot serialize pause
+  double checkpoint_pause_ms = 0.0;  ///< incremental Checkpoint() pause
+  double recovery_replay_ms = 0.0;   ///< reopen: base import + log replay
+};
+
 /// \brief Writes the serving benchmark artifact (BENCH_serve.json) with one
 /// entry per phase, the active kernel ISA / quant mode, the embed+probe
 /// throughput per kernel mode, the SIMD-over-scalar speedup, and — when the
@@ -198,7 +210,8 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
                         double speedup = 0.0,
                         const std::vector<ConcurrentServeReport>& concurrent =
                             std::vector<ConcurrentServeReport>(),
-                        double concurrent_p99_speedup = 0.0);
+                        double concurrent_p99_speedup = 0.0,
+                        const DurabilityBenchReport* durability = nullptr);
 
 /// \brief Modeled per-invocation cost of the paper's automated verifier.
 ///

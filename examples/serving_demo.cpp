@@ -2,25 +2,30 @@
 /// Online serving walkthrough: streams a workload through an
 /// EquivalenceCatalog with ProbeAdd — each query is checked against
 /// everything seen so far, then becomes part of the catalog — and shows the
-/// snapshot contract: a service stopped after half the stream and restarted
-/// from its snapshot replays the remaining probes with bit-identical
-/// results.
+/// durable-store contract: a service stopped after half the stream and
+/// restarted from its CatalogStore directory replays the remaining probes
+/// with bit-identical results.
 ///
 ///   ./serving_demo                    # the full stream, uninterrupted
-///   ./serving_demo --phase1 BASE      # first half, then save BASE.{system,catalog}
-///   ./serving_demo --phase2 BASE      # restore and replay the second half
+///   ./serving_demo --phase1 BASE      # first half into BASE.store, compact
+///   ./serving_demo --phase2 BASE      # reopen the store, replay the rest
 ///
-/// Every probe prints one "PROBE ..." line; scripts/check.sh diffs those
-/// lines between the uninterrupted run and phase1+phase2 to smoke-test the
-/// round trip. The EMF stays untrained with a wide-open funnel (as in
-/// observability_demo): the demo is about the serving machinery, and the
-/// verifier keeps the reported equivalences exact regardless.
+/// Both phases resume from catalog->size(), so a run killed mid-stream (the
+/// recovery lane in scripts/check.sh arms GEQO_PERSIST_KILL_POINT=
+/// "demo-probe:N" to die after N probes) reopens the same store and replays
+/// only the probes whose records never reached the log. Every probe prints
+/// one "PROBE ..." line; scripts/check.sh diffs those lines between the
+/// uninterrupted run and the phased/killed runs to smoke-test recovery. The
+/// EMF stays untrained with a wide-open funnel (as in observability_demo):
+/// the demo is about the serving machinery, and the verifier keeps the
+/// reported equivalences exact regardless.
 
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "core/geqo_system.h"
+#include "serve/persist/kill_point.h"
 #include "workload/generator.h"
 #include "workload/rewrite.h"
 #include "workload/schemas.h"
@@ -28,7 +33,7 @@
 namespace {
 
 /// 12 generated subexpressions followed by 6 rewrites of the early ones, so
-/// the second half of the stream probes equivalences across the snapshot
+/// the second half of the stream probes equivalences across the restart
 /// boundary.
 std::vector<geqo::PlanPtr> BuildStream(const geqo::Catalog& catalog) {
   geqo::Rng rng(0x5E11);
@@ -70,6 +75,24 @@ void PrintSummary(const geqo::serve::EquivalenceCatalog& catalog) {
       static_cast<unsigned long long>(stats.class_shortcuts));
 }
 
+/// Streams stream[catalog->size()..limit) through the catalog, printing one
+/// PROBE line per query. The "demo-probe" kill point fires after each fully
+/// logged probe so the recovery lane can crash the process at an exact op
+/// boundary.
+void RunStream(geqo::serve::EquivalenceCatalog* catalog,
+               const std::vector<geqo::PlanPtr>& stream, size_t limit) {
+  for (size_t i = catalog->size(); i < limit; ++i) {
+    auto result = catalog->ProbeAdd(stream[i]);
+    GEQO_CHECK(result.ok()) << result.status().ToString();
+    PrintProbe(i, *result);
+    // Armed kills die via _exit, which skips stdio flushing — flush so the
+    // recovery lane's PROBE-line diff sees everything printed before the
+    // crash.
+    std::fflush(stdout);
+    geqo::serve::persist::KillPoint("demo-probe");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,36 +120,38 @@ int main(int argc, char** argv) {
   const std::vector<PlanPtr> stream = BuildStream(catalog);
   const size_t half = stream.size() / 2;
 
+  if (mode == "--phase1") {
+    // First half into a durable store. Compact() at the end folds the log
+    // into a base segment, so phase2 recovers base + log tail rather than a
+    // pure log replay.
+    auto store = system.OpenCatalogStore(base + ".store", stream);
+    GEQO_CHECK(store.ok()) << store.status().ToString();
+    RunStream((*store)->catalog(), stream, half);
+    GEQO_CHECK_OK(system.SaveSnapshot(base + ".system"));
+    GEQO_CHECK_OK((*store)->Checkpoint());
+    GEQO_CHECK_OK((*store)->Compact());
+    std::printf("durable state written: %s.system, %s.store\n", base.c_str(),
+                base.c_str());
+    PrintSummary(*(*store)->catalog());
+    GEQO_CHECK_OK((*store)->Close());
+    return 0;
+  }
+
   if (mode == "--phase2") {
-    // Restart: restore the system (weights + calibration) and the catalog
-    // (index, classes, memo), then replay the remaining stream.
+    // Restart: restore the system (weights + calibration), reopen the store
+    // (base import + log replay), then resume the stream wherever the
+    // recovered catalog left off.
     GEQO_CHECK_OK(system.LoadSnapshot(base + ".system"));
-    const std::vector<PlanPtr> first_half(stream.begin(),
-                                          stream.begin() + half);
-    auto restored = system.LoadCatalog(base + ".catalog", first_half);
-    GEQO_CHECK(restored.ok()) << restored.status().ToString();
-    for (size_t i = half; i < stream.size(); ++i) {
-      auto result = (*restored)->ProbeAdd(stream[i]);
-      GEQO_CHECK(result.ok()) << result.status().ToString();
-      PrintProbe(i, *result);
-    }
-    PrintSummary(**restored);
+    auto store = system.OpenCatalogStore(base + ".store", stream);
+    GEQO_CHECK(store.ok()) << store.status().ToString();
+    RunStream((*store)->catalog(), stream, stream.size());
+    PrintSummary(*(*store)->catalog());
+    GEQO_CHECK_OK((*store)->Close());
     return 0;
   }
 
   auto serving = system.OpenCatalog();
-  const size_t limit = mode == "--phase1" ? half : stream.size();
-  for (size_t i = 0; i < limit; ++i) {
-    auto result = serving->ProbeAdd(stream[i]);
-    GEQO_CHECK(result.ok()) << result.status().ToString();
-    PrintProbe(i, *result);
-  }
-  if (mode == "--phase1") {
-    GEQO_CHECK_OK(system.SaveSnapshot(base + ".system"));
-    GEQO_CHECK_OK(serving->Save(base + ".catalog"));
-    std::printf("snapshots written: %s.system, %s.catalog\n", base.c_str(),
-                base.c_str());
-  }
+  RunStream(serving.get(), stream, stream.size());
   PrintSummary(*serving);
   return 0;
 }

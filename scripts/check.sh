@@ -57,10 +57,11 @@ GEQO_VALIDATE=1 GEQO_TRACE=spans \
   ./build/examples/observability_demo
 "$lint" "$smoke_dir/geqo_trace.json" "$smoke_dir/geqo_metrics.json"
 
-echo "== serving snapshot round-trip smoke =="
+echo "== serving store round-trip smoke =="
 # The serving catalog's core guarantee: a stream interrupted by
-# save+restart replays with bit-identical probe results. The snapshots the
-# demo writes must pass the artifact linter.
+# stop+restart replays from its CatalogStore directory with bit-identical
+# probe results, and every durable file (system snapshot, manifest, base
+# segment, delta-log partitions) passes the artifact linter.
 check_serving_roundtrip() {
   local demo="$1" snap_base="$2"
   GEQO_VALIDATE=1 "$demo" > "$smoke_dir/serve_full.txt"
@@ -69,9 +70,37 @@ check_serving_roundtrip() {
   diff <(grep '^PROBE' "$smoke_dir/serve_full.txt") \
        <(cat <(grep '^PROBE' "$smoke_dir/serve_p1.txt") \
              <(grep '^PROBE' "$smoke_dir/serve_p2.txt"))
-  "$lint" "$snap_base.system" "$snap_base.catalog"
+  "$lint" "$snap_base.system" "$snap_base.store"/MANIFEST \
+          "$snap_base.store"/*.seg "$snap_base.store"/*.log
 }
 check_serving_roundtrip ./build/examples/serving_demo "$smoke_dir/serve_snap"
+
+echo "== crash-recovery smoke =="
+# Kill the demo mid-stream at an exact probe boundary (the demo-probe kill
+# point, armed via the env hook), reopen the half-written store, and demand
+# the concatenated PROBE lines match the uninterrupted run byte for byte —
+# real WAL replay, not a clean shutdown. The crashed store's files must
+# still lint clean afterwards.
+check_crash_recovery() {
+  local demo="$1" snap_base="$2" kill_after="$3"
+  local code=0
+  GEQO_VALIDATE=1 GEQO_PERSIST_KILL_POINT="demo-probe:$kill_after" \
+    "$demo" --phase1 "$snap_base" > "$smoke_dir/serve_killed.txt" || code=$?
+  if [[ "$code" != 137 ]]; then
+    echo "expected the armed kill point to exit 137, got $code" >&2
+    return 1
+  fi
+  # Resume phase1 from the recovered store, then phase2 as usual.
+  GEQO_VALIDATE=1 "$demo" --phase1 "$snap_base" > "$smoke_dir/serve_resume.txt"
+  GEQO_VALIDATE=1 "$demo" --phase2 "$snap_base" > "$smoke_dir/serve_tail.txt"
+  diff <(grep '^PROBE' "$smoke_dir/serve_full.txt") \
+       <(cat <(grep '^PROBE' "$smoke_dir/serve_killed.txt") \
+             <(grep '^PROBE' "$smoke_dir/serve_resume.txt") \
+             <(grep '^PROBE' "$smoke_dir/serve_tail.txt"))
+  "$lint" "$snap_base.store"/MANIFEST \
+          "$snap_base.store"/*.seg "$snap_base.store"/*.log
+}
+check_crash_recovery ./build/examples/serving_demo "$smoke_dir/serve_crash" 4
 
 if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="

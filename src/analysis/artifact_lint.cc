@@ -10,6 +10,7 @@
 #include "analysis/shape_checker.h"
 #include "common/format_magic.h"
 #include "common/hash.h"
+#include "common/log_io.h"
 #include "encode/encoding.h"
 
 namespace geqo::analysis {
@@ -695,6 +696,253 @@ void LintShardedCatalog(std::string_view bytes, Diagnostics* out) {
   }
 }
 
+/// Walks a GEQOMANI catalog-store manifest: versioned header, store kind,
+/// base segment + log tail ids, end magic, under the shared checksum
+/// footer. Mirrors persist::ReadManifest's validation byte for byte so the
+/// linter can gate a store directory without opening it.
+void LintStoreManifest(std::string_view bytes, Diagnostics* out) {
+  const std::string_view payload = CheckFooter(bytes, "manifest", out);
+  ByteCursor cursor(payload);
+  const uint64_t magic = cursor.U64();
+  if (!cursor.ok() || magic != io::kManifestMagic) {
+    At(out, "manifest.magic", "missing GEQOMANI magic", 0);
+    return;
+  }
+  const size_t version_offset = cursor.offset();
+  const uint64_t version = cursor.U64();
+  if (!cursor.ok() || version != io::kManifestVersion) {
+    At(out, "manifest.version",
+       "unsupported manifest version " + std::to_string(version),
+       version_offset);
+    return;
+  }
+  const size_t kind_offset = cursor.offset();
+  const uint64_t kind = cursor.U64();
+  const size_t shards_offset = cursor.offset();
+  const uint64_t num_shards = cursor.U64();
+  const size_t base_offset = cursor.offset();
+  const uint64_t base_id = cursor.U64();
+  const uint64_t base_entry_count = cursor.U64();
+  const size_t allocator_offset = cursor.offset();
+  const uint64_t next_file_id = cursor.U64();
+  const size_t logs_offset = cursor.offset();
+  const uint64_t num_logs = cursor.U64();
+  if (!cursor.ok()) {
+    At(out, "manifest.truncated", "manifest header is cut off", 0);
+    return;
+  }
+  if (kind != 1 && kind != 2) {  // StoreKind::kSingle / kSharded
+    At(out, "manifest.kind",
+       "unknown store kind " + std::to_string(kind), kind_offset);
+    return;
+  }
+  if (num_shards == 0 || num_shards > kMaxLintShards) {
+    At(out, "manifest.shard-count",
+       "implausible shard count " + std::to_string(num_shards),
+       shards_offset);
+    return;
+  }
+  if (base_id == 0 && base_entry_count != 0) {
+    At(out, "manifest.base",
+       "entry count " + std::to_string(base_entry_count) +
+           " without a base segment",
+       base_offset);
+  }
+  if (base_id != 0 && base_id >= next_file_id) {
+    At(out, "manifest.base",
+       "base id " + std::to_string(base_id) +
+           " outruns the id allocator (next " +
+           std::to_string(next_file_id) + ")",
+       allocator_offset);
+  }
+  if (num_logs > cursor.remaining() / sizeof(uint64_t)) {
+    At(out, "manifest.truncated",
+       "log list of " + std::to_string(num_logs) +
+           " ids exceeds what the file can hold",
+       logs_offset);
+    return;
+  }
+  uint64_t prev = 0;
+  for (uint64_t i = 0; i < num_logs; ++i) {
+    const size_t id_offset = cursor.offset();
+    const uint64_t id = cursor.U64();
+    if (!cursor.ok()) {
+      At(out, "manifest.truncated", "log id list is cut off", id_offset);
+      return;
+    }
+    if (id == 0 || id <= prev) {
+      At(out, "manifest.log-ids",
+         "log ids must be nonzero and strictly increasing (id " +
+             std::to_string(id) + " after " + std::to_string(prev) + ")",
+         id_offset);
+      return;
+    }
+    if (id >= next_file_id || id == base_id) {
+      At(out, "manifest.log-ids",
+         "log id " + std::to_string(id) +
+             " collides with the id allocator or the base segment",
+         id_offset);
+      return;
+    }
+    prev = id;
+  }
+  const size_t end_offset = cursor.offset();
+  const uint64_t end_magic = cursor.U64();
+  if (!cursor.ok() || end_magic != io::kManifestEndMagic) {
+    At(out, "manifest.end-magic", "manifest is missing its end marker",
+       end_offset);
+    return;
+  }
+  if (!cursor.AtEnd()) {
+    At(out, "manifest.trailing",
+       std::to_string(cursor.remaining()) +
+           " unexpected bytes after the end marker",
+       cursor.offset());
+  }
+}
+
+/// Decodes one framed delta-log record (the grammar of persist/wal.h) and
+/// proves its type- and normalization invariants. \p offset anchors the
+/// diagnostics at the frame's position in the file.
+bool LintWalRecord(std::string_view record, size_t index, size_t offset,
+                   uint64_t* prev_add_gid, bool* saw_add, Diagnostics* out) {
+  ByteCursor cursor(record);
+  const uint8_t type = cursor.U8();
+  switch (type) {
+    case 1: {  // kAddEntry: gid, canonical hash, check hash
+      const uint64_t gid = cursor.U64();
+      cursor.U64();
+      cursor.U64();
+      if (cursor.ok() && *saw_add && gid <= *prev_add_gid) {
+        At(out, "wal.add-order",
+           "record " + std::to_string(index) + " adds gid " +
+               std::to_string(gid) +
+               " at or below an earlier add in the same partition (gid " +
+               std::to_string(*prev_add_gid) + ")",
+           offset);
+        return false;
+      }
+      *prev_add_gid = gid;
+      *saw_add = true;
+      break;
+    }
+    case 2: {  // kVerdict: normalized pair key, check pair, verdict byte
+      const uint64_t lo = cursor.U64();
+      const uint64_t hi = cursor.U64();
+      const uint64_t check_lo = cursor.U64();
+      const uint64_t check_hi = cursor.U64();
+      const uint8_t verdict = cursor.U8();
+      if (cursor.ok() && (lo > hi || (lo == hi && check_lo > check_hi))) {
+        At(out, "wal.verdict-key",
+           "record " + std::to_string(index) +
+               " carries a non-normalized memo key",
+           offset);
+        return false;
+      }
+      if (cursor.ok() && verdict > 2) {  // EquivalenceVerdict::kUnknown
+        At(out, "wal.verdict-range",
+           "record " + std::to_string(index) + " has verdict byte " +
+               std::to_string(verdict) + " outside the tri-state range",
+           offset);
+        return false;
+      }
+      break;
+    }
+    case 3: {  // kUnion: two distinct gids
+      const uint64_t a = cursor.U64();
+      const uint64_t b = cursor.U64();
+      if (cursor.ok() && a == b) {
+        At(out, "wal.union",
+           "record " + std::to_string(index) + " unions gid " +
+               std::to_string(a) + " with itself",
+           offset);
+        return false;
+      }
+      break;
+    }
+    case 4:  // kPending: (query gid, member gid)
+      cursor.U64();
+      cursor.U64();
+      break;
+    default:
+      At(out, "wal.record-type",
+         "record " + std::to_string(index) + " has unknown type " +
+             std::to_string(type),
+         offset);
+      return false;
+  }
+  if (!cursor.ok() || !cursor.AtEnd()) {
+    At(out, "wal.record-size",
+       "record " + std::to_string(index) +
+           " does not match its type's payload size",
+       offset);
+    return false;
+  }
+  return true;
+}
+
+/// Walks a GEQOWALG delta-log partition: the 32-byte header, then the
+/// framed record stream. The frame checksums localize damage, so the walker
+/// classifies it: a torn tail (crash mid-append — recoverable, but a
+/// cleanly closed store never shows one) versus mid-log corruption (valid
+/// frames after a bad one — never produced by a sequential writer).
+void LintWalLog(std::string_view bytes, Diagnostics* out) {
+  constexpr size_t kWalHeaderSize = 4 * sizeof(uint64_t);
+  if (bytes.size() < kWalHeaderSize) {
+    At(out, "wal.truncated",
+       "file is shorter than the partition header (creation crash window)",
+       0);
+    return;
+  }
+  uint64_t header[4] = {};
+  std::memcpy(header, bytes.data(), kWalHeaderSize);
+  if (header[0] != io::kWalMagic) {
+    At(out, "wal.magic", "missing GEQOWALG magic", 0);
+    return;
+  }
+  if (header[1] != io::kWalVersion) {
+    At(out, "wal.version",
+       "unsupported log version " + std::to_string(header[1]),
+       sizeof(uint64_t));
+    return;
+  }
+  if (header[2] == 0) {
+    At(out, "wal.file-id", "partition header names file id 0 (never issued)",
+       2 * sizeof(uint64_t));
+  }
+  if (header[3] >= kMaxLintShards) {
+    At(out, "wal.shard",
+       "implausible shard index " + std::to_string(header[3]),
+       3 * sizeof(uint64_t));
+    return;
+  }
+  const io::FramedScan scan = io::ScanFramedRecords(bytes, kWalHeaderSize);
+  if (scan.mid_corruption) {
+    At(out, "wal.mid-corruption",
+       "a record fails its checksum but valid records follow — interior "
+       "damage, not a torn tail",
+       scan.clean_size);
+    return;
+  }
+  if (scan.torn) {
+    At(out, "wal.torn-tail",
+       std::to_string(bytes.size() - scan.clean_size) +
+           " bytes past the last valid frame do not form a record "
+           "(interrupted append)",
+       scan.clean_size);
+  }
+  size_t offset = kWalHeaderSize;
+  uint64_t prev_add_gid = 0;
+  bool saw_add = false;
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    if (!LintWalRecord(scan.records[i], i, offset, &prev_add_gid, &saw_add,
+                       out)) {
+      return;
+    }
+    offset += io::kFrameOverhead + scan.records[i].size();
+  }
+}
+
 void LintModelStateFile(std::string_view bytes, Diagnostics* out) {
   ByteCursor cursor(bytes);
   if (!LintModelSection(&cursor, /*expected_input_dim=*/0, out)) return;
@@ -731,6 +979,10 @@ std::string_view ArtifactKindToString(ArtifactKind kind) {
       return "hnsw index";
     case ArtifactKind::kShardedCatalog:
       return "sharded catalog";
+    case ArtifactKind::kStoreManifest:
+      return "catalog store manifest";
+    case ArtifactKind::kWalLog:
+      return "catalog delta log";
     case ArtifactKind::kUnknown:
       break;
   }
@@ -752,6 +1004,10 @@ ArtifactKind SniffArtifact(std::string_view bytes) {
       return ArtifactKind::kHnswIndex;
     case io::kShardedCatalogMagic:
       return ArtifactKind::kShardedCatalog;
+    case io::kManifestMagic:
+      return ArtifactKind::kStoreManifest;
+    case io::kWalMagic:
+      return ArtifactKind::kWalLog;
     default:
       return ArtifactKind::kUnknown;
   }
@@ -774,6 +1030,12 @@ Diagnostics LintArtifactBytes(std::string_view bytes) {
       break;
     case ArtifactKind::kShardedCatalog:
       LintShardedCatalog(bytes, &out);
+      break;
+    case ArtifactKind::kStoreManifest:
+      LintStoreManifest(bytes, &out);
+      break;
+    case ArtifactKind::kWalLog:
+      LintWalLog(bytes, &out);
       break;
     case ArtifactKind::kUnknown:
       At(&out, "artifact.unknown-magic",

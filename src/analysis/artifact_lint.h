@@ -23,6 +23,14 @@
 ///             per-shard GEQOCATG segments, pending-verification tail, end
 ///             magic, checksum footer. Codes sharded.* plus the per-segment
 ///             catalog.* / hnsw.* codes.
+///   GEQOMANI  catalog store manifest: versioned header, store kind, live
+///             base segment + delta-log tail ids, end magic, checksum
+///             footer. Codes manifest.*.
+///   GEQOWALG  catalog delta-log partition: header (file id, shard) then
+///             FNV-1a-framed mutation records. A torn tail is itself a
+///             finding — a cleanly closed store syncs its logs — and
+///             mid-log corruption (valid frames after a bad one) is
+///             distinguished from it. Codes wal.*.
 ///
 /// Diagnostics carry byte-offset contexts ("offset 123") pointing at the
 /// section that violated its invariant.
@@ -36,6 +44,8 @@ enum class ArtifactKind : uint8_t {
   kModelState,
   kHnswIndex,
   kShardedCatalog,
+  kStoreManifest,
+  kWalLog,
 };
 
 std::string_view ArtifactKindToString(ArtifactKind kind);

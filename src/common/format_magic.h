@@ -32,6 +32,23 @@ constexpr uint64_t kShardedCatalogMagic = 0x4745514f53485244ULL;
 constexpr uint64_t kShardedCatalogEndMagic = 0x53485244454e4421ULL;
 constexpr uint64_t kShardedCatalogVersion = 1;
 
+/// Catalog store manifest ("GEQOMANI" ... "MANIEND!"): the authoritative
+/// name of a store directory's live base segment and delta-log tail (store
+/// kind, shard count, base segment id + entry count, ordered log ids),
+/// inside one checksum footer. Published atomically by write-to-temp +
+/// rename; recovery replays exactly the logs the manifest names.
+constexpr uint64_t kManifestMagic = 0x4745514f4d414e49ULL;
+constexpr uint64_t kManifestEndMagic = 0x4d414e49454e4421ULL;
+constexpr uint64_t kManifestVersion = 1;
+
+/// Catalog delta-log partition ("GEQOWALG"): a fixed header (magic, version,
+/// file id, shard index) followed by individually-framed mutation records —
+/// each length-prefixed with its own FNV-1a footer (common/log_io.h), so a
+/// torn tail is detected per record and truncated at recovery instead of
+/// discarding the whole log.
+constexpr uint64_t kWalMagic = 0x4745514f57414c47ULL;
+constexpr uint64_t kWalVersion = 1;
+
 /// Model state section ("GEQOMODL"): named tensors, no framing of its own —
 /// it is embedded in the system snapshot and in standalone state files.
 constexpr uint64_t kModelStateMagic = 0x4745514f4d4f444cULL;

@@ -180,13 +180,33 @@ std::unique_ptr<serve::EquivalenceCatalog> GeqoSystem::OpenCatalog() {
   return OpenCatalog(options);
 }
 
-Result<std::unique_ptr<serve::EquivalenceCatalog>> GeqoSystem::LoadCatalog(
-    const std::string& path, const std::vector<PlanPtr>& plans) {
+serve::CatalogComponents GeqoSystem::ServeComponents() {
+  serve::CatalogComponents components;
+  components.db_catalog = catalog_;
+  components.model = model_.get();
+  components.instance_layout = &instance_layout_;
+  components.agnostic_layout = &agnostic_layout_;
+  components.value_range = options_.value_range;
+  return components;
+}
+
+Result<std::unique_ptr<serve::EquivalenceCatalog>>
+GeqoSystem::ImportCatalogSnapshot(std::istream& is,
+                                  const std::vector<PlanPtr>& plans) {
   serve::CatalogOptions options;
   options.pipeline = options_.pipeline;
-  return serve::EquivalenceCatalog::Load(path, catalog_, model_.get(),
-                                         &instance_layout_, &agnostic_layout_,
-                                         options_.value_range, plans, options);
+  return serve::EquivalenceCatalog::ImportSnapshot(
+      is, catalog_, model_.get(), &instance_layout_, &agnostic_layout_,
+      options_.value_range, plans, options);
+}
+
+Result<std::unique_ptr<serve::CatalogStore>> GeqoSystem::OpenCatalogStore(
+    const std::string& dir, const std::vector<PlanPtr>& plans,
+    serve::DurabilityOptions durability) {
+  serve::CatalogOptions options;
+  options.pipeline = options_.pipeline;
+  return serve::CatalogStore::Open(dir, ServeComponents(), plans, options,
+                                   durability);
 }
 
 std::unique_ptr<serve::ShardedCatalog> GeqoSystem::OpenShardedCatalog(
@@ -202,12 +222,21 @@ std::unique_ptr<serve::ShardedCatalog> GeqoSystem::OpenShardedCatalog() {
   return OpenShardedCatalog(options);
 }
 
-Result<std::unique_ptr<serve::ShardedCatalog>> GeqoSystem::LoadShardedCatalog(
-    const std::string& path, const std::vector<PlanPtr>& plans,
+Result<std::unique_ptr<serve::ShardedCatalog>> GeqoSystem::ImportShardedSnapshot(
+    std::istream& is, const std::vector<PlanPtr>& plans,
     serve::ShardedCatalogOptions options) {
-  return serve::ShardedCatalog::Load(path, catalog_, model_.get(),
-                                     &instance_layout_, &agnostic_layout_,
-                                     options_.value_range, plans, options);
+  options.catalog.pipeline = options_.pipeline;
+  return serve::ShardedCatalog::ImportSnapshot(
+      is, catalog_, model_.get(), &instance_layout_, &agnostic_layout_,
+      options_.value_range, plans, options);
+}
+
+Result<std::unique_ptr<serve::CatalogStore>> GeqoSystem::OpenShardedCatalogStore(
+    const std::string& dir, const std::vector<PlanPtr>& plans,
+    serve::ShardedCatalogOptions options, serve::DurabilityOptions durability) {
+  options.catalog.pipeline = options_.pipeline;
+  return serve::CatalogStore::OpenSharded(dir, ServeComponents(), plans,
+                                          options, durability);
 }
 
 }  // namespace geqo

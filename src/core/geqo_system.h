@@ -9,6 +9,7 @@
 #include "pipeline/geqo.h"
 #include "pipeline/ssfl.h"
 #include "serve/equivalence_catalog.h"
+#include "serve/persist/catalog_store.h"
 #include "serve/sharded_catalog.h"
 #include "workload/labeled_data.h"
 
@@ -85,10 +86,20 @@ class GeqoSystem {
       serve::CatalogOptions options);
   std::unique_ptr<serve::EquivalenceCatalog> OpenCatalog();
 
-  /// Restores a serving catalog snapshot against this system (see
-  /// serve::EquivalenceCatalog::Load for the \p plans contract).
-  Result<std::unique_ptr<serve::EquivalenceCatalog>> LoadCatalog(
-      const std::string& path, const std::vector<PlanPtr>& plans);
+  /// Restores a one-shot serving catalog export (GEQOCATG stream) against
+  /// this system (see serve::EquivalenceCatalog::ImportSnapshot for the
+  /// \p plans contract). For durable serving state use OpenCatalogStore.
+  Result<std::unique_ptr<serve::EquivalenceCatalog>> ImportCatalogSnapshot(
+      std::istream& is, const std::vector<PlanPtr>& plans);
+
+  /// Opens (creating or recovering) a durable single-catalog store at
+  /// \p dir, wired to this system's model, layouts, and calibrated
+  /// pipeline options — the replacement for the old save/load-by-path
+  /// quartet (see serve::CatalogStore). Borrowing contract as OpenCatalog:
+  /// the system must outlive the store.
+  Result<std::unique_ptr<serve::CatalogStore>> OpenCatalogStore(
+      const std::string& dir, const std::vector<PlanPtr>& plans,
+      serve::DurabilityOptions durability = serve::DurabilityOptions());
 
   /// Opens an empty *sharded* serving catalog (concurrent Probe/Add with an
   /// async verification plane — see serve::ShardedCatalog). The no-argument
@@ -98,13 +109,26 @@ class GeqoSystem {
       serve::ShardedCatalogOptions options);
   std::unique_ptr<serve::ShardedCatalog> OpenShardedCatalog();
 
-  /// Restores a sharded catalog snapshot (GEQOSHRD) against this system;
-  /// \p plans are all entries in global Add order. \p options supplies the
-  /// runtime knobs (verifier threads, queue bound) — the shard count comes
-  /// from the snapshot.
-  Result<std::unique_ptr<serve::ShardedCatalog>> LoadShardedCatalog(
-      const std::string& path, const std::vector<PlanPtr>& plans,
+  /// Restores a one-shot sharded catalog export (GEQOSHRD stream) against
+  /// this system; \p plans are all entries in global Add order. \p options
+  /// supplies the runtime knobs (verifier threads, queue bound) — the
+  /// shard count comes from the snapshot. For durable serving state use
+  /// OpenShardedCatalogStore.
+  Result<std::unique_ptr<serve::ShardedCatalog>> ImportShardedSnapshot(
+      std::istream& is, const std::vector<PlanPtr>& plans,
       serve::ShardedCatalogOptions options = serve::ShardedCatalogOptions());
+
+  /// Opens (creating or recovering) a durable sharded-catalog store at
+  /// \p dir. \p options.catalog.pipeline is overridden with the system's
+  /// calibrated pipeline options. Same borrowing contract as OpenCatalog.
+  Result<std::unique_ptr<serve::CatalogStore>> OpenShardedCatalogStore(
+      const std::string& dir, const std::vector<PlanPtr>& plans,
+      serve::ShardedCatalogOptions options = serve::ShardedCatalogOptions(),
+      serve::DurabilityOptions durability = serve::DurabilityOptions());
+
+  /// The component wiring a serve::CatalogStore needs (borrowed from this
+  /// system; the system must outlive any store built from it).
+  serve::CatalogComponents ServeComponents();
 
   // Component access for advanced use and benchmarking.
   const Catalog& catalog() const { return *catalog_; }

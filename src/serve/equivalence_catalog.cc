@@ -1,7 +1,6 @@
 #include "serve/equivalence_catalog.h"
 
 #include <algorithm>
-#include <fstream>
 #include <set>
 #include <sstream>
 
@@ -137,6 +136,11 @@ Result<size_t> EquivalenceCatalog::AddWithEmbedding(
                            query.check_hash, std::move(query.encoded)});
   const size_t class_id = classes_.Add();
   GEQO_CHECK(class_id == id);
+  // Journal after the in-memory commit: the hashes are what replay needs to
+  // re-derive (and verify) this entry from its plan.
+  if (journal_ != nullptr) {
+    journal_->OnAdd(0, id, query.canonical_hash, query.check_hash);
+  }
   ++stats_.adds;
   if (obs::MetricsEnabled()) {
     obs::MetricsRegistry::Global().GetCounter("serve.adds").Add(1);
@@ -181,6 +185,10 @@ EquivalenceVerdict EquivalenceCatalog::VerdictFor(const QueryContext& query,
   const EquivalenceVerdict verdict =
       verifier_.CheckEquivalence(query.plan, entry.plan);
   memo_.Insert(memo_key.key, memo_key.check, verdict);
+  if (journal_ != nullptr) {
+    journal_->OnVerdict(0, memo_key.key.lo, memo_key.key.hi, memo_key.check.lo,
+                        memo_key.check.hi, static_cast<uint8_t>(verdict));
+  }
   return verdict;
 }
 
@@ -497,7 +505,10 @@ Result<ProbeAddResult> EquivalenceCatalog::ProbeAdd(const PlanPtr& plan) {
   for (const size_t id : probe.equivalent_ids) roots.insert(classes_.Find(id));
   GEQO_ASSIGN_OR_RETURN(const size_t id, AddPrepared(std::move(query)));
   for (const size_t root : roots) {
-    if (classes_.Union(id, root)) ++stats_.unions;
+    if (classes_.Union(id, root)) {
+      ++stats_.unions;
+      if (journal_ != nullptr) journal_->OnUnion(0, id, root);
+    }
   }
   if (obs::MetricsEnabled()) UpdateGauges();
   ProbeAddResult result;
@@ -507,15 +518,7 @@ Result<ProbeAddResult> EquivalenceCatalog::ProbeAdd(const PlanPtr& plan) {
   return result;
 }
 
-Status EquivalenceCatalog::Save(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return Status::IoError("cannot open for writing: " + path);
-  GEQO_RETURN_NOT_OK(Save(file));
-  if (!file.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
-}
-
-Status EquivalenceCatalog::Save(std::ostream& os) const {
+Status EquivalenceCatalog::ExportSnapshot(std::ostream& os) const {
   GEQO_RETURN_NOT_OK(options_status_);
   // Buffer the payload so the v2 checksum footer can cover it whole.
   std::ostringstream payload;
@@ -537,24 +540,7 @@ Status EquivalenceCatalog::Save(std::ostream& os) const {
   return io::WriteChecksummed(os, payload.str(), "catalog snapshot");
 }
 
-Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
-    const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
-    const EncodingLayout* instance_layout,
-    const EncodingLayout* agnostic_layout, ValueRange value_range,
-    const std::vector<PlanPtr>& plans, CatalogOptions options) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IoError("cannot open for reading: " + path);
-  Result<std::unique_ptr<EquivalenceCatalog>> catalog =
-      Load(file, db_catalog, model, instance_layout, agnostic_layout,
-           value_range, plans, options);
-  if (!catalog.ok()) {
-    return Status(catalog.status().code(),
-                  catalog.status().message() + " (file: " + path + ")");
-  }
-  return catalog;
-}
-
-Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::Load(
+Result<std::unique_ptr<EquivalenceCatalog>> EquivalenceCatalog::ImportSnapshot(
     std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
     const EncodingLayout* instance_layout,
     const EncodingLayout* agnostic_layout, ValueRange value_range,

@@ -10,6 +10,7 @@
 #include "ann/hnsw.h"
 #include "filters/schema_filter.h"
 #include "pipeline/geqo.h"
+#include "serve/persist/journal.h"
 #include "serve/union_find.h"
 #include "serve/verifier_memo.h"
 #include "tensor/kernels/kernel_table.h"
@@ -35,11 +36,14 @@
 ///     independent secondary check-hash pair (a detected collision is a
 ///     miss, never a wrong verdict), so repeat verifications across probes
 ///     (and across process restarts, via the snapshot) never happen.
-///   - Save/Load persist a versioned binary snapshot — HNSW graph + stored
-///     embeddings, equivalence classes, memo cache — such that a restarted
-///     service replays the remaining probe stream with bit-identical
-///     results and performs no verifier calls for already-memoized or
-///     class-joined pairs.
+///   - ExportSnapshot/ImportSnapshot persist a versioned binary snapshot —
+///     HNSW graph + stored embeddings, equivalence classes, memo cache —
+///     such that a restarted service replays the remaining probe stream
+///     with bit-identical results and performs no verifier calls for
+///     already-memoized or class-joined pairs. Durable *incremental*
+///     persistence (delta log + compaction + manifest) lives one layer up
+///     in serve::CatalogStore (persist/catalog_store.h), which feeds on the
+///     CatalogJournal mutation hooks this class exposes.
 ///
 /// Thread-safety: one EquivalenceCatalog is a single-writer object — Probe
 /// mutates the memo, stats, and verifier accounting, and Add mutates the
@@ -51,6 +55,10 @@
 /// is const and safe under a shared lock.
 
 namespace geqo::serve {
+
+namespace persist {
+class CatalogStore;
+}  // namespace persist
 
 /// \brief Serving configuration: the filter cascade parameters, reusing the
 /// batch pipeline's options (ablation toggles included).
@@ -167,34 +175,38 @@ class EquivalenceCatalog {
     return index_ != nullptr && index_->quantized();
   }
 
-  /// Writes the versioned snapshot: header (magic, version, db-catalog
-  /// fingerprint, embedding dim), per-entry canonical hashes, the HNSW
-  /// graph + vectors, the equivalence classes, and the memo cache.
-  Status Save(const std::string& path) const;
-  Status Save(std::ostream& os) const;
+  /// Writes the versioned one-shot snapshot ("GEQOCATG"): header (magic,
+  /// version, db-catalog fingerprint, embedding dim), per-entry canonical
+  /// hashes, the HNSW graph + vectors, the equivalence classes, and the
+  /// memo cache. This is an *export* — durable serving state lives in a
+  /// serve::CatalogStore directory; use this for one-shot artifact
+  /// interchange (benches, offline analysis). The old Save(path)/Load(path)
+  /// pairs are gone: opening a store directory is CatalogStore::Open.
+  Status ExportSnapshot(std::ostream& os) const;
 
-  /// Restores a snapshot. \p plans must be the catalog's entries in Add
-  /// order (the snapshot stores their canonical hashes, not the plans; a
-  /// serving deployment keeps plan text in its own store). Fails loudly on
-  /// magic/version skew, a different database schema, mismatched plans, or
-  /// a corrupted/truncated stream. The loaded catalog re-derives only cheap
-  /// state (signatures, instance encodings) — embeddings come from the
-  /// snapshot and memoized verdicts are never re-proved.
-  static Result<std::unique_ptr<EquivalenceCatalog>> Load(
-      const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
-      const EncodingLayout* instance_layout,
-      const EncodingLayout* agnostic_layout, ValueRange value_range,
-      const std::vector<PlanPtr>& plans,
-      CatalogOptions options = CatalogOptions());
-  static Result<std::unique_ptr<EquivalenceCatalog>> Load(
+  /// Restores an exported snapshot. \p plans must be the catalog's entries
+  /// in Add order (the snapshot stores their canonical hashes, not the
+  /// plans; a serving deployment keeps plan text in its own store). Fails
+  /// loudly on magic/version skew, a different database schema, mismatched
+  /// plans, or a corrupted/truncated stream. The loaded catalog re-derives
+  /// only cheap state (signatures, instance encodings) — embeddings come
+  /// from the snapshot and memoized verdicts are never re-proved.
+  static Result<std::unique_ptr<EquivalenceCatalog>> ImportSnapshot(
       std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
       const EncodingLayout* instance_layout,
       const EncodingLayout* agnostic_layout, ValueRange value_range,
       const std::vector<PlanPtr>& plans,
       CatalogOptions options = CatalogOptions());
 
+  /// Attaches (or detaches, with nullptr) the mutation journal. Hooks fire
+  /// synchronously inside Add/ProbeAdd/verdict bookkeeping, in commit
+  /// order; the journal must outlive the catalog or be detached first.
+  /// Owned by serve::CatalogStore in a durable deployment.
+  void AttachJournal(persist::CatalogJournal* journal) { journal_ = journal; }
+
  private:
   friend class ShardedCatalog;
+  friend class persist::CatalogStore;
 
   struct Entry {
     PlanPtr plan;
@@ -279,6 +291,10 @@ class EquivalenceCatalog {
   VerifierMemo memo_;
   SpesVerifier verifier_;
   CatalogStats stats_;
+  /// Mutation journal (delta-log feed); null when not persisted. Hooks run
+  /// with shard 0 / gid == local id — in sharded mode the shard catalogs
+  /// carry no journal and ShardedCatalog journals globally itself.
+  persist::CatalogJournal* journal_ = nullptr;
 };
 
 }  // namespace geqo::serve

@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file journal.h
+/// The mutation-journal sink the serving catalogs speak. A CatalogStore
+/// attaches one of these to the catalog it owns; the catalog then reports
+/// every durable mutation — entry adds, verifier verdicts, union-find
+/// proofs, pending-verification enqueues — at the moment it applies, and
+/// the store appends the matching delta-log record. Detached (the default),
+/// every hook is a null-pointer check.
+///
+/// Contract:
+///   - Ids are *global* entry ids (for a single EquivalenceCatalog, global
+///     == local). \p shard names the log partition; a single catalog always
+///     reports shard 0.
+///   - Hooks for state mutations (add / verdict / union) are invoked while
+///     the mutation's lock is still held, so each partition's record order
+///     matches its shard's state-evolution order.
+///   - Hooks return void: the catalog cannot roll a mutation back, so a
+///     failed append latches an error inside the store (surfaced by
+///     CatalogStore::status/Checkpoint/Close) instead of poisoning the
+///     serving path.
+
+namespace geqo::serve::persist {
+
+class CatalogJournal {
+ public:
+  virtual ~CatalogJournal() = default;
+
+  /// Entry \p gid was added with the given canonical / secondary hashes.
+  virtual void OnAdd(size_t shard, uint64_t gid, uint64_t canonical_hash,
+                     uint64_t check_hash) = 0;
+
+  /// A verifier verdict was memoized under the order-normalized key
+  /// (key_lo, key_hi) with check pair (check_lo, check_hi).
+  /// \p verdict is the EquivalenceVerdict byte.
+  virtual void OnVerdict(size_t shard, uint64_t key_lo, uint64_t key_hi,
+                         uint64_t check_lo, uint64_t check_hi,
+                         uint8_t verdict) = 0;
+
+  /// Classes of entries \p a_gid and \p b_gid were proven equivalent and
+  /// merged.
+  virtual void OnUnion(size_t shard, uint64_t a_gid, uint64_t b_gid) = 0;
+
+  /// Pair (query \p query_gid, member \p member_gid) was handed to the
+  /// async verifier plane — it must survive a crash until resolved.
+  virtual void OnPending(size_t shard, uint64_t query_gid,
+                         uint64_t member_gid) = 0;
+
+  /// The pair's verification task retired (its class was decided or
+  /// exhausted): the pair no longer needs carrying across a log rotation.
+  /// Not a log record — bookkeeping for the store's outstanding set.
+  virtual void OnPendingResolved(size_t shard, uint64_t query_gid,
+                                 uint64_t member_gid) = 0;
+};
+
+}  // namespace geqo::serve::persist

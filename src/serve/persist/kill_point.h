@@ -1,0 +1,30 @@
+#pragma once
+
+/// \file kill_point.h
+/// Crash injection for the persistence layer's recovery tests. A kill point
+/// is a named location on the write path (e.g. "wal-append",
+/// "compact-pre-manifest"); when armed, the Nth time execution reaches it
+/// the process dies via _exit(137) — no destructors, no stream flushes —
+/// emulating SIGKILL at exactly that boundary (137 = 128 + SIGKILL).
+///
+/// Arming:
+///   - env GEQO_PERSIST_KILL_POINT="name" or "name:N" (die on the Nth hit;
+///     default 1) — the hook scripts/check.sh's recovery lane uses.
+///   - SetKillPoint(name, n) — what tests/persist_test.cc calls in a forked
+///     child before driving the store.
+///
+/// Unarmed, a kill point is one relaxed atomic load — free enough to leave
+/// compiled into release binaries, which is the point: the recovery lane
+/// crashes the *production* write path, not a test double.
+
+namespace geqo::serve::persist {
+
+/// Dies with _exit(137) when \p name is the armed kill point and this hit
+/// exhausts its countdown; otherwise returns immediately.
+void KillPoint(const char* name);
+
+/// Arms \p name to fire on its \p hits-th upcoming hit (test entry point;
+/// overrides any env arming). nullptr disarms.
+void SetKillPoint(const char* name, int hits = 1);
+
+}  // namespace geqo::serve::persist

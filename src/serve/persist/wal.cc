@@ -1,0 +1,201 @@
+#include "serve/persist/wal.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "common/binary_io.h"
+#include "common/format_magic.h"
+#include "common/log_io.h"
+#include "serve/persist/kill_point.h"
+#include "verify/verifier.h"
+
+#ifdef __unix__
+#include <unistd.h>
+#endif
+
+namespace geqo::serve::persist {
+
+namespace {
+
+constexpr size_t kHeaderSize = 4 * sizeof(uint64_t);
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+Status SyncFile(std::FILE* file, const std::string& path) {
+  if (std::fflush(file) != 0) return Errno("cannot flush", path);
+#ifdef __unix__
+  if (::fsync(fileno(file)) != 0) return Errno("cannot fsync", path);
+#endif
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string EncodeWalRecord(const WalRecord& record) {
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "wal record");
+  writer.U8(static_cast<uint8_t>(record.type));
+  switch (record.type) {
+    case WalRecordType::kAddEntry:
+      writer.U64(record.gid);
+      writer.U64(record.a);
+      writer.U64(record.b);
+      break;
+    case WalRecordType::kVerdict:
+      writer.U64(record.a);
+      writer.U64(record.b);
+      writer.U64(record.c);
+      writer.U64(record.d);
+      writer.U8(record.verdict);
+      break;
+    case WalRecordType::kUnion:
+    case WalRecordType::kPending:
+      writer.U64(record.a);
+      writer.U64(record.b);
+      break;
+  }
+  return payload.str();
+}
+
+Result<WalRecord> DecodeWalRecord(const std::string& payload,
+                                  const std::string& context) {
+  std::istringstream stream(payload);
+  io::BinaryReader reader(stream, context);
+  WalRecord record;
+  const uint8_t type = reader.U8();
+  GEQO_RETURN_NOT_OK(reader.status());
+  switch (static_cast<WalRecordType>(type)) {
+    case WalRecordType::kAddEntry:
+      record.type = WalRecordType::kAddEntry;
+      record.gid = reader.U64();
+      record.a = reader.U64();
+      record.b = reader.U64();
+      break;
+    case WalRecordType::kVerdict:
+      record.type = WalRecordType::kVerdict;
+      record.a = reader.U64();
+      record.b = reader.U64();
+      record.c = reader.U64();
+      record.d = reader.U64();
+      record.verdict = reader.U8();
+      if (reader.ok() &&
+          record.verdict > static_cast<uint8_t>(EquivalenceVerdict::kUnknown)) {
+        reader.Fail("verdict byte " + std::to_string(record.verdict) +
+                    " out of range");
+      }
+      break;
+    case WalRecordType::kUnion:
+    case WalRecordType::kPending:
+      record.type = static_cast<WalRecordType>(type);
+      record.a = reader.U64();
+      record.b = reader.U64();
+      break;
+    default:
+      return Status::InvalidArgument(context + ": unknown record type " +
+                                     std::to_string(type) +
+                                     " (corrupt log record)");
+  }
+  GEQO_RETURN_NOT_OK(reader.status());
+  if (!reader.AtEof()) {
+    return Status::InvalidArgument(
+        context + ": trailing bytes inside a framed record (corrupt log)");
+  }
+  return record;
+}
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Create(const std::string& path,
+                                                     uint64_t file_id,
+                                                     uint64_t shard) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) return Errno("cannot create log partition", path);
+  const uint64_t header[4] = {io::kWalMagic, io::kWalVersion, file_id, shard};
+  if (std::fwrite(header, sizeof(header), 1, file) != 1 ||
+      std::fflush(file) != 0) {
+    const Status status = Errno("cannot write log header to", path);
+    std::fclose(file);
+    return status;
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(file, path));
+}
+
+WalWriter::~WalWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status WalWriter::Append(const WalRecord& record, bool flush) {
+  std::string framed;
+  io::AppendFramedRecord(&framed, EncodeWalRecord(record));
+  if (std::fwrite(framed.data(), 1, framed.size(), file_) != framed.size()) {
+    return Errno("cannot append to log partition", path_);
+  }
+  if (flush && std::fflush(file_) != 0) {
+    return Errno("cannot flush log partition", path_);
+  }
+  ++appended_;
+  KillPoint("wal-append");
+  return Status::OK();
+}
+
+Status WalWriter::Sync() { return SyncFile(file_, path_); }
+
+Result<WalReplay> ReadWalFile(const std::string& path, uint64_t expect_file_id,
+                              uint64_t expect_shard) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Errno("cannot open log partition", path);
+  const std::string bytes((std::istreambuf_iterator<char>(in)),
+                          std::istreambuf_iterator<char>());
+  const std::string context = "log partition " + path;
+  WalReplay replay;
+  if (bytes.size() < kHeaderSize) {
+    // The creation crash window: the partition exists but its header never
+    // completed, so it cannot hold records. The caller decides whether this
+    // generation is allowed to be half-created.
+    replay.header_torn = true;
+    replay.torn = true;
+    return replay;
+  }
+  uint64_t header[4] = {};
+  std::memcpy(header, bytes.data(), kHeaderSize);
+  if (header[0] != io::kWalMagic) {
+    return Status::InvalidArgument(context +
+                                   ": bad magic (not a catalog delta log)");
+  }
+  if (header[1] != io::kWalVersion) {
+    return Status::InvalidArgument(
+        context + ": unsupported version " + std::to_string(header[1]) +
+        " (expected " + std::to_string(io::kWalVersion) + ")");
+  }
+  replay.file_id = header[2];
+  replay.shard = header[3];
+  if (replay.file_id != expect_file_id || replay.shard != expect_shard) {
+    return Status::InvalidArgument(
+        context + ": header names file " + std::to_string(replay.file_id) +
+        " shard " + std::to_string(replay.shard) + ", manifest expects file " +
+        std::to_string(expect_file_id) + " shard " +
+        std::to_string(expect_shard) + " (misplaced or corrupt log)");
+  }
+  io::FramedScan scan = io::ScanFramedRecords(bytes, kHeaderSize);
+  if (scan.mid_corruption) {
+    return Status::InvalidArgument(
+        context + ": record at offset " + std::to_string(scan.clean_size) +
+        " fails its checksum but valid records follow — mid-log corruption, "
+        "not a torn tail (refusing to truncate over durable records)");
+  }
+  replay.torn = scan.torn;
+  replay.clean_size = scan.clean_size;
+  replay.records.reserve(scan.records.size());
+  for (size_t i = 0; i < scan.records.size(); ++i) {
+    GEQO_ASSIGN_OR_RETURN(
+        WalRecord record,
+        DecodeWalRecord(scan.records[i],
+                        context + ", record " + std::to_string(i)));
+    replay.records.push_back(record);
+  }
+  return replay;
+}
+
+}  // namespace geqo::serve::persist

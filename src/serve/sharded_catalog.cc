@@ -8,7 +8,7 @@
 #endif
 
 #include <algorithm>
-#include <fstream>
+#include <map>
 #include <mutex>
 #include <set>
 #include <sstream>
@@ -18,6 +18,7 @@
 #include "common/checksum_io.h"
 #include "common/format_magic.h"
 #include "common/hash.h"
+#include "common/logging.h"
 #include "common/thread_pool.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -176,6 +177,8 @@ Result<ShardedCatalog::PreparedAdd> ShardedCatalog::PrepareAdd(
 
 Result<size_t> ShardedCatalog::CommitAdd(PreparedAdd prepared) {
   const size_t sid = ShardOf(prepared.query.signature);
+  const uint64_t canonical_hash = prepared.query.canonical_hash;
+  const uint64_t check_hash = prepared.query.check_hash;
   Shard& shard = *shards_[sid];
   std::unique_lock<std::shared_mutex> lock(shard.mu);
   GEQO_ASSIGN_OR_RETURN(
@@ -189,6 +192,12 @@ Result<size_t> ShardedCatalog::CommitAdd(PreparedAdd prepared) {
     global_map_.emplace_back(sid, local);
   }
   shard.to_global.push_back(gid);
+  // Journal under the shard lock: each shard's log partition is a
+  // self-consistent stream (this entry's later verdicts/unions/pendings
+  // land behind its add record).
+  if (journal_ != nullptr) {
+    journal_->OnAdd(sid, gid, canonical_hash, check_hash);
+  }
   adds_.fetch_add(1, std::memory_order_relaxed);
   return gid;
 }
@@ -252,19 +261,42 @@ void ShardedCatalog::TranslateLocked(const Shard& shard, size_t sid,
   }
 }
 
-void ShardedCatalog::EnqueuePending(
-    size_t shard, const PlanPtr& query_plan, uint64_t query_hash,
-    uint64_t query_check, size_t query_local,
-    std::vector<EquivalenceCatalog::ClassDecision> pending) {
-  if (pending.empty()) return;
+std::vector<ShardedCatalog::VerifyTask> ShardedCatalog::BuildPendingTasksLocked(
+    const Shard& shard, size_t sid, const PlanPtr& query_plan,
+    uint64_t query_hash, uint64_t query_check, size_t query_local,
+    std::vector<EquivalenceCatalog::ClassDecision> pending) const {
+  std::vector<VerifyTask> tasks;
+  tasks.reserve(pending.size());
   for (EquivalenceCatalog::ClassDecision& decision : pending) {
     VerifyTask task;
-    task.shard = shard;
+    task.shard = sid;
     task.query_plan = query_plan;
     task.query_hash = query_hash;
     task.query_check = query_check;
     task.query_local = query_local;
     task.agenda = std::move(decision.agenda);
+    if (query_local != kNoEntry && journal_ != nullptr) {
+      const uint64_t query_gid = shard.to_global[query_local];
+      task.logged_pairs.reserve(task.agenda.size());
+      for (const size_t member : task.agenda) {
+        task.logged_pairs.emplace_back(query_gid, shard.to_global[member]);
+      }
+    }
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+void ShardedCatalog::EnqueueTasks(std::vector<VerifyTask> tasks) {
+  if (tasks.empty()) return;
+  for (VerifyTask& task : tasks) {
+    // Pending records go to the journal before the push: once a worker can
+    // see the task, its resolution must never outrun the pending record.
+    if (journal_ != nullptr) {
+      for (const auto& [query_gid, member_gid] : task.logged_pairs) {
+        journal_->OnPending(task.shard, query_gid, member_gid);
+      }
+    }
     if (queue_.Push(std::move(task))) {
       verify_tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
     }
@@ -291,16 +323,24 @@ Result<ShardedProbeResult> ShardedCatalog::Probe(const PlanPtr& plan) {
   result.shard = sid;
   result.stages.push_back(std::move(prepare));
   EquivalenceCatalog::ReadProbeResult read;
+  std::vector<VerifyTask> tasks;
   {
     std::shared_lock<std::shared_mutex> lock(shard.mu);
     GEQO_ASSIGN_OR_RETURN(read, shard.catalog->ProbeReadOnly(*prepared));
     TranslateLocked(shard, sid, read, &result);
+    result.pending_classes = read.pending.size();
+    tasks = BuildPendingTasksLocked(shard, sid, prepared->plan,
+                                    prepared->canonical_hash,
+                                    prepared->check_hash, kNoEntry,
+                                    std::move(read.pending));
   }
   probes_.fetch_add(1, std::memory_order_relaxed);
   memo_collisions_.fetch_add(read.collisions, std::memory_order_relaxed);
-  result.pending_classes = read.pending.size();
-  EnqueuePending(sid, prepared->plan, prepared->canonical_hash,
-                 prepared->check_hash, kNoEntry, std::move(read.pending));
+  // A plain probe's tasks are process-local (the query is not an entry, so
+  // nothing durable can re-derive them) — surfaced so callers know these
+  // classes will not survive an export or a restart.
+  result.probe_only_pending = result.pending_classes;
+  EnqueueTasks(std::move(tasks));
   result.seconds = SumStageSeconds(result.stages);
   if (obs::MetricsEnabled()) {
     auto& registry = obs::MetricsRegistry::Global();
@@ -332,6 +372,7 @@ Result<ShardedProbeAddResult> ShardedCatalog::ProbeAdd(const PlanPtr& plan) {
   const uint64_t query_hash = prepared->query.canonical_hash;
   const uint64_t query_check = prepared->query.check_hash;
   EquivalenceCatalog::ReadProbeResult read;
+  std::vector<VerifyTask> tasks;
   size_t local = 0;
   {
     // Probe + insert + sync unions as one exclusive critical section on the
@@ -351,17 +392,24 @@ Result<ShardedProbeAddResult> ShardedCatalog::ProbeAdd(const PlanPtr& plan) {
       global_map_.emplace_back(sid, local);
     }
     shard.to_global.push_back(result.id);
+    if (journal_ != nullptr) {
+      journal_->OnAdd(sid, result.id, query_hash, query_check);
+    }
     for (const size_t root : roots) {
-      shard.catalog->classes_.Union(local, root);
+      if (shard.catalog->classes_.Union(local, root) && journal_ != nullptr) {
+        journal_->OnUnion(sid, result.id, shard.to_global[root]);
+      }
     }
     TranslateLocked(shard, sid, read, &result.probe);
+    result.probe.pending_classes = read.pending.size();
+    tasks = BuildPendingTasksLocked(shard, sid, query_plan, query_hash,
+                                    query_check, local,
+                                    std::move(read.pending));
   }
   adds_.fetch_add(1, std::memory_order_relaxed);
   probes_.fetch_add(1, std::memory_order_relaxed);
   memo_collisions_.fetch_add(read.collisions, std::memory_order_relaxed);
-  result.probe.pending_classes = read.pending.size();
-  EnqueuePending(sid, query_plan, query_hash, query_check, local,
-                 std::move(read.pending));
+  EnqueueTasks(std::move(tasks));
   result.probe.seconds = SumStageSeconds(result.probe.stages);
   if (obs::MetricsEnabled()) {
     auto& registry = obs::MetricsRegistry::Global();
@@ -428,6 +476,11 @@ void ShardedCatalog::ProcessTask(const VerifyTask& task,
       }();
       std::unique_lock<std::shared_mutex> lock(shard.mu);
       shard.catalog->memo_.Insert(memo_key.key, memo_key.check, proved);
+      if (journal_ != nullptr) {
+        journal_->OnVerdict(task.shard, memo_key.key.lo, memo_key.key.hi,
+                            memo_key.check.lo, memo_key.check.hi,
+                            static_cast<uint8_t>(proved));
+      }
       verdict = proved;
     }
     if (*verdict != EquivalenceVerdict::kUnknown) {
@@ -443,6 +496,17 @@ void ShardedCatalog::ProcessTask(const VerifyTask& task,
     std::unique_lock<std::shared_mutex> lock(shard.mu);
     if (shard.catalog->classes_.Union(task.query_local, decided_member)) {
       async_unions_.fetch_add(1, std::memory_order_relaxed);
+      if (journal_ != nullptr) {
+        journal_->OnUnion(task.shard, shard.to_global[task.query_local],
+                          shard.to_global[decided_member]);
+      }
+    }
+  }
+  // The task is fully applied: its journaled pending pairs are no longer
+  // outstanding (the store stops re-logging them at the next rotation).
+  if (journal_ != nullptr) {
+    for (const auto& [query_gid, member_gid] : task.logged_pairs) {
+      journal_->OnPendingResolved(task.shard, query_gid, member_gid);
     }
   }
   verify_tasks_completed_.fetch_add(1, std::memory_order_relaxed);
@@ -558,52 +622,34 @@ ShardedCatalogStats ShardedCatalog::stats() const {
   return out;
 }
 
-Status ShardedCatalog::Save(const std::string& path) const {
-  std::ofstream file(path, std::ios::binary | std::ios::trunc);
-  if (!file) return Status::IoError("cannot open for writing: " + path);
-  GEQO_RETURN_NOT_OK(Save(file));
-  if (!file.good()) return Status::IoError("write failed: " + path);
-  return Status::OK();
-}
-
-Status ShardedCatalog::Save(std::ostream& os) const {
-  GEQO_RETURN_NOT_OK(options_status_);
-  // Freeze the async plane: Pause waits for in-flight tasks to apply their
-  // side effects, after which the backlog is exactly SnapshotPending().
-  // Pauses nest, so with overlapping Saves the queue stays frozen until the
-  // last one Resumes — no Save can observe workers retiring tasks mid-shot.
-  queue_.Pause();
-  Status status = [&]() -> Status {
-    const std::vector<VerifyTask> pending = queue_.SnapshotPending();
-    // Lock every shard (index order, so concurrent Saves cannot deadlock)
-    // plus the global map for one consistent cross-shard view.
-    std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
-    shard_locks.reserve(shards_.size());
-    for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
-    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
-
-    std::ostringstream payload;
-    io::BinaryWriter writer(payload, "sharded catalog snapshot");
-    writer.U64(io::kShardedCatalogMagic);
-    writer.U64(io::kShardedCatalogVersion);
-    writer.U64(shards_.size());
-    writer.U64(global_map_.size());
-    for (const auto& [sid, local] : global_map_) writer.U64(sid);
-    GEQO_RETURN_NOT_OK(writer.status());
-    for (const auto& shard : shards_) {
-      std::ostringstream segment;
-      GEQO_RETURN_NOT_OK(shard->catalog->Save(segment));
-      const std::string bytes = segment.str();
-      writer.U64(bytes.size());
-      writer.Bytes(bytes.data(), bytes.size());
-    }
-    // The pending tail: (query gid, member gid) pairs for tasks whose query
-    // is a catalog entry. Probe-only tasks have no entry to name across a
-    // restart — they are dropped (counted), and the client just re-probes.
-    std::vector<std::pair<uint64_t, uint64_t>> pairs;
-    for (const VerifyTask& task : pending) {
+Status ShardedCatalog::WriteSnapshotLocked(
+    std::ostream& os, const std::vector<VerifyTask>* pending) const {
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "sharded catalog snapshot");
+  writer.U64(io::kShardedCatalogMagic);
+  writer.U64(io::kShardedCatalogVersion);
+  writer.U64(shards_.size());
+  writer.U64(global_map_.size());
+  for (const auto& [sid, local] : global_map_) writer.U64(sid);
+  GEQO_RETURN_NOT_OK(writer.status());
+  for (const auto& shard : shards_) {
+    std::ostringstream segment;
+    GEQO_RETURN_NOT_OK(shard->catalog->ExportSnapshot(segment));
+    const std::string bytes = segment.str();
+    writer.U64(bytes.size());
+    writer.Bytes(bytes.data(), bytes.size());
+  }
+  // The pending tail: (query gid, member gid) pairs for tasks whose query
+  // is a catalog entry. Probe-only tasks have no entry to name across a
+  // restart — they are dropped loudly, and the client just re-probes. A
+  // base export (null \p pending) writes an empty tail: a store's backlog
+  // travels in the delta log, never the base segment.
+  std::vector<std::pair<uint64_t, uint64_t>> pairs;
+  size_t dropped = 0;
+  if (pending != nullptr) {
+    for (const VerifyTask& task : *pending) {
       if (task.query_local == kNoEntry) {
-        dropped_probe_tasks_.fetch_add(1, std::memory_order_relaxed);
+        ++dropped;
         continue;
       }
       const std::vector<size_t>& to_global = shards_[task.shard]->to_global;
@@ -611,40 +657,71 @@ Status ShardedCatalog::Save(std::ostream& os) const {
         pairs.emplace_back(to_global[task.query_local], to_global[member]);
       }
     }
-    std::sort(pairs.begin(), pairs.end());
-    pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
-    writer.U64(pairs.size());
-    for (const auto& [query_gid, member_gid] : pairs) {
-      writer.U64(query_gid);
-      writer.U64(member_gid);
+  }
+  if (dropped > 0) {
+    dropped_probe_tasks_.fetch_add(dropped, std::memory_order_relaxed);
+    GEQO_LOG(kWarning)
+        << "sharded catalog export: dropping " << dropped
+        << " probe-only pending verification task(s) — their queries are "
+           "not catalog entries and cannot be re-derived after a restart; "
+           "affected clients must re-probe (see "
+           "ShardedProbeResult::probe_only_pending and "
+           "stats().dropped_probe_tasks)";
+    if (obs::MetricsEnabled()) {
+      obs::MetricsRegistry::Global()
+          .GetCounter("serve.dropped_probe_tasks")
+          .Add(dropped);
     }
-    writer.U64(io::kShardedCatalogEndMagic);
-    GEQO_RETURN_NOT_OK(writer.status());
-    return io::WriteChecksummed(os, payload.str(),
-                                "sharded catalog snapshot");
+  }
+  std::sort(pairs.begin(), pairs.end());
+  pairs.erase(std::unique(pairs.begin(), pairs.end()), pairs.end());
+  writer.U64(pairs.size());
+  for (const auto& [query_gid, member_gid] : pairs) {
+    writer.U64(query_gid);
+    writer.U64(member_gid);
+  }
+  writer.U64(io::kShardedCatalogEndMagic);
+  GEQO_RETURN_NOT_OK(writer.status());
+  return io::WriteChecksummed(os, payload.str(), "sharded catalog snapshot");
+}
+
+Status ShardedCatalog::ExportSnapshot(std::ostream& os) const {
+  GEQO_RETURN_NOT_OK(options_status_);
+  // Freeze the async plane: Pause waits for in-flight tasks to apply their
+  // side effects, after which the backlog is exactly SnapshotPending().
+  // Pauses nest, so with overlapping exports the queue stays frozen until
+  // the last one Resumes — no export can observe workers retiring tasks
+  // mid-shot.
+  queue_.Pause();
+  Status status = [&]() -> Status {
+    const std::vector<VerifyTask> pending = queue_.SnapshotPending();
+    // Lock every shard (index order, so concurrent exports cannot deadlock)
+    // plus the global map for one consistent cross-shard view.
+    std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
+    shard_locks.reserve(shards_.size());
+    for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+    return WriteSnapshotLocked(os, &pending);
   }();
   queue_.Resume();
   return status;
 }
 
-Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
-    const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
-    const EncodingLayout* instance_layout,
-    const EncodingLayout* agnostic_layout, ValueRange value_range,
-    const std::vector<PlanPtr>& plans, ShardedCatalogOptions options) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IoError("cannot open for reading: " + path);
-  Result<std::unique_ptr<ShardedCatalog>> catalog =
-      Load(file, db_catalog, model, instance_layout, agnostic_layout,
-           value_range, plans, options);
-  if (!catalog.ok()) {
-    return Status(catalog.status().code(),
-                  catalog.status().message() + " (file: " + path + ")");
-  }
-  return catalog;
+Status ShardedCatalog::ExportBase(std::ostream& os,
+                                  uint64_t* entry_count) const {
+  GEQO_RETURN_NOT_OK(options_status_);
+  // No queue pause: the backlog is not captured (the store's delta log
+  // carries it), so probes and the verifier plane keep running while the
+  // base serializes under shared locks; only adds briefly block.
+  std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
+  shard_locks.reserve(shards_.size());
+  for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
+  std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+  if (entry_count != nullptr) *entry_count = global_map_.size();
+  return WriteSnapshotLocked(os, nullptr);
 }
 
-Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
+Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::ImportSnapshot(
     std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
     const EncodingLayout* instance_layout,
     const EncodingLayout* agnostic_layout, ValueRange value_range,
@@ -723,9 +800,9 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
     GEQO_RETURN_NOT_OK(reader.status());
     std::istringstream segment_stream(segment);
     Result<std::unique_ptr<EquivalenceCatalog>> loaded =
-        EquivalenceCatalog::Load(segment_stream, db_catalog, model,
-                                 instance_layout, agnostic_layout, value_range,
-                                 shard_plans[sid], options.catalog);
+        EquivalenceCatalog::ImportSnapshot(
+            segment_stream, db_catalog, model, instance_layout,
+            agnostic_layout, value_range, shard_plans[sid], options.catalog);
     if (!loaded.ok()) {
       return Status(loaded.status().code(), "sharded catalog snapshot: shard " +
                                                 std::to_string(sid) + ": " +
@@ -787,6 +864,180 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::Load(
   }
   catalog->UpdateQueueGauge();
   return catalog;
+}
+
+Result<size_t> ShardedCatalog::ReplayAdd(const PlanPtr& plan,
+                                         uint64_t canonical_hash,
+                                         uint64_t check_hash) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  GEQO_ASSIGN_OR_RETURN(PreparedAdd prepared, PrepareAdd(plan));
+  if (prepared.query.canonical_hash != canonical_hash ||
+      prepared.query.check_hash != check_hash) {
+    return Status::InvalidArgument(
+        "catalog store replay: plan does not match the logged add record "
+        "(canonical hash " + std::to_string(prepared.query.canonical_hash) +
+        ", log expects " + std::to_string(canonical_hash) +
+        ") — plans must be passed in Add order");
+  }
+  return CommitAdd(std::move(prepared));
+}
+
+Status ShardedCatalog::ReplayVerdict(size_t shard, const CheckedPair& pair,
+                                     EquivalenceVerdict verdict) {
+  if (shard >= shards_.size()) {
+    return Status::InvalidArgument(
+        "catalog store replay: verdict record names shard " +
+        std::to_string(shard) + " of " + std::to_string(shards_.size()) +
+        " (corrupt log)");
+  }
+  Shard& s = *shards_[shard];
+  std::unique_lock<std::shared_mutex> lock(s.mu);
+  s.catalog->memo_.Insert(pair.key, pair.check, verdict);
+  return Status::OK();
+}
+
+Status ShardedCatalog::ReplayUnion(uint64_t a_gid, uint64_t b_gid) {
+  std::pair<size_t, size_t> a_slot;
+  std::pair<size_t, size_t> b_slot;
+  {
+    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    if (a_gid >= global_map_.size() || b_gid >= global_map_.size()) {
+      return Status::InvalidArgument(
+          "catalog store replay: union record references entry beyond the "
+          "catalog (corrupt log)");
+    }
+    a_slot = global_map_[a_gid];
+    b_slot = global_map_[b_gid];
+  }
+  if (a_slot.first != b_slot.first) {
+    return Status::InvalidArgument(
+        "catalog store replay: union record spans shards — classes never do "
+        "(corrupt log)");
+  }
+  Shard& shard = *shards_[a_slot.first];
+  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  shard.catalog->classes_.Union(a_slot.second, b_slot.second);
+  return Status::OK();
+}
+
+Result<std::vector<ShardedCatalog::VerifyTask>>
+ShardedCatalog::BuildRecoveredTasks(
+    const std::vector<std::pair<uint64_t, uint64_t>>& pairs,
+    std::vector<std::pair<uint64_t, uint64_t>>* kept) {
+  GEQO_RETURN_NOT_OK(options_status_);
+  kept->clear();
+  std::map<uint64_t, std::vector<uint64_t>> by_query;
+  for (const auto& [query_gid, member_gid] : pairs) {
+    by_query[query_gid].push_back(member_gid);
+  }
+  std::vector<VerifyTask> tasks;
+  const size_t total = size();
+  for (auto& [query_gid, members] : by_query) {
+    if (query_gid >= total) {
+      return Status::InvalidArgument(
+          "catalog store replay: pending pair references entry " +
+          std::to_string(query_gid) + " beyond the catalog (corrupt log)");
+    }
+    std::pair<size_t, size_t> query_slot;
+    {
+      std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+      query_slot = global_map_[query_gid];
+    }
+    const size_t sid = query_slot.first;
+    const size_t query_local = query_slot.second;
+    Shard& shard = *shards_[sid];
+    // Unique lock: a memoized kEquivalent applies its union right here.
+    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    // Regroup the members by their *current* class root — unions that
+    // landed after the pending records may have merged classes since.
+    std::map<size_t, std::vector<size_t>> by_root;
+    std::set<size_t> seen;
+    for (const uint64_t member_gid : members) {
+      if (member_gid >= total) {
+        return Status::InvalidArgument(
+            "catalog store replay: pending pair references entry " +
+            std::to_string(member_gid) + " beyond the catalog (corrupt log)");
+      }
+      std::pair<size_t, size_t> member_slot;
+      {
+        std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+        member_slot = global_map_[member_gid];
+      }
+      if (member_slot.first != sid) {
+        return Status::InvalidArgument(
+            "catalog store replay: pending pair spans shards — classes "
+            "never do (corrupt log)");
+      }
+      if (!seen.insert(member_slot.second).second) continue;
+      by_root[shard.catalog->classes_.Find(member_slot.second)].push_back(
+          member_slot.second);
+    }
+    const auto& query_entry = shard.catalog->entries_[query_local];
+    for (auto& [root, locals] : by_root) {
+      // Rebuild the sync path's agenda: current root first, then the
+      // members ascending; walk it memo-first exactly like ProbeReadOnly.
+      std::sort(locals.begin(), locals.end());
+      std::vector<size_t> agenda;
+      agenda.push_back(root);
+      for (const size_t member : locals) {
+        if (member != root) agenda.push_back(member);
+      }
+      std::optional<EquivalenceVerdict> decision;
+      size_t decided_member = kNoEntry;
+      bool needs_verify = false;
+      for (const size_t id : agenda) {
+        const auto& entry = shard.catalog->entries_[id];
+        const CheckedPair memo_key =
+            MakeCheckedPair(query_entry.canonical_hash,
+                            query_entry.check_hash, entry.canonical_hash,
+                            entry.check_hash);
+        const VerifierMemo::LookupOutcome memoized =
+            shard.catalog->memo_.Lookup(memo_key.key, memo_key.check);
+        if (!memoized.verdict) {
+          needs_verify = true;
+          break;
+        }
+        if (*memoized.verdict != EquivalenceVerdict::kUnknown) {
+          decision = *memoized.verdict;
+          decided_member = id;
+          break;
+        }
+      }
+      if (needs_verify) {
+        VerifyTask task;
+        task.shard = sid;
+        task.query_plan = query_entry.plan;
+        task.query_hash = query_entry.canonical_hash;
+        task.query_check = query_entry.check_hash;
+        task.query_local = query_local;
+        task.agenda = std::move(agenda);
+        task.logged_pairs.reserve(task.agenda.size());
+        for (const size_t member : task.agenda) {
+          task.logged_pairs.emplace_back(query_gid, shard.to_global[member]);
+          kept->push_back(task.logged_pairs.back());
+        }
+        tasks.push_back(std::move(task));
+      } else if (decision == EquivalenceVerdict::kEquivalent) {
+        // The log holds the decisive verdict but the crash landed before
+        // the union record: fold the proof in now — exactly what
+        // ProcessTask would have done on its first memo hit.
+        shard.catalog->classes_.Union(query_local, decided_member);
+      }
+      // kNotEquivalent / all-kUnknown: the class is settled; drop.
+    }
+  }
+  return tasks;
+}
+
+void ShardedCatalog::EnqueueRecoveredTasks(std::vector<VerifyTask> tasks) {
+  // No journaling: the surviving pairs' pending records already live in the
+  // replayed log generations (and the store re-logs them at compaction).
+  for (VerifyTask& task : tasks) {
+    if (queue_.Push(std::move(task))) {
+      verify_tasks_enqueued_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  UpdateQueueGauge();
 }
 
 }  // namespace geqo::serve

@@ -55,13 +55,18 @@
 /// Global ids: entries get densely-increasing global ids in Add order,
 /// mapped to (shard, local) slots. All public results speak global ids.
 ///
-/// Snapshots: Save/Load use the GEQOSHRD container — shard count, the
-/// gid -> shard routing map, one length-prefixed GEQOCATG segment per shard,
-/// and the pending-verification tail (entry-entry pairs not yet drained), so
-/// a restarted service resumes both the catalog state and the unfinished
-/// verification backlog. Probe-only pending tasks (whose query is not an
-/// entry) are dropped at save and counted; a restarted client simply
-/// re-probes.
+/// Snapshots: ExportSnapshot/ImportSnapshot use the GEQOSHRD container —
+/// shard count, the gid -> shard routing map, one length-prefixed GEQOCATG
+/// segment per shard, and the pending-verification tail (entry-entry pairs
+/// not yet drained), so a restarted service resumes both the catalog state
+/// and the unfinished verification backlog. Probe-only pending tasks (whose
+/// query is not an entry) are dropped at export with a warning and counted;
+/// a restarted client simply re-probes. Durable incremental persistence
+/// (delta log + compaction + manifest) lives in serve::CatalogStore
+/// (persist/catalog_store.h), fed by the CatalogJournal hooks: this class
+/// journals its own mutations with *global* ids under the owning shard's
+/// lock, so each shard's log partition is a self-consistent mutation
+/// stream.
 
 namespace geqo::serve {
 
@@ -118,6 +123,12 @@ struct ShardedProbeResult {
   size_t class_shortcuts = 0;
   /// Candidate classes handed to the async verifier plane by this probe.
   size_t pending_classes = 0;
+  /// Of those, classes enqueued *without* a catalog entry id — i.e. by a
+  /// plain Probe. Their verification tasks exist only in this process: no
+  /// snapshot or store can name the query across a restart, so they are
+  /// dropped at export/shutdown (see stats().dropped_probe_tasks) and the
+  /// client re-probes. Always 0 for ProbeAdd, whose tasks carry the entry.
+  size_t probe_only_pending = 0;
   /// prepare + the shard's sf/vmf/emf/classify stages (tagged with shard).
   std::vector<StageReport> stages;
   /// Stage-sum latency, measured from Probe entry (same convention as
@@ -193,31 +204,36 @@ class ShardedCatalog {
   ShardedCatalogStats stats() const;
   const ShardedCatalogOptions& options() const { return options_; }
 
-  /// Persists the GEQOSHRD container (see file comment). Pauses the verify
-  /// queue so the pending tail is captured atomically, then resumes it.
-  Status Save(const std::string& path) const;
-  Status Save(std::ostream& os) const;
+  /// Writes the one-shot GEQOSHRD export (see file comment). Pauses the
+  /// verify queue so the pending tail is captured atomically, then resumes
+  /// it. Probe-only pending tasks cannot be named across a restart: they
+  /// are dropped with a logged warning and counted (the old Save silently
+  /// bumped a counter). Durable deployments go through CatalogStore; this
+  /// is for one-shot artifact interchange. The old Save(path)/Load(path)
+  /// pairs are gone.
+  Status ExportSnapshot(std::ostream& os) const;
 
-  /// Restores a GEQOSHRD snapshot. \p plans must be all entries in global
-  /// Add order (the same contract as EquivalenceCatalog::Load). The shard
-  /// count is adopted from the snapshot (routing must stay consistent with
-  /// the ids already assigned); \p options.num_shards is ignored. The
+  /// Restores a GEQOSHRD export. \p plans must be all entries in global Add
+  /// order (the same contract as EquivalenceCatalog::ImportSnapshot). The
+  /// shard count is adopted from the snapshot (routing must stay consistent
+  /// with the ids already assigned); \p options.num_shards is ignored. The
   /// pending-verification tail is re-enqueued, ready for the worker pool or
   /// a DrainPendingVerifications call.
-  static Result<std::unique_ptr<ShardedCatalog>> Load(
-      const std::string& path, const Catalog* db_catalog, ml::EmfModel* model,
-      const EncodingLayout* instance_layout,
-      const EncodingLayout* agnostic_layout, ValueRange value_range,
-      const std::vector<PlanPtr>& plans,
-      ShardedCatalogOptions options = ShardedCatalogOptions());
-  static Result<std::unique_ptr<ShardedCatalog>> Load(
+  static Result<std::unique_ptr<ShardedCatalog>> ImportSnapshot(
       std::istream& is, const Catalog* db_catalog, ml::EmfModel* model,
       const EncodingLayout* instance_layout,
       const EncodingLayout* agnostic_layout, ValueRange value_range,
       const std::vector<PlanPtr>& plans,
       ShardedCatalogOptions options = ShardedCatalogOptions());
 
+  /// Attaches (or detaches, with nullptr) the mutation journal. Hooks fire
+  /// in commit order under the owning shard's lock, speaking global ids;
+  /// the per-shard catalogs carry no journal of their own. The journal must
+  /// outlive this object or be detached first. Owned by CatalogStore.
+  void AttachJournal(persist::CatalogJournal* journal) { journal_ = journal; }
+
  private:
+  friend class persist::CatalogStore;
   /// Sentinel for "the probing plan is not a catalog entry".
   static constexpr size_t kNoEntry = ~static_cast<size_t>(0);
 
@@ -233,6 +249,10 @@ class ShardedCatalog {
     /// Shard-local verification agenda, class root first — replayed exactly
     /// like the sync path's class-at-a-time cascade.
     std::vector<size_t> agenda;
+    /// The (query gid, member gid) pending pairs journaled for this task;
+    /// ProcessTask reports them resolved when the task retires. Empty for
+    /// probe-only tasks and when no journal is attached.
+    std::vector<std::pair<uint64_t, uint64_t>> logged_pairs;
     Stopwatch enqueued;  ///< verify-lag clock, started at enqueue
   };
 
@@ -262,11 +282,50 @@ class ShardedCatalog {
   void TranslateLocked(const Shard& shard, size_t sid,
                        EquivalenceCatalog::ReadProbeResult& read,
                        ShardedProbeResult* out) const;
-  /// Converts a probe's undecided classes into queued VerifyTasks.
-  void EnqueuePending(size_t shard, const PlanPtr& query_plan,
-                      uint64_t query_hash, uint64_t query_check,
-                      size_t query_local,
-                      std::vector<EquivalenceCatalog::ClassDecision> pending);
+  /// Converts a probe's undecided classes into ready-to-queue VerifyTasks,
+  /// resolving global ids for the journal pairs; the caller must hold \p
+  /// shard's lock (shared or unique) so to_global is stable.
+  std::vector<VerifyTask> BuildPendingTasksLocked(
+      const Shard& shard, size_t sid, const PlanPtr& query_plan,
+      uint64_t query_hash, uint64_t query_check, size_t query_local,
+      std::vector<EquivalenceCatalog::ClassDecision> pending) const;
+  /// Journals each task's pending pairs (before the push, so a resolution
+  /// can never be journaled ahead of its pending record), then enqueues.
+  /// Must be called with no shard lock held (the queue may block when
+  /// bounded, and in deferred mode the caller later drains inline).
+  void EnqueueTasks(std::vector<VerifyTask> tasks);
+  /// Recovery-side appliers, used by persist::CatalogStore while the
+  /// journal is detached (so replay never re-journals itself):
+  /// re-derives an entry through the normal Add path, verifying the logged
+  /// hashes match (replay determinism check);
+  Result<size_t> ReplayAdd(const PlanPtr& plan, uint64_t canonical_hash,
+                           uint64_t check_hash);
+  /// folds a logged verdict into the owning shard's memo;
+  Status ReplayVerdict(size_t shard, const CheckedPair& key,
+                       EquivalenceVerdict verdict);
+  /// re-joins two entries' classes (idempotent);
+  Status ReplayUnion(uint64_t a_gid, uint64_t b_gid);
+  /// and rebuilds the async backlog from recovered (query gid, member gid)
+  /// pending pairs: pairs are grouped per query by current class root and
+  /// walked memo-first exactly like ProbeReadOnly — a memoized kEquivalent
+  /// applies its union and the class is dropped, an all-kUnknown agenda is
+  /// dropped, any memo miss keeps the whole class as one VerifyTask. The
+  /// pairs of kept tasks come back through \p kept (the store re-logs
+  /// them); EnqueueRecoveredTasks pushes without journaling.
+  Result<std::vector<VerifyTask>> BuildRecoveredTasks(
+      const std::vector<std::pair<uint64_t, uint64_t>>& pairs,
+      std::vector<std::pair<uint64_t, uint64_t>>* kept);
+  void EnqueueRecoveredTasks(std::vector<VerifyTask> tasks);
+  /// Serializes the GEQOSHRD container with an *empty* pending tail (a
+  /// CatalogStore base segment: the pending backlog lives in the delta log,
+  /// not the base). Takes every shard's shared lock; concurrent probes
+  /// proceed, adds briefly block. \p entry_count reports the entries
+  /// captured.
+  Status ExportBase(std::ostream& os, uint64_t* entry_count) const;
+  /// Shared body of ExportSnapshot/ExportBase; caller holds all shard
+  /// locks + the map lock. \p pending is null for a base export.
+  Status WriteSnapshotLocked(std::ostream& os,
+                             const std::vector<VerifyTask>* pending) const;
   void WorkerLoop();
   /// Applies one task: memo-first agenda replay, verifier calls outside any
   /// lock, memo insert + union under the shard's unique lock.
@@ -306,6 +365,10 @@ class ShardedCatalog {
   std::atomic<uint64_t> async_unions_{0};
   std::atomic<uint64_t> memo_collisions_{0};
   mutable std::atomic<uint64_t> dropped_probe_tasks_{0};
+
+  /// Mutation journal (delta-log feed); null when not persisted. Set once
+  /// before concurrent use (AttachJournal is not thread-safe).
+  persist::CatalogJournal* journal_ = nullptr;
 };
 
 }  // namespace geqo::serve

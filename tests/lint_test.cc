@@ -17,8 +17,11 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "core/geqo_system.h"
+#include "common/log_io.h"
 #include "ml/emf_model.h"
 #include "nn/serialize.h"
+#include "serve/persist/manifest.h"
+#include "serve/persist/wal.h"
 #include "workload/generator.h"
 #include "workload/schemas.h"
 
@@ -73,7 +76,10 @@ class ArtifactLintTest : public ::testing::Test {
     for (const PlanPtr& plan : *plans_) {
       GEQO_CHECK_OK(serving->ProbeAdd(plan).status());
     }
-    GEQO_CHECK_OK(serving->Save(catalog_path_));
+    {
+      std::ofstream out(catalog_path_, std::ios::binary | std::ios::trunc);
+      GEQO_CHECK_OK(serving->ExportSnapshot(out));
+    }
 
     // A sharded catalog with a non-empty pending-verification tail: deferred
     // mode (no verifier threads) queues every undecided class, and feeding a
@@ -92,7 +98,10 @@ class ArtifactLintTest : public ::testing::Test {
       GEQO_CHECK_OK(sharded->ProbeAdd(plan).status());
     }
     sharded_pending_ = sharded->PendingVerifications();
-    GEQO_CHECK_OK(sharded->Save(sharded_path_));
+    {
+      std::ofstream out(sharded_path_, std::ios::binary | std::ios::trunc);
+      GEQO_CHECK_OK(sharded->ExportSnapshot(out));
+    }
   }
 
   static void TearDownTestSuite() {
@@ -122,22 +131,16 @@ class ArtifactLintTest : public ::testing::Test {
   }
 
   static Status LoadServing(const std::string& bytes) {
-    const std::string path = ::testing::TempDir() + "/lint_mut.catalog";
-    WriteFile(path, bytes);
-    const auto loaded = system_->LoadCatalog(path, *plans_);
-    std::remove(path.c_str());
-    return loaded.status();
+    std::istringstream stream(bytes);
+    return system_->ImportCatalogSnapshot(stream, *plans_).status();
   }
 
   static Status LoadSharded(const std::string& bytes) {
-    const std::string path = ::testing::TempDir() + "/lint_mut.sharded";
-    WriteFile(path, bytes);
+    std::istringstream stream(bytes);
     serve::ShardedCatalogOptions options;
     options.verifier_threads = 0;
-    const auto loaded =
-        system_->LoadShardedCatalog(path, *sharded_plans_, options);
-    std::remove(path.c_str());
-    return loaded.status();
+    return system_->ImportShardedSnapshot(stream, *sharded_plans_, options)
+        .status();
   }
 
   /// Rewrites 8 bytes of the checksummed payload at \p offset and refreshes
@@ -567,6 +570,222 @@ TEST(HnswLintTest, CorruptedCalibrationIsNamed) {
               sizeof(float));
   const Diagnostics range = LintArtifactBytes(bad_range);
   EXPECT_TRUE(HasCode(range, "hnsw.quant-range")) << CodesOf(range);
+}
+
+// ---------------------------------------------------------------------------
+// GEQOMANI store manifests and GEQOWALG delta-log partitions: every
+// corruption the linter names must also be rejected by the persistence
+// layer's own reader, and vice versa — the walker mirrors the recovery
+// path's validation, from raw bytes.
+
+std::string CraftManifest(uint64_t kind, uint64_t num_shards, uint64_t base_id,
+                          uint64_t base_entries, uint64_t next_file_id,
+                          const std::vector<uint64_t>& log_ids,
+                          uint64_t version = io::kManifestVersion,
+                          uint64_t end_magic = io::kManifestEndMagic) {
+  std::ostringstream payload;
+  io::BinaryWriter writer(payload, "crafted manifest");
+  writer.U64(io::kManifestMagic);
+  writer.U64(version);
+  writer.U64(kind);
+  writer.U64(num_shards);
+  writer.U64(base_id);
+  writer.U64(base_entries);
+  writer.U64(next_file_id);
+  writer.U64(log_ids.size());
+  for (const uint64_t id : log_ids) writer.U64(id);
+  writer.U64(end_magic);
+  std::ostringstream file;
+  GEQO_CHECK_OK(io::WriteChecksummed(file, payload.str(), "crafted manifest"));
+  return file.str();
+}
+
+/// Writes \p bytes as TempDir/MANIFEST and runs the recovery-path reader.
+Status ReadManifestBytes(const std::string& bytes) {
+  const std::string dir = ::testing::TempDir();
+  WriteFile(dir + "/MANIFEST", bytes);
+  const auto state = serve::persist::ReadManifest(dir);
+  std::remove((dir + "/MANIFEST").c_str());
+  return state.status();
+}
+
+TEST(StoreManifestLintTest, CleanManifestHasZeroFindingsAndLoads) {
+  const std::string bytes = CraftManifest(
+      /*kind=*/2, /*num_shards=*/4, /*base_id=*/3, /*base_entries=*/17,
+      /*next_file_id=*/9, /*log_ids=*/{5, 8});
+  EXPECT_EQ(SniffArtifact(bytes), ArtifactKind::kStoreManifest);
+  EXPECT_TRUE(LintArtifactBytes(bytes).empty())
+      << CodesOf(LintArtifactBytes(bytes));
+  EXPECT_TRUE(ReadManifestBytes(bytes).ok());
+}
+
+TEST(StoreManifestLintTest, BitFlipAndTruncationAreDetected) {
+  const std::string bytes =
+      CraftManifest(1, 1, 0, 0, 4, {2, 3});
+  std::string flipped = bytes;
+  flipped[bytes.size() / 2] =
+      static_cast<char>(flipped[bytes.size() / 2] ^ 0x20);
+  EXPECT_TRUE(HasCode(LintArtifactBytes(flipped), "manifest.checksum"))
+      << CodesOf(LintArtifactBytes(flipped));
+  EXPECT_FALSE(ReadManifestBytes(flipped).ok());
+
+  const std::string cut = bytes.substr(0, bytes.size() / 2);
+  EXPECT_TRUE(HasFindings(LintArtifactBytes(cut)))
+      << CodesOf(LintArtifactBytes(cut));
+  EXPECT_FALSE(ReadManifestBytes(cut).ok());
+}
+
+TEST(StoreManifestLintTest, StructuralViolationsAreNamed) {
+  const struct {
+    std::string bytes;
+    const char* code;
+  } cases[] = {
+      // Version from the future.
+      {CraftManifest(1, 1, 0, 0, 2, {}, /*version=*/9), "manifest.version"},
+      // Store kind outside {single, sharded}.
+      {CraftManifest(5, 1, 0, 0, 2, {}), "manifest.kind"},
+      // Zero shards.
+      {CraftManifest(1, 0, 0, 0, 2, {}), "manifest.shard-count"},
+      // Entry count without a base segment.
+      {CraftManifest(1, 1, 0, 12, 2, {}), "manifest.base"},
+      // Base id the allocator never issued.
+      {CraftManifest(1, 1, 7, 1, 2, {}), "manifest.base"},
+      // Log ids out of order.
+      {CraftManifest(1, 1, 0, 0, 9, {5, 5}), "manifest.log-ids"},
+      // Log id colliding with the base segment.
+      {CraftManifest(1, 1, 3, 1, 9, {3}), "manifest.log-ids"},
+      // Log id the allocator never issued.
+      {CraftManifest(1, 1, 0, 0, 4, {6}), "manifest.log-ids"},
+      // Missing end marker.
+      {CraftManifest(1, 1, 0, 0, 2, {}, io::kManifestVersion,
+                     /*end_magic=*/0),
+       "manifest.end-magic"},
+  };
+  for (const auto& test_case : cases) {
+    const Diagnostics findings = LintArtifactBytes(test_case.bytes);
+    EXPECT_TRUE(HasCode(findings, test_case.code))
+        << "expected " << test_case.code << ", got " << CodesOf(findings);
+    EXPECT_FALSE(ReadManifestBytes(test_case.bytes).ok())
+        << test_case.code << " must also fail the recovery-path reader";
+  }
+}
+
+std::string CraftWal(const std::vector<serve::persist::WalRecord>& records,
+                     uint64_t file_id = 7, uint64_t shard = 0,
+                     uint64_t magic = io::kWalMagic,
+                     uint64_t version = io::kWalVersion) {
+  std::string out;
+  const uint64_t header[4] = {magic, version, file_id, shard};
+  out.append(reinterpret_cast<const char*>(header), sizeof(header));
+  for (const serve::persist::WalRecord& record : records) {
+    io::AppendFramedRecord(&out, serve::persist::EncodeWalRecord(record));
+  }
+  return out;
+}
+
+/// Writes \p bytes as a partition file and runs the recovery-path reader.
+Result<serve::persist::WalReplay> ReadWalBytes(const std::string& bytes,
+                                               uint64_t file_id = 7,
+                                               uint64_t shard = 0) {
+  const std::string path = ::testing::TempDir() + "/lint_wal.log";
+  WriteFile(path, bytes);
+  auto replay = serve::persist::ReadWalFile(path, file_id, shard);
+  std::remove(path.c_str());
+  return replay;
+}
+
+TEST(WalLintTest, CleanPartitionHasZeroFindingsAndReplays) {
+  using serve::persist::WalRecord;
+  const std::string bytes = CraftWal({
+      WalRecord::Add(0, 0xAAA, 0xBBB),
+      WalRecord::Add(1, 0xCCC, 0xDDD),
+      WalRecord::Verdict(3, 5, 1, 2, 1),
+      WalRecord::Union(0, 1),
+      WalRecord::Pending(1, 0),
+  });
+  EXPECT_EQ(SniffArtifact(bytes), ArtifactKind::kWalLog);
+  EXPECT_TRUE(LintArtifactBytes(bytes).empty())
+      << CodesOf(LintArtifactBytes(bytes));
+  const auto replay = ReadWalBytes(bytes);
+  ASSERT_TRUE(replay.ok()) << replay.status().ToString();
+  EXPECT_EQ(replay->records.size(), 5u);
+  EXPECT_FALSE(replay->torn);
+}
+
+TEST(WalLintTest, TornTailAndMidCorruptionAreDistinguished) {
+  using serve::persist::WalRecord;
+  const std::string bytes = CraftWal(
+      {WalRecord::Add(0, 1, 2), WalRecord::Add(1, 3, 4)});
+
+  // An interrupted append: garbage past the last full frame. The linter
+  // flags it, but the recovery reader treats it as a truncatable tail.
+  const std::string torn = bytes + "half-writ";
+  EXPECT_TRUE(HasCode(LintArtifactBytes(torn), "wal.torn-tail"))
+      << CodesOf(LintArtifactBytes(torn));
+  const auto torn_replay = ReadWalBytes(torn);
+  ASSERT_TRUE(torn_replay.ok()) << torn_replay.status().ToString();
+  EXPECT_TRUE(torn_replay->torn);
+  EXPECT_EQ(torn_replay->records.size(), 2u);
+
+  // A bit flip inside the FIRST record while a valid frame follows: interior
+  // damage, which truncation would wrongly drop durable records for — both
+  // layers must refuse.
+  std::string interior = bytes;
+  interior[4 * sizeof(uint64_t) + sizeof(uint32_t) + 2] ^= 0x01;
+  EXPECT_TRUE(HasCode(LintArtifactBytes(interior), "wal.mid-corruption"))
+      << CodesOf(LintArtifactBytes(interior));
+  EXPECT_FALSE(ReadWalBytes(interior).ok());
+
+  // Shorter than its own header: the creation crash window.
+  const std::string stub = bytes.substr(0, 11);
+  EXPECT_TRUE(HasCode(LintArtifactBytes(stub), "wal.truncated"))
+      << CodesOf(LintArtifactBytes(stub));
+  const auto stub_replay = ReadWalBytes(stub);
+  ASSERT_TRUE(stub_replay.ok());
+  EXPECT_TRUE(stub_replay->header_torn);
+}
+
+TEST(WalLintTest, RecordGrammarViolationsAreNamed) {
+  using serve::persist::WalRecord;
+  // Verdict byte beyond the tri-state range: both layers refuse.
+  const std::string bad_verdict =
+      CraftWal({WalRecord::Verdict(3, 5, 1, 2, /*verdict=*/7)});
+  EXPECT_TRUE(HasCode(LintArtifactBytes(bad_verdict), "wal.verdict-range"))
+      << CodesOf(LintArtifactBytes(bad_verdict));
+  EXPECT_FALSE(ReadWalBytes(bad_verdict).ok());
+
+  // Non-normalized memo key (lo > hi): the journal always normalizes, so
+  // this is corruption even though the frame checksum holds.
+  const std::string bad_key = CraftWal({WalRecord::Verdict(9, 3, 0, 0, 1)});
+  EXPECT_TRUE(HasCode(LintArtifactBytes(bad_key), "wal.verdict-key"))
+      << CodesOf(LintArtifactBytes(bad_key));
+
+  // A self-union and a gid regression among adds.
+  EXPECT_TRUE(HasCode(LintArtifactBytes(CraftWal({WalRecord::Union(2, 2)})),
+                      "wal.union"));
+  EXPECT_TRUE(HasCode(
+      LintArtifactBytes(
+          CraftWal({WalRecord::Add(4, 0, 0), WalRecord::Add(4, 0, 0)})),
+      "wal.add-order"));
+
+  // An unknown record type, correctly framed: the checksum holds but the
+  // grammar doesn't.
+  std::string unknown;
+  const uint64_t header[4] = {io::kWalMagic, io::kWalVersion, 7, 0};
+  unknown.append(reinterpret_cast<const char*>(header), sizeof(header));
+  io::AppendFramedRecord(&unknown, std::string("\x09junk", 5));
+  EXPECT_TRUE(HasCode(LintArtifactBytes(unknown), "wal.record-type"))
+      << CodesOf(LintArtifactBytes(unknown));
+  EXPECT_FALSE(ReadWalBytes(unknown).ok());
+
+  // Header mismatches: wrong version, and a partition filed under the wrong
+  // manifest slot (file id / shard).
+  const std::string bad_version =
+      CraftWal({}, 7, 0, io::kWalMagic, /*version=*/9);
+  EXPECT_TRUE(HasCode(LintArtifactBytes(bad_version), "wal.version"))
+      << CodesOf(LintArtifactBytes(bad_version));
+  EXPECT_FALSE(ReadWalBytes(bad_version).ok());
+  EXPECT_FALSE(ReadWalBytes(CraftWal({}, /*file_id=*/8), 7, 0).ok());
 }
 
 // ---------------------------------------------------------------------------

@@ -261,8 +261,8 @@ TEST_F(ServeTest, SnapshotRoundTripIsBitIdentical) {
   for (size_t i = 0; i < 4; ++i) {
     ASSERT_TRUE(uninterrupted->ProbeAdd(plans[i]).ok());
   }
-  const std::string path = ::testing::TempDir() + "/serve_catalog.bin";
-  ASSERT_TRUE(uninterrupted->Save(path).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(uninterrupted->ExportSnapshot(snapshot).ok());
   for (size_t i = 4; i < plans.size(); ++i) {
     auto result = uninterrupted->ProbeAdd(plans[i]);
     ASSERT_TRUE(result.ok()) << result.status().ToString();
@@ -270,7 +270,7 @@ TEST_F(ServeTest, SnapshotRoundTripIsBitIdentical) {
   }
 
   // Interrupted catalog: restore the snapshot, replay the remainder.
-  auto loaded = System().LoadCatalog(path, first_half);
+  auto loaded = System().ImportCatalogSnapshot(snapshot, first_half);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ((*loaded)->size(), 4u);
   EXPECT_EQ((*loaded)->NumClasses(), uninterrupted->NumClasses() - 1);
@@ -291,10 +291,9 @@ TEST_F(ServeTest, SnapshotRoundTripIsBitIdentical) {
   // After replay, both catalogs serialize to identical bytes.
   std::stringstream bytes_uninterrupted;
   std::stringstream bytes_loaded;
-  ASSERT_TRUE(uninterrupted->Save(bytes_uninterrupted).ok());
-  ASSERT_TRUE((*loaded)->Save(bytes_loaded).ok());
+  ASSERT_TRUE(uninterrupted->ExportSnapshot(bytes_uninterrupted).ok());
+  ASSERT_TRUE((*loaded)->ExportSnapshot(bytes_loaded).ok());
   EXPECT_EQ(bytes_uninterrupted.str(), bytes_loaded.str());
-  std::remove(path.c_str());
 }
 
 TEST_F(ServeTest, LoadedMemoNeverReProves) {
@@ -312,9 +311,9 @@ TEST_F(ServeTest, LoadedMemoNeverReProves) {
   ASSERT_TRUE(primed.ok());
   EXPECT_GT(primed->verifier_calls, 0u);
   std::stringstream snapshot;
-  ASSERT_TRUE(original->Save(snapshot).ok());
+  ASSERT_TRUE(original->ExportSnapshot(snapshot).ok());
 
-  auto loaded = EquivalenceCatalog::Load(
+  auto loaded = EquivalenceCatalog::ImportSnapshot(
       snapshot, &System().catalog(), &System().model(),
       &System().instance_layout(), &System().agnostic_layout(),
       System().value_range(), entries, original->options());
@@ -335,30 +334,32 @@ TEST_F(ServeTest, LoadRejectsCorruptAndMismatchedSnapshots) {
   for (const PlanPtr& plan : entries) {
     ASSERT_TRUE(original->ProbeAdd(plan).ok());
   }
-  const std::string path = ::testing::TempDir() + "/serve_corrupt.bin";
-  ASSERT_TRUE(original->Save(path).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(original->ExportSnapshot(snapshot).ok());
+  const std::string bytes = snapshot.str();
+  const auto import_bytes = [&](const std::string& data,
+                                const std::vector<PlanPtr>& with) {
+    std::stringstream stream(data);
+    return System().ImportCatalogSnapshot(stream, with);
+  };
 
-  // Garbage file: the v2 whole-payload checksum rejects it before any field
-  // is decoded.
-  {
-    std::ofstream out(path + ".garbage", std::ios::binary);
-    out << "not a catalog snapshot at all";
-  }
-  const auto garbage = System().LoadCatalog(path + ".garbage", entries);
+  // Garbage stream: the v2 whole-payload checksum rejects it before any
+  // field is decoded.
+  const auto garbage = import_bytes("not a catalog snapshot at all", entries);
   ASSERT_FALSE(garbage.ok());
   EXPECT_NE(garbage.status().message().find("checksum mismatch"),
             std::string::npos);
 
   // Wrong plan count.
-  const auto short_plans = System().LoadCatalog(
-      path, {entries.begin(), entries.begin() + 2});
+  const auto short_plans =
+      import_bytes(bytes, {entries.begin(), entries.begin() + 2});
   ASSERT_FALSE(short_plans.ok());
   EXPECT_NE(short_plans.status().message().find("entry count mismatch"),
             std::string::npos);
 
   // Right count, wrong order: the canonical hash check names the entry.
   std::vector<PlanPtr> reordered = {entries[1], entries[0], entries[2]};
-  const auto swapped = System().LoadCatalog(path, reordered);
+  const auto swapped = import_bytes(bytes, reordered);
   ASSERT_FALSE(swapped.ok());
   EXPECT_NE(swapped.status().message().find("does not match"),
             std::string::npos);
@@ -367,41 +368,33 @@ TEST_F(ServeTest, LoadRejectsCorruptAndMismatchedSnapshots) {
   Catalog other = MakeTpchCatalog();
   GEQO_CHECK_OK(
       other.AddTable(TableDef("extra", {{"x", ValueType::kInt}})));
-  const auto foreign = EquivalenceCatalog::Load(
-      path, &other, &System().model(), &System().instance_layout(),
-      &System().agnostic_layout(), System().value_range(), entries,
-      original->options());
-  ASSERT_FALSE(foreign.ok());
-  EXPECT_NE(foreign.status().message().find("fingerprint mismatch"),
-            std::string::npos);
+  {
+    std::stringstream stream(bytes);
+    const auto foreign = EquivalenceCatalog::ImportSnapshot(
+        stream, &other, &System().model(), &System().instance_layout(),
+        &System().agnostic_layout(), System().value_range(), entries,
+        original->options());
+    ASSERT_FALSE(foreign.ok());
+    EXPECT_NE(foreign.status().message().find("fingerprint mismatch"),
+              std::string::npos);
+  }
 
   // Truncations at several depths all fail loudly.
-  std::ifstream in(path, std::ios::binary);
-  std::stringstream whole;
-  whole << in.rdbuf();
-  const std::string bytes = whole.str();
   for (const double fraction : {0.1, 0.5, 0.95}) {
     const std::string cut =
         bytes.substr(0, static_cast<size_t>(bytes.size() * fraction));
     std::stringstream stream(cut);
-    const auto truncated = EquivalenceCatalog::Load(
+    const auto truncated = EquivalenceCatalog::ImportSnapshot(
         stream, &System().catalog(), &System().model(),
         &System().instance_layout(), &System().agnostic_layout(),
         System().value_range(), entries, original->options());
     EXPECT_FALSE(truncated.ok()) << "fraction " << fraction;
   }
 
-  // Trailing garbage after the end marker is rejected by the file loader.
-  {
-    std::ofstream out(path, std::ios::binary | std::ios::app);
-    out << "extra";
-  }
-  const auto trailing = System().LoadCatalog(path, entries);
+  // Trailing garbage lands inside the checksummed span and is rejected.
+  const auto trailing = import_bytes(bytes + "extra", entries);
   ASSERT_FALSE(trailing.ok());
   EXPECT_NE(trailing.status().message().find("trailing"), std::string::npos);
-
-  std::remove(path.c_str());
-  std::remove((path + ".garbage").c_str());
 }
 
 TEST_F(ServeTest, InvalidOptionsPoisonCatalog) {
@@ -414,7 +407,7 @@ TEST_F(ServeTest, InvalidOptionsPoisonCatalog) {
   EXPECT_FALSE(catalog->Probe(plan).ok());
   EXPECT_FALSE(catalog->ProbeAdd(plan).ok());
   std::stringstream sink;
-  EXPECT_FALSE(catalog->Save(sink).ok());
+  EXPECT_FALSE(catalog->ExportSnapshot(sink).ok());
 }
 
 }  // namespace

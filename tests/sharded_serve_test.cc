@@ -254,18 +254,17 @@ TEST_F(ShardedServeTest, SnapshotRoundTripsStateAndPendingTail) {
   ASSERT_GT(original->PendingVerifications(), 0u);
   const size_t pending_before = original->PendingVerifications();
 
-  const std::string path = ::testing::TempDir() + "/sharded_serve.snapshot";
-  ASSERT_TRUE(original->Save(path).ok());
+  std::stringstream snapshot;
+  ASSERT_TRUE(original->ExportSnapshot(snapshot).ok());
 
   ShardedCatalogOptions load_options;
   load_options.catalog.pipeline = System().options().pipeline;
   load_options.verifier_threads = 0;
   load_options.num_shards = 9999;  // ignored: the snapshot's count wins
   auto loaded_or =
-      System().LoadShardedCatalog(path, in_add_order, load_options);
+      System().ImportShardedSnapshot(snapshot, in_add_order, load_options);
   ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
   auto loaded = std::move(*loaded_or);
-  std::remove(path.c_str());
 
   EXPECT_EQ(loaded->num_shards(), 3u);
   EXPECT_EQ(loaded->size(), original->size());
@@ -285,8 +284,8 @@ TEST_F(ShardedServeTest, SnapshotRoundTripsStateAndPendingTail) {
   }
   std::ostringstream original_bytes;
   std::ostringstream loaded_bytes;
-  ASSERT_TRUE(original->Save(original_bytes).ok());
-  ASSERT_TRUE(loaded->Save(loaded_bytes).ok());
+  ASSERT_TRUE(original->ExportSnapshot(original_bytes).ok());
+  ASSERT_TRUE(loaded->ExportSnapshot(loaded_bytes).ok());
   EXPECT_EQ(original_bytes.str(), loaded_bytes.str());
 }
 
@@ -305,8 +304,8 @@ TEST_F(ShardedServeTest, OverlappingSavesUnderActiveVerifierLoad) {
     ASSERT_TRUE(sharded->ProbeAdd(plan).ok());
   }
 
-  // Overlapping Saves from several threads: the queue pause must nest, so
-  // no Save observes workers retiring tasks mid-snapshot.
+  // Overlapping exports from several threads: the queue pause must nest, so
+  // no export observes workers retiring tasks mid-snapshot.
   constexpr int kSavers = 3;
   std::vector<std::string> snapshots(kSavers);
   std::atomic<bool> save_failed{false};
@@ -314,7 +313,7 @@ TEST_F(ShardedServeTest, OverlappingSavesUnderActiveVerifierLoad) {
   for (int i = 0; i < kSavers; ++i) {
     savers.emplace_back([&, i] {
       std::ostringstream bytes;
-      if (sharded->Save(bytes).ok()) {
+      if (sharded->ExportSnapshot(bytes).ok()) {
         snapshots[i] = bytes.str();
       } else {
         save_failed = true;
@@ -335,19 +334,11 @@ TEST_F(ShardedServeTest, OverlappingSavesUnderActiveVerifierLoad) {
   // that was never interrupted — no pending verification was lost to an
   // overlapping Save.
   for (int i = 0; i < kSavers; ++i) {
-    const std::string path = ::testing::TempDir() + "/overlap_save_" +
-                             std::to_string(i) + ".snapshot";
-    {
-      std::ofstream file(path, std::ios::binary | std::ios::trunc);
-      ASSERT_TRUE(file.write(snapshots[i].data(),
-                             static_cast<std::streamsize>(snapshots[i].size()))
-                      .good());
-    }
+    std::stringstream stream(snapshots[i]);
     ShardedCatalogOptions load_options;
     load_options.catalog.pipeline = System().options().pipeline;
     load_options.verifier_threads = 0;
-    auto loaded_or = System().LoadShardedCatalog(path, plans, load_options);
-    std::remove(path.c_str());
+    auto loaded_or = System().ImportShardedSnapshot(stream, plans, load_options);
     ASSERT_TRUE(loaded_or.ok())
         << "snapshot " << i << ": " << loaded_or.status().ToString();
     auto loaded = std::move(*loaded_or);
@@ -368,9 +359,11 @@ TEST_F(ShardedServeTest, ProbeOnlyPendingTasksAreDroppedAtSaveAndCounted) {
   const auto probe = sharded->Probe(plans[1]);
   ASSERT_TRUE(probe.ok());
   ASSERT_GT(probe->pending_classes, 0u);
+  // The probe itself reports that its tasks cannot survive a restart.
+  EXPECT_EQ(probe->probe_only_pending, probe->pending_classes);
 
   std::ostringstream bytes;
-  ASSERT_TRUE(sharded->Save(bytes).ok());
+  ASSERT_TRUE(sharded->ExportSnapshot(bytes).ok());
   EXPECT_GT(sharded->stats().dropped_probe_tasks, 0u);
 
   // The probe-only task was dropped from the snapshot but not from the live
