@@ -474,6 +474,61 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
   obs::WriteTraceArtifactsIfEnabled();
 }
 
+void WriteE2eArtifact(const std::vector<E2eEngineReport>& engines,
+                      double engine_speedup,
+                      const std::vector<E2eStreamReport>& streams,
+                      double cached_speedup, size_t catalog_entries,
+                      size_t catalog_classes, size_t cache_used_bytes,
+                      size_t cache_budget_bytes) {
+  obs::JsonWriter json;
+  json.BeginObject();
+  json.Key("kernel").BeginObject();
+  json.Key("isa").String(kernels::ActiveIsaName());
+  json.Key("quant").String(kernels::QuantModeName());
+  json.EndObject();
+  json.Key("engines").BeginArray();
+  for (const E2eEngineReport& engine : engines) {
+    json.BeginObject();
+    json.Key("label").String(engine.label);
+    json.Key("queries").Number(static_cast<uint64_t>(engine.queries));
+    json.Key("rows").Number(static_cast<uint64_t>(engine.rows));
+    json.Key("seconds").Number(engine.seconds);
+    json.Key("queries_per_second").Number(engine.queries_per_second);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("engine_speedup").Number(engine_speedup);
+  json.Key("streams").BeginArray();
+  for (const E2eStreamReport& stream : streams) {
+    json.BeginObject();
+    json.Key("label").String(stream.label);
+    json.Key("clients").Number(static_cast<uint64_t>(stream.clients));
+    json.Key("queries").Number(static_cast<uint64_t>(stream.queries));
+    json.Key("executions").Number(static_cast<uint64_t>(stream.executions));
+    json.Key("cache_hits").Number(static_cast<uint64_t>(stream.cache_hits));
+    json.Key("query_p50_seconds").Number(stream.p50_seconds);
+    json.Key("query_p99_seconds").Number(stream.p99_seconds);
+    json.Key("wall_seconds").Number(stream.wall_seconds);
+    json.Key("queries_per_second").Number(stream.queries_per_second);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("cached_speedup").Number(cached_speedup);
+  json.Key("catalog").BeginObject();
+  json.Key("entries").Number(static_cast<uint64_t>(catalog_entries));
+  json.Key("classes").Number(static_cast<uint64_t>(catalog_classes));
+  json.EndObject();
+  json.Key("result_cache").BeginObject();
+  json.Key("used_bytes").Number(static_cast<uint64_t>(cache_used_bytes));
+  json.Key("budget_bytes").Number(static_cast<uint64_t>(cache_budget_bytes));
+  json.EndObject();
+  json.EndObject();
+
+  std::ofstream out("BENCH_e2e.json", std::ios::trunc);
+  if (out) out << std::move(json).Finish();
+  obs::WriteTraceArtifactsIfEnabled();
+}
+
 void PrintHeader(const std::string& name, const std::string& reproduces) {
   std::printf("================================================================\n");
   std::printf("%s  --  reproduces %s\n", name.c_str(), reproduces.c_str());

@@ -213,6 +213,45 @@ void WriteServeArtifact(const std::vector<ServeBenchReport>& phases,
                         double concurrent_p99_speedup = 0.0,
                         const DurabilityBenchReport* durability = nullptr);
 
+/// \brief One engine's single-stream timing over the e2e query mix (the
+/// legacy row oracle vs. the morsel-driven vectorized engine).
+struct E2eEngineReport {
+  std::string label;  ///< "row-oracle", "vectorized"
+  size_t queries = 0;
+  size_t rows = 0;  ///< total result rows produced
+  double seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
+/// \brief One concurrent-stream configuration of the reuse loop: the same
+/// multi-client query stream served without any reuse machinery
+/// ("uncached") and through ShardedCatalog::ProbeAdd + OnlineResultCache
+/// short-circuiting ("cached").
+struct E2eStreamReport {
+  std::string label;  ///< "uncached", "cached"
+  size_t clients = 0;
+  size_t queries = 0;     ///< queries served (hits + executions)
+  size_t executions = 0;  ///< queries that reached the vectorized engine
+  size_t cache_hits = 0;  ///< queries short-circuited by the result cache
+  double p50_seconds = 0.0;  ///< per-query service latency
+  double p99_seconds = 0.0;
+  double wall_seconds = 0.0;
+  double queries_per_second = 0.0;
+};
+
+/// \brief Writes the end-to-end benchmark artifact (BENCH_e2e.json): the
+/// single-stream engine comparison (row oracle vs. vectorized, with the
+/// vectorized-over-oracle speedup), the concurrent uncached-vs-cached
+/// stream reports with the cached-over-uncached throughput speedup, and the
+/// closing catalog/cache state; flushes trace artifacts when GEQO_TRACE is
+/// enabled.
+void WriteE2eArtifact(const std::vector<E2eEngineReport>& engines,
+                      double engine_speedup,
+                      const std::vector<E2eStreamReport>& streams,
+                      double cached_speedup, size_t catalog_entries,
+                      size_t catalog_classes, size_t cache_used_bytes,
+                      size_t cache_budget_bytes);
+
 /// \brief Modeled per-invocation cost of the paper's automated verifier.
 ///
 /// Substitution note (DESIGN.md §1): the paper's AV is SPES — a separate

@@ -1,10 +1,13 @@
 /// \file serving_demo.cpp
 /// Online serving walkthrough: streams a workload through an
 /// EquivalenceCatalog with ProbeAdd — each query is checked against
-/// everything seen so far, then becomes part of the catalog — and shows the
-/// durable-store contract: a service stopped after half the stream and
-/// restarted from its CatalogStore directory replays the remaining probes
-/// with bit-identical results.
+/// everything seen so far, then becomes part of the catalog — closes the
+/// compute-reuse loop (each probed query is served through an
+/// OnlineResultCache keyed by its equivalence class, executing on the
+/// vectorized engine only on a miss), and shows the durable-store
+/// contract: a service stopped after half the stream and restarted from
+/// its CatalogStore directory replays the remaining probes with
+/// bit-identical results.
 ///
 ///   ./serving_demo                    # the full stream, uninterrupted
 ///   ./serving_demo --phase1 BASE      # first half into BASE.store, compact
@@ -21,10 +24,14 @@
 /// reported equivalences exact regardless.
 
 #include <cstdio>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "core/geqo_system.h"
+#include "exec/result_cache.h"
+#include "exec/session.h"
+#include "plan/canonicalize.h"
 #include "serve/persist/kill_point.h"
 #include "workload/generator.h"
 #include "workload/rewrite.h"
@@ -32,9 +39,10 @@
 
 namespace {
 
-/// 12 generated subexpressions followed by 6 rewrites of the early ones, so
-/// the second half of the stream probes equivalences across the restart
-/// boundary.
+/// 12 generated subexpressions, then 6 rewrites of the early ones (so the
+/// second half of the stream probes equivalences across the restart
+/// boundary), then 4 verbatim repeats — the third visit to those classes,
+/// which is when the result cache starts serving hits.
 std::vector<geqo::PlanPtr> BuildStream(const geqo::Catalog& catalog) {
   geqo::Rng rng(0x5E11);
   geqo::QueryGenerator generator(&catalog, geqo::GeneratorOptions());
@@ -46,6 +54,7 @@ std::vector<geqo::PlanPtr> BuildStream(const geqo::Catalog& catalog) {
     GEQO_CHECK(variant.ok());
     stream.push_back(*variant);
   }
+  for (size_t i = 0; i < 4; ++i) stream.push_back(stream[i]);
   return stream;
 }
 
@@ -75,16 +84,64 @@ void PrintSummary(const geqo::serve::EquivalenceCatalog& catalog) {
       static_cast<unsigned long long>(stats.class_shortcuts));
 }
 
+/// The serving side of the reuse loop: queries execute on the vectorized
+/// engine unless their equivalence class already has a materialized result.
+/// Costs are modeled from deterministic execution metrics (rows scanned),
+/// not wall clock, so every SERVE line is reproducible run to run. The
+/// cache is in-memory session state — phased runs rebuild it, which is why
+/// the recovery lane diffs PROBE lines (durable catalog state), not SERVE
+/// lines.
+struct ReuseLoop {
+  explicit ReuseLoop(const geqo::Database* database)
+      : session(database), cache(/*budget_bytes=*/64 * 1024) {}
+
+  void Serve(size_t index, const geqo::PlanPtr& plan, size_t class_id) {
+    const uint64_t hash = geqo::CanonicalHash(plan);
+    const Profile known = profiles.count(class_id) ? profiles[class_id]
+                                                   : Profile{};
+    const geqo::CacheAccess access = cache.OnQuery(
+        geqo::CacheRequest{.equivalence_class = class_id,
+                           .canonical_hash = hash,
+                           .execution_seconds = known.modeled_seconds,
+                           .result_bytes = known.bytes});
+    if (access.hit) {
+      std::printf("SERVE %zu: class=%zu hit bytes=%zu\n", index, class_id,
+                  known.bytes);
+      return;
+    }
+    geqo::exec::ExecMetrics metrics;
+    auto rows = session.Execute(plan, &metrics);
+    GEQO_CHECK(rows.ok()) << rows.status().ToString();
+    Profile& profile = profiles[class_id];
+    profile.modeled_seconds =
+        static_cast<double>(metrics.rows_scanned) * 1e-6;
+    profile.bytes = rows->ByteSize();
+    std::printf("SERVE %zu: class=%zu exec rows=%zu bytes=%zu%s\n", index,
+                class_id, rows->num_rows(), profile.bytes,
+                access.admitted ? "" : " (not admitted)");
+  }
+
+  struct Profile {
+    double modeled_seconds = 0.0;
+    size_t bytes = 0;
+  };
+  geqo::exec::ExecutionSession session;
+  geqo::OnlineResultCache cache;
+  std::map<size_t, Profile> profiles;
+};
+
 /// Streams stream[catalog->size()..limit) through the catalog, printing one
-/// PROBE line per query. The "demo-probe" kill point fires after each fully
-/// logged probe so the recovery lane can crash the process at an exact op
-/// boundary.
+/// PROBE line per query (plus one SERVE line from the reuse loop). The
+/// "demo-probe" kill point fires after each fully logged probe so the
+/// recovery lane can crash the process at an exact op boundary.
 void RunStream(geqo::serve::EquivalenceCatalog* catalog,
-               const std::vector<geqo::PlanPtr>& stream, size_t limit) {
+               const std::vector<geqo::PlanPtr>& stream, size_t limit,
+               ReuseLoop* reuse) {
   for (size_t i = catalog->size(); i < limit; ++i) {
     auto result = catalog->ProbeAdd(stream[i]);
     GEQO_CHECK(result.ok()) << result.status().ToString();
     PrintProbe(i, *result);
+    reuse->Serve(i, stream[i], result->class_id);
     // Armed kills die via _exit, which skips stdio flushing — flush so the
     // recovery lane's PROBE-line diff sees everything printed before the
     // crash.
@@ -120,13 +177,22 @@ int main(int argc, char** argv) {
   const std::vector<PlanPtr> stream = BuildStream(catalog);
   const size_t half = stream.size() / 2;
 
+  // The execution substrate for the reuse loop: small synthetic TPC-H data,
+  // deterministically seeded so SERVE lines are stable across runs.
+  DataGenOptions data_options;
+  data_options.default_rows = 60;
+  data_options.key_cardinality = 12;
+  data_options.seed = 0xDE40;
+  const Database database = Database::Generate(catalog, data_options);
+  ReuseLoop reuse(&database);
+
   if (mode == "--phase1") {
     // First half into a durable store. Compact() at the end folds the log
     // into a base segment, so phase2 recovers base + log tail rather than a
     // pure log replay.
     auto store = system.OpenCatalogStore(base + ".store", stream);
     GEQO_CHECK(store.ok()) << store.status().ToString();
-    RunStream((*store)->catalog(), stream, half);
+    RunStream((*store)->catalog(), stream, half, &reuse);
     GEQO_CHECK_OK(system.SaveSnapshot(base + ".system"));
     GEQO_CHECK_OK((*store)->Checkpoint());
     GEQO_CHECK_OK((*store)->Compact());
@@ -144,14 +210,14 @@ int main(int argc, char** argv) {
     GEQO_CHECK_OK(system.LoadSnapshot(base + ".system"));
     auto store = system.OpenCatalogStore(base + ".store", stream);
     GEQO_CHECK(store.ok()) << store.status().ToString();
-    RunStream((*store)->catalog(), stream, stream.size());
+    RunStream((*store)->catalog(), stream, stream.size(), &reuse);
     PrintSummary(*(*store)->catalog());
     GEQO_CHECK_OK((*store)->Close());
     return 0;
   }
 
   auto serving = system.OpenCatalog();
-  RunStream(serving.get(), stream, stream.size());
+  RunStream(serving.get(), stream, stream.size(), &reuse);
   PrintSummary(*serving);
   return 0;
 }

@@ -102,6 +102,18 @@ check_crash_recovery() {
 }
 check_crash_recovery ./build/examples/serving_demo "$smoke_dir/serve_crash" 4
 
+echo "== e2e reuse-loop bench smoke =="
+# Close the loop end to end: equivalence detection (ShardedCatalog::ProbeAdd)
+# feeding the OnlineResultCache over the vectorized engine, against an
+# uncached all-execute baseline. The cached-vs-uncached delta is recorded in
+# the artifact rather than asserted (wall-clock noise; lanes wanting a floor
+# set GEQO_E2E_MIN_SPEEDUP), but the artifact must be strict JSON and carry
+# the headline fields.
+(cd build && GEQO_BENCH_SCALE=smoke ./bench/bench_e2e > "$smoke_dir/bench_e2e.txt")
+"$lint" build/BENCH_e2e.json
+grep -q '"engine_speedup"' build/BENCH_e2e.json
+grep -q '"cached_speedup"' build/BENCH_e2e.json
+
 if [[ "${GEQO_CHECK_SKIP_TSAN:-0}" == "1" ]]; then
   echo "== TSan pass skipped (GEQO_CHECK_SKIP_TSAN=1) =="
 else
@@ -114,6 +126,13 @@ else
   tsan_filter=(${GEQO_CHECK_TSAN_FILTER:+-R "$GEQO_CHECK_TSAN_FILTER"})
   GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
     "${tsan_filter[@]}" "$@"
+
+  echo "== TSan executor-parity ctest =="
+  # The morsel-driven engine fans every pipeline across the worker pool;
+  # oracle parity under TSan is the race gate for the executor. Runs
+  # explicitly so a narrowed GEQO_CHECK_TSAN_FILTER cannot skip it.
+  GEQO_THREADS=4 ctest --test-dir build-tsan --output-on-failure -j "$jobs" \
+    -R 'VecExec' "$@"
 
   echo "== TSan traced smoke run =="
   # Tracing itself must be race-free under the 4-thread pool: spans close on

@@ -38,6 +38,19 @@ class TableData {
     return string_columns_[column];
   }
 
+  /// Read-only columnar views (the vectorized executor's zero-copy scan
+  /// path). Only the vector matching the column's declared type is
+  /// populated; the others are empty.
+  const std::vector<int64_t>& ints(size_t column) const {
+    return int_columns_[column];
+  }
+  const std::vector<double>& doubles(size_t column) const {
+    return double_columns_[column];
+  }
+  const std::vector<std::string>& strings(size_t column) const {
+    return string_columns_[column];
+  }
+
   /// Cell accessor as a Value.
   Value At(size_t row, size_t column) const;
 

@@ -8,54 +8,6 @@
 #include "common/stopwatch.h"
 
 namespace geqo {
-namespace {
-
-/// Type-safe three-way comparison for sorting heterogeneous tuples:
-/// numerics order before strings, avoiding cross-type aborts.
-int SafeCompare(const Value& a, const Value& b) {
-  const bool a_string = a.type() == ValueType::kString;
-  const bool b_string = b.type() == ValueType::kString;
-  if (a_string != b_string) return a_string ? 1 : -1;
-  return a.Compare(b);
-}
-
-int CompareRows(const std::vector<Value>& a, const std::vector<Value>& b) {
-  for (size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
-    const int c = SafeCompare(a[i], b[i]);
-    if (c != 0) return c;
-  }
-  return a.size() < b.size() ? -1 : (a.size() > b.size() ? 1 : 0);
-}
-
-}  // namespace
-
-size_t RowSet::ByteSize() const {
-  size_t bytes = 0;
-  for (const auto& row : rows) {
-    for (const Value& value : row) {
-      bytes += value.type() == ValueType::kString ? 8 + value.AsString().size()
-                                                  : 8;
-    }
-  }
-  return bytes;
-}
-
-bool RowSet::BagEquals(const RowSet& other) const {
-  if (rows.size() != other.rows.size()) return false;
-  if (num_columns() != other.num_columns()) return false;
-  std::vector<std::vector<Value>> a = rows;
-  std::vector<std::vector<Value>> b = other.rows;
-  const auto less = [](const std::vector<Value>& x,
-                       const std::vector<Value>& y) {
-    return CompareRows(x, y) < 0;
-  };
-  std::sort(a.begin(), a.end(), less);
-  std::sort(b.begin(), b.end(), less);
-  for (size_t i = 0; i < a.size(); ++i) {
-    if (CompareRows(a[i], b[i]) != 0) return false;
-  }
-  return true;
-}
 
 Result<Value> Executor::Evaluate(const ExprPtr& expr, const Intermediate& input,
                                  const std::vector<Value>& row) const {

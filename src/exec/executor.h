@@ -3,38 +3,17 @@
 #include <vector>
 
 #include "exec/database.h"
+#include "exec/row_set.h"
 #include "plan/plan.h"
 
 /// \file executor.h
 /// A row-at-a-time SPJ evaluator over the in-memory Database: scans,
-/// selections, hash/nested-loop joins (inner and outer), and projections.
-/// Used to label ground truth in property tests (the verifier must agree
-/// with actual execution) and to measure workload cost in the §7.7 result
-/// caching study.
+/// selections, hash/nested-loop joins, and projections. Kept as the
+/// ground-truth oracle: property tests label equivalence with it, and the
+/// vectorized engine (exec/session.h) must stay BagEquals-identical to it
+/// on every covered workload. New code should prefer exec::ExecutionSession.
 
 namespace geqo {
-
-/// \brief A materialized query result: row-major tuples plus column names.
-struct RowSet {
-  std::vector<std::string> column_names;
-  std::vector<std::vector<Value>> rows;
-
-  size_t num_rows() const { return rows.size(); }
-  size_t num_columns() const { return column_names.size(); }
-
-  /// Approximate materialized size in bytes (for cache budgeting).
-  size_t ByteSize() const;
-
-  /// Bag (multiset) equality of tuples, ignoring row order and names.
-  bool BagEquals(const RowSet& other) const;
-};
-
-/// \brief Execution statistics for one query.
-struct ExecStats {
-  size_t rows_scanned = 0;
-  size_t rows_output = 0;
-  double seconds = 0.0;
-};
 
 /// \brief Evaluates logical plans against a Database.
 class Executor {

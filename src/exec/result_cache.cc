@@ -101,34 +101,35 @@ bool OnlineResultCache::MakeRoom(size_t needed_bytes, double value,
   return true;
 }
 
-CacheAccess OnlineResultCache::OnQuery(size_t equivalence_class,
-                                       double execution_seconds,
-                                       size_t result_bytes) {
+CacheAccess OnlineResultCache::OnQuery(const CacheRequest& request) {
   CacheAccess access;
-  ClassState& state = classes_[equivalence_class];
+  access.equivalence_class = request.equivalence_class;
+  access.canonical_hash = request.canonical_hash;
+  ClassState& state = classes_[request.equivalence_class];
   ++state.accesses;
   if (state.materialized) {
     access.hit = true;
     ++stats_.hits;
-    stats_.saved_seconds += execution_seconds;
-    state.saved_seconds += execution_seconds;
+    stats_.saved_seconds += request.execution_seconds;
+    state.saved_seconds += request.execution_seconds;
     return access;
   }
-  access.charged_seconds = execution_seconds;
+  access.charged_seconds = request.execution_seconds;
   ++stats_.misses;
-  stats_.executed_seconds += execution_seconds;
-  state.result_bytes = result_bytes;
+  stats_.executed_seconds += request.execution_seconds;
+  state.result_bytes = request.result_bytes;
   if (state.accesses < 2) return access;  // no demonstrated reuse yet
   // Demonstrated reuse: everything after the class's first execution is
   // value the cache would have captured (the simulator's SavedSeconds).
-  state.saved_seconds += execution_seconds;
+  state.saved_seconds += request.execution_seconds;
   size_t evicted = 0;
-  if (!MakeRoom(result_bytes, state.saved_seconds, &evicted)) {
+  if (!MakeRoom(request.result_bytes, state.saved_seconds, &evicted)) {
     ++stats_.rejected;
     return access;
   }
   state.materialized = true;
-  stats_.used_bytes += result_bytes;
+  state.representative_hash = request.canonical_hash;
+  stats_.used_bytes += request.result_bytes;
   ++stats_.admissions;
   stats_.evictions += evicted;
   access.admitted = true;

@@ -61,8 +61,23 @@ class ResultCacheSimulator {
   std::vector<QueryProfile> profiles_;
 };
 
+/// \brief One access to the online cache.
+///
+/// Replaces the old positional-scalar OnQuery(size_t, double, size_t)
+/// signature: callers name every field, and the access carries the query's
+/// identity (class id + canonical plan hash) alongside its cost profile so
+/// serving loops can correlate cache decisions with catalog probes.
+struct CacheRequest {
+  size_t equivalence_class = 0;  ///< class id (e.g. ShardedCatalog::ClassOf)
+  uint64_t canonical_hash = 0;   ///< canonical plan signature of the query
+  double execution_seconds = 0.0;  ///< cost of a fresh execution
+  size_t result_bytes = 0;         ///< materialized size of the result
+};
+
 /// \brief Outcome of one OnlineResultCache::OnQuery call.
 struct CacheAccess {
+  size_t equivalence_class = 0;  ///< echoed from the request
+  uint64_t canonical_hash = 0;   ///< echoed from the request
   bool hit = false;       ///< served from a materialized representative
   bool admitted = false;  ///< this access materialized the class
   bool evicted = false;   ///< admission displaced at least one other class
@@ -101,11 +116,10 @@ class OnlineResultCache {
   explicit OnlineResultCache(size_t budget_bytes)
       : budget_bytes_(budget_bytes) {}
 
-  /// Records one execution of a query in \p equivalence_class whose fresh
-  /// run costs \p execution_seconds and whose result occupies
-  /// \p result_bytes, and returns the cache's decision for this access.
-  CacheAccess OnQuery(size_t equivalence_class, double execution_seconds,
-                      size_t result_bytes);
+  /// Records one access described by \p request and returns the cache's
+  /// decision for it. The request's identity fields are echoed into the
+  /// returned CacheAccess.
+  CacheAccess OnQuery(const CacheRequest& request);
 
   bool Contains(size_t equivalence_class) const {
     const auto it = classes_.find(equivalence_class);
@@ -119,6 +133,7 @@ class OnlineResultCache {
   struct ClassState {
     bool materialized = false;
     size_t result_bytes = 0;
+    uint64_t representative_hash = 0;  ///< canonical hash of the resident
     double saved_seconds = 0.0;  ///< accumulated value (post-first accesses)
     size_t accesses = 0;
   };

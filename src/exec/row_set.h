@@ -1,0 +1,40 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "plan/value.h"
+
+/// \file row_set.h
+/// The materialized query-result currency shared by both executors: the
+/// legacy row-at-a-time `Executor` (kept as the ground-truth oracle) and the
+/// morsel-driven vectorized engine (`exec::ExecutionSession`). Everything
+/// downstream of execution — property tests, the §7.7 result-caching study,
+/// the e2e bench — exchanges results in this shape, which is what makes
+/// engine-parity testing (`BagEquals`) possible.
+
+namespace geqo {
+
+/// \brief A materialized query result: row-major tuples plus column names.
+struct RowSet {
+  std::vector<std::string> column_names;
+  std::vector<std::vector<Value>> rows;
+
+  size_t num_rows() const { return rows.size(); }
+  size_t num_columns() const { return column_names.size(); }
+
+  /// Approximate materialized size in bytes (for cache budgeting).
+  size_t ByteSize() const;
+
+  /// Bag (multiset) equality of tuples, ignoring row order and names.
+  bool BagEquals(const RowSet& other) const;
+};
+
+/// \brief Execution statistics for one query (legacy row engine).
+struct ExecStats {
+  size_t rows_scanned = 0;
+  size_t rows_output = 0;
+  double seconds = 0.0;
+};
+
+}  // namespace geqo

@@ -1,0 +1,86 @@
+#include "exec/session.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/stopwatch.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace geqo::exec {
+
+ExecutionSession::ExecutionSession(const Database* database,
+                                   SessionOptions options)
+    : database_(database),
+      morsel_rows_(std::clamp<size_t>(options.morsel_rows, 1, 65536)) {}
+
+Result<std::unique_ptr<QueryExecution>> ExecutionSession::Prepare(
+    const PlanPtr& plan) const {
+  Stopwatch watch;
+  GEQO_ASSIGN_OR_RETURN(std::unique_ptr<CompiledQuery> query,
+                        CompiledQuery::Compile(*database_, plan));
+  const double compile_seconds = watch.ElapsedSeconds();
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("exec.compile_seconds")
+        .Observe(compile_seconds);
+  }
+  return std::unique_ptr<QueryExecution>(new QueryExecution(
+      std::move(query), morsel_rows_, compile_seconds));
+}
+
+Result<RowSet> ExecutionSession::Execute(const PlanPtr& plan,
+                                         ExecMetrics* metrics) const {
+  GEQO_ASSIGN_OR_RETURN(std::unique_ptr<QueryExecution> query, Prepare(plan));
+  GEQO_ASSIGN_OR_RETURN(RowSet out, query->Materialize());
+  if (metrics != nullptr) *metrics = query->metrics();
+  return out;
+}
+
+Status QueryExecution::EnsureRan() {
+  if (ran_) return Status::OK();
+  ran_ = true;
+  obs::Span span("exec.execute");
+  Stopwatch watch;
+  GEQO_RETURN_NOT_OK(query_->Run(morsel_rows_, &metrics_, &batches_));
+  metrics_.execute_seconds = watch.ElapsedSeconds();
+  if (obs::MetricsEnabled()) {
+    obs::MetricsRegistry::Global()
+        .GetHistogram("exec.execute_seconds")
+        .Observe(metrics_.execute_seconds);
+  }
+  return Status::OK();
+}
+
+Result<const Batch*> QueryExecution::NextBatch() {
+  GEQO_RETURN_NOT_OK(EnsureRan());
+  if (cursor_ >= batches_.size()) return static_cast<const Batch*>(nullptr);
+  return static_cast<const Batch*>(&batches_[cursor_++]);
+}
+
+Result<RowSet> QueryExecution::Materialize() {
+  GEQO_RETURN_NOT_OK(EnsureRan());
+  RowSet out;
+  out.column_names = query_->column_names();
+  size_t remaining = 0;
+  for (size_t b = cursor_; b < batches_.size(); ++b) {
+    remaining += batches_[b].ActiveRows();
+  }
+  out.rows.reserve(remaining);
+  for (; cursor_ < batches_.size(); ++cursor_) {
+    const Batch& batch = batches_[cursor_];
+    const size_t n = batch.ActiveRows();
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t r = batch.RowAt(i);
+      std::vector<Value> row;
+      row.reserve(batch.columns.size());
+      for (size_t c = 0; c < batch.columns.size(); ++c) {
+        row.push_back(batch.ValueAt(c, r));
+      }
+      out.rows.push_back(std::move(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace geqo::exec

@@ -68,6 +68,31 @@ struct KernelTable {
   /// quantized EMF batch path, which must be bit-identical across ISAs).
   std::int32_t (*dot_i8)(const std::int8_t* a, const std::int8_t* b,
                          std::size_t n);
+
+  // --- f64 executor kernels -------------------------------------------------
+  // The vectorized query executor (src/exec) evaluates expressions over dense
+  // double columns through these. All are elementwise (no reassociation), so
+  // results must be bit-identical across tables — the executor's parity tests
+  // compare whole query results against the row-at-a-time oracle under
+  // GEQO_ISA=scalar and auto.
+
+  /// dst[i] += src[i]
+  void (*add_f64)(double* dst, const double* src, std::size_t n);
+  /// dst[i] -= src[i]
+  void (*sub_f64)(double* dst, const double* src, std::size_t n);
+  /// dst[i] *= src[i]
+  void (*mul_f64)(double* dst, const double* src, std::size_t n);
+  /// dst[i] /= src[i] — caller must reject zero divisors first.
+  void (*div_f64)(double* dst, const double* src, std::size_t n);
+  /// dst[i] = v
+  void (*fill_f64)(double* dst, double v, std::size_t n);
+  /// Writes the indices i in [0,n) with `a[i] <op> b[i]` to out (ascending)
+  /// and returns how many passed. op follows plan::CompareOp order:
+  /// 0 ==, 1 !=, 2 <, 3 <=, 4 >, 5 >=. Inputs are never NaN (the executor
+  /// rejects division by zero before it happens), so ordered SIMD predicates
+  /// agree with the scalar comparisons.
+  std::size_t (*cmp_select_f64)(int op, const double* a, const double* b,
+                                std::uint32_t* out, std::size_t n);
 };
 
 /// The table every op dispatches through. First call resolves GEQO_ISA /

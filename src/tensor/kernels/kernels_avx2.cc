@@ -175,10 +175,105 @@ std::int32_t DotI8Avx2(const std::int8_t* a, const std::int8_t* b,
   return sum;
 }
 
+void AddF64Avx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] += src[i];
+}
+
+void SubF64Avx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_sub_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] -= src[i];
+}
+
+void MulF64Avx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_mul_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] *= src[i];
+}
+
+void DivF64Avx2(double* dst, const double* src, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_div_pd(_mm256_loadu_pd(dst + i),
+                                            _mm256_loadu_pd(src + i)));
+  }
+  for (; i < n; ++i) dst[i] /= src[i];
+}
+
+void FillF64Avx2(double* dst, double v, std::size_t n) {
+  const __m256d vv = _mm256_set1_pd(v);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) _mm256_storeu_pd(dst + i, vv);
+  for (; i < n; ++i) dst[i] = v;
+}
+
+/// One compare predicate per 4-lane step; the movemask bits drive ascending
+/// index emission, so output order matches the scalar table exactly. Inputs
+/// are NaN-free (executor contract), so the ordered predicates (and NEQ_UQ
+/// for !=) agree bitwise with the scalar <,<=,==,... comparisons.
+template <int kPredicate>
+std::size_t CmpSelectF64Body(const double* a, const double* b,
+                             std::uint32_t* out, std::size_t n,
+                             bool (*scalar_tail)(double, double)) {
+  std::size_t count = 0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d cmp = _mm256_cmp_pd(_mm256_loadu_pd(a + i),
+                                      _mm256_loadu_pd(b + i), kPredicate);
+    int mask = _mm256_movemask_pd(cmp);
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out[count++] = static_cast<std::uint32_t>(i + bit);
+      mask &= mask - 1;
+    }
+  }
+  for (; i < n; ++i) {
+    if (scalar_tail(a[i], b[i])) out[count++] = static_cast<std::uint32_t>(i);
+  }
+  return count;
+}
+
+std::size_t CmpSelectF64Avx2(int op, const double* a, const double* b,
+                             std::uint32_t* out, std::size_t n) {
+  switch (op) {
+    case 0:
+      return CmpSelectF64Body<_CMP_EQ_OQ>(a, b, out, n,
+                                          [](double x, double y) { return x == y; });
+    case 1:
+      return CmpSelectF64Body<_CMP_NEQ_UQ>(a, b, out, n,
+                                           [](double x, double y) { return x != y; });
+    case 2:
+      return CmpSelectF64Body<_CMP_LT_OQ>(a, b, out, n,
+                                          [](double x, double y) { return x < y; });
+    case 3:
+      return CmpSelectF64Body<_CMP_LE_OQ>(a, b, out, n,
+                                          [](double x, double y) { return x <= y; });
+    case 4:
+      return CmpSelectF64Body<_CMP_GT_OQ>(a, b, out, n,
+                                          [](double x, double y) { return x > y; });
+    default:
+      return CmpSelectF64Body<_CMP_GE_OQ>(a, b, out, n,
+                                          [](double x, double y) { return x >= y; });
+  }
+}
+
 constexpr KernelTable kAvx2Table = {
     "avx2",         DotAvx2, AxpyAvx2, SquaredDistanceAvx2,
     AddAvx2,        SubAvx2, MulAvx2,  ScaleAvx2,
     Sq8DistanceAvx2, DotI8Avx2,
+    AddF64Avx2,     SubF64Avx2, MulF64Avx2, DivF64Avx2,
+    FillF64Avx2,    CmpSelectF64Avx2,
 };
 
 bool HostSupportsAvx2Fma() {

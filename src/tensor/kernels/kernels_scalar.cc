@@ -65,10 +65,64 @@ std::int32_t DotI8Scalar(const std::int8_t* a, const std::int8_t* b,
   return acc;
 }
 
+void AddF64Scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+void SubF64Scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] -= src[i];
+}
+
+void MulF64Scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] *= src[i];
+}
+
+void DivF64Scalar(double* dst, const double* src, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] /= src[i];
+}
+
+void FillF64Scalar(double* dst, double v, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = v;
+}
+
+std::size_t CmpSelectF64Scalar(int op, const double* a, const double* b,
+                               std::uint32_t* out, std::size_t n) {
+  std::size_t count = 0;
+  switch (op) {
+    case 0:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] == b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+    case 1:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] != b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+    case 2:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] < b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+    case 3:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] <= b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+    case 4:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] > b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+    default:
+      for (std::size_t i = 0; i < n; ++i)
+        if (a[i] >= b[i]) out[count++] = static_cast<std::uint32_t>(i);
+      break;
+  }
+  return count;
+}
+
 constexpr KernelTable kScalarTable = {
     "scalar",         DotScalar, AxpyScalar, SquaredDistanceScalar,
     AddScalar,        SubScalar, MulScalar,  ScaleScalar,
     Sq8DistanceScalar, DotI8Scalar,
+    AddF64Scalar,     SubF64Scalar, MulF64Scalar, DivF64Scalar,
+    FillF64Scalar,    CmpSelectF64Scalar,
 };
 
 }  // namespace

@@ -156,19 +156,25 @@ TEST(ResultCacheTest, ZeroBudgetSavesNothing) {
 
 TEST(OnlineResultCacheTest, AdmitsOnSecondAccessAndServesHits) {
   OnlineResultCache cache(1000);
+  const CacheRequest request{.equivalence_class = 7,
+                             .canonical_hash = 0xfeedULL,
+                             .execution_seconds = 2.0,
+                             .result_bytes = 100};
   // First access: always a miss, never materialized (no reuse evidence).
-  CacheAccess first = cache.OnQuery(/*class=*/7, /*seconds=*/2.0, /*bytes=*/100);
+  CacheAccess first = cache.OnQuery(request);
   EXPECT_FALSE(first.hit);
   EXPECT_FALSE(first.admitted);
   EXPECT_DOUBLE_EQ(first.charged_seconds, 2.0);
+  EXPECT_EQ(first.equivalence_class, 7u);
+  EXPECT_EQ(first.canonical_hash, 0xfeedULL);
   EXPECT_FALSE(cache.Contains(7));
   // Second access demonstrates reuse: executed once more, then admitted.
-  CacheAccess second = cache.OnQuery(7, 2.0, 100);
+  CacheAccess second = cache.OnQuery(request);
   EXPECT_FALSE(second.hit);
   EXPECT_TRUE(second.admitted);
   EXPECT_TRUE(cache.Contains(7));
   // Third access is a hit at zero cost.
-  CacheAccess third = cache.OnQuery(7, 2.0, 100);
+  CacheAccess third = cache.OnQuery(request);
   EXPECT_TRUE(third.hit);
   EXPECT_DOUBLE_EQ(third.charged_seconds, 0.0);
   EXPECT_EQ(cache.stats().hits, 1u);
@@ -181,12 +187,16 @@ TEST(OnlineResultCacheTest, AdmitsOnSecondAccessAndServesHits) {
 TEST(OnlineResultCacheTest, EvictsLowerValueResidentsUnderPressure) {
   OnlineResultCache cache(100);
   // Class 1 earns residency with a modest value.
-  cache.OnQuery(1, 1.0, 100);
-  cache.OnQuery(1, 1.0, 100);
+  const CacheRequest modest{
+      .equivalence_class = 1, .execution_seconds = 1.0, .result_bytes = 100};
+  cache.OnQuery(modest);
+  cache.OnQuery(modest);
   ASSERT_TRUE(cache.Contains(1));
   // Class 2 is worth far more but needs class 1's bytes: evict and replace.
-  cache.OnQuery(2, 10.0, 100);
-  CacheAccess takeover = cache.OnQuery(2, 10.0, 100);
+  const CacheRequest valuable{
+      .equivalence_class = 2, .execution_seconds = 10.0, .result_bytes = 100};
+  cache.OnQuery(valuable);
+  CacheAccess takeover = cache.OnQuery(valuable);
   EXPECT_TRUE(takeover.admitted);
   EXPECT_TRUE(takeover.evicted);
   EXPECT_TRUE(cache.Contains(2));
@@ -197,18 +207,24 @@ TEST(OnlineResultCacheTest, EvictsLowerValueResidentsUnderPressure) {
 
 TEST(OnlineResultCacheTest, RejectsLowValueAndOversizedCandidates) {
   OnlineResultCache cache(100);
-  cache.OnQuery(1, 10.0, 100);
-  cache.OnQuery(1, 10.0, 100);
+  const CacheRequest resident{
+      .equivalence_class = 1, .execution_seconds = 10.0, .result_bytes = 100};
+  cache.OnQuery(resident);
+  cache.OnQuery(resident);
   ASSERT_TRUE(cache.Contains(1));
   // A cheaper class must not displace the valuable resident.
-  cache.OnQuery(2, 1.0, 100);
-  CacheAccess rejected = cache.OnQuery(2, 1.0, 100);
+  const CacheRequest cheap{
+      .equivalence_class = 2, .execution_seconds = 1.0, .result_bytes = 100};
+  cache.OnQuery(cheap);
+  CacheAccess rejected = cache.OnQuery(cheap);
   EXPECT_FALSE(rejected.admitted);
   EXPECT_TRUE(cache.Contains(1));
   EXPECT_EQ(cache.stats().rejected, 1u);
   // A result larger than the whole budget can never be admitted.
-  cache.OnQuery(3, 100.0, 1000);
-  CacheAccess oversized = cache.OnQuery(3, 100.0, 1000);
+  const CacheRequest huge{
+      .equivalence_class = 3, .execution_seconds = 100.0, .result_bytes = 1000};
+  cache.OnQuery(huge);
+  CacheAccess oversized = cache.OnQuery(huge);
   EXPECT_FALSE(oversized.admitted);
   EXPECT_EQ(cache.stats().rejected, 2u);
 }
@@ -227,8 +243,10 @@ TEST(OnlineResultCacheTest, ConvergesToSimulatorChoiceOnRepeatedStream) {
   OnlineResultCache cache(100);
   for (int round = 0; round < 3; ++round) {
     for (const QueryProfile& profile : profiles) {
-      cache.OnQuery(profile.equivalence_class, profile.execution_seconds,
-                    profile.result_bytes);
+      cache.OnQuery(CacheRequest{
+          .equivalence_class = profile.equivalence_class,
+          .execution_seconds = profile.execution_seconds,
+          .result_bytes = profile.result_bytes});
     }
   }
   EXPECT_TRUE(cache.Contains(0));

@@ -200,6 +200,79 @@ TEST(KernelTableTest, Sq8DistanceMatchesDecodedFloatDistance) {
   }
 }
 
+TEST(KernelTableTest, F64ExecutorKernelsAreBitIdenticalAcrossTables) {
+  // The vectorized query executor's f64 ops are elementwise (no
+  // reassociation), so scalar and AVX2 must agree bit-for-bit — query
+  // results must not depend on GEQO_ISA.
+  const KernelTable* avx2 = Avx2TableOrNull();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this build/host";
+  const KernelTable& scalar = ScalarTable();
+  Rng rng(77);
+  for (const size_t n : kSizes) {
+    AlignedVector<double> a(n);
+    AlignedVector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      a[i] = rng.NextGaussian() * 100.0;
+      b[i] = rng.NextGaussian() * 100.0 + (i % 3 == 0 ? 1.0 : 0.0);
+      if (b[i] == 0.0) b[i] = 1.0;  // div kernel contract: no zero divisors
+    }
+    const auto check = [&](void (*s_op)(double*, const double*, size_t),
+                           void (*v_op)(double*, const double*, size_t),
+                           const char* name) {
+      AlignedVector<double> s = a;
+      AlignedVector<double> v = a;
+      s_op(s.data(), b.data(), n);
+      v_op(v.data(), b.data(), n);
+      for (size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(s[i], v[i]) << name << " n=" << n << " i=" << i;
+      }
+    };
+    check(scalar.add_f64, avx2->add_f64, "add_f64");
+    check(scalar.sub_f64, avx2->sub_f64, "sub_f64");
+    check(scalar.mul_f64, avx2->mul_f64, "mul_f64");
+    check(scalar.div_f64, avx2->div_f64, "div_f64");
+
+    AlignedVector<double> fill_s(n, 0.0);
+    AlignedVector<double> fill_v(n, 1.0);
+    scalar.fill_f64(fill_s.data(), 42.5, n);
+    avx2->fill_f64(fill_v.data(), 42.5, n);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(fill_s[i], fill_v[i]) << "fill_f64 n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(KernelTableTest, CmpSelectF64MatchesScalarOnEveryOp) {
+  const KernelTable* avx2 = Avx2TableOrNull();
+  if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this build/host";
+  const KernelTable& scalar = ScalarTable();
+  Rng rng(78);
+  for (const size_t n : kSizes) {
+    AlignedVector<double> a(n);
+    AlignedVector<double> b(n);
+    for (size_t i = 0; i < n; ++i) {
+      // Small integer domain: plenty of exact ties for ==, <=, >=.
+      a[i] = static_cast<double>(rng.Uniform(8));
+      b[i] = static_cast<double>(rng.Uniform(8));
+    }
+    for (int op = 0; op < 6; ++op) {
+      AlignedVector<uint32_t> s_out(n);
+      AlignedVector<uint32_t> v_out(n);
+      const size_t s_n = scalar.cmp_select_f64(op, a.data(), b.data(),
+                                               s_out.data(), n);
+      const size_t v_n =
+          avx2->cmp_select_f64(op, a.data(), b.data(), v_out.data(), n);
+      ASSERT_EQ(s_n, v_n) << "op=" << op << " n=" << n;
+      for (size_t i = 0; i < s_n; ++i) {
+        ASSERT_EQ(s_out[i], v_out[i]) << "op=" << op << " n=" << n;
+      }
+      // Selected indices must be strictly ascending (the executor's
+      // selection-vector invariant).
+      for (size_t i = 1; i < s_n; ++i) ASSERT_LT(s_out[i - 1], s_out[i]);
+    }
+  }
+}
+
 TEST(KernelTableTest, UnalignedBasesAreHandled) {
   const KernelTable* avx2 = Avx2TableOrNull();
   if (avx2 == nullptr) GTEST_SKIP() << "AVX2 unavailable on this build/host";
