@@ -41,6 +41,11 @@ echo "== clang-tidy gate =="
 # No-op (exit 0) on gcc-only hosts; full analysis when clang-tidy exists.
 scripts/tidy.sh build
 
+echo "== clang thread-safety gate =="
+# Compile-time enforcement of the lock annotations (-Wthread-safety
+# -Werror); no-op (exit 0) on gcc-only hosts, same pattern as tidy.sh.
+scripts/thread_safety.sh
+
 echo "== workload SQL lint =="
 # Checked-in example workloads must parse and validate cleanly.
 "$lint" --schema=tpch examples/workloads/*.sql
@@ -143,8 +148,12 @@ else
     ./build-tsan/examples/observability_demo
   "$lint" "$smoke_dir/geqo_trace_tsan.json" "$smoke_dir/geqo_metrics_tsan.json"
 
-  echo "== TSan serving snapshot round-trip smoke =="
-  GEQO_THREADS=4 check_serving_roundtrip ./build-tsan/examples/serving_demo \
+  echo "== TSan serving snapshot round-trip smoke (lock-rank checker armed) =="
+  # GEQO_LOCK_RANK=1 arms the runtime lock-rank checker on top of TSan:
+  # TSan needs an unlucky schedule to see an inversion, the rank checker
+  # aborts on the first out-of-order acquisition on any schedule.
+  GEQO_THREADS=4 GEQO_LOCK_RANK=1 \
+    check_serving_roundtrip ./build-tsan/examples/serving_demo \
     "$smoke_dir/serve_snap_tsan"
 
   echo "== TSan multi-client serving bench smoke =="

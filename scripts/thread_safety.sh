@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Clang thread-safety-analysis gate: builds the project with clang and
+# -Wthread-safety promoted to an error, so every GEQO_GUARDED_BY /
+# GEQO_REQUIRES / GEQO_CAPABILITY annotation (common/thread_annotations.h)
+# is enforced at compile time. gcc parses the annotations as no-ops, which
+# is why this lane needs a clang toolchain at all.
+#
+# Usage:
+#   scripts/thread_safety.sh [BUILD_DIR]    (default: build-thread-safety)
+#
+# Environment:
+#   GEQO_CLANGXX      Override the clang++ executable to use.
+#   GEQO_CHECK_JOBS   Parallel build jobs (default: nproc).
+#
+# The container this repo usually builds in ships gcc only; when no clang++
+# binary is available the gate degrades to a no-op with a clear message and
+# exit 0 (the tidy.sh pattern), so check pipelines stay green on gcc-only
+# hosts while clang-equipped hosts get the full static analysis.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build-thread-safety}"
+jobs="${GEQO_CHECK_JOBS:-$(nproc)}"
+
+clangxx=""
+if [[ -n "${GEQO_CLANGXX:-}" ]]; then
+  clangxx="$GEQO_CLANGXX"
+else
+  for candidate in clang++ clang++-20 clang++-19 clang++-18 clang++-17 \
+                   clang++-16 clang++-15 clang++-14; do
+    if command -v "$candidate" > /dev/null 2>&1; then
+      clangxx="$candidate"
+      break
+    fi
+  done
+fi
+
+if [[ -z "$clangxx" ]] || ! command -v "$clangxx" > /dev/null 2>&1; then
+  echo "thread_safety.sh: no clang++ executable found (set GEQO_CLANGXX to" \
+       "override); skipping -Wthread-safety analysis (gcc-only host)."
+  exit 0
+fi
+
+echo "thread_safety.sh: building with $clangxx -Wthread-safety -Werror" \
+     "(build dir: $build_dir)"
+# -Werror=thread-safety scopes the error promotion to the analysis itself,
+# so clang-vs-gcc differences in unrelated warning sets cannot fail the lane.
+cmake -B "$build_dir" -S . \
+  -DCMAKE_CXX_COMPILER="$clangxx" \
+  -DCMAKE_CXX_FLAGS="-Wthread-safety -Werror=thread-safety" > /dev/null
+cmake --build "$build_dir" -j "$jobs"
+echo "thread_safety.sh: clean"

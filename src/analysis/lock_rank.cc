@@ -1,0 +1,147 @@
+#include "analysis/lock_rank.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace geqo::analysis {
+namespace {
+
+/// Held-rank stack of one thread. A fixed array keeps the hot path
+/// allocation-free; depth 64 comfortably covers the deepest real nesting
+/// (all shard locks during a snapshot export, plus the map lock and the
+/// obs locks above it).
+constexpr size_t kMaxHeldLocks = 64;
+thread_local LockRank t_held[kMaxHeldLocks];
+thread_local size_t t_held_count = 0;
+
+enum class Override : int { kUnset = 0, kOn = 1, kOff = 2 };
+std::atomic<Override> g_override{Override::kUnset};
+
+bool EnabledFromEnvironment() {
+  if (const char* env = std::getenv("GEQO_LOCK_RANK")) {
+    if (std::strcmp(env, "1") == 0 || std::strcmp(env, "on") == 0) {
+      return true;
+    }
+    if (std::strcmp(env, "0") == 0 || std::strcmp(env, "off") == 0) {
+      return false;
+    }
+  }
+#ifdef NDEBUG
+  return false;
+#else
+  return true;
+#endif
+}
+
+[[noreturn]] void AbortOnViolation(LockRank held, LockRank acquiring) {
+  // stderr + abort, not GEQO_CHECK: the message must come out even if the
+  // logging layer itself is mid-lock, and the death tests match on it.
+  std::fprintf(stderr,
+               "lock-rank violation: acquiring '%s' (rank %d) while holding "
+               "'%s' (rank %d); locks must be acquired in ascending rank "
+               "order (see analysis/lock_rank.h)\n",
+               LockRankName(acquiring), static_cast<int>(acquiring),
+               LockRankName(held), static_cast<int>(held));
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace
+
+const char* LockRankName(LockRank rank) {
+  switch (rank) {
+    case LockRank::kCompaction:
+      return "persist.compact";
+    case LockRank::kVerifyDrain:
+      return "serve.drain";
+    case LockRank::kShard:
+      return "serve.shard";
+    case LockRank::kCatalogMap:
+      return "serve.map";
+    case LockRank::kStore:
+      return "persist.store";
+    case LockRank::kPendingSet:
+      return "persist.pending";
+    case LockRank::kWalHandle:
+      return "persist.wal";
+    case LockRank::kWorkQueue:
+      return "common.work_queue";
+    case LockRank::kGlobalPool:
+      return "common.global_pool";
+    case LockRank::kThreadPool:
+      return "common.thread_pool";
+    case LockRank::kPoolRegion:
+      return "common.pool_region";
+    case LockRank::kObsRegistry:
+      return "obs.metrics";
+    case LockRank::kObsTracer:
+      return "obs.tracer";
+    case LockRank::kObsTraceBuffer:
+      return "obs.trace_buffer";
+    case LockRank::kStatus:
+      return "persist.status";
+    case LockRank::kKillPoint:
+      return "persist.kill_point";
+    case LockRank::kLeaf:
+      return "common.leaf";
+  }
+  return "unknown";
+}
+
+bool LockRankSameRankNestable(LockRank rank) {
+  return rank == LockRank::kShard;
+}
+
+bool LockRankCheckingEnabled() {
+  const Override forced = g_override.load(std::memory_order_relaxed);
+  if (forced != Override::kUnset) return forced == Override::kOn;
+  static const bool from_env = EnabledFromEnvironment();
+  return from_env;
+}
+
+void SetLockRankCheckingForTest(bool enabled) {
+  g_override.store(enabled ? Override::kOn : Override::kOff,
+                   std::memory_order_relaxed);
+}
+
+void LockRankOnAcquire(LockRank rank) {
+  if (!LockRankCheckingEnabled()) return;
+  for (size_t i = 0; i < t_held_count; ++i) {
+    const LockRank held = t_held[i];
+    const bool ok = held < rank ||
+                    (held == rank && LockRankSameRankNestable(rank));
+    if (!ok) AbortOnViolation(held, rank);
+  }
+  if (t_held_count >= kMaxHeldLocks) {
+    std::fprintf(stderr,
+                 "lock-rank checker: thread holds more than %zu ranked "
+                 "locks; raise kMaxHeldLocks in analysis/lock_rank.cc\n",
+                 kMaxHeldLocks);
+    std::fflush(stderr);
+    std::abort();
+  }
+  t_held[t_held_count++] = rank;
+}
+
+void LockRankOnRelease(LockRank rank) {
+  if (!LockRankCheckingEnabled()) return;
+  // Most-recent matching entry: guards release in destructor order, but
+  // e.g. a snapshot export drops its shard locks front to back.
+  for (size_t i = t_held_count; i > 0; --i) {
+    if (t_held[i - 1] == rank) {
+      for (size_t j = i - 1; j + 1 < t_held_count; ++j) {
+        t_held[j] = t_held[j + 1];
+      }
+      --t_held_count;
+      return;
+    }
+  }
+  // Not found: the checker was toggled on while this lock was already
+  // held, or its acquisition predates the override. Ignore.
+}
+
+size_t HeldLockCountForTest() { return t_held_count; }
+
+}  // namespace geqo::analysis

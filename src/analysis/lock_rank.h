@@ -1,0 +1,107 @@
+#pragma once
+
+#include <cstddef>
+
+/// \file lock_rank.h
+/// Deterministic runtime deadlock detection by lock ranking. Every
+/// geqo::Mutex / geqo::SharedMutex (common/mutex.h) carries one rank from
+/// the process-wide lattice below; a per-thread stack records the ranks a
+/// thread currently holds, and acquiring a lock whose rank is not strictly
+/// above everything held aborts immediately with both rank names — before
+/// the acquisition can block. Unlike TSan, which only sees lock-order
+/// inversions on schedules where the two orders actually interleave, the
+/// rank checker fires on the *first* out-of-order acquisition on any
+/// schedule, so a single test run is a proof.
+///
+/// The lattice is total: a rank may be acquired while holding only
+/// strictly-lower ranks. Ranks flagged same-rank-nestable (the per-shard
+/// catalog locks, which ExportSnapshot takes across all shards in index
+/// order) may additionally be acquired while an equal rank is held.
+/// DESIGN.md §13 diagrams the lattice and records why each edge exists.
+///
+/// Cost model: one relaxed atomic load when the checker is off (the
+/// GEQO_TRACE gating pattern); a thread-local array push/pop when on.
+/// Enabled by default in !NDEBUG builds, overridable either way with
+/// GEQO_LOCK_RANK=1/0 (the GEQO_VALIDATE convention).
+
+namespace geqo::analysis {
+
+/// The process-wide lock-order lattice, ascending = acquired later. Values
+/// are spaced so future locks slot in without renumbering. The ordering
+/// edges are derived from the real nesting in the code, not aspiration:
+/// e.g. kThreadPool ranks *above* kShard because the EMF batch scorer runs
+/// ParallelFor while Probe holds a shard's shared lock, and kWorkQueue
+/// ranks above kWalHandle because AppendRecord schedules compactions
+/// (compact_queue_.Push) while holding the partition's handle lock.
+enum class LockRank : int {
+  /// CatalogStore::compact_mu_ — held across the whole compaction (which
+  /// takes store, shard, and map locks), so it ranks below all of them.
+  kCompaction = 10,
+  /// ShardedCatalog::drain_mu_ — held across inline ProcessTask calls in
+  /// deferred mode (which take shard locks and queue locks).
+  kVerifyDrain = 15,
+  /// ShardedCatalog per-shard Shard::mu. Same-rank nestable: snapshot
+  /// export holds every shard's lock simultaneously, in index order.
+  kShard = 30,
+  /// ShardedCatalog::map_mu_ (gid -> (shard, local) routing map); the
+  /// documented "shard.mu before map_mu_" order.
+  kCatalogMap = 35,
+  /// CatalogStore::store_mu_ (manifest, live WAL handles, closed flag).
+  kStore = 40,
+  /// CatalogStore::pending_mu_ (outstanding pending-pair set).
+  kPendingSet = 45,
+  /// CatalogStore WalHandle::mu — per-partition append/rotate exclusion;
+  /// taken under shard locks (journal hooks) and under store_mu_.
+  kWalHandle = 50,
+  /// WorkQueue<T>::mu_ (verify queue, compaction queue).
+  kWorkQueue = 55,
+  /// ThreadPool's global-pool slot lock.
+  kGlobalPool = 60,
+  /// ThreadPool::mu_ (task queue); above kShard — see file comment.
+  kThreadPool = 62,
+  /// ThreadPool::ForState region locks (completion + first-error).
+  kPoolRegion = 64,
+  /// obs::MetricsRegistry::mu_ — gauges update under pool/WAL locks.
+  kObsRegistry = 70,
+  /// obs::Tracer::mu_ (buffer registry).
+  kObsTracer = 74,
+  /// obs::Tracer::Buffer::mu — spans close under shard/store locks.
+  kObsTraceBuffer = 76,
+  /// CatalogStore::status_mu_ — errors latch from under any lock.
+  kStatus = 80,
+  /// persist kill-point registry — crash hooks fire from anywhere.
+  kKillPoint = 85,
+  /// Strictly-leaf utility locks: nothing may be acquired under them.
+  kLeaf = 90,
+};
+
+/// Stable human-readable name of \p rank (the string the abort diagnostic
+/// and the mutation tests key on).
+const char* LockRankName(LockRank rank);
+
+/// True for ranks that may nest against an equal rank (kShard).
+bool LockRankSameRankNestable(LockRank rank);
+
+/// Whether acquisitions are being checked. Default: on in !NDEBUG builds,
+/// off in NDEBUG; GEQO_LOCK_RANK=1/on or 0/off overrides either way.
+bool LockRankCheckingEnabled();
+
+/// Programmatic override for tests (wins over the environment). Does not
+/// clear any per-thread held stack; toggle only with no ranked locks held.
+void SetLockRankCheckingForTest(bool enabled);
+
+/// Records the acquisition of a lock of \p rank by this thread, aborting
+/// with both rank names if any held rank forbids it. Call *before* the
+/// blocking lock operation, so an inversion aborts instead of deadlocking.
+void LockRankOnAcquire(LockRank rank);
+
+/// Records the release of a lock of \p rank (most-recent matching entry;
+/// release order need not mirror acquisition order). Tolerates a rank that
+/// was never pushed, so toggling the checker mid-stream cannot corrupt the
+/// stack.
+void LockRankOnRelease(LockRank rank);
+
+/// Number of ranked locks the calling thread currently holds (tests).
+size_t HeldLockCountForTest();
+
+}  // namespace geqo::analysis

@@ -80,6 +80,14 @@ struct Neighbor {
 /// place, so writers need exclusive external synchronization (the sharded
 /// catalog wraps each shard's index in a reader-writer lock: probes hold it
 /// shared, inserts hold it unique).
+///
+/// Under Clang's -Wthread-safety that external lock is a real capability:
+/// ShardedCatalog::Shard pt-guards its whole EquivalenceCatalog — and
+/// therefore this index — behind Shard::mu (rank kShard), so any unlocked
+/// path to Add or Search is a compile error there, not a convention. The
+/// index itself stays annotation-free by design: it owns no lock and must
+/// stay usable single-threaded without one (the pipeline's per-thread
+/// indexes never synchronize).
 class HnswIndex {
  public:
   HnswIndex(size_t dim, HnswOptions options = HnswOptions());

@@ -1,0 +1,159 @@
+#pragma once
+
+#include <mutex>
+#include <shared_mutex>
+
+#include "analysis/lock_rank.h"
+#include "common/thread_annotations.h"
+
+/// \file mutex.h
+/// The codebase's lock vocabulary: capability-annotated wrappers around
+/// std::mutex / std::shared_mutex, plus their scoped guards. Locking
+/// through these types (instead of the std types directly) buys two
+/// checkers at once:
+///
+///   - clang's -Wthread-safety sees the GEQO_CAPABILITY annotations, so
+///     GEQO_GUARDED_BY members and GEQO_REQUIRES contracts are enforced
+///     at compile time (std::mutex carries no annotations under
+///     libstdc++, which is why wrappers are required at all);
+///   - every acquisition funnels through the runtime lock-rank checker
+///     (analysis/lock_rank.h), so a lock-order inversion aborts
+///     deterministically on its first occurrence — the rank check runs
+///     *before* the blocking lock call, turning a would-be deadlock into
+///     a named diagnostic.
+///
+/// Construction takes the lock's analysis::LockRank; the lattice and the
+/// conventions are documented in DESIGN.md §13.
+///
+/// Condition variables: use std::condition_variable_any with UniqueLock
+/// (it satisfies BasicLockable), and write wait loops as explicit
+/// `while (!cond) cv.wait(lock);` — a predicate lambda would read guarded
+/// members from a context the static analysis cannot see the lock in.
+
+namespace geqo {
+
+/// \brief Rank-checked, capability-annotated std::mutex.
+class GEQO_CAPABILITY("mutex") Mutex {
+ public:
+  explicit Mutex(analysis::LockRank rank) : rank_(rank) {}
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() GEQO_ACQUIRE() {
+    analysis::LockRankOnAcquire(rank_);
+    mu_.lock();
+  }
+  void unlock() GEQO_RELEASE() {
+    mu_.unlock();
+    analysis::LockRankOnRelease(rank_);
+  }
+
+  analysis::LockRank rank() const { return rank_; }
+
+ private:
+  std::mutex mu_;
+  const analysis::LockRank rank_;
+};
+
+/// \brief Rank-checked, capability-annotated std::shared_mutex. Shared
+/// acquisitions are rank-checked exactly like exclusive ones: a
+/// reader-side inversion deadlocks against a writer just the same.
+class GEQO_CAPABILITY("shared_mutex") SharedMutex {
+ public:
+  explicit SharedMutex(analysis::LockRank rank) : rank_(rank) {}
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void lock() GEQO_ACQUIRE() {
+    analysis::LockRankOnAcquire(rank_);
+    mu_.lock();
+  }
+  void unlock() GEQO_RELEASE() {
+    mu_.unlock();
+    analysis::LockRankOnRelease(rank_);
+  }
+  void lock_shared() GEQO_ACQUIRE_SHARED() {
+    analysis::LockRankOnAcquire(rank_);
+    mu_.lock_shared();
+  }
+  void unlock_shared() GEQO_RELEASE_SHARED() {
+    mu_.unlock_shared();
+    analysis::LockRankOnRelease(rank_);
+  }
+
+  analysis::LockRank rank() const { return rank_; }
+
+ private:
+  std::shared_mutex mu_;
+  const analysis::LockRank rank_;
+};
+
+/// \brief Scoped exclusive lock of a Mutex (the std::lock_guard shape).
+class GEQO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) GEQO_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() GEQO_RELEASE() { mu_.unlock(); }
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// \brief Scoped exclusive lock of a Mutex that a
+/// std::condition_variable_any can wait on (BasicLockable), with early
+/// unlock()/relock for handoff patterns.
+class GEQO_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) GEQO_ACQUIRE(mu) : mu_(mu), owns_(true) {
+    mu_.lock();
+  }
+  ~UniqueLock() GEQO_RELEASE() {
+    if (owns_) mu_.unlock();
+  }
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+  void lock() GEQO_ACQUIRE() {
+    mu_.lock();
+    owns_ = true;
+  }
+  void unlock() GEQO_RELEASE() {
+    owns_ = false;
+    mu_.unlock();
+  }
+
+ private:
+  Mutex& mu_;
+  bool owns_;
+};
+
+/// \brief Scoped shared (reader) lock of a SharedMutex.
+class GEQO_SCOPED_CAPABILITY ReaderLock {
+ public:
+  explicit ReaderLock(SharedMutex& mu) GEQO_ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.lock_shared();
+  }
+  ~ReaderLock() GEQO_RELEASE_GENERIC() { mu_.unlock_shared(); }
+  ReaderLock(const ReaderLock&) = delete;
+  ReaderLock& operator=(const ReaderLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// \brief Scoped exclusive (writer) lock of a SharedMutex.
+class GEQO_SCOPED_CAPABILITY WriterLock {
+ public:
+  explicit WriterLock(SharedMutex& mu) GEQO_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~WriterLock() GEQO_RELEASE() { mu_.unlock(); }
+  WriterLock(const WriterLock&) = delete;
+  WriterLock& operator=(const WriterLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+}  // namespace geqo

@@ -1,0 +1,140 @@
+#pragma once
+
+/// \file thread_annotations.h
+/// Clang Thread Safety Analysis attribute macros (GEQO_ spellings of the
+/// standard capability vocabulary). Under clang, `-Wthread-safety` turns
+/// the annotations into a compile-time lock-discipline checker: guarded
+/// members cannot be touched without their lock, REQUIRES contracts are
+/// enforced at every call site, and scoped guards are tracked through
+/// their lifetime. Under gcc (which has no such analysis) every macro
+/// expands to nothing, so the annotated tree compiles identically.
+///
+/// The annotations only bite on capability-annotated lock types —
+/// libstdc++'s std::mutex carries none — so the codebase locks through
+/// the geqo::Mutex / geqo::SharedMutex wrappers (common/mutex.h), which
+/// are also where the runtime lock-rank checker (analysis/lock_rank.h)
+/// hooks in. DESIGN.md §13 documents the conventions.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define GEQO_THREAD_ANNOTATION_(x) __has_attribute(x)
+#else
+#define GEQO_THREAD_ANNOTATION_(x) 0
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(capability)
+#define GEQO_CAPABILITY(x) __attribute__((capability(x)))
+#else
+#define GEQO_CAPABILITY(x)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(scoped_lockable)
+#define GEQO_SCOPED_CAPABILITY __attribute__((scoped_lockable))
+#else
+#define GEQO_SCOPED_CAPABILITY
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(guarded_by)
+#define GEQO_GUARDED_BY(x) __attribute__((guarded_by(x)))
+#else
+#define GEQO_GUARDED_BY(x)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(pt_guarded_by)
+#define GEQO_PT_GUARDED_BY(x) __attribute__((pt_guarded_by(x)))
+#else
+#define GEQO_PT_GUARDED_BY(x)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(acquired_before)
+#define GEQO_ACQUIRED_BEFORE(...) __attribute__((acquired_before(__VA_ARGS__)))
+#else
+#define GEQO_ACQUIRED_BEFORE(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(acquired_after)
+#define GEQO_ACQUIRED_AFTER(...) __attribute__((acquired_after(__VA_ARGS__)))
+#else
+#define GEQO_ACQUIRED_AFTER(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(requires_capability)
+#define GEQO_REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+#else
+#define GEQO_REQUIRES(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(requires_shared_capability)
+#define GEQO_REQUIRES_SHARED(...) \
+  __attribute__((requires_shared_capability(__VA_ARGS__)))
+#else
+#define GEQO_REQUIRES_SHARED(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(acquire_capability)
+#define GEQO_ACQUIRE(...) __attribute__((acquire_capability(__VA_ARGS__)))
+#else
+#define GEQO_ACQUIRE(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(acquire_shared_capability)
+#define GEQO_ACQUIRE_SHARED(...) \
+  __attribute__((acquire_shared_capability(__VA_ARGS__)))
+#else
+#define GEQO_ACQUIRE_SHARED(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(release_capability)
+#define GEQO_RELEASE(...) __attribute__((release_capability(__VA_ARGS__)))
+#else
+#define GEQO_RELEASE(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(release_shared_capability)
+#define GEQO_RELEASE_SHARED(...) \
+  __attribute__((release_shared_capability(__VA_ARGS__)))
+#else
+#define GEQO_RELEASE_SHARED(...)
+#endif
+
+// Scoped-guard destructors release "whatever mode was acquired";
+// release_generic_capability is the precise spelling where available,
+// with plain release as the fallback older clangs accept for scoped
+// capabilities.
+#if GEQO_THREAD_ANNOTATION_(release_generic_capability)
+#define GEQO_RELEASE_GENERIC(...) \
+  __attribute__((release_generic_capability(__VA_ARGS__)))
+#else
+#define GEQO_RELEASE_GENERIC(...) GEQO_RELEASE(__VA_ARGS__)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(try_acquire_capability)
+#define GEQO_TRY_ACQUIRE(...) \
+  __attribute__((try_acquire_capability(__VA_ARGS__)))
+#else
+#define GEQO_TRY_ACQUIRE(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(locks_excluded)
+#define GEQO_EXCLUDES(...) __attribute__((locks_excluded(__VA_ARGS__)))
+#else
+#define GEQO_EXCLUDES(...)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(assert_capability)
+#define GEQO_ASSERT_CAPABILITY(x) __attribute__((assert_capability(x)))
+#else
+#define GEQO_ASSERT_CAPABILITY(x)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(lock_returned)
+#define GEQO_LOCK_RETURNED(x) __attribute__((lock_returned(x)))
+#else
+#define GEQO_LOCK_RETURNED(x)
+#endif
+
+#if GEQO_THREAD_ANNOTATION_(no_thread_safety_analysis)
+#define GEQO_NO_THREAD_SAFETY_ANALYSIS \
+  __attribute__((no_thread_safety_analysis))
+#else
+#define GEQO_NO_THREAD_SAFETY_ANALYSIS
+#endif

@@ -26,8 +26,8 @@ size_t DefaultThreadCount() {
   return hardware;
 }
 
-std::mutex& GlobalPoolMutex() {
-  static std::mutex mu;
+Mutex& GlobalPoolMutex() {
+  static Mutex mu(analysis::LockRank::kGlobalPool);
   return mu;
 }
 
@@ -48,10 +48,10 @@ struct ThreadPool::ForState {
   const WorkerFn* fn = nullptr;
   std::atomic<size_t> worker_ids{0};
   std::atomic<size_t> pending{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::mutex error_mu;
-  std::exception_ptr error;
+  Mutex mu{analysis::LockRank::kPoolRegion};
+  std::condition_variable_any done_cv;
+  Mutex error_mu{analysis::LockRank::kPoolRegion};
+  std::exception_ptr error GEQO_GUARDED_BY(error_mu);
 };
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -64,7 +64,7 @@ ThreadPool::ThreadPool(size_t num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   cv_.notify_all();
@@ -77,8 +77,10 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      UniqueLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) {
+        cv_.wait(lock);
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -102,7 +104,7 @@ void ThreadPool::Drain(ForState* state) {
       for (size_t i = chunk_begin; i < chunk_end; ++i) (*state->fn)(worker, i);
     } catch (...) {
       {
-        std::lock_guard<std::mutex> lock(state->error_mu);
+        MutexLock lock(state->error_mu);
         if (!state->error) state->error = std::current_exception();
       }
       // Abandon remaining chunks; in-flight ones finish their iteration.
@@ -132,7 +134,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
   const auto enqueue_time = metered ? std::chrono::steady_clock::now()
                                     : std::chrono::steady_clock::time_point();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (size_t t = 0; t < helpers; ++t) {
       state->pending.fetch_add(1, std::memory_order_relaxed);
       queue_.emplace_back([state, metered, enqueue_time] {
@@ -146,7 +148,7 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
         }
         Drain(state.get());
         if (state->pending.fetch_sub(1) == 1) {
-          std::lock_guard<std::mutex> state_lock(state->mu);
+          MutexLock state_lock(state->mu);
           state->done_cv.notify_all();
         }
       });
@@ -164,10 +166,20 @@ void ThreadPool::ParallelFor(size_t begin, size_t end, const WorkerFn& fn,
   t_in_parallel_region = false;
 
   {
-    std::unique_lock<std::mutex> lock(state->mu);
-    state->done_cv.wait(lock, [&] { return state->pending.load() == 0; });
+    UniqueLock lock(state->mu);
+    while (state->pending.load() != 0) {
+      state->done_cv.wait(lock);
+    }
   }
-  if (state->error) std::rethrow_exception(state->error);
+  // The region is over (pending hit zero after every helper's error_mu
+  // critical section), so this read is ordered; take the lock anyway to
+  // keep the guarded-by contract unconditional.
+  std::exception_ptr error;
+  {
+    MutexLock lock(state->error_mu);
+    error = state->error;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 size_t ThreadPool::ParseThreadCount(const char* value,
@@ -193,7 +205,7 @@ size_t ThreadPool::ParseThreadCount(const char* value,
 }
 
 std::shared_ptr<ThreadPool> ThreadPool::GlobalPool() {
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   std::shared_ptr<ThreadPool>& pool = GlobalPoolSlot();
   if (!pool) pool = std::make_shared<ThreadPool>(DefaultThreadCount());
   return pool;
@@ -201,7 +213,7 @@ std::shared_ptr<ThreadPool> ThreadPool::GlobalPool() {
 
 void ThreadPool::SetGlobalThreads(size_t num_threads) {
   auto fresh = std::make_shared<ThreadPool>(std::max<size_t>(1, num_threads));
-  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  MutexLock lock(GlobalPoolMutex());
   GlobalPoolSlot().swap(fresh);
   // `fresh` now holds the old pool; it is destroyed here unless an in-flight
   // region still shares ownership.

@@ -6,10 +6,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <type_traits>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file thread_pool.h
 /// A persistent worker pool plus ParallelFor/ParallelMap helpers used by the
@@ -86,10 +88,12 @@ class ThreadPool {
   static void Drain(ForState* state);
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  /// Guards the task queue; ranks above the shard locks because parallel
+  /// regions are launched from under them (EMF scoring inside a probe).
+  Mutex mu_{analysis::LockRank::kThreadPool};
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_ GEQO_GUARDED_BY(mu_);
+  bool shutdown_ GEQO_GUARDED_BY(mu_) = false;
 };
 
 /// Runs fn(i) for i in [begin, end) on the global pool.

@@ -3,10 +3,12 @@
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file work_queue.h
 /// A bounded multi-producer / multi-consumer task queue for background
@@ -16,6 +18,11 @@
 /// from consumers: producers Push items and return immediately (blocking
 /// only at the capacity bound, the backpressure contract), while long-lived
 /// consumer threads Pop until Close.
+///
+/// Locking: one rank-checked mutex (LockRank::kWorkQueue) guards all queue
+/// state; every method is a self-contained critical section, so callers may
+/// hold any lower-ranked lock (AppendRecord pushes compaction requests
+/// while holding a WAL handle lock, rank kWalHandle).
 ///
 /// Lifecycle extras the async plane needs:
 ///   - WaitIdle(): block until the queue is empty AND every popped item has
@@ -34,7 +41,8 @@ class WorkQueue {
  public:
   /// \p capacity bounds the backlog; 0 means unbounded. Push blocks while
   /// the queue is at capacity (backpressure, never silent drops).
-  explicit WorkQueue(size_t capacity = 0) : capacity_(capacity) {}
+  explicit WorkQueue(size_t capacity = 0)
+      : capacity_(capacity), mu_(analysis::LockRank::kWorkQueue) {}
 
   WorkQueue(const WorkQueue&) = delete;
   WorkQueue& operator=(const WorkQueue&) = delete;
@@ -42,10 +50,10 @@ class WorkQueue {
   /// Enqueues \p item, blocking while full. Returns false (and drops the
   /// item) only after Close().
   bool Push(T item) {
-    std::unique_lock<std::mutex> lock(mu_);
-    space_cv_.wait(lock, [this] {
-      return closed_ || capacity_ == 0 || queue_.size() < capacity_;
-    });
+    UniqueLock lock(mu_);
+    while (!(closed_ || capacity_ == 0 || queue_.size() < capacity_)) {
+      space_cv_.wait(lock);
+    }
     if (closed_) return false;
     queue_.push_back(std::move(item));
     item_cv_.notify_one();
@@ -56,10 +64,10 @@ class WorkQueue {
   /// Returns nullopt once the queue is closed and drained. Every returned
   /// item counts as in-flight until the consumer calls TaskDone().
   std::optional<T> Pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    item_cv_.wait(lock, [this] {
-      return (closed_ || !queue_.empty()) && pause_count_ == 0;
-    });
+    UniqueLock lock(mu_);
+    while (!((closed_ || !queue_.empty()) && pause_count_ == 0)) {
+      item_cv_.wait(lock);
+    }
     if (queue_.empty()) return std::nullopt;  // closed and drained
     T item = std::move(queue_.front());
     queue_.pop_front();
@@ -70,7 +78,7 @@ class WorkQueue {
 
   /// Marks one popped item fully processed (side effects applied).
   void TaskDone() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     --in_flight_;
     // Notify on every idle transition, not only when the backlog is also
     // empty: Pause() waits for in_flight_ == 0 alone (the backlog may be
@@ -83,9 +91,10 @@ class WorkQueue {
   /// the backlog is externally drained — callers owning zero consumer
   /// threads should use SnapshotPending()/Pop-inline instead.
   void WaitIdle() {
-    std::unique_lock<std::mutex> lock(mu_);
-    idle_cv_.wait(lock,
-                  [this] { return queue_.empty() && in_flight_ == 0; });
+    UniqueLock lock(mu_);
+    while (!(queue_.empty() && in_flight_ == 0)) {
+      idle_cv_.wait(lock);
+    }
   }
 
   /// Stops handing items to consumers (Pop blocks; Push still accepted),
@@ -95,14 +104,16 @@ class WorkQueue {
   /// so two overlapping pause/snapshot/resume sections each see a frozen
   /// backlog for their whole extent.
   void Pause() {
-    std::unique_lock<std::mutex> lock(mu_);
+    UniqueLock lock(mu_);
     ++pause_count_;
-    idle_cv_.wait(lock, [this] { return in_flight_ == 0; });
+    while (in_flight_ != 0) {
+      idle_cv_.wait(lock);
+    }
   }
 
   /// Undoes one Pause(); consumers wake once every pause is matched.
   void Resume() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (pause_count_ > 0) --pause_count_;
     if (pause_count_ == 0) item_cv_.notify_all();
   }
@@ -110,40 +121,40 @@ class WorkQueue {
   /// The frozen backlog, oldest first. Meaningful while paused (or when the
   /// caller otherwise knows no consumer is active).
   std::vector<T> SnapshotPending() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return std::vector<T>(queue_.begin(), queue_.end());
   }
 
   /// Wakes all consumers to exit once the backlog drains; further Push
   /// calls are refused.
   void Close() {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
     item_cv_.notify_all();
     space_cv_.notify_all();
   }
 
   size_t size() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size();
   }
 
   /// Queued plus in-flight items — the quantity a drain must retire.
   size_t outstanding() const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     return queue_.size() + in_flight_;
   }
 
  private:
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::condition_variable item_cv_;   ///< items available (or closed)
-  std::condition_variable space_cv_;  ///< capacity available (or closed)
-  std::condition_variable idle_cv_;   ///< empty + nothing in flight
-  std::deque<T> queue_;
-  size_t in_flight_ = 0;
-  size_t pause_count_ = 0;
-  bool closed_ = false;
+  mutable Mutex mu_;
+  std::condition_variable_any item_cv_;   ///< items available (or closed)
+  std::condition_variable_any space_cv_;  ///< capacity available (or closed)
+  std::condition_variable_any idle_cv_;   ///< empty + nothing in flight
+  std::deque<T> queue_ GEQO_GUARDED_BY(mu_);
+  size_t in_flight_ GEQO_GUARDED_BY(mu_) = 0;
+  size_t pause_count_ GEQO_GUARDED_BY(mu_) = 0;
+  bool closed_ GEQO_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace geqo

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -73,6 +74,22 @@ class ColumnVector {
   bool is_view() const {
     return int_view_ != nullptr || double_view_ != nullptr ||
            string_view_ != nullptr;
+  }
+  /// Rows physically present in owned storage; nullopt for views (a
+  /// view's extent lives with the storage it points into and is not
+  /// recorded here). Used by exec::ValidateBatch to prove column-length
+  /// agreement with the owning batch's num_rows.
+  std::optional<size_t> owned_size() const {
+    if (is_view()) return std::nullopt;
+    switch (type_) {
+      case ValueType::kInt:
+        return own_ints_.size();
+      case ValueType::kDouble:
+        return own_doubles_.size();
+      case ValueType::kString:
+        return own_strings_.size();
+    }
+    return std::nullopt;
   }
 
   const int64_t* ints() const {

@@ -4,9 +4,11 @@
 #include <optional>
 #include <utility>
 
+#include "analysis/plan_validator.h"
 #include "common/hash.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "exec/validate.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/kernels/kernel_table.h"
@@ -942,6 +944,12 @@ Status CompiledQuery::RunPipeline(Pipeline* pipeline, size_t morsel_rows,
                                   ExecMetrics* metrics,
                                   std::vector<Batch>* final_out) {
   obs::Span span("exec.pipeline");
+  // Boundary validation, gated like GEQO_DCHECK (GEQO_VALIDATE / !NDEBUG):
+  // the wiring check runs once per pipeline, the batch check once per
+  // morsel after its op chain. When the gate is off both reduce to one
+  // cached-bool load, hoisted here so the hot lambda pays nothing.
+  DebugValidatePipeline(*pipeline, breakers_, "exec.RunPipeline");
+  const bool validate_batches = analysis::DebugValidationEnabled();
   const Source& source = pipeline->source;
   const size_t total_rows = source.kind == Source::Kind::kScan
                                 ? source.table->num_rows()
@@ -1042,6 +1050,9 @@ Status CompiledQuery::RunPipeline(Pipeline* pipeline, size_t morsel_rows,
               .Observe(len == 0 ? 0.0
                                : static_cast<double>(batch.ActiveRows()) /
                                      static_cast<double>(len));
+        }
+        if (validate_batches && status.ok()) {
+          DebugValidateBatch(batch, "exec.RunPipeline.morsel");
         }
         statuses[mi] = std::move(status);
         if (statuses[mi].ok()) results[mi] = std::move(batch);

@@ -1,0 +1,221 @@
+#include "exec/validate.h"
+
+#include <string>
+
+#include "analysis/plan_validator.h"
+#include "common/aligned.h"
+#include "common/check.h"
+
+namespace geqo::exec {
+
+namespace {
+
+std::string At(const std::string& context) {
+  return context.empty() ? std::string() : context;
+}
+
+/// The pointer the kernels (and gathers) would read from column \p col.
+const void* NumericData(const ColumnVector& col) {
+  switch (col.type()) {
+    case ValueType::kInt:
+      return col.ints();
+    case ValueType::kDouble:
+      return col.doubles();
+    case ValueType::kString:
+      return nullptr;  // strings are row-at-a-time; no alignment contract
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+void ValidateBatch(const Batch& batch, analysis::Diagnostics* out,
+                   const BatchValidationOptions& options,
+                   const std::string& context) {
+  if (batch.bindings.size() != batch.columns.size()) {
+    analysis::Report(out, "exec.batch.binding-arity",
+                     "batch carries " + std::to_string(batch.bindings.size()) +
+                         " bindings for " +
+                         std::to_string(batch.columns.size()) + " columns",
+                     At(context));
+  }
+  if (!batch.all) {
+    uint32_t prev = 0;
+    bool first = true;
+    for (size_t i = 0; i < batch.sel.size(); ++i) {
+      const uint32_t row = batch.sel[i];
+      if (row >= batch.num_rows) {
+        analysis::Report(
+            out, "exec.batch.sel-out-of-range",
+            "selection entry " + std::to_string(i) + " names physical row " +
+                std::to_string(row) + " of " + std::to_string(batch.num_rows),
+            At(context));
+        break;
+      }
+      if (!first && row <= prev) {
+        analysis::Report(
+            out, "exec.batch.sel-not-ascending",
+            "selection entry " + std::to_string(i) + " (row " +
+                std::to_string(row) +
+                ") does not ascend past its predecessor (row " +
+                std::to_string(prev) +
+                ") — operators and sinks assume a sorted, duplicate-free "
+                "selection",
+            At(context));
+        break;
+      }
+      prev = row;
+      first = false;
+    }
+  }
+  for (size_t c = 0; c < batch.columns.size(); ++c) {
+    const ColumnVector& col = batch.columns[c];
+    if (const auto owned = col.owned_size();
+        owned.has_value() && *owned < batch.num_rows) {
+      analysis::Report(out, "exec.batch.column-length",
+                       "column " + std::to_string(c) + " owns " +
+                           std::to_string(*owned) + " rows but the batch has " +
+                           std::to_string(batch.num_rows),
+                       At(context));
+    }
+    if (col.is_view() && !options.require_view_alignment) continue;
+    if (batch.num_rows == 0) continue;
+    const void* data = NumericData(col);
+    if (data != nullptr && !IsKernelAligned(data)) {
+      analysis::Report(out, "exec.batch.misaligned-column",
+                       "column " + std::to_string(c) +
+                           " storage is not aligned to the kernel boundary (" +
+                           std::to_string(kKernelAlignment) + " bytes)",
+                       At(context));
+    }
+  }
+}
+
+void ValidatePipeline(const Pipeline& pipeline,
+                      const std::vector<Breaker>& breakers,
+                      analysis::Diagnostics* out,
+                      const std::string& context) {
+  if (pipeline.source.kind == Source::Kind::kMaterialized &&
+      pipeline.source.breaker >= breakers.size()) {
+    analysis::Report(out, "exec.pipeline.source-breaker-range",
+                     "materialized source names breaker " +
+                         std::to_string(pipeline.source.breaker) + " of " +
+                         std::to_string(breakers.size()),
+                     At(context));
+  }
+  // Walk the op chain with the schema flowing into each op.
+  size_t incoming = pipeline.source_columns.size();
+  for (size_t i = 0; i < pipeline.ops.size(); ++i) {
+    const CompiledOp& op = pipeline.ops[i];
+    const std::string where =
+        context.empty() ? "op " + std::to_string(i)
+                        : context + ", op " + std::to_string(i);
+    const bool probes = op.tag == CompiledOp::Tag::kHashProbe ||
+                        op.tag == CompiledOp::Tag::kNlProbe;
+    if (probes && op.breaker >= breakers.size()) {
+      analysis::Report(out, "exec.pipeline.op-breaker-range",
+                       "probe names breaker " + std::to_string(op.breaker) +
+                           " of " + std::to_string(breakers.size()),
+                       where);
+      incoming = op.out_columns.size();
+      continue;
+    }
+    switch (op.tag) {
+      case CompiledOp::Tag::kProject:
+        if (op.out_columns.size() != op.outputs.size()) {
+          analysis::Report(out, "exec.pipeline.project-arity",
+                           "projection emits " +
+                               std::to_string(op.out_columns.size()) +
+                               " columns for " +
+                               std::to_string(op.outputs.size()) +
+                               " output expressions",
+                           where);
+        }
+        break;
+      case CompiledOp::Tag::kHashProbe: {
+        const Breaker& build = breakers[op.breaker];
+        if (op.probe_key < 0 || static_cast<size_t>(op.probe_key) >= incoming ||
+            op.build_key < 0 ||
+            static_cast<size_t>(op.build_key) >= build.columns.size()) {
+          analysis::Report(
+              out, "exec.pipeline.probe-key-range",
+              "hash probe keys (probe " + std::to_string(op.probe_key) +
+                  ", build " + std::to_string(op.build_key) +
+                  ") fall outside their schemas (" + std::to_string(incoming) +
+                  " probe-side, " + std::to_string(build.columns.size()) +
+                  " build-side columns)",
+              where);
+        } else if (!build.hashed || build.hash_key != op.build_key) {
+          analysis::Report(
+              out, "exec.pipeline.unhashed-build",
+              "hash probe expects breaker " + std::to_string(op.breaker) +
+                  " hashed on key " + std::to_string(op.build_key) +
+                  " but it is " +
+                  (build.hashed
+                       ? "hashed on key " + std::to_string(build.hash_key)
+                       : "not hashed"),
+              where);
+        }
+        break;
+      }
+      case CompiledOp::Tag::kFilter:
+      case CompiledOp::Tag::kNlProbe:
+        break;
+    }
+    incoming = op.out_columns.size();
+  }
+  if (incoming != pipeline.final_columns.size()) {
+    analysis::Report(out, "exec.pipeline.final-schema",
+                     "last op emits " + std::to_string(incoming) +
+                         " columns but " +
+                         std::to_string(pipeline.final_columns.size()) +
+                         " enter the sink",
+                     At(context));
+  }
+  const Sink& sink = pipeline.sink;
+  if ((sink.kind == Sink::Kind::kBuild ||
+       sink.kind == Sink::Kind::kAggregate) &&
+      sink.breaker >= breakers.size()) {
+    analysis::Report(out, "exec.pipeline.sink-breaker-range",
+                     "sink names breaker " + std::to_string(sink.breaker) +
+                         " of " + std::to_string(breakers.size()),
+                     At(context));
+  }
+  if (sink.kind == Sink::Kind::kAggregate) {
+    const AggregateSpec& spec = sink.aggregate;
+    const size_t expected =
+        spec.group_by.size() + spec.aggregates.size();
+    if (spec.out_columns.size() != expected) {
+      analysis::Report(out, "exec.pipeline.aggregate-arity",
+                       "aggregate sink emits " +
+                           std::to_string(spec.out_columns.size()) +
+                           " columns for " +
+                           std::to_string(spec.group_by.size()) + " keys + " +
+                           std::to_string(spec.aggregates.size()) +
+                           " aggregates",
+                       At(context));
+    }
+  }
+}
+
+void DebugValidateBatch(const Batch& batch, const char* boundary) {
+  if (!analysis::DebugValidationEnabled()) return;
+  analysis::Diagnostics diagnostics;
+  ValidateBatch(batch, &diagnostics);
+  GEQO_CHECK(diagnostics.empty())
+      << "invalid exec batch at boundary " << boundary << ":\n"
+      << analysis::FormatDiagnostics(diagnostics);
+}
+
+void DebugValidatePipeline(const Pipeline& pipeline,
+                           const std::vector<Breaker>& breakers,
+                           const char* boundary) {
+  if (!analysis::DebugValidationEnabled()) return;
+  analysis::Diagnostics diagnostics;
+  ValidatePipeline(pipeline, breakers, &diagnostics);
+  GEQO_CHECK(diagnostics.empty())
+      << "invalid exec pipeline at boundary " << boundary << ":\n"
+      << analysis::FormatDiagnostics(diagnostics);
+}
+
+}  // namespace geqo::exec

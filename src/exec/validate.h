@@ -1,0 +1,80 @@
+#pragma once
+
+#include <vector>
+
+#include "analysis/diagnostics.h"
+#include "exec/batch.h"
+#include "exec/pipeline.h"
+
+/// \file validate.h
+/// Exec-batch and pipeline invariant validation — the executor-side member
+/// of the PR 5 validator family (analysis/plan_validator.h). The always-on
+/// Validate* functions return structured diagnostics with stable exec.*
+/// codes; the Debug* wrappers run at morsel boundaries behind the same
+/// GEQO_VALIDATE switch as plan validation (analysis::
+/// DebugValidationEnabled) and abort with formatted findings, so a batch
+/// that violates the columnar contract dies at the boundary that produced
+/// it instead of corrupting a sink three operators later.
+///
+/// Invariants checked (codes in parentheses):
+///   Batch:
+///     - bindings and columns agree in arity (exec.batch.binding-arity)
+///     - a non-all selection vector is strictly ascending — sorted and
+///       duplicate-free, the order every operator and sink assumes
+///       (exec.batch.sel-not-ascending) — and stays inside the physical
+///       row count (exec.batch.sel-out-of-range)
+///     - owned columns physically hold num_rows rows; view extents are
+///       not recorded and cannot be checked (exec.batch.column-length)
+///     - owned numeric column storage sits on the kernel alignment
+///       boundary, kKernelAlignment = 32 (exec.batch.misaligned-column).
+///       Views are exempt by default: a zero-copy scan of morsel k points
+///       at row offset k*morsel_rows, which lands off-boundary by design;
+///       BatchValidationOptions::require_view_alignment tightens this for
+///       dense interchange batches.
+///   Pipeline wiring (against the compiled query's breaker table):
+///     - materialized sources, probe ops, and build/aggregate sinks name
+///       an existing breaker (exec.pipeline.source-breaker-range,
+///       exec.pipeline.op-breaker-range, exec.pipeline.sink-breaker-range)
+///     - hash probes carry in-range keys on both sides and their build
+///       breaker was hashed on the same key
+///       (exec.pipeline.probe-key-range, exec.pipeline.unhashed-build)
+///     - projections emit one column per output expression
+///       (exec.pipeline.project-arity)
+///     - the last op's schema is the schema entering the sink
+///       (exec.pipeline.final-schema), and an aggregate sink's output
+///       arity is group-by keys plus aggregates
+///       (exec.pipeline.aggregate-arity)
+
+namespace geqo::exec {
+
+struct BatchValidationOptions {
+  /// Also require view columns to be kernel-aligned (dense interchange
+  /// batches only — morsel-offset scan views legitimately are not).
+  bool require_view_alignment = false;
+};
+
+/// Appends a diagnostic per violated batch invariant; empty means valid.
+/// \p context names the batch's origin in reports (e.g. "pipeline 2
+/// morsel 7").
+void ValidateBatch(const Batch& batch, analysis::Diagnostics* out,
+                   const BatchValidationOptions& options = {},
+                   const std::string& context = {});
+
+/// Appends a diagnostic per pipeline wiring violation; \p breakers is the
+/// owning CompiledQuery's breaker table.
+void ValidatePipeline(const Pipeline& pipeline,
+                      const std::vector<Breaker>& breakers,
+                      analysis::Diagnostics* out,
+                      const std::string& context = {});
+
+/// Aborts (GEQO_CHECK) with formatted diagnostics when debug validation
+/// is enabled and \p batch violates the columnar contract. \p boundary
+/// names the execution edge, e.g. "exec.RunPipeline.morsel".
+void DebugValidateBatch(const Batch& batch, const char* boundary);
+
+/// As DebugValidateBatch, for pipeline wiring ahead of execution.
+void DebugValidatePipeline(const Pipeline& pipeline,
+                           const std::vector<Breaker>& breakers,
+                           const char* boundary);
+
+}  // namespace geqo::exec

@@ -5,10 +5,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 /// \file metrics.h
 /// The process-wide metrics registry behind the GEqO observability layer
@@ -156,10 +158,16 @@ class MetricsRegistry {
   void Reset();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  /// Guards only the name -> handle maps; the handles themselves are
+  /// atomic-based and updated lock-free after creation. Ranks above the
+  /// pool and WAL locks (gauges update from under both).
+  mutable Mutex mu_{analysis::LockRank::kObsRegistry};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      GEQO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      GEQO_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      GEQO_GUARDED_BY(mu_);
 };
 
 }  // namespace geqo::obs

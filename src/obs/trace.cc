@@ -42,7 +42,7 @@ Tracer::Buffer& Tracer::LocalBuffer() {
   ThreadState& state = LocalState();
   if (state.buffer == nullptr) {
     state.buffer = std::make_shared<Buffer>();
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     state.thread_id = next_thread_id_++;
     buffers_.push_back(state.buffer);
   }
@@ -52,12 +52,12 @@ Tracer::Buffer& Tracer::LocalBuffer() {
 std::vector<SpanEvent> Tracer::Collect() const {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   std::vector<SpanEvent> all;
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     all.insert(all.end(), buffer->events.begin(), buffer->events.end());
   }
   std::sort(all.begin(), all.end(), [](const SpanEvent& a, const SpanEvent& b) {
@@ -70,11 +70,11 @@ std::vector<SpanEvent> Tracer::Collect() const {
 void Tracer::Reset() {
   std::vector<std::shared_ptr<Buffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buffer : buffers) {
-    std::lock_guard<std::mutex> lock(buffer->mu);
+    MutexLock lock(buffer->mu);
     buffer->events.clear();
   }
 }
@@ -100,7 +100,7 @@ Span::~Span() {
   event.start_us = start_us_;
   event.duration_us = end_us - start_us_;
   Tracer::Buffer& buffer = *state.buffer;
-  std::lock_guard<std::mutex> lock(buffer.mu);
+  MutexLock lock(buffer.mu);
   buffer.events.push_back(std::move(event));
 }
 

@@ -2,7 +2,6 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -56,9 +55,11 @@ class Span {
 class Tracer {
  public:
   /// Per-thread event sink; shared-owned so worker spans outlive the worker.
+  /// The buffer lock is a near-leaf: spans close from under shard, store,
+  /// and pool locks, so only kStatus/kKillPoint rank above it.
   struct Buffer {
-    mutable std::mutex mu;
-    std::vector<SpanEvent> events;
+    mutable Mutex mu{analysis::LockRank::kObsTraceBuffer};
+    std::vector<SpanEvent> events GEQO_GUARDED_BY(mu);
   };
 
   static Tracer& Global();
@@ -79,9 +80,9 @@ class Tracer {
   /// The calling thread's buffer, registering it on first use.
   Buffer& LocalBuffer();
 
-  mutable std::mutex mu_;
-  std::vector<std::shared_ptr<Buffer>> buffers_;
-  uint64_t next_thread_id_ = 0;
+  mutable Mutex mu_{analysis::LockRank::kObsTracer};
+  std::vector<std::shared_ptr<Buffer>> buffers_ GEQO_GUARDED_BY(mu_);
+  uint64_t next_thread_id_ GEQO_GUARDED_BY(mu_) = 0;
 };
 
 /// Chrome trace-event JSON (chrome://tracing / Perfetto): one ph:"X"

@@ -232,7 +232,7 @@ Result<std::unique_ptr<CatalogStore>> CatalogStore::OpenImpl(
     // Both paths end the same way: open a fresh log generation, publish
     // the manifest naming it, and collect whatever that manifest orphans
     // (pre-crash bases, unpublished generations, tmp files).
-    std::lock_guard<std::mutex> lock(store->store_mu_);
+    MutexLock lock(store->store_mu_);
     GEQO_RETURN_NOT_OK(store->RotateLocked(/*relog_pending=*/false));
     store->CollectGarbageLocked();
   }
@@ -249,7 +249,7 @@ Result<std::unique_ptr<CatalogStore>> CatalogStore::OpenImpl(
     GEQO_ASSIGN_OR_RETURN(
         auto tasks, store->sharded_->BuildRecoveredTasks(pending_pairs, &kept));
     {
-      std::lock_guard<std::mutex> lock(store->pending_mu_);
+      MutexLock lock(store->pending_mu_);
       for (const auto& task : tasks) {
         for (const auto& [query, member] : task.logged_pairs) {
           store->outstanding_pending_.insert({task.shard, query, member});
@@ -554,7 +554,7 @@ Status CatalogStore::RotateLocked(bool relog_pending) {
   GEQO_RETURN_NOT_OK(WriteManifest(dir_, next));
   manifest_ = std::move(next);
   for (uint64_t s = 0; s < num_shards_; ++s) {
-    std::lock_guard<std::mutex> lock(handles_[s]->mu);
+    MutexLock lock(handles_[s]->mu);
     handles_[s]->writer = std::move(writers[s]);
   }
   if (relog_pending) {
@@ -564,12 +564,12 @@ Status CatalogStore::RotateLocked(bool relog_pending) {
     // just appended are deduped at replay.
     std::vector<PendingKey> outstanding;
     {
-      std::lock_guard<std::mutex> lock(pending_mu_);
+      MutexLock lock(pending_mu_);
       outstanding.assign(outstanding_pending_.begin(),
                          outstanding_pending_.end());
     }
     for (const auto& [shard, query, member] : outstanding) {
-      std::lock_guard<std::mutex> lock(handles_[shard]->mu);
+      MutexLock lock(handles_[shard]->mu);
       GEQO_RETURN_NOT_OK(handles_[shard]->writer->Append(
           WalRecord::Pending(query, member), durability_.flush_each_append));
     }
@@ -614,13 +614,13 @@ Status CatalogStore::Checkpoint() {
   obs::Span span("persist.Checkpoint");
   Stopwatch watch;
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     if (closed_) {
       return Status::InvalidArgument("checkpoint on a closed catalog store");
     }
     bool any_records = false;
     for (const auto& handle : handles_) {
-      std::lock_guard<std::mutex> hl(handle->mu);
+      MutexLock hl(handle->mu);
       if (handle->writer == nullptr) continue;
       const Status status = handle->writer->Sync();
       if (!status.ok()) {
@@ -661,12 +661,12 @@ Status CatalogStore::Checkpoint() {
 
 Status CatalogStore::Compact() {
   obs::Span span("persist.Compact");
-  std::lock_guard<std::mutex> compact_lock(compact_mu_);
+  MutexLock compact_lock(compact_mu_);
   Stopwatch watch;
   uint64_t new_base_id = 0;
   std::vector<uint64_t> sealed;
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     if (closed_) {
       return Status::InvalidArgument("compact on a closed catalog store");
     }
@@ -696,7 +696,7 @@ Status CatalogStore::Compact() {
       dir_ + "/" + BaseSegmentFileName(new_base_id), base_bytes.str()));
   KillPoint("compact-pre-manifest");
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     if (closed_) {
       return Status::InvalidArgument("store closed during compaction");
     }
@@ -727,7 +727,7 @@ Status CatalogStore::Compact() {
 
 Status CatalogStore::Close() {
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     if (closed_) return status();
   }
   // Order matters: stop the compaction worker (it dereferences the
@@ -739,9 +739,9 @@ Status CatalogStore::Close() {
   sharded_.reset();
   single_.reset();
   {
-    std::lock_guard<std::mutex> lock(store_mu_);
+    MutexLock lock(store_mu_);
     for (const auto& handle : handles_) {
-      std::lock_guard<std::mutex> hl(handle->mu);
+      MutexLock hl(handle->mu);
       if (handle->writer != nullptr) {
         LatchError(handle->writer->Sync());
         handle->writer.reset();
@@ -759,7 +759,7 @@ Status CatalogStore::ExportSnapshot(std::ostream& os) const {
 }
 
 Status CatalogStore::status() const {
-  std::lock_guard<std::mutex> lock(status_mu_);
+  MutexLock lock(status_mu_);
   return first_error_;
 }
 
@@ -780,7 +780,7 @@ CatalogStoreStats CatalogStore::stats() const {
 
 void CatalogStore::LatchError(const Status& status) {
   if (status.ok()) return;
-  std::lock_guard<std::mutex> lock(status_mu_);
+  MutexLock lock(status_mu_);
   if (first_error_.ok()) {
     first_error_ = status;
     GEQO_LOG(kError) << "catalog store " << dir_
@@ -790,7 +790,7 @@ void CatalogStore::LatchError(const Status& status) {
 
 void CatalogStore::AppendRecord(size_t shard, const WalRecord& record) {
   WalHandle& handle = *handles_[shard];
-  std::lock_guard<std::mutex> lock(handle.mu);
+  MutexLock lock(handle.mu);
   if (handle.writer == nullptr) {
     LatchError(Status::Internal("journal append after Close"));
     return;
@@ -853,7 +853,7 @@ void CatalogStore::OnPending(size_t shard, uint64_t query_gid,
     // Into the outstanding set *before* the append: a rotation between
     // the two would otherwise drop the pair from its re-log sweep while
     // the record lands in a generation about to be sealed.
-    std::lock_guard<std::mutex> lock(pending_mu_);
+    MutexLock lock(pending_mu_);
     outstanding_pending_.insert({shard, query_gid, member_gid});
   }
   AppendRecord(shard, WalRecord::Pending(query_gid, member_gid));
@@ -861,7 +861,7 @@ void CatalogStore::OnPending(size_t shard, uint64_t query_gid,
 
 void CatalogStore::OnPendingResolved(size_t shard, uint64_t query_gid,
                                      uint64_t member_gid) {
-  std::lock_guard<std::mutex> lock(pending_mu_);
+  MutexLock lock(pending_mu_);
   outstanding_pending_.erase({shard, query_gid, member_gid});
 }
 

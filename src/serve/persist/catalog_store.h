@@ -4,15 +4,16 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
 #include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "common/work_queue.h"
 #include "serve/equivalence_catalog.h"
 #include "serve/persist/journal.h"
@@ -188,11 +189,13 @@ class CatalogStore final : public CatalogJournal {
 
  private:
   /// One live log partition. handle.mu orders appends against the writer
-  /// swap a rotation performs; it is a leaf lock (nothing is acquired
-  /// under it).
+  /// swap a rotation performs. Nothing blocking is acquired under it
+  /// except the compaction queue's own lock (rank kWalHandle <
+  /// kWorkQueue: AppendRecord pushes a compaction request while holding
+  /// the handle).
   struct WalHandle {
-    std::mutex mu;
-    std::unique_ptr<WalWriter> writer;
+    Mutex mu{analysis::LockRank::kWalHandle};
+    std::unique_ptr<WalWriter> writer GEQO_GUARDED_BY(mu);
   };
 
   /// (shard, query gid, member gid) — a journaled pending pair not yet
@@ -220,12 +223,10 @@ class CatalogStore final : public CatalogJournal {
   /// Creates generation next_file_id (one partition per shard), publishes
   /// the manifest naming it, and swaps the live writers. With \p
   /// relog_pending, outstanding pending pairs are re-appended into the
-  /// fresh generation (the step that makes compaction safe). Caller holds
-  /// store_mu_.
-  Status RotateLocked(bool relog_pending);
+  /// fresh generation (the step that makes compaction safe).
+  Status RotateLocked(bool relog_pending) GEQO_REQUIRES(store_mu_);
   /// Deletes every schema-matching file the manifest does not name.
-  /// Caller holds store_mu_.
-  void CollectGarbageLocked();
+  void CollectGarbageLocked() GEQO_REQUIRES(store_mu_);
   void AppendRecord(size_t shard, const WalRecord& record);
   void LatchError(const Status& status);
   void MaybeScheduleCompaction();
@@ -243,21 +244,26 @@ class CatalogStore final : public CatalogJournal {
   std::unique_ptr<ShardedCatalog> sharded_;
 
   /// Guards manifest_ and rotation/compaction manifest edits. Lock order:
-  /// store_mu_ -> handle.mu; journal hooks take only handle.mu (they run
-  /// under a shard lock and must never wait on a compaction).
-  mutable std::mutex store_mu_;
-  ManifestState manifest_;
+  /// store_mu_ -> handle.mu (ranks kStore < kWalHandle); journal hooks
+  /// take only handle.mu (they run under a shard lock and must never wait
+  /// on a compaction).
+  mutable Mutex store_mu_{analysis::LockRank::kStore};
+  ManifestState manifest_ GEQO_GUARDED_BY(store_mu_);
+  /// The vector itself is fixed after Open (only the per-handle writers
+  /// swap, under each handle's own mu).
   std::vector<std::unique_ptr<WalHandle>> handles_;
-  bool closed_ = false;
+  bool closed_ GEQO_GUARDED_BY(store_mu_) = false;
 
-  std::mutex pending_mu_;
-  std::set<PendingKey> outstanding_pending_;
+  Mutex pending_mu_{analysis::LockRank::kPendingSet};
+  std::set<PendingKey> outstanding_pending_ GEQO_GUARDED_BY(pending_mu_);
 
-  mutable std::mutex status_mu_;
-  Status first_error_;
+  mutable Mutex status_mu_{analysis::LockRank::kStatus};
+  Status first_error_ GEQO_GUARDED_BY(status_mu_);
 
-  /// Serializes compactions (worker vs explicit Compact()).
-  std::mutex compact_mu_;
+  /// Serializes compactions (worker vs explicit Compact()). Ranks below
+  /// everything else here: a compaction takes store_mu_, shard locks, and
+  /// handle locks while holding it.
+  Mutex compact_mu_{analysis::LockRank::kCompaction};
   WorkQueue<int> compact_queue_;
   std::thread compact_worker_;
   std::atomic<bool> compaction_scheduled_{false};

@@ -6,19 +6,22 @@
 #include <mutex>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 #include <unistd.h>
 
 namespace geqo::serve::persist {
 
 namespace {
 
-std::mutex g_mu;
-std::string g_name;                   ///< armed point; empty = disarmed
+Mutex g_mu(analysis::LockRank::kKillPoint);  ///< leaf: fires under any lock
+std::string g_name GEQO_GUARDED_BY(g_mu);    ///< armed point; empty = disarmed
 std::atomic<int> g_remaining{0};      ///< hits left before firing
 std::atomic<bool> g_armed{false};     ///< fast-path gate
 std::once_flag g_env_once;
 
-void ArmLocked(const char* name, int hits) {
+void ArmLocked(const char* name, int hits) GEQO_REQUIRES(g_mu) {
   g_name = name == nullptr ? "" : name;
   g_remaining.store(hits, std::memory_order_relaxed);
   g_armed.store(!g_name.empty() && hits > 0, std::memory_order_release);
@@ -33,7 +36,7 @@ void ArmFromEnv() {
     hits = std::atoi(name.c_str() + colon + 1);
     name.resize(colon);
   }
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   ArmLocked(name.c_str(), hits);
 }
 
@@ -43,14 +46,14 @@ void SetKillPoint(const char* name, int hits) {
   // Resolve the env arming first so a later env read cannot clobber a
   // test's explicit SetKillPoint.
   std::call_once(g_env_once, ArmFromEnv);
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   ArmLocked(name, hits);
 }
 
 void KillPoint(const char* name) {
   std::call_once(g_env_once, ArmFromEnv);
   if (!g_armed.load(std::memory_order_acquire)) return;
-  std::lock_guard<std::mutex> lock(g_mu);
+  MutexLock lock(g_mu);
   if (g_name != name) return;
   if (g_remaining.fetch_sub(1, std::memory_order_relaxed) > 1) return;
   // Die like SIGKILL: no atexit handlers, no buffered-stream flushes —

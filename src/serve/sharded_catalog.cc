@@ -9,7 +9,6 @@
 
 #include <algorithm>
 #include <map>
-#include <mutex>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -94,6 +93,29 @@ class ScopedIdleSched {
 
 }  // namespace
 
+/// Holds every shard's shared lock, acquired in index order so concurrent
+/// exports cannot deadlock (kShard is the one same-rank-nestable rank in
+/// the lattice — see analysis/lock_rank.h). The static analysis cannot
+/// model a dynamically sized lock set, so acquisition opts out; the
+/// runtime rank checker still validates each lock_shared on every run.
+class ShardedCatalog::AllShardsReadLock {
+ public:
+  explicit AllShardsReadLock(const std::vector<std::unique_ptr<Shard>>& shards)
+      GEQO_NO_THREAD_SAFETY_ANALYSIS : shards_(shards) {
+    for (const auto& shard : shards_) shard->mu.lock_shared();
+  }
+  ~AllShardsReadLock() GEQO_NO_THREAD_SAFETY_ANALYSIS {
+    for (auto it = shards_.rbegin(); it != shards_.rend(); ++it) {
+      (*it)->mu.unlock_shared();
+    }
+  }
+  AllShardsReadLock(const AllShardsReadLock&) = delete;
+  AllShardsReadLock& operator=(const AllShardsReadLock&) = delete;
+
+ private:
+  const std::vector<std::unique_ptr<Shard>>& shards_;
+};
+
 Status ShardedCatalogOptions::Validate() const {
   GEQO_RETURN_NOT_OK(catalog.Validate());
   if (num_shards == 0) {
@@ -135,11 +157,15 @@ ShardedCatalog::ShardedCatalog(const Catalog* db_catalog, ml::EmfModel* model,
   shards_.reserve(options_.num_shards);
   for (size_t i = 0; i < options_.num_shards; ++i) {
     auto shard = std::make_unique<Shard>();
+    WriterLock lock(shard->mu);  // pre-publication, but keeps TSA unconditional
     shard->catalog = std::make_unique<EquivalenceCatalog>(
         db_catalog_, model_, instance_layout_, agnostic_layout_, value_range_,
         options_.catalog);
     shards_.push_back(std::move(shard));
   }
+  prep_ = std::make_unique<EquivalenceCatalog>(
+      db_catalog_, model_, instance_layout_, agnostic_layout_, value_range_,
+      options_.catalog);
   workers_.reserve(options_.verifier_threads);
   for (size_t i = 0; i < options_.verifier_threads; ++i) {
     workers_.emplace_back(&ShardedCatalog::WorkerLoop, this);
@@ -180,14 +206,14 @@ Result<size_t> ShardedCatalog::CommitAdd(PreparedAdd prepared) {
   const uint64_t canonical_hash = prepared.query.canonical_hash;
   const uint64_t check_hash = prepared.query.check_hash;
   Shard& shard = *shards_[sid];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterLock lock(shard.mu);
   GEQO_ASSIGN_OR_RETURN(
       const size_t local,
       shard.catalog->AddWithEmbedding(std::move(prepared.query),
                                       prepared.embedding));
   size_t gid = 0;
   {
-    std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+    WriterLock map_lock(map_mu_);
     gid = global_map_.size();
     global_map_.emplace_back(sid, local);
   }
@@ -325,7 +351,7 @@ Result<ShardedProbeResult> ShardedCatalog::Probe(const PlanPtr& plan) {
   EquivalenceCatalog::ReadProbeResult read;
   std::vector<VerifyTask> tasks;
   {
-    std::shared_lock<std::shared_mutex> lock(shard.mu);
+    ReaderLock lock(shard.mu);
     GEQO_ASSIGN_OR_RETURN(read, shard.catalog->ProbeReadOnly(*prepared));
     TranslateLocked(shard, sid, read, &result);
     result.pending_classes = read.pending.size();
@@ -377,7 +403,7 @@ Result<ShardedProbeAddResult> ShardedCatalog::ProbeAdd(const PlanPtr& plan) {
   {
     // Probe + insert + sync unions as one exclusive critical section on the
     // routed shard: the probe's verdicts and the join set stay consistent.
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     GEQO_ASSIGN_OR_RETURN(read, shard.catalog->ProbeReadOnly(prepared->query));
     std::set<size_t> roots;
     for (const size_t id : read.proven_ids) {
@@ -387,7 +413,7 @@ Result<ShardedProbeAddResult> ShardedCatalog::ProbeAdd(const PlanPtr& plan) {
         local, shard.catalog->AddWithEmbedding(std::move(prepared->query),
                                                prepared->embedding));
     {
-      std::unique_lock<std::shared_mutex> map_lock(map_mu_);
+      WriterLock map_lock(map_mu_);
       result.id = global_map_.size();
       global_map_.emplace_back(sid, local);
     }
@@ -451,7 +477,7 @@ void ShardedCatalog::ProcessTask(const VerifyTask& task,
     PlanPtr entry_plan;
     std::optional<EquivalenceVerdict> verdict;
     {
-      std::shared_lock<std::shared_mutex> lock(shard.mu);
+      ReaderLock lock(shard.mu);
       const auto& entry = shard.catalog->entries_[id];
       memo_key = MakeCheckedPair(task.query_hash, task.query_check,
                                  entry.canonical_hash, entry.check_hash);
@@ -474,7 +500,7 @@ void ShardedCatalog::ProcessTask(const VerifyTask& task,
         ScopedIdleSched idle(idle_proofs);
         return verifier.CheckEquivalence(task.query_plan, entry_plan);
       }();
-      std::unique_lock<std::shared_mutex> lock(shard.mu);
+      WriterLock lock(shard.mu);
       shard.catalog->memo_.Insert(memo_key.key, memo_key.check, proved);
       if (journal_ != nullptr) {
         journal_->OnVerdict(task.shard, memo_key.key.lo, memo_key.key.hi,
@@ -493,7 +519,7 @@ void ShardedCatalog::ProcessTask(const VerifyTask& task,
       task.query_local != kNoEntry) {
     // The query is itself an entry (ProbeAdd): fold the proof into the
     // shard's class forest, upgrading what later probes see.
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     if (shard.catalog->classes_.Union(task.query_local, decided_member)) {
       async_unions_.fetch_add(1, std::memory_order_relaxed);
       if (journal_ != nullptr) {
@@ -527,7 +553,7 @@ void ShardedCatalog::DrainPendingVerifications() {
   }
   // Deferred mode: process the backlog inline. drain_mu_ makes this the
   // queue's only consumer, so size() > 0 guarantees Pop() will not block.
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   if (!drain_verifier_) {
     drain_verifier_ = std::make_unique<SpesVerifier>(
         db_catalog_, options_.catalog.pipeline.verifier);
@@ -542,14 +568,14 @@ void ShardedCatalog::DrainPendingVerifications() {
 }
 
 size_t ShardedCatalog::size() const {
-  std::shared_lock<std::shared_mutex> lock(map_mu_);
+  ReaderLock lock(map_mu_);
   return global_map_.size();
 }
 
 size_t ShardedCatalog::NumClasses() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    ReaderLock lock(shard->mu);
     total += shard->catalog->NumClasses();
   }
   return total;
@@ -558,7 +584,7 @@ size_t ShardedCatalog::NumClasses() const {
 size_t ShardedCatalog::memo_size() const {
   size_t total = 0;
   for (const auto& shard : shards_) {
-    std::shared_lock<std::shared_mutex> lock(shard->mu);
+    ReaderLock lock(shard->mu);
     total += shard->catalog->memo_size();
   }
   return total;
@@ -567,12 +593,12 @@ size_t ShardedCatalog::memo_size() const {
 std::vector<size_t> ShardedCatalog::ClassMembers(size_t gid) const {
   std::pair<size_t, size_t> slot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     GEQO_CHECK(gid < global_map_.size());
     slot = global_map_[gid];
   }
   const Shard& shard = *shards_[slot.first];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderLock lock(shard.mu);
   std::vector<size_t> members;
   for (const size_t local : shard.catalog->ClassMembers(slot.second)) {
     members.push_back(shard.to_global[local]);
@@ -583,24 +609,24 @@ std::vector<size_t> ShardedCatalog::ClassMembers(size_t gid) const {
 size_t ShardedCatalog::ClassOf(size_t gid) const {
   std::pair<size_t, size_t> slot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     GEQO_CHECK(gid < global_map_.size());
     slot = global_map_[gid];
   }
   const Shard& shard = *shards_[slot.first];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderLock lock(shard.mu);
   return shard.to_global[shard.catalog->ClassOf(slot.second)];
 }
 
 PlanPtr ShardedCatalog::plan(size_t gid) const {
   std::pair<size_t, size_t> slot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     GEQO_CHECK(gid < global_map_.size());
     slot = global_map_[gid];
   }
   const Shard& shard = *shards_[slot.first];
-  std::shared_lock<std::shared_mutex> lock(shard.mu);
+  ReaderLock lock(shard.mu);
   return shard.catalog->plan(slot.second);
 }
 
@@ -697,10 +723,8 @@ Status ShardedCatalog::ExportSnapshot(std::ostream& os) const {
     const std::vector<VerifyTask> pending = queue_.SnapshotPending();
     // Lock every shard (index order, so concurrent exports cannot deadlock)
     // plus the global map for one consistent cross-shard view.
-    std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
-    shard_locks.reserve(shards_.size());
-    for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
-    std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+    AllShardsReadLock shard_locks(shards_);
+    ReaderLock map_lock(map_mu_);
     return WriteSnapshotLocked(os, &pending);
   }();
   queue_.Resume();
@@ -713,10 +737,8 @@ Status ShardedCatalog::ExportBase(std::ostream& os,
   // No queue pause: the backlog is not captured (the store's delta log
   // carries it), so probes and the verifier plane keep running while the
   // base serializes under shared locks; only adds briefly block.
-  std::vector<std::shared_lock<std::shared_mutex>> shard_locks;
-  shard_locks.reserve(shards_.size());
-  for (const auto& shard : shards_) shard_locks.emplace_back(shard->mu);
-  std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+  AllShardsReadLock shard_locks(shards_);
+  ReaderLock map_lock(map_mu_);
   if (entry_count != nullptr) *entry_count = global_map_.size();
   return WriteSnapshotLocked(os, nullptr);
 }
@@ -778,15 +800,21 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::ImportSnapshot(
   GEQO_RETURN_NOT_OK(catalog->options_status_);
 
   // Split the global plan list into per-shard lists (local order == global
-  // order restricted to the shard) and rebuild both id maps.
+  // order restricted to the shard) and rebuild both id maps. Everything is
+  // staged in locals and installed under the proper locks only once the
+  // whole snapshot has validated — no guarded member is ever written (or
+  // read, for the pending tail below) without its lock.
   std::vector<std::vector<PlanPtr>> shard_plans(num_shards);
-  catalog->global_map_.reserve(count);
+  std::vector<std::pair<size_t, size_t>> gmap;
+  std::vector<std::vector<size_t>> to_global(num_shards);
+  gmap.reserve(count);
   for (size_t gid = 0; gid < count; ++gid) {
     const size_t sid = shard_of[gid];
-    catalog->global_map_.emplace_back(sid, shard_plans[sid].size());
-    catalog->shards_[sid]->to_global.push_back(gid);
+    gmap.emplace_back(sid, shard_plans[sid].size());
+    to_global[sid].push_back(gid);
     shard_plans[sid].push_back(plans[gid]);
   }
+  std::vector<std::unique_ptr<EquivalenceCatalog>> shard_catalogs(num_shards);
   for (size_t sid = 0; sid < num_shards; ++sid) {
     const uint64_t segment_size = reader.U64();
     GEQO_RETURN_NOT_OK(reader.status());
@@ -808,7 +836,7 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::ImportSnapshot(
                                                 std::to_string(sid) + ": " +
                                                 loaded.status().message());
     }
-    catalog->shards_[sid]->catalog = std::move(*loaded);
+    shard_catalogs[sid] = std::move(*loaded);
   }
   const uint64_t num_pending = reader.U64();
   GEQO_RETURN_NOT_OK(reader.status());
@@ -834,16 +862,15 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::ImportSnapshot(
           "never do (corrupt snapshot)");
     }
     const size_t sid = shard_of[query_gid];
-    const size_t query_local = catalog->global_map_[query_gid].second;
-    const auto& entry =
-        catalog->shards_[sid]->catalog->entries_[query_local];
+    const size_t query_local = gmap[query_gid].second;
+    const auto& entry = shard_catalogs[sid]->entries_[query_local];
     VerifyTask task;
     task.shard = sid;
     task.query_plan = entry.plan;
     task.query_hash = entry.canonical_hash;
     task.query_check = entry.check_hash;
     task.query_local = query_local;
-    task.agenda = {catalog->global_map_[member_gid].second};
+    task.agenda = {gmap[member_gid].second};
     pending.push_back(std::move(task));
   }
   if (reader.U64() != io::kShardedCatalogEndMagic) {
@@ -854,6 +881,19 @@ Result<std::unique_ptr<ShardedCatalog>> ShardedCatalog::ImportSnapshot(
     return Status::InvalidArgument(
         "sharded catalog snapshot: trailing bytes after end marker (corrupt "
         "snapshot)");
+  }
+  // Install the staged state. The worker pool is already running but can
+  // see nothing until the backlog below is pushed; the locks keep the
+  // guarded-by contract unconditional (shard before map, ranks ascending).
+  for (size_t sid = 0; sid < num_shards; ++sid) {
+    Shard& shard = *catalog->shards_[sid];
+    WriterLock lock(shard.mu);
+    shard.catalog = std::move(shard_catalogs[sid]);
+    shard.to_global = std::move(to_global[sid]);
+  }
+  {
+    WriterLock map_lock(catalog->map_mu_);
+    catalog->global_map_ = std::move(gmap);
   }
   // Re-arm the verification backlog only once the whole snapshot has
   // validated (the worker pool may start consuming immediately).
@@ -891,7 +931,7 @@ Status ShardedCatalog::ReplayVerdict(size_t shard, const CheckedPair& pair,
         " (corrupt log)");
   }
   Shard& s = *shards_[shard];
-  std::unique_lock<std::shared_mutex> lock(s.mu);
+  WriterLock lock(s.mu);
   s.catalog->memo_.Insert(pair.key, pair.check, verdict);
   return Status::OK();
 }
@@ -900,7 +940,7 @@ Status ShardedCatalog::ReplayUnion(uint64_t a_gid, uint64_t b_gid) {
   std::pair<size_t, size_t> a_slot;
   std::pair<size_t, size_t> b_slot;
   {
-    std::shared_lock<std::shared_mutex> lock(map_mu_);
+    ReaderLock lock(map_mu_);
     if (a_gid >= global_map_.size() || b_gid >= global_map_.size()) {
       return Status::InvalidArgument(
           "catalog store replay: union record references entry beyond the "
@@ -915,7 +955,7 @@ Status ShardedCatalog::ReplayUnion(uint64_t a_gid, uint64_t b_gid) {
         "(corrupt log)");
   }
   Shard& shard = *shards_[a_slot.first];
-  std::unique_lock<std::shared_mutex> lock(shard.mu);
+  WriterLock lock(shard.mu);
   shard.catalog->classes_.Union(a_slot.second, b_slot.second);
   return Status::OK();
 }
@@ -940,14 +980,14 @@ ShardedCatalog::BuildRecoveredTasks(
     }
     std::pair<size_t, size_t> query_slot;
     {
-      std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+      ReaderLock map_lock(map_mu_);
       query_slot = global_map_[query_gid];
     }
     const size_t sid = query_slot.first;
     const size_t query_local = query_slot.second;
     Shard& shard = *shards_[sid];
     // Unique lock: a memoized kEquivalent applies its union right here.
-    std::unique_lock<std::shared_mutex> lock(shard.mu);
+    WriterLock lock(shard.mu);
     // Regroup the members by their *current* class root — unions that
     // landed after the pending records may have merged classes since.
     std::map<size_t, std::vector<size_t>> by_root;
@@ -960,7 +1000,8 @@ ShardedCatalog::BuildRecoveredTasks(
       }
       std::pair<size_t, size_t> member_slot;
       {
-        std::shared_lock<std::shared_mutex> map_lock(map_mu_);
+        // Nested under the shard lock: kShard < kCatalogMap, ascending.
+        ReaderLock map_lock(map_mu_);
         member_slot = global_map_[member_gid];
       }
       if (member_slot.first != sid) {

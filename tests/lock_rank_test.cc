@@ -1,0 +1,175 @@
+#include "analysis/lock_rank.h"
+
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "common/work_queue.h"
+
+/// \file lock_rank_test.cc
+/// The runtime lock-rank checker: unit tests for the held-stack bookkeeping
+/// and the lattice rules, plus the two mutation death-tests the PR's
+/// acceptance criteria name — an injected map->shard inversion inside a
+/// ParallelForWithWorker body and an injected wal->store inversion in a
+/// WorkQueue consumer, each required to abort on the *first* run with the
+/// exact rank-pair diagnostic (deterministic, unlike a TSan schedule race).
+
+namespace geqo {
+namespace {
+
+using analysis::HeldLockCountForTest;
+using analysis::LockRank;
+using analysis::LockRankName;
+using analysis::LockRankSameRankNestable;
+using analysis::SetLockRankCheckingForTest;
+
+/// Enables checking for the test body and restores the build default after.
+class LockRankTest : public ::testing::Test {
+ protected:
+  void SetUp() override { SetLockRankCheckingForTest(true); }
+  void TearDown() override { SetLockRankCheckingForTest(false); }
+};
+
+TEST_F(LockRankTest, RankNamesAreStable) {
+  // The mutation tests (and any operator reading an abort) key on these
+  // strings; renaming one is a contract change, not a refactor.
+  EXPECT_STREQ("serve.shard", LockRankName(LockRank::kShard));
+  EXPECT_STREQ("serve.map", LockRankName(LockRank::kCatalogMap));
+  EXPECT_STREQ("persist.store", LockRankName(LockRank::kStore));
+  EXPECT_STREQ("persist.wal", LockRankName(LockRank::kWalHandle));
+  EXPECT_STREQ("common.work_queue", LockRankName(LockRank::kWorkQueue));
+  EXPECT_STREQ("common.thread_pool", LockRankName(LockRank::kThreadPool));
+  EXPECT_STREQ("common.leaf", LockRankName(LockRank::kLeaf));
+}
+
+TEST_F(LockRankTest, OnlyShardIsSameRankNestable) {
+  EXPECT_TRUE(LockRankSameRankNestable(LockRank::kShard));
+  EXPECT_FALSE(LockRankSameRankNestable(LockRank::kCatalogMap));
+  EXPECT_FALSE(LockRankSameRankNestable(LockRank::kStore));
+  EXPECT_FALSE(LockRankSameRankNestable(LockRank::kLeaf));
+}
+
+TEST_F(LockRankTest, AscendingAcquisitionTracksHeldCount) {
+  Mutex low(LockRank::kCompaction);
+  SharedMutex mid(LockRank::kShard);
+  Mutex high(LockRank::kLeaf);
+  EXPECT_EQ(0u, HeldLockCountForTest());
+  {
+    MutexLock l1(low);
+    EXPECT_EQ(1u, HeldLockCountForTest());
+    ReaderLock l2(mid);
+    EXPECT_EQ(2u, HeldLockCountForTest());
+    MutexLock l3(high);
+    EXPECT_EQ(3u, HeldLockCountForTest());
+  }
+  EXPECT_EQ(0u, HeldLockCountForTest());
+}
+
+TEST_F(LockRankTest, ShardLocksNestAgainstEachOther) {
+  // Snapshot export holds every shard's lock at once (same rank, index
+  // order); the checker must allow equal-rank nesting for kShard only.
+  SharedMutex shard0(LockRank::kShard);
+  SharedMutex shard1(LockRank::kShard);
+  ReaderLock l0(shard0);
+  ReaderLock l1(shard1);
+  EXPECT_EQ(2u, HeldLockCountForTest());
+}
+
+TEST_F(LockRankTest, OutOfOrderReleaseIsSupported) {
+  // Snapshot export also releases shard locks front to back (not reverse
+  // acquisition order); the stack must pop the matching entry, not the top.
+  SharedMutex shard0(LockRank::kShard);
+  SharedMutex shard1(LockRank::kShard);
+  shard0.lock_shared();
+  shard1.lock_shared();
+  shard0.unlock_shared();
+  EXPECT_EQ(1u, HeldLockCountForTest());
+  shard1.unlock_shared();
+  EXPECT_EQ(0u, HeldLockCountForTest());
+}
+
+TEST_F(LockRankTest, ReleaseOfUntrackedRankIsTolerated) {
+  // A lock acquired while the checker was off may be released after it is
+  // toggled on (tests do exactly this); the release must be a no-op.
+  analysis::LockRankOnRelease(LockRank::kLeaf);
+  EXPECT_EQ(0u, HeldLockCountForTest());
+}
+
+TEST_F(LockRankTest, DisabledCheckerRecordsNothing) {
+  SetLockRankCheckingForTest(false);
+  Mutex high(LockRank::kLeaf);
+  Mutex low(LockRank::kCompaction);
+  MutexLock l1(high);
+  MutexLock l2(low);  // inversion, but the checker is off
+  EXPECT_EQ(0u, HeldLockCountForTest());
+}
+
+using LockRankDeathTest = LockRankTest;
+
+TEST_F(LockRankDeathTest, DirectInversionAbortsWithBothRankNames) {
+  Mutex store(LockRank::kStore);
+  SharedMutex shard(LockRank::kShard);
+  EXPECT_DEATH(
+      {
+        SetLockRankCheckingForTest(true);
+        MutexLock store_lock(store);
+        WriterLock shard_lock(shard);
+      },
+      "lock-rank violation: acquiring 'serve\\.shard' \\(rank 30\\) while "
+      "holding 'persist\\.store' \\(rank 40\\)");
+}
+
+TEST_F(LockRankDeathTest, MapThenShardInversionAbortsInParallelWorker) {
+  // Mutation test A (acceptance criteria): invert the documented
+  // "shard.mu before map_mu_" order inside a ParallelForWithWorker body —
+  // the shape a refactor of CommitAdd/ProbeAdd would take. The checker
+  // must abort on the first acquisition, on every schedule, with the
+  // exact rank pair; no interleaving luck involved.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SharedMutex shard(LockRank::kShard);
+  SharedMutex map(LockRank::kCatalogMap);
+  EXPECT_DEATH(
+      {
+        SetLockRankCheckingForTest(true);
+        ParallelForWithWorker(
+            0, 4,
+            [&](size_t /*worker*/, size_t /*i*/) {
+              WriterLock map_lock(map);
+              ReaderLock shard_lock(shard);  // injected inversion: 30 under 35
+            },
+            1);
+      },
+      "lock-rank violation: acquiring 'serve\\.shard' \\(rank 30\\) while "
+      "holding 'serve\\.map' \\(rank 35\\)");
+}
+
+TEST_F(LockRankDeathTest, WalThenStoreInversionAbortsInQueueConsumer) {
+  // Mutation test B (acceptance criteria): a WorkQueue consumer that takes
+  // a WAL handle lock and then the store lock — the inversion a careless
+  // compaction-callback change would introduce (RotateLocked runs the
+  // other way: store_mu_ first, then handle.mu).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SetLockRankCheckingForTest(true);
+        Mutex wal(LockRank::kWalHandle);
+        Mutex store(LockRank::kStore);
+        WorkQueue<int> queue;
+        std::thread consumer([&] {
+          while (queue.Pop().has_value()) {
+            MutexLock wal_lock(wal);
+            MutexLock store_lock(store);  // injected inversion: 40 under 50
+            queue.TaskDone();
+          }
+        });
+        queue.Push(1);
+        consumer.join();
+      },
+      "lock-rank violation: acquiring 'persist\\.store' \\(rank 40\\) while "
+      "holding 'persist\\.wal' \\(rank 50\\)");
+}
+
+}  // namespace
+}  // namespace geqo

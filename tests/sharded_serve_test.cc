@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "analysis/lock_rank.h"
 #include "core/geqo_system.h"
 #include "serve/sharded_catalog.h"
 #include "test_util.h"
@@ -347,6 +348,85 @@ TEST_F(ShardedServeTest, OverlappingSavesUnderActiveVerifierLoad) {
       EXPECT_EQ(loaded->ClassOf(gid), sharded->ClassOf(gid))
           << "snapshot " << i << ", entry " << gid;
     }
+  }
+}
+
+TEST_F(ShardedServeTest, ProbePreparationDoesNotRaceShardZeroInserts) {
+  // Regression: prep() used to return shard 0's *live* catalog, so every
+  // probe's prepare/embed stage read a guarded member with no lock while
+  // shard-0 inserts mutated it — a data race TSan flags and the thread-
+  // safety annotations reject. With one shard, every add lands on shard 0,
+  // maximizing pressure on the (now insert-immune) preparation catalog.
+  auto sharded = Open(/*num_shards=*/1, /*verifier_threads=*/2);
+  const std::vector<PlanPtr> plans = StreamPlans();
+  ASSERT_TRUE(sharded->ProbeAdd(plans[0]).ok());
+
+  constexpr int kProbers = 3;
+  constexpr int kAdders = 3;
+  constexpr int kRounds = 20;
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProbers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int round = 0; round < kRounds; ++round) {
+        if (!sharded->Probe(plans[(p + round) % plans.size()]).ok()) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (int a = 0; a < kAdders; ++a) {
+    threads.emplace_back([&] {
+      for (const PlanPtr& plan : plans) {
+        if (!sharded->ProbeAdd(plan).ok()) {
+          failed = true;
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+  sharded->DrainPendingVerifications();
+  ExpectOracleAgreement(*sharded);
+}
+
+TEST_F(ShardedServeTest, ServeLatticeIsRankCleanIncludingSnapshotImport) {
+  // Regression: ImportSnapshot used to install the rebuilt global map and
+  // per-shard state through unlocked writes to guarded members. It now
+  // stages everything in locals and installs under the shard locks, then
+  // the map lock — ascending rank order. Running the full serve workout
+  // with the runtime rank checker armed turns any ordering regression
+  // (here or anywhere on the probe/add/verify/export/import paths) into a
+  // deterministic abort, on every schedule.
+  analysis::SetLockRankCheckingForTest(true);
+  struct RestoreChecker {
+    ~RestoreChecker() { analysis::SetLockRankCheckingForTest(false); }
+  } restore;
+
+  auto sharded = Open(/*num_shards=*/3, /*verifier_threads=*/2);
+  const std::vector<PlanPtr> plans = StreamPlans();
+  std::vector<PlanPtr> in_add_order;
+  for (const PlanPtr& plan : plans) {
+    ASSERT_TRUE(sharded->ProbeAdd(plan).ok());
+    in_add_order.push_back(plan);
+  }
+  ASSERT_TRUE(sharded->Probe(plans[0]).ok());
+
+  std::stringstream snapshot;
+  ASSERT_TRUE(sharded->ExportSnapshot(snapshot).ok());
+  ShardedCatalogOptions load_options;
+  load_options.catalog.pipeline = System().options().pipeline;
+  load_options.verifier_threads = 0;
+  auto loaded_or =
+      System().ImportShardedSnapshot(snapshot, in_add_order, load_options);
+  ASSERT_TRUE(loaded_or.ok()) << loaded_or.status().ToString();
+  auto loaded = std::move(*loaded_or);
+  loaded->DrainPendingVerifications();
+  sharded->DrainPendingVerifications();
+  for (size_t gid = 0; gid < sharded->size(); ++gid) {
+    EXPECT_EQ(loaded->ClassOf(gid), sharded->ClassOf(gid)) << gid;
   }
 }
 
